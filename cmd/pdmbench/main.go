@@ -1,0 +1,346 @@
+// Command pdmbench regenerates every table and figure of the paper's
+// evaluation section, both analytically (the Section 2 model — matching
+// the printed numbers) and by simulation (the full PDM system: real SQL
+// through the wire protocol across the simulated WAN).
+//
+// Usage:
+//
+//	pdmbench                  # tables 2-4 and figures 4-5 (analytic, vs paper)
+//	pdmbench -table 3         # one table
+//	pdmbench -figure 5        # one figure (ASCII bars)
+//	pdmbench -simulate        # wire-level simulation vs model, all scenarios
+//	pdmbench -checkout        # Section 6: check-out round-trip comparison
+//	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
+//	pdmbench -all             # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdmtune"
+	"pdmtune/internal/costmodel"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print one paper table (2, 3 or 4)")
+	figure := flag.Int("figure", 0, "print one paper figure (4 or 5)")
+	simulate := flag.Bool("simulate", false, "run the wire-level simulation against the model")
+	checkout := flag.Bool("checkout", false, "compare check-out implementations (Section 6)")
+	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
+	all := flag.Bool("all", false, "run everything")
+	flag.Parse()
+
+	any := *table != 0 || *figure != 0 || *simulate || *checkout || *ablate
+	if *all || !any {
+		printTable(2)
+		printTable(3)
+		printTable(4)
+		printFigure(4)
+		printFigure(5)
+	}
+	if *table != 0 {
+		printTable(*table)
+	}
+	if *figure != 0 {
+		printFigure(*figure)
+	}
+	if *simulate || *all {
+		runSimulation()
+	}
+	if *checkout || *all {
+		runCheckout()
+	}
+	if *ablate || *all {
+		runAblation()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pdmbench:", err)
+	os.Exit(1)
+}
+
+// ---------------------------------------------------------------------------
+// Analytic tables
+
+func printTable(n int) {
+	var strat costmodel.Strategy
+	switch n {
+	case 2:
+		strat = costmodel.LateEval
+		fmt.Println("Table 2 — response times, late evaluation (model vs paper)")
+	case 3:
+		strat = costmodel.EarlyEval
+		fmt.Println("Table 3 — response times, early rule evaluation (model vs paper)")
+	case 4:
+		strat = costmodel.Recursive
+		fmt.Println("Table 4 — multi-level expands with recursive queries (model vs paper)")
+	default:
+		fail(fmt.Errorf("no table %d in the paper's evaluation", n))
+	}
+	cells := costmodel.TableCells(strat)
+	late := costmodel.TableCells(costmodel.LateEval)
+	nets := costmodel.PaperNetworks()
+	scens := costmodel.PaperScenarios()
+
+	header := fmt.Sprintf("%-28s", "")
+	for _, scen := range scens {
+		if n == 4 {
+			header += fmt.Sprintf("%-16s", scen.Name)
+		} else {
+			for _, a := range costmodel.Actions {
+				header += fmt.Sprintf("%-16s", scen.Name+" "+a.String())
+			}
+		}
+	}
+	fmt.Println(header)
+
+	cellStr := func(model, paper float64) string {
+		return fmt.Sprintf("%.2f (%.2f)", model, paper)
+	}
+	for ni, net := range nets {
+		rows := map[string][]string{"latency": {}, "transfer": {}, "total": {}, "saving %": {}}
+		for si := range scens {
+			actions := costmodel.Actions
+			if n == 4 {
+				actions = []costmodel.Action{costmodel.MLE}
+			}
+			for _, a := range actions {
+				est := cells[ni][si][int(a)]
+				switch n {
+				case 2:
+					rows["latency"] = append(rows["latency"], cellStr(est.LatencySec, costmodel.PaperTable2Latency[ni][si][a]))
+					rows["transfer"] = append(rows["transfer"], cellStr(est.TransferSec, costmodel.PaperTable2Transfer[ni][si][a]))
+					rows["total"] = append(rows["total"], cellStr(est.TotalSec, costmodel.PaperTable2Total[ni][si][a]))
+				case 3:
+					rows["latency"] = append(rows["latency"], cellStr(est.LatencySec, costmodel.PaperTable2Latency[ni][si][a]))
+					rows["transfer"] = append(rows["transfer"], cellStr(est.TransferSec, costmodel.PaperTable3Transfer[ni][si][a]))
+					rows["total"] = append(rows["total"], cellStr(est.TotalSec, costmodel.PaperTable3Total[ni][si][a]))
+					s := costmodel.SavingPct(late[ni][si][int(a)], est)
+					rows["saving %"] = append(rows["saving %"], cellStr(s, costmodel.PaperTable3Saving[ni][si][a]))
+				case 4:
+					rows["latency"] = append(rows["latency"], cellStr(est.LatencySec, costmodel.PaperTable4Latency[ni][si]))
+					rows["transfer"] = append(rows["transfer"], cellStr(est.TransferSec, costmodel.PaperTable4Transfer[ni][si]))
+					rows["total"] = append(rows["total"], cellStr(est.TotalSec, costmodel.PaperTable4Total[ni][si]))
+					s := costmodel.SavingPct(late[ni][si][int(a)], est)
+					rows["saving %"] = append(rows["saving %"], cellStr(s, costmodel.PaperTable4Saving[ni][si]))
+				}
+			}
+		}
+		order := []string{"latency", "transfer", "total"}
+		if n != 2 {
+			order = append(order, "saving %")
+		}
+		for _, kind := range order {
+			line := fmt.Sprintf("%-28s", net.Name+" "+kind)
+			for _, c := range rows[kind] {
+				line += fmt.Sprintf("%-16s", c)
+			}
+			fmt.Println(line)
+		}
+		fmt.Println()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figures (ASCII bar charts)
+
+func printFigure(n int) {
+	var totals [3][3]float64
+	switch n {
+	case 4:
+		totals = costmodel.Figure4()
+		fmt.Println("Figure 4 — response times for δ=9, β=3, σ=0.6, T_Lat=150ms, dtr=512 kbit/s")
+	case 5:
+		totals = costmodel.Figure5()
+		fmt.Println("Figure 5 — response times for δ=7, β=5, σ=0.6, T_Lat=150ms, dtr=256 kbit/s")
+	default:
+		fail(fmt.Errorf("no figure %d in the paper's evaluation", n))
+	}
+	maxVal := 0.0
+	for _, row := range totals {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	const width = 48
+	for si, strat := range costmodel.Strategies {
+		fmt.Printf("  %s\n", strat)
+		for ai, a := range costmodel.Actions {
+			v := totals[si][ai]
+			bar := strings.Repeat("#", int(v/maxVal*width+0.5))
+			fmt.Printf("    %-7s %9.2fs |%s\n", a.String(), v, bar)
+		}
+	}
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level simulation
+
+// simOutcome captures the link-independent traffic of one action so the
+// response time can be derived for every network profile.
+type simOutcome struct {
+	roundTrips int
+	comms      int
+	volumeB    float64
+	visible    int
+}
+
+func runSimulation() {
+	fmt.Println("Wire-level simulation — full PDM system (SQL over the simulated WAN)")
+	fmt.Println("Response times derived for each network from measured round trips and volumes;")
+	fmt.Println("model values in parentheses. Scenarios with fractional σβ use random visibility,")
+	fmt.Println("so simulated node counts vary around the model's expectation.")
+	fmt.Println()
+	nets := costmodel.PaperNetworks()
+	for scenIdx, scen := range costmodel.PaperScenarios() {
+		fmt.Printf("Scenario %s\n", scen.Name)
+		sys := pdmtune.NewSystem(nil)
+		sigmaBeta := scen.Sigma * float64(scen.Branch)
+		prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+			Depth: scen.Depth, Branch: scen.Branch, Sigma: scen.Sigma,
+			Seed:             int64(scenIdx + 1),
+			RandomVisibility: sigmaBeta != float64(int(sigmaBeta)),
+		})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  generated: %d nodes, %d visible (model n_v = %.0f)\n",
+			prod.AllNodes(), prod.VisibleNodes(), scen.VisibleNodes())
+		for _, action := range costmodel.Actions {
+			for _, strat := range costmodel.Strategies {
+				if action != costmodel.MLE && strat == costmodel.Recursive {
+					continue
+				}
+				target := prod.RootID
+				if action == costmodel.Query {
+					target = prod.Config.ProdID
+				}
+				res, err := sys.RunAction(pdmtune.LinkOf(nets[0]), pdmtune.DefaultUser("sim"),
+					pdmtune.Strategy(strat), pdmtune.Action(action), target)
+				if err != nil {
+					fail(err)
+				}
+				out := simOutcome{
+					roundTrips: res.Metrics.RoundTrips,
+					comms:      res.Metrics.Communications,
+					volumeB:    res.Metrics.VolumeBytes(),
+					visible:    res.Visible,
+				}
+				line := fmt.Sprintf("  %-7s %-10s rt=%-6d vol=%8.0f KiB  ",
+					action.String(), strat.String(), out.roundTrips, out.volumeB/1024)
+				for ni, net := range nets {
+					simT := float64(out.comms)*net.LatencySec + out.volumeB*8/(net.RateKbps*1024)
+					model := costmodel.Model{Net: net, Tree: scen}.Predict(action, strat)
+					line += fmt.Sprintf("T%d=%8.2fs (%8.2fs)  ", ni+1, simT, model.TotalSec)
+				}
+				fmt.Println(line)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Check-out comparison (Section 6)
+
+func runCheckout() {
+	fmt.Println("Check-out comparison (Section 6) — δ=4, β=4, σ=0.5, 256 kbit/s / 150 ms")
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{Depth: 4, Branch: 4, Sigma: 0.5, Seed: 3})
+	if err != nil {
+		fail(err)
+	}
+	link := pdmtune.Intercontinental()
+	type mode struct {
+		name string
+		run  func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error)
+		str  pdmtune.Strategy
+	}
+	modes := []mode{
+		{"navigational (early eval)", func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error) {
+			return c.CheckOut(prod.RootID)
+		}, pdmtune.EarlyEval},
+		{"recursive + updates", func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error) {
+			return c.CheckOut(prod.RootID)
+		}, pdmtune.Recursive},
+		{"stored procedure", func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error) {
+			return c.CheckOutViaProcedure(prod.RootID)
+		}, pdmtune.Recursive},
+	}
+	for i, m := range modes {
+		user := pdmtune.DefaultUser(fmt.Sprintf("user%d", i))
+		client, _ := sys.Connect(link, user, m.str)
+		res, err := m.run(client)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("  %-28s granted=%-5v updated=%-5d rt=%-5d T=%8.2fs\n",
+			m.name, res.Granted, res.Updated, res.Metrics.RoundTrips, res.Metrics.TotalSec())
+		if _, err := client.CheckInViaProcedure(prod.RootID); err != nil {
+			fail(err)
+		}
+	}
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// Ablations
+
+func runAblation() {
+	fmt.Println("Ablation 1 — packet size sweep (δ=9, β=3, σ=0.6, 256 kbit/s / 150 ms, MLE)")
+	tree := costmodel.PaperScenarios()[1]
+	for _, packet := range []float64{512, 1024, 4096, 16384} {
+		net := costmodel.Network{PacketBytes: packet, LatencySec: 0.15, RateKbps: 256}
+		late := costmodel.Model{Net: net, Tree: tree}.Predict(costmodel.MLE, costmodel.LateEval)
+		rec := costmodel.Model{Net: net, Tree: tree}.Predict(costmodel.MLE, costmodel.Recursive)
+		fmt.Printf("  packet=%6.0fB  late=%8.2fs  recursive=%6.2fs  saving=%.2f%%\n",
+			packet, late.TotalSec, rec.TotalSec, costmodel.SavingPct(late, rec))
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation 2 — σ sweep (δ=9, β=3, 256 kbit/s / 150 ms, MLE savings)")
+	for _, sigma := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		t := costmodel.Tree{Depth: 9, Branch: 3, Sigma: sigma}
+		net := costmodel.PaperNetworks()[0]
+		late := costmodel.Model{Net: net, Tree: t}.Predict(costmodel.MLE, costmodel.LateEval)
+		early := costmodel.Model{Net: net, Tree: t}.Predict(costmodel.MLE, costmodel.EarlyEval)
+		rec := costmodel.Model{Net: net, Tree: t}.Predict(costmodel.MLE, costmodel.Recursive)
+		fmt.Printf("  σ=%.1f  late=%9.2fs  early=%9.2fs (%5.2f%%)  recursive=%7.2fs (%5.2f%%)\n",
+			sigma, late.TotalSec, early.TotalSec, costmodel.SavingPct(late, early),
+			rec.TotalSec, costmodel.SavingPct(late, rec))
+	}
+	fmt.Println()
+
+	fmt.Println("Ablation 3 — paper packet accounting vs exact bytes (simulated, δ=3, β=9, MLE)")
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 3, Branch: 9, Sigma: 0.6, Seed: 1, RandomVisibility: true,
+	})
+	if err != nil {
+		fail(err)
+	}
+	for _, exact := range []bool{false, true} {
+		link := pdmtune.Intercontinental()
+		link.ExactBytes = exact
+		for _, strat := range []pdmtune.Strategy{pdmtune.LateEval, pdmtune.Recursive} {
+			res, err := sys.RunAction(link, pdmtune.DefaultUser("abl"), strat, pdmtune.MLE, prod.RootID)
+			if err != nil {
+				fail(err)
+			}
+			name := "paper-packets"
+			if exact {
+				name = "exact-bytes"
+			}
+			fmt.Printf("  %-14s %-10s T=%8.2fs vol=%8.0f KiB\n",
+				name, strat.String(), res.Metrics.TotalSec(), res.Metrics.VolumeBytes()/1024)
+		}
+	}
+	fmt.Println()
+}

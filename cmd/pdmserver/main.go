@@ -1,0 +1,66 @@
+// Command pdmserver runs a PDM database server over TCP: the minisql
+// engine loaded with a generated product structure (or the paper's
+// Figure 2 example), fronted by the wire protocol. Combined with
+// cmd/pdmclient it demonstrates the paper's phenomenon live — the same
+// action is fast against a LAN-ish server and painful across a
+// simulated intercontinental link.
+//
+//	pdmserver -addr :7070 -depth 5 -branch 4 -sigma 0.6
+//	pdmserver -addr :7070 -paper-example
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"pdmtune"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	depth := flag.Int("depth", 5, "product tree depth δ")
+	branch := flag.Int("branch", 4, "product tree branching β")
+	sigma := flag.Float64("sigma", 0.6, "branch visibility probability σ")
+	seed := flag.Int64("seed", 1, "generator seed")
+	paperExample := flag.Bool("paper-example", false, "load the paper's Figure 2 example instead of a generated tree")
+	flag.Parse()
+
+	sys := pdmtune.NewSystem(nil)
+	if *paperExample {
+		if err := sys.LoadPaperExample(); err != nil {
+			log.Fatalf("pdmserver: loading paper example: %v", err)
+		}
+		log.Printf("loaded paper Figure 2 example (root object 1)")
+	} else {
+		prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+			Depth: *depth, Branch: *branch, Sigma: *sigma, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatalf("pdmserver: generating product: %v", err)
+		}
+		log.Printf("generated product: δ=%d β=%d σ=%.2f, %d nodes (%d visible), root object %d",
+			*depth, *branch, *sigma, prod.AllNodes(), prod.VisibleNodes(), prod.RootID)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("pdmserver: listen: %v", err)
+	}
+	log.Printf("PDM server listening on %s", ln.Addr())
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Fatalf("pdmserver: accept: %v", err)
+		}
+		go func(c net.Conn) {
+			defer c.Close()
+			log.Printf("client %s connected", c.RemoteAddr())
+			sc := sys.Server.NewConn()
+			if err := sc.Serve(c); err != nil {
+				log.Printf("client %s: %v", c.RemoteAddr(), err)
+			}
+			log.Printf("client %s disconnected", c.RemoteAddr())
+		}(conn)
+	}
+}

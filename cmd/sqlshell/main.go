@@ -1,0 +1,80 @@
+// Command sqlshell is an interactive REPL for the minisql engine —
+// handy for poking at the PDM schema and trying the paper's queries
+// directly (it accepts the Section 5 recursive queries verbatim).
+//
+//	sqlshell                  # empty database
+//	sqlshell -paper-example   # with the paper's Figure 2 data loaded
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pdmtune"
+	"pdmtune/internal/minisql"
+)
+
+func main() {
+	paperExample := flag.Bool("paper-example", false, "load the paper's Figure 2 example data")
+	flag.Parse()
+
+	sys := pdmtune.NewSystem(nil)
+	if *paperExample {
+		if err := sys.LoadPaperExample(); err != nil {
+			fmt.Fprintln(os.Stderr, "sqlshell:", err)
+			os.Exit(1)
+		}
+		fmt.Println("paper Figure 2 example loaded; try:")
+		fmt.Println("  SELECT * FROM assy;")
+		fmt.Println("  WITH RECURSIVE rtbl (obid) AS (SELECT obid FROM assy WHERE obid = 1")
+		fmt.Println("    UNION SELECT link.right FROM rtbl JOIN link ON rtbl.obid = link.left)")
+		fmt.Println("    SELECT COUNT(*) FROM rtbl;")
+	}
+	session := sys.DB.NewSession()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("sql> ")
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "quit" || trimmed == "exit" || trimmed == `\q`) {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if !strings.Contains(line, ";") {
+			fmt.Print("...> ")
+			continue
+		}
+		execute(session, buf.String())
+		buf.Reset()
+		fmt.Print("sql> ")
+	}
+}
+
+func execute(session *minisql.Session, sql string) {
+	res, err := session.ExecScript(sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if res.Cols != nil {
+		fmt.Println(strings.Join(res.Cols, " | "))
+		fmt.Println(strings.Repeat("-", 4+8*len(res.Cols)))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows)\n", len(res.Rows))
+		return
+	}
+	fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+}

@@ -1,0 +1,65 @@
+// Checkout: the paper's Section 6 observation — check-out "cannot be
+// represented in one single query" — and its remedy, shipping the
+// function to the server as a stored procedure. Compares the WAN cost of
+// three implementations and demonstrates the ∀rows rule of example 2
+// ("a subtree may be checked out only if all its nodes are checked in").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdmtune"
+)
+
+func main() {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 4, Branch: 4, Sigma: 0.6, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	link := pdmtune.Intercontinental()
+	fmt.Printf("product: %d nodes (%d visible), link: %s\n\n",
+		prod.AllNodes(), prod.VisibleNodes(), link)
+
+	fmt.Println("check-out of the whole subtree, three implementations:")
+	for i, mode := range []string{"navigational MLE + updates", "recursive query + updates", "stored procedure"} {
+		user := pdmtune.DefaultUser(fmt.Sprintf("user%d", i))
+		strategy := pdmtune.EarlyEval
+		if i > 0 {
+			strategy = pdmtune.Recursive
+		}
+		client, _ := sys.Connect(link, user, strategy)
+		var res *pdmtune.CheckOutResult
+		var err error
+		if mode == "stored procedure" {
+			res, err = client.CheckOutViaProcedure(prod.RootID)
+		} else {
+			res, err = client.CheckOut(prod.RootID)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-32s granted=%-5v updated=%-4d %4d round trips, %8.2f s\n",
+			mode, res.Granted, res.Updated, res.Metrics.RoundTrips, res.Metrics.TotalSec())
+
+		// Demonstrate the ∀rows rule: while checked out, a second
+		// check-out by someone else is denied.
+		other, _ := sys.Connect(link, pdmtune.DefaultUser("intruder"), pdmtune.Recursive)
+		denied, err := other.CheckOutViaProcedure(prod.RootID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if denied.Granted {
+			log.Fatal("BUG: concurrent check-out was granted")
+		}
+		// Release for the next round.
+		if _, err := client.CheckInViaProcedure(prod.RootID); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nWhile a subtree is checked out, the ∀rows rule of paper example 2")
+	fmt.Println("denies further check-outs — verified after each attempt above.")
+}

@@ -1,0 +1,49 @@
+// Quickstart: build a PDM system, generate a product structure, run a
+// multi-level expand under all three strategies and compare what each
+// one costs across the paper's intercontinental WAN.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdmtune"
+)
+
+func main() {
+	// A PDM system: the SQL engine plus the standard rule set
+	// (structure options, effectivities, the check-out rule).
+	sys := pdmtune.NewSystem(nil)
+
+	// A complete β-ary product: depth 4, branching 4, 60 % of the
+	// branches visible to the user.
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 4, Branch: 4, Sigma: 0.6, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("product %d: %d nodes, %d visible to the user\n\n",
+		prod.Config.ProdID, prod.AllNodes(), prod.VisibleNodes())
+
+	// The paper's Germany↔Brazil link: 256 kbit/s, 150 ms latency.
+	link := pdmtune.Intercontinental()
+	user := pdmtune.DefaultUser("scott")
+
+	fmt.Printf("multi-level expand of object %d over %s:\n\n", prod.RootID, link)
+	for _, strategy := range []pdmtune.Strategy{
+		pdmtune.LateEval, pdmtune.EarlyEval, pdmtune.Recursive,
+	} {
+		client, meter := sys.Connect(link, user, strategy)
+		res, err := client.MultiLevelExpand(prod.RootID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-11s %4d round trips, %7.0f KiB, %8.2f simulated seconds (%d nodes)\n",
+			strategy.String()+":", meter.Metrics.RoundTrips,
+			meter.Metrics.VolumeBytes()/1024, meter.Metrics.TotalSec(), res.Visible)
+	}
+
+	fmt.Println("\nThe recursive strategy ships one combined SQL:1999 query instead of")
+	fmt.Println("one query per visited node — that is the paper's >95% saving.")
+}

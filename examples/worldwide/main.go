@@ -1,0 +1,58 @@
+// Worldwide: the paper's opening anecdote, reproduced. The same
+// multi-level expand that takes "little more than half a minute" against
+// a local server takes "up to half an hour" across the intercontinental
+// WAN — and the combined tuning brings it back to interactive times.
+//
+// This example uses the paper's δ=7, β=5, σ=0.6 scenario (97,655 nodes),
+// so generation takes a few seconds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pdmtune"
+)
+
+func main() {
+	sys := pdmtune.NewSystem(nil)
+	fmt.Println("generating the δ=7, β=5 product (97,655 nodes)...")
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 7, Branch: 5, Sigma: 0.6, Seed: 2001,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done: %d nodes, %d visible\n\n", prod.AllNodes(), prod.VisibleNodes())
+
+	user := pdmtune.DefaultUser("engineer")
+	scenarios := []struct {
+		where    string
+		link     pdmtune.Link
+		strategy pdmtune.Strategy
+	}{
+		{"Stuttgart office (LAN), unoptimized", pdmtune.LAN(), pdmtune.LateEval},
+		{"São Paulo via WAN, unoptimized", pdmtune.Intercontinental(), pdmtune.LateEval},
+		{"São Paulo via WAN, early rule evaluation", pdmtune.Intercontinental(), pdmtune.EarlyEval},
+		{"São Paulo via WAN, early eval + recursive SQL", pdmtune.Intercontinental(), pdmtune.Recursive},
+	}
+	fmt.Println("multi-level expand of the complete product structure:")
+	var base float64
+	for i, sc := range scenarios {
+		client, meter := sys.Connect(sc.link, user, sc.strategy)
+		if _, err := client.MultiLevelExpand(prod.RootID); err != nil {
+			log.Fatal(err)
+		}
+		t := meter.Metrics.TotalSec()
+		line := fmt.Sprintf("  %-46s %8.1f s (%5.1f min)", sc.where, t, t/60)
+		if i == 1 {
+			base = t
+		}
+		if i > 1 && base > 0 {
+			line += fmt.Sprintf("   saving %.1f%%", (1-t/base)*100)
+		}
+		fmt.Println(line)
+	}
+	fmt.Println("\n(cf. paper Section 2: ~half a minute in the LAN vs ~half an hour in the")
+	fmt.Println("WAN, and Table 4: >95% of the delay eliminated by the combined approach)")
+}

@@ -1,0 +1,217 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/types"
+	"pdmtune/internal/netsim"
+)
+
+// CheckOutResult reports a check-out/check-in attempt.
+type CheckOutResult struct {
+	// Granted is false when a rule (typically the ∀rows "all nodes must
+	// be checked-in" condition of paper example 2) denied the action.
+	Granted bool
+	// Updated counts the objects whose checked-out flag changed.
+	Updated int
+	// Metrics is the WAN cost of the whole action.
+	Metrics netsim.Metrics
+}
+
+// CheckOutRule returns the paper's example 2 as a rule: "permits every
+// user to check-out an entire subtree if all nodes in this subtree are
+// checked-in" (∀n ∈ tree(assembly): n.checkedout ≠ TRUE).
+func CheckOutRule() Rule {
+	return Rule{
+		User: Wildcard, Action: ActionCheck, ObjType: TreeObjType,
+		Kind: KindForAllRows, Cond: "checkedout <> TRUE",
+	}
+}
+
+// CheckOut retrieves the structure under root and marks every returned
+// object as checked out by the user. As Section 6 observes, this action
+// "cannot be represented in one single query": even with the recursive
+// strategy, the flag updates are separate WAN communications.
+func (c *Client) CheckOut(root int64) (*CheckOutResult, error) {
+	before := c.snapshot()
+	res, err := c.multiLevelExpand(root, ActionCheck)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckOutResult{}
+	if res.Tree == nil || res.Tree.Root == nil {
+		out.Metrics = c.delta(before)
+		return out, nil // denied by a tree condition
+	}
+	out.Granted = true
+	updated, err := c.setCheckedOut(res.Tree, true)
+	if err != nil {
+		return nil, err
+	}
+	out.Updated = updated
+	out.Metrics = c.delta(before)
+	return out, nil
+}
+
+// CheckIn releases a previously checked-out subtree owned by the user.
+func (c *Client) CheckIn(root int64) (*CheckOutResult, error) {
+	before := c.snapshot()
+	res, err := c.multiLevelExpand(root, ActionCheck+"-in")
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckOutResult{Granted: true}
+	if res.Tree != nil && res.Tree.Root != nil {
+		updated, err := c.setCheckedOut(res.Tree, false)
+		if err != nil {
+			return nil, err
+		}
+		out.Updated = updated
+	}
+	out.Metrics = c.delta(before)
+	return out, nil
+}
+
+// setCheckedOut ships the UPDATE statements flipping the flag for every
+// node in the tree — one WAN round trip per object table.
+func (c *Client) setCheckedOut(tree *Tree, out bool) (int, error) {
+	ids := map[string][]string{}
+	tree.Walk(func(n *Node) {
+		ids[n.Type] = append(ids[n.Type], fmt.Sprintf("%d", n.ObID))
+	})
+	updated := 0
+	for _, table := range []string{"assy", "comp"} {
+		list := ids[table]
+		if len(list) == 0 {
+			continue
+		}
+		var sql string
+		if out {
+			sql = fmt.Sprintf(
+				"UPDATE %s SET checkedout = TRUE, checkedout_by = %s WHERE obid IN (%s) AND checkedout <> TRUE",
+				table, sqlText(c.user.Name), strings.Join(list, ", "))
+		} else {
+			sql = fmt.Sprintf(
+				"UPDATE %s SET checkedout = FALSE, checkedout_by = NULL WHERE obid IN (%s) AND checkedout_by = %s",
+				table, strings.Join(list, ", "), sqlText(c.user.Name))
+		}
+		resp, err := c.sql.Exec(sql)
+		if err != nil {
+			return updated, err
+		}
+		updated += resp.RowsAffected
+	}
+	return updated, nil
+}
+
+// CheckOutViaProcedure performs the whole check-out in a single WAN
+// round trip by calling a stored procedure at the server — the
+// "application-specific functionality ... installed at the database
+// server" remedy of Section 6.
+func (c *Client) CheckOutViaProcedure(root int64) (*CheckOutResult, error) {
+	return c.callCheckProc("pdm_check_out", root)
+}
+
+// CheckInViaProcedure is the single-round-trip check-in.
+func (c *Client) CheckInViaProcedure(root int64) (*CheckOutResult, error) {
+	return c.callCheckProc("pdm_check_in", root)
+}
+
+func (c *Client) callCheckProc(proc string, root int64) (*CheckOutResult, error) {
+	before := c.snapshot()
+	call := fmt.Sprintf("CALL %s(%d, %s, %s, %d, %d)",
+		proc, root, sqlText(c.user.Name), sqlText(c.user.Options), c.user.EffFrom, c.user.EffTo)
+	resp, err := c.sql.Exec(call)
+	if err != nil {
+		return nil, err
+	}
+	out := &CheckOutResult{Metrics: c.delta(before)}
+	if len(resp.Rows) == 1 && len(resp.Rows[0]) == 2 {
+		out.Granted = types.Truth(resp.Rows[0][0]) == types.True
+		out.Updated = int(resp.Rows[0][1].Int())
+	}
+	return out, nil
+}
+
+// RegisterProcedures installs the server-side stored procedures
+// pdm_check_out and pdm_check_in. The server owns a rule table too —
+// rules guard the action regardless of how the client connects.
+func RegisterProcedures(db *minisql.DB, rules *RuleTable) {
+	db.RegisterProc("pdm_check_out", checkProc(rules, true))
+	db.RegisterProc("pdm_check_in", checkProc(rules, false))
+}
+
+func checkProc(rules *RuleTable, out bool) minisql.Procedure {
+	return func(s *minisql.Session, args []minisql.Value) (*minisql.Result, error) {
+		if len(args) != 5 {
+			return nil, fmt.Errorf("pdm_check: want 5 arguments (root, user, options, eff_from, eff_to), got %d", len(args))
+		}
+		root := args[0].Int()
+		user := UserContext{
+			Name:    args[1].Text(),
+			Options: args[2].Text(),
+			EffFrom: args[3].Int(),
+			EffTo:   args[4].Int(),
+		}
+		// Fetch the permitted subtree with the same machinery the client
+		// would use — but locally, without WAN round trips.
+		q := BuildRecursiveQuery(root)
+		m := &Modifier{Rules: rules, User: user}
+		action := ActionCheck
+		if !out {
+			action = ActionCheck + "-in"
+		}
+		if err := m.ModifyRecursive(q, action); err != nil {
+			return nil, err
+		}
+		res, err := s.ExecStmt(q)
+		if err != nil {
+			return nil, err
+		}
+		tree, err := AssembleRecursive(root, res.Rows)
+		if err != nil {
+			return nil, err
+		}
+		granted := tree.Root != nil
+		updated := 0
+		if granted {
+			ids := map[string][]string{}
+			tree.Walk(func(n *Node) {
+				ids[n.Type] = append(ids[n.Type], fmt.Sprintf("%d", n.ObID))
+			})
+			if _, err := s.Exec("BEGIN"); err != nil {
+				return nil, err
+			}
+			for _, table := range []string{"assy", "comp"} {
+				if len(ids[table]) == 0 {
+					continue
+				}
+				var sql string
+				if out {
+					sql = fmt.Sprintf(
+						"UPDATE %s SET checkedout = TRUE, checkedout_by = %s WHERE obid IN (%s) AND checkedout <> TRUE",
+						table, sqlText(user.Name), strings.Join(ids[table], ", "))
+				} else {
+					sql = fmt.Sprintf(
+						"UPDATE %s SET checkedout = FALSE, checkedout_by = NULL WHERE obid IN (%s) AND checkedout_by = %s",
+						table, strings.Join(ids[table], ", "), sqlText(user.Name))
+				}
+				r, err := s.Exec(sql)
+				if err != nil {
+					_, _ = s.Exec("ROLLBACK")
+					return nil, err
+				}
+				updated += r.RowsAffected
+			}
+			if _, err := s.Exec("COMMIT"); err != nil {
+				return nil, err
+			}
+		}
+		return &minisql.Result{
+			Cols: []string{"granted", "updated"},
+			Rows: []minisql.Row{{types.NewBool(granted), types.NewInt(int64(updated))}},
+		}, nil
+	}
+}

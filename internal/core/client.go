@@ -1,0 +1,460 @@
+package core
+
+import (
+	"fmt"
+
+	"pdmtune/internal/costmodel"
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/exec"
+	"pdmtune/internal/minisql/storage"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+)
+
+// Client is the PDM client. It executes the paper's user actions against
+// a (remote) database server under one of the three strategies the paper
+// compares; every statement crosses the WAN channel and is charged to
+// the meter.
+type Client struct {
+	sql      *wire.Client
+	meter    *netsim.Meter
+	rules    *RuleTable
+	user     UserContext
+	strategy costmodel.Strategy
+
+	// local evaluates rule predicates client-side (late evaluation).
+	local *exec.Context
+	// scratch is the client's local workspace database used to evaluate
+	// tree-aggregate conditions over already-fetched trees.
+	scratch *minisql.DB
+}
+
+// NewClient connects a PDM client to a channel. meter may be nil (no
+// accounting); rules may be empty.
+func NewClient(ch wire.Channel, meter *netsim.Meter, rules *RuleTable, user UserContext, strategy costmodel.Strategy) *Client {
+	if rules == nil {
+		rules = NewRuleTable()
+	}
+	return &Client{
+		sql:      wire.NewClient(ch),
+		meter:    meter,
+		rules:    rules,
+		user:     user,
+		strategy: strategy,
+		local:    &exec.Context{Funcs: minisql.BuiltinFuncs()},
+		scratch:  minisql.NewDB(),
+	}
+}
+
+// Strategy reports the client's access strategy.
+func (c *Client) Strategy() costmodel.Strategy { return c.strategy }
+
+// User reports the client's user context.
+func (c *Client) User() UserContext { return c.user }
+
+// Rules exposes the client's rule table (e.g. for administration).
+func (c *Client) Rules() *RuleTable { return c.rules }
+
+// Metrics returns the accumulated WAN metrics.
+func (c *Client) Metrics() netsim.Metrics {
+	if c.meter == nil {
+		return netsim.Metrics{}
+	}
+	return c.meter.Metrics
+}
+
+// ResetMetrics clears the meter (between actions).
+func (c *Client) ResetMetrics() {
+	if c.meter != nil {
+		c.meter.Reset()
+	}
+}
+
+// Exec ships one raw SQL statement over the WAN (administration, DDL,
+// loading). Rule machinery is not applied.
+func (c *Client) Exec(sql string, params ...minisql.Value) (*wire.Response, error) {
+	return c.sql.Exec(sql, params...)
+}
+
+func (c *Client) modifier() *Modifier { return &Modifier{Rules: c.rules, User: c.user} }
+
+// ActionResult reports one user action: what came back and what it cost.
+type ActionResult struct {
+	// Tree is the reassembled structure (expand actions).
+	Tree *Tree
+	// Objects is the flat result of the set-oriented Query action.
+	Objects []*Node
+	// RowsReceived counts unified rows shipped to the client before
+	// client-side filtering — the transferred data volume in rows.
+	RowsReceived int
+	// Visible counts objects the user is finally allowed to see.
+	Visible int
+	// Metrics is the WAN cost of exactly this action.
+	Metrics netsim.Metrics
+}
+
+func (c *Client) snapshot() netsim.Metrics {
+	if c.meter == nil {
+		return netsim.Metrics{}
+	}
+	return c.meter.Metrics
+}
+
+func (c *Client) delta(before netsim.Metrics) netsim.Metrics {
+	if c.meter == nil {
+		return netsim.Metrics{}
+	}
+	return c.meter.Metrics.Sub(before)
+}
+
+// ---------------------------------------------------------------------------
+// Query (set-oriented retrieval of all nodes of a product)
+
+// QueryAll performs the paper's "Query" action: retrieve all nodes of a
+// product (without structure information) in one statement. Under late
+// evaluation all rows are shipped and filtered at the client; otherwise
+// the row conditions travel inside the query.
+func (c *Client) QueryAll(prod int64) (*ActionResult, error) {
+	before := c.snapshot()
+	q := BuildQueryAll(prod)
+	if c.strategy != costmodel.LateEval {
+		if err := c.modifier().ModifyNavigational(q, ActionQuery); err != nil {
+			return nil, err
+		}
+	}
+	resp, err := c.sql.Exec(q.String())
+	if err != nil {
+		return nil, err
+	}
+	res := &ActionResult{RowsReceived: len(resp.Rows)}
+	for _, row := range resp.Rows {
+		n, err := decodeNode(row)
+		if err != nil {
+			return nil, err
+		}
+		if c.strategy == costmodel.LateEval {
+			ok, err := c.localRowPermitted(n.Type, []string{ActionQuery, ActionAccess}, row)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		res.Objects = append(res.Objects, n)
+	}
+	res.Visible = len(res.Objects)
+	res.Metrics = c.delta(before)
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// Single-level expand
+
+// Expand performs a single-level expand: fetch the direct children of
+// one object together with the connecting links.
+func (c *Client) Expand(parent int64) (*ActionResult, error) {
+	before := c.snapshot()
+	children, received, err := c.expandOnce(parent, ActionExpand)
+	if err != nil {
+		return nil, err
+	}
+	root := &Node{Type: "assy", ObID: parent, Children: children}
+	tree := &Tree{Root: root, Index: map[int64]*Node{parent: root}}
+	for _, ch := range children {
+		tree.Index[ch.ObID] = ch
+	}
+	return &ActionResult{
+		Tree:         tree,
+		RowsReceived: received,
+		Visible:      len(children),
+		Metrics:      c.delta(before),
+	}, nil
+}
+
+// expandOnce ships one navigational expand query and returns the
+// permitted children. Under late evaluation the client filters the
+// received rows against its rule table; ∃structure conditions require
+// extra probe round trips under every navigational strategy because the
+// related objects live only in the server's database.
+func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
+	q := BuildExpandQuery(parent)
+	if c.strategy != costmodel.LateEval {
+		if err := c.modifier().ModifyNavigational(q, action); err != nil {
+			return nil, 0, err
+		}
+	}
+	resp, err := c.sql.Exec(q.String())
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []*Node
+	for _, row := range resp.Rows {
+		n, err := decodeNode(row)
+		if err != nil {
+			return nil, 0, err
+		}
+		if c.strategy == costmodel.LateEval {
+			// Link traversal rules (structure options, effectivities).
+			ok, err := c.localRowPermitted("link", []string{action, ActionAccess}, row)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !ok {
+				continue
+			}
+			// Row conditions on the child's object type.
+			ok, err = c.localRowPermitted(n.Type, []string{action, ActionAccess}, row)
+			if err != nil {
+				return nil, 0, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		keep, err := c.probeExistsStructure(n, action)
+		if err != nil {
+			return nil, 0, err
+		}
+		if keep {
+			out = append(out, n)
+		}
+	}
+	return out, len(resp.Rows), nil
+}
+
+// probeExistsStructure checks ∃structure rules for one candidate object
+// by shipping a probe query per rule group — the round trips a
+// navigational client cannot avoid.
+func (c *Client) probeExistsStructure(n *Node, action string) (bool, error) {
+	rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
+	if len(rules) == 0 {
+		return true, nil
+	}
+	for _, r := range rules {
+		probe, err := BuildProbeExists(r.Cond, c.user, n.Type, n.ObID)
+		if err != nil {
+			return false, err
+		}
+		resp, err := c.sql.Exec(probe.String())
+		if err != nil {
+			return false, err
+		}
+		if len(resp.Rows) > 0 {
+			return true, nil // permissions are OR-combined
+		}
+	}
+	return false, nil
+}
+
+// localRowPermitted evaluates the disjunction of the user's row
+// conditions for an object type against a received unified row — the
+// client-side ("late") rule evaluation the paper starts from.
+func (c *Client) localRowPermitted(objType string, actions []string, row storage.Row) (bool, error) {
+	rules := c.rules.Relevant(c.user.Name, actions, objType, KindRow)
+	if len(rules) == 0 {
+		return true, nil
+	}
+	pred, err := disjunction(rules, c.user)
+	if err != nil {
+		return false, err
+	}
+	env := exec.NewEnv(unifiedColsFor(objType), row, nil)
+	v, err := c.local.EvalExpr(pred, env)
+	if err != nil {
+		return false, err
+	}
+	return boolValue(v), nil
+}
+
+// unifiedColsFor binds the unified columns under an object type's alias
+// so rule predicates like assy.make_or_buy or link.strc_opt resolve.
+func unifiedColsFor(objType string) []exec.ColMeta {
+	cols := make([]exec.ColMeta, len(UnifiedCols))
+	for i, name := range UnifiedCols {
+		cols[i] = exec.ColMeta{Table: objType, Name: name}
+	}
+	return cols
+}
+
+// ---------------------------------------------------------------------------
+// Multi-level expand
+
+// MultiLevelExpand retrieves the entire structure under root. Under the
+// navigational strategies it recursively applies single-level expands
+// ("the resulting objects are filtered according to the rules, and the
+// surviving objects are then expanded recursively"); under the Recursive
+// strategy it ships one recursive query with all rules embedded.
+func (c *Client) MultiLevelExpand(root int64) (*ActionResult, error) {
+	return c.multiLevelExpand(root, ActionMLE)
+}
+
+func (c *Client) multiLevelExpand(root int64, action string) (*ActionResult, error) {
+	before := c.snapshot()
+	if c.strategy == costmodel.Recursive {
+		tree, received, err := c.recursiveFetch(root, action)
+		if err != nil {
+			return nil, err
+		}
+		return &ActionResult{
+			Tree:         tree,
+			RowsReceived: received,
+			Visible:      tree.Size(),
+			Metrics:      c.delta(before),
+		}, nil
+	}
+
+	// Navigational: breadth-first expansion. The root is already at the
+	// client (paper footnote 4); every surviving node is expanded, leaves
+	// included — the client only learns they are leaves from the empty
+	// answer.
+	rootNode := &Node{Type: "assy", ObID: root}
+	tree := &Tree{Root: rootNode, Index: map[int64]*Node{root: rootNode}}
+	received := 0
+	queue := []*Node{rootNode}
+	for len(queue) > 0 {
+		parent := queue[0]
+		queue = queue[1:]
+		children, got, err := c.expandOnce(parent.ObID, action)
+		if err != nil {
+			return nil, err
+		}
+		received += got
+		parent.Children = children
+		for _, ch := range children {
+			tree.Index[ch.ObID] = ch
+			queue = append(queue, ch)
+		}
+	}
+
+	// Tree conditions cannot travel inside navigational queries
+	// (Section 4.1) — evaluate them at the client on the fetched tree.
+	ok, err := c.clientTreeConditions(tree, action)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		tree = &Tree{Index: map[int64]*Node{}} // all-or-nothing
+	}
+	return &ActionResult{
+		Tree:         tree,
+		RowsReceived: received,
+		Visible:      tree.Size(),
+		Metrics:      c.delta(before),
+	}, nil
+}
+
+// recursiveFetch ships the Section 5 combined query and reassembles the
+// tree from the unified rows.
+func (c *Client) recursiveFetch(root int64, action string) (*Tree, int, error) {
+	q := BuildRecursiveQuery(root)
+	if err := c.modifier().ModifyRecursive(q, action); err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.sql.Exec(q.String())
+	if err != nil {
+		return nil, 0, err
+	}
+	tree, err := AssembleRecursive(root, resp.Rows)
+	if err != nil {
+		return nil, 0, err
+	}
+	return tree, len(resp.Rows), nil
+}
+
+// clientTreeConditions evaluates ∀rows and tree-aggregate rules on a
+// fetched tree (late/early navigational strategies). It reports whether
+// the tree survives.
+func (c *Client) clientTreeConditions(tree *Tree, action string) (bool, error) {
+	actions := []string{action, ActionAccess}
+
+	// ∀rows: every node must meet the row condition.
+	forall := c.rules.Relevant(c.user.Name, actions, TreeObjType, KindForAllRows)
+	if len(forall) > 0 {
+		pred, err := disjunction(forall, c.user)
+		if err != nil {
+			return false, err
+		}
+		holds := true
+		var evalErr error
+		tree.Walk(func(n *Node) {
+			if !holds || evalErr != nil {
+				return
+			}
+			env := exec.NewEnv(unifiedColsFor(RecTable), nodeToUnifiedRow(n), nil)
+			v, err := c.local.EvalExpr(pred, env)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			if !boolValue(v) {
+				holds = false
+			}
+		})
+		if evalErr != nil {
+			return false, evalErr
+		}
+		if !holds {
+			return false, nil
+		}
+	}
+
+	// Tree aggregates: rebuild the recursion table in the client's local
+	// workspace database and evaluate the condition as SQL.
+	aggs := c.rules.Relevant(c.user.Name, actions, TreeObjType, KindTreeAggregate)
+	if len(aggs) > 0 {
+		ok, err := c.evalTreeAggregatesLocally(tree, aggs)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// evalTreeAggregatesLocally loads the fetched nodes into a local rtbl
+// and runs the aggregate conditions against it.
+func (c *Client) evalTreeAggregatesLocally(tree *Tree, rules []Rule) (bool, error) {
+	s := c.scratch.NewSession()
+	if _, err := s.Exec("DROP TABLE IF EXISTS " + RecTable); err != nil {
+		return false, err
+	}
+	ddl := `CREATE TABLE rtbl (type TEXT, obid INTEGER, name TEXT, dec TEXT,
+		make_or_buy TEXT, state TEXT, material TEXT, weight FLOAT,
+		checkedout BOOLEAN, data TEXT, path_opt TEXT, left INTEGER, right INTEGER,
+		eff_from INTEGER, eff_to INTEGER, strc_opt TEXT)`
+	if _, err := s.Exec(ddl); err != nil {
+		return false, err
+	}
+	var insertErr error
+	tree.Walk(func(n *Node) {
+		if insertErr != nil {
+			return
+		}
+		row := nodeToUnifiedRow(n)
+		_, insertErr = s.Exec(
+			"INSERT INTO rtbl VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+			row...)
+	})
+	if insertErr != nil {
+		return false, insertErr
+	}
+	pred, err := disjunction(rules, c.user)
+	if err != nil {
+		return false, err
+	}
+	check := &ast.Select{Body: &ast.SelectCore{
+		Items: []ast.SelectItem{{Expr: &ast.Case{
+			Whens: []ast.When{{Cond: pred, Result: &ast.Literal{Value: intValue(1)}}},
+			Else:  &ast.Literal{Value: intValue(0)},
+		}, Alias: "ok"}},
+	}}
+	res, err := s.Exec(check.String())
+	if err != nil {
+		return false, err
+	}
+	if len(res.Rows) != 1 {
+		return false, fmt.Errorf("core: tree-aggregate check returned %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0].Int() == 1, nil
+}

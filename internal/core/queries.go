@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/parser"
+)
+
+// RecTable is the name of the recursion table in generated queries; tree
+// conditions (∀rows, tree-aggregate) reference it.
+const RecTable = "rtbl"
+
+// UnifiedCols lists the columns of the unified ("homogenized") result
+// type of Section 5.2: the union of all attribute definitions of all
+// object types in the result, plus the type discriminator; attributes an
+// object type lacks are NULL/empty.
+var UnifiedCols = []string{
+	"type", "obid", "name", "dec", "make_or_buy", "state", "material",
+	"weight", "checkedout", "data", "path_opt",
+	"left", "right", "eff_from", "eff_to", "strc_opt",
+}
+
+// mustParseSelect parses builder-generated SQL; generation bugs are
+// programming errors, hence panic.
+func mustParseSelect(sql string) *ast.Select {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		panic(fmt.Sprintf("core: generated query does not parse: %v\n%s", err, sql))
+	}
+	sel, ok := stmt.(*ast.Select)
+	if !ok {
+		panic("core: generated query is not a SELECT")
+	}
+	return sel
+}
+
+// BuildExpandQuery returns the navigational single-level-expand query
+// for one parent object: a single SQL statement fetching all direct
+// children (assemblies and components) together with the connecting
+// links, homogenized into one result type. The paper's navigational
+// access translates tree traversal "nearly one-to-one into single,
+// isolated SQL queries" of this shape — one per visited node.
+func BuildExpandQuery(parent int64) *ast.Select {
+	sql := fmt.Sprintf(`
+SELECT assy.type, assy.obid, assy.name, assy.dec, assy.make_or_buy, assy.state,
+       '' AS "material", assy.weight, assy.checkedout, assy.data, assy.path_opt,
+       link.left, link.right, link.eff_from, link.eff_to, link.strc_opt
+  FROM link JOIN assy ON link.right = assy.obid
+  WHERE link.left = %d
+UNION ALL
+SELECT comp.type, comp.obid, comp.name, '' AS "dec", '' AS "make_or_buy", comp.state,
+       comp.material, comp.weight, comp.checkedout, comp.data, comp.path_opt,
+       link.left, link.right, link.eff_from, link.eff_to, link.strc_opt
+  FROM link JOIN comp ON link.right = comp.obid
+  WHERE link.left = %d`, parent, parent)
+	return mustParseSelect(sql)
+}
+
+// BuildQueryAll returns the set-oriented "Query" action of Table 2: all
+// nodes of a product in one statement, without structure information.
+// (PDM node rows carry the product id, so no recursion is needed.)
+func BuildQueryAll(prod int64) *ast.Select {
+	sql := fmt.Sprintf(`
+SELECT assy.type, assy.obid, assy.name, assy.dec, assy.make_or_buy, assy.state,
+       '' AS "material", assy.weight, assy.checkedout, assy.data, assy.path_opt,
+       CAST(NULL AS INTEGER) AS "left", CAST(NULL AS INTEGER) AS "right",
+       CAST(NULL AS INTEGER) AS "eff_from", CAST(NULL AS INTEGER) AS "eff_to",
+       CAST(NULL AS TEXT) AS "strc_opt"
+  FROM assy
+  WHERE assy.prod = %d
+UNION ALL
+SELECT comp.type, comp.obid, comp.name, '' AS "dec", '' AS "make_or_buy", comp.state,
+       comp.material, comp.weight, comp.checkedout, comp.data, comp.path_opt,
+       CAST(NULL AS INTEGER) AS "left", CAST(NULL AS INTEGER) AS "right",
+       CAST(NULL AS INTEGER) AS "eff_from", CAST(NULL AS INTEGER) AS "eff_to",
+       CAST(NULL AS TEXT) AS "strc_opt"
+  FROM comp
+  WHERE comp.prod = %d`, prod, prod)
+	return mustParseSelect(sql)
+}
+
+// BuildRecursiveQuery returns the Section 5.2 recursive query: one
+// statement collecting the whole object tree under root into the unified
+// result type — node rows from the recursion table plus the link rows
+// needed to reconstruct the structure. Rule predicates are injected
+// afterwards by the Modifier (Section 5.5).
+func BuildRecursiveQuery(root int64) *ast.Select {
+	sql := fmt.Sprintf(`
+WITH RECURSIVE rtbl (type, obid, name, dec, make_or_buy, state, material, weight, checkedout, data, path_opt) AS
+ (SELECT type, obid, name, dec, make_or_buy, state, '', weight, checkedout, data, path_opt
+    FROM assy
+    WHERE assy.obid = %d
+  UNION
+  SELECT assy.type, assy.obid, assy.name, assy.dec, assy.make_or_buy, assy.state, '',
+         assy.weight, assy.checkedout, assy.data, assy.path_opt
+    FROM rtbl JOIN link ON rtbl.obid = link.left
+              JOIN assy ON link.right = assy.obid
+  UNION
+  SELECT comp.type, comp.obid, comp.name, '', '', comp.state, comp.material,
+         comp.weight, comp.checkedout, comp.data, comp.path_opt
+    FROM rtbl JOIN link ON rtbl.obid = link.left
+              JOIN comp ON link.right = comp.obid
+ )
+SELECT type, obid, name, dec, make_or_buy, state, material, weight, checkedout, data, path_opt,
+       CAST(NULL AS INTEGER) AS "left", CAST(NULL AS INTEGER) AS "right",
+       CAST(NULL AS INTEGER) AS "eff_from", CAST(NULL AS INTEGER) AS "eff_to",
+       CAST(NULL AS TEXT) AS "strc_opt"
+  FROM rtbl
+UNION
+SELECT type, obid, '' AS "name", '' AS "dec", '' AS "make_or_buy", '' AS "state",
+       '' AS "material", CAST(NULL AS FLOAT) AS "weight",
+       CAST(NULL AS BOOLEAN) AS "checkedout", '' AS "data", '' AS "path_opt",
+       left, right, eff_from, eff_to, strc_opt
+  FROM link
+  WHERE (left IN (SELECT obid FROM rtbl)
+     AND right IN (SELECT obid FROM rtbl))
+ORDER BY 1, 2`, root)
+	return mustParseSelect(sql)
+}
+
+// BuildProbeExists turns an ∃structure condition into a standalone probe
+// query for one concrete object — what a navigational client must ship
+// per candidate node because it cannot evaluate the condition locally
+// (the related objects live on the server). References to
+// <objType>.obid in the condition are replaced by the object id.
+func BuildProbeExists(cond string, u UserContext, objType string, obid int64) (*ast.Select, error) {
+	e, err := parser.ParseExpr(u.Expand(cond))
+	if err != nil {
+		return nil, err
+	}
+	e = substituteColumn(e, objType, "obid", obid)
+	core := &ast.SelectCore{
+		Items: []ast.SelectItem{{Expr: &ast.Literal{Value: intValue(1)}, Alias: "ok"}},
+		Where: e,
+	}
+	return &ast.Select{Body: core}, nil
+}

@@ -1,0 +1,306 @@
+// Package costmodel implements the response-time model of paper
+// Section 2 (formulas (1)-(4)) and Section 5.4 (formulas (5)-(6)): the
+// accumulated WAN delay of PDM user actions on complete β-ary product
+// trees. The model reproduces the paper's Tables 2, 3 and 4 and the bar
+// charts of Figures 4 and 5 to printed precision.
+//
+// Conventions taken from the paper's numbers: packet size and node size
+// are in bytes, the data transfer rate dtr is in kbit/s with
+// 1 kbit = 1024 bits, and the root object "is considered to be already
+// at the client", so a multi-level expand issues one query for the root
+// plus one per visible descendant.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Action is one of the paper's three structure-oriented user actions.
+type Action uint8
+
+// The user actions of Table 2: Query retrieves all nodes of a tree
+// (without structure information), Expand retrieves the direct children
+// of the root ("single-level expand"), MLE retrieves the entire
+// structure ("multi-level expand").
+const (
+	Query Action = iota
+	Expand
+	MLE
+)
+
+func (a Action) String() string {
+	switch a {
+	case Query:
+		return "Query"
+	case Expand:
+		return "Expand"
+	case MLE:
+		return "MLE"
+	}
+	return fmt.Sprintf("Action(%d)", uint8(a))
+}
+
+// Actions lists all actions in table order.
+var Actions = []Action{Query, Expand, MLE}
+
+// Strategy selects how the PDM client talks to the database.
+type Strategy uint8
+
+// LateEval is the unoptimized navigational access with client-side rule
+// evaluation; EarlyEval pushes row conditions into the queries (paper
+// Section 4); Recursive compiles a tree action into one SQL:1999
+// recursive query combined with early rule evaluation (Section 5).
+const (
+	LateEval Strategy = iota
+	EarlyEval
+	Recursive
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case LateEval:
+		return "late eval"
+	case EarlyEval:
+		return "early eval"
+	case Recursive:
+		return "recursion"
+	}
+	return fmt.Sprintf("Strategy(%d)", uint8(s))
+}
+
+// Strategies lists all strategies in figure order.
+var Strategies = []Strategy{LateEval, EarlyEval, Recursive}
+
+// Network describes one WAN profile (Table 2's rows).
+type Network struct {
+	Name        string
+	PacketBytes float64 // size_p
+	LatencySec  float64 // T_Lat, one-way
+	RateKbps    float64 // dtr in kbit/s, 1 kbit = 1024 bits
+}
+
+// Tree describes one product structure scenario (Table 2's columns):
+// a complete β-ary tree of depth δ where each branch is visible to the
+// user with probability σ.
+type Tree struct {
+	Name   string
+	Depth  int     // δ
+	Branch int     // β
+	Sigma  float64 // σ
+}
+
+// DefaultNodeBytes is the paper's average node size (512 B).
+const DefaultNodeBytes = 512
+
+// DefaultPacketBytes is the paper's packet size (4 kB).
+const DefaultPacketBytes = 4 * 1024
+
+// geomSum returns Σ_{i=from}^{to} x^i (0 when to < from).
+func geomSum(x float64, from, to int) float64 {
+	sum := 0.0
+	pow := math.Pow(x, float64(from))
+	for i := from; i <= to; i++ {
+		sum += pow
+		pow *= x
+	}
+	return sum
+}
+
+// VisibleNodes returns n_v(t) = Σ_{i=1}^{δ} (σβ)^i — the expected number
+// of nodes the user is allowed to see (the root not counted).
+func (t Tree) VisibleNodes() float64 {
+	return geomSum(t.Sigma*float64(t.Branch), 1, t.Depth)
+}
+
+// AllNodes returns Σ_{i=1}^{δ} β^i — every node below the root.
+func (t Tree) AllNodes() float64 {
+	return geomSum(float64(t.Branch), 1, t.Depth)
+}
+
+// TransmittedNodes returns n_t(t) for an action under a strategy:
+// how many node records cross the WAN.
+func (t Tree) TransmittedNodes(a Action, s Strategy) float64 {
+	beta := float64(t.Branch)
+	switch a {
+	case Query:
+		if s == LateEval {
+			return t.AllNodes() // rules evaluated at the client: everything is shipped
+		}
+		return t.VisibleNodes()
+	case Expand:
+		if s == LateEval {
+			return beta
+		}
+		return t.Sigma * beta
+	case MLE:
+		switch s {
+		case LateEval:
+			// Every visible node is expanded and each expand returns all
+			// β children (invisible ones are filtered at the client):
+			// n_t = β · Σ_{i=0}^{δ-1} (σβ)^i.
+			return beta * geomSum(t.Sigma*beta, 0, t.Depth-1)
+		default:
+			// With early evaluation only visible children come back, so
+			// each visible node is transmitted exactly once.
+			return t.VisibleNodes()
+		}
+	}
+	return 0
+}
+
+// Queries returns q, the number of isolated SQL queries the navigational
+// strategies issue for an action.
+func (t Tree) Queries(a Action) float64 {
+	switch a {
+	case Query, Expand:
+		return 1
+	case MLE:
+		// One expand for the root plus one per visible node (leaves are
+		// expanded too — the client only learns they are leaves from the
+		// empty answer).
+		return 1 + t.VisibleNodes()
+	}
+	return 0
+}
+
+// Estimate is a predicted response-time breakdown for one action.
+type Estimate struct {
+	Queries          float64 // q (or query packets q_r for Recursive)
+	Communications   float64 // c
+	TransmittedNodes float64 // n_t
+	VolumeBytes      float64 // vol
+	LatencySec       float64 // c · T_Lat
+	TransferSec      float64 // vol / dtr
+	TotalSec         float64 // T
+}
+
+// Model combines a network profile with a tree scenario.
+type Model struct {
+	Net  Network
+	Tree Tree
+	// NodeBytes is the average node size (DefaultNodeBytes when 0).
+	NodeBytes float64
+	// RecursiveQueryPackets is q_r, the packets needed to ship the
+	// recursive query text to the server (1 when 0, as in the paper).
+	RecursiveQueryPackets float64
+}
+
+func (m Model) nodeBytes() float64 {
+	if m.NodeBytes > 0 {
+		return m.NodeBytes
+	}
+	return DefaultNodeBytes
+}
+
+// Predict computes the response-time estimate for an action under a
+// strategy, following formulas (1)-(6).
+func (m Model) Predict(a Action, s Strategy) Estimate {
+	sizeP := m.Net.PacketBytes
+	rateBitsPerSec := m.Net.RateKbps * 1024
+
+	var est Estimate
+	if s == Recursive && a != Expand {
+		// One combined query, one result set: c = 2 (formula (6)).
+		qr := m.RecursiveQueryPackets
+		if qr <= 0 {
+			qr = 1
+		}
+		est.Queries = qr
+		est.Communications = 2
+		est.TransmittedNodes = m.Tree.TransmittedNodes(a, s)
+		est.VolumeBytes = qr*sizeP + est.TransmittedNodes*m.nodeBytes() + qr*sizeP/2
+	} else {
+		// Navigational access (formulas (1)-(3)). A single-level expand
+		// is a single query under every strategy.
+		eff := s
+		if s == Recursive {
+			eff = EarlyEval
+		}
+		q := m.Tree.Queries(a)
+		est.Queries = q
+		est.Communications = 2 * q
+		est.TransmittedNodes = m.Tree.TransmittedNodes(a, eff)
+		est.VolumeBytes = q*sizeP + est.TransmittedNodes*m.nodeBytes() + q*sizeP/2
+	}
+	est.LatencySec = est.Communications * m.Net.LatencySec
+	est.TransferSec = est.VolumeBytes * 8 / rateBitsPerSec
+	est.TotalSec = est.LatencySec + est.TransferSec
+	return est
+}
+
+// SavingPct returns the percentage saving of opt relative to base.
+func SavingPct(base, opt Estimate) float64 {
+	if base.TotalSec == 0 {
+		return 0
+	}
+	return (1 - opt.TotalSec/base.TotalSec) * 100
+}
+
+// ---------------------------------------------------------------------------
+// The paper's concrete scenarios
+
+// PaperNetworks returns the three WAN profiles of Tables 2-4, in row
+// order: 256 kbit/s with 150 ms, 512 kbit/s with 150 ms, 1024 kbit/s
+// with 50 ms; all with 4 kB packets.
+func PaperNetworks() []Network {
+	return []Network{
+		{Name: "256 kbit/s, 150 ms", PacketBytes: DefaultPacketBytes, LatencySec: 0.15, RateKbps: 256},
+		{Name: "512 kbit/s, 150 ms", PacketBytes: DefaultPacketBytes, LatencySec: 0.15, RateKbps: 512},
+		{Name: "1024 kbit/s, 50 ms", PacketBytes: DefaultPacketBytes, LatencySec: 0.05, RateKbps: 1024},
+	}
+}
+
+// PaperScenarios returns the three product-tree scenarios of Tables 2-4,
+// in column order: (δ=3, β=9), (δ=9, β=3), (δ=7, β=5), all with σ=0.6.
+func PaperScenarios() []Tree {
+	return []Tree{
+		{Name: "δ=3, β=9, σ=0.6", Depth: 3, Branch: 9, Sigma: 0.6},
+		{Name: "δ=9, β=3, σ=0.6", Depth: 9, Branch: 3, Sigma: 0.6},
+		{Name: "δ=7, β=5, σ=0.6", Depth: 7, Branch: 5, Sigma: 0.6},
+	}
+}
+
+// TableCells computes the full [network][scenario][action] grid of
+// estimates for a strategy — the body of Table 2 (LateEval), Table 3
+// (EarlyEval) and Table 4 (Recursive, MLE column).
+func TableCells(s Strategy) [][][]Estimate {
+	nets := PaperNetworks()
+	scens := PaperScenarios()
+	out := make([][][]Estimate, len(nets))
+	for ni, net := range nets {
+		out[ni] = make([][]Estimate, len(scens))
+		for si, tree := range scens {
+			row := make([]Estimate, len(Actions))
+			for ai, a := range Actions {
+				row[ai] = Model{Net: net, Tree: tree}.Predict(a, s)
+			}
+			out[ni][si] = row
+		}
+	}
+	return out
+}
+
+// FigureTotals computes one bar chart (Figures 4 and 5): response-time
+// totals for every strategy and action at a fixed scenario and network.
+func FigureTotals(net Network, tree Tree) [3][3]float64 {
+	var out [3][3]float64
+	for si, s := range Strategies {
+		for ai, a := range Actions {
+			out[si][ai] = Model{Net: net, Tree: tree}.Predict(a, s).TotalSec
+		}
+	}
+	return out
+}
+
+// Figure4 returns the bar chart of paper Figure 4: δ=9, β=3, σ=0.6,
+// T_Lat = 150 ms, dtr = 512 kbit/s.
+func Figure4() [3][3]float64 {
+	return FigureTotals(PaperNetworks()[1], PaperScenarios()[1])
+}
+
+// Figure5 returns the bar chart of paper Figure 5: δ=7, β=5, σ=0.6,
+// T_Lat = 150 ms, dtr = 256 kbit/s.
+func Figure5() [3][3]float64 {
+	return FigureTotals(PaperNetworks()[0], PaperScenarios()[2])
+}

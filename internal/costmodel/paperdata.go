@@ -1,0 +1,69 @@
+package costmodel
+
+// This file transcribes the numbers printed in the paper's evaluation
+// (Tables 2, 3 and 4) so tests, benchmarks and cmd/pdmbench can put
+// "paper" and "reproduced" columns side by side. Grid order is
+// [network][scenario][action] following PaperNetworks / PaperScenarios /
+// Actions; Table 4 carries only the MLE column: [network][scenario].
+
+// PaperTable2Latency is the latency share (c · T_Lat) of Table 2.
+var PaperTable2Latency = [3][3][3]float64{
+	{{0.30, 0.30, 57.91}, {0.30, 0.30, 133.52}, {0.30, 0.30, 984.00}},
+	{{0.30, 0.30, 57.91}, {0.30, 0.30, 133.52}, {0.30, 0.30, 984.00}},
+	{{0.10, 0.10, 19.30}, {0.10, 0.10, 44.51}, {0.10, 0.10, 328.00}},
+}
+
+// PaperTable2Transfer is the transfer share (vol / dtr) of Table 2.
+var PaperTable2Transfer = [3][3][3]float64{
+	{{12.98, 0.33, 41.19}, {461.48, 0.23, 95.01}, {1526.05, 0.27, 700.39}},
+	{{6.49, 0.16, 20.60}, {230.74, 0.12, 47.51}, {763.02, 0.13, 350.20}},
+	{{3.25, 0.08, 10.30}, {115.37, 0.06, 23.75}, {381.51, 0.07, 175.10}},
+}
+
+// PaperTable2Total is T_s of Table 2 (late evaluation).
+var PaperTable2Total = [3][3][3]float64{
+	{{13.28, 0.63, 99.10}, {461.78, 0.53, 228.53}, {1526.35, 0.57, 1684.39}},
+	{{6.79, 0.46, 78.50}, {231.04, 0.42, 181.02}, {763.32, 0.43, 1334.20}},
+	{{3.35, 0.18, 29.60}, {115.47, 0.16, 68.26}, {381.61, 0.17, 503.10}},
+}
+
+// PaperTable3Transfer is the transfer share of Table 3 (early evaluation).
+var PaperTable3Transfer = [3][3][3]float64{
+	{{3.19, 0.27, 39.19}, {7.13, 0.22, 90.39}, {51.42, 0.23, 666.23}},
+	{{1.59, 0.14, 19.60}, {3.56, 0.11, 45.19}, {25.71, 0.12, 333.12}},
+	{{0.80, 0.07, 9.80}, {1.78, 0.05, 22.60}, {12.86, 0.06, 166.56}},
+}
+
+// PaperTable3Total is T_s of Table 3.
+var PaperTable3Total = [3][3][3]float64{
+	{{3.49, 0.57, 97.10}, {7.43, 0.52, 223.90}, {51.72, 0.53, 1650.23}},
+	{{1.89, 0.44, 77.50}, {3.86, 0.41, 178.71}, {26.01, 0.42, 1317.12}},
+	{{0.90, 0.17, 29.10}, {1.88, 0.15, 67.10}, {12.96, 0.16, 494.56}},
+}
+
+// PaperTable3Saving is Table 3's "saving in %" row.
+var PaperTable3Saving = [3][3][3]float64{
+	{{73.74, 8.96, 2.02}, {98.39, 3.51, 2.02}, {96.61, 5.52, 2.03}},
+	{{72.12, 6.06, 1.27}, {98.33, 2.25, 1.28}, {96.59, 3.61, 1.28}},
+	{{73.19, 7.73, 1.69}, {98.37, 2.96, 1.69}, {96.61, 4.69, 1.70}},
+}
+
+// PaperTable4Latency is the latency share of Table 4 (recursive MLE).
+var PaperTable4Latency = [3][3]float64{
+	{0.30, 0.30, 0.30}, {0.30, 0.30, 0.30}, {0.10, 0.10, 0.10},
+}
+
+// PaperTable4Transfer is the transfer share of Table 4.
+var PaperTable4Transfer = [3][3]float64{
+	{3.19, 7.13, 51.42}, {1.59, 3.56, 25.71}, {0.80, 1.78, 12.86},
+}
+
+// PaperTable4Total is T_s of Table 4.
+var PaperTable4Total = [3][3]float64{
+	{3.49, 7.43, 51.72}, {1.89, 3.86, 26.01}, {0.90, 1.88, 12.96},
+}
+
+// PaperTable4Saving is Table 4's "saving in %" row.
+var PaperTable4Saving = [3][3]float64{
+	{96.48, 96.75, 96.93}, {97.59, 97.87, 98.05}, {96.97, 97.24, 97.42},
+}

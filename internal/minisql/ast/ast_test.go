@@ -1,0 +1,145 @@
+package ast
+
+import (
+	"testing"
+
+	"pdmtune/internal/minisql/types"
+)
+
+func lit(i int64) Expr     { return &Literal{Value: types.NewInt(i)} }
+func col(t, c string) Expr { return &ColumnRef{Table: t, Column: c} }
+func text(s string) Expr   { return &Literal{Value: types.NewText(s)} }
+
+func TestAndWhere(t *testing.T) {
+	if AndWhere(nil, nil) != nil {
+		t.Error("nil AND nil must be nil")
+	}
+	e := lit(1)
+	if AndWhere(nil, e) != e {
+		t.Error("nil AND e must be e")
+	}
+	if AndWhere(e, nil) != e {
+		t.Error("e AND nil must be e")
+	}
+	combined := AndWhere(col("", "a"), col("", "b"))
+	if combined.String() != "(a AND b)" {
+		t.Errorf("combined = %s", combined)
+	}
+}
+
+func TestOrAll(t *testing.T) {
+	if OrAll(nil) != nil {
+		t.Error("empty disjunction must be nil")
+	}
+	one := OrAll([]Expr{col("", "a")})
+	if one.String() != "a" {
+		t.Errorf("single = %s", one)
+	}
+	three := OrAll([]Expr{col("", "a"), col("", "b"), col("", "c")})
+	if three.String() != "((a OR b) OR c)" {
+		t.Errorf("three = %s", three)
+	}
+}
+
+func TestStatementPrinters(t *testing.T) {
+	cases := []struct {
+		stmt Statement
+		want string
+	}{
+		{&Begin{}, "BEGIN"},
+		{&Commit{}, "COMMIT"},
+		{&Rollback{}, "ROLLBACK"},
+		{&DropTable{Name: "t"}, "DROP TABLE t"},
+		{&DropTable{Name: "t", IfExists: true}, "DROP TABLE IF EXISTS t"},
+		{&Call{Proc: "p", Args: []Expr{lit(1), text("x")}}, "CALL p(1, 'x')"},
+		{&CreateIndex{Name: "i", Table: "t", Column: "c"}, "CREATE INDEX i ON t (c)"},
+		{&CreateIndex{Name: "i", Table: "t", Column: "c", Unique: true, IfNotExists: true},
+			"CREATE UNIQUE INDEX IF NOT EXISTS i ON t (c)"},
+		{&Delete{Table: "t", Where: lit(1)}, "DELETE FROM t WHERE 1"},
+		{&Update{Table: "t", Set: []Assignment{{Column: "a", Value: lit(2)}}},
+			"UPDATE t SET a = 2"},
+	}
+	for _, c := range cases {
+		if got := c.stmt.String(); got != c.want {
+			t.Errorf("%T = %q, want %q", c.stmt, got, c.want)
+		}
+	}
+}
+
+func TestExplainPrinter(t *testing.T) {
+	e := &Explain{Stmt: &Begin{}}
+	if e.String() != "EXPLAIN BEGIN" {
+		t.Errorf("explain = %s", e)
+	}
+}
+
+func TestSelectPrinterParts(t *testing.T) {
+	sel := &Select{
+		With: &With{Recursive: true, CTEs: []CTE{{
+			Name: "r", Cols: []string{"n"},
+			Select: &Select{Body: &SelectCore{Items: []SelectItem{{Expr: lit(1)}}}},
+		}}},
+		Body: &SelectCore{
+			Distinct: true,
+			Items:    []SelectItem{{Star: true, StarTable: "t"}},
+			From:     &CrossList{Items: []TableRef{&BaseTable{Name: "t"}, &BaseTable{Name: "u", Alias: "v"}}},
+			Where:    &Binary{Op: "=", Left: col("t", "a"), Right: col("v", "b")},
+			GroupBy:  []Expr{col("t", "a")},
+			Having:   &Binary{Op: ">", Left: &Aggregate{Func: "COUNT", Star: true}, Right: lit(1)},
+		},
+		OrderBy: []OrderItem{{Position: 1, Desc: true}, {Expr: col("t", "a")}},
+		Limit:   lit(5),
+		Offset:  lit(2),
+	}
+	want := `WITH RECURSIVE r (n) AS (SELECT 1) SELECT DISTINCT t.* FROM t, u AS v ` +
+		`WHERE (t.a = v.b) GROUP BY t.a HAVING (COUNT(*) > 1) ORDER BY 1 DESC, t.a LIMIT 5 OFFSET 2`
+	if got := sel.String(); got != want {
+		t.Errorf("select printer:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestExprPrinters(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&Param{}, "?"},
+		{&Unary{Op: "-", Expr: col("", "a")}, "(-a)"},
+		{&IsNull{Expr: col("", "a"), Not: true}, "(a IS NOT NULL)"},
+		{&Between{Expr: col("", "a"), Lo: lit(1), Hi: lit(2), Not: true}, "(a NOT BETWEEN 1 AND 2)"},
+		{&Like{Expr: col("", "a"), Pattern: text("x%"), Not: true}, "(a NOT LIKE 'x%')"},
+		{&InList{Expr: col("", "a"), Items: []Expr{lit(1), lit(2)}, Not: true}, "(a NOT IN (1, 2))"},
+		{&Cast{Expr: lit(1), Type: types.ColumnType{Kind: types.KindText, Size: 5}}, "CAST(1 AS VARCHAR(5))"},
+		{&FuncCall{Name: "f", Args: []Expr{lit(1)}}, "f(1)"},
+		{&Aggregate{Func: "SUM", Distinct: true, Arg: col("", "a")}, "SUM(DISTINCT a)"},
+		{&Case{Operand: col("", "a"), Whens: []When{{Cond: lit(1), Result: text("x")}}, Else: text("y")},
+			"CASE a WHEN 1 THEN 'x' ELSE 'y' END"},
+		{&Literal{Value: types.NewText("o'x")}, "'o''x'"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("%T = %q, want %q", c.e, got, c.want)
+		}
+	}
+}
+
+func TestInsertPrinter(t *testing.T) {
+	ins := &Insert{Table: "t", Cols: []string{"a"}, Rows: [][]Expr{{lit(1)}, {lit(2)}}}
+	if got := ins.String(); got != "INSERT INTO t (a) VALUES (1), (2)" {
+		t.Errorf("insert = %s", got)
+	}
+	sel := &Insert{Table: "t", Select: &Select{Body: &SelectCore{Items: []SelectItem{{Star: true}}, From: &BaseTable{Name: "u"}}}}
+	if got := sel.String(); got != "INSERT INTO t SELECT * FROM u" {
+		t.Errorf("insert-select = %s", got)
+	}
+}
+
+func TestSubqueryTablePrinter(t *testing.T) {
+	st := &SubqueryTable{
+		Select: &Select{Body: &SelectCore{Items: []SelectItem{{Expr: lit(1), Alias: "x"}}}},
+		Alias:  "v",
+	}
+	if got := st.String(); got != `(SELECT 1 AS "x") AS v` {
+		t.Errorf("subquery table = %s", got)
+	}
+}

@@ -1,0 +1,536 @@
+// Package minisql is the engine facade of the from-scratch relational
+// database that substitutes for the commercial RDBMS underneath the
+// paper's PDM system. It wires the lexer/parser, executor and storage
+// into a DB with sessions, transactions, parameters, stored functions
+// and stored procedures.
+//
+// The SQL dialect covers what the paper's workload requires: DDL, DML,
+// SELECT with joins / set operations / subqueries / aggregates / CAST /
+// CASE, and SQL:1999 WITH RECURSIVE — the engine runs the paper's
+// Section 5 example queries verbatim (modulo the minor syntactic changes
+// the paper itself notes for DB2).
+package minisql
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/exec"
+	"pdmtune/internal/minisql/parser"
+	"pdmtune/internal/minisql/storage"
+	"pdmtune/internal/minisql/types"
+)
+
+// Value and Row re-export the engine's value model so callers need not
+// import the internal subpackages.
+type Value = types.Value
+
+// Row is one result tuple.
+type Row = storage.Row
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Cols are the output column names (empty for non-queries).
+	Cols []string
+	// Rows are the output tuples (nil for non-queries).
+	Rows []storage.Row
+	// RowsAffected counts rows written by INSERT/UPDATE/DELETE.
+	RowsAffected int
+}
+
+// ScalarFunc is a server-registered scalar function, the engine's
+// equivalent of an SQL/PSM stored function (paper Section 3.2: conditions
+// beyond standard predicates are evaluated by "stored functions ...
+// provided at the server").
+type ScalarFunc = exec.ScalarFunc
+
+// Procedure is a server-side stored procedure invoked via CALL. It runs
+// inside the server with full access to a session — the paper's Section 6
+// "function shipping" remedy for check-out style actions.
+type Procedure func(s *Session, args []Value) (*Result, error)
+
+// Options tune engine behaviour; the zero value is the default.
+type Options struct {
+	// DisableSubqueryCache turns off memoization of uncorrelated
+	// subqueries (ablation knob; the paper assumes an "intelligent query
+	// optimizer" evaluates them once).
+	DisableSubqueryCache bool
+	// MaxRecursion bounds recursive CTE iterations (0 = default 100000).
+	MaxRecursion int
+}
+
+// DB is an in-memory database instance. It is safe for concurrent use;
+// statements execute under a database-wide reader/writer lock, which is
+// the "more or less simple record manager" concurrency the paper's PDM
+// systems assume.
+type DB struct {
+	mu    sync.RWMutex
+	store *storage.DB
+	funcs map[string]ScalarFunc
+	procs map[string]Procedure
+	opts  Options
+}
+
+// NewDB creates an empty database with the built-in function library.
+func NewDB() *DB {
+	db := &DB{
+		store: storage.NewDB(),
+		funcs: map[string]ScalarFunc{},
+		procs: map[string]Procedure{},
+	}
+	registerBuiltins(db)
+	return db
+}
+
+// SetOptions replaces the engine options.
+func (db *DB) SetOptions(o Options) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.opts = o
+}
+
+// RegisterFunc installs a stored scalar function callable from SQL.
+func (db *DB) RegisterFunc(name string, fn ScalarFunc) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.funcs[strings.ToLower(name)] = fn
+}
+
+// RegisterProc installs a stored procedure callable via CALL name(...).
+func (db *DB) RegisterProc(name string, p Procedure) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.procs[strings.ToLower(name)] = p
+}
+
+// NumRows reports the live row count of a table (0 if absent); used by
+// tests and diagnostics.
+func (db *DB) NumRows(table string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.store.Table(table)
+	if !ok {
+		return 0
+	}
+	return t.NumRows()
+}
+
+// TableNames lists the tables in the catalog.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.TableNames()
+}
+
+// Session is one client connection to the database. Sessions are not
+// safe for concurrent use; create one per goroutine.
+type Session struct {
+	db   *DB
+	inTx bool
+	undo []storage.Undo
+}
+
+// NewSession opens a session.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// Exec parses and executes a single statement with optional positional
+// parameters bound to '?' placeholders.
+func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecStmt(stmt, params...)
+}
+
+// ExecScript executes a semicolon-separated script, returning the result
+// of the last statement.
+func (s *Session) ExecScript(sql string) (*Result, error) {
+	stmts, err := parser.ParseScript(sql)
+	if err != nil {
+		return nil, err
+	}
+	var last *Result
+	for _, st := range stmts {
+		last, err = s.ExecStmt(st)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if last == nil {
+		last = &Result{}
+	}
+	return last, nil
+}
+
+// Query is Exec restricted to statements that return rows.
+func (s *Session) Query(sql string, params ...Value) (*Result, error) {
+	res, err := s.Exec(sql, params...)
+	if err != nil {
+		return nil, err
+	}
+	if res.Cols == nil {
+		return nil, fmt.Errorf("sql: statement returns no rows")
+	}
+	return res, nil
+}
+
+// ExecStmt executes an already-parsed statement.
+func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error) {
+	switch st := stmt.(type) {
+	case *ast.Select:
+		s.db.mu.RLock()
+		defer s.db.mu.RUnlock()
+		ctx := s.newContext(params)
+		rel, err := ctx.EvalSelect(st, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Cols: rel.ColNames(), Rows: rel.Rows}, nil
+
+	case *ast.Explain:
+		s.db.mu.RLock()
+		defer s.db.mu.RUnlock()
+		return s.explain(st.Stmt, params)
+
+	case *ast.Insert:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.execInsert(st, params)
+
+	case *ast.Update:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.execUpdate(st, params)
+
+	case *ast.Delete:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.execDelete(st, params)
+
+	case *ast.CreateTable:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		return s.execCreateTable(st)
+
+	case *ast.CreateIndex:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		t, ok := s.db.store.Table(st.Table)
+		if !ok {
+			return nil, fmt.Errorf("sql: no such table %s", st.Table)
+		}
+		if st.IfNotExists && t.HasIndex(st.Name) {
+			return &Result{}, nil
+		}
+		if err := t.CreateIndex(st.Name, st.Column, st.Unique); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *ast.DropTable:
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		if err := s.db.store.DropTable(st.Name, st.IfExists); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+
+	case *ast.Begin:
+		if s.inTx {
+			return nil, fmt.Errorf("sql: transaction already in progress")
+		}
+		s.inTx = true
+		s.undo = s.undo[:0]
+		return &Result{}, nil
+
+	case *ast.Commit:
+		if !s.inTx {
+			return nil, fmt.Errorf("sql: no transaction in progress")
+		}
+		s.inTx = false
+		s.undo = s.undo[:0]
+		return &Result{}, nil
+
+	case *ast.Rollback:
+		if !s.inTx {
+			return nil, fmt.Errorf("sql: no transaction in progress")
+		}
+		s.db.mu.Lock()
+		defer s.db.mu.Unlock()
+		for i := len(s.undo) - 1; i >= 0; i-- {
+			if err := s.undo[i].Apply(); err != nil {
+				return nil, fmt.Errorf("sql: rollback failed: %v", err)
+			}
+		}
+		s.inTx = false
+		s.undo = s.undo[:0]
+		return &Result{}, nil
+
+	case *ast.Call:
+		s.db.mu.RLock()
+		proc, ok := s.db.procs[strings.ToLower(st.Proc)]
+		s.db.mu.RUnlock()
+		if !ok {
+			return nil, fmt.Errorf("sql: no such procedure %s", st.Proc)
+		}
+		ctx := s.newContext(params)
+		args := make([]Value, len(st.Args))
+		for i, a := range st.Args {
+			v, err := ctx.EvalExpr(a, nil)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return proc(s, args)
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+}
+
+func (s *Session) newContext(params []Value) *exec.Context {
+	return &exec.Context{
+		DB:                   s.db.store,
+		Params:               params,
+		Funcs:                s.db.funcs,
+		CTEs:                 map[string]*exec.Relation{},
+		SubqueryCache:        map[*ast.Select]*exec.Relation{},
+		DisableSubqueryCache: s.db.opts.DisableSubqueryCache,
+		MaxRecursion:         s.db.opts.MaxRecursion,
+	}
+}
+
+// record appends an undo entry when a transaction is open.
+func (s *Session) record(u storage.Undo) {
+	if s.inTx {
+		s.undo = append(s.undo, u)
+	}
+}
+
+func (s *Session) execCreateTable(st *ast.CreateTable) (*Result, error) {
+	schema := &storage.Schema{Name: st.Name}
+	ctx := s.newContext(nil)
+	for _, c := range st.Cols {
+		col := storage.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull, PrimaryKey: c.PrimaryKey}
+		if c.Default != nil {
+			v, err := ctx.EvalExpr(c.Default, nil)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := types.Coerce(v, c.Type)
+			if err != nil {
+				return nil, err
+			}
+			col.HasDefault = true
+			col.Default = cv
+		}
+		schema.Cols = append(schema.Cols, col)
+	}
+	if err := s.db.store.CreateTable(schema, st.IfNotExists); err != nil {
+		return nil, err
+	}
+	return &Result{}, nil
+}
+
+func (s *Session) execInsert(st *ast.Insert, params []Value) (*Result, error) {
+	table, ok := s.db.store.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", st.Table)
+	}
+	schema := table.Schema
+	ctx := s.newContext(params)
+
+	// Map the provided column list (or the full schema) to positions.
+	positions := make([]int, 0, len(schema.Cols))
+	if len(st.Cols) == 0 {
+		for i := range schema.Cols {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range st.Cols {
+			p := schema.ColIndex(name)
+			if p < 0 {
+				return nil, fmt.Errorf("sql: table %s has no column %s", st.Table, name)
+			}
+			positions = append(positions, p)
+		}
+	}
+
+	buildRow := func(values []Value) (storage.Row, error) {
+		if len(values) != len(positions) {
+			return nil, fmt.Errorf("sql: INSERT expects %d values, got %d", len(positions), len(values))
+		}
+		row := make(storage.Row, len(schema.Cols))
+		filled := make([]bool, len(schema.Cols))
+		for i, p := range positions {
+			row[p] = values[i]
+			filled[p] = true
+		}
+		for i := range row {
+			if !filled[i] {
+				if schema.Cols[i].HasDefault {
+					row[i] = schema.Cols[i].Default
+				} else {
+					row[i] = types.Null
+				}
+			}
+		}
+		return row, nil
+	}
+
+	n := 0
+	insert := func(row storage.Row) error {
+		id, err := table.Insert(row)
+		if err != nil {
+			return err
+		}
+		s.record(storage.Undo{Kind: storage.UndoInsert, Table: table, RowID: id})
+		n++
+		return nil
+	}
+
+	if st.Select != nil {
+		rel, err := ctx.EvalSelect(st.Select, nil)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rel.Rows {
+			r, err := buildRow(row)
+			if err != nil {
+				return nil, err
+			}
+			if err := insert(r); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{RowsAffected: n}, nil
+	}
+
+	for _, exprRow := range st.Rows {
+		values := make([]Value, len(exprRow))
+		for i, e := range exprRow {
+			v, err := ctx.EvalExpr(e, nil)
+			if err != nil {
+				return nil, err
+			}
+			values[i] = v
+		}
+		r, err := buildRow(values)
+		if err != nil {
+			return nil, err
+		}
+		if err := insert(r); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (s *Session) execUpdate(st *ast.Update, params []Value) (*Result, error) {
+	table, ok := s.db.store.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", st.Table)
+	}
+	schema := table.Schema
+	ctx := s.newContext(params)
+
+	setPos := make([]int, len(st.Set))
+	for i, a := range st.Set {
+		p := schema.ColIndex(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %s", st.Table, a.Column)
+		}
+		setPos[i] = p
+	}
+
+	cols := make([]exec.ColMeta, len(schema.Cols))
+	for i := range schema.Cols {
+		cols[i] = exec.ColMeta{Table: strings.ToLower(st.Table), Name: schema.Cols[i].Name}
+	}
+
+	// Two-phase: gather matching row ids first, then mutate, so the scan
+	// is not disturbed by index updates.
+	var ids []int
+	var evalErr error
+	table.Scan(func(id int, row storage.Row) bool {
+		env := exec.NewEnv(cols, row, nil)
+		if st.Where != nil {
+			t, err := ctx.EvalPredicate(st.Where, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if t != types.True {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+
+	for _, id := range ids {
+		old, _ := table.Get(id)
+		before := append(storage.Row{}, old...)
+		newRow := append(storage.Row{}, old...)
+		env := exec.NewEnv(cols, old, nil)
+		for i, a := range st.Set {
+			v, err := ctx.EvalExpr(a.Value, env)
+			if err != nil {
+				return nil, err
+			}
+			newRow[setPos[i]] = v
+		}
+		if err := table.Update(id, newRow); err != nil {
+			return nil, err
+		}
+		s.record(storage.Undo{Kind: storage.UndoUpdate, Table: table, RowID: id, Before: before})
+	}
+	return &Result{RowsAffected: len(ids)}, nil
+}
+
+func (s *Session) execDelete(st *ast.Delete, params []Value) (*Result, error) {
+	table, ok := s.db.store.Table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", st.Table)
+	}
+	schema := table.Schema
+	ctx := s.newContext(params)
+	cols := make([]exec.ColMeta, len(schema.Cols))
+	for i := range schema.Cols {
+		cols[i] = exec.ColMeta{Table: strings.ToLower(st.Table), Name: schema.Cols[i].Name}
+	}
+	var ids []int
+	var evalErr error
+	table.Scan(func(id int, row storage.Row) bool {
+		if st.Where != nil {
+			env := exec.NewEnv(cols, row, nil)
+			t, err := ctx.EvalPredicate(st.Where, env)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if t != types.True {
+				return true
+			}
+		}
+		ids = append(ids, id)
+		return true
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	for _, id := range ids {
+		old, _ := table.Get(id)
+		before := append(storage.Row{}, old...)
+		if err := table.Delete(id); err != nil {
+			return nil, err
+		}
+		s.record(storage.Undo{Kind: storage.UndoDelete, Table: table, RowID: id, Before: before})
+	}
+	return &Result{RowsAffected: len(ids)}, nil
+}

@@ -1,0 +1,311 @@
+package minisql
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pdmtune/internal/minisql/types"
+)
+
+// Error-path coverage: the engine must fail loudly and precisely, never
+// silently return wrong data.
+
+func TestErrorUnknownTableAndColumn(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER)")
+	for _, q := range []string{
+		"SELECT * FROM missing",
+		"SELECT nope FROM t",
+		"SELECT t.nope FROM t",
+		"SELECT a FROM t WHERE missing.a = 1",
+		"INSERT INTO missing VALUES (1)",
+		"INSERT INTO t (nope) VALUES (1)",
+		"UPDATE t SET nope = 1",
+		"UPDATE missing SET a = 1",
+		"DELETE FROM missing",
+		"CREATE INDEX i ON missing (a)",
+		"CREATE INDEX i ON t (nope)",
+		"DROP TABLE missing",
+		"CALL nope()",
+	} {
+		if _, err := s.Exec(q); err == nil {
+			t.Errorf("%q must fail", q)
+		}
+	}
+}
+
+func TestErrorAmbiguousColumn(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE a (x INTEGER)")
+	mustExec(t, s, "CREATE TABLE b (x INTEGER)")
+	mustExec(t, s, "INSERT INTO a VALUES (1)")
+	mustExec(t, s, "INSERT INTO b VALUES (1)")
+	if _, err := s.Exec("SELECT x FROM a JOIN b ON a.x = b.x"); err == nil ||
+		!strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous reference must fail, got %v", err)
+	}
+}
+
+func TestErrorScalarSubqueryCardinality(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, s, "INSERT INTO t VALUES (1), (2)")
+	if _, err := s.Exec("SELECT (SELECT a FROM t)"); err == nil {
+		t.Error("scalar subquery with two rows must fail")
+	}
+	if _, err := s.Exec("SELECT (SELECT a, a FROM t)"); err == nil {
+		t.Error("scalar subquery with two columns must fail")
+	}
+}
+
+func TestErrorUnionArity(t *testing.T) {
+	s := newTestSession(t)
+	if _, err := s.Exec("SELECT 1 UNION SELECT 1, 2"); err == nil {
+		t.Error("UNION arity mismatch must fail")
+	}
+}
+
+func TestErrorOrderLimit(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER)")
+	if _, err := s.Exec("SELECT a FROM t ORDER BY 2"); err == nil {
+		t.Error("ORDER BY beyond output columns must fail")
+	}
+	if _, err := s.Exec("SELECT a FROM t LIMIT -1"); err == nil {
+		t.Error("negative LIMIT must fail")
+	}
+	if _, err := s.Exec("SELECT a FROM t LIMIT 'x'"); err == nil {
+		t.Error("non-integer LIMIT must fail")
+	}
+}
+
+func TestErrorRecursiveCTEShape(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE e (a INTEGER)")
+	// No seed branch.
+	if _, err := s.Exec("WITH RECURSIVE r (n) AS (SELECT n FROM r) SELECT * FROM r"); err == nil {
+		t.Error("recursive CTE without seed must fail")
+	}
+	// ORDER BY inside the recursive CTE.
+	if _, err := s.Exec("WITH RECURSIVE r (n) AS (SELECT 1 UNION SELECT n + 1 FROM r ORDER BY 1) SELECT * FROM r"); err == nil {
+		t.Error("ORDER BY inside recursive CTE must fail")
+	}
+	// Arity mismatch between CTE columns and the query.
+	if _, err := s.Exec("WITH r (a, b) AS (SELECT 1) SELECT * FROM r"); err == nil {
+		t.Error("CTE column arity mismatch must fail")
+	}
+}
+
+func TestErrorAggregateMisuse(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER, s TEXT)")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 'x')")
+	if _, err := s.Exec("SELECT SUM(s) FROM t"); err == nil {
+		t.Error("SUM over text must fail")
+	}
+	if _, err := s.Exec("SELECT a FROM t WHERE COUNT(*) > 1"); err == nil {
+		t.Error("aggregate in WHERE must fail")
+	}
+}
+
+func TestErrorTypeMismatches(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER, s TEXT)")
+	mustExec(t, s, "INSERT INTO t VALUES (1, 'x')")
+	if _, err := s.Exec("SELECT a + s FROM t"); err == nil {
+		t.Error("int + text must fail")
+	}
+	if _, err := s.Exec("SELECT a FROM t WHERE a > 'x'"); err == nil {
+		t.Error("int > text comparison must fail")
+	}
+	if _, err := s.Exec("SELECT CAST('nope' AS INTEGER)"); err == nil {
+		t.Error("bad cast must fail")
+	}
+}
+
+func TestNestedCTEs(t *testing.T) {
+	s := newTestSession(t)
+	res := mustExec(t, s, `WITH a AS (SELECT 1 AS x), b AS (SELECT x + 1 AS y FROM a)
+		SELECT y FROM b`)
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("chained CTEs = %s", res.Rows[0][0])
+	}
+	// Shadowing: a CTE hides a real table of the same name.
+	mustExec(t, s, "CREATE TABLE real_t (v INTEGER)")
+	mustExec(t, s, "INSERT INTO real_t VALUES (100)")
+	res = mustExec(t, s, "WITH real_t AS (SELECT 1 AS v) SELECT v FROM real_t")
+	if res.Rows[0][0].Int() != 1 {
+		t.Fatalf("CTE must shadow the stored table, got %s", res.Rows[0][0])
+	}
+	// After the query the table is visible again.
+	res = mustExec(t, s, "SELECT v FROM real_t")
+	if res.Rows[0][0].Int() != 100 {
+		t.Fatalf("table binding not restored, got %s", res.Rows[0][0])
+	}
+}
+
+func TestDerivedTable(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, s, "INSERT INTO t VALUES (1), (2), (3)")
+	res := mustExec(t, s, "SELECT v.m FROM (SELECT MAX(a) AS m FROM t) AS v")
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("derived table = %s", res.Rows[0][0])
+	}
+}
+
+func TestInsertFromSelectExecutes(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE src (a INTEGER)")
+	mustExec(t, s, "CREATE TABLE dst (a INTEGER)")
+	mustExec(t, s, "INSERT INTO src VALUES (1), (2)")
+	res := mustExec(t, s, "INSERT INTO dst SELECT a + 10 FROM src")
+	if res.RowsAffected != 2 {
+		t.Fatalf("affected = %d", res.RowsAffected)
+	}
+	res = mustExec(t, s, "SELECT SUM(a) FROM dst")
+	if res.Rows[0][0].Int() != 23 {
+		t.Fatalf("sum = %s", res.Rows[0][0])
+	}
+}
+
+func TestGroupByExpression(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, s, "INSERT INTO t VALUES (1), (2), (3), (4)")
+	res := mustExec(t, s, "SELECT a % 2, COUNT(*) FROM t GROUP BY a % 2 ORDER BY 1")
+	got := rowsToStrings(res)
+	if len(got) != 2 || got[0] != "0|2" || got[1] != "1|2" {
+		t.Fatalf("group by expr = %v", got)
+	}
+}
+
+func TestExplainRecursive(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE link (left INTEGER, right INTEGER)")
+	res := mustExec(t, s, `EXPLAIN WITH RECURSIVE r (n) AS (
+		SELECT 1 UNION SELECT link.right FROM r JOIN link ON r.n = link.left
+	) SELECT * FROM r`)
+	plan := ""
+	for _, row := range res.Rows {
+		plan += row[0].Text() + "\n"
+	}
+	if !strings.Contains(plan, "RECURSIVE CTE") || !strings.Contains(plan, "SCAN link") {
+		t.Errorf("plan lacks structure:\n%s", plan)
+	}
+}
+
+// TestLikeMatchesRegexpProperty: LIKE agrees with the equivalent regexp
+// on random inputs over a small alphabet.
+func TestLikeMatchesRegexpProperty(t *testing.T) {
+	s := newTestSession(t)
+	toRegexp := func(pattern string) *regexp.Regexp {
+		var sb strings.Builder
+		sb.WriteString("(?s)^")
+		for _, r := range pattern {
+			switch r {
+			case '%':
+				sb.WriteString(".*")
+			case '_':
+				sb.WriteString(".")
+			default:
+				sb.WriteString(regexp.QuoteMeta(string(r)))
+			}
+		}
+		sb.WriteString("$")
+		return regexp.MustCompile(sb.String())
+	}
+	alphabet := []byte("ab%_")
+	small := func(n uint8, len int) string {
+		out := make([]byte, len)
+		v := int(n)
+		for i := range out {
+			out[i] = alphabet[v%len]
+			v /= 3
+		}
+		return string(out)
+	}
+	_ = small
+	f := func(pat, str uint32) bool {
+		mk := func(v uint32, allowWild bool) string {
+			chars := "ab"
+			if allowWild {
+				chars = "ab%_"
+			}
+			out := []byte{}
+			for i := 0; i < 6; i++ {
+				out = append(out, chars[int(v)%len(chars)])
+				v /= uint32(len(chars))
+			}
+			return string(out)
+		}
+		p := mk(pat, true)
+		str2 := mk(str, false)
+		res, err := s.Exec("SELECT CASE WHEN ? LIKE ? THEN 1 ELSE 0 END",
+			types.NewText(str2), types.NewText(p))
+		if err != nil {
+			return false
+		}
+		want := int64(0)
+		if toRegexp(p).MatchString(str2) {
+			want = 1
+		}
+		return res.Rows[0][0].Int() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoredProcedureRoundTrip(t *testing.T) {
+	db := NewDB()
+	db.RegisterProc("add_one", func(s *Session, args []Value) (*Result, error) {
+		return &Result{
+			Cols: []string{"v"},
+			Rows: []Row{{types.NewInt(args[0].Int() + 1)}},
+		}, nil
+	})
+	s := db.NewSession()
+	res := mustExec(t, s, "CALL add_one(41)")
+	if res.Rows[0][0].Int() != 42 {
+		t.Fatalf("proc result = %s", res.Rows[0][0])
+	}
+}
+
+func TestUserRegisteredFunction(t *testing.T) {
+	db := NewDB()
+	db.RegisterFunc("twice", func(args []Value) (Value, error) {
+		return types.NewInt(args[0].Int() * 2), nil
+	})
+	s := db.NewSession()
+	res := mustExec(t, s, "SELECT twice(21)")
+	if res.Rows[0][0].Int() != 42 {
+		t.Fatalf("twice(21) = %s", res.Rows[0][0])
+	}
+}
+
+func TestLeftJoinWithResidualCondition(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE a (id INTEGER)")
+	mustExec(t, s, "CREATE TABLE b (aid INTEGER, flag INTEGER)")
+	mustExec(t, s, "INSERT INTO a VALUES (1), (2)")
+	mustExec(t, s, "INSERT INTO b VALUES (1, 0), (2, 1)")
+	// Row 1 joins but fails the residual flag condition -> NULL-padded.
+	res := mustExec(t, s, "SELECT a.id, b.flag FROM a LEFT JOIN b ON a.id = b.aid AND b.flag = 1 ORDER BY 1")
+	got := rowsToStrings(res)
+	if len(got) != 2 || got[0] != "1|NULL" || got[1] != "2|1" {
+		t.Fatalf("left join residual = %v", got)
+	}
+}
+
+func TestSelfJoinWithAliases(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (a INTEGER)")
+	mustExec(t, s, "INSERT INTO t VALUES (1), (2), (3)")
+	res := mustExec(t, s, "SELECT COUNT(*) FROM t AS x JOIN t AS y ON x.a = y.a")
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("self join count = %s", res.Rows[0][0])
+	}
+}

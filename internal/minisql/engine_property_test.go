@@ -1,0 +1,311 @@
+package minisql
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pdmtune/internal/minisql/types"
+)
+
+// TestRecursiveCTEMatchesGoClosure: on random directed graphs, the
+// engine's WITH RECURSIVE reachability equals a Go breadth-first search.
+func TestRecursiveCTEMatchesGoClosure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(12)
+		var edges [][2]int
+		for i := 0; i < n*2; i++ {
+			edges = append(edges, [2]int{rng.Intn(n), rng.Intn(n)})
+		}
+
+		// Go-side closure from node 0.
+		adj := map[int][]int{}
+		for _, e := range edges {
+			adj[e[0]] = append(adj[e[0]], e[1])
+		}
+		reach := map[int]bool{0: true}
+		queue := []int{0}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, y := range adj[x] {
+				if !reach[y] {
+					reach[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+
+		// Engine-side closure.
+		s := NewDB().NewSession()
+		if _, err := s.Exec("CREATE TABLE edge (src INTEGER, dst INTEGER)"); err != nil {
+			return false
+		}
+		for _, e := range edges {
+			if _, err := s.Exec("INSERT INTO edge VALUES (?, ?)",
+				types.NewInt(int64(e[0])), types.NewInt(int64(e[1]))); err != nil {
+				return false
+			}
+		}
+		res, err := s.Exec(`WITH RECURSIVE r (node) AS (
+			SELECT 0 UNION SELECT edge.dst FROM r JOIN edge ON r.node = edge.src
+		) SELECT node FROM r ORDER BY 1`)
+		if err != nil {
+			return false
+		}
+		if len(res.Rows) != len(reach) {
+			return false
+		}
+		for _, row := range res.Rows {
+			if !reach[int(row[0].Int())] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIndexTransparency: query results are identical with and without a
+// secondary index — the planner's index path is an optimization only.
+func TestIndexTransparency(t *testing.T) {
+	build := func(indexed bool, rows [][2]int64) *Session {
+		s := NewDB().NewSession()
+		mustExec(t, s, "CREATE TABLE t (a INTEGER, b INTEGER)")
+		mustExec(t, s, "CREATE TABLE u (a INTEGER, c INTEGER)")
+		if indexed {
+			mustExec(t, s, "CREATE INDEX t_a ON t (a)")
+			mustExec(t, s, "CREATE INDEX u_a ON u (a)")
+		}
+		for _, r := range rows {
+			mustExec(t, s, "INSERT INTO t VALUES (?, ?)", types.NewInt(r[0]), types.NewInt(r[1]))
+			mustExec(t, s, "INSERT INTO u VALUES (?, ?)", types.NewInt(r[1]%7), types.NewInt(r[0]))
+		}
+		return s
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var rows [][2]int64
+		for i := 0; i < 30; i++ {
+			rows = append(rows, [2]int64{int64(rng.Intn(10)), int64(rng.Intn(10))})
+		}
+		withIdx := build(true, rows)
+		without := build(false, rows)
+		queries := []string{
+			"SELECT COUNT(*) FROM t WHERE a = 3",
+			"SELECT COUNT(*) FROM t WHERE a = 3 AND b = 2",
+			"SELECT COUNT(*) FROM t JOIN u ON t.a = u.a",
+			"SELECT COUNT(*) FROM t JOIN u ON t.a = u.a WHERE t.b = 1",
+			"SELECT COUNT(*) FROM t LEFT JOIN u ON t.a = u.a AND t.b = u.c",
+		}
+		for _, q := range queries {
+			r1, err1 := withIdx.Exec(q)
+			r2, err2 := without.Exec(q)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			if r1.Rows[0][0].Int() != r2.Rows[0][0].Int() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSubqueryCacheTransparency: disabling the uncorrelated-subquery
+// cache never changes results.
+func TestSubqueryCacheTransparency(t *testing.T) {
+	queries := []string{
+		"SELECT COUNT(*) FROM t WHERE b = (SELECT MAX(b) FROM t)",
+		"SELECT COUNT(*) FROM t WHERE EXISTS (SELECT 1 FROM t AS x WHERE x.a = t.a AND x.b > t.b)",
+		"SELECT COUNT(*) FROM t WHERE a IN (SELECT b FROM t)",
+		"SELECT (SELECT COUNT(*) FROM t) + COUNT(*) FROM t",
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var stmts []string
+		for i := 0; i < 25; i++ {
+			stmts = append(stmts, fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", rng.Intn(6), rng.Intn(6)))
+		}
+		run := func(disable bool) ([]int64, bool) {
+			db := NewDB()
+			db.SetOptions(Options{DisableSubqueryCache: disable})
+			s := db.NewSession()
+			if _, err := s.Exec("CREATE TABLE t (a INTEGER, b INTEGER)"); err != nil {
+				return nil, false
+			}
+			for _, st := range stmts {
+				if _, err := s.Exec(st); err != nil {
+					return nil, false
+				}
+			}
+			var out []int64
+			for _, q := range queries {
+				res, err := s.Exec(q)
+				if err != nil {
+					return nil, false
+				}
+				out = append(out, res.Rows[0][0].Int())
+			}
+			return out, true
+		}
+		a, ok1 := run(false)
+		b, ok2 := run(true)
+		if !ok1 || !ok2 {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestUnionIdempotenceProperty: r UNION r == SELECT DISTINCT r.
+func TestUnionIdempotenceProperty(t *testing.T) {
+	f := func(vals []int8) bool {
+		s := NewDB().NewSession()
+		if _, err := s.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := s.Exec("INSERT INTO t VALUES (?)", types.NewInt(int64(v))); err != nil {
+				return false
+			}
+		}
+		u, err := s.Exec("SELECT a FROM t UNION SELECT a FROM t ORDER BY 1")
+		if err != nil {
+			return false
+		}
+		d, err := s.Exec("SELECT DISTINCT a FROM t ORDER BY 1")
+		if err != nil {
+			return false
+		}
+		if len(u.Rows) != len(d.Rows) {
+			return false
+		}
+		for i := range u.Rows {
+			if !u.Rows[i][0].Equal(d.Rows[i][0]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderBySortedProperty: ORDER BY output is non-decreasing.
+func TestOrderBySortedProperty(t *testing.T) {
+	f := func(vals []int16) bool {
+		s := NewDB().NewSession()
+		if _, err := s.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+			return false
+		}
+		for _, v := range vals {
+			if _, err := s.Exec("INSERT INTO t VALUES (?)", types.NewInt(int64(v))); err != nil {
+				return false
+			}
+		}
+		res, err := s.Exec("SELECT a FROM t ORDER BY a")
+		if err != nil || len(res.Rows) != len(vals) {
+			return false
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i-1][0].Int() > res.Rows[i][0].Int() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInsertSelectRoundTripProperty: values inserted with parameters come
+// back unchanged.
+func TestInsertSelectRoundTripProperty(t *testing.T) {
+	f := func(i int64, fl float64, s string, b bool) bool {
+		sess := NewDB().NewSession()
+		if _, err := sess.Exec("CREATE TABLE t (i INTEGER, f FLOAT, s TEXT, b BOOLEAN)"); err != nil {
+			return false
+		}
+		if _, err := sess.Exec("INSERT INTO t VALUES (?, ?, ?, ?)",
+			types.NewInt(i), types.NewFloat(fl), types.NewText(s), types.NewBool(b)); err != nil {
+			return false
+		}
+		res, err := sess.Exec("SELECT i, f, s, b FROM t")
+		if err != nil || len(res.Rows) != 1 {
+			return false
+		}
+		row := res.Rows[0]
+		return row[0].Equal(types.NewInt(i)) && row[1].Equal(types.NewFloat(fl)) &&
+			row[2].Equal(types.NewText(s)) && row[3].Equal(types.NewBool(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRollbackRestoresStateProperty: a transaction with random DML
+// followed by ROLLBACK leaves the table exactly as before.
+func TestRollbackRestoresStateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := NewDB().NewSession()
+		if _, err := s.Exec("CREATE TABLE t (a INTEGER, b INTEGER)"); err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			if _, err := s.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", i, rng.Intn(5))); err != nil {
+				return false
+			}
+		}
+		fingerprint := func() string {
+			res, err := s.Exec("SELECT a, b FROM t ORDER BY a, b")
+			if err != nil {
+				return "err"
+			}
+			out := ""
+			for _, r := range res.Rows {
+				out += r[0].String() + ":" + r[1].String() + ";"
+			}
+			return out
+		}
+		before := fingerprint()
+		if _, err := s.Exec("BEGIN"); err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			switch rng.Intn(3) {
+			case 0:
+				s.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", 100+i, rng.Intn(5)))
+			case 1:
+				s.Exec(fmt.Sprintf("UPDATE t SET b = b + 1 WHERE a %% %d = 0", 1+rng.Intn(4)))
+			case 2:
+				s.Exec(fmt.Sprintf("DELETE FROM t WHERE b = %d", rng.Intn(5)))
+			}
+		}
+		if _, err := s.Exec("ROLLBACK"); err != nil {
+			return false
+		}
+		return fingerprint() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package exec evaluates parsed SQL statements against storage. It
+// implements scans with index-backed predicate pushdown, hash and
+// nested-loop joins, set operations, grouping and aggregation, ordering,
+// correlated subqueries with automatic caching of uncorrelated ones, and
+// SQL:1999 recursive common table expressions (semi-naive evaluation) —
+// everything the paper's PDM queries require.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/storage"
+	"pdmtune/internal/minisql/types"
+)
+
+// ColMeta names one column of an intermediate relation. Table is the
+// binding alias (lower-cased); Name preserves the source spelling.
+type ColMeta struct {
+	Table string
+	Name  string
+}
+
+// Relation is a materialized intermediate result.
+type Relation struct {
+	Cols []ColMeta
+	Rows []storage.Row
+}
+
+// ColNames returns the output column names.
+func (r *Relation) ColNames() []string {
+	out := make([]string, len(r.Cols))
+	for i, c := range r.Cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// colIndex resolves a possibly table-qualified column within the relation.
+// It returns the position, or an error when absent or ambiguous.
+func (r *Relation) colIndex(table, name string) (int, error) {
+	found := -1
+	for i, c := range r.Cols {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if table != "" && !strings.EqualFold(c.Table, table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column reference %s", refString(table, name))
+		}
+		found = i
+	}
+	if found < 0 {
+		return 0, errNoColumn{table: table, name: name}
+	}
+	return found, nil
+}
+
+type errNoColumn struct{ table, name string }
+
+func (e errNoColumn) Error() string {
+	return "sql: no such column " + refString(e.table, e.name)
+}
+
+func refString(table, name string) string {
+	if table != "" {
+		return table + "." + name
+	}
+	return name
+}
+
+// Env is a name-resolution scope: one relation row plus a parent scope
+// for correlated subqueries. touched, when non-nil, is set whenever a
+// lookup passes through this scope upward — the mechanism behind the
+// uncorrelated-subquery result cache ("an intelligent query optimizer
+// will recognize that the inner clause needs to be evaluated only once").
+type Env struct {
+	cols    []ColMeta
+	row     storage.Row
+	parent  *Env
+	touched *bool // barrier marker; scope itself holds no columns then
+}
+
+// NewEnv builds a scope over the given columns and row.
+func NewEnv(cols []ColMeta, row storage.Row, parent *Env) *Env {
+	return &Env{cols: cols, row: row, parent: parent}
+}
+
+// lookup resolves a column reference through the scope chain.
+func (e *Env) lookup(table, name string) (types.Value, error) {
+	for env := e; env != nil; env = env.parent {
+		if env.touched != nil {
+			*env.touched = true
+			continue
+		}
+		found := -1
+		for i, c := range env.cols {
+			if !strings.EqualFold(c.Name, name) {
+				continue
+			}
+			if table != "" && !strings.EqualFold(c.Table, table) {
+				continue
+			}
+			if found >= 0 {
+				return types.Null, fmt.Errorf("sql: ambiguous column reference %s", refString(table, name))
+			}
+			found = i
+		}
+		if found >= 0 {
+			return env.row[found], nil
+		}
+	}
+	return types.Null, errNoColumn{table: table, name: name}
+}
+
+// Context carries everything an evaluation needs: the database, statement
+// parameters, registered scalar functions, CTE bindings and the
+// uncorrelated-subquery cache.
+type Context struct {
+	DB     *storage.DB
+	Params []types.Value
+	Funcs  map[string]ScalarFunc
+
+	// CTEs maps lower-cased CTE names to their (current) materialization.
+	CTEs map[string]*Relation
+
+	// SubqueryCache memoizes results of subqueries that did not read any
+	// outer column. DisableSubqueryCache turns the optimization off (an
+	// ablation knob; see DESIGN.md).
+	SubqueryCache        map[*ast.Select]*Relation
+	DisableSubqueryCache bool
+
+	// inSetCache memoizes hash sets for cached IN-subqueries so that
+	// `x IN (SELECT ...)` probes are O(1) per outer row instead of a scan.
+	inSetCache map[*ast.Select]*inSet
+
+	// MaxRecursion bounds the number of semi-naive iterations of a
+	// recursive CTE; 0 means the default (100000).
+	MaxRecursion int
+
+	// Stats accumulates counters for EXPLAIN/diagnostics.
+	Stats ExecStats
+
+	// aggValues holds precomputed aggregate results for the group whose
+	// projection/HAVING is currently being evaluated; keyed by AST node.
+	aggValues map[*ast.Aggregate]types.Value
+}
+
+// ExecStats counts physical operations during a statement.
+type ExecStats struct {
+	RowsScanned    int
+	IndexLookups   int
+	HashJoins      int
+	NestedLoops    int
+	SubqueryEvals  int
+	SubqueryCached int
+	RecursionSteps int
+}
+
+// ScalarFunc is a registered scalar function (a "stored function" in the
+// paper's SQL/PSM sense, implemented in Go at the server).
+type ScalarFunc func(args []types.Value) (types.Value, error)
+
+// clone returns a context sharing DB/Funcs/Params but with an isolated
+// CTE binding map (used when a CTE must be rebound during recursion).
+func (ctx *Context) cloneCTEs() map[string]*Relation {
+	m := make(map[string]*Relation, len(ctx.CTEs)+1)
+	for k, v := range ctx.CTEs {
+		m[k] = v
+	}
+	return m
+}

@@ -1,0 +1,1523 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/storage"
+	"pdmtune/internal/minisql/types"
+)
+
+const defaultMaxRecursion = 100000
+
+// EvalSelect evaluates a full SELECT (with CTEs, set operations, ordering
+// and limits) in the given outer scope (nil at top level).
+func (ctx *Context) EvalSelect(sel *ast.Select, outer *Env) (*Relation, error) {
+	restore, err := ctx.bindCTEs(sel.With, outer)
+	if err != nil {
+		return nil, err
+	}
+	defer restore()
+
+	rel, err := ctx.evalBody(sel.Body, outer)
+	if err != nil {
+		return nil, err
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := ctx.orderRelation(rel, sel.OrderBy, outer); err != nil {
+			return nil, err
+		}
+	}
+	if sel.Offset != nil || sel.Limit != nil {
+		if err := ctx.applyLimit(rel, sel.Limit, sel.Offset, outer); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// bindCTEs evaluates WITH clauses and binds them in the context. The
+// returned function restores the previous bindings.
+func (ctx *Context) bindCTEs(w *ast.With, outer *Env) (func(), error) {
+	if w == nil {
+		return func() {}, nil
+	}
+	if ctx.CTEs == nil {
+		ctx.CTEs = map[string]*Relation{}
+	}
+	saved := map[string]*Relation{}
+	savedExists := map[string]bool{}
+	var bound []string
+	restore := func() {
+		for _, name := range bound {
+			if savedExists[name] {
+				ctx.CTEs[name] = saved[name]
+			} else {
+				delete(ctx.CTEs, name)
+			}
+		}
+		ctx.SubqueryCache = nil
+		ctx.inSetCache = nil
+	}
+	for i := range w.CTEs {
+		cte := &w.CTEs[i]
+		key := strings.ToLower(cte.Name)
+		prev, existed := ctx.CTEs[key]
+		saved[key] = prev
+		savedExists[key] = existed
+		bound = append(bound, key)
+
+		var rel *Relation
+		var err error
+		if w.Recursive && selectReferencesTable(cte.Select, cte.Name) {
+			rel, err = ctx.evalRecursiveCTE(cte, outer)
+		} else {
+			rel, err = ctx.EvalSelect(cte.Select, outer)
+			if err == nil {
+				rel, err = renameCTE(rel, cte)
+			}
+		}
+		if err != nil {
+			restore()
+			return nil, err
+		}
+		ctx.setCTE(key, rel)
+	}
+	return restore, nil
+}
+
+// setCTE binds (or rebinds) a CTE materialization. Rebinding invalidates
+// the uncorrelated-subquery cache: a cached subquery may have read the
+// previous binding.
+func (ctx *Context) setCTE(key string, rel *Relation) {
+	ctx.CTEs[key] = rel
+	ctx.SubqueryCache = nil
+	ctx.inSetCache = nil
+}
+
+func renameCTE(rel *Relation, cte *ast.CTE) (*Relation, error) {
+	cols := make([]ColMeta, len(rel.Cols))
+	if len(cte.Cols) > 0 {
+		if len(cte.Cols) != len(rel.Cols) {
+			return nil, fmt.Errorf("sql: CTE %s declares %d columns but its query returns %d",
+				cte.Name, len(cte.Cols), len(rel.Cols))
+		}
+		for i, c := range cte.Cols {
+			cols[i] = ColMeta{Table: strings.ToLower(cte.Name), Name: c}
+		}
+	} else {
+		for i, c := range rel.Cols {
+			cols[i] = ColMeta{Table: strings.ToLower(cte.Name), Name: c.Name}
+		}
+	}
+	return &Relation{Cols: cols, Rows: rel.Rows}, nil
+}
+
+// evalRecursiveCTE runs semi-naive fixpoint evaluation: seed branches
+// once, then repeatedly evaluate recursive branches with the CTE bound to
+// the previous iteration's delta, until no new rows appear (SQL:1999).
+func (ctx *Context) evalRecursiveCTE(cte *ast.CTE, outer *Env) (*Relation, error) {
+	inner := cte.Select
+	if inner.With != nil {
+		return nil, fmt.Errorf("sql: nested WITH inside recursive CTE %s is not supported", cte.Name)
+	}
+	if len(inner.OrderBy) > 0 || inner.Limit != nil {
+		return nil, fmt.Errorf("sql: ORDER BY/LIMIT inside recursive CTE %s is not supported", cte.Name)
+	}
+	branches, ops := flattenSetOps(inner.Body)
+	dedup := false
+	for _, op := range ops {
+		if op == "UNION" {
+			dedup = true
+		}
+	}
+	if len(ops) == 0 {
+		dedup = true // single branch that references itself: treat as UNION
+	}
+
+	var seeds, recs []*ast.SelectCore
+	for _, b := range branches {
+		if coreReferencesTable(b, cte.Name) {
+			recs = append(recs, b)
+		} else {
+			seeds = append(seeds, b)
+		}
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("sql: recursive CTE %s has no recursive branch", cte.Name)
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sql: recursive CTE %s has no seed branch", cte.Name)
+	}
+
+	key := strings.ToLower(cte.Name)
+	makeRel := func(rows []storage.Row, template *Relation) (*Relation, error) {
+		return renameCTE(&Relation{Cols: template.Cols, Rows: rows}, cte)
+	}
+
+	seen := map[string]bool{}
+	var all []storage.Row
+	var template *Relation
+	addRows := func(rel *Relation, into *[]storage.Row) error {
+		if template == nil {
+			template = rel
+		} else if len(rel.Cols) != len(template.Cols) {
+			return fmt.Errorf("sql: recursive CTE %s branches disagree on column count (%d vs %d)",
+				cte.Name, len(rel.Cols), len(template.Cols))
+		}
+		for _, row := range rel.Rows {
+			if dedup {
+				k := rowKey(row)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			*into = append(*into, row)
+		}
+		return nil
+	}
+
+	var delta []storage.Row
+	for _, s := range seeds {
+		rel, err := ctx.evalCore(s, outer)
+		if err != nil {
+			return nil, err
+		}
+		if err := addRows(rel, &delta); err != nil {
+			return nil, err
+		}
+	}
+	all = append(all, delta...)
+
+	maxIter := ctx.MaxRecursion
+	if maxIter <= 0 {
+		maxIter = defaultMaxRecursion
+	}
+	for iter := 0; len(delta) > 0; iter++ {
+		if iter >= maxIter {
+			return nil, fmt.Errorf("sql: recursive CTE %s exceeded %d iterations", cte.Name, maxIter)
+		}
+		ctx.Stats.RecursionSteps++
+		deltaRel, err := makeRel(delta, template)
+		if err != nil {
+			return nil, err
+		}
+		ctx.setCTE(key, deltaRel)
+		var next []storage.Row
+		for _, r := range recs {
+			rel, err := ctx.evalCore(r, outer)
+			if err != nil {
+				return nil, err
+			}
+			if err := addRows(rel, &next); err != nil {
+				return nil, err
+			}
+		}
+		all = append(all, next...)
+		delta = next
+	}
+	if template == nil {
+		return nil, fmt.Errorf("sql: recursive CTE %s produced no template relation", cte.Name)
+	}
+	return makeRel(all, template)
+}
+
+// evalBody evaluates a set-operation tree.
+func (ctx *Context) evalBody(body ast.SelectBody, outer *Env) (*Relation, error) {
+	switch b := body.(type) {
+	case *ast.SelectCore:
+		return ctx.evalCore(b, outer)
+	case *ast.SetOp:
+		left, err := ctx.evalBody(b.Left, outer)
+		if err != nil {
+			return nil, err
+		}
+		right, err := ctx.evalBody(b.Right, outer)
+		if err != nil {
+			return nil, err
+		}
+		if len(left.Cols) != len(right.Cols) {
+			return nil, fmt.Errorf("sql: UNION operands have %d and %d columns", len(left.Cols), len(right.Cols))
+		}
+		out := &Relation{Cols: left.Cols}
+		if b.Op == "UNION ALL" {
+			out.Rows = append(append([]storage.Row{}, left.Rows...), right.Rows...)
+			return out, nil
+		}
+		seen := map[string]bool{}
+		for _, rows := range [][]storage.Row{left.Rows, right.Rows} {
+			for _, row := range rows {
+				k := rowKey(row)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				out.Rows = append(out.Rows, row)
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("sql: unknown select body %T", body)
+}
+
+// conjunct is one ANDed WHERE term; base-table scans may consume it
+// during predicate pushdown.
+type conjunct struct {
+	expr ast.Expr
+	used bool
+}
+
+func splitAnd(e ast.Expr, into []*conjunct) []*conjunct {
+	if e == nil {
+		return into
+	}
+	if b, ok := e.(*ast.Binary); ok && b.Op == "AND" {
+		into = splitAnd(b.Left, into)
+		return splitAnd(b.Right, into)
+	}
+	return append(into, &conjunct{expr: e})
+}
+
+// evalCore evaluates one SELECT ... FROM ... WHERE ... GROUP BY ... HAVING.
+func (ctx *Context) evalCore(core *ast.SelectCore, outer *Env) (*Relation, error) {
+	var src *Relation
+	conjs := splitAnd(core.Where, nil)
+	if core.From != nil {
+		single := ""
+		if bt, ok := core.From.(*ast.BaseTable); ok {
+			single = bt.Name
+			if bt.Alias != "" {
+				single = bt.Alias
+			}
+		}
+		rel, err := ctx.evalFrom(core.From, outer, conjs, single, true)
+		if err != nil {
+			return nil, err
+		}
+		src = rel
+	} else {
+		src = &Relation{Rows: []storage.Row{{}}} // constant SELECT: one empty row
+	}
+
+	// Static reference check: even when the relation is empty, direct
+	// column references must resolve (row-driven evaluation alone would
+	// let typos pass silently on empty tables).
+	if err := validateColumnRefs(core, src.Cols, outer); err != nil {
+		return nil, err
+	}
+
+	// Apply remaining WHERE conjuncts.
+	var filtered []storage.Row
+	remaining := unusedConjuncts(conjs)
+	if len(remaining) == 0 {
+		filtered = src.Rows
+	} else {
+		env := &Env{cols: src.Cols, parent: outer}
+		for _, row := range src.Rows {
+			env.row = row
+			ok := true
+			for _, c := range remaining {
+				t, err := ctx.EvalPredicate(c.expr, env)
+				if err != nil {
+					return nil, err
+				}
+				if t != types.True {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				filtered = append(filtered, row)
+			}
+		}
+	}
+	work := &Relation{Cols: src.Cols, Rows: filtered}
+
+	// Aggregation?
+	aggs := collectAggregates(core)
+	if len(aggs) > 0 || len(core.GroupBy) > 0 {
+		rel, err := ctx.evalGrouped(core, work, aggs, outer)
+		if err != nil {
+			return nil, err
+		}
+		work = rel
+	} else {
+		rel, err := ctx.project(core.Items, work, outer)
+		if err != nil {
+			return nil, err
+		}
+		work = rel
+	}
+
+	if core.Distinct {
+		seen := map[string]bool{}
+		var rows []storage.Row
+		for _, row := range work.Rows {
+			k := rowKey(row)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			rows = append(rows, row)
+		}
+		work.Rows = rows
+	}
+	return work, nil
+}
+
+func unusedConjuncts(conjs []*conjunct) []*conjunct {
+	var out []*conjunct
+	for _, c := range conjs {
+		if !c.used {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// FROM evaluation
+
+// evalFrom materializes a table reference. conjs are WHERE conjuncts
+// available for pushdown; singleTable names the only FROM table (for
+// unqualified pushdown) or is empty; pushable disables pushdown under the
+// right side of LEFT JOINs where it would change semantics.
+func (ctx *Context) evalFrom(ref ast.TableRef, outer *Env, conjs []*conjunct, singleTable string, pushable bool) (*Relation, error) {
+	switch r := ref.(type) {
+	case *ast.BaseTable:
+		return ctx.evalBaseTable(r, outer, conjs, singleTable, pushable)
+	case *ast.SubqueryTable:
+		rel, err := ctx.evalSubquery(r.Select, outer)
+		if err != nil {
+			return nil, err
+		}
+		cols := make([]ColMeta, len(rel.Cols))
+		for i, c := range rel.Cols {
+			cols[i] = ColMeta{Table: strings.ToLower(r.Alias), Name: c.Name}
+		}
+		return &Relation{Cols: cols, Rows: rel.Rows}, nil
+	case *ast.Join:
+		return ctx.evalJoin(r, outer, conjs, pushable)
+	case *ast.CrossList:
+		return ctx.evalCrossList(r, outer, conjs, pushable)
+	}
+	return nil, fmt.Errorf("sql: unknown table reference %T", ref)
+}
+
+func (ctx *Context) evalBaseTable(bt *ast.BaseTable, outer *Env, conjs []*conjunct, singleTable string, pushable bool) (*Relation, error) {
+	alias := bt.Name
+	if bt.Alias != "" {
+		alias = bt.Alias
+	}
+	lower := strings.ToLower(alias)
+
+	// CTE binding takes precedence over stored tables.
+	if rel, ok := ctx.CTEs[strings.ToLower(bt.Name)]; ok {
+		cols := make([]ColMeta, len(rel.Cols))
+		for i, c := range rel.Cols {
+			cols[i] = ColMeta{Table: lower, Name: c.Name}
+		}
+		return &Relation{Cols: cols, Rows: rel.Rows}, nil
+	}
+
+	table, ok := ctx.DB.Table(bt.Name)
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %s", bt.Name)
+	}
+	schema := table.Schema
+	cols := make([]ColMeta, len(schema.Cols))
+	for i := range schema.Cols {
+		cols[i] = ColMeta{Table: lower, Name: schema.Cols[i].Name}
+	}
+	rel := &Relation{Cols: cols}
+
+	// Predicate pushdown: collect `col = const` conjuncts for this table.
+	type pushed struct {
+		colPos int
+		val    types.Value
+	}
+	var eqs []pushed
+	if pushable {
+		for _, c := range conjs {
+			if c.used {
+				continue
+			}
+			col, valExpr, ok := eqColConst(c.expr)
+			if !ok {
+				continue
+			}
+			if col.Table != "" {
+				if !strings.EqualFold(col.Table, alias) {
+					continue
+				}
+			} else if !strings.EqualFold(singleTable, alias) {
+				continue // unqualified column in a multi-table FROM: not safe here
+			}
+			pos := schema.ColIndex(col.Column)
+			if pos < 0 {
+				continue
+			}
+			v, err := ctx.EvalExpr(valExpr, outer)
+			if err != nil {
+				return nil, err
+			}
+			eqs = append(eqs, pushed{colPos: pos, val: v})
+			c.used = true
+		}
+	}
+
+	match := func(row storage.Row) bool {
+		for _, p := range eqs {
+			t, err := types.CompareOp("=", row[p.colPos], p.val)
+			if err != nil || t != types.True {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Prefer an index lookup for the first indexed equality.
+	for _, p := range eqs {
+		idx := table.IndexOn(schema.Cols[p.colPos].Name)
+		if idx == nil {
+			continue
+		}
+		ctx.Stats.IndexLookups++
+		for _, id := range idx.Lookup(p.val) {
+			row, ok := table.Get(id)
+			if !ok {
+				continue
+			}
+			if match(row) {
+				rel.Rows = append(rel.Rows, row)
+			}
+		}
+		return rel, nil
+	}
+
+	table.Scan(func(_ int, row storage.Row) bool {
+		ctx.Stats.RowsScanned++
+		if match(row) {
+			rel.Rows = append(rel.Rows, row)
+		}
+		return true
+	})
+	return rel, nil
+}
+
+// eqColConst matches `col = constexpr` or `constexpr = col`.
+func eqColConst(e ast.Expr) (*ast.ColumnRef, ast.Expr, bool) {
+	b, ok := e.(*ast.Binary)
+	if !ok || b.Op != "=" {
+		return nil, nil, false
+	}
+	if col, ok := b.Left.(*ast.ColumnRef); ok && isConstExpr(b.Right) {
+		return col, b.Right, true
+	}
+	if col, ok := b.Right.(*ast.ColumnRef); ok && isConstExpr(b.Left) {
+		return col, b.Left, true
+	}
+	return nil, nil, false
+}
+
+// isConstExpr reports whether an expression references no columns or
+// subqueries and can thus be evaluated once before a scan.
+func isConstExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Literal, *ast.Param:
+		return true
+	case *ast.Unary:
+		return isConstExpr(e.Expr)
+	case *ast.Binary:
+		return isConstExpr(e.Left) && isConstExpr(e.Right)
+	case *ast.Cast:
+		return isConstExpr(e.Expr)
+	case *ast.FuncCall:
+		for _, a := range e.Args {
+			if !isConstExpr(a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+func (ctx *Context) evalJoin(j *ast.Join, outer *Env, conjs []*conjunct, pushable bool) (*Relation, error) {
+	left, err := ctx.evalFrom(j.Left, outer, conjs, "", pushable)
+	if err != nil {
+		return nil, err
+	}
+	if rel, ok, err := ctx.tryIndexJoin(left, j, outer); err != nil {
+		return nil, err
+	} else if ok {
+		return rel, nil
+	}
+	rightPushable := pushable && j.Type != "LEFT"
+	right, err := ctx.evalFrom(j.Right, outer, conjs, "", rightPushable)
+	if err != nil {
+		return nil, err
+	}
+	return ctx.joinRelations(left, right, j.On, j.Type, outer)
+}
+
+// tryIndexJoin runs an indexed nested-loop join when the right side is a
+// stored base table with a hash index on its equi-join column — the plan
+// that makes navigational expands (WHERE link.left = ? JOIN assy ON
+// link.right = assy.obid) and the recursive join (rtbl JOIN link ON
+// rtbl.obid = link.left) cheap instead of hashing the whole table.
+func (ctx *Context) tryIndexJoin(left *Relation, j *ast.Join, outer *Env) (*Relation, bool, error) {
+	bt, ok := j.Right.(*ast.BaseTable)
+	if !ok {
+		return nil, false, nil
+	}
+	if _, isCTE := ctx.CTEs[strings.ToLower(bt.Name)]; isCTE {
+		return nil, false, nil
+	}
+	table, ok := ctx.DB.Table(bt.Name)
+	if !ok {
+		return nil, false, nil
+	}
+	alias := bt.Name
+	if bt.Alias != "" {
+		alias = bt.Alias
+	}
+	schema := table.Schema
+
+	onConjs := splitAnd(j.On, nil)
+	var hashConj *conjunct
+	leftPos := -1
+	var idx *storage.Index
+	for _, c := range onConjs {
+		b, ok := c.expr.(*ast.Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lc, lok := b.Left.(*ast.ColumnRef)
+		rc, rok := b.Right.(*ast.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		try := func(lref, rref *ast.ColumnRef) bool {
+			lp, err := left.colIndex(lref.Table, lref.Column)
+			if err != nil {
+				return false
+			}
+			if rref.Table != "" && !strings.EqualFold(rref.Table, alias) {
+				return false
+			}
+			if schema.ColIndex(rref.Column) < 0 {
+				return false
+			}
+			ix := table.IndexOn(rref.Column)
+			if ix == nil {
+				return false
+			}
+			leftPos, idx = lp, ix
+			return true
+		}
+		if try(lc, rc) || try(rc, lc) {
+			hashConj = c
+			break
+		}
+	}
+	if hashConj == nil {
+		return nil, false, nil
+	}
+
+	lowerAlias := strings.ToLower(alias)
+	rightCols := make([]ColMeta, len(schema.Cols))
+	for i := range schema.Cols {
+		rightCols[i] = ColMeta{Table: lowerAlias, Name: schema.Cols[i].Name}
+	}
+	out := &Relation{Cols: append(append([]ColMeta{}, left.Cols...), rightCols...)}
+	env := &Env{cols: out.Cols, parent: outer}
+	nullRight := make(storage.Row, len(rightCols))
+	for i := range nullRight {
+		nullRight[i] = types.Null
+	}
+
+	for _, lrow := range left.Rows {
+		v := lrow[leftPos]
+		matched := false
+		if !v.IsNull() {
+			ctx.Stats.IndexLookups++
+			for _, id := range idx.Lookup(v) {
+				rrow, ok := table.Get(id)
+				if !ok {
+					continue
+				}
+				combined := append(append(make(storage.Row, 0, len(lrow)+len(rrow)), lrow...), rrow...)
+				env.row = combined
+				pass := true
+				for _, c := range onConjs {
+					if c == hashConj {
+						continue
+					}
+					t, err := ctx.EvalPredicate(c.expr, env)
+					if err != nil {
+						return nil, false, err
+					}
+					if t != types.True {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					out.Rows = append(out.Rows, combined)
+					matched = true
+				}
+			}
+		}
+		if !matched && j.Type == "LEFT" {
+			combined := append(append(make(storage.Row, 0, len(lrow)+len(nullRight)), lrow...), nullRight...)
+			out.Rows = append(out.Rows, combined)
+		}
+	}
+	return out, true, nil
+}
+
+// joinRelations joins two materialized relations with the given ON
+// condition, using a hash join when an equi-pair is found.
+func (ctx *Context) joinRelations(left, right *Relation, on ast.Expr, joinType string, outer *Env) (*Relation, error) {
+	out := &Relation{Cols: append(append([]ColMeta{}, left.Cols...), right.Cols...)}
+	onConjs := splitAnd(on, nil)
+
+	// Look for left.col = right.col among the ON conjuncts.
+	var leftPos, rightPos = -1, -1
+	var hashConj *conjunct
+	for _, c := range onConjs {
+		b, ok := c.expr.(*ast.Binary)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lc, lok := b.Left.(*ast.ColumnRef)
+		rc, rok := b.Right.(*ast.ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		if lp, err := left.colIndex(lc.Table, lc.Column); err == nil {
+			if rp, err2 := right.colIndex(rc.Table, rc.Column); err2 == nil {
+				leftPos, rightPos, hashConj = lp, rp, c
+				break
+			}
+		}
+		if lp, err := left.colIndex(rc.Table, rc.Column); err == nil {
+			if rp, err2 := right.colIndex(lc.Table, lc.Column); err2 == nil {
+				leftPos, rightPos, hashConj = lp, rp, c
+				break
+			}
+		}
+	}
+
+	env := &Env{cols: out.Cols, parent: outer}
+	residual := func(lrow, rrow storage.Row) (bool, error) {
+		combined := append(append(make(storage.Row, 0, len(lrow)+len(rrow)), lrow...), rrow...)
+		env.row = combined
+		for _, c := range onConjs {
+			if c == hashConj {
+				continue
+			}
+			t, err := ctx.EvalPredicate(c.expr, env)
+			if err != nil {
+				return false, err
+			}
+			if t != types.True {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	emit := func(lrow, rrow storage.Row) {
+		combined := append(append(make(storage.Row, 0, len(lrow)+len(rrow)), lrow...), rrow...)
+		out.Rows = append(out.Rows, combined)
+	}
+	nullRight := make(storage.Row, len(right.Cols))
+	for i := range nullRight {
+		nullRight[i] = types.Null
+	}
+
+	if hashConj != nil {
+		ctx.Stats.HashJoins++
+		buckets := make(map[string][]storage.Row, len(right.Rows))
+		for _, rrow := range right.Rows {
+			v := rrow[rightPos]
+			if v.IsNull() {
+				continue
+			}
+			k := v.Key()
+			buckets[k] = append(buckets[k], rrow)
+		}
+		for _, lrow := range left.Rows {
+			v := lrow[leftPos]
+			matched := false
+			if !v.IsNull() {
+				for _, rrow := range buckets[v.Key()] {
+					ok, err := residual(lrow, rrow)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						emit(lrow, rrow)
+						matched = true
+					}
+				}
+			}
+			if !matched && joinType == "LEFT" {
+				emit(lrow, nullRight)
+			}
+		}
+		return out, nil
+	}
+
+	ctx.Stats.NestedLoops++
+	for _, lrow := range left.Rows {
+		matched := false
+		for _, rrow := range right.Rows {
+			combined := append(append(make(storage.Row, 0, len(lrow)+len(rrow)), lrow...), rrow...)
+			env.row = combined
+			ok := true
+			for _, c := range onConjs {
+				t, err := ctx.EvalPredicate(c.expr, env)
+				if err != nil {
+					return nil, err
+				}
+				if t != types.True {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out.Rows = append(out.Rows, combined)
+				matched = true
+			}
+		}
+		if !matched && joinType == "LEFT" {
+			emit(lrow, nullRight)
+		}
+	}
+	return out, nil
+}
+
+func (ctx *Context) evalCrossList(cl *ast.CrossList, outer *Env, conjs []*conjunct, pushable bool) (*Relation, error) {
+	acc, err := ctx.evalFrom(cl.Items[0], outer, conjs, "", pushable)
+	if err != nil {
+		return nil, err
+	}
+	for _, item := range cl.Items[1:] {
+		next, err := ctx.evalFrom(item, outer, conjs, "", pushable)
+		if err != nil {
+			return nil, err
+		}
+		// Try to find an unused WHERE equi-conjunct linking acc and next,
+		// so FROM a, b WHERE a.x = b.y becomes a hash join.
+		var linking ast.Expr
+		var linkConj *conjunct
+		for _, c := range conjs {
+			if c.used {
+				continue
+			}
+			b, ok := c.expr.(*ast.Binary)
+			if !ok || b.Op != "=" {
+				continue
+			}
+			lc, lok := b.Left.(*ast.ColumnRef)
+			rc, rok := b.Right.(*ast.ColumnRef)
+			if !lok || !rok {
+				continue
+			}
+			link := func(a, b *ast.ColumnRef) bool {
+				if _, err := acc.colIndex(a.Table, a.Column); err != nil {
+					return false
+				}
+				if _, err := next.colIndex(b.Table, b.Column); err != nil {
+					return false
+				}
+				return true
+			}
+			if link(lc, rc) || link(rc, lc) {
+				linking = c.expr
+				linkConj = c
+				break
+			}
+		}
+		if linkConj != nil {
+			linkConj.used = true
+		}
+		joined, err := ctx.joinRelations(acc, next, linking, "INNER", outer)
+		if err != nil {
+			return nil, err
+		}
+		acc = joined
+	}
+	return acc, nil
+}
+
+// ---------------------------------------------------------------------------
+// projection
+
+func (ctx *Context) project(items []ast.SelectItem, src *Relation, outer *Env) (*Relation, error) {
+	cols, evals, err := ctx.projectionPlan(items, src)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: cols, Rows: make([]storage.Row, 0, len(src.Rows))}
+	env := &Env{cols: src.Cols, parent: outer}
+	for _, row := range src.Rows {
+		env.row = row
+		outRow := make(storage.Row, 0, len(cols))
+		for _, ev := range evals {
+			vals, err := ev(env, row)
+			if err != nil {
+				return nil, err
+			}
+			outRow = append(outRow, vals...)
+		}
+		out.Rows = append(out.Rows, outRow)
+	}
+	return out, nil
+}
+
+// projEval produces one or more output values for a select item.
+type projEval func(env *Env, row storage.Row) ([]types.Value, error)
+
+func (ctx *Context) projectionPlan(items []ast.SelectItem, src *Relation) ([]ColMeta, []projEval, error) {
+	var cols []ColMeta
+	var evals []projEval
+	for _, item := range items {
+		switch {
+		case item.Star && item.StarTable == "":
+			positions := make([]int, len(src.Cols))
+			for i := range src.Cols {
+				cols = append(cols, src.Cols[i])
+				positions[i] = i
+			}
+			evals = append(evals, starEval(positions))
+		case item.Star:
+			var positions []int
+			for i, c := range src.Cols {
+				if strings.EqualFold(c.Table, item.StarTable) {
+					cols = append(cols, c)
+					positions = append(positions, i)
+				}
+			}
+			if len(positions) == 0 {
+				return nil, nil, fmt.Errorf("sql: %s.* matches no columns", item.StarTable)
+			}
+			evals = append(evals, starEval(positions))
+		default:
+			name := item.Alias
+			if name == "" {
+				if cr, ok := item.Expr.(*ast.ColumnRef); ok {
+					name = cr.Column
+				} else {
+					name = item.Expr.String()
+				}
+			}
+			cols = append(cols, ColMeta{Name: name})
+			expr := item.Expr
+			evals = append(evals, func(env *Env, _ storage.Row) ([]types.Value, error) {
+				v, err := ctx.EvalExpr(expr, env)
+				if err != nil {
+					return nil, err
+				}
+				return []types.Value{v}, nil
+			})
+		}
+	}
+	return cols, evals, nil
+}
+
+func starEval(positions []int) projEval {
+	return func(_ *Env, row storage.Row) ([]types.Value, error) {
+		out := make([]types.Value, len(positions))
+		for i, p := range positions {
+			out[i] = row[p]
+		}
+		return out, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// grouping and aggregation
+
+func collectAggregates(core *ast.SelectCore) []*ast.Aggregate {
+	var aggs []*ast.Aggregate
+	for _, item := range core.Items {
+		if item.Expr != nil {
+			aggs = collectAggsExpr(item.Expr, aggs)
+		}
+	}
+	if core.Having != nil {
+		aggs = collectAggsExpr(core.Having, aggs)
+	}
+	return aggs
+}
+
+// collectAggsExpr gathers aggregate nodes of the *current* query level; it
+// does not descend into subqueries (they aggregate independently).
+func collectAggsExpr(e ast.Expr, into []*ast.Aggregate) []*ast.Aggregate {
+	switch e := e.(type) {
+	case *ast.Aggregate:
+		return append(into, e)
+	case *ast.Binary:
+		return collectAggsExpr(e.Right, collectAggsExpr(e.Left, into))
+	case *ast.Unary:
+		return collectAggsExpr(e.Expr, into)
+	case *ast.IsNull:
+		return collectAggsExpr(e.Expr, into)
+	case *ast.Between:
+		return collectAggsExpr(e.Hi, collectAggsExpr(e.Lo, collectAggsExpr(e.Expr, into)))
+	case *ast.Like:
+		return collectAggsExpr(e.Pattern, collectAggsExpr(e.Expr, into))
+	case *ast.InList:
+		into = collectAggsExpr(e.Expr, into)
+		for _, it := range e.Items {
+			into = collectAggsExpr(it, into)
+		}
+		return into
+	case *ast.Cast:
+		return collectAggsExpr(e.Expr, into)
+	case *ast.FuncCall:
+		for _, a := range e.Args {
+			into = collectAggsExpr(a, into)
+		}
+		return into
+	case *ast.Case:
+		if e.Operand != nil {
+			into = collectAggsExpr(e.Operand, into)
+		}
+		for _, w := range e.Whens {
+			into = collectAggsExpr(w.Result, collectAggsExpr(w.Cond, into))
+		}
+		if e.Else != nil {
+			into = collectAggsExpr(e.Else, into)
+		}
+		return into
+	}
+	return into
+}
+
+type group struct {
+	rep  storage.Row // representative row (first of group)
+	rows []storage.Row
+}
+
+func (ctx *Context) evalGrouped(core *ast.SelectCore, src *Relation, aggs []*ast.Aggregate, outer *Env) (*Relation, error) {
+	env := &Env{cols: src.Cols, parent: outer}
+
+	// Partition rows into groups.
+	groups := map[string]*group{}
+	var order []string
+	for _, row := range src.Rows {
+		env.row = row
+		key := ""
+		for _, ge := range core.GroupBy {
+			v, err := ctx.EvalExpr(ge, env)
+			if err != nil {
+				return nil, err
+			}
+			key += v.Key() + "\x1f"
+		}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{rep: row}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+	// Aggregates without GROUP BY always produce exactly one group.
+	if len(core.GroupBy) == 0 && len(groups) == 0 {
+		nullRow := make(storage.Row, len(src.Cols))
+		for i := range nullRow {
+			nullRow[i] = types.Null
+		}
+		groups[""] = &group{rep: nullRow}
+		order = append(order, "")
+	}
+
+	cols, evals, err := ctx.projectionPlan(core.Items, src)
+	if err != nil {
+		return nil, err
+	}
+	out := &Relation{Cols: cols}
+	for _, key := range order {
+		g := groups[key]
+		aggVals, err := ctx.computeAggregates(aggs, g.rows, src.Cols, outer)
+		if err != nil {
+			return nil, err
+		}
+		savedAggs := ctx.aggValues
+		ctx.aggValues = aggVals
+		genv := &Env{cols: src.Cols, row: g.rep, parent: outer}
+		if core.Having != nil {
+			t, err := ctx.EvalPredicate(core.Having, genv)
+			if err != nil {
+				ctx.aggValues = savedAggs
+				return nil, err
+			}
+			if t != types.True {
+				ctx.aggValues = savedAggs
+				continue
+			}
+		}
+		outRow := make(storage.Row, 0, len(cols))
+		for _, ev := range evals {
+			vals, err := ev(genv, g.rep)
+			if err != nil {
+				ctx.aggValues = savedAggs
+				return nil, err
+			}
+			outRow = append(outRow, vals...)
+		}
+		ctx.aggValues = savedAggs
+		out.Rows = append(out.Rows, outRow)
+	}
+	return out, nil
+}
+
+func (ctx *Context) computeAggregates(aggs []*ast.Aggregate, rows []storage.Row, cols []ColMeta, outer *Env) (map[*ast.Aggregate]types.Value, error) {
+	result := make(map[*ast.Aggregate]types.Value, len(aggs))
+	env := &Env{cols: cols, parent: outer}
+	for _, agg := range aggs {
+		if _, done := result[agg]; done {
+			continue
+		}
+		var count int64
+		var sumF float64
+		var sumI int64
+		anyFloat := false
+		nonNull := 0
+		var minV, maxV types.Value
+		seen := map[string]bool{}
+		for _, row := range rows {
+			var v types.Value
+			if agg.Star {
+				count++
+				continue
+			}
+			env.row = row
+			var err error
+			v, err = ctx.EvalExpr(agg.Arg, env)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() {
+				continue
+			}
+			if agg.Distinct {
+				k := v.Key()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+			}
+			nonNull++
+			count++
+			switch agg.Func {
+			case "SUM", "AVG":
+				f, ok := v.AsFloat()
+				if !ok {
+					return nil, fmt.Errorf("sql: %s requires numeric values, got %s", agg.Func, v.Kind())
+				}
+				sumF += f
+				if v.Kind() == types.KindFloat {
+					anyFloat = true
+				} else {
+					sumI += v.Int()
+				}
+			case "MIN":
+				if minV.IsNull() {
+					minV = v
+				} else if c, err := types.Compare(v, minV); err == nil && c < 0 {
+					minV = v
+				}
+			case "MAX":
+				if maxV.IsNull() {
+					maxV = v
+				} else if c, err := types.Compare(v, maxV); err == nil && c > 0 {
+					maxV = v
+				}
+			}
+		}
+		switch agg.Func {
+		case "COUNT":
+			if agg.Star {
+				result[agg] = types.NewInt(int64(len(rows)))
+			} else {
+				result[agg] = types.NewInt(int64(nonNull))
+			}
+		case "SUM":
+			if nonNull == 0 {
+				result[agg] = types.Null
+			} else if anyFloat {
+				result[agg] = types.NewFloat(sumF)
+			} else {
+				result[agg] = types.NewInt(sumI)
+			}
+		case "AVG":
+			if nonNull == 0 {
+				result[agg] = types.Null
+			} else {
+				result[agg] = types.NewFloat(sumF / float64(nonNull))
+			}
+		case "MIN":
+			result[agg] = minV
+		case "MAX":
+			result[agg] = maxV
+		default:
+			return nil, fmt.Errorf("sql: unknown aggregate %s", agg.Func)
+		}
+	}
+	return result, nil
+}
+
+// ---------------------------------------------------------------------------
+// ordering and limits
+
+func (ctx *Context) orderRelation(rel *Relation, items []ast.OrderItem, outer *Env) error {
+	for _, item := range items {
+		if item.Position > len(rel.Cols) {
+			return fmt.Errorf("sql: ORDER BY position %d exceeds %d output columns", item.Position, len(rel.Cols))
+		}
+	}
+	type keyed struct {
+		row  storage.Row
+		keys []types.Value
+	}
+	rows := make([]keyed, len(rel.Rows))
+	env := &Env{cols: rel.Cols, parent: outer}
+	for i, row := range rel.Rows {
+		keys := make([]types.Value, len(items))
+		for j, item := range items {
+			if item.Position > 0 {
+				keys[j] = row[item.Position-1]
+				continue
+			}
+			env.row = row
+			v, err := ctx.EvalExpr(item.Expr, env)
+			if err != nil {
+				return err
+			}
+			keys[j] = v
+		}
+		rows[i] = keyed{row: row, keys: keys}
+	}
+	sort.SliceStable(rows, func(a, b int) bool {
+		for j, item := range items {
+			c := types.CompareForSort(rows[a].keys[j], rows[b].keys[j])
+			if c == 0 {
+				continue
+			}
+			if item.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	for i := range rows {
+		rel.Rows[i] = rows[i].row
+	}
+	return nil
+}
+
+func (ctx *Context) applyLimit(rel *Relation, limit, offset ast.Expr, outer *Env) error {
+	start := 0
+	if offset != nil {
+		v, err := ctx.EvalExpr(offset, outer)
+		if err != nil {
+			return err
+		}
+		if v.Kind() != types.KindInt || v.Int() < 0 {
+			return fmt.Errorf("sql: OFFSET must be a non-negative integer")
+		}
+		start = int(v.Int())
+	}
+	end := len(rel.Rows)
+	if limit != nil {
+		v, err := ctx.EvalExpr(limit, outer)
+		if err != nil {
+			return err
+		}
+		if v.Kind() != types.KindInt || v.Int() < 0 {
+			return fmt.Errorf("sql: LIMIT must be a non-negative integer")
+		}
+		if start+int(v.Int()) < end {
+			end = start + int(v.Int())
+		}
+	}
+	if start > len(rel.Rows) {
+		start = len(rel.Rows)
+	}
+	rel.Rows = rel.Rows[start:end]
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// helpers
+
+// validateColumnRefs checks that every direct column reference in the
+// core's items / WHERE / GROUP BY / HAVING resolves against the source
+// relation or an outer scope. Subqueries are skipped — they validate in
+// their own scope when (and if) they run.
+func validateColumnRefs(core *ast.SelectCore, cols []ColMeta, outer *Env) error {
+	rel := &Relation{Cols: cols}
+	check := func(ref *ast.ColumnRef) error {
+		_, err := rel.colIndex(ref.Table, ref.Column)
+		if err == nil {
+			return nil
+		}
+		if _, isMissing := err.(errNoColumn); !isMissing {
+			return err // ambiguous
+		}
+		for env := outer; env != nil; env = env.parent {
+			for _, c := range env.cols {
+				if strings.EqualFold(c.Name, ref.Column) &&
+					(ref.Table == "" || strings.EqualFold(c.Table, ref.Table)) {
+					return nil
+				}
+			}
+		}
+		return err
+	}
+	var exprs []ast.Expr
+	for _, it := range core.Items {
+		if it.Expr != nil {
+			exprs = append(exprs, it.Expr)
+		}
+	}
+	exprs = append(exprs, core.Where, core.Having)
+	exprs = append(exprs, core.GroupBy...)
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		if err := walkDirectColumnRefs(e, check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walkDirectColumnRefs visits column references of the current scope,
+// not descending into subqueries.
+func walkDirectColumnRefs(e ast.Expr, fn func(*ast.ColumnRef) error) error {
+	switch e := e.(type) {
+	case *ast.ColumnRef:
+		return fn(e)
+	case *ast.Binary:
+		if err := walkDirectColumnRefs(e.Left, fn); err != nil {
+			return err
+		}
+		return walkDirectColumnRefs(e.Right, fn)
+	case *ast.Unary:
+		return walkDirectColumnRefs(e.Expr, fn)
+	case *ast.IsNull:
+		return walkDirectColumnRefs(e.Expr, fn)
+	case *ast.Between:
+		for _, x := range []ast.Expr{e.Expr, e.Lo, e.Hi} {
+			if err := walkDirectColumnRefs(x, fn); err != nil {
+				return err
+			}
+		}
+	case *ast.Like:
+		if err := walkDirectColumnRefs(e.Expr, fn); err != nil {
+			return err
+		}
+		return walkDirectColumnRefs(e.Pattern, fn)
+	case *ast.InList:
+		if err := walkDirectColumnRefs(e.Expr, fn); err != nil {
+			return err
+		}
+		for _, it := range e.Items {
+			if err := walkDirectColumnRefs(it, fn); err != nil {
+				return err
+			}
+		}
+	case *ast.InSubquery:
+		return walkDirectColumnRefs(e.Expr, fn)
+	case *ast.Cast:
+		return walkDirectColumnRefs(e.Expr, fn)
+	case *ast.FuncCall:
+		for _, a := range e.Args {
+			if err := walkDirectColumnRefs(a, fn); err != nil {
+				return err
+			}
+		}
+	case *ast.Aggregate:
+		if e.Arg != nil {
+			return walkDirectColumnRefs(e.Arg, fn)
+		}
+	case *ast.Case:
+		if e.Operand != nil {
+			if err := walkDirectColumnRefs(e.Operand, fn); err != nil {
+				return err
+			}
+		}
+		for _, w := range e.Whens {
+			if err := walkDirectColumnRefs(w.Cond, fn); err != nil {
+				return err
+			}
+			if err := walkDirectColumnRefs(w.Result, fn); err != nil {
+				return err
+			}
+		}
+		if e.Else != nil {
+			return walkDirectColumnRefs(e.Else, fn)
+		}
+	}
+	return nil
+}
+
+// flattenSetOps linearizes a left-deep UNION tree into its SELECT cores
+// and the list of operators between them.
+func flattenSetOps(body ast.SelectBody) ([]*ast.SelectCore, []string) {
+	switch b := body.(type) {
+	case *ast.SelectCore:
+		return []*ast.SelectCore{b}, nil
+	case *ast.SetOp:
+		lc, lo := flattenSetOps(b.Left)
+		rc, ro := flattenSetOps(b.Right)
+		ops := append(append(lo, b.Op), ro...)
+		return append(lc, rc...), ops
+	}
+	return nil, nil
+}
+
+func rowKey(row storage.Row) string {
+	var sb strings.Builder
+	for _, v := range row {
+		sb.WriteString(v.Key())
+		sb.WriteByte('\x1e')
+	}
+	return sb.String()
+}
+
+// selectReferencesTable reports whether a select (including nested
+// subqueries and FROM trees) references the named table.
+func selectReferencesTable(sel *ast.Select, name string) bool {
+	if sel == nil {
+		return false
+	}
+	if sel.With != nil {
+		for _, cte := range sel.With.CTEs {
+			if selectReferencesTable(cte.Select, name) {
+				return true
+			}
+		}
+	}
+	return bodyReferencesTable(sel.Body, name) || exprListReferences(nil, name, sel.Limit, sel.Offset)
+}
+
+func bodyReferencesTable(body ast.SelectBody, name string) bool {
+	switch b := body.(type) {
+	case *ast.SelectCore:
+		return coreReferencesTable(b, name)
+	case *ast.SetOp:
+		return bodyReferencesTable(b.Left, name) || bodyReferencesTable(b.Right, name)
+	}
+	return false
+}
+
+func coreReferencesTable(core *ast.SelectCore, name string) bool {
+	if core.From != nil && tableRefReferences(core.From, name) {
+		return true
+	}
+	var exprs []ast.Expr
+	for _, it := range core.Items {
+		if it.Expr != nil {
+			exprs = append(exprs, it.Expr)
+		}
+	}
+	exprs = append(exprs, core.Where, core.Having)
+	exprs = append(exprs, core.GroupBy...)
+	return exprListReferences(exprs, name)
+}
+
+func exprListReferences(exprs []ast.Expr, name string, more ...ast.Expr) bool {
+	for _, e := range append(exprs, more...) {
+		if e != nil && exprReferencesTable(e, name) {
+			return true
+		}
+	}
+	return false
+}
+
+func tableRefReferences(ref ast.TableRef, name string) bool {
+	switch r := ref.(type) {
+	case *ast.BaseTable:
+		return strings.EqualFold(r.Name, name)
+	case *ast.Join:
+		return tableRefReferences(r.Left, name) || tableRefReferences(r.Right, name) ||
+			(r.On != nil && exprReferencesTable(r.On, name))
+	case *ast.CrossList:
+		for _, it := range r.Items {
+			if tableRefReferences(it, name) {
+				return true
+			}
+		}
+	case *ast.SubqueryTable:
+		return selectReferencesTable(r.Select, name)
+	}
+	return false
+}
+
+func exprReferencesTable(e ast.Expr, name string) bool {
+	switch e := e.(type) {
+	case *ast.Binary:
+		return exprReferencesTable(e.Left, name) || exprReferencesTable(e.Right, name)
+	case *ast.Unary:
+		return exprReferencesTable(e.Expr, name)
+	case *ast.IsNull:
+		return exprReferencesTable(e.Expr, name)
+	case *ast.Between:
+		return exprReferencesTable(e.Expr, name) || exprReferencesTable(e.Lo, name) || exprReferencesTable(e.Hi, name)
+	case *ast.Like:
+		return exprReferencesTable(e.Expr, name) || exprReferencesTable(e.Pattern, name)
+	case *ast.InList:
+		if exprReferencesTable(e.Expr, name) {
+			return true
+		}
+		for _, it := range e.Items {
+			if exprReferencesTable(it, name) {
+				return true
+			}
+		}
+	case *ast.InSubquery:
+		return exprReferencesTable(e.Expr, name) || selectReferencesTable(e.Select, name)
+	case *ast.Exists:
+		return selectReferencesTable(e.Select, name)
+	case *ast.ScalarSubquery:
+		return selectReferencesTable(e.Select, name)
+	case *ast.Cast:
+		return exprReferencesTable(e.Expr, name)
+	case *ast.FuncCall:
+		for _, a := range e.Args {
+			if exprReferencesTable(a, name) {
+				return true
+			}
+		}
+	case *ast.Aggregate:
+		if e.Arg != nil {
+			return exprReferencesTable(e.Arg, name)
+		}
+	case *ast.Case:
+		if e.Operand != nil && exprReferencesTable(e.Operand, name) {
+			return true
+		}
+		for _, w := range e.Whens {
+			if exprReferencesTable(w.Cond, name) || exprReferencesTable(w.Result, name) {
+				return true
+			}
+		}
+		if e.Else != nil {
+			return exprReferencesTable(e.Else, name)
+		}
+	}
+	return false
+}

@@ -1,0 +1,385 @@
+// Package storage implements the physical layer of the minisql engine:
+// table schemas (catalog), in-memory heap tables with tombstoned row ids,
+// hash indexes maintained under DML, and undo records for transaction
+// rollback. The PDM database server holds one storage.DB per instance.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pdmtune/internal/minisql/types"
+)
+
+// Column is one column of a table schema.
+type Column struct {
+	Name       string
+	Type       types.ColumnType
+	NotNull    bool
+	PrimaryKey bool
+	HasDefault bool
+	Default    types.Value
+}
+
+// Schema is the catalog entry of a table.
+type Schema struct {
+	Name string
+	Cols []Column
+}
+
+// ColIndex returns the position of the named column (case-insensitive),
+// or -1 if absent.
+func (s *Schema) ColIndex(name string) int {
+	for i := range s.Cols {
+		if strings.EqualFold(s.Cols[i].Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColNames returns the column names in declaration order.
+func (s *Schema) ColNames() []string {
+	out := make([]string, len(s.Cols))
+	for i := range s.Cols {
+		out[i] = s.Cols[i].Name
+	}
+	return out
+}
+
+// Row is one tuple; len(Row) == len(Schema.Cols).
+type Row = []types.Value
+
+// Index is a hash index over a single column.
+type Index struct {
+	Name    string
+	Column  string
+	colPos  int
+	Unique  bool
+	buckets map[string][]int // value key -> live row ids
+}
+
+// Table is a heap table with tombstones and attached indexes.
+type Table struct {
+	Schema  *Schema
+	rows    []Row
+	dead    []bool
+	liveN   int
+	indexes []*Index
+}
+
+// NewTable creates an empty table for the schema. A unique index is
+// created automatically for a PRIMARY KEY column.
+func NewTable(schema *Schema) (*Table, error) {
+	t := &Table{Schema: schema}
+	for i, c := range schema.Cols {
+		if c.PrimaryKey {
+			idx := &Index{
+				Name:    schema.Name + "_pk",
+				Column:  c.Name,
+				colPos:  i,
+				Unique:  true,
+				buckets: map[string][]int{},
+			}
+			t.indexes = append(t.indexes, idx)
+		}
+	}
+	return t, nil
+}
+
+// NumRows reports the number of live rows.
+func (t *Table) NumRows() int { return t.liveN }
+
+// CreateIndex attaches a hash index on the named column and backfills it.
+func (t *Table) CreateIndex(name, column string, unique bool) error {
+	pos := t.Schema.ColIndex(column)
+	if pos < 0 {
+		return fmt.Errorf("storage: table %s has no column %s", t.Schema.Name, column)
+	}
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Name, name) {
+			return fmt.Errorf("storage: index %s already exists", name)
+		}
+	}
+	idx := &Index{Name: name, Column: column, colPos: pos, Unique: unique, buckets: map[string][]int{}}
+	for id, row := range t.rows {
+		if t.dead[id] {
+			continue
+		}
+		if err := idx.add(row[pos], id); err != nil {
+			return err
+		}
+	}
+	t.indexes = append(t.indexes, idx)
+	return nil
+}
+
+// HasIndex reports whether an index with the given name exists.
+func (t *Table) HasIndex(name string) bool {
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Name, name) {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexOn returns the index covering the column, or nil.
+func (t *Table) IndexOn(column string) *Index {
+	for _, idx := range t.indexes {
+		if strings.EqualFold(idx.Column, column) {
+			return idx
+		}
+	}
+	return nil
+}
+
+// Indexes returns all attached indexes.
+func (t *Table) Indexes() []*Index { return t.indexes }
+
+func (ix *Index) add(v types.Value, id int) error {
+	k := v.Key()
+	if ix.Unique && !v.IsNull() && len(ix.buckets[k]) > 0 {
+		return fmt.Errorf("storage: duplicate key %s for unique index %s", v, ix.Name)
+	}
+	ix.buckets[k] = append(ix.buckets[k], id)
+	return nil
+}
+
+func (ix *Index) remove(v types.Value, id int) {
+	k := v.Key()
+	b := ix.buckets[k]
+	for i, x := range b {
+		if x == id {
+			b[i] = b[len(b)-1]
+			ix.buckets[k] = b[:len(b)-1]
+			return
+		}
+	}
+}
+
+// Lookup returns the live row ids whose indexed column equals v.
+func (ix *Index) Lookup(v types.Value) []int { return ix.buckets[v.Key()] }
+
+// checkRow validates arity, NOT NULL and coerces values to column types.
+func (t *Table) checkRow(row Row) (Row, error) {
+	if len(row) != len(t.Schema.Cols) {
+		return nil, fmt.Errorf("storage: table %s expects %d values, got %d",
+			t.Schema.Name, len(t.Schema.Cols), len(row))
+	}
+	out := make(Row, len(row))
+	for i, c := range t.Schema.Cols {
+		v, err := types.Coerce(row[i], c.Type)
+		if err != nil {
+			return nil, fmt.Errorf("storage: column %s.%s: %v", t.Schema.Name, c.Name, err)
+		}
+		if v.IsNull() && (c.NotNull || c.PrimaryKey) {
+			return nil, fmt.Errorf("storage: column %s.%s is NOT NULL", t.Schema.Name, c.Name)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Insert validates and stores a row, returning its row id.
+func (t *Table) Insert(row Row) (int, error) {
+	r, err := t.checkRow(row)
+	if err != nil {
+		return 0, err
+	}
+	id := len(t.rows)
+	for _, ix := range t.indexes {
+		if err := ix.add(r[ix.colPos], id); err != nil {
+			// roll back index entries added so far
+			for _, prev := range t.indexes {
+				if prev == ix {
+					break
+				}
+				prev.remove(r[prev.colPos], id)
+			}
+			return 0, err
+		}
+	}
+	t.rows = append(t.rows, r)
+	t.dead = append(t.dead, false)
+	t.liveN++
+	return id, nil
+}
+
+// Get returns the live row with the given id.
+func (t *Table) Get(id int) (Row, bool) {
+	if id < 0 || id >= len(t.rows) || t.dead[id] {
+		return nil, false
+	}
+	return t.rows[id], true
+}
+
+// Update replaces the row with the given id.
+func (t *Table) Update(id int, row Row) error {
+	old, ok := t.Get(id)
+	if !ok {
+		return fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
+	}
+	r, err := t.checkRow(row)
+	if err != nil {
+		return err
+	}
+	for _, ix := range t.indexes {
+		if old[ix.colPos].Equal(r[ix.colPos]) {
+			continue
+		}
+		ix.remove(old[ix.colPos], id)
+		if err := ix.add(r[ix.colPos], id); err != nil {
+			ix.add(old[ix.colPos], id) // restore
+			return err
+		}
+	}
+	t.rows[id] = r
+	return nil
+}
+
+// Delete tombstones the row with the given id.
+func (t *Table) Delete(id int) error {
+	row, ok := t.Get(id)
+	if !ok {
+		return fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
+	}
+	for _, ix := range t.indexes {
+		ix.remove(row[ix.colPos], id)
+	}
+	t.dead[id] = true
+	t.liveN--
+	return nil
+}
+
+// undelete revives a tombstoned row during rollback.
+func (t *Table) undelete(id int) error {
+	if id < 0 || id >= len(t.rows) || !t.dead[id] {
+		return fmt.Errorf("storage: row %d of %s is not dead", id, t.Schema.Name)
+	}
+	row := t.rows[id]
+	for _, ix := range t.indexes {
+		if err := ix.add(row[ix.colPos], id); err != nil {
+			return err
+		}
+	}
+	t.dead[id] = false
+	t.liveN++
+	return nil
+}
+
+// Scan calls fn for every live row in insertion order until fn returns
+// false. The row must not be mutated by fn.
+func (t *Table) Scan(fn func(id int, row Row) bool) {
+	for id, row := range t.rows {
+		if t.dead[id] {
+			continue
+		}
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Database catalog
+
+// DB is a set of named tables.
+type DB struct {
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+
+// Table resolves a table by name (case-insensitive).
+func (db *DB) Table(name string) (*Table, bool) {
+	t, ok := db.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// TableNames lists tables in sorted order.
+func (db *DB) TableNames() []string {
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateTable registers a new table.
+func (db *DB) CreateTable(schema *Schema, ifNotExists bool) error {
+	key := strings.ToLower(schema.Name)
+	if _, exists := db.tables[key]; exists {
+		if ifNotExists {
+			return nil
+		}
+		return fmt.Errorf("storage: table %s already exists", schema.Name)
+	}
+	if len(schema.Cols) == 0 {
+		return fmt.Errorf("storage: table %s has no columns", schema.Name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema.Cols {
+		lc := strings.ToLower(c.Name)
+		if seen[lc] {
+			return fmt.Errorf("storage: duplicate column %s in table %s", c.Name, schema.Name)
+		}
+		seen[lc] = true
+	}
+	t, err := NewTable(schema)
+	if err != nil {
+		return err
+	}
+	db.tables[key] = t
+	return nil
+}
+
+// DropTable removes a table.
+func (db *DB) DropTable(name string, ifExists bool) error {
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; !ok {
+		if ifExists {
+			return nil
+		}
+		return fmt.Errorf("storage: table %s does not exist", name)
+	}
+	delete(db.tables, key)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Undo log
+
+// UndoKind discriminates undo records.
+type UndoKind uint8
+
+// Undo record kinds.
+const (
+	UndoInsert UndoKind = iota // row was inserted: delete it
+	UndoDelete                 // row was deleted: revive it
+	UndoUpdate                 // row was updated: restore Before
+)
+
+// Undo is one reversible mutation.
+type Undo struct {
+	Kind   UndoKind
+	Table  *Table
+	RowID  int
+	Before Row
+}
+
+// Apply reverses the recorded mutation.
+func (u Undo) Apply() error {
+	switch u.Kind {
+	case UndoInsert:
+		return u.Table.Delete(u.RowID)
+	case UndoDelete:
+		return u.Table.undelete(u.RowID)
+	case UndoUpdate:
+		return u.Table.Update(u.RowID, u.Before)
+	}
+	return fmt.Errorf("storage: unknown undo kind %d", u.Kind)
+}

@@ -1,0 +1,293 @@
+// Package token defines the lexical tokens of the minisql dialect and a
+// hand-written lexer producing them. The dialect covers the SQL:1999
+// subset the PDM workload needs: DDL/DML, WITH RECURSIVE, set operations,
+// joins, subqueries, aggregates, CAST and stored routine invocation.
+package token
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Type classifies a token.
+type Type uint8
+
+// Token types. Keywords share the Keyword type; the Lexer upper-cases
+// their text so the parser can match on it directly.
+const (
+	EOF Type = iota
+	Ident
+	QuotedIdent // "Name" — case-preserved identifier
+	Keyword
+	Number
+	String
+	Param // ?
+	// Operators and punctuation, one type each for cheap matching.
+	LParen
+	RParen
+	Comma
+	Semicolon
+	Dot
+	Star
+	Plus
+	Minus
+	Slash
+	Percent
+	Concat // ||
+	Eq     // =
+	Neq    // <> or !=
+	Lt
+	Le
+	Gt
+	Ge
+)
+
+// Token is one lexical unit. Text holds the normalized spelling: keywords
+// upper-case, identifiers as written (quoted identifiers without quotes),
+// strings unescaped.
+type Token struct {
+	Type Type
+	Text string
+	Pos  int // byte offset in the input, for error messages
+}
+
+func (t Token) String() string {
+	switch t.Type {
+	case EOF:
+		return "end of input"
+	case String:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords recognized by the dialect. Any identifier matching one of
+// these (case-insensitively) lexes as a Keyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "AS": true, "JOIN": true, "ON": true, "INNER": true,
+	"LEFT": true, "OUTER": true, "UNION": true, "ALL": true, "WITH": true,
+	"RECURSIVE": true, "ORDER": true, "BY": true, "GROUP": true,
+	"HAVING": true, "LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true,
+	"INDEX": true, "DROP": true, "PRIMARY": true, "KEY": true,
+	"NULL": true, "TRUE": true, "FALSE": true, "IS": true, "IN": true,
+	"EXISTS": true, "BETWEEN": true, "LIKE": true, "CAST": true,
+	"DISTINCT": true, "CASE": true, "WHEN": true, "THEN": true,
+	"ELSE": true, "END": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "CALL": true, "EXPLAIN": true, "UNIQUE": true,
+	"DEFAULT": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "IF": true, "TRANSACTION": true, "WORK": true,
+}
+
+// IsKeyword reports whether s (any case) is a reserved word.
+func IsKeyword(s string) bool { return keywords[strings.ToUpper(s)] }
+
+// Lexer splits an SQL string into tokens.
+type Lexer struct {
+	src string
+	pos int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error on malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Type: EOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.lexString()
+	case c == '"':
+		return l.lexQuotedIdent()
+	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case isIdentStart(c):
+		return l.lexIdent()
+	}
+	l.pos++
+	mk := func(t Type, text string) (Token, error) {
+		return Token{Type: t, Text: text, Pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return mk(LParen, "(")
+	case ')':
+		return mk(RParen, ")")
+	case ',':
+		return mk(Comma, ",")
+	case ';':
+		return mk(Semicolon, ";")
+	case '.':
+		return mk(Dot, ".")
+	case '*':
+		return mk(Star, "*")
+	case '+':
+		return mk(Plus, "+")
+	case '-':
+		if l.pos < len(l.src) && l.src[l.pos] == '-' { // -- comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			return l.Next()
+		}
+		return mk(Minus, "-")
+	case '/':
+		if l.pos < len(l.src) && l.src[l.pos] == '*' { // /* comment */
+			end := strings.Index(l.src[l.pos:], "*/")
+			if end < 0 {
+				return Token{}, fmt.Errorf("sql: unterminated comment at offset %d", start)
+			}
+			l.pos += end + 2
+			return l.Next()
+		}
+		return mk(Slash, "/")
+	case '%':
+		return mk(Percent, "%")
+	case '?':
+		return mk(Param, "?")
+	case '|':
+		if l.pos < len(l.src) && l.src[l.pos] == '|' {
+			l.pos++
+			return mk(Concat, "||")
+		}
+		return Token{}, fmt.Errorf("sql: unexpected '|' at offset %d", start)
+	case '=':
+		return mk(Eq, "=")
+	case '!':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return mk(Neq, "!=")
+		}
+		return Token{}, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+	case '<':
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '>':
+				l.pos++
+				return mk(Neq, "<>")
+			case '=':
+				l.pos++
+				return mk(Le, "<=")
+			}
+		}
+		return mk(Lt, "<")
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return mk(Ge, ">=")
+		}
+		return mk(Gt, ">")
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+// All tokenizes the whole input.
+func (l *Lexer) All() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Type == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *Lexer) lexString() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Type: String, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+}
+
+func (l *Lexer) lexQuotedIdent() (Token, error) {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				sb.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Type: QuotedIdent, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+}
+
+func (l *Lexer) lexNumber() (Token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+				l.pos++
+			}
+		default:
+			return Token{Type: Number, Text: l.src[start:l.pos], Pos: start}, nil
+		}
+		l.pos++
+	}
+	return Token{Type: Number, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *Lexer) lexIdent() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if IsKeyword(text) {
+		return Token{Type: Keyword, Text: strings.ToUpper(text), Pos: start}, nil
+	}
+	return Token{Type: Ident, Text: text, Pos: start}, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool { return c == '_' || isLetter(c) }
+func isIdentPart(c byte) bool  { return c == '_' || c == '$' || isLetter(c) || isDigit(c) }
+func isLetter(c byte) bool     { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }

@@ -1,0 +1,135 @@
+package token
+
+import (
+	"strings"
+	"testing"
+)
+
+func lex(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := NewLexer(src).All()
+	if err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return toks[:len(toks)-1] // strip EOF
+}
+
+func TestKeywordsAreCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"select", "SELECT", "SeLeCt"} {
+		toks := lex(t, src)
+		if len(toks) != 1 || toks[0].Type != Keyword || toks[0].Text != "SELECT" {
+			t.Errorf("%q lexed to %v", src, toks)
+		}
+	}
+	toks := lex(t, "my_table")
+	if toks[0].Type != Ident || toks[0].Text != "my_table" {
+		t.Errorf("identifier lexed to %v", toks[0])
+	}
+}
+
+func TestOperators(t *testing.T) {
+	src := "= <> != < <= > >= + - * / % || ( ) , ; . ?"
+	want := []Type{Eq, Neq, Neq, Lt, Le, Gt, Ge, Plus, Minus, Star, Slash,
+		Percent, Concat, LParen, RParen, Comma, Semicolon, Dot, Param}
+	toks := lex(t, src)
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if toks[i].Type != w {
+			t.Errorf("token %d (%s) has type %d, want %d", i, toks[i].Text, toks[i].Type, w)
+		}
+	}
+}
+
+func TestStringsAndEscapes(t *testing.T) {
+	toks := lex(t, "'it''s' 'a'")
+	if toks[0].Type != String || toks[0].Text != "it's" {
+		t.Errorf("escaped string = %v", toks[0])
+	}
+	if toks[1].Text != "a" {
+		t.Errorf("second string = %v", toks[1])
+	}
+	if _, err := NewLexer("'unterminated").All(); err == nil {
+		t.Error("unterminated string must fail")
+	}
+}
+
+func TestQuotedIdent(t *testing.T) {
+	toks := lex(t, `"EFF_FROM" "with""quote"`)
+	if toks[0].Type != QuotedIdent || toks[0].Text != "EFF_FROM" {
+		t.Errorf("quoted ident = %v", toks[0])
+	}
+	if toks[1].Text != `with"quote` {
+		t.Errorf("escaped quoted ident = %v", toks[1])
+	}
+	if _, err := NewLexer(`"open`).All(); err == nil {
+		t.Error("unterminated quoted identifier must fail")
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks := lex(t, "42 3.14 .5 1e3 2.5E-2")
+	want := []string{"42", "3.14", ".5", "1e3", "2.5E-2"}
+	for i, w := range want {
+		if toks[i].Type != Number || toks[i].Text != w {
+			t.Errorf("number %d = %v, want %q", i, toks[i], w)
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	toks := lex(t, "SELECT -- line comment\n 1 /* block\ncomment */ + 2")
+	texts := make([]string, len(toks))
+	for i, tok := range toks {
+		texts[i] = tok.Text
+	}
+	if strings.Join(texts, " ") != "SELECT 1 + 2" {
+		t.Errorf("comments not skipped: %v", texts)
+	}
+	if _, err := NewLexer("/* open").All(); err == nil {
+		t.Error("unterminated block comment must fail")
+	}
+}
+
+func TestPaperQueryLexes(t *testing.T) {
+	// The Section 5.2 query header must tokenize cleanly.
+	src := `WITH RECURSIVE rtbl (type, obid, name, dec) AS
+	 (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1)`
+	toks := lex(t, src)
+	if len(toks) == 0 {
+		t.Fatal("no tokens")
+	}
+	if toks[0].Text != "WITH" || toks[1].Text != "RECURSIVE" {
+		t.Errorf("prefix = %v %v", toks[0], toks[1])
+	}
+}
+
+func TestBadCharacters(t *testing.T) {
+	for _, src := range []string{"a @ b", "x | y", "!x"} {
+		if _, err := NewLexer(src).All(); err == nil {
+			t.Errorf("%q should fail to lex", src)
+		}
+	}
+}
+
+func TestPositionsForErrors(t *testing.T) {
+	l := NewLexer("SELECT\n  foo")
+	tok, err := l.Next()
+	if err != nil || tok.Pos != 0 {
+		t.Fatalf("first token pos = %d (%v)", tok.Pos, err)
+	}
+	tok, err = l.Next()
+	if err != nil || tok.Pos != 9 {
+		t.Errorf("second token pos = %d (%v), want 9", tok.Pos, err)
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !IsKeyword("select") || !IsKeyword("UNION") {
+		t.Error("reserved words not recognized")
+	}
+	if IsKeyword("obid") || IsKeyword("assy") {
+		t.Error("ordinary identifiers misclassified")
+	}
+}

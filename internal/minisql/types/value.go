@@ -1,0 +1,497 @@
+// Package types defines the value model of the minisql engine: the
+// dynamically typed Value, SQL's three-valued logic, comparisons, casts
+// and arithmetic. All engine layers (storage, executor, wire protocol)
+// share this representation.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported runtime kinds. KindNull is the zero value so that an
+// uninitialized Value is SQL NULL.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOLEAN"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	b    bool
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an INTEGER value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewText returns a TEXT value.
+func NewText(v string) Value { return Value{kind: KindText, s: v} }
+
+// NewBool returns a BOOLEAN value.
+func NewBool(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the runtime kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the int64 payload; valid only when Kind is KindInt.
+func (v Value) Int() int64 { return v.i }
+
+// Float returns the float64 payload; valid only when Kind is KindFloat.
+func (v Value) Float() float64 { return v.f }
+
+// Text returns the string payload; valid only when Kind is KindText.
+func (v Value) Text() string { return v.s }
+
+// Bool returns the bool payload; valid only when Kind is KindBool.
+func (v Value) Bool() bool { return v.b }
+
+// AsFloat converts a numeric value to float64. It reports false for
+// non-numeric values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	}
+	return 0, false
+}
+
+// String renders the value the way the shell and tests display it.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return v.s
+	case KindBool:
+		if v.b {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// SQLLiteral renders the value as a literal that the parser would accept.
+func (v Value) SQLLiteral() string {
+	switch v.kind {
+	case KindText:
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
+	default:
+		return v.String()
+	}
+}
+
+// Equal reports strict equality: same kind and same payload. NULL equals
+// NULL under this relation (used by DISTINCT/UNION dedup, not by SQL `=`).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// int/float cross-kind numeric equality for dedup purposes.
+		if a, ok := v.AsFloat(); ok {
+			if b, ok2 := o.AsFloat(); ok2 {
+				return a == b
+			}
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindInt:
+		return v.i == o.i
+	case KindFloat:
+		return v.f == o.f
+	case KindText:
+		return v.s == o.s
+	case KindBool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// Tristate is SQL's three-valued logic value.
+type Tristate uint8
+
+// The three logic states.
+const (
+	False Tristate = iota
+	True
+	Unknown
+)
+
+func (t Tristate) String() string {
+	switch t {
+	case False:
+		return "FALSE"
+	case True:
+		return "TRUE"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// And returns SQL AND over three-valued logic.
+func (t Tristate) And(o Tristate) Tristate {
+	if t == False || o == False {
+		return False
+	}
+	if t == True && o == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or returns SQL OR over three-valued logic.
+func (t Tristate) Or(o Tristate) Tristate {
+	if t == True || o == True {
+		return True
+	}
+	if t == False && o == False {
+		return False
+	}
+	return Unknown
+}
+
+// Not returns SQL NOT over three-valued logic.
+func (t Tristate) Not() Tristate {
+	switch t {
+	case True:
+		return False
+	case False:
+		return True
+	}
+	return Unknown
+}
+
+// TristateOf lifts a bool into Tristate.
+func TristateOf(b bool) Tristate {
+	if b {
+		return True
+	}
+	return False
+}
+
+// Compare compares two non-NULL values, returning -1, 0 or +1. Numeric
+// values compare across int/float; text compares lexicographically; bool
+// orders FALSE < TRUE. Comparing incompatible kinds returns an error.
+// If either side is NULL the caller must handle it (SQL: Unknown).
+func Compare(a, b Value) (int, error) {
+	if a.IsNull() || b.IsNull() {
+		return 0, fmt.Errorf("types: cannot compare NULL")
+	}
+	if af, ok := a.AsFloat(); ok {
+		if bf, ok2 := b.AsFloat(); ok2 {
+			switch {
+			case af < bf:
+				return -1, nil
+			case af > bf:
+				return 1, nil
+			}
+			return 0, nil
+		}
+	}
+	if a.kind == KindText && b.kind == KindText {
+		return strings.Compare(a.s, b.s), nil
+	}
+	if a.kind == KindBool && b.kind == KindBool {
+		switch {
+		case a.b == b.b:
+			return 0, nil
+		case b.b:
+			return -1, nil
+		}
+		return 1, nil
+	}
+	return 0, fmt.Errorf("types: cannot compare %s with %s", a.kind, b.kind)
+}
+
+// CompareForSort orders values for ORDER BY and index keys: NULL sorts
+// first, then bools, ints/floats numerically, then text. Unlike Compare
+// it never fails; incompatible kinds order by kind rank.
+func CompareForSort(a, b Value) int {
+	ra, rb := sortRank(a), sortRank(b)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	if a.IsNull() {
+		return 0
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+func sortRank(v Value) int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	case KindText:
+		return 3
+	}
+	return 4
+}
+
+// Key returns a map key identifying the value for hashing (GROUP BY,
+// DISTINCT, hash joins, hash indexes). Numerically equal int/float values
+// share a key.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00"
+	case KindInt:
+		return "n" + strconv.FormatFloat(float64(v.i), 'g', -1, 64)
+	case KindFloat:
+		return "n" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindText:
+		return "t" + v.s
+	case KindBool:
+		if v.b {
+			return "b1"
+		}
+		return "b0"
+	}
+	return "?"
+}
+
+// Truth interprets a value as a WHERE-clause condition result.
+func Truth(v Value) Tristate {
+	switch v.kind {
+	case KindNull:
+		return Unknown
+	case KindBool:
+		return TristateOf(v.b)
+	case KindInt:
+		return TristateOf(v.i != 0)
+	case KindFloat:
+		return TristateOf(v.f != 0)
+	}
+	return Unknown
+}
+
+// ColumnType is a declared column type from DDL.
+type ColumnType struct {
+	Kind Kind
+	// Size is the declared length for VARCHAR(n)/CHAR(n); 0 if absent.
+	Size int
+}
+
+func (t ColumnType) String() string {
+	if t.Kind == KindText && t.Size > 0 {
+		return fmt.Sprintf("VARCHAR(%d)", t.Size)
+	}
+	return t.Kind.String()
+}
+
+// ParseColumnType resolves a type name from DDL or CAST.
+func ParseColumnType(name string, size int) (ColumnType, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return ColumnType{Kind: KindInt}, nil
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return ColumnType{Kind: KindFloat}, nil
+	case "TEXT", "VARCHAR", "CHAR", "CHARACTER", "STRING", "CLOB":
+		return ColumnType{Kind: KindText, Size: size}, nil
+	case "BOOL", "BOOLEAN":
+		return ColumnType{Kind: KindBool}, nil
+	}
+	return ColumnType{}, fmt.Errorf("types: unknown type %q", name)
+}
+
+// Coerce converts v to the column type t following SQL assignment rules:
+// NULL passes through, ints widen to float, floats truncate to int when
+// integral, anything casts to text, text parses to numerics/bools.
+func Coerce(v Value, t ColumnType) (Value, error) {
+	if v.IsNull() {
+		return Null, nil
+	}
+	switch t.Kind {
+	case KindInt:
+		switch v.kind {
+		case KindInt:
+			return v, nil
+		case KindFloat:
+			if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+				return NewInt(int64(v.f)), nil
+			}
+			return NewInt(int64(v.f)), nil
+		case KindText:
+			i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("types: cannot cast %q to INTEGER", v.s)
+			}
+			return NewInt(i), nil
+		case KindBool:
+			if v.b {
+				return NewInt(1), nil
+			}
+			return NewInt(0), nil
+		}
+	case KindFloat:
+		switch v.kind {
+		case KindFloat:
+			return v, nil
+		case KindInt:
+			return NewFloat(float64(v.i)), nil
+		case KindText:
+			f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64)
+			if err != nil {
+				return Null, fmt.Errorf("types: cannot cast %q to FLOAT", v.s)
+			}
+			return NewFloat(f), nil
+		}
+	case KindText:
+		s := v.String()
+		if t.Size > 0 && len(s) > t.Size {
+			s = s[:t.Size]
+		}
+		return NewText(s), nil
+	case KindBool:
+		switch v.kind {
+		case KindBool:
+			return v, nil
+		case KindInt:
+			return NewBool(v.i != 0), nil
+		case KindText:
+			switch strings.ToUpper(strings.TrimSpace(v.s)) {
+			case "TRUE", "T", "1":
+				return NewBool(true), nil
+			case "FALSE", "F", "0":
+				return NewBool(false), nil
+			}
+			return Null, fmt.Errorf("types: cannot cast %q to BOOLEAN", v.s)
+		}
+	}
+	return Null, fmt.Errorf("types: cannot coerce %s to %s", v.kind, t)
+}
+
+// Arith applies a binary arithmetic operator. NULL operands yield NULL.
+// The operator is one of "+", "-", "*", "/", "%" and "||" (concat).
+func Arith(op string, a, b Value) (Value, error) {
+	if a.IsNull() || b.IsNull() {
+		return Null, nil
+	}
+	if op == "||" {
+		return NewText(a.String() + b.String()), nil
+	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if !aok || !bok {
+		return Null, fmt.Errorf("types: %s requires numeric operands, got %s and %s", op, a.kind, b.kind)
+	}
+	bothInt := a.kind == KindInt && b.kind == KindInt
+	switch op {
+	case "+":
+		if bothInt {
+			return NewInt(a.i + b.i), nil
+		}
+		return NewFloat(af + bf), nil
+	case "-":
+		if bothInt {
+			return NewInt(a.i - b.i), nil
+		}
+		return NewFloat(af - bf), nil
+	case "*":
+		if bothInt {
+			return NewInt(a.i * b.i), nil
+		}
+		return NewFloat(af * bf), nil
+	case "/":
+		if bothInt {
+			if b.i == 0 {
+				return Null, fmt.Errorf("types: division by zero")
+			}
+			return NewInt(a.i / b.i), nil
+		}
+		if bf == 0 {
+			return Null, fmt.Errorf("types: division by zero")
+		}
+		return NewFloat(af / bf), nil
+	case "%":
+		if !bothInt {
+			return Null, fmt.Errorf("types: %% requires integer operands")
+		}
+		if b.i == 0 {
+			return Null, fmt.Errorf("types: division by zero")
+		}
+		return NewInt(a.i % b.i), nil
+	}
+	return Null, fmt.Errorf("types: unknown operator %q", op)
+}
+
+// CompareOp applies an SQL comparison operator under three-valued logic.
+// op is one of "=", "<>", "<", "<=", ">", ">=".
+func CompareOp(op string, a, b Value) (Tristate, error) {
+	if a.IsNull() || b.IsNull() {
+		return Unknown, nil
+	}
+	c, err := Compare(a, b)
+	if err != nil {
+		return Unknown, err
+	}
+	switch op {
+	case "=":
+		return TristateOf(c == 0), nil
+	case "<>", "!=":
+		return TristateOf(c != 0), nil
+	case "<":
+		return TristateOf(c < 0), nil
+	case "<=":
+		return TristateOf(c <= 0), nil
+	case ">":
+		return TristateOf(c > 0), nil
+	case ">=":
+		return TristateOf(c >= 0), nil
+	}
+	return Unknown, fmt.Errorf("types: unknown comparison %q", op)
+}

@@ -1,0 +1,275 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null.IsNull() || Null.Kind() != KindNull {
+		t.Error("zero Value must be NULL")
+	}
+	if v := NewInt(42); v.Int() != 42 || v.Kind() != KindInt {
+		t.Error("NewInt roundtrip failed")
+	}
+	if v := NewFloat(2.5); v.Float() != 2.5 || v.Kind() != KindFloat {
+		t.Error("NewFloat roundtrip failed")
+	}
+	if v := NewText("x"); v.Text() != "x" || v.Kind() != KindText {
+		t.Error("NewText roundtrip failed")
+	}
+	if v := NewBool(true); !v.Bool() || v.Kind() != KindBool {
+		t.Error("NewBool roundtrip failed")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewText("ab"), "ab"},
+		{NewBool(true), "TRUE"},
+		{NewBool(false), "FALSE"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}
+
+func TestSQLLiteralEscaping(t *testing.T) {
+	v := NewText("it's")
+	if got := v.SQLLiteral(); got != "'it''s'" {
+		t.Errorf("SQLLiteral = %q, want 'it''s'", got)
+	}
+	if got := NewInt(5).SQLLiteral(); got != "5" {
+		t.Errorf("int literal = %q", got)
+	}
+}
+
+func TestTristateTables(t *testing.T) {
+	// Kleene logic truth tables.
+	and := [3][3]Tristate{
+		{False, False, False},
+		{False, True, Unknown},
+		{False, Unknown, Unknown},
+	}
+	or := [3][3]Tristate{
+		{False, True, Unknown},
+		{True, True, True},
+		{Unknown, True, Unknown},
+	}
+	states := []Tristate{False, True, Unknown}
+	for i, a := range states {
+		for j, b := range states {
+			if got := a.And(b); got != and[i][j] {
+				t.Errorf("%v AND %v = %v, want %v", a, b, got, and[i][j])
+			}
+			if got := a.Or(b); got != or[i][j] {
+				t.Errorf("%v OR %v = %v, want %v", a, b, got, or[i][j])
+			}
+		}
+	}
+	if True.Not() != False || False.Not() != True || Unknown.Not() != Unknown {
+		t.Error("NOT table wrong")
+	}
+}
+
+// Property: De Morgan holds in three-valued logic.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x, y := Tristate(a%3), Tristate(b%3)
+		return x.And(y).Not() == x.Not().Or(y.Not()) &&
+			x.Or(y).Not() == x.Not().And(y.Not())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareNumericCrossKind(t *testing.T) {
+	c, err := Compare(NewInt(2), NewFloat(2.0))
+	if err != nil || c != 0 {
+		t.Errorf("2 = 2.0 failed: c=%d err=%v", c, err)
+	}
+	c, err = Compare(NewFloat(1.5), NewInt(2))
+	if err != nil || c != -1 {
+		t.Errorf("1.5 < 2 failed: c=%d err=%v", c, err)
+	}
+	if _, err := Compare(NewInt(1), NewText("1")); err == nil {
+		t.Error("int vs text must not compare")
+	}
+	if _, err := Compare(Null, NewInt(1)); err == nil {
+		t.Error("NULL must not compare")
+	}
+}
+
+// Property: Compare is antisymmetric and total for same-kind non-null ints.
+func TestCompareAntisymmetry(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, err1 := Compare(NewInt(a), NewInt(b))
+		y, err2 := Compare(NewInt(b), NewInt(a))
+		return err1 == nil && err2 == nil && x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CompareForSort is a consistent total order (antisymmetry over
+// mixed kinds, NULL first).
+func TestCompareForSortProperties(t *testing.T) {
+	gen := func(tag uint8, i int64, s string) Value {
+		switch tag % 4 {
+		case 0:
+			return Null
+		case 1:
+			return NewInt(i)
+		case 2:
+			return NewText(s)
+		default:
+			return NewBool(i%2 == 0)
+		}
+	}
+	f := func(t1, t2 uint8, i1, i2 int64, s1, s2 string) bool {
+		a, b := gen(t1, i1, s1), gen(t2, i2, s2)
+		return CompareForSort(a, b) == -CompareForSort(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if CompareForSort(Null, NewInt(math.MinInt64)) != -1 {
+		t.Error("NULL must sort before any value")
+	}
+}
+
+// Property: Key() agrees with numeric equality across int/float.
+func TestKeyConsistentWithEquality(t *testing.T) {
+	f := func(a int64) bool {
+		return NewInt(a).Key() == NewFloat(float64(a)).Key() ||
+			float64(a) != math.Trunc(float64(a)) // precision loss allowed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if NewText("1").Key() == NewInt(1).Key() {
+		t.Error("text and int keys must differ")
+	}
+	if Null.Key() == NewText("").Key() {
+		t.Error("NULL and empty string keys must differ")
+	}
+}
+
+func TestTruth(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want Tristate
+	}{
+		{Null, Unknown},
+		{NewBool(true), True},
+		{NewBool(false), False},
+		{NewInt(0), False},
+		{NewInt(3), True},
+		{NewFloat(0), False},
+		{NewFloat(0.1), True},
+		{NewText("x"), Unknown},
+	}
+	for _, c := range cases {
+		if got := Truth(c.v); got != c.want {
+			t.Errorf("Truth(%s) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseColumnType(t *testing.T) {
+	for name, kind := range map[string]Kind{
+		"INTEGER": KindInt, "int": KindInt, "BIGINT": KindInt,
+		"FLOAT": KindFloat, "real": KindFloat, "DECIMAL": KindFloat,
+		"TEXT": KindText, "VARCHAR": KindText, "clob": KindText,
+		"BOOLEAN": KindBool, "bool": KindBool,
+	} {
+		ct, err := ParseColumnType(name, 0)
+		if err != nil || ct.Kind != kind {
+			t.Errorf("ParseColumnType(%q) = %v, %v; want kind %v", name, ct, err, kind)
+		}
+	}
+	if _, err := ParseColumnType("BLOB", 0); err == nil {
+		t.Error("unknown type must fail")
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	intT := ColumnType{Kind: KindInt}
+	textT := ColumnType{Kind: KindText}
+	boolT := ColumnType{Kind: KindBool}
+	floatT := ColumnType{Kind: KindFloat}
+
+	if v, err := Coerce(NewText(" 42 "), intT); err != nil || v.Int() != 42 {
+		t.Errorf("text->int: %v %v", v, err)
+	}
+	if _, err := Coerce(NewText("x"), intT); err == nil {
+		t.Error("bad text->int must fail")
+	}
+	if v, err := Coerce(NewInt(1), boolT); err != nil || !v.Bool() {
+		t.Errorf("int->bool: %v %v", v, err)
+	}
+	if v, err := Coerce(NewInt(7), floatT); err != nil || v.Float() != 7 {
+		t.Errorf("int->float: %v %v", v, err)
+	}
+	if v, err := Coerce(NewBool(true), textT); err != nil || v.Text() != "TRUE" {
+		t.Errorf("bool->text: %v %v", v, err)
+	}
+	if v, err := Coerce(Null, intT); err != nil || !v.IsNull() {
+		t.Errorf("NULL passthrough: %v %v", v, err)
+	}
+	// VARCHAR(n) truncates.
+	if v, err := Coerce(NewText("abcdef"), ColumnType{Kind: KindText, Size: 3}); err != nil || v.Text() != "abc" {
+		t.Errorf("varchar truncation: %v %v", v, err)
+	}
+}
+
+func TestArith(t *testing.T) {
+	if v, _ := Arith("+", NewInt(2), NewInt(3)); v.Int() != 5 {
+		t.Error("2+3")
+	}
+	if v, _ := Arith("*", NewInt(2), NewFloat(1.5)); v.Float() != 3 {
+		t.Error("2*1.5 must be float 3")
+	}
+	if v, _ := Arith("/", NewInt(7), NewInt(2)); v.Int() != 3 {
+		t.Error("integer division 7/2 = 3")
+	}
+	if _, err := Arith("/", NewInt(1), NewInt(0)); err == nil {
+		t.Error("division by zero must fail")
+	}
+	if v, _ := Arith("%", NewInt(7), NewInt(3)); v.Int() != 1 {
+		t.Error("7%3")
+	}
+	if v, _ := Arith("||", NewText("a"), NewInt(1)); v.Text() != "a1" {
+		t.Error("concat coerces to text")
+	}
+	if v, _ := Arith("+", Null, NewInt(1)); !v.IsNull() {
+		t.Error("NULL propagates through arithmetic")
+	}
+	if _, err := Arith("+", NewText("a"), NewInt(1)); err == nil {
+		t.Error("text arithmetic must fail")
+	}
+}
+
+func TestCompareOpNullIsUnknown(t *testing.T) {
+	for _, op := range []string{"=", "<>", "<", "<=", ">", ">="} {
+		tr, err := CompareOp(op, Null, NewInt(1))
+		if err != nil || tr != Unknown {
+			t.Errorf("NULL %s 1 = %v, %v; want Unknown", op, tr, err)
+		}
+	}
+	tr, err := CompareOp("<=", NewInt(3), NewInt(3))
+	if err != nil || tr != True {
+		t.Errorf("3 <= 3 = %v, %v", tr, err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package netsim simulates the wide-area network between the PDM client
+// and the database server: per-message latency, bandwidth-limited
+// transfer and packetization. The paper's testbed was a real
+// Germany↔Brazil WAN; this simulator substitutes a deterministic virtual
+// clock that charges exactly the quantities the paper's Section 2 model
+// reasons about, so simulated experiments are reproducible on a laptop.
+//
+// Two accounting modes are provided:
+//
+//   - Paper mode (default): requests are charged in full packets and each
+//     response is charged its payload plus half a packet ("in the average
+//     we expect the last package of each response to be filled only
+//     half"), matching formulas (3) and (5).
+//   - Exact mode: both directions are charged their exact byte payloads;
+//     the difference quantifies the model's packetization error.
+package netsim
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Link describes one WAN profile.
+type Link struct {
+	// Name labels the link in reports (e.g. "Germany-Brazil 256 kbit/s").
+	Name string
+	// LatencySec is the one-way latency T_Lat in seconds.
+	LatencySec float64
+	// RateKbps is the data transfer rate dtr in kbit/s (1 kbit = 1024
+	// bits, the paper's convention).
+	RateKbps float64
+	// PacketBytes is the packet size size_p in bytes.
+	PacketBytes int
+	// ExactBytes switches from the paper's packet accounting to exact
+	// payload accounting (ablation knob).
+	ExactBytes bool
+}
+
+// LAN returns a local-area profile for comparison runs: 0.5 ms latency,
+// 100 Mbit/s.
+func LAN() Link {
+	return Link{Name: "LAN 100 Mbit/s, 0.5 ms", LatencySec: 0.0005, RateKbps: 100 * 1024, PacketBytes: 4096}
+}
+
+// Intercontinental returns the paper's slowest profile: 150 ms latency,
+// 256 kbit/s, 4 kB packets.
+func Intercontinental() Link {
+	return Link{Name: "WAN 256 kbit/s, 150 ms", LatencySec: 0.15, RateKbps: 256, PacketBytes: 4096}
+}
+
+func (l Link) String() string {
+	return fmt.Sprintf("%s (T_Lat=%.0fms, dtr=%.0fkbit/s, packet=%dB)",
+		l.Name, l.LatencySec*1000, l.RateKbps, l.PacketBytes)
+}
+
+// bitsPerSec returns the transfer rate in bits per second.
+func (l Link) bitsPerSec() float64 { return l.RateKbps * 1024 }
+
+// RequestVolume returns the bytes charged on the wire for a client→server
+// message of the given payload size.
+func (l Link) RequestVolume(payload int) float64 {
+	if l.ExactBytes || l.PacketBytes <= 0 {
+		return float64(payload)
+	}
+	packets := (payload + l.PacketBytes - 1) / l.PacketBytes
+	if packets < 1 {
+		packets = 1
+	}
+	return float64(packets * l.PacketBytes)
+}
+
+// ResponseVolume returns the bytes charged for a server→client message:
+// payload plus the half-empty final packet of the paper's model.
+func (l Link) ResponseVolume(payload int) float64 {
+	if l.ExactBytes || l.PacketBytes <= 0 {
+		return float64(payload)
+	}
+	return float64(payload) + float64(l.PacketBytes)/2
+}
+
+// TransferSec converts a wire volume to transfer seconds.
+func (l Link) TransferSec(volumeBytes float64) float64 {
+	if l.bitsPerSec() <= 0 {
+		return 0
+	}
+	return volumeBytes * 8 / l.bitsPerSec()
+}
+
+// Metrics accumulates the traffic of a sequence of round trips under a
+// virtual clock.
+type Metrics struct {
+	RoundTrips     int
+	Communications int
+	RequestBytes   float64 // charged volume client→server
+	ResponseBytes  float64 // charged volume server→client
+	LatencySec     float64
+	TransferSec    float64
+}
+
+// TotalSec is the simulated response time accumulated so far.
+func (m Metrics) TotalSec() float64 { return m.LatencySec + m.TransferSec }
+
+// VolumeBytes is the total charged wire volume.
+func (m Metrics) VolumeBytes() float64 { return m.RequestBytes + m.ResponseBytes }
+
+// Sub returns the field-wise difference m - b, for per-action deltas of
+// a shared meter.
+func (m Metrics) Sub(b Metrics) Metrics {
+	return Metrics{
+		RoundTrips:     m.RoundTrips - b.RoundTrips,
+		Communications: m.Communications - b.Communications,
+		RequestBytes:   m.RequestBytes - b.RequestBytes,
+		ResponseBytes:  m.ResponseBytes - b.ResponseBytes,
+		LatencySec:     m.LatencySec - b.LatencySec,
+		TransferSec:    m.TransferSec - b.TransferSec,
+	}
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("%d round trips, %.0f B up, %.0f B down, %.2fs latency + %.2fs transfer = %.2fs",
+		m.RoundTrips, m.RequestBytes, m.ResponseBytes, m.LatencySec, m.TransferSec, m.TotalSec())
+}
+
+// Meter charges request/response pairs against a link and accumulates
+// Metrics. It is the virtual-clock counterpart of a real connection.
+type Meter struct {
+	Link    Link
+	Metrics Metrics
+}
+
+// NewMeter returns a meter over the link.
+func NewMeter(link Link) *Meter { return &Meter{Link: link} }
+
+// RoundTrip charges one request/response exchange: two latencies (paper
+// formula (2): "every query causes an answer") plus the transfer times
+// of both messages.
+func (m *Meter) RoundTrip(requestPayload, responsePayload int) {
+	up := m.Link.RequestVolume(requestPayload)
+	down := m.Link.ResponseVolume(responsePayload)
+	m.Metrics.RoundTrips++
+	m.Metrics.Communications += 2
+	m.Metrics.RequestBytes += up
+	m.Metrics.ResponseBytes += down
+	m.Metrics.LatencySec += 2 * m.Link.LatencySec
+	m.Metrics.TransferSec += m.Link.TransferSec(up) + m.Link.TransferSec(down)
+}
+
+// Reset clears the accumulated metrics (e.g. between user actions).
+func (m *Meter) Reset() { m.Metrics = Metrics{} }
+
+// ---------------------------------------------------------------------------
+// Real-delay transport (for the interactive client/server demo)
+
+// DelayedConn wraps a bidirectional stream and sleeps on every Write to
+// approximate the link's latency and bandwidth in real time, optionally
+// scaled down (Scale 0.01 makes a 30-minute expand take 18 s). It lets
+// cmd/pdmserver and cmd/pdmclient demonstrate the phenomenon live over
+// TCP without waiting half an hour.
+type DelayedConn struct {
+	Stream io.ReadWriteCloser
+	Link   Link
+	// Scale multiplies all delays; 0 means 1.0 (real time).
+	Scale float64
+
+	mu sync.Mutex
+}
+
+func (c *DelayedConn) scale() float64 {
+	if c.Scale > 0 {
+		return c.Scale
+	}
+	return 1
+}
+
+// Read passes through to the underlying stream (delays are charged on
+// the writer's side).
+func (c *DelayedConn) Read(p []byte) (int, error) { return c.Stream.Read(p) }
+
+// Write sleeps for the link latency plus the transfer time of len(p)
+// bytes, then forwards the write.
+func (c *DelayedConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delay := c.Link.LatencySec + c.Link.TransferSec(c.Link.RequestVolume(len(p)))
+	time.Sleep(time.Duration(delay * c.scale() * float64(time.Second)))
+	return c.Stream.Write(p)
+}
+
+// Close closes the underlying stream.
+func (c *DelayedConn) Close() error { return c.Stream.Close() }

@@ -1,0 +1,132 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func paperLink() Link {
+	return Link{Name: "test", LatencySec: 0.15, RateKbps: 256, PacketBytes: 4096}
+}
+
+func TestRequestVolumePacketization(t *testing.T) {
+	l := paperLink()
+	cases := []struct {
+		payload int
+		want    float64
+	}{
+		{0, 4096}, {1, 4096}, {4096, 4096}, {4097, 8192}, {10000, 12288},
+	}
+	for _, c := range cases {
+		if got := l.RequestVolume(c.payload); got != c.want {
+			t.Errorf("RequestVolume(%d) = %v, want %v", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestResponseVolumeHalfPacketCorrection(t *testing.T) {
+	l := paperLink()
+	// payload + size_p/2, matching formula (3)'s correcting term.
+	if got := l.ResponseVolume(1000); got != 1000+2048 {
+		t.Errorf("ResponseVolume(1000) = %v", got)
+	}
+}
+
+func TestExactBytesMode(t *testing.T) {
+	l := paperLink()
+	l.ExactBytes = true
+	if l.RequestVolume(123) != 123 || l.ResponseVolume(123) != 123 {
+		t.Error("exact mode must charge exact payloads")
+	}
+}
+
+func TestTransferSecUsesKibibits(t *testing.T) {
+	l := paperLink()
+	// 262144 bits = 32768 bytes at 256 kbit/s (1 kbit = 1024 bits) = 1 s.
+	if got := l.TransferSec(32768); math.Abs(got-1) > 1e-9 {
+		t.Errorf("TransferSec(32768) = %v, want 1", got)
+	}
+}
+
+// TestMeterMatchesPaperFormula reproduces one Table 2 cell with the
+// meter: the single-level expand at 256 kbit/s (0.63 s total).
+func TestMeterMatchesPaperFormula(t *testing.T) {
+	m := NewMeter(paperLink())
+	// One query (one full packet up), β = 9 nodes of 512 B down.
+	m.RoundTrip(1, 9*512)
+	got := m.Metrics.TotalSec()
+	want := 2*0.15 + (4096+9*512+2048)*8/(256*1024.0)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("meter total = %v, want %v", got, want)
+	}
+	if math.Abs(got-0.628125) > 1e-6 {
+		t.Errorf("Table 2 expand cell = %v, paper computes 0.63", got)
+	}
+	if m.Metrics.Communications != 2 || m.Metrics.RoundTrips != 1 {
+		t.Errorf("counters: %+v", m.Metrics)
+	}
+}
+
+func TestMeterAccumulatesAndResets(t *testing.T) {
+	m := NewMeter(paperLink())
+	m.RoundTrip(100, 100)
+	m.RoundTrip(100, 100)
+	if m.Metrics.RoundTrips != 2 {
+		t.Errorf("RoundTrips = %d", m.Metrics.RoundTrips)
+	}
+	m.Reset()
+	if m.Metrics.RoundTrips != 0 || m.Metrics.TotalSec() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestMetricsSub(t *testing.T) {
+	m := NewMeter(paperLink())
+	m.RoundTrip(10, 10)
+	before := m.Metrics
+	m.RoundTrip(10, 10)
+	d := m.Metrics.Sub(before)
+	if d.RoundTrips != 1 || d.Communications != 2 {
+		t.Errorf("delta = %+v", d)
+	}
+}
+
+// Property: simulated time is monotonic in payload size and additive
+// over round trips.
+func TestMeterMonotonicityProperty(t *testing.T) {
+	l := paperLink()
+	f := func(a, b uint16) bool {
+		small, large := int(a), int(a)+int(b)
+		m1 := NewMeter(l)
+		m1.RoundTrip(64, small)
+		m2 := NewMeter(l)
+		m2.RoundTrip(64, large)
+		if m2.Metrics.TotalSec() < m1.Metrics.TotalSec() {
+			return false
+		}
+		// Additivity.
+		m3 := NewMeter(l)
+		m3.RoundTrip(64, small)
+		m3.RoundTrip(64, large)
+		sum := m1.Metrics.TotalSec() + m2.Metrics.TotalSec()
+		return math.Abs(m3.Metrics.TotalSec()-sum) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileConstructors(t *testing.T) {
+	lan := LAN()
+	wan := Intercontinental()
+	if lan.LatencySec >= wan.LatencySec {
+		t.Error("LAN latency must be below WAN latency")
+	}
+	if lan.RateKbps <= wan.RateKbps {
+		t.Error("LAN bandwidth must exceed WAN bandwidth")
+	}
+	if wan.String() == "" || lan.String() == "" {
+		t.Error("profiles must describe themselves")
+	}
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"pdmtune/internal/minisql/types"
+	"pdmtune/internal/netsim"
+)
+
+// frameOverhead is the per-frame length prefix charged on the wire.
+const frameOverhead = 4
+
+// Channel transports one encoded request and returns the encoded
+// response — the client's only view of the network.
+type Channel interface {
+	RoundTrip(request []byte) (response []byte, err error)
+}
+
+// Client issues SQL over a channel.
+type Client struct {
+	ch Channel
+}
+
+// NewClient wraps a channel.
+func NewClient(ch Channel) *Client { return &Client{ch: ch} }
+
+// Exec ships one statement and decodes the server's answer. Server-side
+// SQL errors come back as *ServerError.
+func (c *Client) Exec(sql string, params ...types.Value) (*Response, error) {
+	req := EncodeRequest(&Request{SQL: sql, Params: params})
+	respBody, err := c.ch.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeResponse(respBody)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, &ServerError{Msg: resp.Err}
+	}
+	return resp, nil
+}
+
+// ServerError is an SQL error reported by the server.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// ---------------------------------------------------------------------------
+// channel implementations
+
+// MeteredChannel executes requests against an in-process server
+// connection while charging every round trip to a WAN meter — the
+// deterministic simulation path used by all experiments.
+type MeteredChannel struct {
+	Conn  *ServerConn
+	Meter *netsim.Meter
+}
+
+// RoundTrip dispatches in-process and charges request/response sizes
+// (payload plus length prefix) to the meter.
+func (mc *MeteredChannel) RoundTrip(request []byte) ([]byte, error) {
+	response := mc.Conn.Handle(request)
+	if mc.Meter != nil {
+		mc.Meter.RoundTrip(len(request)+frameOverhead, len(response)+frameOverhead)
+	}
+	return response, nil
+}
+
+// StreamChannel speaks the framed protocol over a real stream (TCP or
+// net.Pipe), for the interactive demo binaries.
+type StreamChannel struct {
+	Stream io.ReadWriter
+}
+
+// RoundTrip writes one frame and reads one frame.
+func (sc *StreamChannel) RoundTrip(request []byte) ([]byte, error) {
+	if err := WriteFrame(sc.Stream, request); err != nil {
+		return nil, fmt.Errorf("wire: send: %w", err)
+	}
+	body, err := ReadFrame(sc.Stream)
+	if err != nil {
+		return nil, fmt.Errorf("wire: receive: %w", err)
+	}
+	return body, nil
+}

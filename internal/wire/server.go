@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+
+	"pdmtune/internal/minisql"
+)
+
+// Server fronts a minisql database with the wire protocol. One Server
+// serves many connections; each connection owns a database session (and
+// thus its own transaction state).
+type Server struct {
+	db *minisql.DB
+}
+
+// NewServer wraps a database.
+func NewServer(db *minisql.DB) *Server { return &Server{db: db} }
+
+// DB exposes the underlying database (e.g. for registering procedures).
+func (s *Server) DB() *minisql.DB { return s.db }
+
+// NewConn opens a server-side connection with a fresh session.
+func (s *Server) NewConn() *ServerConn {
+	return &ServerConn{server: s, session: s.db.NewSession()}
+}
+
+// ServerConn is the server side of one client connection.
+type ServerConn struct {
+	server  *Server
+	session *minisql.Session
+}
+
+// Handle executes one encoded request and returns the encoded response.
+// It never fails: errors travel to the client as error frames.
+func (c *ServerConn) Handle(reqBody []byte) []byte {
+	req, err := DecodeRequest(reqBody)
+	if err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)})
+	}
+	res, err := c.session.Exec(req.SQL, req.Params...)
+	if err != nil {
+		return EncodeResponse(&Response{Err: err.Error()})
+	}
+	return EncodeResponse(&Response{Cols: res.Cols, Rows: res.Rows, RowsAffected: res.RowsAffected})
+}
+
+// Serve runs a framed request/response loop over a stream until EOF.
+func (c *ServerConn) Serve(stream io.ReadWriter) error {
+	for {
+		body, err := ReadFrame(stream)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if err := WriteFrame(stream, c.Handle(body)); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package wire implements the client/server protocol between the PDM
+// client and the database server: length-prefixed binary frames carrying
+// SQL statements with parameters in one direction and result sets (or
+// errors) in the other. Frame sizes are exact, which is what the WAN
+// simulator charges — the PDM layer's transferred-volume numbers come
+// from this encoding.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"pdmtune/internal/minisql/storage"
+	"pdmtune/internal/minisql/types"
+)
+
+// Frame type tags.
+const (
+	TypeRequest  = 0x01
+	TypeResult   = 0x02
+	TypeError    = 0x03
+	MaxFrameSize = 1 << 30
+)
+
+// Request is one statement execution request.
+type Request struct {
+	SQL    string
+	Params []types.Value
+}
+
+// Response is the server's answer: either an error message or a result.
+type Response struct {
+	Err          string
+	Cols         []string
+	Rows         []storage.Row
+	RowsAffected int
+}
+
+// ---------------------------------------------------------------------------
+// primitive encoders
+
+func appendUint32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = appendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func readUint32(b []byte) (uint32, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	return binary.BigEndian.Uint32(b), b[4:], nil
+}
+
+func readString(b []byte) (string, []byte, error) {
+	n, rest, err := readUint32(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if uint32(len(rest)) < n {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+// value tags on the wire
+const (
+	tagNull  = 0
+	tagInt   = 1
+	tagFloat = 2
+	tagText  = 3
+	tagTrue  = 4
+	tagFalse = 5
+)
+
+// AppendValue encodes one SQL value.
+func AppendValue(b []byte, v types.Value) []byte {
+	switch v.Kind() {
+	case types.KindNull:
+		return append(b, tagNull)
+	case types.KindInt:
+		b = append(b, tagInt)
+		return binary.BigEndian.AppendUint64(b, uint64(v.Int()))
+	case types.KindFloat:
+		b = append(b, tagFloat)
+		return binary.BigEndian.AppendUint64(b, math.Float64bits(v.Float()))
+	case types.KindText:
+		b = append(b, tagText)
+		return appendString(b, v.Text())
+	case types.KindBool:
+		if v.Bool() {
+			return append(b, tagTrue)
+		}
+		return append(b, tagFalse)
+	}
+	return append(b, tagNull)
+}
+
+// ReadValue decodes one SQL value.
+func ReadValue(b []byte) (types.Value, []byte, error) {
+	if len(b) < 1 {
+		return types.Null, nil, io.ErrUnexpectedEOF
+	}
+	tag := b[0]
+	b = b[1:]
+	switch tag {
+	case tagNull:
+		return types.Null, b, nil
+	case tagInt:
+		if len(b) < 8 {
+			return types.Null, nil, io.ErrUnexpectedEOF
+		}
+		return types.NewInt(int64(binary.BigEndian.Uint64(b))), b[8:], nil
+	case tagFloat:
+		if len(b) < 8 {
+			return types.Null, nil, io.ErrUnexpectedEOF
+		}
+		return types.NewFloat(math.Float64frombits(binary.BigEndian.Uint64(b))), b[8:], nil
+	case tagText:
+		s, rest, err := readString(b)
+		if err != nil {
+			return types.Null, nil, err
+		}
+		return types.NewText(s), rest, nil
+	case tagTrue:
+		return types.NewBool(true), b, nil
+	case tagFalse:
+		return types.NewBool(false), b, nil
+	}
+	return types.Null, nil, fmt.Errorf("wire: unknown value tag %d", tag)
+}
+
+// ---------------------------------------------------------------------------
+// message encoding
+
+// EncodeRequest serializes a request frame body (without the outer
+// length prefix).
+func EncodeRequest(req *Request) []byte {
+	b := []byte{TypeRequest}
+	b = appendString(b, req.SQL)
+	b = appendUint32(b, uint32(len(req.Params)))
+	for _, p := range req.Params {
+		b = AppendValue(b, p)
+	}
+	return b
+}
+
+// DecodeRequest parses a request frame body.
+func DecodeRequest(b []byte) (*Request, error) {
+	if len(b) < 1 || b[0] != TypeRequest {
+		return nil, fmt.Errorf("wire: not a request frame")
+	}
+	b = b[1:]
+	sql, b, err := readString(b)
+	if err != nil {
+		return nil, err
+	}
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{SQL: sql}
+	for i := uint32(0); i < n; i++ {
+		var v types.Value
+		v, b, err = ReadValue(b)
+		if err != nil {
+			return nil, err
+		}
+		req.Params = append(req.Params, v)
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes a response frame body.
+func EncodeResponse(resp *Response) []byte {
+	if resp.Err != "" {
+		b := []byte{TypeError}
+		return appendString(b, resp.Err)
+	}
+	b := []byte{TypeResult}
+	b = appendUint32(b, uint32(resp.RowsAffected))
+	b = appendUint32(b, uint32(len(resp.Cols)))
+	for _, c := range resp.Cols {
+		b = appendString(b, c)
+	}
+	b = appendUint32(b, uint32(len(resp.Rows)))
+	for _, row := range resp.Rows {
+		for _, v := range row {
+			b = AppendValue(b, v)
+		}
+	}
+	return b
+}
+
+// DecodeResponse parses a response frame body.
+func DecodeResponse(b []byte) (*Response, error) {
+	if len(b) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	switch b[0] {
+	case TypeError:
+		msg, _, err := readString(b[1:])
+		if err != nil {
+			return nil, err
+		}
+		return &Response{Err: msg}, nil
+	case TypeResult:
+	default:
+		return nil, fmt.Errorf("wire: unknown frame type %d", b[0])
+	}
+	b = b[1:]
+	affected, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	ncols, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{RowsAffected: int(affected)}
+	for i := uint32(0); i < ncols; i++ {
+		var c string
+		c, b, err = readString(b)
+		if err != nil {
+			return nil, err
+		}
+		resp.Cols = append(resp.Cols, c)
+	}
+	nrows, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nrows; i++ {
+		row := make(storage.Row, ncols)
+		for j := uint32(0); j < ncols; j++ {
+			var v types.Value
+			v, b, err = ReadValue(b)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = v
+		}
+		resp.Rows = append(resp.Rows, row)
+	}
+	return resp, nil
+}
+
+// ---------------------------------------------------------------------------
+// stream framing (for real connections)
+
+// WriteFrame writes a length-prefixed frame body to a stream.
+func WriteFrame(w io.Writer, body []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame body from a stream.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/storage"
+	"pdmtune/internal/minisql/types"
+	"pdmtune/internal/netsim"
+)
+
+func TestValueRoundTrip(t *testing.T) {
+	values := []types.Value{
+		types.Null,
+		types.NewInt(0), types.NewInt(-1), types.NewInt(1 << 40),
+		types.NewFloat(3.25), types.NewFloat(-0.0),
+		types.NewText(""), types.NewText("hello 'quoted'"),
+		types.NewBool(true), types.NewBool(false),
+	}
+	for _, v := range values {
+		buf := AppendValue(nil, v)
+		got, rest, err := ReadValue(buf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("ReadValue(%s): %v, %d trailing", v, err, len(rest))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %s -> %s", v, got)
+		}
+	}
+}
+
+// Property: arbitrary request frames round-trip exactly.
+func TestRequestRoundTripProperty(t *testing.T) {
+	f := func(sql string, ints []int64, texts []string) bool {
+		req := &Request{SQL: sql}
+		for _, i := range ints {
+			req.Params = append(req.Params, types.NewInt(i))
+		}
+		for _, s := range texts {
+			req.Params = append(req.Params, types.NewText(s))
+		}
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			return false
+		}
+		if got.SQL != req.SQL || len(got.Params) != len(req.Params) {
+			return false
+		}
+		for i := range req.Params {
+			if !got.Params[i].Equal(req.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	resp := &Response{
+		Cols:         []string{"a", "b"},
+		Rows:         []storage.Row{{types.NewInt(1), types.NewText("x")}, {types.Null, types.NewBool(true)}},
+		RowsAffected: 7,
+	}
+	got, err := DecodeResponse(EncodeResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Cols, resp.Cols) || got.RowsAffected != 7 || len(got.Rows) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !got.Rows[1][1].Equal(types.NewBool(true)) {
+		t.Error("row values corrupted")
+	}
+}
+
+func TestErrorResponse(t *testing.T) {
+	resp, err := DecodeResponse(EncodeResponse(&Response{Err: "boom"}))
+	if err != nil || resp.Err != "boom" {
+		t.Fatalf("error frame: %+v, %v", resp, err)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {0x99}, {TypeRequest}, {TypeResult, 1}} {
+		if _, err := DecodeResponse(b); err == nil && len(b) > 0 && b[0] == TypeResult {
+			t.Errorf("short result frame %v must fail", b)
+		}
+		if _, err := DecodeRequest(b); err == nil {
+			t.Errorf("bad request frame %v must fail", b)
+		}
+	}
+}
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(&buf, []byte("")); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := ReadFrame(&buf)
+	if err != nil || string(b1) != "hello" {
+		t.Fatalf("frame 1: %q, %v", b1, err)
+	}
+	b2, err := ReadFrame(&buf)
+	if err != nil || len(b2) != 0 {
+		t.Fatalf("frame 2: %q, %v", b2, err)
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("EOF expected")
+	}
+}
+
+func TestServerHandlesRequests(t *testing.T) {
+	db := minisql.NewDB()
+	srv := NewServer(db)
+	conn := srv.NewConn()
+	client := NewClient(&MeteredChannel{Conn: conn})
+
+	if _, err := client.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec("INSERT INTO t VALUES (?)", types.NewInt(5)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Exec("SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0].Int() != 5 {
+		t.Fatalf("result: %+v", resp)
+	}
+	// SQL errors surface as ServerError, not transport failures.
+	_, err = client.Exec("SELECT * FROM missing")
+	if _, ok := err.(*ServerError); !ok {
+		t.Fatalf("expected ServerError, got %T %v", err, err)
+	}
+}
+
+func TestMeteredChannelCharges(t *testing.T) {
+	db := minisql.NewDB()
+	srv := NewServer(db)
+	meter := netsim.NewMeter(netsim.Intercontinental())
+	client := NewClient(&MeteredChannel{Conn: srv.NewConn(), Meter: meter})
+	if _, err := client.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if meter.Metrics.RoundTrips != 1 || meter.Metrics.TotalSec() <= 0 {
+		t.Errorf("meter not charged: %+v", meter.Metrics)
+	}
+}
+
+// TestStreamChannelOverPipe runs the framed protocol over a real
+// bidirectional connection — the path cmd/pdmserver and cmd/pdmclient use.
+func TestStreamChannelOverPipe(t *testing.T) {
+	db := minisql.NewDB()
+	srv := NewServer(db)
+	clientEnd, serverEnd := net.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		conn := srv.NewConn()
+		done <- conn.Serve(serverEnd)
+	}()
+
+	client := NewClient(&StreamChannel{Stream: clientEnd})
+	if _, err := client.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec("INSERT INTO t VALUES (1), (2)"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Exec("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows[0][0].Int() != 2 {
+		t.Fatalf("count = %s", resp.Rows[0][0])
+	}
+	clientEnd.Close()
+	if err := <-done; err != nil && err.Error() != "io: read/write on closed pipe" {
+		t.Logf("server loop ended: %v", err)
+	}
+}
+
+// TestSessionIsolationPerConnection: transactions on one connection do
+// not leak into another.
+func TestSessionIsolationPerConnection(t *testing.T) {
+	db := minisql.NewDB()
+	srv := NewServer(db)
+	c1 := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	c2 := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	if _, err := c1.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	// c2 has no open transaction.
+	if _, err := c2.Exec("COMMIT"); err == nil {
+		t.Error("COMMIT on a fresh session must fail")
+	}
+	if _, err := c1.Exec("COMMIT"); err != nil {
+		t.Errorf("COMMIT on the session with BEGIN must work: %v", err)
+	}
+}

@@ -1,0 +1,217 @@
+package workload
+
+import (
+	"testing"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/types"
+)
+
+func generate(t *testing.T, cfg Config) (*minisql.DB, *Product) {
+	t.Helper()
+	db := minisql.NewDB()
+	prod, err := Generate(db.NewSession(), cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return db, prod
+}
+
+func TestShapeAndCounts(t *testing.T) {
+	db, prod := generate(t, Config{Depth: 3, Branch: 4, Sigma: 0.5, Seed: 1, PadBytes: 8})
+	// Complete β-ary tree: levels 1..δ have β^i nodes.
+	wantTotals := []int{1, 4, 16, 64}
+	for lvl, want := range wantTotals {
+		if prod.TotalCount[lvl] != want {
+			t.Errorf("level %d: %d nodes, want %d", lvl, prod.TotalCount[lvl], want)
+		}
+	}
+	if prod.AllNodes() != 84 {
+		t.Errorf("AllNodes = %d, want 84", prod.AllNodes())
+	}
+	// σβ = 2 exactly: deterministic visibility gives 2/4/8.
+	if prod.VisibleNodes() != 14 {
+		t.Errorf("VisibleNodes = %d, want 14", prod.VisibleNodes())
+	}
+	// Database row counts match: assemblies are internal nodes, comps leaves.
+	if n := db.NumRows("assy"); n != 1+4+16 {
+		t.Errorf("assy rows = %d, want 21", n)
+	}
+	if n := db.NumRows("comp"); n != 64 {
+		t.Errorf("comp rows = %d, want 64", n)
+	}
+	if n := db.NumRows("link"); n != 84 {
+		t.Errorf("link rows = %d, want 84", n)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, p1 := generate(t, Config{Depth: 3, Branch: 3, Sigma: 0.6, Seed: 99, PadBytes: 8})
+	_, p2 := generate(t, Config{Depth: 3, Branch: 3, Sigma: 0.6, Seed: 99, PadBytes: 8})
+	if p1.VisibleNodes() != p2.VisibleNodes() || p1.RootID != p2.RootID {
+		t.Error("same seed must generate identical products")
+	}
+	for id, n1 := range p1.Nodes {
+		n2, ok := p2.Nodes[id]
+		if !ok || n1.Visible != n2.Visible || n1.Type != n2.Type {
+			t.Fatalf("node %d differs between runs", id)
+		}
+	}
+}
+
+func TestVisibilityConsistency(t *testing.T) {
+	_, prod := generate(t, Config{Depth: 4, Branch: 3, Sigma: 0.5, Seed: 5, PadBytes: 8})
+	for id, n := range prod.Nodes {
+		if n.Parent == 0 {
+			continue
+		}
+		parent := prod.Nodes[n.Parent]
+		// A node is visible iff its parent is visible and its link is.
+		want := parent.Visible && n.LinkVis
+		if n.Visible != want {
+			t.Errorf("node %d: Visible=%v, want %v", id, n.Visible, want)
+		}
+	}
+}
+
+func TestPathOptMatchesVisibility(t *testing.T) {
+	db, prod := generate(t, Config{Depth: 3, Branch: 3, Sigma: 0.5, Seed: 2, PadBytes: 8})
+	s := db.NewSession()
+	res, err := s.Query("SELECT obid, path_opt FROM assy UNION ALL SELECT obid, path_opt FROM comp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		n := prod.Nodes[row[0].Int()]
+		if n == nil {
+			t.Fatalf("database has unknown node %s", row[0])
+		}
+		wantOpt := VisibleOption
+		if !n.Visible {
+			wantOpt = HiddenOption
+		}
+		if row[1].Text() != wantOpt {
+			t.Errorf("node %d path_opt = %q, want %q", n.ObID, row[1].Text(), wantOpt)
+		}
+	}
+}
+
+func TestLinkOptionsMatchGroundTruth(t *testing.T) {
+	db, prod := generate(t, Config{Depth: 3, Branch: 3, Sigma: 0.5, Seed: 4, PadBytes: 8})
+	s := db.NewSession()
+	res, err := s.Query("SELECT right, strc_opt FROM link")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		n := prod.Nodes[row[0].Int()]
+		visible := row[1].Text() == VisibleOption
+		if n.LinkVis != visible {
+			t.Errorf("link to %d: strc_opt %q vs ground truth LinkVis=%v", n.ObID, row[1].Text(), n.LinkVis)
+		}
+	}
+}
+
+func TestRandomVisibilityUnbiased(t *testing.T) {
+	// With iid visibility the expected visible count is Σ(σβ)^i; check
+	// the sample lands within a loose band.
+	_, prod := generate(t, Config{Depth: 5, Branch: 4, Sigma: 0.5, Seed: 13, PadBytes: 8, RandomVisibility: true})
+	expect := 0.0
+	pow := 1.0
+	for i := 1; i <= 5; i++ {
+		pow *= 2 // σβ = 2
+		expect += pow
+	}
+	got := float64(prod.VisibleNodes())
+	if got < expect/3 || got > expect*3 {
+		t.Errorf("random visibility: %v visible, expected around %v", got, expect)
+	}
+}
+
+func TestPaddingControlsRowSize(t *testing.T) {
+	db, _ := generate(t, Config{Depth: 2, Branch: 2, Sigma: 1, Seed: 1, PadBytes: 100})
+	s := db.NewSession()
+	res, err := s.Query("SELECT length(data) FROM assy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if row[0].Int() != 100 {
+			t.Fatalf("pad length = %s, want 100", row[0])
+		}
+	}
+}
+
+func TestSpecsOnlyOnComponents(t *testing.T) {
+	db, prod := generate(t, Config{Depth: 3, Branch: 3, Sigma: 1, Seed: 8, PadBytes: 8, SpecFraction: 0.5})
+	s := db.NewSession()
+	res, err := s.Query("SELECT left FROM specified_by")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no specifications generated")
+	}
+	for _, row := range res.Rows {
+		n := prod.Nodes[row[0].Int()]
+		if n == nil || n.Type != "comp" {
+			t.Errorf("specification attached to non-component %s", row[0])
+		}
+		if !n.HasSpec {
+			t.Errorf("ground truth says node %d has no spec", n.ObID)
+		}
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	s := minisql.NewDB().NewSession()
+	for _, cfg := range []Config{
+		{Depth: 0, Branch: 3},
+		{Depth: 3, Branch: 0},
+		{Depth: 3, Branch: 3, Sigma: -0.1},
+		{Depth: 3, Branch: 3, Sigma: 1.1},
+	} {
+		if _, err := Generate(s, cfg); err == nil {
+			t.Errorf("config %+v must be rejected", cfg)
+		}
+	}
+}
+
+func TestMultipleProductsCoexist(t *testing.T) {
+	db := minisql.NewDB()
+	s := db.NewSession()
+	p1, err := Generate(s, Config{ProdID: 1, Depth: 2, Branch: 2, Sigma: 1, Seed: 1, PadBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Generate(s, Config{ProdID: 2, Depth: 2, Branch: 3, Sigma: 1, Seed: 2, PadBytes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.RootID == p2.RootID {
+		t.Fatal("products must have distinct roots")
+	}
+	res, err := s.Query("SELECT COUNT(*) FROM assy WHERE prod = ?", types.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != int64(1+3) {
+		t.Errorf("product 2 assemblies = %s, want 4", res.Rows[0][0])
+	}
+}
+
+func TestLoadPaperExample(t *testing.T) {
+	db := minisql.NewDB()
+	if err := LoadPaperExample(db.NewSession()); err != nil {
+		t.Fatal(err)
+	}
+	s := db.NewSession()
+	res, err := s.Query("SELECT COUNT(*) FROM assy")
+	if err != nil || res.Rows[0][0].Int() != 8 {
+		t.Fatalf("assy count: %v %v", res, err)
+	}
+	res, err = s.Query("SELECT COUNT(*) FROM link")
+	if err != nil || res.Rows[0][0].Int() != 8 {
+		t.Fatalf("link count: %v %v", res, err)
+	}
+}

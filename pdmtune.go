@@ -1,0 +1,162 @@
+// Package pdmtune reproduces "Tuning an SQL-Based PDM System in a
+// Worldwide Client/Server Environment" (Müller, Dadam, Enderle, Feltes;
+// ICDE 2001): a Product Data Management system on top of a from-scratch
+// relational engine, a simulated wide-area network between client and
+// server, and the paper's two tuning approaches — early rule evaluation
+// and SQL:1999 recursive queries — as selectable client strategies.
+//
+// The package is a thin facade over the internal building blocks:
+//
+//   - internal/minisql    — the SQL engine (parser, executor, recursion)
+//   - internal/wire       — the client/server protocol
+//   - internal/netsim     — the WAN simulator (latency, bandwidth, packets)
+//   - internal/workload   — β-ary product-structure generation
+//   - internal/core       — the PDM layer (rules, query modification,
+//     recursive queries, actions) — the paper's contribution
+//   - internal/costmodel  — the paper's analytic response-time model
+//
+// Quickstart:
+//
+//	sys := pdmtune.NewSystem(nil)
+//	prod, _ := sys.LoadProduct(pdmtune.ProductConfig{Depth: 3, Branch: 4, Sigma: 0.6})
+//	client, meter := sys.Connect(pdmtune.Intercontinental(), pdmtune.DefaultUser("scott"), pdmtune.Recursive)
+//	res, _ := client.MultiLevelExpand(prod.RootID)
+//	fmt.Println(res.Visible, "nodes in", meter.Metrics.TotalSec(), "simulated seconds")
+package pdmtune
+
+import (
+	"pdmtune/internal/core"
+	"pdmtune/internal/costmodel"
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+	"pdmtune/internal/workload"
+)
+
+// Re-exported types: the public API of the reproduction.
+type (
+	// Client is the PDM client executing user actions over the WAN.
+	Client = core.Client
+	// Rule is a PDM access rule (user, action, object type, condition).
+	Rule = core.Rule
+	// RuleTable is the client-side store of translated rules.
+	RuleTable = core.RuleTable
+	// UserContext carries the user's environment (options, effectivity).
+	UserContext = core.UserContext
+	// Tree is a reassembled product structure.
+	Tree = core.Tree
+	// Node is one product object as presented to the user.
+	Node = core.Node
+	// ActionResult reports one user action and its WAN cost.
+	ActionResult = core.ActionResult
+	// CheckOutResult reports a check-out/check-in.
+	CheckOutResult = core.CheckOutResult
+	// Link describes a WAN profile.
+	Link = netsim.Link
+	// Meter accumulates simulated WAN metrics.
+	Meter = netsim.Meter
+	// Metrics is the accumulated traffic of a meter.
+	Metrics = netsim.Metrics
+	// Strategy selects late evaluation, early evaluation or recursion.
+	Strategy = costmodel.Strategy
+	// Action is one of the paper's user actions (Query, Expand, MLE).
+	Action = costmodel.Action
+	// ProductConfig parameterizes product-structure generation.
+	ProductConfig = workload.Config
+	// Product is the generated ground truth.
+	Product = workload.Product
+)
+
+// Strategy and action constants, re-exported from the cost model.
+const (
+	LateEval  = costmodel.LateEval
+	EarlyEval = costmodel.EarlyEval
+	Recursive = costmodel.Recursive
+
+	Query  = costmodel.Query
+	Expand = costmodel.Expand
+	MLE    = costmodel.MLE
+)
+
+// Condition kinds for rules.
+const (
+	KindRow             = core.KindRow
+	KindForAllRows      = core.KindForAllRows
+	KindExistsStructure = core.KindExistsStructure
+	KindTreeAggregate   = core.KindTreeAggregate
+)
+
+// DefaultUser returns a user context matching the generated workload
+// (structure option "base", full effectivity range).
+func DefaultUser(name string) UserContext { return core.DefaultUser(name) }
+
+// StandardRules returns the workload's structure-option/effectivity
+// rules plus the paper's check-out rule.
+func StandardRules() *RuleTable {
+	rt := core.StandardRules()
+	rt.MustAdd(core.CheckOutRule())
+	return rt
+}
+
+// Intercontinental returns the paper's slowest WAN profile (256 kbit/s,
+// 150 ms, 4 kB packets).
+func Intercontinental() Link { return netsim.Intercontinental() }
+
+// LAN returns a local-area profile for before/after comparisons.
+func LAN() Link { return netsim.LAN() }
+
+// LinkOf converts an analytic network profile into a simulator link.
+func LinkOf(n costmodel.Network) Link {
+	return Link{Name: n.Name, LatencySec: n.LatencySec, RateKbps: n.RateKbps, PacketBytes: int(n.PacketBytes)}
+}
+
+// System bundles one PDM database server with its rule table.
+type System struct {
+	DB     *minisql.DB
+	Server *wire.Server
+	Rules  *RuleTable
+}
+
+// NewSystem creates an empty PDM system. rules may be nil for the
+// standard set; the server-side procedures enforce the same rules.
+func NewSystem(rules *RuleTable) *System {
+	if rules == nil {
+		rules = StandardRules()
+	}
+	db := minisql.NewDB()
+	core.RegisterProcedures(db, rules)
+	return &System{DB: db, Server: wire.NewServer(db), Rules: rules}
+}
+
+// LoadProduct generates a product structure into the system's database
+// and returns its ground truth.
+func (s *System) LoadProduct(cfg ProductConfig) (*Product, error) {
+	return workload.Generate(s.DB.NewSession(), cfg)
+}
+
+// LoadPaperExample loads the paper's Figure 2 example data.
+func (s *System) LoadPaperExample() error {
+	return workload.LoadPaperExample(s.DB.NewSession())
+}
+
+// Connect opens a PDM client session across the given WAN link.
+func (s *System) Connect(link Link, user UserContext, strategy Strategy) (*Client, *Meter) {
+	meter := netsim.NewMeter(link)
+	ch := &wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: meter}
+	return core.NewClient(ch, meter, s.Rules, user, strategy), meter
+}
+
+// RunAction executes one of the paper's user actions under a strategy
+// and returns the result with its isolated WAN metrics. target is the
+// root object for Expand/MLE and the product id for Query.
+func (s *System) RunAction(link Link, user UserContext, strategy Strategy, action Action, target int64) (*ActionResult, error) {
+	client, _ := s.Connect(link, user, strategy)
+	switch action {
+	case Query:
+		return client.QueryAll(target)
+	case Expand:
+		return client.Expand(target)
+	default:
+		return client.MultiLevelExpand(target)
+	}
+}
