@@ -175,6 +175,97 @@ func BenchmarkSimulated(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatedBatched runs the navigational MLEs with statement
+// batching enabled: one wire batch per BFS level instead of one round
+// trip per node. For every cell it re-runs the unbatched client on the
+// same fixture, asserts the visible result sets are identical, and
+// reports both round-trip counts — the saved WAN latency is the metric.
+func BenchmarkSimulatedBatched(b *testing.B) {
+	for scenIdx := range costmodel.PaperScenarios() {
+		scen := costmodel.PaperScenarios()[scenIdx]
+		for _, strat := range []costmodel.Strategy{costmodel.LateEval, costmodel.EarlyEval} {
+			name := fmt.Sprintf("d%d_b%d/MLE/%s", scen.Depth, scen.Branch,
+				map[costmodel.Strategy]string{
+					costmodel.LateEval:  "late",
+					costmodel.EarlyEval: "early",
+				}[strat])
+			b.Run(name, func(b *testing.B) {
+				simulatedBatchedBench(b, scenIdx, 0, pdmtune.Strategy(strat))
+			})
+		}
+	}
+}
+
+func simulatedBatchedBench(b *testing.B, scenIdx, netIdx int, strat pdmtune.Strategy) {
+	f := getFixture(b, scenIdx)
+	link := pdmtune.LinkOf(costmodel.PaperNetworks()[netIdx])
+	user := pdmtune.DefaultUser("bench")
+	plain, err := f.sys.RunAction(link, user, strat, pdmtune.MLE, f.prod.RootID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *pdmtune.ActionResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = f.sys.RunActionBatched(link, user, strat, pdmtune.MLE, f.prod.RootID)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if res.Visible != plain.Visible {
+		b.Fatalf("batched client sees %d nodes, unbatched %d — result sets differ",
+			res.Visible, plain.Visible)
+	}
+	if res.Metrics.RoundTrips >= plain.Metrics.RoundTrips {
+		b.Fatalf("batching saved nothing: %d round trips batched vs %d unbatched",
+			res.Metrics.RoundTrips, plain.Metrics.RoundTrips)
+	}
+	b.ReportMetric(res.Metrics.TotalSec(), "sim_s")
+	b.ReportMetric(float64(res.Metrics.RoundTrips), "roundtrips")
+	b.ReportMetric(float64(plain.Metrics.RoundTrips), "unbatched_roundtrips")
+	b.ReportMetric(float64(res.Metrics.SavedRoundTrips()), "saved_roundtrips")
+	b.ReportMetric(res.Metrics.VolumeBytes()/1024, "wire_KiB")
+	model := costmodel.Model{
+		Net:  costmodel.PaperNetworks()[netIdx],
+		Tree: costmodel.PaperScenarios()[scenIdx],
+	}.PredictBatched(costmodel.MLE, costmodel.Strategy(strat))
+	b.ReportMetric(model.TotalSec, "model_s")
+}
+
+// BenchmarkSimulatedBatchedCheckOut measures the batched modify path:
+// the whole check-out (batched expand + one batched flag update).
+func BenchmarkSimulatedBatchedCheckOut(b *testing.B) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{Depth: 4, Branch: 4, Sigma: 0.5, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	link := pdmtune.Intercontinental()
+	var last *pdmtune.CheckOutResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		user := pdmtune.DefaultUser(fmt.Sprintf("bu%d", i))
+		client, _ := sys.ConnectBatched(link, user, pdmtune.EarlyEval)
+		last, err = client.CheckOut(prod.RootID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !last.Granted {
+			b.Fatal("check-out denied — previous iteration did not check in")
+		}
+		b.StopTimer()
+		if _, err := client.CheckInViaProcedure(prod.RootID); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(last.Metrics.TotalSec(), "sim_s")
+	b.ReportMetric(float64(last.Metrics.RoundTrips), "roundtrips")
+	b.ReportMetric(float64(last.Metrics.SavedRoundTrips()), "saved_roundtrips")
+}
+
 // BenchmarkCheckOut compares the three ways to check out a subtree
 // (Section 6): navigational, recursive+updates, stored procedure.
 func BenchmarkCheckOut(b *testing.B) {

@@ -9,6 +9,7 @@
 //	pdmbench -table 3         # one table
 //	pdmbench -figure 5        # one figure (ASCII bars)
 //	pdmbench -simulate        # wire-level simulation vs model, all scenarios
+//	pdmbench -batch           # batched vs unbatched wire protocol (round trips saved)
 //	pdmbench -checkout        # Section 6: check-out round-trip comparison
 //	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
 //	pdmbench -all             # everything
@@ -28,12 +29,13 @@ func main() {
 	table := flag.Int("table", 0, "print one paper table (2, 3 or 4)")
 	figure := flag.Int("figure", 0, "print one paper figure (4 or 5)")
 	simulate := flag.Bool("simulate", false, "run the wire-level simulation against the model")
+	batch := flag.Bool("batch", false, "compare batched vs unbatched statement execution")
 	checkout := flag.Bool("checkout", false, "compare check-out implementations (Section 6)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	any := *table != 0 || *figure != 0 || *simulate || *checkout || *ablate
+	any := *table != 0 || *figure != 0 || *simulate || *batch || *checkout || *ablate
 	if *all || !any {
 		printTable(2)
 		printTable(3)
@@ -49,6 +51,9 @@ func main() {
 	}
 	if *simulate || *all {
 		runSimulation()
+	}
+	if *batch || *all {
+		runBatchComparison()
 	}
 	if *checkout || *all {
 		runCheckout()
@@ -192,6 +197,17 @@ type simOutcome struct {
 	visible    int
 }
 
+// loadScenario generates the product for one paper scenario into a
+// fresh system; scenarios with fractional σβ use random visibility.
+func loadScenario(sys *pdmtune.System, scen costmodel.Tree, seed int64) (*pdmtune.Product, error) {
+	sigmaBeta := scen.Sigma * float64(scen.Branch)
+	return sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: scen.Depth, Branch: scen.Branch, Sigma: scen.Sigma,
+		Seed:             seed,
+		RandomVisibility: sigmaBeta != float64(int(sigmaBeta)),
+	})
+}
+
 func runSimulation() {
 	fmt.Println("Wire-level simulation — full PDM system (SQL over the simulated WAN)")
 	fmt.Println("Response times derived for each network from measured round trips and volumes;")
@@ -202,12 +218,7 @@ func runSimulation() {
 	for scenIdx, scen := range costmodel.PaperScenarios() {
 		fmt.Printf("Scenario %s\n", scen.Name)
 		sys := pdmtune.NewSystem(nil)
-		sigmaBeta := scen.Sigma * float64(scen.Branch)
-		prod, err := sys.LoadProduct(pdmtune.ProductConfig{
-			Depth: scen.Depth, Branch: scen.Branch, Sigma: scen.Sigma,
-			Seed:             int64(scenIdx + 1),
-			RandomVisibility: sigmaBeta != float64(int(sigmaBeta)),
-		})
+		prod, err := loadScenario(sys, scen, int64(scenIdx+1))
 		if err != nil {
 			fail(err)
 		}
@@ -245,6 +256,45 @@ func runSimulation() {
 		}
 		fmt.Println()
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs unbatched wire protocol
+
+func runBatchComparison() {
+	fmt.Println("Batched statement execution — one wire batch per BFS level vs one round trip")
+	fmt.Println("per statement (MLE on the paper's scenarios, 256 kbit/s / 150 ms). Result sets")
+	fmt.Println("are identical by construction; the batched model estimate is in parentheses.")
+	fmt.Println()
+	net := costmodel.PaperNetworks()[0]
+	link := pdmtune.LinkOf(net)
+	for scenIdx, scen := range costmodel.PaperScenarios() {
+		fmt.Printf("Scenario %s\n", scen.Name)
+		sys := pdmtune.NewSystem(nil)
+		prod, err := loadScenario(sys, scen, int64(scenIdx+1))
+		if err != nil {
+			fail(err)
+		}
+		for _, strat := range []pdmtune.Strategy{pdmtune.LateEval, pdmtune.EarlyEval} {
+			plain, err := sys.RunAction(link, pdmtune.DefaultUser("sim"), strat, pdmtune.MLE, prod.RootID)
+			if err != nil {
+				fail(err)
+			}
+			batched, err := sys.RunActionBatched(link, pdmtune.DefaultUser("sim"), strat, pdmtune.MLE, prod.RootID)
+			if err != nil {
+				fail(err)
+			}
+			if batched.Visible != plain.Visible {
+				fail(fmt.Errorf("batched client sees %d nodes, unbatched %d", batched.Visible, plain.Visible))
+			}
+			model := costmodel.Model{Net: net, Tree: scen}.PredictBatched(costmodel.MLE, costmodel.Strategy(strat))
+			fmt.Printf("  %-10s rt %5d -> %-4d (saved %5d)  T %8.2fs -> %7.2fs (%7.2fs)\n",
+				strat.String(), plain.Metrics.RoundTrips, batched.Metrics.RoundTrips,
+				batched.Metrics.SavedRoundTrips(),
+				plain.Metrics.TotalSec(), batched.Metrics.TotalSec(), model.TotalSec)
+		}
+	}
+	fmt.Println()
 }
 
 // ---------------------------------------------------------------------------

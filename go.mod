@@ -1,0 +1,3 @@
+module pdmtune
+
+go 1.22

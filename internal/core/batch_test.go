@@ -1,0 +1,191 @@
+package core_test
+
+import (
+	"testing"
+
+	"pdmtune/internal/core"
+	"pdmtune/internal/costmodel"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+	"pdmtune/internal/workload"
+)
+
+// batchedClient connects a metered client with statement batching on.
+func batchedClient(srv *wire.Server, rules *core.RuleTable, user core.UserContext, s costmodel.Strategy) (*core.Client, *netsim.Meter) {
+	c, m := pdmClient(srv, rules, user, s)
+	c.SetBatching(true)
+	return c, m
+}
+
+// TestBatchedMLEMatchesUnbatched: under every strategy the batched
+// client must see exactly the nodes the unbatched client sees, while
+// paying strictly fewer round trips on the navigational strategies.
+func TestBatchedMLEMatchesUnbatched(t *testing.T) {
+	srv, prod := generatedServer(t, workload.Config{
+		Depth: 3, Branch: 4, Sigma: 0.5, Seed: 7, PadBytes: 16,
+	})
+	for _, strat := range costmodel.Strategies {
+		plain, pm := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
+		resP, err := plain.MultiLevelExpand(prod.RootID)
+		if err != nil {
+			t.Fatalf("%v: plain MLE: %v", strat, err)
+		}
+		batched, bm := batchedClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
+		resB, err := batched.MultiLevelExpand(prod.RootID)
+		if err != nil {
+			t.Fatalf("%v: batched MLE: %v", strat, err)
+		}
+		idsP, idsB := visibleIDs(resP.Tree), visibleIDs(resB.Tree)
+		if len(idsP) != len(idsB) {
+			t.Fatalf("%v: batched sees %d nodes, unbatched %d", strat, len(idsB), len(idsP))
+		}
+		for i := range idsP {
+			if idsP[i] != idsB[i] {
+				t.Fatalf("%v: node %d differs: %d != %d", strat, i, idsB[i], idsP[i])
+			}
+		}
+		if resB.RowsReceived != resP.RowsReceived {
+			t.Errorf("%v: batched received %d rows, unbatched %d", strat, resB.RowsReceived, resP.RowsReceived)
+		}
+		if strat == costmodel.Recursive {
+			// Already one round trip; batching must not change it.
+			if bm.Metrics.RoundTrips != pm.Metrics.RoundTrips {
+				t.Errorf("recursive: batched %d round trips, unbatched %d",
+					bm.Metrics.RoundTrips, pm.Metrics.RoundTrips)
+			}
+			continue
+		}
+		if bm.Metrics.RoundTrips >= pm.Metrics.RoundTrips {
+			t.Errorf("%v: batching saved nothing (%d >= %d round trips)",
+				strat, bm.Metrics.RoundTrips, pm.Metrics.RoundTrips)
+		}
+		// Every statement still shipped, just in fewer frames.
+		if bm.Metrics.Statements != pm.Metrics.Statements {
+			t.Errorf("%v: batched shipped %d statements, unbatched %d",
+				strat, bm.Metrics.Statements, pm.Metrics.Statements)
+		}
+	}
+}
+
+// TestBatchedMLERoundTripsPerLevel: a δ-deep visible tree takes exactly
+// δ+1 batch round trips (one per BFS level, leaves included) when no
+// probe rules apply.
+func TestBatchedMLERoundTripsPerLevel(t *testing.T) {
+	cfg := workload.Config{Depth: 3, Branch: 4, Sigma: 0.5, Seed: 7, PadBytes: 16}
+	srv, prod := generatedServer(t, cfg)
+	c, meter := batchedClient(srv, core.StandardRules(), core.DefaultUser("scott"), costmodel.EarlyEval)
+	if _, err := c.MultiLevelExpand(prod.RootID); err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Depth + 1
+	if meter.Metrics.RoundTrips != want {
+		t.Errorf("batched MLE took %d round trips, want %d (one per level)",
+			meter.Metrics.RoundTrips, want)
+	}
+	if meter.Metrics.Statements != 1+prod.VisibleNodes() {
+		t.Errorf("batched MLE shipped %d statements, want %d",
+			meter.Metrics.Statements, 1+prod.VisibleNodes())
+	}
+}
+
+// TestBatchedExistsStructureRule: the probe batch preserves the
+// ∃structure verdicts of the per-node probing path.
+func TestBatchedExistsStructureRule(t *testing.T) {
+	srv := pdmServer(t)
+	rules := core.StandardRules()
+	rules.MustAdd(core.Rule{
+		User: core.Wildcard, Action: core.ActionAccess, ObjType: "comp",
+		Kind: core.KindExistsStructure,
+		Cond: "EXISTS (SELECT * FROM specified_by AS s JOIN spec ON s.right = spec.obid WHERE s.left = comp.obid)",
+	})
+	want := []int64{2, 3, 4, 5, 101, 103}
+	for _, strat := range []costmodel.Strategy{costmodel.LateEval, costmodel.EarlyEval} {
+		c, _ := batchedClient(srv, rules, core.DefaultUser("scott"), strat)
+		res, err := c.MultiLevelExpand(1)
+		if err != nil {
+			t.Fatalf("%v: batched MLE: %v", strat, err)
+		}
+		ids := visibleIDs(res.Tree)
+		if len(ids) != len(want) {
+			t.Fatalf("%v: batched MLE = %v, want %v", strat, ids, want)
+		}
+		for i := range want {
+			if ids[i] != want[i] {
+				t.Errorf("%v: node %d = %d, want %d", strat, i, ids[i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchedProbeShortCircuitOnError: a probe the unbatched client
+// would never execute (its node already permitted by an earlier rule)
+// must not fail the batched expand — and an error the unbatched client
+// WOULD hit must fail both the same way.
+func TestBatchedProbeShortCircuitOnError(t *testing.T) {
+	// Rule 1 permits every component; rule 2 errors at execution time
+	// (missing table). Under OR short-circuit rule 2 never runs.
+	okThenErr := core.StandardRules()
+	okThenErr.MustAdd(core.Rule{
+		User: core.Wildcard, Action: core.ActionAccess, ObjType: "comp",
+		Kind: core.KindExistsStructure,
+		Cond: "EXISTS (SELECT * FROM comp AS c2 WHERE c2.obid = comp.obid)",
+	})
+	okThenErr.MustAdd(core.Rule{
+		User: core.Wildcard, Action: core.ActionAccess, ObjType: "comp",
+		Kind: core.KindExistsStructure,
+		Cond: "EXISTS (SELECT * FROM no_such_table WHERE no_such_table.x = comp.obid)",
+	})
+	srv := pdmServer(t)
+	plain, _ := pdmClient(srv, okThenErr, core.DefaultUser("scott"), costmodel.EarlyEval)
+	resP, errP := plain.MultiLevelExpand(1)
+	batched, _ := batchedClient(srv, okThenErr, core.DefaultUser("scott"), costmodel.EarlyEval)
+	resB, errB := batched.MultiLevelExpand(1)
+	if errP != nil || errB != nil {
+		t.Fatalf("permit-before-error must succeed on both paths: plain=%v batched=%v", errP, errB)
+	}
+	if resP.Visible != resB.Visible {
+		t.Errorf("batched sees %d nodes, unbatched %d", resB.Visible, resP.Visible)
+	}
+
+	// With the erroring rule first, no permit precedes the error: both
+	// clients must report it.
+	errFirst := core.StandardRules()
+	errFirst.MustAdd(core.Rule{
+		User: core.Wildcard, Action: core.ActionAccess, ObjType: "comp",
+		Kind: core.KindExistsStructure,
+		Cond: "EXISTS (SELECT * FROM no_such_table WHERE no_such_table.x = comp.obid)",
+	})
+	plain2, _ := pdmClient(srv, errFirst, core.DefaultUser("scott"), costmodel.EarlyEval)
+	_, errP2 := plain2.MultiLevelExpand(1)
+	batched2, _ := batchedClient(srv, errFirst, core.DefaultUser("scott"), costmodel.EarlyEval)
+	_, errB2 := batched2.MultiLevelExpand(1)
+	if errP2 == nil || errB2 == nil {
+		t.Fatalf("error-before-permit must fail on both paths: plain=%v batched=%v", errP2, errB2)
+	}
+}
+
+// TestBatchedCheckOut: the batched modify flips the same flags and
+// stays ahead of the unbatched client on round trips.
+func TestBatchedCheckOut(t *testing.T) {
+	srv := pdmServer(t)
+	rules := core.StandardRules()
+	rules.MustAdd(core.CheckOutRule())
+	c, meter := batchedClient(srv, rules, core.DefaultUser("scott"), costmodel.EarlyEval)
+	res, err := c.CheckOut(1)
+	if err != nil {
+		t.Fatalf("batched check-out: %v", err)
+	}
+	if !res.Granted || res.Updated != 9 {
+		t.Fatalf("batched check-out granted=%v updated=%d, want true/9", res.Granted, res.Updated)
+	}
+	if meter.Metrics.SavedRoundTrips() <= 0 {
+		t.Errorf("batched check-out saved %d round trips, want > 0", meter.Metrics.SavedRoundTrips())
+	}
+	res2, err := c.CheckIn(1)
+	if err != nil {
+		t.Fatalf("batched check-in: %v", err)
+	}
+	if res2.Updated != 9 {
+		t.Errorf("batched check-in updated %d, want 9", res2.Updated)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"pdmtune/internal/minisql"
 	"pdmtune/internal/minisql/types"
 	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
 )
 
 // CheckOutResult reports a check-out/check-in attempt.
@@ -75,28 +76,45 @@ func (c *Client) CheckIn(root int64) (*CheckOutResult, error) {
 }
 
 // setCheckedOut ships the UPDATE statements flipping the flag for every
-// node in the tree — one WAN round trip per object table.
+// node in the tree — one WAN round trip per object table, or a single
+// batch round trip for the whole modify when batching is enabled.
 func (c *Client) setCheckedOut(tree *Tree, out bool) (int, error) {
 	ids := map[string][]string{}
 	tree.Walk(func(n *Node) {
 		ids[n.Type] = append(ids[n.Type], fmt.Sprintf("%d", n.ObID))
 	})
-	updated := 0
+	var stmts []string
 	for _, table := range []string{"assy", "comp"} {
 		list := ids[table]
 		if len(list) == 0 {
 			continue
 		}
-		var sql string
 		if out {
-			sql = fmt.Sprintf(
+			stmts = append(stmts, fmt.Sprintf(
 				"UPDATE %s SET checkedout = TRUE, checkedout_by = %s WHERE obid IN (%s) AND checkedout <> TRUE",
-				table, sqlText(c.user.Name), strings.Join(list, ", "))
+				table, sqlText(c.user.Name), strings.Join(list, ", ")))
 		} else {
-			sql = fmt.Sprintf(
+			stmts = append(stmts, fmt.Sprintf(
 				"UPDATE %s SET checkedout = FALSE, checkedout_by = NULL WHERE obid IN (%s) AND checkedout_by = %s",
-				table, strings.Join(list, ", "), sqlText(c.user.Name))
+				table, strings.Join(list, ", "), sqlText(c.user.Name)))
 		}
+	}
+	updated := 0
+	if c.batching && len(stmts) > 1 {
+		reqs := make([]*wire.Request, len(stmts))
+		for i, sql := range stmts {
+			reqs[i] = &wire.Request{SQL: sql}
+		}
+		resps, err := c.sql.ExecBatch(reqs)
+		for _, resp := range resps {
+			updated += resp.RowsAffected
+		}
+		if err != nil {
+			return updated, err
+		}
+		return updated, nil
+	}
+	for _, sql := range stmts {
 		resp, err := c.sql.Exec(sql)
 		if err != nil {
 			return updated, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"pdmtune/internal/costmodel"
@@ -28,6 +29,10 @@ type Client struct {
 	// scratch is the client's local workspace database used to evaluate
 	// tree-aggregate conditions over already-fetched trees.
 	scratch *minisql.DB
+	// batching groups the statements of one logical step (a BFS level of
+	// a structure expand, the probes of that level, the updates of a
+	// modify) into single wire batches, collapsing WAN round trips.
+	batching bool
 }
 
 // NewClient connects a PDM client to a channel. meter may be nil (no
@@ -49,6 +54,15 @@ func NewClient(ch wire.Channel, meter *netsim.Meter, rules *RuleTable, user User
 
 // Strategy reports the client's access strategy.
 func (c *Client) Strategy() costmodel.Strategy { return c.strategy }
+
+// SetBatching switches statement batching on or off. Off (the default)
+// reproduces the paper's one-round-trip-per-statement behavior; on, the
+// client ships each BFS level of a structure expand and each
+// multi-statement modify as one wire batch.
+func (c *Client) SetBatching(on bool) { c.batching = on }
+
+// Batching reports whether statement batching is enabled.
+func (c *Client) Batching() bool { return c.batching }
 
 // User reports the client's user context.
 func (c *Client) User() UserContext { return c.user }
@@ -173,33 +187,33 @@ func (c *Client) Expand(parent int64) (*ActionResult, error) {
 	}, nil
 }
 
-// expandOnce ships one navigational expand query and returns the
-// permitted children. Under late evaluation the client filters the
-// received rows against its rule table; ∃structure conditions require
-// extra probe round trips under every navigational strategy because the
-// related objects live only in the server's database.
-func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
+// buildExpandSQL returns the (strategy-modified) single-level expand
+// query text for one parent.
+func (c *Client) buildExpandSQL(parent int64, action string) (string, error) {
 	q := BuildExpandQuery(parent)
 	if c.strategy != costmodel.LateEval {
 		if err := c.modifier().ModifyNavigational(q, action); err != nil {
-			return nil, 0, err
+			return "", err
 		}
 	}
-	resp, err := c.sql.Exec(q.String())
-	if err != nil {
-		return nil, 0, err
-	}
+	return q.String(), nil
+}
+
+// filterExpandRows applies the client-side rule filters to the rows of
+// one expand answer and returns the surviving candidate children.
+// ∃structure conditions are not checked here — they need server probes.
+func (c *Client) filterExpandRows(rows []storage.Row, action string) ([]*Node, error) {
 	var out []*Node
-	for _, row := range resp.Rows {
+	for _, row := range rows {
 		n, err := decodeNode(row)
 		if err != nil {
-			return nil, 0, err
+			return nil, err
 		}
 		if c.strategy == costmodel.LateEval {
 			// Link traversal rules (structure options, effectivities).
 			ok, err := c.localRowPermitted("link", []string{action, ActionAccess}, row)
 			if err != nil {
-				return nil, 0, err
+				return nil, err
 			}
 			if !ok {
 				continue
@@ -207,12 +221,37 @@ func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
 			// Row conditions on the child's object type.
 			ok, err = c.localRowPermitted(n.Type, []string{action, ActionAccess}, row)
 			if err != nil {
-				return nil, 0, err
+				return nil, err
 			}
 			if !ok {
 				continue
 			}
 		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// expandOnce ships one navigational expand query and returns the
+// permitted children. Under late evaluation the client filters the
+// received rows against its rule table; ∃structure conditions require
+// extra probe round trips under every navigational strategy because the
+// related objects live only in the server's database.
+func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
+	sql, err := c.buildExpandSQL(parent, action)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.sql.Exec(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	cands, err := c.filterExpandRows(resp.Rows, action)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []*Node
+	for _, n := range cands {
 		keep, err := c.probeExistsStructure(n, action)
 		if err != nil {
 			return nil, 0, err
@@ -222,6 +261,40 @@ func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
 		}
 	}
 	return out, len(resp.Rows), nil
+}
+
+// expandLevelBatched expands every parent of one BFS level in a single
+// batch round trip — the paper's statement-per-node loop collapsed into
+// one WAN communication per tree level. A second batch carries all
+// ∃structure probes of the level, when any apply.
+func (c *Client) expandLevelBatched(parents []*Node, action string) ([][]*Node, int, error) {
+	reqs := make([]*wire.Request, len(parents))
+	for i, p := range parents {
+		sql, err := c.buildExpandSQL(p.ObID, action)
+		if err != nil {
+			return nil, 0, err
+		}
+		reqs[i] = &wire.Request{SQL: sql}
+	}
+	resps, err := c.sql.ExecBatch(reqs)
+	if err != nil {
+		return nil, 0, err
+	}
+	received := 0
+	children := make([][]*Node, len(parents))
+	for i, resp := range resps {
+		received += len(resp.Rows)
+		ns, err := c.filterExpandRows(resp.Rows, action)
+		if err != nil {
+			return nil, 0, err
+		}
+		children[i] = ns
+	}
+	children, err = c.probeExistsStructureBatched(children, action)
+	if err != nil {
+		return nil, 0, err
+	}
+	return children, received, nil
 }
 
 // probeExistsStructure checks ∃structure rules for one candidate object
@@ -246,6 +319,85 @@ func (c *Client) probeExistsStructure(n *Node, action string) (bool, error) {
 		}
 	}
 	return false, nil
+}
+
+// probeExistsStructureBatched checks ∃structure rules for all candidates
+// of one BFS level with a single batch of probe queries instead of one
+// round trip per (node, rule) pair. The per-node verdict is unchanged:
+// a node survives when any of its rules' probes returns a row, and — as
+// in the unbatched OR short-circuit — a probe that errors only fails the
+// action when no earlier rule already permitted its node; otherwise the
+// surviving probes are re-batched past the failure.
+func (c *Client) probeExistsStructureBatched(children [][]*Node, action string) ([][]*Node, error) {
+	type nodeRef struct{ level, child int }
+	type probe struct {
+		node nodeRef
+		req  *wire.Request
+	}
+	var pending []probe
+	probed := map[nodeRef]bool{}
+	permit := map[nodeRef]bool{}
+	for i, ns := range children {
+		for j, n := range ns {
+			rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
+			for _, r := range rules {
+				q, err := BuildProbeExists(r.Cond, c.user, n.Type, n.ObID)
+				if err != nil {
+					return nil, err
+				}
+				ref := nodeRef{level: i, child: j}
+				pending = append(pending, probe{node: ref, req: &wire.Request{SQL: q.String()}})
+				probed[ref] = true
+			}
+		}
+	}
+	for len(pending) > 0 {
+		// Short-circuit: a node permitted by an earlier rule needs no
+		// further probes (permissions are OR-combined).
+		var rest []probe
+		for _, p := range pending {
+			if !permit[p.node] {
+				rest = append(rest, p)
+			}
+		}
+		pending = rest
+		if len(pending) == 0 {
+			break
+		}
+		reqs := make([]*wire.Request, len(pending))
+		for i, p := range pending {
+			reqs[i] = p.req
+		}
+		resps, err := c.sql.ExecBatch(reqs)
+		for i, resp := range resps {
+			if len(resp.Rows) > 0 {
+				permit[pending[i].node] = true
+			}
+		}
+		if err == nil {
+			break
+		}
+		var be *wire.BatchError
+		if !errors.As(err, &be) {
+			return nil, err
+		}
+		// The unbatched client would only reach this probe if no earlier
+		// rule had permitted the node — in that case the error is real.
+		if !permit[pending[be.Index].node] {
+			return nil, err
+		}
+		pending = pending[be.Index+1:]
+	}
+	out := make([][]*Node, len(children))
+	for i, ns := range children {
+		for j, n := range ns {
+			ref := nodeRef{level: i, child: j}
+			if !probed[ref] || permit[ref] {
+				out[i] = append(out[i], n)
+			}
+		}
+	}
+	return out, nil
 }
 
 // localRowPermitted evaluates the disjunction of the user's row
@@ -308,24 +460,43 @@ func (c *Client) multiLevelExpand(root int64, action string) (*ActionResult, err
 	// Navigational: breadth-first expansion. The root is already at the
 	// client (paper footnote 4); every surviving node is expanded, leaves
 	// included — the client only learns they are leaves from the empty
-	// answer.
+	// answer. With batching enabled the whole level travels as one wire
+	// batch; otherwise each node costs its own round trip, as in the
+	// paper.
 	rootNode := &Node{Type: "assy", ObID: root}
 	tree := &Tree{Root: rootNode, Index: map[int64]*Node{root: rootNode}}
 	received := 0
-	queue := []*Node{rootNode}
-	for len(queue) > 0 {
-		parent := queue[0]
-		queue = queue[1:]
-		children, got, err := c.expandOnce(parent.ObID, action)
-		if err != nil {
-			return nil, err
+	level := []*Node{rootNode}
+	for len(level) > 0 {
+		var perParent [][]*Node
+		if c.batching {
+			var got int
+			var err error
+			perParent, got, err = c.expandLevelBatched(level, action)
+			if err != nil {
+				return nil, err
+			}
+			received += got
+		} else {
+			perParent = make([][]*Node, len(level))
+			for i, parent := range level {
+				children, got, err := c.expandOnce(parent.ObID, action)
+				if err != nil {
+					return nil, err
+				}
+				received += got
+				perParent[i] = children
+			}
 		}
-		received += got
-		parent.Children = children
-		for _, ch := range children {
-			tree.Index[ch.ObID] = ch
-			queue = append(queue, ch)
+		var next []*Node
+		for i, parent := range level {
+			parent.Children = perParent[i]
+			for _, ch := range perParent[i] {
+				tree.Index[ch.ObID] = ch
+				next = append(next, ch)
+			}
 		}
+		level = next
 	}
 
 	// Tree conditions cannot travel inside navigational queries

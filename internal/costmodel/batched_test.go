@@ -1,0 +1,58 @@
+package costmodel
+
+import "testing"
+
+// TestPredictBatchedCollapsesLatency: on the paper's scenarios the
+// batched MLE pays two communications per tree level instead of two per
+// statement, while shipping the same node volume.
+func TestPredictBatchedCollapsesLatency(t *testing.T) {
+	for _, net := range PaperNetworks() {
+		for _, tree := range PaperScenarios() {
+			m := Model{Net: net, Tree: tree}
+			for _, s := range []Strategy{LateEval, EarlyEval} {
+				plain := m.Predict(MLE, s)
+				batched := m.PredictBatched(MLE, s)
+				wantComms := 2 * float64(tree.Depth+1)
+				if batched.Communications != wantComms {
+					t.Errorf("%s/%s/%v: batched comms = %.0f, want %.0f",
+						net.Name, tree.Name, s, batched.Communications, wantComms)
+				}
+				if batched.Communications >= plain.Communications {
+					t.Errorf("%s/%s/%v: batching did not reduce communications (%.0f >= %.0f)",
+						net.Name, tree.Name, s, batched.Communications, plain.Communications)
+				}
+				if batched.Queries != plain.Queries {
+					t.Errorf("%s/%s/%v: batched queries = %.1f, plain = %.1f",
+						net.Name, tree.Name, s, batched.Queries, plain.Queries)
+				}
+				if batched.TransmittedNodes != plain.TransmittedNodes {
+					t.Errorf("%s/%s/%v: batched n_t = %.1f, plain = %.1f",
+						net.Name, tree.Name, s, batched.TransmittedNodes, plain.TransmittedNodes)
+				}
+				if batched.TotalSec >= plain.TotalSec {
+					t.Errorf("%s/%s/%v: batched T = %.2f >= plain %.2f",
+						net.Name, tree.Name, s, batched.TotalSec, plain.TotalSec)
+				}
+				if batched.LatencySec <= 0 || batched.TransferSec <= 0 {
+					t.Errorf("%s/%s/%v: degenerate estimate %+v", net.Name, tree.Name, s, batched)
+				}
+			}
+		}
+	}
+}
+
+// TestPredictBatchedNoopCases: single-statement actions and the
+// recursive strategy are untouched by batching.
+func TestPredictBatchedNoopCases(t *testing.T) {
+	m := Model{Net: PaperNetworks()[0], Tree: PaperScenarios()[0]}
+	for _, a := range []Action{Query, Expand} {
+		for _, s := range Strategies {
+			if m.PredictBatched(a, s) != m.Predict(a, s) {
+				t.Errorf("%v/%v: batched estimate must equal plain", a, s)
+			}
+		}
+	}
+	if m.PredictBatched(MLE, Recursive) != m.Predict(MLE, Recursive) {
+		t.Error("recursive MLE: batched estimate must equal plain")
+	}
+}

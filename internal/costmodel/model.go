@@ -168,6 +168,7 @@ func (t Tree) Queries(a Action) float64 {
 type Estimate struct {
 	Queries          float64 // q (or query packets q_r for Recursive)
 	Communications   float64 // c
+	Batches          float64 // round trips actually paid (= q without batching)
 	TransmittedNodes float64 // n_t
 	VolumeBytes      float64 // vol
 	LatencySec       float64 // c · T_Lat
@@ -184,6 +185,9 @@ type Model struct {
 	// RecursiveQueryPackets is q_r, the packets needed to ship the
 	// recursive query text to the server (1 when 0, as in the paper).
 	RecursiveQueryPackets float64
+	// StatementBytes is the assumed per-statement size inside a batch
+	// frame (DefaultStatementBytes when 0); only PredictBatched uses it.
+	StatementBytes float64
 }
 
 func (m Model) nodeBytes() float64 {
@@ -223,6 +227,58 @@ func (m Model) Predict(a Action, s Strategy) Estimate {
 		est.TransmittedNodes = m.Tree.TransmittedNodes(a, eff)
 		est.VolumeBytes = q*sizeP + est.TransmittedNodes*m.nodeBytes() + q*sizeP/2
 	}
+	if est.Batches == 0 {
+		est.Batches = est.Queries
+	}
+	est.LatencySec = est.Communications * m.Net.LatencySec
+	est.TransferSec = est.VolumeBytes * 8 / rateBitsPerSec
+	est.TotalSec = est.LatencySec + est.TransferSec
+	return est
+}
+
+// DefaultStatementBytes is the assumed size of one statement inside a
+// batch frame — a navigational expand query with injected rule
+// predicates is a few hundred bytes of SQL text.
+const DefaultStatementBytes = 512
+
+// PredictBatched computes the estimate for an action when the client
+// ships each BFS level of a multi-level expand as one wire batch: the
+// per-statement latency of formulas (1)-(3) collapses to two
+// communications per tree level, while the transferred node volume is
+// unchanged. Actions that are a single statement anyway (Query, Expand)
+// and the Recursive strategy are unaffected by batching.
+func (m Model) PredictBatched(a Action, s Strategy) Estimate {
+	if a != MLE || s == Recursive {
+		return m.Predict(a, s)
+	}
+	sizeP := m.Net.PacketBytes
+	rateBitsPerSec := m.Net.RateKbps * 1024
+	stmtBytes := m.StatementBytes
+	if stmtBytes <= 0 {
+		stmtBytes = DefaultStatementBytes
+	}
+
+	// Parents expanded per BFS level: 1 root at depth 0, then the visible
+	// (σβ)^i nodes of depths 1..δ (leaves included — the empty answer is
+	// how the client learns they are leaves).
+	sigmaBeta := m.Tree.Sigma * float64(m.Tree.Branch)
+	var est Estimate
+	levelParents := 1.0
+	for lvl := 0; lvl <= m.Tree.Depth; lvl++ {
+		est.Batches++
+		est.Queries += levelParents
+		packets := math.Ceil(levelParents * stmtBytes / sizeP)
+		if packets < 1 {
+			packets = 1
+		}
+		// One batch request (packetized statements) and one batch answer
+		// whose half-filled last packet the paper's model charges.
+		est.VolumeBytes += packets*sizeP + sizeP/2
+		levelParents *= sigmaBeta
+	}
+	est.Communications = 2 * est.Batches
+	est.TransmittedNodes = m.Tree.TransmittedNodes(a, s)
+	est.VolumeBytes += est.TransmittedNodes * m.nodeBytes()
 	est.LatencySec = est.Communications * m.Net.LatencySec
 	est.TransferSec = est.VolumeBytes * 8 / rateBitsPerSec
 	est.TotalSec = est.LatencySec + est.TransferSec

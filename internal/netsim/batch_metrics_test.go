@@ -1,0 +1,35 @@
+package netsim
+
+import "testing"
+
+func TestRoundTripStatementsAccounting(t *testing.T) {
+	m := NewMeter(Intercontinental())
+	m.RoundTrip(100, 200)                 // 1 statement
+	m.RoundTripStatements(1000, 4000, 25) // one batch of 25
+	m.RoundTripStatements(100, 100, 1)    // plain again
+	if m.Metrics.RoundTrips != 3 {
+		t.Errorf("round trips = %d, want 3", m.Metrics.RoundTrips)
+	}
+	if m.Metrics.Statements != 27 {
+		t.Errorf("statements = %d, want 27", m.Metrics.Statements)
+	}
+	if m.Metrics.Batches != 1 {
+		t.Errorf("batches = %d, want 1", m.Metrics.Batches)
+	}
+	if m.Metrics.SavedRoundTrips() != 24 {
+		t.Errorf("saved = %d, want 24", m.Metrics.SavedRoundTrips())
+	}
+	// Latency depends only on round trips, not statements.
+	wantLat := 3 * 2 * m.Link.LatencySec
+	if m.Metrics.LatencySec != wantLat {
+		t.Errorf("latency = %f, want %f", m.Metrics.LatencySec, wantLat)
+	}
+
+	// Sub carries the new fields.
+	before := m.Metrics
+	m.RoundTripStatements(10, 10, 5)
+	d := m.Metrics.Sub(before)
+	if d.RoundTrips != 1 || d.Statements != 5 || d.Batches != 1 {
+		t.Errorf("delta = %+v, want 1 round trip / 5 statements / 1 batch", d)
+	}
+}

@@ -93,11 +93,21 @@ func (l Link) TransferSec(volumeBytes float64) float64 {
 type Metrics struct {
 	RoundTrips     int
 	Communications int
-	RequestBytes   float64 // charged volume client→server
-	ResponseBytes  float64 // charged volume server→client
-	LatencySec     float64
-	TransferSec    float64
+	// Statements counts the SQL statements shipped; batch frames carry
+	// several per round trip, so Statements - RoundTrips is the number
+	// of WAN round trips that batching saved.
+	Statements int
+	// Batches counts round trips that carried a multi-statement batch.
+	Batches       int
+	RequestBytes  float64 // charged volume client→server
+	ResponseBytes float64 // charged volume server→client
+	LatencySec    float64
+	TransferSec   float64
 }
+
+// SavedRoundTrips is the number of round trips batching avoided: the
+// statements shipped minus the round trips actually paid for.
+func (m Metrics) SavedRoundTrips() int { return m.Statements - m.RoundTrips }
 
 // TotalSec is the simulated response time accumulated so far.
 func (m Metrics) TotalSec() float64 { return m.LatencySec + m.TransferSec }
@@ -111,6 +121,8 @@ func (m Metrics) Sub(b Metrics) Metrics {
 	return Metrics{
 		RoundTrips:     m.RoundTrips - b.RoundTrips,
 		Communications: m.Communications - b.Communications,
+		Statements:     m.Statements - b.Statements,
+		Batches:        m.Batches - b.Batches,
 		RequestBytes:   m.RequestBytes - b.RequestBytes,
 		ResponseBytes:  m.ResponseBytes - b.ResponseBytes,
 		LatencySec:     m.LatencySec - b.LatencySec,
@@ -137,10 +149,22 @@ func NewMeter(link Link) *Meter { return &Meter{Link: link} }
 // formula (2): "every query causes an answer") plus the transfer times
 // of both messages.
 func (m *Meter) RoundTrip(requestPayload, responsePayload int) {
+	m.RoundTripStatements(requestPayload, responsePayload, 1)
+}
+
+// RoundTripStatements charges one exchange that carries the given number
+// of SQL statements — 1 for a plain request, N for a batch frame. The
+// latency cost is identical either way; that is the whole point of
+// batching.
+func (m *Meter) RoundTripStatements(requestPayload, responsePayload, statements int) {
 	up := m.Link.RequestVolume(requestPayload)
 	down := m.Link.ResponseVolume(responsePayload)
 	m.Metrics.RoundTrips++
 	m.Metrics.Communications += 2
+	m.Metrics.Statements += statements
+	if statements > 1 {
+		m.Metrics.Batches++
+	}
 	m.Metrics.RequestBytes += up
 	m.Metrics.ResponseBytes += down
 	m.Metrics.LatencySec += 2 * m.Link.LatencySec

@@ -29,6 +29,9 @@ func NewClient(ch Channel) *Client { return &Client{ch: ch} }
 // SQL errors come back as *ServerError.
 func (c *Client) Exec(sql string, params ...types.Value) (*Response, error) {
 	req := EncodeRequest(&Request{SQL: sql, Params: params})
+	if err := CheckFrameSize(req); err != nil {
+		return nil, err
+	}
 	respBody, err := c.ch.RoundTrip(req)
 	if err != nil {
 		return nil, err
@@ -43,10 +46,59 @@ func (c *Client) Exec(sql string, params ...types.Value) (*Response, error) {
 	return resp, nil
 }
 
+// ExecBatch ships N statements in one round trip and returns one
+// response per executed statement. The server executes in order and
+// stops at the first failing statement; in that case the responses of
+// the statements that did execute are returned together with a
+// *BatchError naming the failed index. An empty batch is a no-op that
+// costs nothing.
+func (c *Client) ExecBatch(reqs []*Request) ([]*Response, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	body := EncodeBatch(reqs)
+	if err := CheckFrameSize(body); err != nil {
+		return nil, err
+	}
+	respBody, err := c.ch.RoundTrip(body)
+	if err != nil {
+		return nil, err
+	}
+	// A server that could not decode the batch at all answers with a
+	// plain error frame; surface its diagnostic instead of a frame-type
+	// mismatch.
+	if len(respBody) > 0 && respBody[0] == TypeError {
+		resp, err := DecodeResponse(respBody)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &ServerError{Msg: resp.Err}
+	}
+	resps, err := DecodeBatchResponse(respBody)
+	if err != nil {
+		return nil, err
+	}
+	if n := len(resps); n > 0 && resps[n-1].Err != "" {
+		return resps[:n-1], &BatchError{Index: n - 1, Msg: resps[n-1].Err}
+	}
+	return resps, nil
+}
+
 // ServerError is an SQL error reported by the server.
 type ServerError struct{ Msg string }
 
 func (e *ServerError) Error() string { return "server: " + e.Msg }
+
+// BatchError is an SQL error that stopped a batch: statement Index
+// failed, statements before it executed, statements after it never ran.
+type BatchError struct {
+	Index int
+	Msg   string
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("server: batch statement %d: %s", e.Index, e.Msg)
+}
 
 // ---------------------------------------------------------------------------
 // channel implementations
@@ -60,11 +112,14 @@ type MeteredChannel struct {
 }
 
 // RoundTrip dispatches in-process and charges request/response sizes
-// (payload plus length prefix) to the meter.
+// (payload plus length prefix) to the meter. Batch frames are charged as
+// one round trip carrying many statements, which is exactly the saving
+// the batching strategies buy.
 func (mc *MeteredChannel) RoundTrip(request []byte) ([]byte, error) {
 	response := mc.Conn.Handle(request)
 	if mc.Meter != nil {
-		mc.Meter.RoundTrip(len(request)+frameOverhead, len(response)+frameOverhead)
+		mc.Meter.RoundTripStatements(len(request)+frameOverhead, len(response)+frameOverhead,
+			BatchStatements(request))
 	}
 	return response, nil
 }

@@ -32,17 +32,54 @@ type ServerConn struct {
 }
 
 // Handle executes one encoded request and returns the encoded response.
-// It never fails: errors travel to the client as error frames.
+// It never fails: errors — including panics in statement execution —
+// travel to the client as error frames. Batch frames execute every
+// statement in order inside this single round trip and stop at the
+// first error, so one bad statement cannot kill a connection serving a
+// batch.
 func (c *ServerConn) Handle(reqBody []byte) []byte {
+	if len(reqBody) > 0 && reqBody[0] == TypeBatch {
+		return c.handleBatch(reqBody)
+	}
 	req, err := DecodeRequest(reqBody)
 	if err != nil {
 		return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)})
 	}
+	return EncodeResponse(c.execOne(req))
+}
+
+// handleBatch executes a batch frame: per-statement results in order,
+// stopping at the first failing statement (its error response is the
+// last element of the batch response).
+func (c *ServerConn) handleBatch(reqBody []byte) []byte {
+	reqs, err := DecodeBatch(reqBody)
+	if err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad batch: %v", err)})
+	}
+	resps := make([]*Response, 0, len(reqs))
+	for _, req := range reqs {
+		resp := c.execOne(req)
+		resps = append(resps, resp)
+		if resp.Err != "" {
+			break
+		}
+	}
+	return EncodeBatchResponse(resps)
+}
+
+// execOne runs a single statement in the connection's session,
+// converting execution errors — and panics — into error responses.
+func (c *ServerConn) execOne(req *Request) (resp *Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			resp = &Response{Err: fmt.Sprintf("panic executing statement: %v", r)}
+		}
+	}()
 	res, err := c.session.Exec(req.SQL, req.Params...)
 	if err != nil {
-		return EncodeResponse(&Response{Err: err.Error()})
+		return &Response{Err: err.Error()}
 	}
-	return EncodeResponse(&Response{Cols: res.Cols, Rows: res.Rows, RowsAffected: res.RowsAffected})
+	return &Response{Cols: res.Cols, Rows: res.Rows, RowsAffected: res.RowsAffected}
 }
 
 // Serve runs a framed request/response loop over a stream until EOF.

@@ -18,11 +18,33 @@ import (
 
 // Frame type tags.
 const (
-	TypeRequest  = 0x01
-	TypeResult   = 0x02
-	TypeError    = 0x03
-	MaxFrameSize = 1 << 30
+	TypeRequest   = 0x01
+	TypeResult    = 0x02
+	TypeError     = 0x03
+	TypeBatch     = 0x04
+	TypeBatchResp = 0x05
+	MaxFrameSize  = 1 << 30
 )
+
+// FrameTooLargeError reports an attempt to emit a frame exceeding
+// MaxFrameSize. It is returned on the encode path (WriteFrame, the
+// client's Exec/ExecBatch) so oversized frames are rejected before they
+// reach the wire, mirroring the decode-side check in ReadFrame.
+type FrameTooLargeError struct {
+	Size int
+}
+
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("wire: frame of %d bytes exceeds the %d byte limit", e.Size, MaxFrameSize)
+}
+
+// CheckFrameSize validates an encoded frame body against MaxFrameSize.
+func CheckFrameSize(body []byte) error {
+	if len(body) > MaxFrameSize {
+		return &FrameTooLargeError{Size: len(body)}
+	}
+	return nil
+}
 
 // Request is one statement execution request.
 type Request struct {
@@ -251,10 +273,126 @@ func DecodeResponse(b []byte) (*Response, error) {
 }
 
 // ---------------------------------------------------------------------------
+// batch frames: N statements in one round trip
+
+// EncodeBatch serializes a batch frame body carrying every request as a
+// length-prefixed sub-frame. Sizes stay exact: the WAN meter charges the
+// tag, the count, and 4 bytes of framing per statement — nothing more.
+func EncodeBatch(reqs []*Request) []byte {
+	b := []byte{TypeBatch}
+	b = appendUint32(b, uint32(len(reqs)))
+	for _, req := range reqs {
+		sub := EncodeRequest(req)
+		b = appendUint32(b, uint32(len(sub)))
+		b = append(b, sub...)
+	}
+	return b
+}
+
+// DecodeBatch parses a batch frame body into its requests.
+func DecodeBatch(b []byte) ([]*Request, error) {
+	if len(b) < 1 || b[0] != TypeBatch {
+		return nil, fmt.Errorf("wire: not a batch frame")
+	}
+	b = b[1:]
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	// Every sub-frame costs at least its 4-byte length prefix, so a count
+	// beyond len(b)/4 is corrupt — reject it before trusting it for an
+	// allocation.
+	if n > uint32(len(b))/4 {
+		return nil, fmt.Errorf("wire: batch count %d exceeds frame size", n)
+	}
+	reqs := make([]*Request, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var size uint32
+		size, b, err = readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		if uint32(len(b)) < size {
+			return nil, io.ErrUnexpectedEOF
+		}
+		req, err := DecodeRequest(b[:size])
+		if err != nil {
+			return nil, err
+		}
+		reqs = append(reqs, req)
+		b = b[size:]
+	}
+	return reqs, nil
+}
+
+// EncodeBatchResponse serializes the per-statement responses of a batch.
+// Under stop-on-first-error semantics the slice holds one response per
+// executed statement; a trailing error response marks where execution
+// stopped.
+func EncodeBatchResponse(resps []*Response) []byte {
+	b := []byte{TypeBatchResp}
+	b = appendUint32(b, uint32(len(resps)))
+	for _, resp := range resps {
+		sub := EncodeResponse(resp)
+		b = appendUint32(b, uint32(len(sub)))
+		b = append(b, sub...)
+	}
+	return b
+}
+
+// DecodeBatchResponse parses a batch response frame body.
+func DecodeBatchResponse(b []byte) ([]*Response, error) {
+	if len(b) < 1 || b[0] != TypeBatchResp {
+		return nil, fmt.Errorf("wire: not a batch response frame")
+	}
+	b = b[1:]
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint32(len(b))/4 {
+		return nil, fmt.Errorf("wire: batch response count %d exceeds frame size", n)
+	}
+	resps := make([]*Response, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var size uint32
+		size, b, err = readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		if uint32(len(b)) < size {
+			return nil, io.ErrUnexpectedEOF
+		}
+		resp, err := DecodeResponse(b[:size])
+		if err != nil {
+			return nil, err
+		}
+		resps = append(resps, resp)
+		b = b[size:]
+	}
+	return resps, nil
+}
+
+// BatchStatements reports how many SQL statements an encoded request
+// frame carries: the batch count for TypeBatch frames, 1 otherwise. The
+// metered channel uses it to account statements per round trip.
+func BatchStatements(body []byte) int {
+	if len(body) >= 5 && body[0] == TypeBatch {
+		return int(binary.BigEndian.Uint32(body[1:5]))
+	}
+	return 1
+}
+
+// ---------------------------------------------------------------------------
 // stream framing (for real connections)
 
-// WriteFrame writes a length-prefixed frame body to a stream.
+// WriteFrame writes a length-prefixed frame body to a stream. Bodies
+// beyond MaxFrameSize are rejected with *FrameTooLargeError before any
+// bytes hit the wire.
 func WriteFrame(w io.Writer, body []byte) error {
+	if err := CheckFrameSize(body); err != nil {
+		return err
+	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {

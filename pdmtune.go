@@ -146,11 +146,30 @@ func (s *System) Connect(link Link, user UserContext, strategy Strategy) (*Clien
 	return core.NewClient(ch, meter, s.Rules, user, strategy), meter
 }
 
+// ConnectBatched opens a client with statement batching enabled: each
+// BFS level of a structure expand and each multi-statement modify ships
+// as one wire batch instead of one round trip per statement.
+func (s *System) ConnectBatched(link Link, user UserContext, strategy Strategy) (*Client, *Meter) {
+	client, meter := s.Connect(link, user, strategy)
+	client.SetBatching(true)
+	return client, meter
+}
+
 // RunAction executes one of the paper's user actions under a strategy
 // and returns the result with its isolated WAN metrics. target is the
 // root object for Expand/MLE and the product id for Query.
 func (s *System) RunAction(link Link, user UserContext, strategy Strategy, action Action, target int64) (*ActionResult, error) {
 	client, _ := s.Connect(link, user, strategy)
+	return runAction(client, action, target)
+}
+
+// RunActionBatched is RunAction with statement batching enabled.
+func (s *System) RunActionBatched(link Link, user UserContext, strategy Strategy, action Action, target int64) (*ActionResult, error) {
+	client, _ := s.ConnectBatched(link, user, strategy)
+	return runAction(client, action, target)
+}
+
+func runAction(client *Client, action Action, target int64) (*ActionResult, error) {
 	switch action {
 	case Query:
 		return client.QueryAll(target)
