@@ -13,6 +13,7 @@ package pdmtune_test
 //	go test -bench=. -benchmem
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -247,7 +248,7 @@ func BenchmarkSimulatedBatchedCheckOut(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		user := pdmtune.DefaultUser(fmt.Sprintf("bu%d", i))
 		client, _ := sys.ConnectBatched(link, user, pdmtune.EarlyEval)
-		last, err = client.CheckOut(prod.RootID)
+		last, err = client.CheckOut(context.Background(), prod.RootID)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -255,7 +256,7 @@ func BenchmarkSimulatedBatchedCheckOut(b *testing.B) {
 			b.Fatal("check-out denied — previous iteration did not check in")
 		}
 		b.StopTimer()
-		if _, err := client.CheckInViaProcedure(prod.RootID); err != nil {
+		if _, err := client.CheckInViaProcedure(context.Background(), prod.RootID); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
@@ -287,13 +288,13 @@ func BenchmarkCheckOut(b *testing.B) {
 				switch mode {
 				case "navigational":
 					client, meter = sys.Connect(link, user, pdmtune.EarlyEval)
-					last, err = client.CheckOut(prod.RootID)
+					last, err = client.CheckOut(context.Background(), prod.RootID)
 				case "recursive":
 					client, meter = sys.Connect(link, user, pdmtune.Recursive)
-					last, err = client.CheckOut(prod.RootID)
+					last, err = client.CheckOut(context.Background(), prod.RootID)
 				case "procedure":
 					client, meter = sys.Connect(link, user, pdmtune.Recursive)
-					last, err = client.CheckOutViaProcedure(prod.RootID)
+					last, err = client.CheckOutViaProcedure(context.Background(), prod.RootID)
 				}
 				if err != nil {
 					b.Fatal(err)
@@ -305,7 +306,7 @@ func BenchmarkCheckOut(b *testing.B) {
 				// Release for the next iteration (not timed as WAN cost —
 				// StopTimer/StartTimer keep the wall clock honest).
 				b.StopTimer()
-				if _, err := client.CheckInViaProcedure(prod.RootID); err != nil {
+				if _, err := client.CheckInViaProcedure(context.Background(), prod.RootID); err != nil {
 					b.Fatal(err)
 				}
 				b.StartTimer()
@@ -325,7 +326,7 @@ func BenchmarkEngineRecursiveQuery(b *testing.B) {
 	client, _ := f.sys.Connect(pdmtune.LAN(), pdmtune.DefaultUser("bench"), pdmtune.Recursive)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.MultiLevelExpand(f.prod.RootID); err != nil {
+		if _, err := client.MultiLevelExpand(context.Background(), f.prod.RootID); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,12 +10,16 @@
 //	pdmbench -figure 5        # one figure (ASCII bars)
 //	pdmbench -simulate        # wire-level simulation vs model, all scenarios
 //	pdmbench -batch           # batched vs unbatched wire protocol (round trips saved)
+//	pdmbench -prepared        # prepared statements vs SQL text (request bytes saved)
 //	pdmbench -checkout        # Section 6: check-out round-trip comparison
 //	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
+//	pdmbench -json            # machine-readable metrics for all scenarios (stdout)
 //	pdmbench -all             # everything
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,12 +34,18 @@ func main() {
 	figure := flag.Int("figure", 0, "print one paper figure (4 or 5)")
 	simulate := flag.Bool("simulate", false, "run the wire-level simulation against the model")
 	batch := flag.Bool("batch", false, "compare batched vs unbatched statement execution")
+	prepared := flag.Bool("prepared", false, "compare prepared statements vs SQL text")
 	checkout := flag.Bool("checkout", false, "compare check-out implementations (Section 6)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
+	jsonOut := flag.Bool("json", false, "emit machine-readable simulation metrics as JSON")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	any := *table != 0 || *figure != 0 || *simulate || *batch || *checkout || *ablate
+	if *jsonOut {
+		runJSON()
+		return
+	}
+	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *checkout || *ablate
 	if *all || !any {
 		printTable(2)
 		printTable(3)
@@ -54,6 +64,9 @@ func main() {
 	}
 	if *batch || *all {
 		runBatchComparison()
+	}
+	if *prepared || *all {
+		runPreparedComparison()
 	}
 	if *checkout || *all {
 		runCheckout()
@@ -233,8 +246,15 @@ func runSimulation() {
 				if action == costmodel.Query {
 					target = prod.Config.ProdID
 				}
-				res, err := sys.RunAction(pdmtune.LinkOf(nets[0]), pdmtune.DefaultUser("sim"),
-					pdmtune.Strategy(strat), pdmtune.Action(action), target)
+				sess, err := sys.Open(
+					pdmtune.WithLink(pdmtune.LinkOf(nets[0])),
+					pdmtune.WithUser(pdmtune.DefaultUser("sim")),
+					pdmtune.WithStrategy(pdmtune.Strategy(strat)),
+				)
+				if err != nil {
+					fail(err)
+				}
+				res, err := sess.Run(context.Background(), pdmtune.Action(action), target)
 				if err != nil {
 					fail(err)
 				}
@@ -276,11 +296,11 @@ func runBatchComparison() {
 			fail(err)
 		}
 		for _, strat := range []pdmtune.Strategy{pdmtune.LateEval, pdmtune.EarlyEval} {
-			plain, err := sys.RunAction(link, pdmtune.DefaultUser("sim"), strat, pdmtune.MLE, prod.RootID)
+			plain, err := runMLE(sys, prod.RootID, link, strat, false, false)
 			if err != nil {
 				fail(err)
 			}
-			batched, err := sys.RunActionBatched(link, pdmtune.DefaultUser("sim"), strat, pdmtune.MLE, prod.RootID)
+			batched, err := runMLE(sys, prod.RootID, link, strat, true, false)
 			if err != nil {
 				fail(err)
 			}
@@ -297,6 +317,125 @@ func runBatchComparison() {
 	fmt.Println()
 }
 
+// runMLE opens a session in the given wire configuration and runs one
+// multi-level expand.
+func runMLE(sys *pdmtune.System, root int64, link pdmtune.Link, strat pdmtune.Strategy, batched, prepared bool) (*pdmtune.ActionResult, error) {
+	sess, err := sys.Open(
+		pdmtune.WithLink(link),
+		pdmtune.WithUser(pdmtune.DefaultUser("sim")),
+		pdmtune.WithStrategy(strat),
+		pdmtune.WithBatching(batched),
+		pdmtune.WithPreparedStatements(prepared),
+	)
+	if err != nil {
+		return nil, err
+	}
+	return sess.MultiLevelExpand(context.Background(), root)
+}
+
+// ---------------------------------------------------------------------------
+// Prepared statements vs SQL text
+
+func runPreparedComparison() {
+	fmt.Println("Prepared statements — the per-node expand is prepared once per session and")
+	fmt.Println("executed by handle + parameters; with level batching the request volume of a")
+	fmt.Println("navigational MLE collapses. (δ=9/β=3 and δ=3/β=9, 256 kbit/s / 150 ms, early eval.)")
+	fmt.Println()
+	link := pdmtune.LinkOf(costmodel.PaperNetworks()[0])
+	for scenIdx, scen := range costmodel.PaperScenarios()[:2] {
+		fmt.Printf("Scenario %s\n", scen.Name)
+		sys := pdmtune.NewSystem(nil)
+		prod, err := loadScenario(sys, scen, int64(scenIdx+1))
+		if err != nil {
+			fail(err)
+		}
+		text, err := runMLE(sys, prod.RootID, link, pdmtune.EarlyEval, true, false)
+		if err != nil {
+			fail(err)
+		}
+		prep, err := runMLE(sys, prod.RootID, link, pdmtune.EarlyEval, true, true)
+		if err != nil {
+			fail(err)
+		}
+		if prep.Visible != text.Visible {
+			fail(fmt.Errorf("prepared client sees %d nodes, text client %d", prep.Visible, text.Visible))
+		}
+		fmt.Printf("  text:     rt=%-5d req=%8.0f KiB                          T=%8.2fs\n",
+			text.Metrics.RoundTrips, text.Metrics.RequestBytes/1024, text.Metrics.TotalSec())
+		fmt.Printf("  prepared: rt=%-5d req=%8.0f KiB (saved %7.0f KiB SQL)  T=%8.2fs  execs=%d\n",
+			prep.Metrics.RoundTrips, prep.Metrics.RequestBytes/1024,
+			prep.Metrics.SavedRequestBytes/1024, prep.Metrics.TotalSec(), prep.Metrics.PreparedExecs)
+	}
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable metrics (-json)
+
+// jsonRecord is one measured configuration in the -json output, stable
+// field names for benchmark trajectory tracking.
+type jsonRecord struct {
+	Scenario          string  `json:"scenario"`
+	Action            string  `json:"action"`
+	Strategy          string  `json:"strategy"`
+	Batched           bool    `json:"batched"`
+	Prepared          bool    `json:"prepared"`
+	Visible           int     `json:"visible"`
+	RoundTrips        int     `json:"round_trips"`
+	Statements        int     `json:"statements"`
+	PreparedExecs     int     `json:"prepared_execs"`
+	RequestBytes      float64 `json:"request_bytes"`
+	ResponseBytes     float64 `json:"response_bytes"`
+	SavedRequestBytes float64 `json:"saved_request_bytes"`
+	SimulatedSec      float64 `json:"simulated_sec"`
+}
+
+// runJSON measures every strategy and wire mode on the paper's MLE
+// workload (first network profile) and emits one JSON array on stdout.
+func runJSON() {
+	link := pdmtune.LinkOf(costmodel.PaperNetworks()[0])
+	var records []jsonRecord
+	for scenIdx, scen := range costmodel.PaperScenarios() {
+		sys := pdmtune.NewSystem(nil)
+		prod, err := loadScenario(sys, scen, int64(scenIdx+1))
+		if err != nil {
+			fail(err)
+		}
+		for _, strat := range []pdmtune.Strategy{pdmtune.LateEval, pdmtune.EarlyEval, pdmtune.Recursive} {
+			modes := [][2]bool{{false, false}}
+			if strat != pdmtune.Recursive {
+				modes = append(modes, [2]bool{true, false}, [2]bool{true, true})
+			}
+			for _, m := range modes {
+				res, err := runMLE(sys, prod.RootID, link, strat, m[0], m[1])
+				if err != nil {
+					fail(err)
+				}
+				records = append(records, jsonRecord{
+					Scenario:          scen.Name,
+					Action:            pdmtune.MLE.String(),
+					Strategy:          strat.String(),
+					Batched:           m[0],
+					Prepared:          m[1],
+					Visible:           res.Visible,
+					RoundTrips:        res.Metrics.RoundTrips,
+					Statements:        res.Metrics.Statements,
+					PreparedExecs:     res.Metrics.PreparedExecs,
+					RequestBytes:      res.Metrics.RequestBytes,
+					ResponseBytes:     res.Metrics.ResponseBytes,
+					SavedRequestBytes: res.Metrics.SavedRequestBytes,
+					SimulatedSec:      res.Metrics.TotalSec(),
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fail(err)
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Check-out comparison (Section 6)
 
@@ -308,32 +447,39 @@ func runCheckout() {
 		fail(err)
 	}
 	link := pdmtune.Intercontinental()
+	ctx := context.Background()
 	type mode struct {
 		name string
-		run  func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error)
+		run  func(s *pdmtune.Session) (*pdmtune.CheckOutResult, error)
 		str  pdmtune.Strategy
 	}
 	modes := []mode{
-		{"navigational (early eval)", func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error) {
-			return c.CheckOut(prod.RootID)
+		{"navigational (early eval)", func(s *pdmtune.Session) (*pdmtune.CheckOutResult, error) {
+			return s.CheckOut(ctx, prod.RootID)
 		}, pdmtune.EarlyEval},
-		{"recursive + updates", func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error) {
-			return c.CheckOut(prod.RootID)
+		{"recursive + updates", func(s *pdmtune.Session) (*pdmtune.CheckOutResult, error) {
+			return s.CheckOut(ctx, prod.RootID)
 		}, pdmtune.Recursive},
-		{"stored procedure", func(c *pdmtune.Client) (*pdmtune.CheckOutResult, error) {
-			return c.CheckOutViaProcedure(prod.RootID)
+		{"stored procedure", func(s *pdmtune.Session) (*pdmtune.CheckOutResult, error) {
+			return s.CheckOutViaProcedure(ctx, prod.RootID)
 		}, pdmtune.Recursive},
 	}
 	for i, m := range modes {
-		user := pdmtune.DefaultUser(fmt.Sprintf("user%d", i))
-		client, _ := sys.Connect(link, user, m.str)
-		res, err := m.run(client)
+		sess, err := sys.Open(
+			pdmtune.WithLink(link),
+			pdmtune.WithUser(pdmtune.DefaultUser(fmt.Sprintf("user%d", i))),
+			pdmtune.WithStrategy(m.str),
+		)
+		if err != nil {
+			fail(err)
+		}
+		res, err := m.run(sess)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Printf("  %-28s granted=%-5v updated=%-5d rt=%-5d T=%8.2fs\n",
 			m.name, res.Granted, res.Updated, res.Metrics.RoundTrips, res.Metrics.TotalSec())
-		if _, err := client.CheckInViaProcedure(prod.RootID); err != nil {
+		if _, err := sess.CheckInViaProcedure(ctx, prod.RootID); err != nil {
 			fail(err)
 		}
 	}
@@ -380,7 +526,15 @@ func runAblation() {
 		link := pdmtune.Intercontinental()
 		link.ExactBytes = exact
 		for _, strat := range []pdmtune.Strategy{pdmtune.LateEval, pdmtune.Recursive} {
-			res, err := sys.RunAction(link, pdmtune.DefaultUser("abl"), strat, pdmtune.MLE, prod.RootID)
+			sess, err := sys.Open(
+				pdmtune.WithLink(link),
+				pdmtune.WithUser(pdmtune.DefaultUser("abl")),
+				pdmtune.WithStrategy(strat),
+			)
+			if err != nil {
+				fail(err)
+			}
+			res, err := sess.Run(context.Background(), pdmtune.MLE, prod.RootID)
 			if err != nil {
 				fail(err)
 			}

@@ -18,6 +18,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,14 +62,16 @@ func main() {
 
 	link := pdmtune.Intercontinental()
 	var stream = conn
-	var channel wire.Channel = &wire.StreamChannel{Stream: stream}
+	var transport wire.Transport = &wire.StreamChannel{Stream: stream}
 	if *wan {
-		channel = &wire.StreamChannel{Stream: &netsim.DelayedConn{Stream: conn, Link: link, Scale: *scale}}
+		transport = &wire.StreamChannel{Stream: &netsim.DelayedConn{Stream: conn, Link: link, Scale: *scale}}
 		fmt.Printf("traffic shaped: %s at %.0f%% real time\n", link, *scale*100)
 	}
+	// Charge real round trips to a meter so the client can report what
+	// the exchange would cost on the unscaled WAN.
 	meter := netsim.NewMeter(link)
-	metered := &meteredStream{inner: channel, meter: meter}
-	client := core.NewClient(metered, meter, pdmtune.StandardRules(), pdmtune.DefaultUser(*user), costmodel.Strategy(strat))
+	client := core.NewClient(wire.Metered(transport, meter), meter,
+		pdmtune.StandardRules(), pdmtune.DefaultUser(*user), costmodel.Strategy(strat))
 
 	fmt.Printf("connected to %s as %s (strategy: %s)\n", *addr, *user, strat)
 	sc := bufio.NewScanner(os.Stdin)
@@ -84,21 +87,6 @@ func main() {
 	}
 }
 
-// meteredStream charges the meter for real round trips so the client can
-// report what the exchange would cost on the unscaled WAN.
-type meteredStream struct {
-	inner wire.Channel
-	meter *netsim.Meter
-}
-
-func (m *meteredStream) RoundTrip(req []byte) ([]byte, error) {
-	resp, err := m.inner.RoundTrip(req)
-	if err == nil {
-		m.meter.RoundTrip(len(req)+4, len(resp)+4)
-	}
-	return resp, err
-}
-
 func run(client *core.Client, meter *netsim.Meter, line string) (quit bool) {
 	fields := strings.Fields(line)
 	cmd := strings.ToLower(fields[0])
@@ -111,30 +99,30 @@ func run(client *core.Client, meter *netsim.Meter, line string) (quit bool) {
 	case "quit", "exit":
 		return true
 	case "expand":
-		res, err := client.Expand(arg)
+		res, err := client.Expand(context.Background(), arg)
 		report(res, err)
 	case "mle":
-		res, err := client.MultiLevelExpand(arg)
+		res, err := client.MultiLevelExpand(context.Background(), arg)
 		report(res, err)
 	case "query":
-		res, err := client.QueryAll(arg)
+		res, err := client.QueryAll(context.Background(), arg)
 		report(res, err)
 	case "checkout":
-		res, err := client.CheckOutViaProcedure(arg)
+		res, err := client.CheckOutViaProcedure(context.Background(), arg)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		fmt.Printf("granted=%v updated=%d (%s)\n", res.Granted, res.Updated, res.Metrics)
 	case "checkin":
-		res, err := client.CheckInViaProcedure(arg)
+		res, err := client.CheckInViaProcedure(context.Background(), arg)
 		if err != nil {
 			fmt.Println("error:", err)
 			return
 		}
 		fmt.Printf("updated=%d (%s)\n", res.Updated, res.Metrics)
 	case "sql":
-		resp, err := client.Exec(strings.TrimSpace(strings.TrimPrefix(line, "sql")))
+		resp, err := client.Exec(context.Background(), strings.TrimSpace(strings.TrimPrefix(line, "sql")))
 		if err != nil {
 			fmt.Println("error:", err)
 			return

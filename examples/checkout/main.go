@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,23 +22,29 @@ func main() {
 		log.Fatal(err)
 	}
 	link := pdmtune.Intercontinental()
+	ctx := context.Background()
 	fmt.Printf("product: %d nodes (%d visible), link: %s\n\n",
 		prod.AllNodes(), prod.VisibleNodes(), link)
 
 	fmt.Println("check-out of the whole subtree, three implementations:")
 	for i, mode := range []string{"navigational MLE + updates", "recursive query + updates", "stored procedure"} {
-		user := pdmtune.DefaultUser(fmt.Sprintf("user%d", i))
 		strategy := pdmtune.EarlyEval
 		if i > 0 {
 			strategy = pdmtune.Recursive
 		}
-		client, _ := sys.Connect(link, user, strategy)
+		sess, err := sys.Open(
+			pdmtune.WithLink(link),
+			pdmtune.WithUser(pdmtune.DefaultUser(fmt.Sprintf("user%d", i))),
+			pdmtune.WithStrategy(strategy),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
 		var res *pdmtune.CheckOutResult
-		var err error
 		if mode == "stored procedure" {
-			res, err = client.CheckOutViaProcedure(prod.RootID)
+			res, err = sess.CheckOutViaProcedure(ctx, prod.RootID)
 		} else {
-			res, err = client.CheckOut(prod.RootID)
+			res, err = sess.CheckOut(ctx, prod.RootID)
 		}
 		if err != nil {
 			log.Fatal(err)
@@ -47,8 +54,14 @@ func main() {
 
 		// Demonstrate the ∀rows rule: while checked out, a second
 		// check-out by someone else is denied.
-		other, _ := sys.Connect(link, pdmtune.DefaultUser("intruder"), pdmtune.Recursive)
-		denied, err := other.CheckOutViaProcedure(prod.RootID)
+		other, err := sys.Open(
+			pdmtune.WithLink(link),
+			pdmtune.WithUser(pdmtune.DefaultUser("intruder")),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		denied, err := other.CheckOutViaProcedure(ctx, prod.RootID)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +69,7 @@ func main() {
 			log.Fatal("BUG: concurrent check-out was granted")
 		}
 		// Release for the next round.
-		if _, err := client.CheckInViaProcedure(prod.RootID); err != nil {
+		if _, err := sess.CheckInViaProcedure(ctx, prod.RootID); err != nil {
 			log.Fatal(err)
 		}
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,13 +19,19 @@ func main() {
 		log.Fatal(err)
 	}
 	link := pdmtune.Intercontinental()
+	ctx := context.Background()
 
 	show := func(title string, rules *pdmtune.RuleTable, user pdmtune.UserContext) {
-		client, _ := sys.Connect(link, user, pdmtune.Recursive)
-		// Override the client's rule table by connecting a fresh client
-		// wired to the given rules.
-		client = newClientWithRules(sys, link, rules, user)
-		res, err := client.MultiLevelExpand(1)
+		sess, err := sys.Open(
+			pdmtune.WithLink(link),
+			pdmtune.WithUser(user),
+			pdmtune.WithStrategy(pdmtune.Recursive),
+			pdmtune.WithRules(rules),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.MultiLevelExpand(ctx, 1)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -92,12 +99,4 @@ func main() {
 		sql = sql[:600] + " ..."
 	}
 	fmt.Println(sql)
-}
-
-func newClientWithRules(sys *pdmtune.System, link pdmtune.Link, rules *pdmtune.RuleTable, user pdmtune.UserContext) *pdmtune.Client {
-	saved := sys.Rules
-	sys.Rules = rules
-	client, _ := sys.Connect(link, user, pdmtune.Recursive)
-	sys.Rules = saved
-	return client
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,26 +26,36 @@ func main() {
 	}
 	fmt.Printf("done: %d nodes, %d visible\n\n", prod.AllNodes(), prod.VisibleNodes())
 
+	ctx := context.Background()
 	user := pdmtune.DefaultUser("engineer")
 	scenarios := []struct {
-		where    string
-		link     pdmtune.Link
-		strategy pdmtune.Strategy
+		where string
+		opts  []pdmtune.Option
 	}{
-		{"Stuttgart office (LAN), unoptimized", pdmtune.LAN(), pdmtune.LateEval},
-		{"São Paulo via WAN, unoptimized", pdmtune.Intercontinental(), pdmtune.LateEval},
-		{"São Paulo via WAN, early rule evaluation", pdmtune.Intercontinental(), pdmtune.EarlyEval},
-		{"São Paulo via WAN, early eval + recursive SQL", pdmtune.Intercontinental(), pdmtune.Recursive},
+		{"Stuttgart office (LAN), unoptimized",
+			[]pdmtune.Option{pdmtune.WithLink(pdmtune.LAN()), pdmtune.WithStrategy(pdmtune.LateEval)}},
+		{"São Paulo via WAN, unoptimized",
+			[]pdmtune.Option{pdmtune.WithLink(pdmtune.Intercontinental()), pdmtune.WithStrategy(pdmtune.LateEval)}},
+		{"São Paulo via WAN, early rule evaluation",
+			[]pdmtune.Option{pdmtune.WithLink(pdmtune.Intercontinental()), pdmtune.WithStrategy(pdmtune.EarlyEval)}},
+		{"São Paulo via WAN, early eval + batching + prepared",
+			[]pdmtune.Option{pdmtune.WithLink(pdmtune.Intercontinental()), pdmtune.WithStrategy(pdmtune.EarlyEval),
+				pdmtune.WithBatching(true), pdmtune.WithPreparedStatements(true)}},
+		{"São Paulo via WAN, early eval + recursive SQL",
+			[]pdmtune.Option{pdmtune.WithLink(pdmtune.Intercontinental()), pdmtune.WithStrategy(pdmtune.Recursive)}},
 	}
 	fmt.Println("multi-level expand of the complete product structure:")
 	var base float64
 	for i, sc := range scenarios {
-		client, meter := sys.Connect(sc.link, user, sc.strategy)
-		if _, err := client.MultiLevelExpand(prod.RootID); err != nil {
+		sess, err := sys.Open(append(sc.opts, pdmtune.WithUser(user))...)
+		if err != nil {
 			log.Fatal(err)
 		}
-		t := meter.Metrics.TotalSec()
-		line := fmt.Sprintf("  %-46s %8.1f s (%5.1f min)", sc.where, t, t/60)
+		if _, err := sess.MultiLevelExpand(ctx, prod.RootID); err != nil {
+			log.Fatal(err)
+		}
+		t := sess.Metrics().TotalSec()
+		line := fmt.Sprintf("  %-52s %8.1f s (%5.1f min)", sc.where, t, t/60)
 		if i == 1 {
 			base = t
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"pdmtune/internal/core"
@@ -26,12 +27,12 @@ func TestBatchedMLEMatchesUnbatched(t *testing.T) {
 	})
 	for _, strat := range costmodel.Strategies {
 		plain, pm := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
-		resP, err := plain.MultiLevelExpand(prod.RootID)
+		resP, err := plain.MultiLevelExpand(context.Background(), prod.RootID)
 		if err != nil {
 			t.Fatalf("%v: plain MLE: %v", strat, err)
 		}
 		batched, bm := batchedClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
-		resB, err := batched.MultiLevelExpand(prod.RootID)
+		resB, err := batched.MultiLevelExpand(context.Background(), prod.RootID)
 		if err != nil {
 			t.Fatalf("%v: batched MLE: %v", strat, err)
 		}
@@ -68,23 +69,23 @@ func TestBatchedMLEMatchesUnbatched(t *testing.T) {
 }
 
 // TestBatchedMLERoundTripsPerLevel: a δ-deep visible tree takes exactly
-// δ+1 batch round trips (one per BFS level, leaves included) when no
-// probe rules apply.
+// δ+2 batch round trips — the root's type lookup plus one batch per BFS
+// level, leaves included — when no probe rules apply.
 func TestBatchedMLERoundTripsPerLevel(t *testing.T) {
 	cfg := workload.Config{Depth: 3, Branch: 4, Sigma: 0.5, Seed: 7, PadBytes: 16}
 	srv, prod := generatedServer(t, cfg)
 	c, meter := batchedClient(srv, core.StandardRules(), core.DefaultUser("scott"), costmodel.EarlyEval)
-	if _, err := c.MultiLevelExpand(prod.RootID); err != nil {
+	if _, err := c.MultiLevelExpand(context.Background(), prod.RootID); err != nil {
 		t.Fatal(err)
 	}
-	want := cfg.Depth + 1
+	want := cfg.Depth + 2
 	if meter.Metrics.RoundTrips != want {
-		t.Errorf("batched MLE took %d round trips, want %d (one per level)",
+		t.Errorf("batched MLE took %d round trips, want %d (type lookup + one per level)",
 			meter.Metrics.RoundTrips, want)
 	}
-	if meter.Metrics.Statements != 1+prod.VisibleNodes() {
+	if meter.Metrics.Statements != 2+prod.VisibleNodes() {
 		t.Errorf("batched MLE shipped %d statements, want %d",
-			meter.Metrics.Statements, 1+prod.VisibleNodes())
+			meter.Metrics.Statements, 2+prod.VisibleNodes())
 	}
 }
 
@@ -101,7 +102,7 @@ func TestBatchedExistsStructureRule(t *testing.T) {
 	want := []int64{2, 3, 4, 5, 101, 103}
 	for _, strat := range []costmodel.Strategy{costmodel.LateEval, costmodel.EarlyEval} {
 		c, _ := batchedClient(srv, rules, core.DefaultUser("scott"), strat)
-		res, err := c.MultiLevelExpand(1)
+		res, err := c.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: batched MLE: %v", strat, err)
 		}
@@ -137,9 +138,9 @@ func TestBatchedProbeShortCircuitOnError(t *testing.T) {
 	})
 	srv := pdmServer(t)
 	plain, _ := pdmClient(srv, okThenErr, core.DefaultUser("scott"), costmodel.EarlyEval)
-	resP, errP := plain.MultiLevelExpand(1)
+	resP, errP := plain.MultiLevelExpand(context.Background(), 1)
 	batched, _ := batchedClient(srv, okThenErr, core.DefaultUser("scott"), costmodel.EarlyEval)
-	resB, errB := batched.MultiLevelExpand(1)
+	resB, errB := batched.MultiLevelExpand(context.Background(), 1)
 	if errP != nil || errB != nil {
 		t.Fatalf("permit-before-error must succeed on both paths: plain=%v batched=%v", errP, errB)
 	}
@@ -156,9 +157,9 @@ func TestBatchedProbeShortCircuitOnError(t *testing.T) {
 		Cond: "EXISTS (SELECT * FROM no_such_table WHERE no_such_table.x = comp.obid)",
 	})
 	plain2, _ := pdmClient(srv, errFirst, core.DefaultUser("scott"), costmodel.EarlyEval)
-	_, errP2 := plain2.MultiLevelExpand(1)
+	_, errP2 := plain2.MultiLevelExpand(context.Background(), 1)
 	batched2, _ := batchedClient(srv, errFirst, core.DefaultUser("scott"), costmodel.EarlyEval)
-	_, errB2 := batched2.MultiLevelExpand(1)
+	_, errB2 := batched2.MultiLevelExpand(context.Background(), 1)
 	if errP2 == nil || errB2 == nil {
 		t.Fatalf("error-before-permit must fail on both paths: plain=%v batched=%v", errP2, errB2)
 	}
@@ -171,7 +172,7 @@ func TestBatchedCheckOut(t *testing.T) {
 	rules := core.StandardRules()
 	rules.MustAdd(core.CheckOutRule())
 	c, meter := batchedClient(srv, rules, core.DefaultUser("scott"), costmodel.EarlyEval)
-	res, err := c.CheckOut(1)
+	res, err := c.CheckOut(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("batched check-out: %v", err)
 	}
@@ -181,7 +182,7 @@ func TestBatchedCheckOut(t *testing.T) {
 	if meter.Metrics.SavedRoundTrips() <= 0 {
 		t.Errorf("batched check-out saved %d round trips, want > 0", meter.Metrics.SavedRoundTrips())
 	}
-	res2, err := c.CheckIn(1)
+	res2, err := c.CheckIn(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("batched check-in: %v", err)
 	}

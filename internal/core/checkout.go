@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -35,9 +36,9 @@ func CheckOutRule() Rule {
 // object as checked out by the user. As Section 6 observes, this action
 // "cannot be represented in one single query": even with the recursive
 // strategy, the flag updates are separate WAN communications.
-func (c *Client) CheckOut(root int64) (*CheckOutResult, error) {
+func (c *Client) CheckOut(ctx context.Context, root int64) (*CheckOutResult, error) {
 	before := c.snapshot()
-	res, err := c.multiLevelExpand(root, ActionCheck)
+	res, err := c.multiLevelExpand(ctx, root, ActionCheck)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +48,7 @@ func (c *Client) CheckOut(root int64) (*CheckOutResult, error) {
 		return out, nil // denied by a tree condition
 	}
 	out.Granted = true
-	updated, err := c.setCheckedOut(res.Tree, true)
+	updated, err := c.setCheckedOut(ctx, res.Tree, true)
 	if err != nil {
 		return nil, err
 	}
@@ -57,15 +58,15 @@ func (c *Client) CheckOut(root int64) (*CheckOutResult, error) {
 }
 
 // CheckIn releases a previously checked-out subtree owned by the user.
-func (c *Client) CheckIn(root int64) (*CheckOutResult, error) {
+func (c *Client) CheckIn(ctx context.Context, root int64) (*CheckOutResult, error) {
 	before := c.snapshot()
-	res, err := c.multiLevelExpand(root, ActionCheck+"-in")
+	res, err := c.multiLevelExpand(ctx, root, ActionCheck+"-in")
 	if err != nil {
 		return nil, err
 	}
 	out := &CheckOutResult{Granted: true}
 	if res.Tree != nil && res.Tree.Root != nil {
-		updated, err := c.setCheckedOut(res.Tree, false)
+		updated, err := c.setCheckedOut(ctx, res.Tree, false)
 		if err != nil {
 			return nil, err
 		}
@@ -75,10 +76,27 @@ func (c *Client) CheckIn(root int64) (*CheckOutResult, error) {
 	return out, nil
 }
 
+// checkedOutUpdateSQL is the parameterized per-node flag update the
+// prepared+batched modify prepares once per table and direction.
+func checkedOutUpdateSQL(table string, out bool) string {
+	if out {
+		return fmt.Sprintf(
+			"UPDATE %s SET checkedout = TRUE, checkedout_by = ? WHERE obid = ? AND checkedout <> TRUE", table)
+	}
+	return fmt.Sprintf(
+		"UPDATE %s SET checkedout = FALSE, checkedout_by = NULL WHERE obid = ? AND checkedout_by = ?", table)
+}
+
 // setCheckedOut ships the UPDATE statements flipping the flag for every
 // node in the tree — one WAN round trip per object table, or a single
-// batch round trip for the whole modify when batching is enabled.
-func (c *Client) setCheckedOut(tree *Tree, out bool) (int, error) {
+// batch round trip for the whole modify when batching is enabled. With
+// prepared statements AND batching, the modify becomes one batch of
+// per-node prepared executions: two prepares per session, then handle +
+// (user, obid) pairs on the wire.
+func (c *Client) setCheckedOut(ctx context.Context, tree *Tree, out bool) (int, error) {
+	if c.prepared && c.batching {
+		return c.setCheckedOutPrepared(ctx, tree, out)
+	}
 	ids := map[string][]string{}
 	tree.Walk(func(n *Node) {
 		ids[n.Type] = append(ids[n.Type], fmt.Sprintf("%d", n.ObID))
@@ -105,7 +123,7 @@ func (c *Client) setCheckedOut(tree *Tree, out bool) (int, error) {
 		for i, sql := range stmts {
 			reqs[i] = &wire.Request{SQL: sql}
 		}
-		resps, err := c.sql.ExecBatch(reqs)
+		resps, err := c.sql.ExecBatch(ctx, reqs)
 		for _, resp := range resps {
 			updated += resp.RowsAffected
 		}
@@ -115,7 +133,7 @@ func (c *Client) setCheckedOut(tree *Tree, out bool) (int, error) {
 		return updated, nil
 	}
 	for _, sql := range stmts {
-		resp, err := c.sql.Exec(sql)
+		resp, err := c.sql.Exec(ctx, sql)
 		if err != nil {
 			return updated, err
 		}
@@ -124,24 +142,59 @@ func (c *Client) setCheckedOut(tree *Tree, out bool) (int, error) {
 	return updated, nil
 }
 
+// setCheckedOutPrepared flips the flag with one batch of per-node
+// prepared executions (prepared+batched mode). Statements are prepared
+// only for the object tables the tree actually contains, and — like the
+// text path, which iterates the known object tables — node types
+// without an object table are skipped.
+func (c *Client) setCheckedOutPrepared(ctx context.Context, tree *Tree, out bool) (int, error) {
+	ids := map[string][]int64{}
+	tree.Walk(func(n *Node) {
+		ids[n.Type] = append(ids[n.Type], n.ObID)
+	})
+	var reqs []*wire.Request
+	for _, table := range []string{"assy", "comp"} {
+		if len(ids[table]) == 0 {
+			continue
+		}
+		h, err := c.ensurePrepared(ctx, checkedOutUpdateSQL(table, out))
+		if err != nil {
+			return 0, err
+		}
+		for _, obid := range ids[table] {
+			params := []types.Value{types.NewText(c.user.Name), types.NewInt(obid)}
+			if !out {
+				params = []types.Value{types.NewInt(obid), types.NewText(c.user.Name)}
+			}
+			reqs = append(reqs, &wire.Request{Prepared: true, Handle: h, Params: params})
+		}
+	}
+	resps, err := c.sql.ExecBatch(ctx, reqs)
+	updated := 0
+	for _, resp := range resps {
+		updated += resp.RowsAffected
+	}
+	return updated, err
+}
+
 // CheckOutViaProcedure performs the whole check-out in a single WAN
 // round trip by calling a stored procedure at the server — the
 // "application-specific functionality ... installed at the database
 // server" remedy of Section 6.
-func (c *Client) CheckOutViaProcedure(root int64) (*CheckOutResult, error) {
-	return c.callCheckProc("pdm_check_out", root)
+func (c *Client) CheckOutViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
+	return c.callCheckProc(ctx, "pdm_check_out", root)
 }
 
 // CheckInViaProcedure is the single-round-trip check-in.
-func (c *Client) CheckInViaProcedure(root int64) (*CheckOutResult, error) {
-	return c.callCheckProc("pdm_check_in", root)
+func (c *Client) CheckInViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
+	return c.callCheckProc(ctx, "pdm_check_in", root)
 }
 
-func (c *Client) callCheckProc(proc string, root int64) (*CheckOutResult, error) {
+func (c *Client) callCheckProc(ctx context.Context, proc string, root int64) (*CheckOutResult, error) {
 	before := c.snapshot()
 	call := fmt.Sprintf("CALL %s(%d, %s, %s, %d, %d)",
 		proc, root, sqlText(c.user.Name), sqlText(c.user.Options), c.user.EffFrom, c.user.EffTo)
-	resp, err := c.sql.Exec(call)
+	resp, err := c.sql.Exec(ctx, call)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -9,14 +10,17 @@ import (
 	"pdmtune/internal/minisql/ast"
 	"pdmtune/internal/minisql/exec"
 	"pdmtune/internal/minisql/storage"
+	"pdmtune/internal/minisql/types"
 	"pdmtune/internal/netsim"
 	"pdmtune/internal/wire"
 )
 
 // Client is the PDM client. It executes the paper's user actions against
 // a (remote) database server under one of the three strategies the paper
-// compares; every statement crosses the WAN channel and is charged to
-// the meter.
+// compares; every statement crosses the WAN transport and is charged to
+// the meter. All actions take a context: cancelling it between round
+// trips aborts the action with ctx.Err(), and only the round trips that
+// actually happened are charged.
 type Client struct {
 	sql      *wire.Client
 	meter    *netsim.Meter
@@ -33,22 +37,44 @@ type Client struct {
 	// a structure expand, the probes of that level, the updates of a
 	// modify) into single wire batches, collapsing WAN round trips.
 	batching bool
+	// prepared ships the parameterized per-node statements (expand,
+	// probes, modify) as prepared executions: the SQL text travels once
+	// per session, every repetition is handle + parameters.
+	prepared bool
+	// handles caches the server-side handle of each prepared SQL text.
+	handles map[string]uint32
+	// preparedSQL caches the parameterized (and rule-modified) statement
+	// texts, keyed by action resp. probe identity.
+	preparedSQL map[string]preparedStmt
+	// objTypes caches looked-up object types, so the root of a repeated
+	// expand costs its type lookup only once.
+	objTypes map[int64]string
 }
 
-// NewClient connects a PDM client to a channel. meter may be nil (no
+// preparedStmt is a parameterized statement text and the number of
+// parameter slots it expects.
+type preparedStmt struct {
+	sql     string
+	nparams int
+}
+
+// NewClient connects a PDM client to a transport. meter may be nil (no
 // accounting); rules may be empty.
-func NewClient(ch wire.Channel, meter *netsim.Meter, rules *RuleTable, user UserContext, strategy costmodel.Strategy) *Client {
+func NewClient(tr wire.Transport, meter *netsim.Meter, rules *RuleTable, user UserContext, strategy costmodel.Strategy) *Client {
 	if rules == nil {
 		rules = NewRuleTable()
 	}
 	return &Client{
-		sql:      wire.NewClient(ch),
-		meter:    meter,
-		rules:    rules,
-		user:     user,
-		strategy: strategy,
-		local:    &exec.Context{Funcs: minisql.BuiltinFuncs()},
-		scratch:  minisql.NewDB(),
+		sql:         wire.NewClient(tr),
+		meter:       meter,
+		rules:       rules,
+		user:        user,
+		strategy:    strategy,
+		local:       &exec.Context{Funcs: minisql.BuiltinFuncs()},
+		scratch:     minisql.NewDB(),
+		handles:     map[string]uint32{},
+		preparedSQL: map[string]preparedStmt{},
+		objTypes:    map[int64]string{},
 	}
 }
 
@@ -63,6 +89,16 @@ func (c *Client) SetBatching(on bool) { c.batching = on }
 
 // Batching reports whether statement batching is enabled.
 func (c *Client) Batching() bool { return c.batching }
+
+// SetPrepared switches prepared-statement execution on or off. Off (the
+// default) ships full SQL text per statement, as the paper's system
+// does; on, the navigational per-node statements are prepared once per
+// session and executed by handle, shrinking every repeated request to a
+// few dozen bytes.
+func (c *Client) SetPrepared(on bool) { c.prepared = on }
+
+// Prepared reports whether prepared-statement execution is enabled.
+func (c *Client) Prepared() bool { return c.prepared }
 
 // User reports the client's user context.
 func (c *Client) User() UserContext { return c.user }
@@ -87,11 +123,37 @@ func (c *Client) ResetMetrics() {
 
 // Exec ships one raw SQL statement over the WAN (administration, DDL,
 // loading). Rule machinery is not applied.
-func (c *Client) Exec(sql string, params ...minisql.Value) (*wire.Response, error) {
-	return c.sql.Exec(sql, params...)
+func (c *Client) Exec(ctx context.Context, sql string, params ...minisql.Value) (*wire.Response, error) {
+	return c.sql.Exec(ctx, sql, params...)
 }
 
 func (c *Client) modifier() *Modifier { return &Modifier{Rules: c.rules, User: c.user} }
+
+// ---------------------------------------------------------------------------
+// prepared-statement plumbing
+
+// ensurePrepared returns the server-side handle for a statement text,
+// preparing it on first use (one extra round trip per session and text).
+func (c *Client) ensurePrepared(ctx context.Context, sql string) (uint32, error) {
+	if h, ok := c.handles[sql]; ok {
+		return h, nil
+	}
+	h, err := c.sql.Prepare(ctx, sql)
+	if err != nil {
+		return 0, err
+	}
+	c.handles[sql] = h
+	return h, nil
+}
+
+// execRequest ships one request built by a *Request constructor — a
+// prepared execution or plain text.
+func (c *Client) execRequest(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	if req.Prepared {
+		return c.sql.ExecPrepared(ctx, req.Handle, req.Params...)
+	}
+	return c.sql.Exec(ctx, req.SQL, req.Params...)
+}
 
 // ActionResult reports one user action: what came back and what it cost.
 type ActionResult struct {
@@ -123,13 +185,61 @@ func (c *Client) delta(before netsim.Metrics) netsim.Metrics {
 }
 
 // ---------------------------------------------------------------------------
+// object type resolution
+
+// typeLookupParamSQL resolves an object id to its type across the node
+// tables — the object model's discriminator query.
+const typeLookupParamSQL = "SELECT type FROM assy WHERE obid = ? UNION ALL SELECT type FROM comp WHERE obid = ?"
+
+// lookupObjectType resolves the actual type of an object (the paper's
+// object tables assy and comp). Results are cached — expanding below a
+// node whose row the client already received costs nothing — and the
+// first lookup of an unknown id is one WAN statement. An id found in
+// neither table is an error, not an empty assembly.
+func (c *Client) lookupObjectType(ctx context.Context, obid int64) (string, error) {
+	if t, ok := c.objTypes[obid]; ok {
+		return t, nil
+	}
+	var resp *wire.Response
+	var err error
+	if c.prepared {
+		var h uint32
+		h, err = c.ensurePrepared(ctx, typeLookupParamSQL)
+		if err != nil {
+			return "", err
+		}
+		resp, err = c.sql.ExecPrepared(ctx, h, types.NewInt(obid), types.NewInt(obid))
+	} else {
+		resp, err = c.sql.Exec(ctx, fmt.Sprintf(
+			"SELECT type FROM assy WHERE obid = %d UNION ALL SELECT type FROM comp WHERE obid = %d", obid, obid))
+	}
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Rows) == 0 || len(resp.Rows[0]) == 0 {
+		return "", fmt.Errorf("core: object %d does not exist", obid)
+	}
+	t := resp.Rows[0][0].String()
+	c.objTypes[obid] = t
+	return t, nil
+}
+
+// rememberType caches an object's type learned from a received row.
+func (c *Client) rememberType(n *Node) {
+	if n != nil && n.Type != "" {
+		c.objTypes[n.ObID] = n.Type
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Query (set-oriented retrieval of all nodes of a product)
 
 // QueryAll performs the paper's "Query" action: retrieve all nodes of a
 // product (without structure information) in one statement. Under late
 // evaluation all rows are shipped and filtered at the client; otherwise
-// the row conditions travel inside the query.
-func (c *Client) QueryAll(prod int64) (*ActionResult, error) {
+// the row conditions travel inside the query. A single statement gains
+// nothing from preparation, so the prepared mode does not change it.
+func (c *Client) QueryAll(ctx context.Context, prod int64) (*ActionResult, error) {
 	before := c.snapshot()
 	q := BuildQueryAll(prod)
 	if c.strategy != costmodel.LateEval {
@@ -137,7 +247,7 @@ func (c *Client) QueryAll(prod int64) (*ActionResult, error) {
 			return nil, err
 		}
 	}
-	resp, err := c.sql.Exec(q.String())
+	resp, err := c.sql.Exec(ctx, q.String())
 	if err != nil {
 		return nil, err
 	}
@@ -147,6 +257,7 @@ func (c *Client) QueryAll(prod int64) (*ActionResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.rememberType(n)
 		if c.strategy == costmodel.LateEval {
 			ok, err := c.localRowPermitted(n.Type, []string{ActionQuery, ActionAccess}, row)
 			if err != nil {
@@ -167,14 +278,19 @@ func (c *Client) QueryAll(prod int64) (*ActionResult, error) {
 // Single-level expand
 
 // Expand performs a single-level expand: fetch the direct children of
-// one object together with the connecting links.
-func (c *Client) Expand(parent int64) (*ActionResult, error) {
+// one object together with the connecting links. The root's actual
+// object type is looked up (and cached), not assumed to be an assembly.
+func (c *Client) Expand(ctx context.Context, parent int64) (*ActionResult, error) {
 	before := c.snapshot()
-	children, received, err := c.expandOnce(parent, ActionExpand)
+	rootType, err := c.lookupObjectType(ctx, parent)
 	if err != nil {
 		return nil, err
 	}
-	root := &Node{Type: "assy", ObID: parent, Children: children}
+	children, received, err := c.expandOnce(ctx, parent, ActionExpand)
+	if err != nil {
+		return nil, err
+	}
+	root := &Node{Type: rootType, ObID: parent, Children: children}
 	tree := &Tree{Root: root, Index: map[int64]*Node{parent: root}}
 	for _, ch := range children {
 		tree.Index[ch.ObID] = ch
@@ -199,6 +315,51 @@ func (c *Client) buildExpandSQL(parent int64, action string) (string, error) {
 	return q.String(), nil
 }
 
+// expandStmtPrepared returns the parameterized expand statement for an
+// action: built and rule-modified once per session, then reused for
+// every node. The two UNION branches each bind the parent id.
+func (c *Client) expandStmtPrepared(action string) (preparedStmt, error) {
+	key := "expand\x00" + action
+	if st, ok := c.preparedSQL[key]; ok {
+		return st, nil
+	}
+	q := BuildExpandQueryParam()
+	if c.strategy != costmodel.LateEval {
+		if err := c.modifier().ModifyNavigational(q, action); err != nil {
+			return preparedStmt{}, err
+		}
+	}
+	st := preparedStmt{sql: q.String(), nparams: 2}
+	c.preparedSQL[key] = st
+	return st, nil
+}
+
+// expandRequest builds the wire request expanding one parent: a
+// prepared execution (handle + parent id) in prepared mode, the full
+// statement text otherwise.
+func (c *Client) expandRequest(ctx context.Context, parent int64, action string) (*wire.Request, error) {
+	if c.prepared {
+		st, err := c.expandStmtPrepared(action)
+		if err != nil {
+			return nil, err
+		}
+		h, err := c.ensurePrepared(ctx, st.sql)
+		if err != nil {
+			return nil, err
+		}
+		params := make([]types.Value, st.nparams)
+		for i := range params {
+			params[i] = types.NewInt(parent)
+		}
+		return &wire.Request{Prepared: true, Handle: h, Params: params}, nil
+	}
+	sql, err := c.buildExpandSQL(parent, action)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Request{SQL: sql}, nil
+}
+
 // filterExpandRows applies the client-side rule filters to the rows of
 // one expand answer and returns the surviving candidate children.
 // ∃structure conditions are not checked here — they need server probes.
@@ -209,6 +370,7 @@ func (c *Client) filterExpandRows(rows []storage.Row, action string) ([]*Node, e
 		if err != nil {
 			return nil, err
 		}
+		c.rememberType(n)
 		if c.strategy == costmodel.LateEval {
 			// Link traversal rules (structure options, effectivities).
 			ok, err := c.localRowPermitted("link", []string{action, ActionAccess}, row)
@@ -237,12 +399,12 @@ func (c *Client) filterExpandRows(rows []storage.Row, action string) ([]*Node, e
 // received rows against its rule table; ∃structure conditions require
 // extra probe round trips under every navigational strategy because the
 // related objects live only in the server's database.
-func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
-	sql, err := c.buildExpandSQL(parent, action)
+func (c *Client) expandOnce(ctx context.Context, parent int64, action string) ([]*Node, int, error) {
+	req, err := c.expandRequest(ctx, parent, action)
 	if err != nil {
 		return nil, 0, err
 	}
-	resp, err := c.sql.Exec(sql)
+	resp, err := c.execRequest(ctx, req)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -252,7 +414,7 @@ func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
 	}
 	var out []*Node
 	for _, n := range cands {
-		keep, err := c.probeExistsStructure(n, action)
+		keep, err := c.probeExistsStructure(ctx, n, action)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -267,16 +429,16 @@ func (c *Client) expandOnce(parent int64, action string) ([]*Node, int, error) {
 // batch round trip — the paper's statement-per-node loop collapsed into
 // one WAN communication per tree level. A second batch carries all
 // ∃structure probes of the level, when any apply.
-func (c *Client) expandLevelBatched(parents []*Node, action string) ([][]*Node, int, error) {
+func (c *Client) expandLevelBatched(ctx context.Context, parents []*Node, action string) ([][]*Node, int, error) {
 	reqs := make([]*wire.Request, len(parents))
 	for i, p := range parents {
-		sql, err := c.buildExpandSQL(p.ObID, action)
+		req, err := c.expandRequest(ctx, p.ObID, action)
 		if err != nil {
 			return nil, 0, err
 		}
-		reqs[i] = &wire.Request{SQL: sql}
+		reqs[i] = req
 	}
-	resps, err := c.sql.ExecBatch(reqs)
+	resps, err := c.sql.ExecBatch(ctx, reqs)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -290,27 +452,69 @@ func (c *Client) expandLevelBatched(parents []*Node, action string) ([][]*Node, 
 		}
 		children[i] = ns
 	}
-	children, err = c.probeExistsStructureBatched(children, action)
+	children, err = c.probeExistsStructureBatched(ctx, children, action)
 	if err != nil {
 		return nil, 0, err
 	}
 	return children, received, nil
 }
 
+// probeStmtPrepared returns the parameterized ∃structure probe for one
+// rule and object type, cached per session. Every reference to
+// <objType>.obid becomes a parameter bound to the probed id.
+func (c *Client) probeStmtPrepared(cond, objType string) (preparedStmt, error) {
+	key := "probe\x00" + objType + "\x00" + cond
+	if st, ok := c.preparedSQL[key]; ok {
+		return st, nil
+	}
+	q, nparams, err := BuildProbeExistsParam(cond, c.user, objType)
+	if err != nil {
+		return preparedStmt{}, err
+	}
+	st := preparedStmt{sql: q.String(), nparams: nparams}
+	c.preparedSQL[key] = st
+	return st, nil
+}
+
+// probeRequest builds the wire request probing one ∃structure rule for
+// one candidate node.
+func (c *Client) probeRequest(ctx context.Context, r Rule, n *Node) (*wire.Request, error) {
+	if c.prepared {
+		st, err := c.probeStmtPrepared(r.Cond, n.Type)
+		if err != nil {
+			return nil, err
+		}
+		h, err := c.ensurePrepared(ctx, st.sql)
+		if err != nil {
+			return nil, err
+		}
+		params := make([]types.Value, st.nparams)
+		for i := range params {
+			params[i] = types.NewInt(n.ObID)
+		}
+		return &wire.Request{Prepared: true, Handle: h, Params: params}, nil
+	}
+	probe, err := BuildProbeExists(r.Cond, c.user, n.Type, n.ObID)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Request{SQL: probe.String()}, nil
+}
+
 // probeExistsStructure checks ∃structure rules for one candidate object
 // by shipping a probe query per rule group — the round trips a
 // navigational client cannot avoid.
-func (c *Client) probeExistsStructure(n *Node, action string) (bool, error) {
+func (c *Client) probeExistsStructure(ctx context.Context, n *Node, action string) (bool, error) {
 	rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
 	if len(rules) == 0 {
 		return true, nil
 	}
 	for _, r := range rules {
-		probe, err := BuildProbeExists(r.Cond, c.user, n.Type, n.ObID)
+		req, err := c.probeRequest(ctx, r, n)
 		if err != nil {
 			return false, err
 		}
-		resp, err := c.sql.Exec(probe.String())
+		resp, err := c.execRequest(ctx, req)
 		if err != nil {
 			return false, err
 		}
@@ -328,7 +532,7 @@ func (c *Client) probeExistsStructure(n *Node, action string) (bool, error) {
 // in the unbatched OR short-circuit — a probe that errors only fails the
 // action when no earlier rule already permitted its node; otherwise the
 // surviving probes are re-batched past the failure.
-func (c *Client) probeExistsStructureBatched(children [][]*Node, action string) ([][]*Node, error) {
+func (c *Client) probeExistsStructureBatched(ctx context.Context, children [][]*Node, action string) ([][]*Node, error) {
 	type nodeRef struct{ level, child int }
 	type probe struct {
 		node nodeRef
@@ -341,12 +545,12 @@ func (c *Client) probeExistsStructureBatched(children [][]*Node, action string) 
 		for j, n := range ns {
 			rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
 			for _, r := range rules {
-				q, err := BuildProbeExists(r.Cond, c.user, n.Type, n.ObID)
+				req, err := c.probeRequest(ctx, r, n)
 				if err != nil {
 					return nil, err
 				}
 				ref := nodeRef{level: i, child: j}
-				pending = append(pending, probe{node: ref, req: &wire.Request{SQL: q.String()}})
+				pending = append(pending, probe{node: ref, req: req})
 				probed[ref] = true
 			}
 		}
@@ -368,7 +572,7 @@ func (c *Client) probeExistsStructureBatched(children [][]*Node, action string) 
 		for i, p := range pending {
 			reqs[i] = p.req
 		}
-		resps, err := c.sql.ExecBatch(reqs)
+		resps, err := c.sql.ExecBatch(ctx, reqs)
 		for i, resp := range resps {
 			if len(resp.Rows) > 0 {
 				permit[pending[i].node] = true
@@ -438,14 +642,14 @@ func unifiedColsFor(objType string) []exec.ColMeta {
 // ("the resulting objects are filtered according to the rules, and the
 // surviving objects are then expanded recursively"); under the Recursive
 // strategy it ships one recursive query with all rules embedded.
-func (c *Client) MultiLevelExpand(root int64) (*ActionResult, error) {
-	return c.multiLevelExpand(root, ActionMLE)
+func (c *Client) MultiLevelExpand(ctx context.Context, root int64) (*ActionResult, error) {
+	return c.multiLevelExpand(ctx, root, ActionMLE)
 }
 
-func (c *Client) multiLevelExpand(root int64, action string) (*ActionResult, error) {
+func (c *Client) multiLevelExpand(ctx context.Context, root int64, action string) (*ActionResult, error) {
 	before := c.snapshot()
 	if c.strategy == costmodel.Recursive {
-		tree, received, err := c.recursiveFetch(root, action)
+		tree, received, err := c.recursiveFetch(ctx, root, action)
 		if err != nil {
 			return nil, err
 		}
@@ -458,12 +662,17 @@ func (c *Client) multiLevelExpand(root int64, action string) (*ActionResult, err
 	}
 
 	// Navigational: breadth-first expansion. The root is already at the
-	// client (paper footnote 4); every surviving node is expanded, leaves
-	// included — the client only learns they are leaves from the empty
-	// answer. With batching enabled the whole level travels as one wire
-	// batch; otherwise each node costs its own round trip, as in the
-	// paper.
-	rootNode := &Node{Type: "assy", ObID: root}
+	// client (paper footnote 4) but its object type is not assumed — it
+	// is looked up (one cached WAN statement). Every surviving node is
+	// expanded, leaves included — the client only learns they are leaves
+	// from the empty answer. With batching enabled the whole level
+	// travels as one wire batch; otherwise each node costs its own round
+	// trip, as in the paper.
+	rootType, err := c.lookupObjectType(ctx, root)
+	if err != nil {
+		return nil, err
+	}
+	rootNode := &Node{Type: rootType, ObID: root}
 	tree := &Tree{Root: rootNode, Index: map[int64]*Node{root: rootNode}}
 	received := 0
 	level := []*Node{rootNode}
@@ -472,7 +681,7 @@ func (c *Client) multiLevelExpand(root int64, action string) (*ActionResult, err
 		if c.batching {
 			var got int
 			var err error
-			perParent, got, err = c.expandLevelBatched(level, action)
+			perParent, got, err = c.expandLevelBatched(ctx, level, action)
 			if err != nil {
 				return nil, err
 			}
@@ -480,7 +689,7 @@ func (c *Client) multiLevelExpand(root int64, action string) (*ActionResult, err
 		} else {
 			perParent = make([][]*Node, len(level))
 			for i, parent := range level {
-				children, got, err := c.expandOnce(parent.ObID, action)
+				children, got, err := c.expandOnce(ctx, parent.ObID, action)
 				if err != nil {
 					return nil, err
 				}
@@ -517,13 +726,14 @@ func (c *Client) multiLevelExpand(root int64, action string) (*ActionResult, err
 }
 
 // recursiveFetch ships the Section 5 combined query and reassembles the
-// tree from the unified rows.
-func (c *Client) recursiveFetch(root int64, action string) (*Tree, int, error) {
+// tree from the unified rows. The root's type comes from the result
+// itself, so no lookup statement is needed.
+func (c *Client) recursiveFetch(ctx context.Context, root int64, action string) (*Tree, int, error) {
 	q := BuildRecursiveQuery(root)
 	if err := c.modifier().ModifyRecursive(q, action); err != nil {
 		return nil, 0, err
 	}
-	resp, err := c.sql.Exec(q.String())
+	resp, err := c.sql.Exec(ctx, q.String())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -531,6 +741,7 @@ func (c *Client) recursiveFetch(root int64, action string) (*Tree, int, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	tree.Walk(func(n *Node) { c.rememberType(n) })
 	return tree, len(resp.Rows), nil
 }
 

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"math"
 	"sort"
 	"testing"
@@ -62,7 +63,7 @@ func TestExpandPaperExample(t *testing.T) {
 	srv := pdmServer(t)
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
-		res, err := c.Expand(1)
+		res, err := c.Expand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: expand: %v", strat, err)
 		}
@@ -78,7 +79,7 @@ func TestMLEPaperExampleAllStrategies(t *testing.T) {
 	want := []int64{2, 3, 4, 5, 101, 102, 103, 104}
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
-		res, err := c.MultiLevelExpand(1)
+		res, err := c.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: MLE: %v", strat, err)
 		}
@@ -101,7 +102,7 @@ func TestEffectivityFiltersLinks(t *testing.T) {
 	user := core.UserContext{Name: "scott", Options: "base", EffFrom: 8, EffTo: 10}
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, core.StandardRules(), user, strat)
-		res, err := c.MultiLevelExpand(1)
+		res, err := c.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: MLE: %v", strat, err)
 		}
@@ -124,7 +125,7 @@ func TestScottRowRule(t *testing.T) {
 	})
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, rules, core.DefaultUser("scott"), strat)
-		res, err := c.MultiLevelExpand(1)
+		res, err := c.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: MLE: %v", strat, err)
 		}
@@ -135,7 +136,7 @@ func TestScottRowRule(t *testing.T) {
 		}
 		// Another user is unaffected by Scott's rule.
 		c2, _ := pdmClient(srv, rules, core.DefaultUser("erich"), strat)
-		res2, err := c2.MultiLevelExpand(1)
+		res2, err := c2.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: MLE as erich: %v", strat, err)
 		}
@@ -164,7 +165,7 @@ func TestExistsStructureRule(t *testing.T) {
 	want := []int64{2, 3, 4, 5, 101, 103}
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, rules, core.DefaultUser("scott"), strat)
-		res, err := c.MultiLevelExpand(1)
+		res, err := c.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: MLE: %v", strat, err)
 		}
@@ -181,11 +182,11 @@ func TestExistsStructureRule(t *testing.T) {
 	// The navigational strategies pay probe round trips; the recursive
 	// strategy must not.
 	cNav, mNav := pdmClient(srv, rules, core.DefaultUser("scott"), costmodel.EarlyEval)
-	if _, err := cNav.MultiLevelExpand(1); err != nil {
+	if _, err := cNav.MultiLevelExpand(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	cRec, mRec := pdmClient(srv, rules, core.DefaultUser("scott"), costmodel.Recursive)
-	if _, err := cRec.MultiLevelExpand(1); err != nil {
+	if _, err := cRec.MultiLevelExpand(context.Background(), 1); err != nil {
 		t.Fatal(err)
 	}
 	if mRec.Metrics.RoundTrips != 1 {
@@ -210,7 +211,7 @@ func TestTreeAggregateRule(t *testing.T) {
 	})
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, rules, core.DefaultUser("scott"), strat)
-		res, err := c.MultiLevelExpand(1)
+		res, err := c.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: MLE: %v", strat, err)
 		}
@@ -226,7 +227,7 @@ func TestTreeAggregateRule(t *testing.T) {
 	})
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, strict, core.DefaultUser("scott"), strat)
-		res, err := c.MultiLevelExpand(1)
+		res, err := c.MultiLevelExpand(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: strict MLE: %v", strat, err)
 		}
@@ -242,7 +243,7 @@ func TestForAllRowsCheckOutRule(t *testing.T) {
 		rules := core.StandardRules()
 		rules.MustAdd(core.CheckOutRule())
 		c, _ := pdmClient(srv, rules, core.DefaultUser("scott"), strat)
-		res, err := c.CheckOut(1)
+		res, err := c.CheckOut(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: check-out: %v", strat, err)
 		}
@@ -251,7 +252,7 @@ func TestForAllRowsCheckOutRule(t *testing.T) {
 		}
 		// A second check-out must be denied: nodes are checked out now.
 		c2, _ := pdmClient(srv, rules, core.DefaultUser("erich"), strat)
-		res2, err := c2.CheckOut(1)
+		res2, err := c2.CheckOut(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: second check-out: %v", strat, err)
 		}
@@ -259,7 +260,7 @@ func TestForAllRowsCheckOutRule(t *testing.T) {
 			t.Errorf("%v: second check-out must be denied by the ∀rows rule", strat)
 		}
 		// Check-in by the owner restores the tree.
-		res3, err := c.CheckIn(1)
+		res3, err := c.CheckIn(context.Background(), 1)
 		if err != nil {
 			t.Fatalf("%v: check-in: %v", strat, err)
 		}
@@ -274,7 +275,7 @@ func TestCheckOutProcedureOneRoundTrip(t *testing.T) {
 	rules := core.StandardRules()
 	rules.MustAdd(core.CheckOutRule())
 	c, meter := pdmClient(srv, rules, core.DefaultUser("scott"), costmodel.Recursive)
-	res, err := c.CheckOutViaProcedure(1)
+	res, err := c.CheckOutViaProcedure(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("check-out via procedure: %v", err)
 	}
@@ -285,14 +286,14 @@ func TestCheckOutProcedureOneRoundTrip(t *testing.T) {
 		t.Errorf("procedure check-out took %d round trips, want 1", meter.Metrics.RoundTrips)
 	}
 	// And it really is checked out.
-	res2, err := c.CheckOutViaProcedure(1)
+	res2, err := c.CheckOutViaProcedure(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res2.Granted {
 		t.Error("second procedure check-out must be denied")
 	}
-	res3, err := c.CheckInViaProcedure(1)
+	res3, err := c.CheckInViaProcedure(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestStrategiesAgreeOnGeneratedTree(t *testing.T) {
 	var results [][]int64
 	for _, strat := range costmodel.Strategies {
 		c, _ := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
-		res, err := c.MultiLevelExpand(prod.RootID)
+		res, err := c.MultiLevelExpand(context.Background(), prod.RootID)
 		if err != nil {
 			t.Fatalf("%v: MLE: %v", strat, err)
 		}
@@ -343,12 +344,12 @@ func TestQueryAllStrategies(t *testing.T) {
 		Depth: 3, Branch: 4, Sigma: 0.5, Seed: 7, PadBytes: 16,
 	})
 	cLate, _ := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), costmodel.LateEval)
-	late, err := cLate.QueryAll(1)
+	late, err := cLate.QueryAll(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("late query: %v", err)
 	}
 	cEarly, _ := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), costmodel.EarlyEval)
-	early, err := cEarly.QueryAll(1)
+	early, err := cEarly.QueryAll(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("early query: %v", err)
 	}
@@ -373,23 +374,24 @@ func TestQueryAllStrategies(t *testing.T) {
 }
 
 // TestRoundTripCounts verifies the simulation reproduces the model's
-// query counts: navigational MLE = 1 + n_v round trips, recursive = 1.
+// query counts: navigational MLE = 1 + n_v expand round trips (plus the
+// root's one-off type lookup), recursive = 1.
 func TestRoundTripCounts(t *testing.T) {
 	srv, prod := generatedServer(t, workload.Config{
 		Depth: 3, Branch: 4, Sigma: 0.5, Seed: 7, PadBytes: 16,
 	})
 	for _, strat := range []costmodel.Strategy{costmodel.LateEval, costmodel.EarlyEval} {
 		c, meter := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
-		if _, err := c.MultiLevelExpand(prod.RootID); err != nil {
+		if _, err := c.MultiLevelExpand(context.Background(), prod.RootID); err != nil {
 			t.Fatal(err)
 		}
-		want := 1 + prod.VisibleNodes()
+		want := 2 + prod.VisibleNodes()
 		if meter.Metrics.RoundTrips != want {
 			t.Errorf("%v: %d round trips, want %d", strat, meter.Metrics.RoundTrips, want)
 		}
 	}
 	c, meter := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), costmodel.Recursive)
-	if _, err := c.MultiLevelExpand(prod.RootID); err != nil {
+	if _, err := c.MultiLevelExpand(context.Background(), prod.RootID); err != nil {
 		t.Fatal(err)
 	}
 	if meter.Metrics.RoundTrips != 1 {
@@ -407,7 +409,7 @@ func TestSimulatedSavingsShape(t *testing.T) {
 	totals := map[costmodel.Strategy]float64{}
 	for _, strat := range costmodel.Strategies {
 		c, meter := pdmClient(srv, core.StandardRules(), core.DefaultUser("scott"), strat)
-		if _, err := c.MultiLevelExpand(prod.RootID); err != nil {
+		if _, err := c.MultiLevelExpand(context.Background(), prod.RootID); err != nil {
 			t.Fatal(err)
 		}
 		totals[strat] = meter.Metrics.TotalSec()

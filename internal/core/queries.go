@@ -57,6 +57,28 @@ SELECT comp.type, comp.obid, comp.name, '' AS "dec", '' AS "make_or_buy", comp.s
 	return mustParseSelect(sql)
 }
 
+// BuildExpandQueryParam returns the single-level-expand query in its
+// parameterized form: the parent id is a `?` placeholder (once per UNION
+// branch), so the statement text is identical for every visited node.
+// This is what the prepared-statement mode prepares once per session —
+// the server parses one statement and every subsequent node costs only
+// a handle and two integer parameters on the wire.
+func BuildExpandQueryParam() *ast.Select {
+	sql := `
+SELECT assy.type, assy.obid, assy.name, assy.dec, assy.make_or_buy, assy.state,
+       '' AS "material", assy.weight, assy.checkedout, assy.data, assy.path_opt,
+       link.left, link.right, link.eff_from, link.eff_to, link.strc_opt
+  FROM link JOIN assy ON link.right = assy.obid
+  WHERE link.left = ?
+UNION ALL
+SELECT comp.type, comp.obid, comp.name, '' AS "dec", '' AS "make_or_buy", comp.state,
+       comp.material, comp.weight, comp.checkedout, comp.data, comp.path_opt,
+       link.left, link.right, link.eff_from, link.eff_to, link.strc_opt
+  FROM link JOIN comp ON link.right = comp.obid
+  WHERE link.left = ?`
+	return mustParseSelect(sql)
+}
+
 // BuildQueryAll returns the set-oriented "Query" action of Table 2: all
 // nodes of a product in one statement, without structure information.
 // (PDM node rows carry the product id, so no recursion is needed.)
@@ -135,4 +157,24 @@ func BuildProbeExists(cond string, u UserContext, objType string, obid int64) (*
 		Where: e,
 	}
 	return &ast.Select{Body: core}, nil
+}
+
+// BuildProbeExistsParam is the parameterized form of BuildProbeExists:
+// every reference to <objType>.obid becomes a `?` placeholder, so one
+// prepared probe serves all candidate nodes of a rule. It returns the
+// number of placeholders; the caller binds the probed object id to each
+// (all placeholders carry the same value, so binding order is
+// immaterial).
+func BuildProbeExistsParam(cond string, u UserContext, objType string) (*ast.Select, int, error) {
+	e, err := parser.ParseExpr(u.Expand(cond))
+	if err != nil {
+		return nil, 0, err
+	}
+	n := 0
+	e = substituteColumnParam(e, objType, "obid", &n)
+	core := &ast.SelectCore{
+		Items: []ast.SelectItem{{Expr: &ast.Literal{Value: intValue(1)}, Alias: "ok"}},
+		Where: e,
+	}
+	return &ast.Select{Body: core}, n, nil
 }

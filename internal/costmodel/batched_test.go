@@ -56,3 +56,49 @@ func TestPredictBatchedNoopCases(t *testing.T) {
 		t.Error("recursive MLE: batched estimate must equal plain")
 	}
 }
+
+// TestPredictBatchedPrepared: on the larger paper scenarios — where a
+// BFS level's statements span several packets — prepared executions
+// shrink the predicted volume below the batched text prediction, while
+// the transmitted node volume is untouched. Single-statement actions
+// and the recursive strategy are unaffected.
+func TestPredictBatchedPrepared(t *testing.T) {
+	net := PaperNetworks()[0]
+	for _, tree := range PaperScenarios()[1:] { // δ=9/β=3 and δ=7/β=5
+		m := Model{Net: net, Tree: tree}
+		batched := m.PredictBatched(MLE, EarlyEval)
+		prepared := m.PredictBatchedPrepared(MLE, EarlyEval)
+		if prepared.TransmittedNodes != batched.TransmittedNodes {
+			t.Errorf("%s: prepared n_t = %.1f, batched = %.1f",
+				tree.Name, prepared.TransmittedNodes, batched.TransmittedNodes)
+		}
+		if prepared.VolumeBytes >= batched.VolumeBytes {
+			t.Errorf("%s: prepared volume %.0f >= batched %.0f",
+				tree.Name, prepared.VolumeBytes, batched.VolumeBytes)
+		}
+		if prepared.TotalSec >= batched.TotalSec {
+			t.Errorf("%s: prepared T %.2f >= batched %.2f",
+				tree.Name, prepared.TotalSec, batched.TotalSec)
+		}
+		// The prepare exchange is one extra round trip.
+		if prepared.Communications != batched.Communications+2 {
+			t.Errorf("%s: prepared comms = %.0f, want %.0f",
+				tree.Name, prepared.Communications, batched.Communications+2)
+		}
+	}
+	// An explicitly configured text StatementBytes must not leak into
+	// the prepared prediction.
+	mText := Model{Net: net, Tree: PaperScenarios()[2], StatementBytes: 900}
+	if got, want := mText.PredictBatchedPrepared(MLE, EarlyEval),
+		(Model{Net: net, Tree: PaperScenarios()[2]}).PredictBatchedPrepared(MLE, EarlyEval); got != want {
+		t.Errorf("StatementBytes leaked into prepared prediction: %+v != %+v", got, want)
+	}
+	// Non-MLE and recursive predictions pass through unchanged.
+	m := Model{Net: net, Tree: PaperScenarios()[0]}
+	if got, want := m.PredictBatchedPrepared(Query, EarlyEval), m.Predict(Query, EarlyEval); got != want {
+		t.Errorf("Query prediction changed: %+v != %+v", got, want)
+	}
+	if got, want := m.PredictBatchedPrepared(MLE, Recursive), m.Predict(MLE, Recursive); got != want {
+		t.Errorf("recursive MLE prediction changed: %+v != %+v", got, want)
+	}
+}

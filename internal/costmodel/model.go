@@ -188,6 +188,10 @@ type Model struct {
 	// StatementBytes is the assumed per-statement size inside a batch
 	// frame (DefaultStatementBytes when 0); only PredictBatched uses it.
 	StatementBytes float64
+	// PreparedStatementBytes is the assumed size of one prepared
+	// execution inside a batch frame (DefaultPreparedStatementBytes when
+	// 0); only PredictBatchedPrepared uses it.
+	PreparedStatementBytes float64
 }
 
 func (m Model) nodeBytes() float64 {
@@ -279,6 +283,48 @@ func (m Model) PredictBatched(a Action, s Strategy) Estimate {
 	est.Communications = 2 * est.Batches
 	est.TransmittedNodes = m.Tree.TransmittedNodes(a, s)
 	est.VolumeBytes += est.TransmittedNodes * m.nodeBytes()
+	est.LatencySec = est.Communications * m.Net.LatencySec
+	est.TransferSec = est.VolumeBytes * 8 / rateBitsPerSec
+	est.TotalSec = est.LatencySec + est.TransferSec
+	return est
+}
+
+// DefaultPreparedStatementBytes is the assumed wire size of one
+// prepared execution inside a batch frame: a 1-byte tag, a 4-byte
+// handle, a parameter count and two integer parameters plus sub-frame
+// framing — a few dozen bytes, independent of the SQL text length.
+const DefaultPreparedStatementBytes = 32
+
+// PredictBatchedPrepared computes the estimate for a batched
+// multi-level expand executed with prepared statements: the request
+// volume per statement shrinks from the full SQL text
+// (DefaultStatementBytes) to handle + parameters
+// (DefaultPreparedStatementBytes), at the cost of one extra round trip
+// that ships the statement text once. The response volume — the node
+// records — is unchanged; so is everything batching already fixed.
+// Under the paper's packet accounting the saving only materializes once
+// a level's statements span multiple packets, exactly as on the real
+// wire.
+func (m Model) PredictBatchedPrepared(a Action, s Strategy) Estimate {
+	if a != MLE || s == Recursive {
+		return m.Predict(a, s)
+	}
+	// The prepared execution size replaces the SQL text size outright —
+	// an explicitly configured StatementBytes describes the text mode
+	// and must not leak into the prepared prediction.
+	mp := m
+	mp.StatementBytes = m.PreparedStatementBytes
+	if mp.StatementBytes <= 0 {
+		mp.StatementBytes = DefaultPreparedStatementBytes
+	}
+	est := mp.PredictBatched(a, s)
+	// One prepare exchange: the statement text up (one packet), the
+	// handle back (the model's half-filled response packet).
+	rateBitsPerSec := m.Net.RateKbps * 1024
+	est.Batches++
+	est.Queries++
+	est.Communications += 2
+	est.VolumeBytes += m.Net.PacketBytes * 1.5
 	est.LatencySec = est.Communications * m.Net.LatencySec
 	est.TransferSec = est.VolumeBytes * 8 / rateBitsPerSec
 	est.TotalSec = est.LatencySec + est.TransferSec

@@ -33,3 +33,24 @@ func TestRoundTripStatementsAccounting(t *testing.T) {
 		t.Errorf("delta = %+v, want 1 round trip / 5 statements / 1 batch", d)
 	}
 }
+
+func TestRoundTripFramesPreparedAccounting(t *testing.T) {
+	m := NewMeter(Link{LatencySec: 0.1, RateKbps: 256, PacketBytes: 4096})
+	m.RoundTripFrames(1000, 2000, 5, 3, 450)
+	m.RoundTripFrames(100, 100, 1, 1, 120)
+	if m.Metrics.PreparedExecs != 4 {
+		t.Errorf("PreparedExecs = %d, want 4", m.Metrics.PreparedExecs)
+	}
+	if m.Metrics.SavedRequestBytes != 570 {
+		t.Errorf("SavedRequestBytes = %.0f, want 570", m.Metrics.SavedRequestBytes)
+	}
+	if m.Metrics.Statements != 6 || m.Metrics.RoundTrips != 2 || m.Metrics.Batches != 1 {
+		t.Errorf("stmts/rt/batches = %d/%d/%d, want 6/2/1",
+			m.Metrics.Statements, m.Metrics.RoundTrips, m.Metrics.Batches)
+	}
+	// Sub carries the new fields.
+	d := m.Metrics.Sub(Metrics{PreparedExecs: 1, SavedRequestBytes: 70})
+	if d.PreparedExecs != 3 || d.SavedRequestBytes != 500 {
+		t.Errorf("Sub: execs=%d saved=%.0f, want 3/500", d.PreparedExecs, d.SavedRequestBytes)
+	}
+}

@@ -98,11 +98,18 @@ type Metrics struct {
 	// of WAN round trips that batching saved.
 	Statements int
 	// Batches counts round trips that carried a multi-statement batch.
-	Batches       int
-	RequestBytes  float64 // charged volume client→server
-	ResponseBytes float64 // charged volume server→client
-	LatencySec    float64
-	TransferSec   float64
+	Batches int
+	// PreparedExecs counts statements shipped as prepared executions
+	// (handle + parameters) instead of SQL text.
+	PreparedExecs int
+	// SavedRequestBytes is the SQL text volume prepared executions
+	// avoided re-shipping — the payload reduction before packetization,
+	// reported by the transport alongside the charged request bytes.
+	SavedRequestBytes float64
+	RequestBytes      float64 // charged volume client→server
+	ResponseBytes     float64 // charged volume server→client
+	LatencySec        float64
+	TransferSec       float64
 }
 
 // SavedRoundTrips is the number of round trips batching avoided: the
@@ -119,14 +126,16 @@ func (m Metrics) VolumeBytes() float64 { return m.RequestBytes + m.ResponseBytes
 // a shared meter.
 func (m Metrics) Sub(b Metrics) Metrics {
 	return Metrics{
-		RoundTrips:     m.RoundTrips - b.RoundTrips,
-		Communications: m.Communications - b.Communications,
-		Statements:     m.Statements - b.Statements,
-		Batches:        m.Batches - b.Batches,
-		RequestBytes:   m.RequestBytes - b.RequestBytes,
-		ResponseBytes:  m.ResponseBytes - b.ResponseBytes,
-		LatencySec:     m.LatencySec - b.LatencySec,
-		TransferSec:    m.TransferSec - b.TransferSec,
+		RoundTrips:        m.RoundTrips - b.RoundTrips,
+		Communications:    m.Communications - b.Communications,
+		Statements:        m.Statements - b.Statements,
+		Batches:           m.Batches - b.Batches,
+		PreparedExecs:     m.PreparedExecs - b.PreparedExecs,
+		SavedRequestBytes: m.SavedRequestBytes - b.SavedRequestBytes,
+		RequestBytes:      m.RequestBytes - b.RequestBytes,
+		ResponseBytes:     m.ResponseBytes - b.ResponseBytes,
+		LatencySec:        m.LatencySec - b.LatencySec,
+		TransferSec:       m.TransferSec - b.TransferSec,
 	}
 }
 
@@ -157,6 +166,14 @@ func (m *Meter) RoundTrip(requestPayload, responsePayload int) {
 // latency cost is identical either way; that is the whole point of
 // batching.
 func (m *Meter) RoundTripStatements(requestPayload, responsePayload, statements int) {
+	m.RoundTripFrames(requestPayload, responsePayload, statements, 0, 0)
+}
+
+// RoundTripFrames charges one exchange with full frame accounting:
+// statements carried, how many of them were prepared executions, and
+// the SQL text bytes those executions avoided re-shipping (the
+// request-volume lever of prepared statements, before packetization).
+func (m *Meter) RoundTripFrames(requestPayload, responsePayload, statements, preparedExecs int, savedRequestBytes float64) {
 	up := m.Link.RequestVolume(requestPayload)
 	down := m.Link.ResponseVolume(responsePayload)
 	m.Metrics.RoundTrips++
@@ -165,6 +182,8 @@ func (m *Meter) RoundTripStatements(requestPayload, responsePayload, statements 
 	if statements > 1 {
 		m.Metrics.Batches++
 	}
+	m.Metrics.PreparedExecs += preparedExecs
+	m.Metrics.SavedRequestBytes += savedRequestBytes
 	m.Metrics.RequestBytes += up
 	m.Metrics.ResponseBytes += down
 	m.Metrics.LatencySec += 2 * m.Link.LatencySec

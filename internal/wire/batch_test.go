@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -97,7 +98,7 @@ func TestBatchDecodeHugeCount(t *testing.T) {
 func TestExecBatchErrorFrameFallback(t *testing.T) {
 	ch := staticChannel{resp: EncodeResponse(&Response{Err: "bad batch: kaput"})}
 	client := NewClient(ch)
-	_, err := client.ExecBatch([]*Request{{SQL: "SELECT 1"}})
+	_, err := client.ExecBatch(context.Background(), []*Request{{SQL: "SELECT 1"}})
 	var se *ServerError
 	if !errors.As(err, &se) || se.Msg != "bad batch: kaput" {
 		t.Fatalf("expected the server's diagnostic, got %T %v", err, err)
@@ -106,7 +107,7 @@ func TestExecBatchErrorFrameFallback(t *testing.T) {
 
 type staticChannel struct{ resp []byte }
 
-func (c staticChannel) RoundTrip([]byte) ([]byte, error) { return c.resp, nil }
+func (c staticChannel) RoundTrip(context.Context, []byte) ([]byte, error) { return c.resp, nil }
 
 // TestBatchStatements: the meter helper reads the statement count off an
 // encoded frame without decoding it.
@@ -126,7 +127,7 @@ func TestExecBatchAgainstServer(t *testing.T) {
 	meter := netsim.NewMeter(netsim.Intercontinental())
 	client := NewClient(&MeteredChannel{Conn: srv.NewConn(), Meter: meter})
 
-	resps, err := client.ExecBatch([]*Request{
+	resps, err := client.ExecBatch(context.Background(), []*Request{
 		{SQL: "CREATE TABLE t (a INTEGER, b TEXT)"},
 		{SQL: "INSERT INTO t VALUES (?, ?)", Params: []types.Value{types.NewInt(1), types.NewText("one")}},
 		{SQL: "INSERT INTO t VALUES (?, ?)", Params: []types.Value{types.NewInt(2), types.NewText("two")}},
@@ -157,7 +158,7 @@ func TestExecBatchEmptyIsFree(t *testing.T) {
 	srv := NewServer(db)
 	meter := netsim.NewMeter(netsim.Intercontinental())
 	client := NewClient(&MeteredChannel{Conn: srv.NewConn(), Meter: meter})
-	resps, err := client.ExecBatch(nil)
+	resps, err := client.ExecBatch(context.Background(), nil)
 	if err != nil || resps != nil {
 		t.Fatalf("empty batch: %v, %v", resps, err)
 	}
@@ -173,10 +174,10 @@ func TestBatchStopsOnFirstError(t *testing.T) {
 	db := minisql.NewDB()
 	srv := NewServer(db)
 	client := NewClient(&MeteredChannel{Conn: srv.NewConn()})
-	if _, err := client.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+	if _, err := client.Exec(context.Background(), "CREATE TABLE t (a INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
-	resps, err := client.ExecBatch([]*Request{
+	resps, err := client.ExecBatch(context.Background(), []*Request{
 		{SQL: "INSERT INTO t VALUES (1)"},
 		{SQL: "SELECT * FROM missing"}, // fails
 		{SQL: "INSERT INTO t VALUES (2)"},
@@ -192,7 +193,7 @@ func TestBatchStopsOnFirstError(t *testing.T) {
 		t.Fatalf("responses before the failure: %+v", resps)
 	}
 	// Statement 3 must not have run.
-	count, err := client.Exec("SELECT COUNT(*) FROM t")
+	count, err := client.Exec(context.Background(), "SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,13 +212,13 @@ func TestHandleRecoversFromPanic(t *testing.T) {
 	srv := NewServer(db)
 	client := NewClient(&MeteredChannel{Conn: srv.NewConn()})
 
-	_, err := client.Exec("CALL explode()")
+	_, err := client.Exec(context.Background(), "CALL explode()")
 	var se *ServerError
 	if !errors.As(err, &se) {
 		t.Fatalf("expected ServerError from panic, got %T %v", err, err)
 	}
 
-	resps, err := client.ExecBatch([]*Request{
+	resps, err := client.ExecBatch(context.Background(), []*Request{
 		{SQL: "CREATE TABLE t (a INTEGER)"},
 		{SQL: "CALL explode()"},
 		{SQL: "INSERT INTO t VALUES (1)"},
@@ -230,7 +231,7 @@ func TestHandleRecoversFromPanic(t *testing.T) {
 		t.Fatalf("responses before the panic: %d, want 1", len(resps))
 	}
 	// The connection survived both panics.
-	if _, err := client.Exec("SELECT COUNT(*) FROM t"); err != nil {
+	if _, err := client.Exec(context.Background(), "SELECT COUNT(*) FROM t"); err != nil {
 		t.Fatalf("connection dead after panic: %v", err)
 	}
 }
@@ -266,7 +267,7 @@ func TestConcurrentBatchSessions(t *testing.T) {
 	db := minisql.NewDB()
 	srv := NewServer(db)
 	setup := NewClient(&MeteredChannel{Conn: srv.NewConn()})
-	if _, err := setup.Exec("CREATE TABLE t (w INTEGER, i INTEGER)"); err != nil {
+	if _, err := setup.Exec(context.Background(), "CREATE TABLE t (w INTEGER, i INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -288,7 +289,7 @@ func TestConcurrentBatchSessions(t *testing.T) {
 						Params: []types.Value{types.NewInt(int64(w)), types.NewInt(int64(b*perBatch + i))},
 					}
 				}
-				if _, err := client.ExecBatch(reqs); err != nil {
+				if _, err := client.ExecBatch(context.Background(), reqs); err != nil {
 					errs <- fmt.Errorf("worker %d batch %d: %w", w, b, err)
 					return
 				}
@@ -300,7 +301,7 @@ func TestConcurrentBatchSessions(t *testing.T) {
 	for err := range errs {
 		t.Error(err)
 	}
-	resp, err := setup.Exec("SELECT COUNT(*) FROM t")
+	resp, err := setup.Exec(context.Background(), "SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"pdmtune/internal/minisql/types"
 	"pdmtune/internal/netsim"
@@ -11,28 +13,46 @@ import (
 // frameOverhead is the per-frame length prefix charged on the wire.
 const frameOverhead = 4
 
-// Channel transports one encoded request and returns the encoded
-// response — the client's only view of the network.
-type Channel interface {
-	RoundTrip(request []byte) (response []byte, err error)
+// Transport carries one encoded request and returns the encoded
+// response — the client's only view of the network. Implementations
+// must honor the context: a cancelled or expired ctx aborts the round
+// trip with ctx.Err() and charges nothing, so a multi-minute simulated
+// expand (or a real TCP call) can be cut short between round trips.
+type Transport interface {
+	RoundTrip(ctx context.Context, request []byte) (response []byte, err error)
 }
 
-// Client issues SQL over a channel.
+// Channel is the transport's former name.
+//
+// Deprecated: use Transport.
+type Channel = Transport
+
+// Client issues SQL over a transport.
 type Client struct {
-	ch Channel
+	tr Transport
 }
 
-// NewClient wraps a channel.
-func NewClient(ch Channel) *Client { return &Client{ch: ch} }
+// NewClient wraps a transport.
+func NewClient(tr Transport) *Client { return &Client{tr: tr} }
 
 // Exec ships one statement and decodes the server's answer. Server-side
 // SQL errors come back as *ServerError.
-func (c *Client) Exec(sql string, params ...types.Value) (*Response, error) {
-	req := EncodeRequest(&Request{SQL: sql, Params: params})
-	if err := CheckFrameSize(req); err != nil {
+func (c *Client) Exec(ctx context.Context, sql string, params ...types.Value) (*Response, error) {
+	return c.exec(ctx, &Request{SQL: sql, Params: params})
+}
+
+// ExecPrepared ships one execution of a previously prepared statement:
+// handle plus parameters, no SQL text.
+func (c *Client) ExecPrepared(ctx context.Context, handle uint32, params ...types.Value) (*Response, error) {
+	return c.exec(ctx, &Request{Prepared: true, Handle: handle, Params: params})
+}
+
+func (c *Client) exec(ctx context.Context, req *Request) (*Response, error) {
+	body := EncodeExec(req)
+	if err := CheckFrameSize(body); err != nil {
 		return nil, err
 	}
-	respBody, err := c.ch.RoundTrip(req)
+	respBody, err := c.tr.RoundTrip(ctx, body)
 	if err != nil {
 		return nil, err
 	}
@@ -46,13 +66,34 @@ func (c *Client) Exec(sql string, params ...types.Value) (*Response, error) {
 	return resp, nil
 }
 
+// Prepare ships a statement's SQL text once and returns the server-side
+// handle for later ExecPrepared calls on this connection.
+func (c *Client) Prepare(ctx context.Context, sql string) (uint32, error) {
+	body := EncodePrepare(sql)
+	if err := CheckFrameSize(body); err != nil {
+		return 0, err
+	}
+	respBody, err := c.tr.RoundTrip(ctx, body)
+	if err != nil {
+		return 0, err
+	}
+	if len(respBody) > 0 && respBody[0] == TypeError {
+		resp, err := DecodeResponse(respBody)
+		if err != nil {
+			return 0, err
+		}
+		return 0, &ServerError{Msg: resp.Err}
+	}
+	return DecodePrepareResp(respBody)
+}
+
 // ExecBatch ships N statements in one round trip and returns one
-// response per executed statement. The server executes in order and
-// stops at the first failing statement; in that case the responses of
-// the statements that did execute are returned together with a
-// *BatchError naming the failed index. An empty batch is a no-op that
-// costs nothing.
-func (c *Client) ExecBatch(reqs []*Request) ([]*Response, error) {
+// response per executed statement. Requests may mix SQL text and
+// prepared executions. The server executes in order and stops at the
+// first failing statement; in that case the responses of the statements
+// that did execute are returned together with a *BatchError naming the
+// failed index. An empty batch is a no-op that costs nothing.
+func (c *Client) ExecBatch(ctx context.Context, reqs []*Request) ([]*Response, error) {
 	if len(reqs) == 0 {
 		return nil, nil
 	}
@@ -60,7 +101,7 @@ func (c *Client) ExecBatch(reqs []*Request) ([]*Response, error) {
 	if err := CheckFrameSize(body); err != nil {
 		return nil, err
 	}
-	respBody, err := c.ch.RoundTrip(body)
+	respBody, err := c.tr.RoundTrip(ctx, body)
 	if err != nil {
 		return nil, err
 	}
@@ -101,7 +142,35 @@ func (e *BatchError) Error() string {
 }
 
 // ---------------------------------------------------------------------------
-// channel implementations
+// transport implementations
+
+// frameAccountant charges completed exchanges to a meter and learns the
+// SQL text length behind each prepared handle from the prepare
+// exchanges it sees go by — metering needs no cooperation from the
+// client. It is shared by every metered transport so the accounting
+// cannot diverge between the simulation and real wrappers.
+type frameAccountant struct {
+	meter  *netsim.Meter
+	sqlLen map[uint32]int
+}
+
+func (fa *frameAccountant) account(request, response []byte) {
+	if fa.meter != nil {
+		stats := ScanFrame(request, fa.sqlLen)
+		fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead,
+			stats.Statements, stats.PreparedExecs, stats.SavedRequestBytes)
+	}
+	if len(request) > 0 && request[0] == TypePrepare {
+		if sql, err := DecodePrepare(request); err == nil {
+			if h, err := DecodePrepareResp(response); err == nil {
+				if fa.sqlLen == nil {
+					fa.sqlLen = map[uint32]int{}
+				}
+				fa.sqlLen[h] = len(sql)
+			}
+		}
+	}
+}
 
 // MeteredChannel executes requests against an in-process server
 // connection while charging every round trip to a WAN meter — the
@@ -109,18 +178,25 @@ func (e *BatchError) Error() string {
 type MeteredChannel struct {
 	Conn  *ServerConn
 	Meter *netsim.Meter
+
+	fa frameAccountant
 }
 
 // RoundTrip dispatches in-process and charges request/response sizes
 // (payload plus length prefix) to the meter. Batch frames are charged as
-// one round trip carrying many statements, which is exactly the saving
-// the batching strategies buy.
-func (mc *MeteredChannel) RoundTrip(request []byte) ([]byte, error) {
-	response := mc.Conn.Handle(request)
-	if mc.Meter != nil {
-		mc.Meter.RoundTripStatements(len(request)+frameOverhead, len(response)+frameOverhead,
-			BatchStatements(request))
+// one round trip carrying many statements; prepared executions are
+// additionally credited with the SQL text bytes they did not re-ship.
+// A cancelled context aborts before dispatch: only round trips that
+// actually happened are charged.
+func (mc *MeteredChannel) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 	}
+	response := mc.Conn.Handle(request)
+	mc.fa.meter = mc.Meter
+	mc.fa.account(request, response)
 	return response, nil
 }
 
@@ -130,14 +206,62 @@ type StreamChannel struct {
 	Stream io.ReadWriter
 }
 
-// RoundTrip writes one frame and reads one frame.
-func (sc *StreamChannel) RoundTrip(request []byte) ([]byte, error) {
+// deadliner is the optional deadline surface of net.Conn streams.
+type deadliner interface {
+	SetDeadline(t time.Time) error
+}
+
+// RoundTrip writes one frame and reads one frame. A context deadline is
+// forwarded to the stream when it supports one (net.Conn does) — and
+// cleared again when the context carries none, so a deadline armed by
+// an earlier call cannot leak into later exchanges. A context cancelled
+// or expired during the exchange surfaces as ctx.Err().
+func (sc *StreamChannel) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if d, ok := sc.Stream.(deadliner); ok {
+		deadline, _ := ctx.Deadline() // zero time when none: clears any previous deadline
+		if err := d.SetDeadline(deadline); err != nil {
+			return nil, fmt.Errorf("wire: set deadline: %w", err)
+		}
+	}
 	if err := WriteFrame(sc.Stream, request); err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("wire: send: %w", err)
 	}
 	body, err := ReadFrame(sc.Stream)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
 		return nil, fmt.Errorf("wire: receive: %w", err)
 	}
 	return body, nil
+}
+
+// Metered wraps any transport so its exchanges are charged to a WAN
+// meter — e.g. to account real TCP round trips with the same Metrics
+// the simulation produces.
+func Metered(inner Transport, meter *netsim.Meter) Transport {
+	return &meteredTransport{inner: inner, fa: frameAccountant{meter: meter}}
+}
+
+type meteredTransport struct {
+	inner Transport
+	fa    frameAccountant
+}
+
+func (m *meteredTransport) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
+	response, err := m.inner.RoundTrip(ctx, request)
+	if err != nil {
+		return nil, err
+	}
+	m.fa.account(request, response)
+	return response, nil
 }

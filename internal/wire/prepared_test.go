@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/types"
+	"pdmtune/internal/netsim"
+)
+
+func TestPrepareFrameRoundTrip(t *testing.T) {
+	sql := "SELECT * FROM t WHERE a = ?"
+	body := EncodePrepare(sql)
+	got, err := DecodePrepare(body)
+	if err != nil || got != sql {
+		t.Fatalf("DecodePrepare = %q, %v", got, err)
+	}
+	resp := EncodePrepareResp(42)
+	h, err := DecodePrepareResp(resp)
+	if err != nil || h != 42 {
+		t.Fatalf("DecodePrepareResp = %d, %v", h, err)
+	}
+	if _, err := DecodePrepare(resp); err == nil {
+		t.Error("DecodePrepare accepted a prepare response frame")
+	}
+}
+
+func TestExecPreparedFrameRoundTrip(t *testing.T) {
+	body := EncodeExecPrepared(7, []types.Value{types.NewInt(5), types.NewText("x")})
+	req, err := DecodeExecPrepared(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !req.Prepared || req.Handle != 7 || len(req.Params) != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+	if req.Params[0].Int() != 5 || req.Params[1].Text() != "x" {
+		t.Fatalf("params %v", req.Params)
+	}
+	// DecodeExec dispatches on the tag.
+	req2, err := DecodeExec(body)
+	if err != nil || !req2.Prepared {
+		t.Fatalf("DecodeExec = %+v, %v", req2, err)
+	}
+}
+
+func TestBatchCarriesPreparedExecs(t *testing.T) {
+	reqs := []*Request{
+		{SQL: "SELECT 1"},
+		{Prepared: true, Handle: 3, Params: []types.Value{types.NewInt(9)}},
+	}
+	decoded, err := DecodeBatch(EncodeBatch(reqs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 2 || decoded[0].Prepared || !decoded[1].Prepared {
+		t.Fatalf("decoded %+v", decoded)
+	}
+	if decoded[1].Handle != 3 || decoded[1].Params[0].Int() != 9 {
+		t.Fatalf("prepared sub-frame %+v", decoded[1])
+	}
+}
+
+func preparedTestClient(t *testing.T) (*Client, *netsim.Meter) {
+	t.Helper()
+	db := minisql.NewDB()
+	srv := NewServer(db)
+	meter := netsim.NewMeter(netsim.Intercontinental())
+	client := NewClient(&MeteredChannel{Conn: srv.NewConn(), Meter: meter})
+	ctx := context.Background()
+	if _, err := client.Exec(ctx, "CREATE TABLE t (a INTEGER, b TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Exec(ctx, "INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')"); err != nil {
+		t.Fatal(err)
+	}
+	return client, meter
+}
+
+func TestPrepareAndExecAgainstServer(t *testing.T) {
+	client, meter := preparedTestClient(t)
+	ctx := context.Background()
+	const sql = "SELECT b FROM t WHERE a = ?"
+	h, err := client.Prepare(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []string{"one", "two", "three"} {
+		resp, err := client.ExecPrepared(ctx, h, types.NewInt(int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Rows) != 1 || resp.Rows[0][0].Text() != want {
+			t.Fatalf("exec %d: %+v", i+1, resp.Rows)
+		}
+	}
+	m := meter.Metrics
+	if m.PreparedExecs != 3 {
+		t.Errorf("PreparedExecs = %d, want 3", m.PreparedExecs)
+	}
+	// Each execution avoided re-shipping the SQL text.
+	if want := float64(3 * len(sql)); m.SavedRequestBytes != want {
+		t.Errorf("SavedRequestBytes = %.0f, want %.0f", m.SavedRequestBytes, want)
+	}
+	// 1 create + 1 insert + 1 prepare + 3 execs.
+	if m.RoundTrips != 6 || m.Statements != 6 {
+		t.Errorf("round trips/statements = %d/%d, want 6/6", m.RoundTrips, m.Statements)
+	}
+}
+
+func TestExecPreparedUnknownHandle(t *testing.T) {
+	client, _ := preparedTestClient(t)
+	_, err := client.ExecPrepared(context.Background(), 99, types.NewInt(1))
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ServerError for unknown handle, got %v", err)
+	}
+}
+
+func TestPrepareParseErrorSurfacesAtPrepareTime(t *testing.T) {
+	client, _ := preparedTestClient(t)
+	_, err := client.Prepare(context.Background(), "SELECT FROM WHERE")
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *ServerError for bad SQL, got %v", err)
+	}
+}
+
+func TestPreparedHandlesAreConnectionScoped(t *testing.T) {
+	db := minisql.NewDB()
+	srv := NewServer(db)
+	ctx := context.Background()
+	c1 := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	c2 := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	if _, err := c1.Exec(ctx, "CREATE TABLE t (a INTEGER)"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c1.Prepare(ctx, "SELECT a FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.ExecPrepared(ctx, h); err == nil {
+		t.Error("handle prepared on one connection executed on another")
+	}
+}
+
+func TestBatchedPreparedExecsAgainstServer(t *testing.T) {
+	client, meter := preparedTestClient(t)
+	ctx := context.Background()
+	const sql = "SELECT b FROM t WHERE a = ?"
+	h, err := client.Prepare(ctx, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := meter.Metrics
+	reqs := []*Request{
+		{Prepared: true, Handle: h, Params: []types.Value{types.NewInt(1)}},
+		{SQL: "SELECT COUNT(*) FROM t"},
+		{Prepared: true, Handle: h, Params: []types.Value{types.NewInt(3)}},
+	}
+	resps, err := client.ExecBatch(ctx, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("got %d responses", len(resps))
+	}
+	if resps[0].Rows[0][0].Text() != "one" || resps[2].Rows[0][0].Text() != "three" {
+		t.Fatalf("batch results %+v", resps)
+	}
+	d := meter.Metrics.Sub(before)
+	if d.RoundTrips != 1 || d.Statements != 3 || d.PreparedExecs != 2 {
+		t.Errorf("delta rt/stmts/prepared = %d/%d/%d, want 1/3/2",
+			d.RoundTrips, d.Statements, d.PreparedExecs)
+	}
+	if want := float64(2 * len(sql)); d.SavedRequestBytes != want {
+		t.Errorf("SavedRequestBytes = %.0f, want %.0f", d.SavedRequestBytes, want)
+	}
+}
+
+func TestScanFrameStats(t *testing.T) {
+	sqlLen := map[uint32]int{5: 100}
+	single := ScanFrame(EncodeRequest(&Request{SQL: "SELECT 1"}), sqlLen)
+	if single.Statements != 1 || single.PreparedExecs != 0 || single.SavedRequestBytes != 0 {
+		t.Errorf("single = %+v", single)
+	}
+	exec := ScanFrame(EncodeExecPrepared(5, nil), sqlLen)
+	if exec.Statements != 1 || exec.PreparedExecs != 1 || exec.SavedRequestBytes != 100 {
+		t.Errorf("exec = %+v", exec)
+	}
+	batch := ScanFrame(EncodeBatch([]*Request{
+		{SQL: "SELECT 1"},
+		{Prepared: true, Handle: 5},
+		{Prepared: true, Handle: 7}, // unknown handle: counted, nothing credited
+	}), sqlLen)
+	if batch.Statements != 3 || batch.PreparedExecs != 2 || batch.SavedRequestBytes != 100 {
+		t.Errorf("batch = %+v", batch)
+	}
+}
+
+func TestMeteredChannelHonorsContext(t *testing.T) {
+	client, meter := preparedTestClient(t)
+	before := meter.Metrics
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := client.Exec(ctx, "SELECT COUNT(*) FROM t")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := meter.Metrics.Sub(before); d.RoundTrips != 0 {
+		t.Errorf("cancelled round trip was charged: %+v", d)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"io"
 
 	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/parser"
 )
 
 // Server fronts a minisql database with the wire protocol. One Server
@@ -25,10 +27,15 @@ func (s *Server) NewConn() *ServerConn {
 	return &ServerConn{server: s, session: s.db.NewSession()}
 }
 
-// ServerConn is the server side of one client connection.
+// ServerConn is the server side of one client connection. Prepared
+// statements live here: a handle is valid only on the connection that
+// prepared it (like the session-scoped statement cache of a real RDBMS).
 type ServerConn struct {
 	server  *Server
 	session *minisql.Session
+
+	stmts      map[uint32]ast.Statement
+	nextHandle uint32
 }
 
 // Handle executes one encoded request and returns the encoded response.
@@ -38,14 +45,44 @@ type ServerConn struct {
 // first error, so one bad statement cannot kill a connection serving a
 // batch.
 func (c *ServerConn) Handle(reqBody []byte) []byte {
-	if len(reqBody) > 0 && reqBody[0] == TypeBatch {
-		return c.handleBatch(reqBody)
+	if len(reqBody) > 0 {
+		switch reqBody[0] {
+		case TypeBatch:
+			return c.handleBatch(reqBody)
+		case TypePrepare:
+			return c.handlePrepare(reqBody)
+		case TypeExecPrepared:
+			req, err := DecodeExecPrepared(reqBody)
+			if err != nil {
+				return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)})
+			}
+			return EncodeResponse(c.execOne(req))
+		}
 	}
 	req, err := DecodeRequest(reqBody)
 	if err != nil {
 		return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)})
 	}
 	return EncodeResponse(c.execOne(req))
+}
+
+// handlePrepare parses the statement once and stores it under a fresh
+// handle. Parse errors surface at prepare time, not at execution.
+func (c *ServerConn) handlePrepare(reqBody []byte) []byte {
+	sql, err := DecodePrepare(reqBody)
+	if err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad prepare: %v", err)})
+	}
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return EncodeResponse(&Response{Err: err.Error()})
+	}
+	if c.stmts == nil {
+		c.stmts = map[uint32]ast.Statement{}
+	}
+	c.nextHandle++
+	c.stmts[c.nextHandle] = stmt
+	return EncodePrepareResp(c.nextHandle)
 }
 
 // handleBatch executes a batch frame: per-statement results in order,
@@ -67,15 +104,26 @@ func (c *ServerConn) handleBatch(reqBody []byte) []byte {
 	return EncodeBatchResponse(resps)
 }
 
-// execOne runs a single statement in the connection's session,
-// converting execution errors — and panics — into error responses.
+// execOne runs a single statement — SQL text or a prepared handle — in
+// the connection's session, converting execution errors (and panics)
+// into error responses.
 func (c *ServerConn) execOne(req *Request) (resp *Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			resp = &Response{Err: fmt.Sprintf("panic executing statement: %v", r)}
 		}
 	}()
-	res, err := c.session.Exec(req.SQL, req.Params...)
+	var res *minisql.Result
+	var err error
+	if req.Prepared {
+		stmt, ok := c.stmts[req.Handle]
+		if !ok {
+			return &Response{Err: fmt.Sprintf("no prepared statement with handle %d", req.Handle)}
+		}
+		res, err = c.session.ExecStmt(stmt, req.Params...)
+	} else {
+		res, err = c.session.Exec(req.SQL, req.Params...)
+	}
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}

@@ -18,12 +18,15 @@ import (
 
 // Frame type tags.
 const (
-	TypeRequest   = 0x01
-	TypeResult    = 0x02
-	TypeError     = 0x03
-	TypeBatch     = 0x04
-	TypeBatchResp = 0x05
-	MaxFrameSize  = 1 << 30
+	TypeRequest      = 0x01
+	TypeResult       = 0x02
+	TypeError        = 0x03
+	TypeBatch        = 0x04
+	TypeBatchResp    = 0x05
+	TypePrepare      = 0x06
+	TypePrepareResp  = 0x07
+	TypeExecPrepared = 0x08
+	MaxFrameSize     = 1 << 30
 )
 
 // FrameTooLargeError reports an attempt to emit a frame exceeding
@@ -46,10 +49,16 @@ func CheckFrameSize(body []byte) error {
 	return nil
 }
 
-// Request is one statement execution request.
+// Request is one statement execution request: either SQL text or a
+// reference to a statement previously prepared on the connection.
 type Request struct {
 	SQL    string
 	Params []types.Value
+	// Prepared selects the prepared-statement encoding: the frame carries
+	// Handle and Params instead of the SQL text, so the per-execution
+	// request bytes drop to a few dozen regardless of statement size.
+	Prepared bool
+	Handle   uint32
 }
 
 // Response is the server's answer: either an error message or a result.
@@ -273,16 +282,111 @@ func DecodeResponse(b []byte) (*Response, error) {
 }
 
 // ---------------------------------------------------------------------------
+// prepared-statement frames
+
+// EncodePrepare serializes a prepare frame: the SQL text travels once,
+// the server parses it once, and every later execution references it by
+// handle — the classic request-volume lever the paper attributes to
+// stored procedures, applied to plain statements.
+func EncodePrepare(sql string) []byte {
+	b := []byte{TypePrepare}
+	return appendString(b, sql)
+}
+
+// DecodePrepare parses a prepare frame body into its SQL text.
+func DecodePrepare(b []byte) (string, error) {
+	if len(b) < 1 || b[0] != TypePrepare {
+		return "", fmt.Errorf("wire: not a prepare frame")
+	}
+	sql, _, err := readString(b[1:])
+	return sql, err
+}
+
+// EncodePrepareResp serializes the server's answer to a prepare: the
+// statement handle valid for this connection.
+func EncodePrepareResp(handle uint32) []byte {
+	b := []byte{TypePrepareResp}
+	return appendUint32(b, handle)
+}
+
+// DecodePrepareResp parses a prepare response frame body.
+func DecodePrepareResp(b []byte) (uint32, error) {
+	if len(b) < 1 || b[0] != TypePrepareResp {
+		return 0, fmt.Errorf("wire: not a prepare response frame")
+	}
+	h, _, err := readUint32(b[1:])
+	return h, err
+}
+
+// EncodeExecPrepared serializes an execution of a prepared statement:
+// handle plus parameter values, no SQL text.
+func EncodeExecPrepared(handle uint32, params []types.Value) []byte {
+	b := []byte{TypeExecPrepared}
+	b = appendUint32(b, handle)
+	b = appendUint32(b, uint32(len(params)))
+	for _, p := range params {
+		b = AppendValue(b, p)
+	}
+	return b
+}
+
+// DecodeExecPrepared parses an exec-prepared frame body.
+func DecodeExecPrepared(b []byte) (*Request, error) {
+	if len(b) < 1 || b[0] != TypeExecPrepared {
+		return nil, fmt.Errorf("wire: not an exec-prepared frame")
+	}
+	b = b[1:]
+	handle, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	req := &Request{Prepared: true, Handle: handle}
+	for i := uint32(0); i < n; i++ {
+		var v types.Value
+		v, b, err = ReadValue(b)
+		if err != nil {
+			return nil, err
+		}
+		req.Params = append(req.Params, v)
+	}
+	return req, nil
+}
+
+// EncodeExec serializes one request as the sub-frame a batch carries (or
+// a standalone frame): the prepared encoding when the request references
+// a handle, the plain text encoding otherwise.
+func EncodeExec(req *Request) []byte {
+	if req.Prepared {
+		return EncodeExecPrepared(req.Handle, req.Params)
+	}
+	return EncodeRequest(req)
+}
+
+// DecodeExec parses a sub-frame that is either a plain request or a
+// prepared execution.
+func DecodeExec(b []byte) (*Request, error) {
+	if len(b) >= 1 && b[0] == TypeExecPrepared {
+		return DecodeExecPrepared(b)
+	}
+	return DecodeRequest(b)
+}
+
+// ---------------------------------------------------------------------------
 // batch frames: N statements in one round trip
 
 // EncodeBatch serializes a batch frame body carrying every request as a
-// length-prefixed sub-frame. Sizes stay exact: the WAN meter charges the
-// tag, the count, and 4 bytes of framing per statement — nothing more.
+// length-prefixed sub-frame (plain text or prepared execution). Sizes
+// stay exact: the WAN meter charges the tag, the count, and 4 bytes of
+// framing per statement — nothing more.
 func EncodeBatch(reqs []*Request) []byte {
 	b := []byte{TypeBatch}
 	b = appendUint32(b, uint32(len(reqs)))
 	for _, req := range reqs {
-		sub := EncodeRequest(req)
+		sub := EncodeExec(req)
 		b = appendUint32(b, uint32(len(sub)))
 		b = append(b, sub...)
 	}
@@ -315,7 +419,7 @@ func DecodeBatch(b []byte) ([]*Request, error) {
 		if uint32(len(b)) < size {
 			return nil, io.ErrUnexpectedEOF
 		}
-		req, err := DecodeRequest(b[:size])
+		req, err := DecodeExec(b[:size])
 		if err != nil {
 			return nil, err
 		}
@@ -377,10 +481,57 @@ func DecodeBatchResponse(b []byte) ([]*Response, error) {
 // frame carries: the batch count for TypeBatch frames, 1 otherwise. The
 // metered channel uses it to account statements per round trip.
 func BatchStatements(body []byte) int {
-	if len(body) >= 5 && body[0] == TypeBatch {
-		return int(binary.BigEndian.Uint32(body[1:5]))
+	s := ScanFrame(body, nil)
+	return s.Statements
+}
+
+// FrameStats summarizes an encoded request frame for metering.
+type FrameStats struct {
+	// Statements counts the SQL statements the frame ships (prepares and
+	// prepared executions included — each stands for one statement).
+	Statements int
+	// PreparedExecs counts the statements shipped as handle+params
+	// instead of SQL text.
+	PreparedExecs int
+	// SavedRequestBytes is the SQL text volume the prepared executions
+	// avoided re-shipping, computed from the recorded text length of each
+	// referenced handle (handles with unknown text contribute nothing).
+	SavedRequestBytes float64
+}
+
+// ScanFrame walks an encoded request frame without fully decoding it and
+// returns its metering stats. sqlLen maps prepared handles to the byte
+// length of their SQL text (nil when no prepared accounting is wanted).
+// A prepared execution replaces the length-prefixed SQL text with a
+// 4-byte handle; with identical parameters the request body is exactly
+// len(sql) bytes smaller, which is what SavedRequestBytes records.
+func ScanFrame(body []byte, sqlLen map[uint32]int) FrameStats {
+	stats := FrameStats{Statements: 1}
+	scanOne := func(sub []byte) {
+		if len(sub) >= 5 && sub[0] == TypeExecPrepared {
+			stats.PreparedExecs++
+			if sqlLen != nil {
+				h := binary.BigEndian.Uint32(sub[1:5])
+				stats.SavedRequestBytes += float64(sqlLen[h])
+			}
+		}
 	}
-	return 1
+	if len(body) < 5 || body[0] != TypeBatch {
+		scanOne(body)
+		return stats
+	}
+	stats.Statements = int(binary.BigEndian.Uint32(body[1:5]))
+	b := body[5:]
+	for len(b) >= 4 {
+		size := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint32(len(b)) < size {
+			break
+		}
+		scanOne(b[:size])
+		b = b[size:]
+	}
+	return stats
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"net"
 	"reflect"
 	"testing"
@@ -125,13 +126,13 @@ func TestServerHandlesRequests(t *testing.T) {
 	conn := srv.NewConn()
 	client := NewClient(&MeteredChannel{Conn: conn})
 
-	if _, err := client.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+	if _, err := client.Exec(context.Background(), "CREATE TABLE t (a INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Exec("INSERT INTO t VALUES (?)", types.NewInt(5)); err != nil {
+	if _, err := client.Exec(context.Background(), "INSERT INTO t VALUES (?)", types.NewInt(5)); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.Exec("SELECT a FROM t")
+	resp, err := client.Exec(context.Background(), "SELECT a FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestServerHandlesRequests(t *testing.T) {
 		t.Fatalf("result: %+v", resp)
 	}
 	// SQL errors surface as ServerError, not transport failures.
-	_, err = client.Exec("SELECT * FROM missing")
+	_, err = client.Exec(context.Background(), "SELECT * FROM missing")
 	if _, ok := err.(*ServerError); !ok {
 		t.Fatalf("expected ServerError, got %T %v", err, err)
 	}
@@ -150,7 +151,7 @@ func TestMeteredChannelCharges(t *testing.T) {
 	srv := NewServer(db)
 	meter := netsim.NewMeter(netsim.Intercontinental())
 	client := NewClient(&MeteredChannel{Conn: srv.NewConn(), Meter: meter})
-	if _, err := client.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+	if _, err := client.Exec(context.Background(), "CREATE TABLE t (a INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
 	if meter.Metrics.RoundTrips != 1 || meter.Metrics.TotalSec() <= 0 {
@@ -171,13 +172,13 @@ func TestStreamChannelOverPipe(t *testing.T) {
 	}()
 
 	client := NewClient(&StreamChannel{Stream: clientEnd})
-	if _, err := client.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+	if _, err := client.Exec(context.Background(), "CREATE TABLE t (a INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.Exec("INSERT INTO t VALUES (1), (2)"); err != nil {
+	if _, err := client.Exec(context.Background(), "INSERT INTO t VALUES (1), (2)"); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := client.Exec("SELECT COUNT(*) FROM t")
+	resp, err := client.Exec(context.Background(), "SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,17 +198,17 @@ func TestSessionIsolationPerConnection(t *testing.T) {
 	srv := NewServer(db)
 	c1 := NewClient(&MeteredChannel{Conn: srv.NewConn()})
 	c2 := NewClient(&MeteredChannel{Conn: srv.NewConn()})
-	if _, err := c1.Exec("CREATE TABLE t (a INTEGER)"); err != nil {
+	if _, err := c1.Exec(context.Background(), "CREATE TABLE t (a INTEGER)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c1.Exec("BEGIN"); err != nil {
+	if _, err := c1.Exec(context.Background(), "BEGIN"); err != nil {
 		t.Fatal(err)
 	}
 	// c2 has no open transaction.
-	if _, err := c2.Exec("COMMIT"); err == nil {
+	if _, err := c2.Exec(context.Background(), "COMMIT"); err == nil {
 		t.Error("COMMIT on a fresh session must fail")
 	}
-	if _, err := c1.Exec("COMMIT"); err != nil {
+	if _, err := c1.Exec(context.Background(), "COMMIT"); err != nil {
 		t.Errorf("COMMIT on the session with BEGIN must work: %v", err)
 	}
 }

@@ -19,12 +19,26 @@
 //
 //	sys := pdmtune.NewSystem(nil)
 //	prod, _ := sys.LoadProduct(pdmtune.ProductConfig{Depth: 3, Branch: 4, Sigma: 0.6})
-//	client, meter := sys.Connect(pdmtune.Intercontinental(), pdmtune.DefaultUser("scott"), pdmtune.Recursive)
-//	res, _ := client.MultiLevelExpand(prod.RootID)
-//	fmt.Println(res.Visible, "nodes in", meter.Metrics.TotalSec(), "simulated seconds")
+//	sess, _ := sys.Open(
+//	    pdmtune.WithLink(pdmtune.Intercontinental()),
+//	    pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+//	    pdmtune.WithStrategy(pdmtune.Recursive),
+//	)
+//	res, _ := sess.MultiLevelExpand(context.Background(), prod.RootID)
+//	fmt.Println(res.Visible, "nodes in", sess.Metrics().TotalSec(), "simulated seconds")
+//
+// One System serves many concurrent Sessions; each Session is one
+// user's configured connection. The wire-level tuning levers compose as
+// options: WithBatching(true) collapses each BFS level into one round
+// trip, WithPreparedStatements(true) ships the per-node SQL text once
+// and a handle + parameters afterwards, WithTransport substitutes a
+// real (e.g. TCP) transport for the simulation. Every action takes a
+// context.Context and can be cancelled between WAN round trips.
 package pdmtune
 
 import (
+	"context"
+
 	"pdmtune/internal/core"
 	"pdmtune/internal/costmodel"
 	"pdmtune/internal/minisql"
@@ -65,6 +79,10 @@ type (
 	ProductConfig = workload.Config
 	// Product is the generated ground truth.
 	Product = workload.Product
+	// Value is one SQL value (for raw Exec parameters).
+	Value = minisql.Value
+	// Response is the server's answer to a raw Exec.
+	Response = wire.Response
 )
 
 // Strategy and action constants, re-exported from the cost model.
@@ -140,42 +158,47 @@ func (s *System) LoadPaperExample() error {
 }
 
 // Connect opens a PDM client session across the given WAN link.
+//
+// Deprecated: use Open with WithLink, WithUser and WithStrategy.
 func (s *System) Connect(link Link, user UserContext, strategy Strategy) (*Client, *Meter) {
-	meter := netsim.NewMeter(link)
-	ch := &wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: meter}
-	return core.NewClient(ch, meter, s.Rules, user, strategy), meter
+	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy))
+	if err != nil {
+		panic("pdmtune: Connect: " + err.Error()) // only reachable with an invalid strategy
+	}
+	return sess.Client(), sess.Meter()
 }
 
-// ConnectBatched opens a client with statement batching enabled: each
-// BFS level of a structure expand and each multi-statement modify ships
-// as one wire batch instead of one round trip per statement.
+// ConnectBatched opens a client with statement batching enabled.
+//
+// Deprecated: use Open with WithBatching(true).
 func (s *System) ConnectBatched(link Link, user UserContext, strategy Strategy) (*Client, *Meter) {
-	client, meter := s.Connect(link, user, strategy)
-	client.SetBatching(true)
-	return client, meter
+	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy), WithBatching(true))
+	if err != nil {
+		panic("pdmtune: ConnectBatched: " + err.Error())
+	}
+	return sess.Client(), sess.Meter()
 }
 
 // RunAction executes one of the paper's user actions under a strategy
 // and returns the result with its isolated WAN metrics. target is the
 // root object for Expand/MLE and the product id for Query.
+//
+// Deprecated: use Open and Session.Run.
 func (s *System) RunAction(link Link, user UserContext, strategy Strategy, action Action, target int64) (*ActionResult, error) {
-	client, _ := s.Connect(link, user, strategy)
-	return runAction(client, action, target)
+	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy))
+	if err != nil {
+		return nil, err
+	}
+	return sess.Run(context.Background(), action, target)
 }
 
 // RunActionBatched is RunAction with statement batching enabled.
+//
+// Deprecated: use Open with WithBatching(true) and Session.Run.
 func (s *System) RunActionBatched(link Link, user UserContext, strategy Strategy, action Action, target int64) (*ActionResult, error) {
-	client, _ := s.ConnectBatched(link, user, strategy)
-	return runAction(client, action, target)
-}
-
-func runAction(client *Client, action Action, target int64) (*ActionResult, error) {
-	switch action {
-	case Query:
-		return client.QueryAll(target)
-	case Expand:
-		return client.Expand(target)
-	default:
-		return client.MultiLevelExpand(target)
+	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy), WithBatching(true))
+	if err != nil {
+		return nil, err
 	}
+	return sess.Run(context.Background(), action, target)
 }

@@ -1,6 +1,7 @@
 package pdmtune_test
 
 import (
+	"context"
 	"testing"
 
 	"pdmtune"
@@ -71,7 +72,7 @@ func TestFacadePaperExample(t *testing.T) {
 		t.Fatal(err)
 	}
 	client, meter := sys.Connect(pdmtune.Intercontinental(), pdmtune.DefaultUser("scott"), pdmtune.Recursive)
-	res, err := client.MultiLevelExpand(1)
+	res, err := client.MultiLevelExpand(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,11 +83,11 @@ func TestFacadePaperExample(t *testing.T) {
 		t.Fatalf("recursive MLE round trips = %d, want 1", meter.Metrics.RoundTrips)
 	}
 	// Check-out via procedure works through the facade too.
-	co, err := client.CheckOutViaProcedure(1)
+	co, err := client.CheckOutViaProcedure(context.Background(), 1)
 	if err != nil || !co.Granted {
 		t.Fatalf("check-out: %+v, %v", co, err)
 	}
-	ci, err := client.CheckInViaProcedure(1)
+	ci, err := client.CheckInViaProcedure(context.Background(), 1)
 	if err != nil || ci.Updated != co.Updated {
 		t.Fatalf("check-in: %+v, %v", ci, err)
 	}

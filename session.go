@@ -1,0 +1,256 @@
+package pdmtune
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"pdmtune/internal/core"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+)
+
+// Transport carries encoded request/response frames between the PDM
+// client and the database server — the seam the WithTransport option
+// plugs: the in-process metered simulation (default), a loopback or
+// real TCP StreamChannel, or anything else speaking the wire protocol.
+type Transport = wire.Transport
+
+// StreamTransport returns a Transport speaking the framed wire protocol
+// over a real stream (TCP connection, net.Pipe, ...).
+func StreamTransport(stream io.ReadWriter) Transport { return &wire.StreamChannel{Stream: stream} }
+
+// MeteredTransport wraps any transport so its round trips are charged
+// to the given meter (e.g. to account a real TCP session with the same
+// Metrics the simulation produces).
+func MeteredTransport(inner Transport, meter *Meter) Transport { return wire.Metered(inner, meter) }
+
+// sessionConfig collects the functional options of System.Open.
+type sessionConfig struct {
+	link      Link
+	user      UserContext
+	strategy  Strategy
+	batching  bool
+	prepared  bool
+	transport Transport
+	meter     *Meter
+	rules     *RuleTable
+}
+
+// Option configures a Session opened with System.Open.
+type Option func(*sessionConfig) error
+
+// WithLink selects the WAN profile of the simulated transport. It is
+// ignored when WithTransport supplies a custom transport and WithMeter
+// a custom meter. Default: the paper's intercontinental link.
+func WithLink(l Link) Option {
+	return func(c *sessionConfig) error { c.link = l; return nil }
+}
+
+// WithUser sets the session's user context (name, structure options,
+// effectivity range). Default: DefaultUser("user").
+func WithUser(u UserContext) Option {
+	return func(c *sessionConfig) error { c.user = u; return nil }
+}
+
+// WithStrategy selects late evaluation, early evaluation or recursion.
+// Default: Recursive (the paper's tuned configuration).
+func WithStrategy(s Strategy) Option {
+	return func(c *sessionConfig) error {
+		switch s {
+		case LateEval, EarlyEval, Recursive:
+			c.strategy = s
+			return nil
+		}
+		return fmt.Errorf("pdmtune: unknown strategy %v", s)
+	}
+}
+
+// WithBatching ships each BFS level of a structure expand and each
+// multi-statement modify as one wire batch instead of one round trip
+// per statement.
+func WithBatching(on bool) Option {
+	return func(c *sessionConfig) error { c.batching = on; return nil }
+}
+
+// WithPreparedStatements prepares the parameterized per-node statements
+// (expand, ∃structure probes, check-out updates) once per session and
+// executes them by handle: the SQL text crosses the WAN once, every
+// repetition ships a few dozen bytes of handle + parameters.
+func WithPreparedStatements(on bool) Option {
+	return func(c *sessionConfig) error { c.prepared = on; return nil }
+}
+
+// WithTransport substitutes a custom transport for the in-process
+// metered simulation — e.g. a StreamChannel over loopback TCP. Unless
+// WithMeter supplies one, such a session has no meter: combine with
+// MeteredTransport/WithMeter to keep WAN accounting.
+func WithTransport(t Transport) Option {
+	return func(c *sessionConfig) error {
+		if t == nil {
+			return fmt.Errorf("pdmtune: WithTransport requires a non-nil transport")
+		}
+		c.transport = t
+		return nil
+	}
+}
+
+// WithMeter supplies the meter the session charges (and reports via
+// Metrics). With the default simulated transport the meter replaces the
+// one Open would create; with a custom transport it is the caller's
+// contract that the transport charges it.
+func WithMeter(m *Meter) Option {
+	return func(c *sessionConfig) error {
+		if m == nil {
+			return fmt.Errorf("pdmtune: WithMeter requires a non-nil meter")
+		}
+		c.meter = m
+		return nil
+	}
+}
+
+// WithRules overrides the rule table the session's client evaluates
+// (default: the system's table). The server-side procedures keep
+// enforcing the system's rules either way.
+func WithRules(rt *RuleTable) Option {
+	return func(c *sessionConfig) error {
+		if rt == nil {
+			return fmt.Errorf("pdmtune: WithRules requires a non-nil rule table")
+		}
+		c.rules = rt
+		return nil
+	}
+}
+
+// Session is one configured PDM client connection: a user, a strategy,
+// a transport and the wire-level execution mode (batching, prepared
+// statements) bundled behind the paper's user actions. Sessions are not
+// safe for concurrent use; open one Session per goroutine (a System
+// serves many concurrent Sessions).
+type Session struct {
+	client *Client
+	meter  *Meter
+}
+
+// Open starts a client session against the system. The zero
+// configuration — sys.Open() — is a recursive-strategy session of user
+// "user" simulated across the paper's intercontinental WAN; functional
+// options select everything else:
+//
+//	sess, err := sys.Open(
+//	    pdmtune.WithLink(pdmtune.Intercontinental()),
+//	    pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+//	    pdmtune.WithStrategy(pdmtune.EarlyEval),
+//	    pdmtune.WithBatching(true),
+//	    pdmtune.WithPreparedStatements(true),
+//	)
+func (s *System) Open(opts ...Option) (*Session, error) {
+	cfg := sessionConfig{
+		link:     Intercontinental(),
+		user:     DefaultUser("user"),
+		strategy: Recursive,
+		rules:    s.Rules,
+	}
+	for _, opt := range opts {
+		if opt == nil {
+			return nil, fmt.Errorf("pdmtune: nil option")
+		}
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	meter := cfg.meter
+	transport := cfg.transport
+	if transport == nil {
+		// Default transport: the in-process metered simulation.
+		if meter == nil {
+			meter = netsim.NewMeter(cfg.link)
+		}
+		transport = &wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: meter}
+	}
+	client := core.NewClient(transport, meter, cfg.rules, cfg.user, cfg.strategy)
+	client.SetBatching(cfg.batching)
+	client.SetPrepared(cfg.prepared)
+	return &Session{client: client, meter: meter}, nil
+}
+
+// Client exposes the underlying PDM client (advanced use).
+func (s *Session) Client() *Client { return s.client }
+
+// Meter returns the session's WAN meter (nil for unmetered custom
+// transports).
+func (s *Session) Meter() *Meter { return s.meter }
+
+// Metrics returns the WAN metrics accumulated so far (zero when the
+// session has no meter).
+func (s *Session) Metrics() Metrics {
+	if s.meter == nil {
+		return Metrics{}
+	}
+	return s.meter.Metrics
+}
+
+// ResetMetrics clears the session's meter (between actions).
+func (s *Session) ResetMetrics() {
+	if s.meter != nil {
+		s.meter.Reset()
+	}
+}
+
+// Query performs the set-oriented Query action: all nodes of a product
+// in one statement.
+func (s *Session) Query(ctx context.Context, prod int64) (*ActionResult, error) {
+	return s.client.QueryAll(ctx, prod)
+}
+
+// Expand performs a single-level expand of one object.
+func (s *Session) Expand(ctx context.Context, root int64) (*ActionResult, error) {
+	return s.client.Expand(ctx, root)
+}
+
+// MultiLevelExpand retrieves the entire structure under root.
+func (s *Session) MultiLevelExpand(ctx context.Context, root int64) (*ActionResult, error) {
+	return s.client.MultiLevelExpand(ctx, root)
+}
+
+// CheckOut checks out the subtree under root (expand + flag updates).
+func (s *Session) CheckOut(ctx context.Context, root int64) (*CheckOutResult, error) {
+	return s.client.CheckOut(ctx, root)
+}
+
+// CheckIn releases a previously checked-out subtree.
+func (s *Session) CheckIn(ctx context.Context, root int64) (*CheckOutResult, error) {
+	return s.client.CheckIn(ctx, root)
+}
+
+// CheckOutViaProcedure performs the whole check-out in one round trip
+// via the server-side stored procedure (Section 6).
+func (s *Session) CheckOutViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
+	return s.client.CheckOutViaProcedure(ctx, root)
+}
+
+// CheckInViaProcedure is the single-round-trip check-in.
+func (s *Session) CheckInViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
+	return s.client.CheckInViaProcedure(ctx, root)
+}
+
+// Exec ships one raw SQL statement (administration, DDL, loading).
+func (s *Session) Exec(ctx context.Context, sql string, params ...Value) (*Response, error) {
+	return s.client.Exec(ctx, sql, params...)
+}
+
+// Run executes one of the paper's user actions by enum — Query, Expand
+// or MLE. target is the root object for Expand/MLE and the product id
+// for Query. Unknown actions are an error, not a silent multi-level
+// expand.
+func (s *Session) Run(ctx context.Context, action Action, target int64) (*ActionResult, error) {
+	switch action {
+	case Query:
+		return s.client.QueryAll(ctx, target)
+	case Expand:
+		return s.client.Expand(ctx, target)
+	case MLE:
+		return s.client.MultiLevelExpand(ctx, target)
+	}
+	return nil, fmt.Errorf("pdmtune: unknown action %v", action)
+}

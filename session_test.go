@@ -1,0 +1,289 @@
+package pdmtune_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+
+	"pdmtune"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+)
+
+func treeIDs(t *testing.T, res *pdmtune.ActionResult) []int64 {
+	t.Helper()
+	if res.Tree == nil {
+		t.Fatal("action returned no tree")
+	}
+	var ids []int64
+	res.Tree.Walk(func(n *pdmtune.Node) { ids = append(ids, n.ObID) })
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// TestOpenDefaultsAndOptions: the zero Open works, and every option is
+// reflected in the session's client.
+func TestOpenDefaultsAndOptions(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	if err := sys.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Client().Strategy() != pdmtune.Recursive {
+		t.Errorf("default strategy = %v, want Recursive", sess.Client().Strategy())
+	}
+	res, err := sess.MultiLevelExpand(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visible != 8 {
+		t.Errorf("default session MLE visible = %d, want 8", res.Visible)
+	}
+
+	sess2, err := sys.Open(
+		pdmtune.WithLink(pdmtune.LAN()),
+		pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+		pdmtune.WithStrategy(pdmtune.EarlyEval),
+		pdmtune.WithBatching(true),
+		pdmtune.WithPreparedStatements(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := sess2.Client()
+	if c.Strategy() != pdmtune.EarlyEval || !c.Batching() || !c.Prepared() || c.User().Name != "scott" {
+		t.Errorf("options not applied: strategy=%v batching=%v prepared=%v user=%q",
+			c.Strategy(), c.Batching(), c.Prepared(), c.User().Name)
+	}
+	if sess2.Meter().Link.Name != pdmtune.LAN().Name {
+		t.Errorf("link = %q, want LAN", sess2.Meter().Link.Name)
+	}
+
+	if _, err := sys.Open(pdmtune.WithStrategy(pdmtune.Strategy(99))); err == nil {
+		t.Error("Open accepted an unknown strategy")
+	}
+	if _, err := sys.Open(pdmtune.WithTransport(nil)); err == nil {
+		t.Error("Open accepted a nil transport")
+	}
+}
+
+// TestRunRejectsUnknownAction: Run validates the action instead of
+// silently falling through to a multi-level expand.
+func TestRunRejectsUnknownAction(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	if err := sys.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sess.Metrics()
+	if _, err := sess.Run(context.Background(), pdmtune.Action(77), 1); err == nil {
+		t.Fatal("Run accepted an unknown action")
+	}
+	if d := sess.Metrics().Sub(before); d.RoundTrips != 0 {
+		t.Errorf("unknown action issued %d round trips", d.RoundTrips)
+	}
+	// The known actions still run.
+	for _, a := range []pdmtune.Action{pdmtune.Query, pdmtune.Expand, pdmtune.MLE} {
+		if _, err := sess.Run(context.Background(), a, 1); err != nil {
+			t.Errorf("Run(%v): %v", a, err)
+		}
+	}
+}
+
+// TestWithRulesOverridesClientRules: a session opened with its own rule
+// table evaluates those rules, not the system's.
+func TestWithRulesOverridesClientRules(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	if err := sys.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	rules := pdmtune.StandardRules()
+	rules.MustAdd(pdmtune.Rule{
+		User: "scott", Action: "multi-level-expand", ObjType: "assy",
+		Kind: pdmtune.KindRow, Cond: "assy.make_or_buy <> 'buy'",
+	})
+	sess, err := sys.Open(pdmtune.WithUser(pdmtune.DefaultUser("scott")), pdmtune.WithRules(rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.MultiLevelExpand(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range treeIDs(t, res) {
+		if id == 3 {
+			t.Error("bought assembly 3 visible despite WithRules row condition")
+		}
+	}
+}
+
+// TestWithTransportCustom: a custom transport (here: the in-process
+// server behind a caller-supplied metered wrapper) carries a session.
+func TestWithTransportCustom(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	if err := sys.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	meter := netsim.NewMeter(pdmtune.Intercontinental())
+	inner := &wire.MeteredChannel{Conn: sys.Server.NewConn()} // unmetered inner
+	sess, err := sys.Open(
+		pdmtune.WithTransport(pdmtune.MeteredTransport(inner, meter)),
+		pdmtune.WithMeter(meter),
+		pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.MultiLevelExpand(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visible != 8 {
+		t.Errorf("visible = %d, want 8", res.Visible)
+	}
+	if sess.Metrics().RoundTrips != 1 {
+		t.Errorf("custom transport recorded %d round trips, want 1", sess.Metrics().RoundTrips)
+	}
+}
+
+// TestPreparedAcceptanceD7B5: the acceptance scenario — on the paper's
+// δ=7, β=5, σ=0.6 product a prepared-statement MLE produces an
+// identical visible tree to the text-statement run with strictly fewer
+// charged request bytes (both sessions batched, so the per-level
+// request frames dominate the request volume).
+func TestPreparedAcceptanceD7B5(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 7, Branch: 5, Sigma: 0.6, Seed: 2001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	open := func(prepared bool) *pdmtune.Session {
+		sess, err := sys.Open(
+			pdmtune.WithLink(pdmtune.Intercontinental()),
+			pdmtune.WithUser(pdmtune.DefaultUser("engineer")),
+			pdmtune.WithStrategy(pdmtune.EarlyEval),
+			pdmtune.WithBatching(true),
+			pdmtune.WithPreparedStatements(prepared),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sess
+	}
+	textSess := open(false)
+	text, err := textSess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepSess := open(true)
+	prep, err := prepSess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	idsT, idsP := treeIDs(t, text), treeIDs(t, prep)
+	if len(idsT) != len(idsP) {
+		t.Fatalf("prepared sees %d nodes, text sees %d", len(idsP), len(idsT))
+	}
+	for i := range idsT {
+		if idsT[i] != idsP[i] {
+			t.Fatalf("tree differs at %d: %d != %d", i, idsP[i], idsT[i])
+		}
+	}
+	if prep.Visible != prod.VisibleNodes() {
+		t.Errorf("visible = %d, ground truth %d", prep.Visible, prod.VisibleNodes())
+	}
+
+	mT, mP := text.Metrics, prep.Metrics
+	if !(mP.RequestBytes < mT.RequestBytes) {
+		t.Errorf("prepared request bytes %.0f, want strictly fewer than text %.0f",
+			mP.RequestBytes, mT.RequestBytes)
+	}
+	if mP.PreparedExecs == 0 || mP.SavedRequestBytes <= 0 {
+		t.Errorf("prepared accounting: execs=%d saved=%.0f", mP.PreparedExecs, mP.SavedRequestBytes)
+	}
+	if mP.TotalSec() >= mT.TotalSec() {
+		t.Errorf("prepared simulated time %.2fs, want below text %.2fs", mP.TotalSec(), mT.TotalSec())
+	}
+	t.Logf("δ=7/β=5 MLE: request bytes %.0f -> %.0f (saved %.0f B of SQL text, %d prepared execs), T %.2fs -> %.2fs",
+		mT.RequestBytes, mP.RequestBytes, mP.SavedRequestBytes, mP.PreparedExecs, mT.TotalSec(), mP.TotalSec())
+}
+
+// TestConcurrentSessions: many goroutines each open a session on one
+// System and expand concurrently — exercised under -race in CI.
+func TestConcurrentSessions(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 3, Branch: 3, Sigma: 0.6, Seed: 5, PadBytes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []pdmtune.Strategy{pdmtune.LateEval, pdmtune.EarlyEval, pdmtune.Recursive}
+	var wg sync.WaitGroup
+	visible := make([]int, 12)
+	errs := make([]error, 12)
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sess, err := sys.Open(
+				pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+				pdmtune.WithStrategy(strategies[i%len(strategies)]),
+				pdmtune.WithBatching(i%2 == 0),
+				pdmtune.WithPreparedStatements(i%4 < 2),
+			)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := sess.MultiLevelExpand(context.Background(), prod.RootID)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			visible[i] = res.Visible
+		}(i)
+	}
+	wg.Wait()
+	for i := range errs {
+		if errs[i] != nil {
+			t.Fatalf("session %d: %v", i, errs[i])
+		}
+		if visible[i] != visible[0] {
+			t.Errorf("session %d sees %d nodes, session 0 sees %d", i, visible[i], visible[0])
+		}
+	}
+}
+
+// TestSessionCancellation: a pre-cancelled context fails fast with
+// ctx.Err() and charges nothing, through the facade.
+func TestSessionCancellation(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	if err := sys.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.Open(pdmtune.WithStrategy(pdmtune.LateEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sess.MultiLevelExpand(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if m := sess.Metrics(); m.RoundTrips != 0 {
+		t.Errorf("cancelled session charged %d round trips", m.RoundTrips)
+	}
+}
