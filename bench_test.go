@@ -132,8 +132,11 @@ func simulatedBench(b *testing.B, scenIdx, netIdx int, action pdmtune.Action, st
 	var res *pdmtune.ActionResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		var err error
-		res, err = f.sys.RunAction(link, user, strat, action, target)
+		sess, err := f.sys.Open(pdmtune.WithLink(link), pdmtune.WithUser(user), pdmtune.WithStrategy(strat))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = sess.Run(context.Background(), action, target)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,14 +204,23 @@ func simulatedBatchedBench(b *testing.B, scenIdx, netIdx int, strat pdmtune.Stra
 	f := getFixture(b, scenIdx)
 	link := pdmtune.LinkOf(costmodel.PaperNetworks()[netIdx])
 	user := pdmtune.DefaultUser("bench")
-	plain, err := f.sys.RunAction(link, user, strat, pdmtune.MLE, f.prod.RootID)
+	plainSess, err := f.sys.Open(pdmtune.WithLink(link), pdmtune.WithUser(user), pdmtune.WithStrategy(strat))
+	if err != nil {
+		b.Fatal(err)
+	}
+	plain, err := plainSess.MultiLevelExpand(context.Background(), f.prod.RootID)
 	if err != nil {
 		b.Fatal(err)
 	}
 	var res *pdmtune.ActionResult
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err = f.sys.RunActionBatched(link, user, strat, pdmtune.MLE, f.prod.RootID)
+		sess, err := f.sys.Open(pdmtune.WithLink(link), pdmtune.WithUser(user),
+			pdmtune.WithStrategy(strat), pdmtune.WithBatching(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = sess.MultiLevelExpand(context.Background(), f.prod.RootID)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,7 +237,7 @@ func simulatedBatchedBench(b *testing.B, scenIdx, netIdx int, strat pdmtune.Stra
 	b.ReportMetric(res.Metrics.TotalSec(), "sim_s")
 	b.ReportMetric(float64(res.Metrics.RoundTrips), "roundtrips")
 	b.ReportMetric(float64(plain.Metrics.RoundTrips), "unbatched_roundtrips")
-	b.ReportMetric(float64(res.Metrics.SavedRoundTrips()), "saved_roundtrips")
+	b.ReportMetric(float64(res.Metrics.SavedRoundTrips), "saved_roundtrips")
 	b.ReportMetric(res.Metrics.VolumeBytes()/1024, "wire_KiB")
 	model := costmodel.Model{
 		Net:  costmodel.PaperNetworks()[netIdx],
@@ -247,7 +259,12 @@ func BenchmarkSimulatedBatchedCheckOut(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		user := pdmtune.DefaultUser(fmt.Sprintf("bu%d", i))
-		client, _ := sys.ConnectBatched(link, user, pdmtune.EarlyEval)
+		sess, err := sys.Open(pdmtune.WithLink(link), pdmtune.WithUser(user),
+			pdmtune.WithStrategy(pdmtune.EarlyEval), pdmtune.WithBatching(true))
+		if err != nil {
+			b.Fatal(err)
+		}
+		client := sess.Client()
 		last, err = client.CheckOut(context.Background(), prod.RootID)
 		if err != nil {
 			b.Fatal(err)
@@ -264,7 +281,7 @@ func BenchmarkSimulatedBatchedCheckOut(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(last.Metrics.TotalSec(), "sim_s")
 	b.ReportMetric(float64(last.Metrics.RoundTrips), "roundtrips")
-	b.ReportMetric(float64(last.Metrics.SavedRoundTrips()), "saved_roundtrips")
+	b.ReportMetric(float64(last.Metrics.SavedRoundTrips), "saved_roundtrips")
 }
 
 // BenchmarkCheckOut compares the three ways to check out a subtree
@@ -282,19 +299,19 @@ func BenchmarkCheckOut(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				user := pdmtune.DefaultUser(fmt.Sprintf("u%d", i))
-				var client *pdmtune.Client
-				var meter *pdmtune.Meter
-				var err error
-				switch mode {
-				case "navigational":
-					client, meter = sys.Connect(link, user, pdmtune.EarlyEval)
-					last, err = client.CheckOut(context.Background(), prod.RootID)
-				case "recursive":
-					client, meter = sys.Connect(link, user, pdmtune.Recursive)
-					last, err = client.CheckOut(context.Background(), prod.RootID)
-				case "procedure":
-					client, meter = sys.Connect(link, user, pdmtune.Recursive)
+				strat := pdmtune.EarlyEval
+				if mode != "navigational" {
+					strat = pdmtune.Recursive
+				}
+				sess, err := sys.Open(pdmtune.WithLink(link), pdmtune.WithUser(user), pdmtune.WithStrategy(strat))
+				if err != nil {
+					b.Fatal(err)
+				}
+				client := sess.Client()
+				if mode == "procedure" {
 					last, err = client.CheckOutViaProcedure(context.Background(), prod.RootID)
+				} else {
+					last, err = client.CheckOut(context.Background(), prod.RootID)
 				}
 				if err != nil {
 					b.Fatal(err)
@@ -302,7 +319,6 @@ func BenchmarkCheckOut(b *testing.B) {
 				if !last.Granted {
 					b.Fatal("check-out denied — previous iteration did not check in")
 				}
-				_ = meter
 				// Release for the next iteration (not timed as WAN cost —
 				// StopTimer/StartTimer keep the wall clock honest).
 				b.StopTimer()
@@ -323,11 +339,61 @@ func BenchmarkCheckOut(b *testing.B) {
 // cost; this bench quantifies it for our engine.
 func BenchmarkEngineRecursiveQuery(b *testing.B) {
 	f := getFixture(b, 0) // δ=3, β=9
-	client, _ := f.sys.Connect(pdmtune.LAN(), pdmtune.DefaultUser("bench"), pdmtune.Recursive)
+	sess, err := f.sys.Open(pdmtune.WithLink(pdmtune.LAN()),
+		pdmtune.WithUser(pdmtune.DefaultUser("bench")), pdmtune.WithStrategy(pdmtune.Recursive))
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.MultiLevelExpand(context.Background(), f.prod.RootID); err != nil {
+		if _, err := sess.MultiLevelExpand(context.Background(), f.prod.RootID); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSimulatedCachedMLE measures the warm structure cache: the
+// first MLE fills it (cold, charged like an uncached batched run), the
+// timed runs revalidate the cached tree in one exchange. The reported
+// warm round trips are the acceptance headline: ≤ 1 per repeat.
+func BenchmarkSimulatedCachedMLE(b *testing.B) {
+	for scenIdx := range costmodel.PaperScenarios() {
+		scen := costmodel.PaperScenarios()[scenIdx]
+		name := fmt.Sprintf("d%d_b%d/MLE/early", scen.Depth, scen.Branch)
+		b.Run(name, func(b *testing.B) {
+			f := getFixture(b, scenIdx)
+			link := pdmtune.LinkOf(costmodel.PaperNetworks()[0])
+			sess, err := f.sys.Open(pdmtune.WithLink(link),
+				pdmtune.WithUser(pdmtune.DefaultUser("bench")),
+				pdmtune.WithStrategy(pdmtune.EarlyEval),
+				pdmtune.WithBatching(true), pdmtune.WithCache(1<<20))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cold, err := sess.MultiLevelExpand(context.Background(), f.prod.RootID)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var warm *pdmtune.ActionResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				warm, err = sess.MultiLevelExpand(context.Background(), f.prod.RootID)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if warm.Visible != cold.Visible {
+				b.Fatalf("warm MLE sees %d nodes, cold %d", warm.Visible, cold.Visible)
+			}
+			if warm.Metrics.RoundTrips > 1 {
+				b.Fatalf("warm MLE cost %d round trips, want <= 1", warm.Metrics.RoundTrips)
+			}
+			b.ReportMetric(float64(cold.Metrics.RoundTrips), "cold_roundtrips")
+			b.ReportMetric(float64(warm.Metrics.RoundTrips), "warm_roundtrips")
+			b.ReportMetric(warm.Metrics.TotalSec(), "warm_sim_s")
+			b.ReportMetric(cold.Metrics.TotalSec(), "cold_sim_s")
+			b.ReportMetric(float64(warm.Metrics.CacheHits), "cache_hits")
+		})
 	}
 }

@@ -1,0 +1,401 @@
+package pdmtune_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"pdmtune"
+)
+
+// TestCachedMLEAcceptanceD7B5 is the acceptance scenario of the
+// structure cache: on the paper's δ=7, β=5, σ=0.6 product (the
+// intercontinental "half an hour" workload), a repeated MLE with a
+// warm cache costs at most one round trip — the validate exchange —
+// against ~9 for the batched cold run, with an identical visible
+// tree. After a check-out touches the structure, the next MLE detects
+// the staleness through the validate exchange and re-fetches; once
+// warm again, it is back to one round trip.
+func TestCachedMLEAcceptanceD7B5(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 7, Branch: 5, Sigma: 0.6, Seed: 2001,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sess, err := sys.Open(
+		pdmtune.WithLink(pdmtune.Intercontinental()),
+		pdmtune.WithUser(pdmtune.DefaultUser("engineer")),
+		pdmtune.WithStrategy(pdmtune.EarlyEval),
+		pdmtune.WithBatching(true),
+		pdmtune.WithCache(1<<20),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Visible != prod.VisibleNodes() {
+		t.Fatalf("cold visible = %d, ground truth %d", cold.Visible, prod.VisibleNodes())
+	}
+
+	warm, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics.RoundTrips > 1 {
+		t.Fatalf("warm MLE cost %d round trips, want <= 1 (the validate exchange); cold cost %d",
+			warm.Metrics.RoundTrips, cold.Metrics.RoundTrips)
+	}
+	if warm.Metrics.ValidateRoundTrips != 1 {
+		t.Errorf("warm MLE validate round trips = %d, want 1", warm.Metrics.ValidateRoundTrips)
+	}
+	if warm.Metrics.RoundTrips >= cold.Metrics.RoundTrips {
+		t.Fatalf("warm %d round trips not below cold %d", warm.Metrics.RoundTrips, cold.Metrics.RoundTrips)
+	}
+	idsCold, idsWarm := treeIDs(t, cold), treeIDs(t, warm)
+	if len(idsCold) != len(idsWarm) {
+		t.Fatalf("warm tree has %d nodes, cold %d", len(idsWarm), len(idsCold))
+	}
+	for i := range idsCold {
+		if idsCold[i] != idsWarm[i] {
+			t.Fatalf("tree differs at %d: warm %d != cold %d", i, idsWarm[i], idsCold[i])
+		}
+	}
+	if warm.Metrics.CacheHits == 0 || warm.Metrics.ResponseBytes >= cold.Metrics.ResponseBytes {
+		t.Errorf("warm run: hits=%d response bytes %.0f (cold %.0f) — cache did not serve",
+			warm.Metrics.CacheHits, warm.Metrics.ResponseBytes, cold.Metrics.ResponseBytes)
+	}
+	t.Logf("δ=7/β=5 MLE: cold %d rt / %.0f KiB, warm %d rt / %.0f KiB (%d hits)",
+		cold.Metrics.RoundTrips, cold.Metrics.VolumeBytes()/1024,
+		warm.Metrics.RoundTrips, warm.Metrics.VolumeBytes()/1024, warm.Metrics.CacheHits)
+
+	// A write from a different session bumps every touched object's
+	// version: the next MLE must detect the staleness and re-fetch.
+	writer, err := sys.Open(pdmtune.WithLink(pdmtune.Intercontinental()),
+		pdmtune.WithUser(pdmtune.DefaultUser("writer")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := writer.CheckOutViaProcedure(ctx, prod.RootID)
+	if err != nil || !co.Granted {
+		t.Fatalf("writer check-out: %+v, %v", co, err)
+	}
+	stale, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Metrics.RoundTrips <= 1 {
+		t.Fatalf("post-write MLE cost %d round trips — staleness was not detected", stale.Metrics.RoundTrips)
+	}
+	checkedOut := 0
+	stale.Tree.Walk(func(n *pdmtune.Node) {
+		if n.CheckedOut {
+			checkedOut++
+		}
+	})
+	if checkedOut == 0 {
+		t.Error("post-write MLE does not reflect the check-out — cache served stale data")
+	}
+
+	// Unchanged again: back to one round trip.
+	rewarm, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewarm.Metrics.RoundTrips > 1 {
+		t.Errorf("re-warmed MLE cost %d round trips, want <= 1", rewarm.Metrics.RoundTrips)
+	}
+}
+
+// TestSharedCacheCheckInInvalidates: a check-in from one session
+// invalidates another session's cached subtree through the shared
+// store — locally, without a validate round trip — so the next MLE
+// re-fetches and sees the released flags. Exercised concurrently
+// under -race in CI.
+func TestSharedCacheCheckInInvalidates(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 3, Branch: 3, Sigma: 1, Seed: 11, PadBytes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	shared := pdmtune.NewCache(1 << 16)
+	open := func(name string) *pdmtune.Session {
+		s, err := sys.Open(
+			pdmtune.WithLink(pdmtune.Intercontinental()),
+			pdmtune.WithUser(pdmtune.DefaultUser(name)),
+			pdmtune.WithStrategy(pdmtune.EarlyEval),
+			pdmtune.WithBatching(true),
+			pdmtune.WithSharedCache(shared),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	reader := open("reader")
+	writer := open("writer")
+
+	if _, err := reader.MultiLevelExpand(ctx, prod.RootID); err != nil {
+		t.Fatal(err)
+	}
+	co, err := writer.CheckOut(ctx, prod.RootID)
+	if err != nil || !co.Granted || co.Updated == 0 {
+		t.Fatalf("writer check-out: %+v, %v", co, err)
+	}
+	// The writer's modify invalidated the shared entries: the reader's
+	// next MLE re-fetches (cache misses) and reflects the flags.
+	res, err := reader.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	res.Tree.Walk(func(n *pdmtune.Node) {
+		if n.CheckedOut {
+			flagged++
+		}
+	})
+	// The navigational root node carries no fetched flags (the paper
+	// treats the root as already at the client), so the reader sees
+	// every checked-out node except the root.
+	if flagged != co.Updated-1 {
+		t.Fatalf("reader sees %d checked-out nodes after shared invalidation, want %d", flagged, co.Updated-1)
+	}
+	if res.Metrics.CacheMisses == 0 {
+		t.Error("reader's post-write MLE recorded no cache misses — entries were not invalidated")
+	}
+
+	// Check-in invalidates the re-cached subtree the same way.
+	if _, err := reader.MultiLevelExpand(ctx, prod.RootID); err != nil { // warm again
+		t.Fatal(err)
+	}
+	ci, err := writer.CheckIn(ctx, prod.RootID)
+	if err != nil || ci.Updated == 0 {
+		t.Fatalf("writer check-in: %+v, %v", ci, err)
+	}
+	res2, err := reader.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Tree.Walk(func(n *pdmtune.Node) {
+		if n.CheckedOut {
+			t.Errorf("node %d still checked out in reader's view after check-in", n.ObID)
+		}
+	})
+
+	// Concurrent readers and writer on the shared store (-race).
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s := open("reader") // one session per goroutine, shared store
+			for i := 0; i < 5; i++ {
+				if _, err := s.MultiLevelExpand(ctx, prod.RootID); err != nil {
+					t.Errorf("concurrent reader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w := open("writer2")
+		for i := 0; i < 3; i++ {
+			co, err := w.CheckOut(ctx, prod.RootID)
+			if err != nil {
+				t.Errorf("concurrent writer: %v", err)
+				return
+			}
+			if co.Granted {
+				if _, err := w.CheckIn(ctx, prod.RootID); err != nil {
+					t.Errorf("concurrent writer check-in: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+// TestCacheLRUEvictionBound: the cache never holds more entries than
+// configured, whatever the workload.
+func TestCacheLRUEvictionBound(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{
+		Depth: 3, Branch: 4, Sigma: 1, Seed: 4, PadBytes: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bound = 8
+	sess, err := sys.Open(
+		pdmtune.WithUser(pdmtune.DefaultUser("u")),
+		pdmtune.WithStrategy(pdmtune.EarlyEval),
+		pdmtune.WithBatching(true),
+		pdmtune.WithCache(bound),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Cache().Cap() != bound {
+		t.Fatalf("cache cap = %d, want %d", sess.Cache().Cap(), bound)
+	}
+	// The MLE caches far more than `bound` pages (21 parents) — the
+	// store must stay at the bound throughout.
+	if _, err := sess.MultiLevelExpand(context.Background(), prod.RootID); err != nil {
+		t.Fatal(err)
+	}
+	if n := sess.Cache().Len(); n > bound {
+		t.Fatalf("cache holds %d entries, bound is %d", n, bound)
+	}
+	// And it still answers correctly (partially warm, partially
+	// re-fetched).
+	res, err := sess.MultiLevelExpand(context.Background(), prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Visible != prod.VisibleNodes() {
+		t.Fatalf("visible = %d after eviction churn, want %d", res.Visible, prod.VisibleNodes())
+	}
+	if n := sess.Cache().Len(); n > bound {
+		t.Fatalf("cache holds %d entries, bound is %d", n, bound)
+	}
+}
+
+// TestCachedRecursiveMLE: the recursive strategy caches whole trees —
+// the warm run costs one validate exchange instead of re-shipping the
+// result set, with an identical tree.
+func TestCachedRecursiveMLE(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	if err := sys.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := sys.Open(
+		pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+		pdmtune.WithStrategy(pdmtune.Recursive),
+		pdmtune.WithCache(64),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	cold, err := sess.MultiLevelExpand(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.MultiLevelExpand(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Metrics.RoundTrips != 1 || warm.Metrics.ValidateRoundTrips != 1 {
+		t.Fatalf("warm recursive MLE: %d round trips (%d validate), want exactly the validate exchange",
+			warm.Metrics.RoundTrips, warm.Metrics.ValidateRoundTrips)
+	}
+	if warm.Metrics.ResponseBytes >= cold.Metrics.ResponseBytes {
+		t.Errorf("warm response bytes %.0f not below cold %.0f",
+			warm.Metrics.ResponseBytes, cold.Metrics.ResponseBytes)
+	}
+	idsCold, idsWarm := treeIDs(t, cold), treeIDs(t, warm)
+	if len(idsCold) != len(idsWarm) {
+		t.Fatalf("warm tree has %d nodes, cold %d", len(idsWarm), len(idsCold))
+	}
+	for i := range idsCold {
+		if idsCold[i] != idsWarm[i] {
+			t.Fatalf("tree differs at %d: %d != %d", i, idsWarm[i], idsCold[i])
+		}
+	}
+}
+
+// TestSharedCacheAcrossSystemsDoesNotLeak: a cache shared between
+// sessions of two different Systems never crosses databases — entries
+// (type lookups included) are namespaced per system, so the same obid
+// in two systems resolves independently.
+func TestSharedCacheAcrossSystemsDoesNotLeak(t *testing.T) {
+	shared := pdmtune.NewCache(1 << 10)
+	ctx := context.Background()
+	open := func(sys *pdmtune.System) *pdmtune.Session {
+		s, err := sys.Open(pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+			pdmtune.WithStrategy(pdmtune.EarlyEval), pdmtune.WithSharedCache(shared))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	// System 1: the paper example (obid 1 is an assembly with children).
+	sys1 := pdmtune.NewSystem(nil)
+	if err := sys1.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	// System 2: a different product where obid 1 does not exist at all.
+	sys2 := pdmtune.NewSystem(nil)
+	if _, err := sys2.LoadProduct(pdmtune.ProductConfig{
+		ProdID: 9, Depth: 2, Branch: 2, Sigma: 1, Seed: 3, PadBytes: 16,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := open(sys1)
+	if _, err := s1.MultiLevelExpand(ctx, 1); err != nil { // fills the shared store for sys1
+		t.Fatal(err)
+	}
+	s2 := open(sys2)
+	if _, err := s2.MultiLevelExpand(ctx, 1); err == nil {
+		t.Fatal("system 2 resolved system 1's object 1 — cached entries crossed systems")
+	}
+}
+
+// TestCacheProfilesDoNotLeak: sessions with different rules sharing a
+// store never see each other's results — the entries are keyed by the
+// evaluation profile.
+func TestCacheProfilesDoNotLeak(t *testing.T) {
+	sys := pdmtune.NewSystem(nil)
+	if err := sys.LoadPaperExample(); err != nil {
+		t.Fatal(err)
+	}
+	shared := pdmtune.NewCache(1 << 10)
+	restricted := pdmtune.StandardRules()
+	restricted.MustAdd(pdmtune.Rule{
+		User: "scott", Action: "multi-level-expand", ObjType: "assy",
+		Kind: pdmtune.KindRow, Cond: "assy.make_or_buy <> 'buy'",
+	})
+	full, err := sys.Open(pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+		pdmtune.WithSharedCache(shared), pdmtune.WithStrategy(pdmtune.EarlyEval), pdmtune.WithBatching(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim, err := sys.Open(pdmtune.WithUser(pdmtune.DefaultUser("scott")),
+		pdmtune.WithSharedCache(shared), pdmtune.WithStrategy(pdmtune.EarlyEval), pdmtune.WithBatching(true),
+		pdmtune.WithRules(restricted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	fullRes, err := full.MultiLevelExpand(ctx, 1) // fills the shared store
+	if err != nil {
+		t.Fatal(err)
+	}
+	limRes, err := lim.MultiLevelExpand(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if limRes.Metrics.CacheHits != 0 {
+		t.Errorf("restricted session got %d cache hits from the unrestricted profile", limRes.Metrics.CacheHits)
+	}
+	for _, id := range treeIDs(t, limRes) {
+		if id == 3 {
+			t.Error("bought assembly 3 visible to the restricted session")
+		}
+	}
+	if limRes.Visible >= fullRes.Visible {
+		t.Errorf("restricted session sees %d nodes, unrestricted %d", limRes.Visible, fullRes.Visible)
+	}
+}

@@ -11,9 +11,12 @@
 //	pdmbench -simulate        # wire-level simulation vs model, all scenarios
 //	pdmbench -batch           # batched vs unbatched wire protocol (round trips saved)
 //	pdmbench -prepared        # prepared statements vs SQL text (request bytes saved)
+//	pdmbench -cache           # structure cache: cold vs warm vs post-write MLE
 //	pdmbench -checkout        # Section 6: check-out round-trip comparison
 //	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
-//	pdmbench -json            # machine-readable metrics for all scenarios (stdout)
+//	pdmbench -json            # machine-readable metrics for all scenarios (stdout;
+//	                          # exclusive — other mode flags are ignored so the
+//	                          # output stays pure JSON)
 //	pdmbench -all             # everything
 package main
 
@@ -35,6 +38,7 @@ func main() {
 	simulate := flag.Bool("simulate", false, "run the wire-level simulation against the model")
 	batch := flag.Bool("batch", false, "compare batched vs unbatched statement execution")
 	prepared := flag.Bool("prepared", false, "compare prepared statements vs SQL text")
+	cacheCmp := flag.Bool("cache", false, "compare cold vs warm structure-cache runs")
 	checkout := flag.Bool("checkout", false, "compare check-out implementations (Section 6)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
 	jsonOut := flag.Bool("json", false, "emit machine-readable simulation metrics as JSON")
@@ -45,7 +49,7 @@ func main() {
 		runJSON()
 		return
 	}
-	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *checkout || *ablate
+	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *cacheCmp || *checkout || *ablate
 	if *all || !any {
 		printTable(2)
 		printTable(3)
@@ -67,6 +71,9 @@ func main() {
 	}
 	if *prepared || *all {
 		runPreparedComparison()
+	}
+	if *cacheCmp || *all {
+		runCacheComparison()
 	}
 	if *checkout || *all {
 		runCheckout()
@@ -310,7 +317,7 @@ func runBatchComparison() {
 			model := costmodel.Model{Net: net, Tree: scen}.PredictBatched(costmodel.MLE, costmodel.Strategy(strat))
 			fmt.Printf("  %-10s rt %5d -> %-4d (saved %5d)  T %8.2fs -> %7.2fs (%7.2fs)\n",
 				strat.String(), plain.Metrics.RoundTrips, batched.Metrics.RoundTrips,
-				batched.Metrics.SavedRoundTrips(),
+				batched.Metrics.SavedRoundTrips,
 				plain.Metrics.TotalSec(), batched.Metrics.TotalSec(), model.TotalSec)
 		}
 	}
@@ -370,24 +377,125 @@ func runPreparedComparison() {
 }
 
 // ---------------------------------------------------------------------------
+// Structure cache: cold vs warm vs post-write
+
+func runCacheComparison() {
+	fmt.Println("Structure cache — the client keeps validated expand pages keyed by (parent,")
+	fmt.Println("action) with server version stamps. A repeated MLE revalidates the whole")
+	fmt.Println("cached tree in ONE TypeValidate round trip; a check-in bumps the touched")
+	fmt.Println("objects' versions, so the next MLE re-fetches only then. (Batched early eval,")
+	fmt.Println("256 kbit/s / 150 ms; warm model estimate in parentheses.)")
+	fmt.Println()
+	net := costmodel.PaperNetworks()[0]
+	link := pdmtune.LinkOf(net)
+	for scenIdx, scen := range costmodel.PaperScenarios() {
+		fmt.Printf("Scenario %s\n", scen.Name)
+		sys := pdmtune.NewSystem(nil)
+		prod, err := loadScenario(sys, scen, int64(scenIdx+1))
+		if err != nil {
+			fail(err)
+		}
+		sess, err := sys.Open(
+			pdmtune.WithLink(link),
+			pdmtune.WithUser(pdmtune.DefaultUser("sim")),
+			pdmtune.WithStrategy(pdmtune.EarlyEval),
+			pdmtune.WithBatching(true),
+			pdmtune.WithCache(1<<20),
+		)
+		if err != nil {
+			fail(err)
+		}
+		ctx := context.Background()
+		cold, err := sess.MultiLevelExpand(ctx, prod.RootID)
+		if err != nil {
+			fail(err)
+		}
+		warm, err := sess.MultiLevelExpand(ctx, prod.RootID)
+		if err != nil {
+			fail(err)
+		}
+		if warm.Visible != cold.Visible {
+			fail(fmt.Errorf("warm MLE sees %d nodes, cold %d", warm.Visible, cold.Visible))
+		}
+		// A write from another session stales the cached subtree: the
+		// next MLE detects it through the validate exchange and re-fetches.
+		writer, err := sys.Open(pdmtune.WithLink(link), pdmtune.WithUser(pdmtune.DefaultUser("writer")))
+		if err != nil {
+			fail(err)
+		}
+		if _, err := writer.CheckOutViaProcedure(ctx, prod.RootID); err != nil {
+			fail(err)
+		}
+		stale, err := sess.MultiLevelExpand(ctx, prod.RootID)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := writer.CheckInViaProcedure(ctx, prod.RootID); err != nil {
+			fail(err)
+		}
+		model := costmodel.Model{Net: net, Tree: scen}.PredictCached(costmodel.MLE, costmodel.EarlyEval, true)
+		fmt.Printf("  cold:       rt=%-5d vol=%8.0f KiB  T=%8.2fs\n",
+			cold.Metrics.RoundTrips, cold.Metrics.VolumeBytes()/1024, cold.Metrics.TotalSec())
+		fmt.Printf("  warm:       rt=%-5d vol=%8.0f KiB  T=%8.2fs (%5.2fs)  hits=%d validate_rt=%d saved_rt=%d\n",
+			warm.Metrics.RoundTrips, warm.Metrics.VolumeBytes()/1024, warm.Metrics.TotalSec(),
+			model.TotalSec, warm.Metrics.CacheHits, warm.Metrics.ValidateRoundTrips, warm.Metrics.SavedRoundTrips)
+		fmt.Printf("  post-write: rt=%-5d vol=%8.0f KiB  T=%8.2fs  (staleness detected, re-fetched)\n",
+			stale.Metrics.RoundTrips, stale.Metrics.VolumeBytes()/1024, stale.Metrics.TotalSec())
+	}
+	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable metrics (-json)
 
 // jsonRecord is one measured configuration in the -json output, stable
 // field names for benchmark trajectory tracking.
 type jsonRecord struct {
-	Scenario          string  `json:"scenario"`
-	Action            string  `json:"action"`
-	Strategy          string  `json:"strategy"`
-	Batched           bool    `json:"batched"`
-	Prepared          bool    `json:"prepared"`
-	Visible           int     `json:"visible"`
-	RoundTrips        int     `json:"round_trips"`
-	Statements        int     `json:"statements"`
-	PreparedExecs     int     `json:"prepared_execs"`
-	RequestBytes      float64 `json:"request_bytes"`
-	ResponseBytes     float64 `json:"response_bytes"`
-	SavedRequestBytes float64 `json:"saved_request_bytes"`
-	SimulatedSec      float64 `json:"simulated_sec"`
+	Scenario           string  `json:"scenario"`
+	Action             string  `json:"action"`
+	Strategy           string  `json:"strategy"`
+	Batched            bool    `json:"batched"`
+	Prepared           bool    `json:"prepared"`
+	Cached             bool    `json:"cached"`
+	Warm               bool    `json:"warm"`
+	Visible            int     `json:"visible"`
+	RoundTrips         int     `json:"round_trips"`
+	Statements         int     `json:"statements"`
+	PreparedExecs      int     `json:"prepared_execs"`
+	CacheHits          int     `json:"cache_hits"`
+	CacheMisses        int     `json:"cache_misses"`
+	ValidateRoundTrips int     `json:"validate_round_trips"`
+	SavedRoundTrips    int     `json:"saved_round_trips"`
+	RequestBytes       float64 `json:"request_bytes"`
+	ResponseBytes      float64 `json:"response_bytes"`
+	SavedRequestBytes  float64 `json:"saved_request_bytes"`
+	SimulatedSec       float64 `json:"simulated_sec"`
+}
+
+// record converts one measured action result into a jsonRecord.
+func record(scen costmodel.Tree, strat pdmtune.Strategy, res *pdmtune.ActionResult,
+	batched, prepared, cached, warm bool) jsonRecord {
+	return jsonRecord{
+		Scenario:           scen.Name,
+		Action:             pdmtune.MLE.String(),
+		Strategy:           strat.String(),
+		Batched:            batched,
+		Prepared:           prepared,
+		Cached:             cached,
+		Warm:               warm,
+		Visible:            res.Visible,
+		RoundTrips:         res.Metrics.RoundTrips,
+		Statements:         res.Metrics.Statements,
+		PreparedExecs:      res.Metrics.PreparedExecs,
+		CacheHits:          res.Metrics.CacheHits,
+		CacheMisses:        res.Metrics.CacheMisses,
+		ValidateRoundTrips: res.Metrics.ValidateRoundTrips,
+		SavedRoundTrips:    res.Metrics.SavedRoundTrips,
+		RequestBytes:       res.Metrics.RequestBytes,
+		ResponseBytes:      res.Metrics.ResponseBytes,
+		SavedRequestBytes:  res.Metrics.SavedRequestBytes,
+		SimulatedSec:       res.Metrics.TotalSec(),
+	}
 }
 
 // runJSON measures every strategy and wire mode on the paper's MLE
@@ -411,22 +519,32 @@ func runJSON() {
 				if err != nil {
 					fail(err)
 				}
-				records = append(records, jsonRecord{
-					Scenario:          scen.Name,
-					Action:            pdmtune.MLE.String(),
-					Strategy:          strat.String(),
-					Batched:           m[0],
-					Prepared:          m[1],
-					Visible:           res.Visible,
-					RoundTrips:        res.Metrics.RoundTrips,
-					Statements:        res.Metrics.Statements,
-					PreparedExecs:     res.Metrics.PreparedExecs,
-					RequestBytes:      res.Metrics.RequestBytes,
-					ResponseBytes:     res.Metrics.ResponseBytes,
-					SavedRequestBytes: res.Metrics.SavedRequestBytes,
-					SimulatedSec:      res.Metrics.TotalSec(),
-				})
+				records = append(records, record(scen, strat, res, m[0], m[1], false, false))
 			}
+			// Cached pair: the same session runs the MLE cold (fills the
+			// cache) and warm (one validate round trip).
+			batched := strat != pdmtune.Recursive
+			sess, err := sys.Open(
+				pdmtune.WithLink(link),
+				pdmtune.WithUser(pdmtune.DefaultUser("sim")),
+				pdmtune.WithStrategy(strat),
+				pdmtune.WithBatching(batched),
+				pdmtune.WithCache(1<<20),
+			)
+			if err != nil {
+				fail(err)
+			}
+			cold, err := sess.MultiLevelExpand(context.Background(), prod.RootID)
+			if err != nil {
+				fail(err)
+			}
+			warm, err := sess.MultiLevelExpand(context.Background(), prod.RootID)
+			if err != nil {
+				fail(err)
+			}
+			records = append(records,
+				record(scen, strat, cold, batched, false, true, false),
+				record(scen, strat, warm, batched, false, true, true))
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

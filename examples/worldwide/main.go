@@ -64,6 +64,37 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+
+	// The structure cache removes the repeat cost entirely: the second
+	// MLE of the same (unchanged) product revalidates the cached tree
+	// in one small round trip instead of re-shipping ~3,300 nodes.
+	cached, err := sys.Open(
+		pdmtune.WithLink(pdmtune.Intercontinental()),
+		pdmtune.WithStrategy(pdmtune.EarlyEval),
+		pdmtune.WithBatching(true),
+		pdmtune.WithCache(1<<20),
+		pdmtune.WithUser(user),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cached.MultiLevelExpand(ctx, prod.RootID); err != nil { // cold: fills the cache
+		log.Fatal(err)
+	}
+	cached.ResetMetrics()
+	warm, err := cached.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := warm.Metrics.TotalSec()
+	line := fmt.Sprintf("  %-52s %8.1f s (%5.1f min)", "São Paulo via WAN, repeated MLE on a warm cache", t, t/60)
+	if base > 0 {
+		line += fmt.Sprintf("   saving %.1f%%", (1-t/base)*100)
+	}
+	fmt.Println(line)
+	fmt.Printf("    (%d round trip: the validate exchange; %d cached pages served locally)\n",
+		warm.Metrics.RoundTrips, warm.Metrics.CacheHits)
+
 	fmt.Println("\n(cf. paper Section 2: ~half a minute in the LAN vs ~half an hour in the")
 	fmt.Println("WAN, and Table 4: >95% of the delay eliminated by the combined approach)")
 }

@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(id int64) Key { return Key{ID: id, Action: "mle", Profile: "u"} }
+
+func TestLRUBound(t *testing.T) {
+	s := New(3)
+	for i := int64(1); i <= 10; i++ {
+		s.Put(key(i), Entry{Value: i, InvalidateIDs: []int64{i}})
+		if s.Len() > 3 {
+			t.Fatalf("after %d puts: len = %d, want <= 3", i, s.Len())
+		}
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len = %d, want 3", s.Len())
+	}
+	// The three most recent survive, the oldest were evicted.
+	for i := int64(8); i <= 10; i++ {
+		if _, ok := s.Get(key(i)); !ok {
+			t.Errorf("entry %d missing, want resident", i)
+		}
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Error("entry 1 resident, want evicted")
+	}
+}
+
+func TestLRUTouchOnGet(t *testing.T) {
+	s := New(2)
+	s.Put(key(1), Entry{Value: 1})
+	s.Put(key(2), Entry{Value: 2})
+	s.Get(key(1)) // 1 is now the most recent
+	s.Put(key(3), Entry{Value: 3})
+	if _, ok := s.Get(key(1)); !ok {
+		t.Error("recently used entry 1 evicted")
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Error("least recently used entry 2 survived")
+	}
+}
+
+func TestInvalidateByID(t *testing.T) {
+	s := New(10)
+	// Entry for parent 1 depends on children 10, 11; entry for parent 2
+	// depends on child 11 only; entry 3 is independent.
+	s.Put(key(1), Entry{Value: "a", InvalidateIDs: []int64{1, 10, 11}})
+	s.Put(key(2), Entry{Value: "b", InvalidateIDs: []int64{2, 11}})
+	s.Put(key(3), Entry{Value: "c", InvalidateIDs: []int64{3}})
+	if n := s.Invalidate(11); n != 2 {
+		t.Fatalf("Invalidate(11) dropped %d entries, want 2", n)
+	}
+	if _, ok := s.Get(key(1)); ok {
+		t.Error("entry depending on 11 survived")
+	}
+	if _, ok := s.Get(key(2)); ok {
+		t.Error("entry depending on 11 survived")
+	}
+	if _, ok := s.Get(key(3)); !ok {
+		t.Error("independent entry dropped")
+	}
+	// The reverse index forgets dropped entries: a second invalidation
+	// is a no-op.
+	if n := s.Invalidate(11); n != 0 {
+		t.Errorf("second Invalidate(11) dropped %d entries, want 0", n)
+	}
+}
+
+func TestInvalidateCrossesProfiles(t *testing.T) {
+	s := New(10)
+	a := Key{ID: 1, Action: "mle", Profile: "alice"}
+	b := Key{ID: 1, Action: "mle", Profile: "bob"}
+	s.Put(a, Entry{Value: "a", InvalidateIDs: []int64{1}})
+	s.Put(b, Entry{Value: "b", InvalidateIDs: []int64{1}})
+	if n := s.Invalidate(1); n != 2 {
+		t.Fatalf("Invalidate dropped %d entries, want both profiles", n)
+	}
+}
+
+func TestReplaceReindexes(t *testing.T) {
+	s := New(10)
+	s.Put(key(1), Entry{Value: "old", InvalidateIDs: []int64{1, 10}})
+	s.Put(key(1), Entry{Value: "new", InvalidateIDs: []int64{1, 20}})
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1 after replace", s.Len())
+	}
+	if n := s.Invalidate(10); n != 0 {
+		t.Error("stale reverse-index entry for 10 survived the replace")
+	}
+	if n := s.Invalidate(20); n != 1 {
+		t.Errorf("Invalidate(20) dropped %d, want 1", n)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := int64(i % 100)
+				k := Key{ID: id, Action: "mle", Profile: fmt.Sprintf("u%d", g%2)}
+				switch i % 3 {
+				case 0:
+					s.Put(k, Entry{Value: i, InvalidateIDs: []int64{id, id + 1000}})
+				case 1:
+					s.Get(k)
+				default:
+					s.Invalidate(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() > 64 {
+		t.Errorf("len = %d, want <= 64", s.Len())
+	}
+}

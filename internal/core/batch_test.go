@@ -179,8 +179,8 @@ func TestBatchedCheckOut(t *testing.T) {
 	if !res.Granted || res.Updated != 9 {
 		t.Fatalf("batched check-out granted=%v updated=%d, want true/9", res.Granted, res.Updated)
 	}
-	if meter.Metrics.SavedRoundTrips() <= 0 {
-		t.Errorf("batched check-out saved %d round trips, want > 0", meter.Metrics.SavedRoundTrips())
+	if meter.Metrics.SavedRoundTrips <= 0 {
+		t.Errorf("batched check-out saved %d round trips, want > 0", meter.Metrics.SavedRoundTrips)
 	}
 	res2, err := c.CheckIn(context.Background(), 1)
 	if err != nil {

@@ -52,6 +52,9 @@ func (c *Client) CheckOut(ctx context.Context, root int64) (*CheckOutResult, err
 	if err != nil {
 		return nil, err
 	}
+	// The flags just flipped under every cached entry covering this
+	// subtree — retire them locally, without a round trip.
+	c.invalidateTree(res.Tree)
 	out.Updated = updated
 	out.Metrics = c.delta(before)
 	return out, nil
@@ -70,6 +73,7 @@ func (c *Client) CheckIn(ctx context.Context, root int64) (*CheckOutResult, erro
 		if err != nil {
 			return nil, err
 		}
+		c.invalidateTree(res.Tree)
 		out.Updated = updated
 	}
 	out.Metrics = c.delta(before)
@@ -203,15 +207,29 @@ func (c *Client) callCheckProc(ctx context.Context, proc string, root int64) (*C
 		out.Granted = types.Truth(resp.Rows[0][0]) == types.True
 		out.Updated = int(resp.Rows[0][1].Int())
 	}
+	// The procedure modified a subtree the client never fetched: retire
+	// the root's entries locally; deeper cached entries are caught by
+	// the next validate-on-use exchange (the server bumped their nodes).
+	if out.Granted && out.Updated > 0 {
+		c.invalidateCache([]int64{root})
+	}
 	return out, nil
 }
 
 // RegisterProcedures installs the server-side stored procedures
-// pdm_check_out and pdm_check_in. The server owns a rule table too —
-// rules guard the action regardless of how the client connects.
+// pdm_check_out and pdm_check_in, and configures the PDM version-key
+// overrides of the object version log: link rows (and spec relations)
+// version their *parent* object via the left column, so attaching or
+// detaching a child bumps the parent — which is exactly when a cached
+// single-level expansion of the parent goes stale. The server owns a
+// rule table too — rules guard the action regardless of how the
+// client connects.
 func RegisterProcedures(db *minisql.DB, rules *RuleTable) {
 	db.RegisterProc("pdm_check_out", checkProc(rules, true))
 	db.RegisterProc("pdm_check_in", checkProc(rules, false))
+	// The overrides are remembered if the tables do not exist yet.
+	_ = db.SetVersionKey("link", "left")
+	_ = db.SetVersionKey("specified_by", "left")
 }
 
 func checkProc(rules *RuleTable, out bool) minisql.Procedure {

@@ -2,15 +2,14 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
+	"pdmtune/internal/cache"
 	"pdmtune/internal/costmodel"
 	"pdmtune/internal/minisql"
-	"pdmtune/internal/minisql/ast"
 	"pdmtune/internal/minisql/exec"
-	"pdmtune/internal/minisql/storage"
-	"pdmtune/internal/minisql/types"
 	"pdmtune/internal/netsim"
 	"pdmtune/internal/wire"
 )
@@ -21,12 +20,32 @@ import (
 // the meter. All actions take a context: cancelling it between round
 // trips aborts the action with ctx.Err(), and only the round trips that
 // actually happened are charged.
+//
+// All read traffic flows through the client's fetcher (see fetch.go):
+// by default the plain wire fetcher, optionally decorated with the
+// version-validated structure cache (SetCache).
 type Client struct {
 	sql      *wire.Client
 	meter    *netsim.Meter
 	rules    *RuleTable
 	user     UserContext
 	strategy costmodel.Strategy
+
+	// fetch is the unified read path: wireFetcher, or cachedFetcher
+	// wrapping it when a structure cache is configured.
+	fetch fetcher
+	// types is the client's private LRU-bounded object-type cache. It
+	// is deliberately NOT the structure store: type entries arrive one
+	// per received row and would otherwise crowd whole structure pages
+	// out of the configured bound.
+	types *cache.Store
+	// structs is the structure cache store, nil unless SetCache was
+	// called. Write actions invalidate their objects here.
+	structs *cache.Store
+	// cacheNS namespaces this client's cache keys by the server the
+	// entries came from, so a store shared across systems can never
+	// serve one database's structures (or types) for another's ids.
+	cacheNS string
 
 	// local evaluates rule predicates client-side (late evaluation).
 	local *exec.Context
@@ -46,9 +65,6 @@ type Client struct {
 	// preparedSQL caches the parameterized (and rule-modified) statement
 	// texts, keyed by action resp. probe identity.
 	preparedSQL map[string]preparedStmt
-	// objTypes caches looked-up object types, so the root of a repeated
-	// expand costs its type lookup only once.
-	objTypes map[int64]string
 }
 
 // preparedStmt is a parameterized statement text and the number of
@@ -58,13 +74,18 @@ type preparedStmt struct {
 	nparams int
 }
 
+// typeCacheSize bounds the private object-type cache of a client
+// without a configured structure cache. The old implementation kept an
+// unbounded id→type map — a silent memory leak over a long session.
+const typeCacheSize = 4096
+
 // NewClient connects a PDM client to a transport. meter may be nil (no
 // accounting); rules may be empty.
 func NewClient(tr wire.Transport, meter *netsim.Meter, rules *RuleTable, user UserContext, strategy costmodel.Strategy) *Client {
 	if rules == nil {
 		rules = NewRuleTable()
 	}
-	return &Client{
+	c := &Client{
 		sql:         wire.NewClient(tr),
 		meter:       meter,
 		rules:       rules,
@@ -74,8 +95,10 @@ func NewClient(tr wire.Transport, meter *netsim.Meter, rules *RuleTable, user Us
 		scratch:     minisql.NewDB(),
 		handles:     map[string]uint32{},
 		preparedSQL: map[string]preparedStmt{},
-		objTypes:    map[int64]string{},
+		types:       cache.New(typeCacheSize),
 	}
+	c.fetch = &wireFetcher{c: c}
+	return c
 }
 
 // Strategy reports the client's access strategy.
@@ -100,6 +123,82 @@ func (c *Client) SetPrepared(on bool) { c.prepared = on }
 // Prepared reports whether prepared-statement execution is enabled.
 func (c *Client) Prepared() bool { return c.prepared }
 
+// SetCache layers the structure cache over the client's read path:
+// fetched expand pages and recursive trees are kept (version-stamped)
+// in the store, warm actions revalidate them in one wire exchange
+// instead of re-fetching, and the client's own write actions
+// invalidate affected entries locally. The store may be private or
+// shared between sessions (it is safe for concurrent use); nil
+// removes the cache. The store's bound counts structure entries only
+// — the object-type cache stays in its own bounded store, so type
+// entries cannot evict structure pages.
+//
+// namespace identifies the server/system the client talks to; clients
+// of different servers sharing one store MUST pass different
+// namespaces, or one database's cached structures could answer for
+// another's ids (the facade derives it from the System).
+func (c *Client) SetCache(store *cache.Store, namespace string) {
+	base := &wireFetcher{c: c}
+	c.cacheNS = namespace
+	if store == nil {
+		c.structs = nil
+		c.fetch = base
+		return
+	}
+	c.structs = store
+	c.fetch = &cachedFetcher{inner: base, c: c, store: store, profile: c.cacheProfile()}
+}
+
+// Cache returns the client's structure cache store (nil when none is
+// configured).
+func (c *Client) Cache() *cache.Store { return c.structs }
+
+// ruleTableIDs assigns every rule table a process-unique id the first
+// time it keys a cache profile. A pointer formatted with %p would not
+// do: a freed table's address can be reused by a different table,
+// colliding two profiles. The registry pins profiled tables for the
+// process lifetime, which is the price of collision-free identity.
+var (
+	ruleTableIDs  sync.Map // *RuleTable -> uint64
+	nextRuleTblID atomic.Uint64
+)
+
+func ruleTableID(rt *RuleTable) uint64 {
+	if id, ok := ruleTableIDs.Load(rt); ok {
+		return id.(uint64)
+	}
+	id, _ := ruleTableIDs.LoadOrStore(rt, nextRuleTblID.Add(1))
+	return id.(uint64)
+}
+
+// cacheProfile fingerprints everything a cached read result depends on
+// besides its key: the user context, the rule table identity and the
+// strategy. Sessions sharing a store only share entries when their
+// profiles match, so differing rules or users can never leak results
+// to each other.
+func (c *Client) cacheProfile() string {
+	return fmt.Sprintf("%s\x00%s\x00%s\x00%d\x00%d\x00%d\x00%d",
+		c.cacheNS, c.user.Name, c.user.Options, c.user.EffFrom, c.user.EffTo, c.strategy, ruleTableID(c.rules))
+}
+
+// invalidateCache drops every cached entry depending on the given
+// objects — the no-round-trip invalidation a write action performs on
+// its own modifications. Shared stores propagate it to every session
+// immediately.
+func (c *Client) invalidateCache(ids []int64) {
+	if c.structs != nil && len(ids) > 0 {
+		c.structs.Invalidate(ids...)
+	}
+}
+
+// invalidateTree invalidates every node of a modified subtree. The
+// (O(n)) id walk only happens when a cache is actually configured.
+func (c *Client) invalidateTree(t *Tree) {
+	if c.structs != nil {
+		c.structs.Invalidate(treeIDs(t)...)
+	}
+}
+
 // User reports the client's user context.
 func (c *Client) User() UserContext { return c.user }
 
@@ -122,7 +221,9 @@ func (c *Client) ResetMetrics() {
 }
 
 // Exec ships one raw SQL statement over the WAN (administration, DDL,
-// loading). Rule machinery is not applied.
+// loading). Rule machinery is not applied, and the structure cache is
+// not invalidated — a raw write is caught by the next validate-on-use
+// exchange instead.
 func (c *Client) Exec(ctx context.Context, sql string, params ...minisql.Value) (*wire.Response, error) {
 	return c.sql.Exec(ctx, sql, params...)
 }
@@ -155,21 +256,6 @@ func (c *Client) execRequest(ctx context.Context, req *wire.Request) (*wire.Resp
 	return c.sql.Exec(ctx, req.SQL, req.Params...)
 }
 
-// ActionResult reports one user action: what came back and what it cost.
-type ActionResult struct {
-	// Tree is the reassembled structure (expand actions).
-	Tree *Tree
-	// Objects is the flat result of the set-oriented Query action.
-	Objects []*Node
-	// RowsReceived counts unified rows shipped to the client before
-	// client-side filtering — the transferred data volume in rows.
-	RowsReceived int
-	// Visible counts objects the user is finally allowed to see.
-	Visible int
-	// Metrics is the WAN cost of exactly this action.
-	Metrics netsim.Metrics
-}
-
 func (c *Client) snapshot() netsim.Metrics {
 	if c.meter == nil {
 		return netsim.Metrics{}
@@ -182,661 +268,4 @@ func (c *Client) delta(before netsim.Metrics) netsim.Metrics {
 		return netsim.Metrics{}
 	}
 	return c.meter.Metrics.Sub(before)
-}
-
-// ---------------------------------------------------------------------------
-// object type resolution
-
-// typeLookupParamSQL resolves an object id to its type across the node
-// tables — the object model's discriminator query.
-const typeLookupParamSQL = "SELECT type FROM assy WHERE obid = ? UNION ALL SELECT type FROM comp WHERE obid = ?"
-
-// lookupObjectType resolves the actual type of an object (the paper's
-// object tables assy and comp). Results are cached — expanding below a
-// node whose row the client already received costs nothing — and the
-// first lookup of an unknown id is one WAN statement. An id found in
-// neither table is an error, not an empty assembly.
-func (c *Client) lookupObjectType(ctx context.Context, obid int64) (string, error) {
-	if t, ok := c.objTypes[obid]; ok {
-		return t, nil
-	}
-	var resp *wire.Response
-	var err error
-	if c.prepared {
-		var h uint32
-		h, err = c.ensurePrepared(ctx, typeLookupParamSQL)
-		if err != nil {
-			return "", err
-		}
-		resp, err = c.sql.ExecPrepared(ctx, h, types.NewInt(obid), types.NewInt(obid))
-	} else {
-		resp, err = c.sql.Exec(ctx, fmt.Sprintf(
-			"SELECT type FROM assy WHERE obid = %d UNION ALL SELECT type FROM comp WHERE obid = %d", obid, obid))
-	}
-	if err != nil {
-		return "", err
-	}
-	if len(resp.Rows) == 0 || len(resp.Rows[0]) == 0 {
-		return "", fmt.Errorf("core: object %d does not exist", obid)
-	}
-	t := resp.Rows[0][0].String()
-	c.objTypes[obid] = t
-	return t, nil
-}
-
-// rememberType caches an object's type learned from a received row.
-func (c *Client) rememberType(n *Node) {
-	if n != nil && n.Type != "" {
-		c.objTypes[n.ObID] = n.Type
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Query (set-oriented retrieval of all nodes of a product)
-
-// QueryAll performs the paper's "Query" action: retrieve all nodes of a
-// product (without structure information) in one statement. Under late
-// evaluation all rows are shipped and filtered at the client; otherwise
-// the row conditions travel inside the query. A single statement gains
-// nothing from preparation, so the prepared mode does not change it.
-func (c *Client) QueryAll(ctx context.Context, prod int64) (*ActionResult, error) {
-	before := c.snapshot()
-	q := BuildQueryAll(prod)
-	if c.strategy != costmodel.LateEval {
-		if err := c.modifier().ModifyNavigational(q, ActionQuery); err != nil {
-			return nil, err
-		}
-	}
-	resp, err := c.sql.Exec(ctx, q.String())
-	if err != nil {
-		return nil, err
-	}
-	res := &ActionResult{RowsReceived: len(resp.Rows)}
-	for _, row := range resp.Rows {
-		n, err := decodeNode(row)
-		if err != nil {
-			return nil, err
-		}
-		c.rememberType(n)
-		if c.strategy == costmodel.LateEval {
-			ok, err := c.localRowPermitted(n.Type, []string{ActionQuery, ActionAccess}, row)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		res.Objects = append(res.Objects, n)
-	}
-	res.Visible = len(res.Objects)
-	res.Metrics = c.delta(before)
-	return res, nil
-}
-
-// ---------------------------------------------------------------------------
-// Single-level expand
-
-// Expand performs a single-level expand: fetch the direct children of
-// one object together with the connecting links. The root's actual
-// object type is looked up (and cached), not assumed to be an assembly.
-func (c *Client) Expand(ctx context.Context, parent int64) (*ActionResult, error) {
-	before := c.snapshot()
-	rootType, err := c.lookupObjectType(ctx, parent)
-	if err != nil {
-		return nil, err
-	}
-	children, received, err := c.expandOnce(ctx, parent, ActionExpand)
-	if err != nil {
-		return nil, err
-	}
-	root := &Node{Type: rootType, ObID: parent, Children: children}
-	tree := &Tree{Root: root, Index: map[int64]*Node{parent: root}}
-	for _, ch := range children {
-		tree.Index[ch.ObID] = ch
-	}
-	return &ActionResult{
-		Tree:         tree,
-		RowsReceived: received,
-		Visible:      len(children),
-		Metrics:      c.delta(before),
-	}, nil
-}
-
-// buildExpandSQL returns the (strategy-modified) single-level expand
-// query text for one parent.
-func (c *Client) buildExpandSQL(parent int64, action string) (string, error) {
-	q := BuildExpandQuery(parent)
-	if c.strategy != costmodel.LateEval {
-		if err := c.modifier().ModifyNavigational(q, action); err != nil {
-			return "", err
-		}
-	}
-	return q.String(), nil
-}
-
-// expandStmtPrepared returns the parameterized expand statement for an
-// action: built and rule-modified once per session, then reused for
-// every node. The two UNION branches each bind the parent id.
-func (c *Client) expandStmtPrepared(action string) (preparedStmt, error) {
-	key := "expand\x00" + action
-	if st, ok := c.preparedSQL[key]; ok {
-		return st, nil
-	}
-	q := BuildExpandQueryParam()
-	if c.strategy != costmodel.LateEval {
-		if err := c.modifier().ModifyNavigational(q, action); err != nil {
-			return preparedStmt{}, err
-		}
-	}
-	st := preparedStmt{sql: q.String(), nparams: 2}
-	c.preparedSQL[key] = st
-	return st, nil
-}
-
-// expandRequest builds the wire request expanding one parent: a
-// prepared execution (handle + parent id) in prepared mode, the full
-// statement text otherwise.
-func (c *Client) expandRequest(ctx context.Context, parent int64, action string) (*wire.Request, error) {
-	if c.prepared {
-		st, err := c.expandStmtPrepared(action)
-		if err != nil {
-			return nil, err
-		}
-		h, err := c.ensurePrepared(ctx, st.sql)
-		if err != nil {
-			return nil, err
-		}
-		params := make([]types.Value, st.nparams)
-		for i := range params {
-			params[i] = types.NewInt(parent)
-		}
-		return &wire.Request{Prepared: true, Handle: h, Params: params}, nil
-	}
-	sql, err := c.buildExpandSQL(parent, action)
-	if err != nil {
-		return nil, err
-	}
-	return &wire.Request{SQL: sql}, nil
-}
-
-// filterExpandRows applies the client-side rule filters to the rows of
-// one expand answer and returns the surviving candidate children.
-// ∃structure conditions are not checked here — they need server probes.
-func (c *Client) filterExpandRows(rows []storage.Row, action string) ([]*Node, error) {
-	var out []*Node
-	for _, row := range rows {
-		n, err := decodeNode(row)
-		if err != nil {
-			return nil, err
-		}
-		c.rememberType(n)
-		if c.strategy == costmodel.LateEval {
-			// Link traversal rules (structure options, effectivities).
-			ok, err := c.localRowPermitted("link", []string{action, ActionAccess}, row)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-			// Row conditions on the child's object type.
-			ok, err = c.localRowPermitted(n.Type, []string{action, ActionAccess}, row)
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				continue
-			}
-		}
-		out = append(out, n)
-	}
-	return out, nil
-}
-
-// expandOnce ships one navigational expand query and returns the
-// permitted children. Under late evaluation the client filters the
-// received rows against its rule table; ∃structure conditions require
-// extra probe round trips under every navigational strategy because the
-// related objects live only in the server's database.
-func (c *Client) expandOnce(ctx context.Context, parent int64, action string) ([]*Node, int, error) {
-	req, err := c.expandRequest(ctx, parent, action)
-	if err != nil {
-		return nil, 0, err
-	}
-	resp, err := c.execRequest(ctx, req)
-	if err != nil {
-		return nil, 0, err
-	}
-	cands, err := c.filterExpandRows(resp.Rows, action)
-	if err != nil {
-		return nil, 0, err
-	}
-	var out []*Node
-	for _, n := range cands {
-		keep, err := c.probeExistsStructure(ctx, n, action)
-		if err != nil {
-			return nil, 0, err
-		}
-		if keep {
-			out = append(out, n)
-		}
-	}
-	return out, len(resp.Rows), nil
-}
-
-// expandLevelBatched expands every parent of one BFS level in a single
-// batch round trip — the paper's statement-per-node loop collapsed into
-// one WAN communication per tree level. A second batch carries all
-// ∃structure probes of the level, when any apply.
-func (c *Client) expandLevelBatched(ctx context.Context, parents []*Node, action string) ([][]*Node, int, error) {
-	reqs := make([]*wire.Request, len(parents))
-	for i, p := range parents {
-		req, err := c.expandRequest(ctx, p.ObID, action)
-		if err != nil {
-			return nil, 0, err
-		}
-		reqs[i] = req
-	}
-	resps, err := c.sql.ExecBatch(ctx, reqs)
-	if err != nil {
-		return nil, 0, err
-	}
-	received := 0
-	children := make([][]*Node, len(parents))
-	for i, resp := range resps {
-		received += len(resp.Rows)
-		ns, err := c.filterExpandRows(resp.Rows, action)
-		if err != nil {
-			return nil, 0, err
-		}
-		children[i] = ns
-	}
-	children, err = c.probeExistsStructureBatched(ctx, children, action)
-	if err != nil {
-		return nil, 0, err
-	}
-	return children, received, nil
-}
-
-// probeStmtPrepared returns the parameterized ∃structure probe for one
-// rule and object type, cached per session. Every reference to
-// <objType>.obid becomes a parameter bound to the probed id.
-func (c *Client) probeStmtPrepared(cond, objType string) (preparedStmt, error) {
-	key := "probe\x00" + objType + "\x00" + cond
-	if st, ok := c.preparedSQL[key]; ok {
-		return st, nil
-	}
-	q, nparams, err := BuildProbeExistsParam(cond, c.user, objType)
-	if err != nil {
-		return preparedStmt{}, err
-	}
-	st := preparedStmt{sql: q.String(), nparams: nparams}
-	c.preparedSQL[key] = st
-	return st, nil
-}
-
-// probeRequest builds the wire request probing one ∃structure rule for
-// one candidate node.
-func (c *Client) probeRequest(ctx context.Context, r Rule, n *Node) (*wire.Request, error) {
-	if c.prepared {
-		st, err := c.probeStmtPrepared(r.Cond, n.Type)
-		if err != nil {
-			return nil, err
-		}
-		h, err := c.ensurePrepared(ctx, st.sql)
-		if err != nil {
-			return nil, err
-		}
-		params := make([]types.Value, st.nparams)
-		for i := range params {
-			params[i] = types.NewInt(n.ObID)
-		}
-		return &wire.Request{Prepared: true, Handle: h, Params: params}, nil
-	}
-	probe, err := BuildProbeExists(r.Cond, c.user, n.Type, n.ObID)
-	if err != nil {
-		return nil, err
-	}
-	return &wire.Request{SQL: probe.String()}, nil
-}
-
-// probeExistsStructure checks ∃structure rules for one candidate object
-// by shipping a probe query per rule group — the round trips a
-// navigational client cannot avoid.
-func (c *Client) probeExistsStructure(ctx context.Context, n *Node, action string) (bool, error) {
-	rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
-	if len(rules) == 0 {
-		return true, nil
-	}
-	for _, r := range rules {
-		req, err := c.probeRequest(ctx, r, n)
-		if err != nil {
-			return false, err
-		}
-		resp, err := c.execRequest(ctx, req)
-		if err != nil {
-			return false, err
-		}
-		if len(resp.Rows) > 0 {
-			return true, nil // permissions are OR-combined
-		}
-	}
-	return false, nil
-}
-
-// probeExistsStructureBatched checks ∃structure rules for all candidates
-// of one BFS level with a single batch of probe queries instead of one
-// round trip per (node, rule) pair. The per-node verdict is unchanged:
-// a node survives when any of its rules' probes returns a row, and — as
-// in the unbatched OR short-circuit — a probe that errors only fails the
-// action when no earlier rule already permitted its node; otherwise the
-// surviving probes are re-batched past the failure.
-func (c *Client) probeExistsStructureBatched(ctx context.Context, children [][]*Node, action string) ([][]*Node, error) {
-	type nodeRef struct{ level, child int }
-	type probe struct {
-		node nodeRef
-		req  *wire.Request
-	}
-	var pending []probe
-	probed := map[nodeRef]bool{}
-	permit := map[nodeRef]bool{}
-	for i, ns := range children {
-		for j, n := range ns {
-			rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
-			for _, r := range rules {
-				req, err := c.probeRequest(ctx, r, n)
-				if err != nil {
-					return nil, err
-				}
-				ref := nodeRef{level: i, child: j}
-				pending = append(pending, probe{node: ref, req: req})
-				probed[ref] = true
-			}
-		}
-	}
-	for len(pending) > 0 {
-		// Short-circuit: a node permitted by an earlier rule needs no
-		// further probes (permissions are OR-combined).
-		var rest []probe
-		for _, p := range pending {
-			if !permit[p.node] {
-				rest = append(rest, p)
-			}
-		}
-		pending = rest
-		if len(pending) == 0 {
-			break
-		}
-		reqs := make([]*wire.Request, len(pending))
-		for i, p := range pending {
-			reqs[i] = p.req
-		}
-		resps, err := c.sql.ExecBatch(ctx, reqs)
-		for i, resp := range resps {
-			if len(resp.Rows) > 0 {
-				permit[pending[i].node] = true
-			}
-		}
-		if err == nil {
-			break
-		}
-		var be *wire.BatchError
-		if !errors.As(err, &be) {
-			return nil, err
-		}
-		// The unbatched client would only reach this probe if no earlier
-		// rule had permitted the node — in that case the error is real.
-		if !permit[pending[be.Index].node] {
-			return nil, err
-		}
-		pending = pending[be.Index+1:]
-	}
-	out := make([][]*Node, len(children))
-	for i, ns := range children {
-		for j, n := range ns {
-			ref := nodeRef{level: i, child: j}
-			if !probed[ref] || permit[ref] {
-				out[i] = append(out[i], n)
-			}
-		}
-	}
-	return out, nil
-}
-
-// localRowPermitted evaluates the disjunction of the user's row
-// conditions for an object type against a received unified row — the
-// client-side ("late") rule evaluation the paper starts from.
-func (c *Client) localRowPermitted(objType string, actions []string, row storage.Row) (bool, error) {
-	rules := c.rules.Relevant(c.user.Name, actions, objType, KindRow)
-	if len(rules) == 0 {
-		return true, nil
-	}
-	pred, err := disjunction(rules, c.user)
-	if err != nil {
-		return false, err
-	}
-	env := exec.NewEnv(unifiedColsFor(objType), row, nil)
-	v, err := c.local.EvalExpr(pred, env)
-	if err != nil {
-		return false, err
-	}
-	return boolValue(v), nil
-}
-
-// unifiedColsFor binds the unified columns under an object type's alias
-// so rule predicates like assy.make_or_buy or link.strc_opt resolve.
-func unifiedColsFor(objType string) []exec.ColMeta {
-	cols := make([]exec.ColMeta, len(UnifiedCols))
-	for i, name := range UnifiedCols {
-		cols[i] = exec.ColMeta{Table: objType, Name: name}
-	}
-	return cols
-}
-
-// ---------------------------------------------------------------------------
-// Multi-level expand
-
-// MultiLevelExpand retrieves the entire structure under root. Under the
-// navigational strategies it recursively applies single-level expands
-// ("the resulting objects are filtered according to the rules, and the
-// surviving objects are then expanded recursively"); under the Recursive
-// strategy it ships one recursive query with all rules embedded.
-func (c *Client) MultiLevelExpand(ctx context.Context, root int64) (*ActionResult, error) {
-	return c.multiLevelExpand(ctx, root, ActionMLE)
-}
-
-func (c *Client) multiLevelExpand(ctx context.Context, root int64, action string) (*ActionResult, error) {
-	before := c.snapshot()
-	if c.strategy == costmodel.Recursive {
-		tree, received, err := c.recursiveFetch(ctx, root, action)
-		if err != nil {
-			return nil, err
-		}
-		return &ActionResult{
-			Tree:         tree,
-			RowsReceived: received,
-			Visible:      tree.Size(),
-			Metrics:      c.delta(before),
-		}, nil
-	}
-
-	// Navigational: breadth-first expansion. The root is already at the
-	// client (paper footnote 4) but its object type is not assumed — it
-	// is looked up (one cached WAN statement). Every surviving node is
-	// expanded, leaves included — the client only learns they are leaves
-	// from the empty answer. With batching enabled the whole level
-	// travels as one wire batch; otherwise each node costs its own round
-	// trip, as in the paper.
-	rootType, err := c.lookupObjectType(ctx, root)
-	if err != nil {
-		return nil, err
-	}
-	rootNode := &Node{Type: rootType, ObID: root}
-	tree := &Tree{Root: rootNode, Index: map[int64]*Node{root: rootNode}}
-	received := 0
-	level := []*Node{rootNode}
-	for len(level) > 0 {
-		var perParent [][]*Node
-		if c.batching {
-			var got int
-			var err error
-			perParent, got, err = c.expandLevelBatched(ctx, level, action)
-			if err != nil {
-				return nil, err
-			}
-			received += got
-		} else {
-			perParent = make([][]*Node, len(level))
-			for i, parent := range level {
-				children, got, err := c.expandOnce(ctx, parent.ObID, action)
-				if err != nil {
-					return nil, err
-				}
-				received += got
-				perParent[i] = children
-			}
-		}
-		var next []*Node
-		for i, parent := range level {
-			parent.Children = perParent[i]
-			for _, ch := range perParent[i] {
-				tree.Index[ch.ObID] = ch
-				next = append(next, ch)
-			}
-		}
-		level = next
-	}
-
-	// Tree conditions cannot travel inside navigational queries
-	// (Section 4.1) — evaluate them at the client on the fetched tree.
-	ok, err := c.clientTreeConditions(tree, action)
-	if err != nil {
-		return nil, err
-	}
-	if !ok {
-		tree = &Tree{Index: map[int64]*Node{}} // all-or-nothing
-	}
-	return &ActionResult{
-		Tree:         tree,
-		RowsReceived: received,
-		Visible:      tree.Size(),
-		Metrics:      c.delta(before),
-	}, nil
-}
-
-// recursiveFetch ships the Section 5 combined query and reassembles the
-// tree from the unified rows. The root's type comes from the result
-// itself, so no lookup statement is needed.
-func (c *Client) recursiveFetch(ctx context.Context, root int64, action string) (*Tree, int, error) {
-	q := BuildRecursiveQuery(root)
-	if err := c.modifier().ModifyRecursive(q, action); err != nil {
-		return nil, 0, err
-	}
-	resp, err := c.sql.Exec(ctx, q.String())
-	if err != nil {
-		return nil, 0, err
-	}
-	tree, err := AssembleRecursive(root, resp.Rows)
-	if err != nil {
-		return nil, 0, err
-	}
-	tree.Walk(func(n *Node) { c.rememberType(n) })
-	return tree, len(resp.Rows), nil
-}
-
-// clientTreeConditions evaluates ∀rows and tree-aggregate rules on a
-// fetched tree (late/early navigational strategies). It reports whether
-// the tree survives.
-func (c *Client) clientTreeConditions(tree *Tree, action string) (bool, error) {
-	actions := []string{action, ActionAccess}
-
-	// ∀rows: every node must meet the row condition.
-	forall := c.rules.Relevant(c.user.Name, actions, TreeObjType, KindForAllRows)
-	if len(forall) > 0 {
-		pred, err := disjunction(forall, c.user)
-		if err != nil {
-			return false, err
-		}
-		holds := true
-		var evalErr error
-		tree.Walk(func(n *Node) {
-			if !holds || evalErr != nil {
-				return
-			}
-			env := exec.NewEnv(unifiedColsFor(RecTable), nodeToUnifiedRow(n), nil)
-			v, err := c.local.EvalExpr(pred, env)
-			if err != nil {
-				evalErr = err
-				return
-			}
-			if !boolValue(v) {
-				holds = false
-			}
-		})
-		if evalErr != nil {
-			return false, evalErr
-		}
-		if !holds {
-			return false, nil
-		}
-	}
-
-	// Tree aggregates: rebuild the recursion table in the client's local
-	// workspace database and evaluate the condition as SQL.
-	aggs := c.rules.Relevant(c.user.Name, actions, TreeObjType, KindTreeAggregate)
-	if len(aggs) > 0 {
-		ok, err := c.evalTreeAggregatesLocally(tree, aggs)
-		if err != nil || !ok {
-			return false, err
-		}
-	}
-	return true, nil
-}
-
-// evalTreeAggregatesLocally loads the fetched nodes into a local rtbl
-// and runs the aggregate conditions against it.
-func (c *Client) evalTreeAggregatesLocally(tree *Tree, rules []Rule) (bool, error) {
-	s := c.scratch.NewSession()
-	if _, err := s.Exec("DROP TABLE IF EXISTS " + RecTable); err != nil {
-		return false, err
-	}
-	ddl := `CREATE TABLE rtbl (type TEXT, obid INTEGER, name TEXT, dec TEXT,
-		make_or_buy TEXT, state TEXT, material TEXT, weight FLOAT,
-		checkedout BOOLEAN, data TEXT, path_opt TEXT, left INTEGER, right INTEGER,
-		eff_from INTEGER, eff_to INTEGER, strc_opt TEXT)`
-	if _, err := s.Exec(ddl); err != nil {
-		return false, err
-	}
-	var insertErr error
-	tree.Walk(func(n *Node) {
-		if insertErr != nil {
-			return
-		}
-		row := nodeToUnifiedRow(n)
-		_, insertErr = s.Exec(
-			"INSERT INTO rtbl VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-			row...)
-	})
-	if insertErr != nil {
-		return false, insertErr
-	}
-	pred, err := disjunction(rules, c.user)
-	if err != nil {
-		return false, err
-	}
-	check := &ast.Select{Body: &ast.SelectCore{
-		Items: []ast.SelectItem{{Expr: &ast.Case{
-			Whens: []ast.When{{Cond: pred, Result: &ast.Literal{Value: intValue(1)}}},
-			Else:  &ast.Literal{Value: intValue(0)},
-		}, Alias: "ok"}},
-	}}
-	res, err := s.Exec(check.String())
-	if err != nil {
-		return false, err
-	}
-	if len(res.Rows) != 1 {
-		return false, fmt.Errorf("core: tree-aggregate check returned %d rows", len(res.Rows))
-	}
-	return res.Rows[0][0].Int() == 1, nil
 }

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"pdmtune/internal/minisql/types"
+	"pdmtune/internal/wire"
+)
+
+// This file is the wire fetcher's ∃structure probe strategy: the
+// extra round trips a navigational client must pay per candidate node
+// because the related objects live only in the server's database.
+
+// probeStmtPrepared returns the parameterized ∃structure probe for one
+// rule and object type, cached per session. Every reference to
+// <objType>.obid becomes a parameter bound to the probed id.
+func (c *Client) probeStmtPrepared(cond, objType string) (preparedStmt, error) {
+	key := "probe\x00" + objType + "\x00" + cond
+	if st, ok := c.preparedSQL[key]; ok {
+		return st, nil
+	}
+	q, nparams, err := BuildProbeExistsParam(cond, c.user, objType)
+	if err != nil {
+		return preparedStmt{}, err
+	}
+	st := preparedStmt{sql: q.String(), nparams: nparams}
+	c.preparedSQL[key] = st
+	return st, nil
+}
+
+// probeRequest builds the wire request probing one ∃structure rule for
+// one candidate node.
+func (c *Client) probeRequest(ctx context.Context, r Rule, n *Node) (*wire.Request, error) {
+	if c.prepared {
+		st, err := c.probeStmtPrepared(r.Cond, n.Type)
+		if err != nil {
+			return nil, err
+		}
+		h, err := c.ensurePrepared(ctx, st.sql)
+		if err != nil {
+			return nil, err
+		}
+		params := make([]types.Value, st.nparams)
+		for i := range params {
+			params[i] = types.NewInt(n.ObID)
+		}
+		return &wire.Request{Prepared: true, Handle: h, Params: params}, nil
+	}
+	probe, err := BuildProbeExists(r.Cond, c.user, n.Type, n.ObID)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.Request{SQL: probe.String()}, nil
+}
+
+// probeExistsStructure checks ∃structure rules for one candidate object
+// by shipping a probe query per rule group — the round trips a
+// navigational client cannot avoid.
+func (w *wireFetcher) probeExistsStructure(ctx context.Context, n *Node, action string) (bool, error) {
+	c := w.c
+	rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
+	if len(rules) == 0 {
+		return true, nil
+	}
+	for _, r := range rules {
+		req, err := c.probeRequest(ctx, r, n)
+		if err != nil {
+			return false, err
+		}
+		resp, err := c.execRequest(ctx, req)
+		if err != nil {
+			return false, err
+		}
+		if len(resp.Rows) > 0 {
+			return true, nil // permissions are OR-combined
+		}
+	}
+	return false, nil
+}
+
+// probeExistsStructureBatched checks ∃structure rules for all candidates
+// of one BFS level with a single batch of probe queries instead of one
+// round trip per (node, rule) pair. The per-node verdict is unchanged:
+// a node survives when any of its rules' probes returns a row, and — as
+// in the unbatched OR short-circuit — a probe that errors only fails the
+// action when no earlier rule already permitted its node; otherwise the
+// surviving probes are re-batched past the failure.
+func (w *wireFetcher) probeExistsStructureBatched(ctx context.Context, children [][]*Node, action string) ([][]*Node, error) {
+	c := w.c
+	type nodeRef struct{ level, child int }
+	type probe struct {
+		node nodeRef
+		req  *wire.Request
+	}
+	var pending []probe
+	probed := map[nodeRef]bool{}
+	permit := map[nodeRef]bool{}
+	for i, ns := range children {
+		for j, n := range ns {
+			rules := c.rules.Relevant(c.user.Name, []string{action, ActionAccess}, n.Type, KindExistsStructure)
+			for _, r := range rules {
+				req, err := c.probeRequest(ctx, r, n)
+				if err != nil {
+					return nil, err
+				}
+				ref := nodeRef{level: i, child: j}
+				pending = append(pending, probe{node: ref, req: req})
+				probed[ref] = true
+			}
+		}
+	}
+	for len(pending) > 0 {
+		// Short-circuit: a node permitted by an earlier rule needs no
+		// further probes (permissions are OR-combined).
+		var rest []probe
+		for _, p := range pending {
+			if !permit[p.node] {
+				rest = append(rest, p)
+			}
+		}
+		pending = rest
+		if len(pending) == 0 {
+			break
+		}
+		reqs := make([]*wire.Request, len(pending))
+		for i, p := range pending {
+			reqs[i] = p.req
+		}
+		resps, err := c.sql.ExecBatch(ctx, reqs)
+		for i, resp := range resps {
+			if len(resp.Rows) > 0 {
+				permit[pending[i].node] = true
+			}
+		}
+		if err == nil {
+			break
+		}
+		var be *wire.BatchError
+		if !errors.As(err, &be) {
+			return nil, err
+		}
+		// The unbatched client would only reach this probe if no earlier
+		// rule had permitted the node — in that case the error is real.
+		if !permit[pending[be.Index].node] {
+			return nil, err
+		}
+		pending = pending[be.Index+1:]
+	}
+	out := make([][]*Node, len(children))
+	for i, ns := range children {
+		for j, n := range ns {
+			ref := nodeRef{level: i, child: j}
+			if !probed[ref] || permit[ref] {
+				out[i] = append(out[i], n)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,26 @@
+package core
+
+import (
+	"context"
+)
+
+// FetchRecursive ships the Section 5 combined query and reassembles
+// the tree from the unified rows. The root's type comes from the
+// result itself, so no lookup statement is needed.
+func (w *wireFetcher) FetchRecursive(ctx context.Context, root int64, action string) (*Tree, int, uint64, error) {
+	c := w.c
+	q := BuildRecursiveQuery(root)
+	if err := c.modifier().ModifyRecursive(q, action); err != nil {
+		return nil, 0, 0, err
+	}
+	resp, err := c.sql.Exec(ctx, q.String())
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	tree, err := AssembleRecursive(root, resp.Rows)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	tree.Walk(func(n *Node) { c.rememberType(n) })
+	return tree, len(resp.Rows), resp.Epoch, nil
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/exec"
+	"pdmtune/internal/minisql/storage"
+)
+
+// Client-side rule evaluation: the row-condition filtering of the late
+// strategy and the tree conditions (∀rows, tree aggregates) no
+// navigational query can carry (Section 4.1).
+
+// localRowPermitted evaluates the disjunction of the user's row
+// conditions for an object type against a received unified row — the
+// client-side ("late") rule evaluation the paper starts from.
+func (c *Client) localRowPermitted(objType string, actions []string, row storage.Row) (bool, error) {
+	rules := c.rules.Relevant(c.user.Name, actions, objType, KindRow)
+	if len(rules) == 0 {
+		return true, nil
+	}
+	pred, err := disjunction(rules, c.user)
+	if err != nil {
+		return false, err
+	}
+	env := exec.NewEnv(unifiedColsFor(objType), row, nil)
+	v, err := c.local.EvalExpr(pred, env)
+	if err != nil {
+		return false, err
+	}
+	return boolValue(v), nil
+}
+
+// unifiedColsFor binds the unified columns under an object type's alias
+// so rule predicates like assy.make_or_buy or link.strc_opt resolve.
+func unifiedColsFor(objType string) []exec.ColMeta {
+	cols := make([]exec.ColMeta, len(UnifiedCols))
+	for i, name := range UnifiedCols {
+		cols[i] = exec.ColMeta{Table: objType, Name: name}
+	}
+	return cols
+}
+
+// clientTreeConditions evaluates ∀rows and tree-aggregate rules on a
+// fetched tree (late/early navigational strategies). It reports whether
+// the tree survives.
+func (c *Client) clientTreeConditions(tree *Tree, action string) (bool, error) {
+	actions := []string{action, ActionAccess}
+
+	// ∀rows: every node must meet the row condition.
+	forall := c.rules.Relevant(c.user.Name, actions, TreeObjType, KindForAllRows)
+	if len(forall) > 0 {
+		pred, err := disjunction(forall, c.user)
+		if err != nil {
+			return false, err
+		}
+		holds := true
+		var evalErr error
+		tree.Walk(func(n *Node) {
+			if !holds || evalErr != nil {
+				return
+			}
+			env := exec.NewEnv(unifiedColsFor(RecTable), nodeToUnifiedRow(n), nil)
+			v, err := c.local.EvalExpr(pred, env)
+			if err != nil {
+				evalErr = err
+				return
+			}
+			if !boolValue(v) {
+				holds = false
+			}
+		})
+		if evalErr != nil {
+			return false, evalErr
+		}
+		if !holds {
+			return false, nil
+		}
+	}
+
+	// Tree aggregates: rebuild the recursion table in the client's local
+	// workspace database and evaluate the condition as SQL.
+	aggs := c.rules.Relevant(c.user.Name, actions, TreeObjType, KindTreeAggregate)
+	if len(aggs) > 0 {
+		ok, err := c.evalTreeAggregatesLocally(tree, aggs)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// evalTreeAggregatesLocally loads the fetched nodes into a local rtbl
+// and runs the aggregate conditions against it.
+func (c *Client) evalTreeAggregatesLocally(tree *Tree, rules []Rule) (bool, error) {
+	s := c.scratch.NewSession()
+	if _, err := s.Exec("DROP TABLE IF EXISTS " + RecTable); err != nil {
+		return false, err
+	}
+	ddl := `CREATE TABLE rtbl (type TEXT, obid INTEGER, name TEXT, dec TEXT,
+		make_or_buy TEXT, state TEXT, material TEXT, weight FLOAT,
+		checkedout BOOLEAN, data TEXT, path_opt TEXT, left INTEGER, right INTEGER,
+		eff_from INTEGER, eff_to INTEGER, strc_opt TEXT)`
+	if _, err := s.Exec(ddl); err != nil {
+		return false, err
+	}
+	var insertErr error
+	tree.Walk(func(n *Node) {
+		if insertErr != nil {
+			return
+		}
+		row := nodeToUnifiedRow(n)
+		_, insertErr = s.Exec(
+			"INSERT INTO rtbl VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+			row...)
+	})
+	if insertErr != nil {
+		return false, insertErr
+	}
+	pred, err := disjunction(rules, c.user)
+	if err != nil {
+		return false, err
+	}
+	check := &ast.Select{Body: &ast.SelectCore{
+		Items: []ast.SelectItem{{Expr: &ast.Case{
+			Whens: []ast.When{{Cond: pred, Result: &ast.Literal{Value: intValue(1)}}},
+			Else:  &ast.Literal{Value: intValue(0)},
+		}, Alias: "ok"}},
+	}}
+	res, err := s.Exec(check.String())
+	if err != nil {
+		return false, err
+	}
+	if len(res.Rows) != 1 {
+		return false, fmt.Errorf("core: tree-aggregate check returned %d rows", len(res.Rows))
+	}
+	return res.Rows[0][0].Int() == 1, nil
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"pdmtune/internal/cache"
+	"pdmtune/internal/minisql/types"
+	"pdmtune/internal/wire"
+)
+
+// Object type resolution. Looked-up and received types are remembered
+// in the client's (LRU-bounded) cache store, so the root of a repeated
+// expand costs its type lookup only once — and a long session can no
+// longer grow an unbounded id→type map. Object types are immutable in
+// the PDM schema, so type entries need no version validation; they
+// leave the cache only under LRU pressure.
+
+// typeAction is the cache-key action discriminator of type entries.
+// The NUL byte keeps it disjoint from every PDM action name.
+const typeAction = "\x00type"
+
+// typeKey returns the cache key of an object's type entry. Types are
+// objective — independent of user, rules and strategy — so the
+// profile carries only the server namespace and sessions of one
+// system sharing a store share the lookups.
+func (c *Client) typeKey(obid int64) cache.Key {
+	return cache.Key{ID: obid, Action: typeAction, Profile: c.cacheNS}
+}
+
+// typeLookupParamSQL resolves an object id to its type across the node
+// tables — the object model's discriminator query.
+const typeLookupParamSQL = "SELECT type FROM assy WHERE obid = ? UNION ALL SELECT type FROM comp WHERE obid = ?"
+
+// LookupType resolves the actual type of an object (the paper's
+// object tables assy and comp). Cached results cost nothing; the
+// first lookup of an unknown id is one WAN statement. An id found in
+// neither table is an error, not an empty assembly.
+func (w *wireFetcher) LookupType(ctx context.Context, obid int64) (string, error) {
+	c := w.c
+	if e, ok := c.types.Get(c.typeKey(obid)); ok {
+		return e.Value.(string), nil
+	}
+	var resp *wire.Response
+	var err error
+	if c.prepared {
+		var h uint32
+		h, err = c.ensurePrepared(ctx, typeLookupParamSQL)
+		if err != nil {
+			return "", err
+		}
+		resp, err = c.sql.ExecPrepared(ctx, h, types.NewInt(obid), types.NewInt(obid))
+	} else {
+		resp, err = c.sql.Exec(ctx, fmt.Sprintf(
+			"SELECT type FROM assy WHERE obid = %d UNION ALL SELECT type FROM comp WHERE obid = %d", obid, obid))
+	}
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Rows) == 0 || len(resp.Rows[0]) == 0 {
+		return "", fmt.Errorf("core: object %d does not exist", obid)
+	}
+	t := resp.Rows[0][0].String()
+	c.types.Put(c.typeKey(obid), cache.Entry{Value: t})
+	return t, nil
+}
+
+// rememberType caches an object's type learned from a received row.
+func (c *Client) rememberType(n *Node) {
+	if n != nil && n.Type != "" {
+		c.types.Put(c.typeKey(n.ObID), cache.Entry{Value: n.Type})
+	}
+}

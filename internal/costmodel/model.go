@@ -331,6 +331,49 @@ func (m Model) PredictBatchedPrepared(a Action, s Strategy) Estimate {
 	return est
 }
 
+// DefaultValidateEntryBytes is the wire size of one validate entry:
+// an 8-byte object id plus its 8-byte fetch-time version stamp.
+const DefaultValidateEntryBytes = 16
+
+// PredictCached computes the estimate for an action executed through
+// the client-side structure cache. Cold (warm=false) the cache adds
+// nothing: the estimate equals the batched prediction, which is what
+// the cache rides on. Warm, a structure action collapses to a single
+// validate exchange — the (id, version) pairs of every cached object
+// travel up (packetized like any request) and the stale-id answer
+// comes back — with no node records transferred at all: the repeat
+// cost of a worldwide structure traversal becomes independent of the
+// node volume and linear only in the id list. The set-oriented Query
+// is not cached and keeps its plain estimate.
+func (m Model) PredictCached(a Action, s Strategy, warm bool) Estimate {
+	if a == Query {
+		return m.Predict(a, s)
+	}
+	if !warm {
+		return m.PredictBatched(a, s)
+	}
+	sizeP := m.Net.PacketBytes
+	rateBitsPerSec := m.Net.RateKbps * 1024
+
+	// Entries validated: the root plus every visible node for tree
+	// actions, the root plus its visible children for a single expand.
+	entries := 1 + m.Tree.VisibleNodes()
+	if a == Expand {
+		entries = 1 + m.Tree.Sigma*float64(m.Tree.Branch)
+	}
+	var est Estimate
+	est.Communications = 2 // one validate round trip
+	packets := math.Ceil(entries * DefaultValidateEntryBytes / sizeP)
+	if packets < 1 {
+		packets = 1
+	}
+	est.VolumeBytes = packets*sizeP + sizeP/2
+	est.LatencySec = est.Communications * m.Net.LatencySec
+	est.TransferSec = est.VolumeBytes * 8 / rateBitsPerSec
+	est.TotalSec = est.LatencySec + est.TransferSec
+	return est
+}
+
 // SavingPct returns the percentage saving of opt relative to base.
 func SavingPct(base, opt Estimate) float64 {
 	if base.TotalSec == 0 {

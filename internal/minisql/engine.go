@@ -91,6 +91,25 @@ func (db *DB) SetOptions(o Options) {
 	db.opts = o
 }
 
+// SetVersionKey overrides the version-key column of a table (see
+// storage.DB.SetVersionKey): its rows then bump the version of the
+// object named by that column instead of their primary key. The
+// override is remembered for tables created later, so it can be
+// registered before the schema is loaded.
+func (db *DB) SetVersionKey(table, column string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.SetVersionKey(table, column)
+}
+
+// Epoch returns the database's current modification epoch — the
+// version stamp a fetch performed now would carry.
+func (db *DB) Epoch() uint64 { return db.store.Versions().Epoch() }
+
+// LastModified returns the epoch of the last mutation of the object
+// with the given version key (0 when never mutated).
+func (db *DB) LastModified(key int64) uint64 { return db.store.Versions().LastModified(key) }
+
 // RegisterFunc installs a stored scalar function callable from SQL.
 func (db *DB) RegisterFunc(name string, fn ScalarFunc) {
 	db.mu.Lock()

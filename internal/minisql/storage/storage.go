@@ -8,9 +8,74 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"pdmtune/internal/minisql/types"
 )
+
+// ---------------------------------------------------------------------------
+// Object version log
+//
+// The PDM layer caches fetched product structures at the client and
+// needs to know when a cached entry went stale. The storage layer is
+// the single place every mutation passes through, so it keeps the
+// ground truth: a database-wide monotonic epoch and, per object key,
+// the epoch of the object's last mutation. "Object key" is the value
+// of a table's version-key column — the integer primary key by
+// default (assy.obid, comp.obid), overridable per table so that link
+// rows version their *parent* object (link.left): inserting or
+// deleting a child link bumps the parent's version, which is exactly
+// the granularity a cached single-level expansion needs.
+
+// VersionLog records the last-modified epoch of every object key. It
+// has its own lock (mutations already run under the engine's writer
+// lock; reads may come from any goroutine, e.g. the wire server's
+// validate handler).
+type VersionLog struct {
+	mu       sync.RWMutex
+	epoch    uint64
+	modified map[int64]uint64
+}
+
+// NewVersionLog returns an empty log at epoch 0.
+func NewVersionLog() *VersionLog {
+	return &VersionLog{modified: map[int64]uint64{}}
+}
+
+// Bump advances the epoch and stamps every given key with it.
+func (v *VersionLog) Bump(keys ...int64) {
+	if v == nil || len(keys) == 0 {
+		return
+	}
+	v.mu.Lock()
+	v.epoch++
+	for _, k := range keys {
+		v.modified[k] = v.epoch
+	}
+	v.mu.Unlock()
+}
+
+// Epoch returns the current epoch (the stamp a fetch made now would
+// carry).
+func (v *VersionLog) Epoch() uint64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.epoch
+}
+
+// LastModified returns the epoch of the key's last mutation (0 when
+// the object was never mutated since the log started).
+func (v *VersionLog) LastModified(key int64) uint64 {
+	if v == nil {
+		return 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return v.modified[key]
+}
 
 // Column is one column of a table schema.
 type Column struct {
@@ -67,12 +132,18 @@ type Table struct {
 	dead    []bool
 	liveN   int
 	indexes []*Index
+
+	// vlog receives a version bump for every row mutation; verPos is
+	// the column whose integer value identifies the versioned object
+	// (-1: the table is not version-tracked).
+	vlog   *VersionLog
+	verPos int
 }
 
 // NewTable creates an empty table for the schema. A unique index is
 // created automatically for a PRIMARY KEY column.
 func NewTable(schema *Schema) (*Table, error) {
-	t := &Table{Schema: schema}
+	t := &Table{Schema: schema, verPos: -1}
 	for i, c := range schema.Cols {
 		if c.PrimaryKey {
 			idx := &Index{
@@ -83,9 +154,41 @@ func NewTable(schema *Schema) (*Table, error) {
 				buckets: map[string][]int{},
 			}
 			t.indexes = append(t.indexes, idx)
+			t.verPos = i // objects version by their primary key by default
 		}
 	}
 	return t, nil
+}
+
+// SetVersionKey designates the column whose integer value identifies
+// the versioned object of each row (overriding the primary-key
+// default) and attaches the log the table reports bumps to.
+func (t *Table) SetVersionKey(column string, vlog *VersionLog) error {
+	pos := t.Schema.ColIndex(column)
+	if pos < 0 {
+		return fmt.Errorf("storage: table %s has no column %s", t.Schema.Name, column)
+	}
+	t.verPos = pos
+	t.vlog = vlog
+	return nil
+}
+
+// bump reports the mutation of the given rows' version keys to the
+// attached log. Non-integer or NULL keys are skipped.
+func (t *Table) bump(rows ...Row) {
+	if t.vlog == nil || t.verPos < 0 {
+		return
+	}
+	var keys []int64
+	for _, r := range rows {
+		if t.verPos >= len(r) {
+			continue
+		}
+		if v := r[t.verPos]; v.Kind() == types.KindInt {
+			keys = append(keys, v.Int())
+		}
+	}
+	t.vlog.Bump(keys...)
 }
 
 // NumRows reports the number of live rows.
@@ -204,6 +307,7 @@ func (t *Table) Insert(row Row) (int, error) {
 	t.rows = append(t.rows, r)
 	t.dead = append(t.dead, false)
 	t.liveN++
+	t.bump(r)
 	return id, nil
 }
 
@@ -236,6 +340,7 @@ func (t *Table) Update(id int, row Row) error {
 		}
 	}
 	t.rows[id] = r
+	t.bump(old, r) // both keys, in case the version key itself changed
 	return nil
 }
 
@@ -250,6 +355,7 @@ func (t *Table) Delete(id int) error {
 	}
 	t.dead[id] = true
 	t.liveN--
+	t.bump(row)
 	return nil
 }
 
@@ -266,6 +372,7 @@ func (t *Table) undelete(id int) error {
 	}
 	t.dead[id] = false
 	t.liveN++
+	t.bump(row)
 	return nil
 }
 
@@ -288,10 +395,34 @@ func (t *Table) Scan(fn func(id int, row Row) bool) {
 // DB is a set of named tables.
 type DB struct {
 	tables map[string]*Table
+	// vlog is the database-wide object version log every
+	// version-tracked table bumps.
+	vlog *VersionLog
+	// versionKeys maps lower-cased table names to version-key column
+	// overrides, applied when the table is (re)created.
+	versionKeys map[string]string
 }
 
 // NewDB returns an empty database.
-func NewDB() *DB { return &DB{tables: map[string]*Table{}} }
+func NewDB() *DB {
+	return &DB{tables: map[string]*Table{}, vlog: NewVersionLog(), versionKeys: map[string]string{}}
+}
+
+// Versions exposes the database's object version log.
+func (db *DB) Versions() *VersionLog { return db.vlog }
+
+// SetVersionKey overrides the version-key column of a table: its rows
+// then version the object identified by that column's value instead of
+// their primary key (e.g. link rows versioning their parent via
+// "left"). The override applies immediately when the table exists and
+// is remembered for tables created later.
+func (db *DB) SetVersionKey(table, column string) error {
+	db.versionKeys[strings.ToLower(table)] = column
+	if t, ok := db.Table(table); ok {
+		return t.SetVersionKey(column, db.vlog)
+	}
+	return nil
+}
 
 // Table resolves a table by name (case-insensitive).
 func (db *DB) Table(name string) (*Table, bool) {
@@ -332,6 +463,12 @@ func (db *DB) CreateTable(schema *Schema, ifNotExists bool) error {
 	t, err := NewTable(schema)
 	if err != nil {
 		return err
+	}
+	t.vlog = db.vlog
+	if col, ok := db.versionKeys[key]; ok {
+		if err := t.SetVersionKey(col, db.vlog); err != nil {
+			return err
+		}
 	}
 	db.tables[key] = t
 	return nil

@@ -16,8 +16,8 @@ func TestRoundTripStatementsAccounting(t *testing.T) {
 	if m.Metrics.Batches != 1 {
 		t.Errorf("batches = %d, want 1", m.Metrics.Batches)
 	}
-	if m.Metrics.SavedRoundTrips() != 24 {
-		t.Errorf("saved = %d, want 24", m.Metrics.SavedRoundTrips())
+	if m.Metrics.SavedRoundTrips != 24 {
+		t.Errorf("saved = %d, want 24", m.Metrics.SavedRoundTrips)
 	}
 	// Latency depends only on round trips, not statements.
 	wantLat := 3 * 2 * m.Link.LatencySec

@@ -102,6 +102,20 @@ type Metrics struct {
 	// PreparedExecs counts statements shipped as prepared executions
 	// (handle + parameters) instead of SQL text.
 	PreparedExecs int
+	// SavedRoundTrips counts the WAN round trips the tuning levers
+	// avoided: batching contributes statements-per-batch minus one for
+	// every batch frame, the structure cache one per fetch round trip
+	// it answered locally.
+	SavedRoundTrips int
+	// CacheHits / CacheMisses count structure-cache lookups during
+	// read actions: hits were served from validated local entries
+	// without touching the wire, misses went to the server.
+	CacheHits   int
+	CacheMisses int
+	// ValidateRoundTrips counts the cache's revalidation exchanges —
+	// the one small round trip a warm action pays instead of its
+	// fetches.
+	ValidateRoundTrips int
 	// SavedRequestBytes is the SQL text volume prepared executions
 	// avoided re-shipping — the payload reduction before packetization,
 	// reported by the transport alongside the charged request bytes.
@@ -111,10 +125,6 @@ type Metrics struct {
 	LatencySec        float64
 	TransferSec       float64
 }
-
-// SavedRoundTrips is the number of round trips batching avoided: the
-// statements shipped minus the round trips actually paid for.
-func (m Metrics) SavedRoundTrips() int { return m.Statements - m.RoundTrips }
 
 // TotalSec is the simulated response time accumulated so far.
 func (m Metrics) TotalSec() float64 { return m.LatencySec + m.TransferSec }
@@ -126,16 +136,20 @@ func (m Metrics) VolumeBytes() float64 { return m.RequestBytes + m.ResponseBytes
 // a shared meter.
 func (m Metrics) Sub(b Metrics) Metrics {
 	return Metrics{
-		RoundTrips:        m.RoundTrips - b.RoundTrips,
-		Communications:    m.Communications - b.Communications,
-		Statements:        m.Statements - b.Statements,
-		Batches:           m.Batches - b.Batches,
-		PreparedExecs:     m.PreparedExecs - b.PreparedExecs,
-		SavedRequestBytes: m.SavedRequestBytes - b.SavedRequestBytes,
-		RequestBytes:      m.RequestBytes - b.RequestBytes,
-		ResponseBytes:     m.ResponseBytes - b.ResponseBytes,
-		LatencySec:        m.LatencySec - b.LatencySec,
-		TransferSec:       m.TransferSec - b.TransferSec,
+		RoundTrips:         m.RoundTrips - b.RoundTrips,
+		Communications:     m.Communications - b.Communications,
+		Statements:         m.Statements - b.Statements,
+		Batches:            m.Batches - b.Batches,
+		PreparedExecs:      m.PreparedExecs - b.PreparedExecs,
+		SavedRoundTrips:    m.SavedRoundTrips - b.SavedRoundTrips,
+		CacheHits:          m.CacheHits - b.CacheHits,
+		CacheMisses:        m.CacheMisses - b.CacheMisses,
+		ValidateRoundTrips: m.ValidateRoundTrips - b.ValidateRoundTrips,
+		SavedRequestBytes:  m.SavedRequestBytes - b.SavedRequestBytes,
+		RequestBytes:       m.RequestBytes - b.RequestBytes,
+		ResponseBytes:      m.ResponseBytes - b.ResponseBytes,
+		LatencySec:         m.LatencySec - b.LatencySec,
+		TransferSec:        m.TransferSec - b.TransferSec,
 	}
 }
 
@@ -181,6 +195,7 @@ func (m *Meter) RoundTripFrames(requestPayload, responsePayload, statements, pre
 	m.Metrics.Statements += statements
 	if statements > 1 {
 		m.Metrics.Batches++
+		m.Metrics.SavedRoundTrips += statements - 1
 	}
 	m.Metrics.PreparedExecs += preparedExecs
 	m.Metrics.SavedRequestBytes += savedRequestBytes
@@ -188,6 +203,29 @@ func (m *Meter) RoundTripFrames(requestPayload, responsePayload, statements, pre
 	m.Metrics.ResponseBytes += down
 	m.Metrics.LatencySec += 2 * m.Link.LatencySec
 	m.Metrics.TransferSec += m.Link.TransferSec(up) + m.Link.TransferSec(down)
+}
+
+// RoundTripValidate charges one cache-revalidation exchange: a round
+// trip that carries version checks instead of SQL statements.
+func (m *Meter) RoundTripValidate(requestPayload, responsePayload int) {
+	up := m.Link.RequestVolume(requestPayload)
+	down := m.Link.ResponseVolume(responsePayload)
+	m.Metrics.RoundTrips++
+	m.Metrics.Communications += 2
+	m.Metrics.ValidateRoundTrips++
+	m.Metrics.RequestBytes += up
+	m.Metrics.ResponseBytes += down
+	m.Metrics.LatencySec += 2 * m.Link.LatencySec
+	m.Metrics.TransferSec += m.Link.TransferSec(up) + m.Link.TransferSec(down)
+}
+
+// CountCache records structure-cache outcomes: hits served locally,
+// misses that went to the wire, and the fetch round trips the hits
+// avoided.
+func (m *Meter) CountCache(hits, misses, savedRoundTrips int) {
+	m.Metrics.CacheHits += hits
+	m.Metrics.CacheMisses += misses
+	m.Metrics.SavedRoundTrips += savedRoundTrips
 }
 
 // Reset clears the accumulated metrics (e.g. between user actions).

@@ -147,8 +147,8 @@ func TestExecBatchAgainstServer(t *testing.T) {
 		t.Errorf("metrics: %d round trips / %d statements, want 1/4",
 			meter.Metrics.RoundTrips, meter.Metrics.Statements)
 	}
-	if meter.Metrics.SavedRoundTrips() != 3 || meter.Metrics.Batches != 1 {
-		t.Errorf("saved=%d batches=%d, want 3/1", meter.Metrics.SavedRoundTrips(), meter.Metrics.Batches)
+	if meter.Metrics.SavedRoundTrips != 3 || meter.Metrics.Batches != 1 {
+		t.Errorf("saved=%d batches=%d, want 3/1", meter.Metrics.SavedRoundTrips, meter.Metrics.Batches)
 	}
 }
 

@@ -87,6 +87,32 @@ func (c *Client) Prepare(ctx context.Context, sql string) (uint32, error) {
 	return DecodePrepareResp(respBody)
 }
 
+// Validate ships one stale-check exchange: (id, since-epoch) pairs up,
+// the stale subset of the ids back. A client-side structure cache uses
+// it to revalidate a whole cached tree in one small round trip instead
+// of re-fetching the node records.
+func (c *Client) Validate(ctx context.Context, checks []StaleCheck) ([]int64, error) {
+	if len(checks) == 0 {
+		return nil, nil
+	}
+	body := EncodeValidate(checks)
+	if err := CheckFrameSize(body); err != nil {
+		return nil, err
+	}
+	respBody, err := c.tr.RoundTrip(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	if len(respBody) > 0 && respBody[0] == TypeError {
+		resp, err := DecodeResponse(respBody)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &ServerError{Msg: resp.Err}
+	}
+	return DecodeValidateResp(respBody)
+}
+
 // ExecBatch ships N statements in one round trip and returns one
 // response per executed statement. Requests may mix SQL text and
 // prepared executions. The server executes in order and stops at the
@@ -156,9 +182,15 @@ type frameAccountant struct {
 
 func (fa *frameAccountant) account(request, response []byte) {
 	if fa.meter != nil {
-		stats := ScanFrame(request, fa.sqlLen)
-		fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead,
-			stats.Statements, stats.PreparedExecs, stats.SavedRequestBytes)
+		if len(request) > 0 && request[0] == TypeValidate {
+			// A validate exchange is a round trip but not a statement:
+			// it is the cache's revalidation cost, accounted apart.
+			fa.meter.RoundTripValidate(len(request)+frameOverhead, len(response)+frameOverhead)
+		} else {
+			stats := ScanFrame(request, fa.sqlLen)
+			fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead,
+				stats.Statements, stats.PreparedExecs, stats.SavedRequestBytes)
+		}
 	}
 	if len(request) > 0 && request[0] == TypePrepare {
 		if sql, err := DecodePrepare(request); err == nil {

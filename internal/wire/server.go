@@ -57,6 +57,8 @@ func (c *ServerConn) Handle(reqBody []byte) []byte {
 				return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)})
 			}
 			return EncodeResponse(c.execOne(req))
+		case TypeValidate:
+			return c.handleValidate(reqBody)
 		}
 	}
 	req, err := DecodeRequest(reqBody)
@@ -83,6 +85,25 @@ func (c *ServerConn) handlePrepare(reqBody []byte) []byte {
 	c.nextHandle++
 	c.stmts[c.nextHandle] = stmt
 	return EncodePrepareResp(c.nextHandle)
+}
+
+// handleValidate answers a stale-check exchange against the database's
+// object version log: an id is stale when its object was modified
+// after the epoch the client's cached entry carries. This is a pure
+// version-map lookup — no SQL, no row data — so a warm client cache
+// revalidates thousands of objects in one cheap round trip.
+func (c *ServerConn) handleValidate(reqBody []byte) []byte {
+	checks, err := DecodeValidate(reqBody)
+	if err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad validate: %v", err)})
+	}
+	var stale []int64
+	for _, chk := range checks {
+		if c.server.db.LastModified(chk.ID) > chk.Since {
+			stale = append(stale, chk.ID)
+		}
+	}
+	return EncodeValidateResp(stale)
 }
 
 // handleBatch executes a batch frame: per-statement results in order,
@@ -113,6 +134,10 @@ func (c *ServerConn) execOne(req *Request) (resp *Response) {
 			resp = &Response{Err: fmt.Sprintf("panic executing statement: %v", r)}
 		}
 	}()
+	// The epoch is captured before execution: any mutation committed
+	// after this point has a later LastModified stamp, so a cache entry
+	// stamped with this epoch can only err on the side of staleness.
+	epoch := c.server.db.Epoch()
 	var res *minisql.Result
 	var err error
 	if req.Prepared {
@@ -127,7 +152,7 @@ func (c *ServerConn) execOne(req *Request) (resp *Response) {
 	if err != nil {
 		return &Response{Err: err.Error()}
 	}
-	return &Response{Cols: res.Cols, Rows: res.Rows, RowsAffected: res.RowsAffected}
+	return &Response{Cols: res.Cols, Rows: res.Rows, RowsAffected: res.RowsAffected, Epoch: epoch}
 }
 
 // Serve runs a framed request/response loop over a stream until EOF.

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/netsim"
+)
+
+func TestValidateFramesRoundTrip(t *testing.T) {
+	checks := []StaleCheck{{ID: 1, Since: 0}, {ID: -7, Since: 42}, {ID: 1 << 40, Since: 9}}
+	got, err := DecodeValidate(EncodeValidate(checks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(checks, got) {
+		t.Fatalf("validate round trip: got %+v, want %+v", got, checks)
+	}
+	stale := []int64{3, -9, 1 << 50}
+	gotStale, err := DecodeValidateResp(EncodeValidateResp(stale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stale, gotStale) {
+		t.Fatalf("validate resp round trip: got %v, want %v", gotStale, stale)
+	}
+	if _, err := DecodeValidate([]byte{TypeValidate, 0, 0, 0, 9}); err == nil {
+		t.Error("truncated validate frame decoded")
+	}
+	if _, err := DecodeValidateResp([]byte{TypeValidateResp, 0, 0, 0, 9}); err == nil {
+		t.Error("truncated validate response decoded")
+	}
+}
+
+// TestValidateAgainstServerVersions: the server answers stale-checks
+// from the database's version log, and result responses carry the
+// epoch a cache stamps its entries with.
+func TestValidateAgainstServerVersions(t *testing.T) {
+	db := minisql.NewDB()
+	s := db.NewSession()
+	mustExec := func(sql string) {
+		t.Helper()
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	mustExec("CREATE TABLE assy (obid INTEGER PRIMARY KEY, name TEXT)")
+	mustExec("INSERT INTO assy VALUES (1, 'a')")
+	mustExec("INSERT INTO assy VALUES (2, 'b')")
+
+	meter := netsim.NewMeter(netsim.Intercontinental())
+	srv := NewServer(db)
+	client := NewClient(&MeteredChannel{Conn: srv.NewConn(), Meter: meter})
+	ctx := context.Background()
+
+	resp, err := client.Exec(ctx, "SELECT * FROM assy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch == 0 {
+		t.Fatal("result response carries no epoch")
+	}
+	fetched := resp.Epoch
+
+	// Nothing changed: no ids are stale.
+	stale, err := client.Validate(ctx, []StaleCheck{{ID: 1, Since: fetched}, {ID: 2, Since: fetched}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 0 {
+		t.Fatalf("stale = %v on an unchanged database", stale)
+	}
+
+	mustExec("UPDATE assy SET name = 'a2' WHERE obid = 1")
+	stale, err = client.Validate(ctx, []StaleCheck{{ID: 1, Since: fetched}, {ID: 2, Since: fetched}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stale) != 1 || stale[0] != 1 {
+		t.Fatalf("stale = %v after updating object 1, want [1]", stale)
+	}
+
+	// The exchange is metered as a validate round trip, not a statement.
+	before := meter.Metrics
+	if _, err := client.Validate(ctx, []StaleCheck{{ID: 2, Since: fetched}}); err != nil {
+		t.Fatal(err)
+	}
+	d := meter.Metrics.Sub(before)
+	if d.RoundTrips != 1 || d.ValidateRoundTrips != 1 || d.Statements != 0 {
+		t.Errorf("validate metering: %+v, want 1 round trip, 1 validate, 0 statements", d)
+	}
+
+	// An empty check list is a no-op costing nothing.
+	before = meter.Metrics
+	if _, err := client.Validate(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := meter.Metrics.Sub(before); d.RoundTrips != 0 {
+		t.Errorf("empty validate charged %d round trips", d.RoundTrips)
+	}
+}

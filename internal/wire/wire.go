@@ -26,6 +26,8 @@ const (
 	TypePrepare      = 0x06
 	TypePrepareResp  = 0x07
 	TypeExecPrepared = 0x08
+	TypeValidate     = 0x09
+	TypeValidateResp = 0x0a
 	MaxFrameSize     = 1 << 30
 )
 
@@ -67,6 +69,11 @@ type Response struct {
 	Cols         []string
 	Rows         []storage.Row
 	RowsAffected int
+	// Epoch is the server database's modification epoch as of this
+	// statement's execution — the version stamp a client-side cache
+	// attaches to entries built from this result (0 when the server
+	// does not version its data).
+	Epoch uint64
 }
 
 // ---------------------------------------------------------------------------
@@ -74,6 +81,17 @@ type Response struct {
 
 func appendUint32(b []byte, v uint32) []byte {
 	return binary.BigEndian.AppendUint32(b, v)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+func readUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, io.ErrUnexpectedEOF
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
 }
 
 func appendString(b []byte, s string) []byte {
@@ -214,6 +232,7 @@ func EncodeResponse(resp *Response) []byte {
 		return appendString(b, resp.Err)
 	}
 	b := []byte{TypeResult}
+	b = appendUint64(b, resp.Epoch)
 	b = appendUint32(b, uint32(resp.RowsAffected))
 	b = appendUint32(b, uint32(len(resp.Cols)))
 	for _, c := range resp.Cols {
@@ -245,6 +264,10 @@ func DecodeResponse(b []byte) (*Response, error) {
 		return nil, fmt.Errorf("wire: unknown frame type %d", b[0])
 	}
 	b = b[1:]
+	epoch, b, err := readUint64(b)
+	if err != nil {
+		return nil, err
+	}
 	affected, b, err := readUint32(b)
 	if err != nil {
 		return nil, err
@@ -253,7 +276,7 @@ func DecodeResponse(b []byte) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp := &Response{RowsAffected: int(affected)}
+	resp := &Response{RowsAffected: int(affected), Epoch: epoch}
 	for i := uint32(0); i < ncols; i++ {
 		var c string
 		c, b, err = readString(b)
@@ -354,6 +377,89 @@ func DecodeExecPrepared(b []byte) (*Request, error) {
 		req.Params = append(req.Params, v)
 	}
 	return req, nil
+}
+
+// ---------------------------------------------------------------------------
+// validate frames: revalidate a cached structure in one round trip
+
+// StaleCheck asks whether one object changed after a known epoch: ID
+// is the object's version key, Since the epoch stamped on the cached
+// entry when it was fetched.
+type StaleCheck struct {
+	ID    int64
+	Since uint64
+}
+
+// EncodeValidate serializes a validate frame: (id, since-epoch) pairs
+// for every object a cached structure depends on. At 16 bytes per
+// entry, revalidating a whole cached tree costs a small fraction of
+// re-fetching its node records.
+func EncodeValidate(checks []StaleCheck) []byte {
+	b := []byte{TypeValidate}
+	b = appendUint32(b, uint32(len(checks)))
+	for _, c := range checks {
+		b = appendUint64(b, uint64(c.ID))
+		b = appendUint64(b, c.Since)
+	}
+	return b
+}
+
+// DecodeValidate parses a validate frame body.
+func DecodeValidate(b []byte) ([]StaleCheck, error) {
+	if len(b) < 1 || b[0] != TypeValidate {
+		return nil, fmt.Errorf("wire: not a validate frame")
+	}
+	b = b[1:]
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	// Division, not multiplication: n*16 can overflow uint32 and slip
+	// past the bound, turning a tiny frame into a huge allocation.
+	if n > uint32(len(b))/16 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	checks := make([]StaleCheck, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var id, since uint64
+		id, b, _ = readUint64(b)
+		since, b, _ = readUint64(b)
+		checks = append(checks, StaleCheck{ID: int64(id), Since: since})
+	}
+	return checks, nil
+}
+
+// EncodeValidateResp serializes the server's answer: the ids whose
+// objects changed after their given epoch (the stale subset).
+func EncodeValidateResp(stale []int64) []byte {
+	b := []byte{TypeValidateResp}
+	b = appendUint32(b, uint32(len(stale)))
+	for _, id := range stale {
+		b = appendUint64(b, uint64(id))
+	}
+	return b
+}
+
+// DecodeValidateResp parses a validate response frame body.
+func DecodeValidateResp(b []byte) ([]int64, error) {
+	if len(b) < 1 || b[0] != TypeValidateResp {
+		return nil, fmt.Errorf("wire: not a validate response frame")
+	}
+	b = b[1:]
+	n, b, err := readUint32(b)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint32(len(b))/8 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	stale := make([]int64, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var id uint64
+		id, b, _ = readUint64(b)
+		stale = append(stale, int64(id))
+	}
+	return stale, nil
 }
 
 // EncodeExec serializes one request as the sub-frame a batch carries (or

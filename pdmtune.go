@@ -31,14 +31,19 @@
 // user's configured connection. The wire-level tuning levers compose as
 // options: WithBatching(true) collapses each BFS level into one round
 // trip, WithPreparedStatements(true) ships the per-node SQL text once
-// and a handle + parameters afterwards, WithTransport substitutes a
+// and a handle + parameters afterwards, WithCache(size) keeps
+// validated structures at the client so a repeated traversal costs one
+// version-check round trip instead of a re-fetch (WithSharedCache
+// shares one cache between sessions), and WithTransport substitutes a
 // real (e.g. TCP) transport for the simulation. Every action takes a
 // context.Context and can be cancelled between WAN round trips.
 package pdmtune
 
 import (
-	"context"
+	"fmt"
+	"sync/atomic"
 
+	"pdmtune/internal/cache"
 	"pdmtune/internal/core"
 	"pdmtune/internal/costmodel"
 	"pdmtune/internal/minisql"
@@ -83,6 +88,10 @@ type (
 	Value = minisql.Value
 	// Response is the server's answer to a raw Exec.
 	Response = wire.Response
+	// Cache is the client-side structure cache: an LRU-bounded store of
+	// version-stamped expand pages and recursive trees, shareable
+	// between sessions (WithCache / WithSharedCache).
+	Cache = cache.Store
 )
 
 // Strategy and action constants, re-exported from the cost model.
@@ -133,7 +142,14 @@ type System struct {
 	DB     *minisql.DB
 	Server *wire.Server
 	Rules  *RuleTable
+	// id namespaces this system's entries in shared caches: a cache
+	// shared across systems must never answer one database's object
+	// ids with another's structures.
+	id string
 }
+
+// nextSystemID numbers systems within the process.
+var nextSystemID atomic.Uint64
 
 // NewSystem creates an empty PDM system. rules may be nil for the
 // standard set; the server-side procedures enforce the same rules.
@@ -143,7 +159,12 @@ func NewSystem(rules *RuleTable) *System {
 	}
 	db := minisql.NewDB()
 	core.RegisterProcedures(db, rules)
-	return &System{DB: db, Server: wire.NewServer(db), Rules: rules}
+	return &System{
+		DB:     db,
+		Server: wire.NewServer(db),
+		Rules:  rules,
+		id:     fmt.Sprintf("sys%d", nextSystemID.Add(1)),
+	}
 }
 
 // LoadProduct generates a product structure into the system's database
@@ -157,48 +178,7 @@ func (s *System) LoadPaperExample() error {
 	return workload.LoadPaperExample(s.DB.NewSession())
 }
 
-// Connect opens a PDM client session across the given WAN link.
-//
-// Deprecated: use Open with WithLink, WithUser and WithStrategy.
-func (s *System) Connect(link Link, user UserContext, strategy Strategy) (*Client, *Meter) {
-	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy))
-	if err != nil {
-		panic("pdmtune: Connect: " + err.Error()) // only reachable with an invalid strategy
-	}
-	return sess.Client(), sess.Meter()
-}
-
-// ConnectBatched opens a client with statement batching enabled.
-//
-// Deprecated: use Open with WithBatching(true).
-func (s *System) ConnectBatched(link Link, user UserContext, strategy Strategy) (*Client, *Meter) {
-	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy), WithBatching(true))
-	if err != nil {
-		panic("pdmtune: ConnectBatched: " + err.Error())
-	}
-	return sess.Client(), sess.Meter()
-}
-
-// RunAction executes one of the paper's user actions under a strategy
-// and returns the result with its isolated WAN metrics. target is the
-// root object for Expand/MLE and the product id for Query.
-//
-// Deprecated: use Open and Session.Run.
-func (s *System) RunAction(link Link, user UserContext, strategy Strategy, action Action, target int64) (*ActionResult, error) {
-	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy))
-	if err != nil {
-		return nil, err
-	}
-	return sess.Run(context.Background(), action, target)
-}
-
-// RunActionBatched is RunAction with statement batching enabled.
-//
-// Deprecated: use Open with WithBatching(true) and Session.Run.
-func (s *System) RunActionBatched(link Link, user UserContext, strategy Strategy, action Action, target int64) (*ActionResult, error) {
-	sess, err := s.Open(WithLink(link), WithUser(user), WithStrategy(strategy), WithBatching(true))
-	if err != nil {
-		return nil, err
-	}
-	return sess.Run(context.Background(), action, target)
-}
+// NewCache creates a structure cache bounded to the given number of
+// entries (a default bound when size <= 0), for sharing between
+// sessions via WithSharedCache. The cache is safe for concurrent use.
+func NewCache(size int) *Cache { return cache.New(size) }

@@ -27,7 +27,11 @@ func TestFacadeEndToEnd(t *testing.T) {
 	var visible [3]int
 	var seconds [3]float64
 	for i, strat := range []pdmtune.Strategy{pdmtune.LateEval, pdmtune.EarlyEval, pdmtune.Recursive} {
-		res, err := sys.RunAction(link, user, strat, pdmtune.MLE, prod.RootID)
+		sess, err := sys.Open(pdmtune.WithLink(link), pdmtune.WithUser(user), pdmtune.WithStrategy(strat))
+		if err != nil {
+			t.Fatalf("strategy %v: %v", strat, err)
+		}
+		res, err := sess.Run(context.Background(), pdmtune.MLE, prod.RootID)
 		if err != nil {
 			t.Fatalf("strategy %v: %v", strat, err)
 		}
@@ -50,14 +54,24 @@ func TestFacadeQueryAndExpand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, err := sys.RunAction(pdmtune.LAN(), pdmtune.DefaultUser("u"), pdmtune.EarlyEval, pdmtune.Query, prod.Config.ProdID)
+	early, err := sys.Open(pdmtune.WithLink(pdmtune.LAN()), pdmtune.WithUser(pdmtune.DefaultUser("u")),
+		pdmtune.WithStrategy(pdmtune.EarlyEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := early.Run(context.Background(), pdmtune.Query, prod.Config.ProdID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if q.Visible != prod.AllNodes()+1 { // σ=1: everything incl. root
 		t.Fatalf("query visible = %d, want %d", q.Visible, prod.AllNodes()+1)
 	}
-	e, err := sys.RunAction(pdmtune.LAN(), pdmtune.DefaultUser("u"), pdmtune.LateEval, pdmtune.Expand, prod.RootID)
+	late, err := sys.Open(pdmtune.WithLink(pdmtune.LAN()), pdmtune.WithUser(pdmtune.DefaultUser("u")),
+		pdmtune.WithStrategy(pdmtune.LateEval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := late.Run(context.Background(), pdmtune.Expand, prod.RootID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +85,12 @@ func TestFacadePaperExample(t *testing.T) {
 	if err := sys.LoadPaperExample(); err != nil {
 		t.Fatal(err)
 	}
-	client, meter := sys.Connect(pdmtune.Intercontinental(), pdmtune.DefaultUser("scott"), pdmtune.Recursive)
+	sess, err := sys.Open(pdmtune.WithLink(pdmtune.Intercontinental()),
+		pdmtune.WithUser(pdmtune.DefaultUser("scott")), pdmtune.WithStrategy(pdmtune.Recursive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := sess.Client()
 	res, err := client.MultiLevelExpand(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -79,8 +98,8 @@ func TestFacadePaperExample(t *testing.T) {
 	if res.Visible != 8 {
 		t.Fatalf("paper example MLE visible = %d, want 8", res.Visible)
 	}
-	if meter.Metrics.RoundTrips != 1 {
-		t.Fatalf("recursive MLE round trips = %d, want 1", meter.Metrics.RoundTrips)
+	if sess.Metrics().RoundTrips != 1 {
+		t.Fatalf("recursive MLE round trips = %d, want 1", sess.Metrics().RoundTrips)
 	}
 	// Check-out via procedure works through the facade too.
 	co, err := client.CheckOutViaProcedure(context.Background(), 1)

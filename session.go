@@ -35,6 +35,9 @@ type sessionConfig struct {
 	transport Transport
 	meter     *Meter
 	rules     *RuleTable
+	cache     *Cache
+	cacheOn   bool
+	cacheSize int
 }
 
 // Option configures a Session opened with System.Open.
@@ -79,6 +82,38 @@ func WithBatching(on bool) Option {
 // repetition ships a few dozen bytes of handle + parameters.
 func WithPreparedStatements(on bool) Option {
 	return func(c *sessionConfig) error { c.prepared = on; return nil }
+}
+
+// WithCache gives the session a private structure cache bounded to
+// size entries (NewCache(size) under the hood): fetched expand pages
+// and recursive trees are kept at the client, stamped with the
+// server's per-object version counters, and a repeated Expand/MLE
+// revalidates the whole cached tree in one small TypeValidate round
+// trip instead of re-fetching it. The session's own check-out/
+// check-in actions invalidate affected entries locally. A size <= 0
+// selects the default bound. The bound counts structure entries only
+// (type lookups live in their own bounded store). WithCache and
+// WithSharedCache are mutually exclusive; as with every functional
+// option, the last one given wins.
+func WithCache(size int) Option {
+	return func(c *sessionConfig) error { c.cacheOn = true; c.cacheSize = size; c.cache = nil; return nil }
+}
+
+// WithSharedCache attaches an existing structure cache, so many
+// sessions (one per goroutine, as usual) share warm entries and each
+// other's write invalidations. Entries are keyed by system, user,
+// rules and strategy in addition to the object, so sessions can never
+// see results their own rules (or another system's database) would
+// not produce. Overrides any earlier WithCache, and vice versa.
+func WithSharedCache(cache *Cache) Option {
+	return func(c *sessionConfig) error {
+		if cache == nil {
+			return fmt.Errorf("pdmtune: WithSharedCache requires a non-nil cache")
+		}
+		c.cache = cache
+		c.cacheOn = false
+		return nil
+	}
 }
 
 // WithTransport substitutes a custom transport for the in-process
@@ -171,6 +206,12 @@ func (s *System) Open(opts ...Option) (*Session, error) {
 	client := core.NewClient(transport, meter, cfg.rules, cfg.user, cfg.strategy)
 	client.SetBatching(cfg.batching)
 	client.SetPrepared(cfg.prepared)
+	if cfg.cache == nil && cfg.cacheOn {
+		cfg.cache = NewCache(cfg.cacheSize)
+	}
+	if cfg.cache != nil {
+		client.SetCache(cfg.cache, s.id)
+	}
 	return &Session{client: client, meter: meter}, nil
 }
 
@@ -180,6 +221,10 @@ func (s *Session) Client() *Client { return s.client }
 // Meter returns the session's WAN meter (nil for unmetered custom
 // transports).
 func (s *Session) Meter() *Meter { return s.meter }
+
+// Cache returns the session's structure cache (nil when the session
+// was opened without WithCache/WithSharedCache).
+func (s *Session) Cache() *Cache { return s.client.Cache() }
 
 // Metrics returns the WAN metrics accumulated so far (zero when the
 // session has no meter).
