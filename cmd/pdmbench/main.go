@@ -12,11 +12,13 @@
 //	pdmbench -batch           # batched vs unbatched wire protocol (round trips saved)
 //	pdmbench -prepared        # prepared statements vs SQL text (request bytes saved)
 //	pdmbench -cache           # structure cache: cold vs warm vs post-write MLE
+//	pdmbench -compress        # columnar v2 results + deflate vs the v1 row-major wire
 //	pdmbench -checkout        # Section 6: check-out round-trip comparison
 //	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
 //	pdmbench -json            # machine-readable metrics for all scenarios (stdout;
-//	                          # exclusive — other mode flags are ignored so the
-//	                          # output stays pure JSON)
+//	                          # display modes are ignored so the output stays pure
+//	                          # JSON; combine with -compress to add the negotiated
+//	                          # columnar+deflate configurations to the record set)
 //	pdmbench -all             # everything
 package main
 
@@ -39,6 +41,7 @@ func main() {
 	batch := flag.Bool("batch", false, "compare batched vs unbatched statement execution")
 	prepared := flag.Bool("prepared", false, "compare prepared statements vs SQL text")
 	cacheCmp := flag.Bool("cache", false, "compare cold vs warm structure-cache runs")
+	compress := flag.Bool("compress", false, "compare columnar+deflate vs v1 row-major results")
 	checkout := flag.Bool("checkout", false, "compare check-out implementations (Section 6)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
 	jsonOut := flag.Bool("json", false, "emit machine-readable simulation metrics as JSON")
@@ -46,10 +49,10 @@ func main() {
 	flag.Parse()
 
 	if *jsonOut {
-		runJSON()
+		runJSON(*compress)
 		return
 	}
-	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *cacheCmp || *checkout || *ablate
+	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *cacheCmp || *compress || *checkout || *ablate
 	if *all || !any {
 		printTable(2)
 		printTable(3)
@@ -74,6 +77,9 @@ func main() {
 	}
 	if *cacheCmp || *all {
 		runCacheComparison()
+	}
+	if *compress || *all {
+		runCompressComparison()
 	}
 	if *checkout || *all {
 		runCheckout()
@@ -324,20 +330,72 @@ func runBatchComparison() {
 	fmt.Println()
 }
 
-// runMLE opens a session in the given wire configuration and runs one
-// multi-level expand.
-func runMLE(sys *pdmtune.System, root int64, link pdmtune.Link, strat pdmtune.Strategy, batched, prepared bool) (*pdmtune.ActionResult, error) {
-	sess, err := sys.Open(
+// runMLE opens a session in the given wire configuration (plus any
+// extra options) and runs one multi-level expand.
+func runMLE(sys *pdmtune.System, root int64, link pdmtune.Link, strat pdmtune.Strategy, batched, prepared bool, extra ...pdmtune.Option) (*pdmtune.ActionResult, error) {
+	opts := []pdmtune.Option{
 		pdmtune.WithLink(link),
 		pdmtune.WithUser(pdmtune.DefaultUser("sim")),
 		pdmtune.WithStrategy(strat),
 		pdmtune.WithBatching(batched),
 		pdmtune.WithPreparedStatements(prepared),
-	)
+	}
+	sess, err := sys.Open(append(opts, extra...)...)
 	if err != nil {
 		return nil, err
 	}
 	return sess.MultiLevelExpand(context.Background(), root)
+}
+
+// ---------------------------------------------------------------------------
+// Columnar + compressed results vs the v1 row-major wire
+
+func runCompressComparison() {
+	fmt.Println("Columnar v2 results + negotiated deflate — the cold-path response volume")
+	fmt.Println("lever: each column is encoded once (dictionary strings, delta-varint ids,")
+	fmt.Println("null bitmaps) and bodies above the adaptive threshold are deflated. Decoded")
+	fmt.Println("trees are identical by construction; the compressed model estimate (measured")
+	fmt.Println("ratio) is in parentheses. (Batched early eval and recursive, 256 kbit/s / 150 ms.)")
+	fmt.Println()
+	net := costmodel.PaperNetworks()[0]
+	link := pdmtune.LinkOf(net)
+	for scenIdx, scen := range costmodel.PaperScenarios() {
+		fmt.Printf("Scenario %s\n", scen.Name)
+		sys := pdmtune.NewSystem(nil)
+		prod, err := loadScenario(sys, scen, int64(scenIdx+1))
+		if err != nil {
+			fail(err)
+		}
+		for _, strat := range []pdmtune.Strategy{pdmtune.EarlyEval, pdmtune.Recursive} {
+			batched := strat != pdmtune.Recursive
+			plain, err := runMLE(sys, prod.RootID, link, strat, batched, false)
+			if err != nil {
+				fail(err)
+			}
+			z, err := runMLE(sys, prod.RootID, link, strat, batched, false,
+				pdmtune.WithColumnarResults(true), pdmtune.WithCompression(true))
+			if err != nil {
+				fail(err)
+			}
+			if z.Visible != plain.Visible {
+				fail(fmt.Errorf("compressed client sees %d nodes, plain %d", z.Visible, plain.Visible))
+			}
+			// The model's ratio parameter is the total v1-to-wire shrink
+			// (columnar + deflate), which is exactly the measured charged
+			// response-volume ratio.
+			ratio := 0.0
+			if z.Metrics.ResponseBytes > 0 {
+				ratio = plain.Metrics.ResponseBytes / z.Metrics.ResponseBytes
+			}
+			model := costmodel.Model{Net: net, Tree: scen}.PredictCompressed(
+				costmodel.MLE, costmodel.Strategy(strat), ratio)
+			fmt.Printf("  %-10s resp %8.0f KiB -> %6.0f KiB (%5.1fx, %d frames deflated)  T %8.2fs -> %7.2fs (%7.2fs)\n",
+				strat.String(), plain.Metrics.ResponseBytes/1024, z.Metrics.ResponseBytes/1024,
+				ratio, z.Metrics.CompressedFrames,
+				plain.Metrics.TotalSec(), z.Metrics.TotalSec(), model.TotalSec)
+		}
+	}
+	fmt.Println()
 }
 
 // ---------------------------------------------------------------------------
@@ -458,6 +516,8 @@ type jsonRecord struct {
 	Prepared           bool    `json:"prepared"`
 	Cached             bool    `json:"cached"`
 	Warm               bool    `json:"warm"`
+	Columnar           bool    `json:"columnar"`
+	Compressed         bool    `json:"compressed"`
 	Visible            int     `json:"visible"`
 	RoundTrips         int     `json:"round_trips"`
 	Statements         int     `json:"statements"`
@@ -466,15 +526,17 @@ type jsonRecord struct {
 	CacheMisses        int     `json:"cache_misses"`
 	ValidateRoundTrips int     `json:"validate_round_trips"`
 	SavedRoundTrips    int     `json:"saved_round_trips"`
+	CompressedFrames   int     `json:"compressed_frames"`
 	RequestBytes       float64 `json:"request_bytes"`
 	ResponseBytes      float64 `json:"response_bytes"`
 	SavedRequestBytes  float64 `json:"saved_request_bytes"`
+	ResponseBytesSaved float64 `json:"response_bytes_saved"`
 	SimulatedSec       float64 `json:"simulated_sec"`
 }
 
 // record converts one measured action result into a jsonRecord.
 func record(scen costmodel.Tree, strat pdmtune.Strategy, res *pdmtune.ActionResult,
-	batched, prepared, cached, warm bool) jsonRecord {
+	batched, prepared, cached, warm, columnar, compressed bool) jsonRecord {
 	return jsonRecord{
 		Scenario:           scen.Name,
 		Action:             pdmtune.MLE.String(),
@@ -483,6 +545,10 @@ func record(scen costmodel.Tree, strat pdmtune.Strategy, res *pdmtune.ActionResu
 		Prepared:           prepared,
 		Cached:             cached,
 		Warm:               warm,
+		Columnar:           columnar,
+		Compressed:         compressed,
+		CompressedFrames:   res.Metrics.CompressedFrames,
+		ResponseBytesSaved: res.Metrics.ResponseBytesSaved,
 		Visible:            res.Visible,
 		RoundTrips:         res.Metrics.RoundTrips,
 		Statements:         res.Metrics.Statements,
@@ -500,7 +566,9 @@ func record(scen costmodel.Tree, strat pdmtune.Strategy, res *pdmtune.ActionResu
 
 // runJSON measures every strategy and wire mode on the paper's MLE
 // workload (first network profile) and emits one JSON array on stdout.
-func runJSON() {
+// withCompressed additionally measures each strategy through the
+// negotiated columnar+deflate encodings.
+func runJSON(withCompressed bool) {
 	link := pdmtune.LinkOf(costmodel.PaperNetworks()[0])
 	var records []jsonRecord
 	for scenIdx, scen := range costmodel.PaperScenarios() {
@@ -519,7 +587,16 @@ func runJSON() {
 				if err != nil {
 					fail(err)
 				}
-				records = append(records, record(scen, strat, res, m[0], m[1], false, false))
+				records = append(records, record(scen, strat, res, m[0], m[1], false, false, false, false))
+			}
+			if withCompressed {
+				batched := strat != pdmtune.Recursive
+				res, err := runMLE(sys, prod.RootID, link, strat, batched, false,
+					pdmtune.WithColumnarResults(true), pdmtune.WithCompression(true))
+				if err != nil {
+					fail(err)
+				}
+				records = append(records, record(scen, strat, res, batched, false, false, false, true, true))
 			}
 			// Cached pair: the same session runs the MLE cold (fills the
 			// cache) and warm (one validate round trip).
@@ -543,8 +620,8 @@ func runJSON() {
 				fail(err)
 			}
 			records = append(records,
-				record(scen, strat, cold, batched, false, true, false),
-				record(scen, strat, warm, batched, false, true, true))
+				record(scen, strat, cold, batched, false, true, false, false, false),
+				record(scen, strat, warm, batched, false, true, true, false, false))
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)

@@ -43,6 +43,9 @@ func main() {
 				pdmtune.WithBatching(true), pdmtune.WithPreparedStatements(true)}},
 		{"São Paulo via WAN, early eval + recursive SQL",
 			[]pdmtune.Option{pdmtune.WithLink(pdmtune.Intercontinental()), pdmtune.WithStrategy(pdmtune.Recursive)}},
+		{"São Paulo via WAN, recursive + columnar + deflate",
+			[]pdmtune.Option{pdmtune.WithLink(pdmtune.Intercontinental()), pdmtune.WithStrategy(pdmtune.Recursive),
+				pdmtune.WithColumnarResults(true), pdmtune.WithCompression(true)}},
 	}
 	fmt.Println("multi-level expand of the complete product structure:")
 	var base float64

@@ -123,6 +123,23 @@ func (c *Client) SetPrepared(on bool) { c.prepared = on }
 // Prepared reports whether prepared-statement execution is enabled.
 func (c *Client) Prepared() bool { return c.prepared }
 
+// NegotiateWire performs the connection's capability handshake:
+// columnar v2 result frames and/or whole-body response compression
+// (threshold <= 0 selects the wire default). One round trip at session
+// open; the decoded trees of every action are identical either way —
+// the negotiated encodings change only what crosses the WAN, which is
+// what the meter reports. A no-capability call is free.
+func (c *Client) NegotiateWire(ctx context.Context, columnar, compress bool, threshold int) (wire.Caps, error) {
+	if !columnar && !compress {
+		return wire.Caps{}, nil
+	}
+	return c.sql.Negotiate(ctx, wire.Caps{
+		Columnar:          columnar,
+		Compress:          compress,
+		CompressThreshold: threshold,
+	})
+}
+
 // SetCache layers the structure cache over the client's read path:
 // fetched expand pages and recursive trees are kept (version-stamped)
 // in the store, warm actions revalidate them in one wire exchange

@@ -1,0 +1,50 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictCompressed(t *testing.T) {
+	m := Model{Net: PaperNetworks()[0], Tree: PaperScenarios()[2]} // δ=7, β=5 at 256 kbit/s
+
+	batched := m.PredictBatched(MLE, EarlyEval)
+	for _, ratio := range []float64{0, 0.5, 1} {
+		got := m.PredictCompressed(MLE, EarlyEval, ratio)
+		if got != batched {
+			t.Errorf("ratio %v must equal the batched estimate", ratio)
+		}
+	}
+
+	z := m.PredictCompressed(MLE, EarlyEval, 10)
+	if z.LatencySec != batched.LatencySec || z.Communications != batched.Communications {
+		t.Error("compression must not change latency or round trips")
+	}
+	if z.VolumeBytes >= batched.VolumeBytes || z.TotalSec >= batched.TotalSec {
+		t.Errorf("ratio 10: volume %.0f / T %.2f not below batched %.0f / %.2f",
+			z.VolumeBytes, z.TotalSec, batched.VolumeBytes, batched.TotalSec)
+	}
+	// The node-record share shrinks to 1/ratio exactly.
+	wantVol := batched.VolumeBytes - batched.TransmittedNodes*DefaultNodeBytes*(1-1.0/10)
+	if math.Abs(z.VolumeBytes-wantVol) > 1e-6 {
+		t.Errorf("volume = %.2f, want %.2f", z.VolumeBytes, wantVol)
+	}
+
+	// Monotone in the ratio.
+	prev := batched.TotalSec
+	for _, ratio := range []float64{2, 5, 10, 50} {
+		cur := m.PredictCompressed(MLE, EarlyEval, ratio).TotalSec
+		if cur >= prev {
+			t.Errorf("ratio %v: T %.2f not below previous %.2f", ratio, cur, prev)
+		}
+		prev = cur
+	}
+
+	// Non-MLE actions and the recursive strategy ride on PredictBatched's
+	// fallthrough but still shrink their node volume.
+	rec := m.PredictCompressed(MLE, Recursive, 10)
+	recBase := m.Predict(MLE, Recursive)
+	if rec.TotalSec >= recBase.TotalSec {
+		t.Errorf("recursive compressed %.2f not below plain %.2f", rec.TotalSec, recBase.TotalSec)
+	}
+}

@@ -331,6 +331,32 @@ func (m Model) PredictBatchedPrepared(a Action, s Strategy) Estimate {
 	return est
 }
 
+// DefaultCompressionRatio is the response-volume ratio measured for the
+// columnar v2 encoding plus deflate on the paper's node rows (repeating
+// type/state strings, near-monotone ids): the cold-path node records
+// shrink by roughly an order of magnitude.
+const DefaultCompressionRatio = 10
+
+// PredictCompressed computes the estimate for an action whose response
+// node volume is compressed by the given ratio — the columnar v2
+// encoding plus negotiated deflate of the wire layer. It rides on
+// PredictBatched: request traffic (statement text, packetized exactly
+// as before) and latency are untouched; only the transferred node
+// records shrink to 1/ratio of their row-major size. A ratio <= 1
+// models a session that did not negotiate compression and returns the
+// batched estimate unchanged.
+func (m Model) PredictCompressed(a Action, s Strategy, ratio float64) Estimate {
+	est := m.PredictBatched(a, s)
+	if ratio <= 1 {
+		return est
+	}
+	nodeVolume := est.TransmittedNodes * m.nodeBytes()
+	est.VolumeBytes -= nodeVolume * (1 - 1/ratio)
+	est.TransferSec = est.VolumeBytes * 8 / (m.Net.RateKbps * 1024)
+	est.TotalSec = est.LatencySec + est.TransferSec
+	return est
+}
+
 // DefaultValidateEntryBytes is the wire size of one validate entry:
 // an 8-byte object id plus its 8-byte fetch-time version stamp.
 const DefaultValidateEntryBytes = 16

@@ -54,3 +54,21 @@ func TestRoundTripFramesPreparedAccounting(t *testing.T) {
 		t.Errorf("Sub: execs=%d saved=%.0f, want 3/500", d.PreparedExecs, d.SavedRequestBytes)
 	}
 }
+
+func TestCountCompressionAccounting(t *testing.T) {
+	m := NewMeter(Intercontinental())
+	m.RoundTrip(100, 400) // charged post-compression by the transport
+	m.CountCompression(1, 3600)
+	m.RoundTrip(100, 50) // below threshold: no compression
+	if m.Metrics.CompressedFrames != 1 {
+		t.Errorf("CompressedFrames = %d, want 1", m.Metrics.CompressedFrames)
+	}
+	if m.Metrics.ResponseBytesSaved != 3600 {
+		t.Errorf("ResponseBytesSaved = %.0f, want 3600", m.Metrics.ResponseBytesSaved)
+	}
+	// Sub carries the new fields.
+	d := m.Metrics.Sub(Metrics{CompressedFrames: 1, ResponseBytesSaved: 600})
+	if d.CompressedFrames != 0 || d.ResponseBytesSaved != 3000 {
+		t.Errorf("Sub: frames=%d saved=%.0f, want 0/3000", d.CompressedFrames, d.ResponseBytesSaved)
+	}
+}

@@ -120,10 +120,19 @@ type Metrics struct {
 	// avoided re-shipping — the payload reduction before packetization,
 	// reported by the transport alongside the charged request bytes.
 	SavedRequestBytes float64
-	RequestBytes      float64 // charged volume client→server
-	ResponseBytes     float64 // charged volume server→client
-	LatencySec        float64
-	TransferSec       float64
+	// CompressedFrames counts response frames that arrived in the
+	// negotiated deflate wrapper (bodies below the adaptive threshold
+	// travel uncompressed and are not counted).
+	CompressedFrames int
+	// ResponseBytesSaved is the payload volume response compression
+	// avoided shipping: the sum over compressed frames of original
+	// body size minus compressed body size, before packetization. The
+	// charged ResponseBytes are already post-compression.
+	ResponseBytesSaved float64
+	RequestBytes       float64 // charged volume client→server
+	ResponseBytes      float64 // charged volume server→client
+	LatencySec         float64
+	TransferSec        float64
 }
 
 // TotalSec is the simulated response time accumulated so far.
@@ -142,6 +151,8 @@ func (m Metrics) Sub(b Metrics) Metrics {
 		Batches:            m.Batches - b.Batches,
 		PreparedExecs:      m.PreparedExecs - b.PreparedExecs,
 		SavedRoundTrips:    m.SavedRoundTrips - b.SavedRoundTrips,
+		CompressedFrames:   m.CompressedFrames - b.CompressedFrames,
+		ResponseBytesSaved: m.ResponseBytesSaved - b.ResponseBytesSaved,
 		CacheHits:          m.CacheHits - b.CacheHits,
 		CacheMisses:        m.CacheMisses - b.CacheMisses,
 		ValidateRoundTrips: m.ValidateRoundTrips - b.ValidateRoundTrips,
@@ -217,6 +228,15 @@ func (m *Meter) RoundTripValidate(requestPayload, responsePayload int) {
 	m.Metrics.ResponseBytes += down
 	m.Metrics.LatencySec += 2 * m.Link.LatencySec
 	m.Metrics.TransferSec += m.Link.TransferSec(up) + m.Link.TransferSec(down)
+}
+
+// CountCompression records response frames that arrived deflated and
+// the payload bytes the compression saved. The round trip itself is
+// charged separately (with its post-compression sizes); this only
+// tracks the saving for reporting.
+func (m *Meter) CountCompression(frames int, savedBytes float64) {
+	m.Metrics.CompressedFrames += frames
+	m.Metrics.ResponseBytesSaved += savedBytes
 }
 
 // CountCache records structure-cache outcomes: hits served locally,

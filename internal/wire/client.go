@@ -47,12 +47,39 @@ func (c *Client) ExecPrepared(ctx context.Context, handle uint32, params ...type
 	return c.exec(ctx, &Request{Prepared: true, Handle: handle, Params: params})
 }
 
-func (c *Client) exec(ctx context.Context, req *Request) (*Response, error) {
-	body := EncodeExec(req)
+// roundTrip ships one encoded request and returns the response body
+// with any negotiated deflate wrapper already removed — decompression
+// happens after the transport (and its meter) saw the compressed size,
+// so the charged volume is the post-compression one.
+func (c *Client) roundTrip(ctx context.Context, body []byte) ([]byte, error) {
 	if err := CheckFrameSize(body); err != nil {
 		return nil, err
 	}
 	respBody, err := c.tr.RoundTrip(ctx, body)
+	if err != nil {
+		return nil, err
+	}
+	return MaybeDecompress(respBody)
+}
+
+// Negotiate performs the session-open capability handshake: the wanted
+// capabilities travel up, the server's accepted set comes back. A
+// server that predates the hello frame answers with an error frame;
+// that degrades gracefully to the zero capability set (v1 results,
+// no compression) instead of failing the session.
+func (c *Client) Negotiate(ctx context.Context, want Caps) (Caps, error) {
+	respBody, err := c.roundTrip(ctx, EncodeHello(want))
+	if err != nil {
+		return Caps{}, err
+	}
+	if len(respBody) > 0 && respBody[0] == TypeError {
+		return Caps{}, nil
+	}
+	return DecodeHelloResp(respBody)
+}
+
+func (c *Client) exec(ctx context.Context, req *Request) (*Response, error) {
+	respBody, err := c.roundTrip(ctx, EncodeExec(req))
 	if err != nil {
 		return nil, err
 	}
@@ -69,11 +96,7 @@ func (c *Client) exec(ctx context.Context, req *Request) (*Response, error) {
 // Prepare ships a statement's SQL text once and returns the server-side
 // handle for later ExecPrepared calls on this connection.
 func (c *Client) Prepare(ctx context.Context, sql string) (uint32, error) {
-	body := EncodePrepare(sql)
-	if err := CheckFrameSize(body); err != nil {
-		return 0, err
-	}
-	respBody, err := c.tr.RoundTrip(ctx, body)
+	respBody, err := c.roundTrip(ctx, EncodePrepare(sql))
 	if err != nil {
 		return 0, err
 	}
@@ -95,11 +118,7 @@ func (c *Client) Validate(ctx context.Context, checks []StaleCheck) ([]int64, er
 	if len(checks) == 0 {
 		return nil, nil
 	}
-	body := EncodeValidate(checks)
-	if err := CheckFrameSize(body); err != nil {
-		return nil, err
-	}
-	respBody, err := c.tr.RoundTrip(ctx, body)
+	respBody, err := c.roundTrip(ctx, EncodeValidate(checks))
 	if err != nil {
 		return nil, err
 	}
@@ -123,11 +142,7 @@ func (c *Client) ExecBatch(ctx context.Context, reqs []*Request) ([]*Response, e
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	body := EncodeBatch(reqs)
-	if err := CheckFrameSize(body); err != nil {
-		return nil, err
-	}
-	respBody, err := c.tr.RoundTrip(ctx, body)
+	respBody, err := c.roundTrip(ctx, EncodeBatch(reqs))
 	if err != nil {
 		return nil, err
 	}
@@ -182,23 +197,35 @@ type frameAccountant struct {
 
 func (fa *frameAccountant) account(request, response []byte) {
 	if fa.meter != nil {
-		if len(request) > 0 && request[0] == TypeValidate {
+		switch {
+		case len(request) > 0 && request[0] == TypeValidate:
 			// A validate exchange is a round trip but not a statement:
 			// it is the cache's revalidation cost, accounted apart.
 			fa.meter.RoundTripValidate(len(request)+frameOverhead, len(response)+frameOverhead)
-		} else {
+		case len(request) > 0 && request[0] == TypeHello:
+			// The capability handshake is a round trip carrying zero
+			// statements — the per-session price of negotiation.
+			fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead, 0, 0, 0)
+		default:
 			stats := ScanFrame(request, fa.sqlLen)
 			fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead,
 				stats.Statements, stats.PreparedExecs, stats.SavedRequestBytes)
 		}
+		// The response arrives (and is charged) post-compression; the
+		// recorded original size is what the deflate wrapper saved.
+		if orig, ok := CompressedOriginalSize(response); ok {
+			fa.meter.CountCompression(1, float64(orig-len(response)))
+		}
 	}
 	if len(request) > 0 && request[0] == TypePrepare {
-		if sql, err := DecodePrepare(request); err == nil {
-			if h, err := DecodePrepareResp(response); err == nil {
-				if fa.sqlLen == nil {
-					fa.sqlLen = map[uint32]int{}
+		if resp, err := MaybeDecompress(response); err == nil {
+			if sql, err := DecodePrepare(request); err == nil {
+				if h, err := DecodePrepareResp(resp); err == nil {
+					if fa.sqlLen == nil {
+						fa.sqlLen = map[uint32]int{}
+					}
+					fa.sqlLen[h] = len(sql)
 				}
-				fa.sqlLen[h] = len(sql)
 			}
 		}
 	}

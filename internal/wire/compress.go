@@ -1,0 +1,195 @@
+package wire
+
+// Whole-body frame compression and the session-open capability
+// handshake. Compression is negotiated once per connection (TypeHello /
+// TypeHelloResp) and then applied by the server to response bodies that
+// exceed a size threshold — the paper's WAN-vs-LAN tradeoff: on a
+// 256 kbit/s intercontinental link the deflate CPU is three orders of
+// magnitude cheaper than the transfer it avoids, while a LAN session
+// keeps small frames (and, below the threshold, all frames)
+// uncompressed. A wrapped frame records its original size, so the
+// meter can report the bytes saved without inflating anything.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DefaultCompressThreshold is the response-body size below which
+// compression is skipped: tiny frames (prepare acks, validate answers,
+// empty expands) cost more in deflate framing than they save.
+const DefaultCompressThreshold = 256
+
+// Caps are the negotiable connection capabilities.
+type Caps struct {
+	// Columnar selects the v2 columnar result encoding for every
+	// result-bearing response frame (Exec, Batch, Prepared, Validate
+	// refetch all included — the encoding rides below them).
+	Columnar bool
+	// Compress enables whole-body deflate of response frames above the
+	// threshold.
+	Compress bool
+	// CompressThreshold is the minimum response body size that gets
+	// compressed; 0 selects DefaultCompressThreshold.
+	CompressThreshold int
+}
+
+const (
+	capColumnar = 1 << 0
+	capCompress = 1 << 1
+)
+
+// EncodeHello serializes the client's capability announcement.
+func EncodeHello(caps Caps) []byte {
+	return encodeCaps(TypeHello, caps)
+}
+
+// EncodeHelloResp serializes the server's accepted capability set.
+func EncodeHelloResp(caps Caps) []byte {
+	return encodeCaps(TypeHelloResp, caps)
+}
+
+func encodeCaps(tag byte, caps Caps) []byte {
+	var flags byte
+	if caps.Columnar {
+		flags |= capColumnar
+	}
+	if caps.Compress {
+		flags |= capCompress
+	}
+	threshold := caps.CompressThreshold
+	if threshold < 0 {
+		// A negative threshold means "wire default" (0 on the wire); it
+		// must not wrap through the uint32 cast into a threshold so high
+		// it silently disables compression.
+		threshold = 0
+	}
+	if threshold > MaxFrameSize {
+		// Anything beyond the frame-size limit means "never compress";
+		// cap it there so the uint32 cast cannot truncate a huge value
+		// into a tiny threshold that compresses everything.
+		threshold = MaxFrameSize
+	}
+	b := []byte{tag, flags}
+	return appendUint32(b, uint32(threshold))
+}
+
+// DecodeHello parses a capability announcement frame body.
+func DecodeHello(b []byte) (Caps, error) { return decodeCaps(TypeHello, b) }
+
+// DecodeHelloResp parses the server's capability answer.
+func DecodeHelloResp(b []byte) (Caps, error) { return decodeCaps(TypeHelloResp, b) }
+
+func decodeCaps(tag byte, b []byte) (Caps, error) {
+	if len(b) < 1 || b[0] != tag {
+		return Caps{}, fmt.Errorf("wire: not a capability frame (tag %d)", tag)
+	}
+	flags := byte(0)
+	if len(b) >= 2 {
+		flags = b[1]
+	}
+	caps := Caps{
+		Columnar: flags&capColumnar != 0,
+		Compress: flags&capCompress != 0,
+	}
+	if len(b) >= 6 {
+		caps.CompressThreshold = int(binary.BigEndian.Uint32(b[2:6]))
+	}
+	return caps, nil
+}
+
+// ---------------------------------------------------------------------------
+// deflate body wrapper
+
+// CompressBody wraps a frame body in a TypeCompressed envelope when
+// that is worth it: bodies below the threshold — or that deflate fails
+// to shrink — are returned unchanged, so compression can only reduce
+// the charged volume, never inflate it. threshold <= 0 selects
+// DefaultCompressThreshold.
+// flateWriters recycles deflate writers (and their sizable window/hash
+// state) across response frames: a busy compression-negotiated server
+// hits this on every qualifying response body.
+var flateWriters = sync.Pool{
+	New: func() any {
+		w, _ := flate.NewWriter(io.Discard, flate.DefaultCompression)
+		return w
+	},
+}
+
+func CompressBody(body []byte, threshold int) []byte {
+	if threshold <= 0 {
+		threshold = DefaultCompressThreshold
+	}
+	if len(body) < threshold {
+		return body
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(TypeCompressed)
+	buf.Write(binary.AppendUvarint(nil, uint64(len(body))))
+	w := flateWriters.Get().(*flate.Writer)
+	w.Reset(&buf)
+	_, werr := w.Write(body)
+	cerr := w.Close()
+	flateWriters.Put(w)
+	if werr != nil || cerr != nil {
+		return body
+	}
+	if buf.Len() >= len(body) {
+		return body
+	}
+	return buf.Bytes()
+}
+
+// CompressedOriginalSize reports the pre-compression body size of a
+// TypeCompressed frame (and whether the body is one at all) without
+// inflating it — the meter's view of the bytes compression saved.
+func CompressedOriginalSize(body []byte) (int, bool) {
+	if len(body) < 2 || body[0] != TypeCompressed {
+		return 0, false
+	}
+	orig, n := binary.Uvarint(body[1:])
+	if n <= 0 || orig > MaxFrameSize {
+		return 0, false
+	}
+	return int(orig), true
+}
+
+// MaybeDecompress inflates a TypeCompressed frame body back to the
+// frame it wraps; any other body passes through unchanged. The recorded
+// original size bounds the inflation, so a corrupt or hostile frame
+// cannot balloon past MaxFrameSize.
+func MaybeDecompress(body []byte) ([]byte, error) {
+	if len(body) < 1 || body[0] != TypeCompressed {
+		return body, nil
+	}
+	rest := body[1:]
+	orig, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if orig > MaxFrameSize {
+		return nil, &FrameTooLargeError{Size: int(orig)}
+	}
+	rest = rest[n:]
+	r := flate.NewReader(bytes.NewReader(rest))
+	defer r.Close()
+	// The recorded size is attacker-controlled: cap the up-front
+	// allocation and let the buffer grow with the bytes that actually
+	// inflate, so a tiny frame claiming 1 GB cannot OOM the client.
+	capHint := orig
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	buf := bytes.NewBuffer(make([]byte, 0, capHint))
+	if _, err := io.Copy(buf, io.LimitReader(r, int64(orig)+1)); err != nil {
+		return nil, fmt.Errorf("wire: inflate: %w", err)
+	}
+	if uint64(buf.Len()) != orig {
+		return nil, fmt.Errorf("wire: compressed frame inflates to %d bytes, header says %d", buf.Len(), orig)
+	}
+	return buf.Bytes(), nil
+}

@@ -36,6 +36,28 @@ type ServerConn struct {
 
 	stmts      map[uint32]ast.Statement
 	nextHandle uint32
+
+	// caps are the capabilities negotiated by the connection's hello
+	// exchange; the zero value — no columnar results, no compression —
+	// keeps the pre-negotiation wire format byte for byte.
+	caps Caps
+
+	// MaxResponseBytes optionally lowers the response-frame size limit
+	// (0 means MaxFrameSize). A response exceeding it is replaced by a
+	// structured TypeError frame carrying the FrameTooLargeError
+	// message, so the client gets a diagnostic instead of a dead
+	// connection.
+	MaxResponseBytes int
+}
+
+// Caps reports the capabilities negotiated on this connection.
+func (c *ServerConn) Caps() Caps { return c.caps }
+
+func (c *ServerConn) responseLimit() int {
+	if c.MaxResponseBytes > 0 {
+		return c.MaxResponseBytes
+	}
+	return MaxFrameSize
 }
 
 // Handle executes one encoded request and returns the encoded response.
@@ -43,8 +65,14 @@ type ServerConn struct {
 // travel to the client as error frames. Batch frames execute every
 // statement in order inside this single round trip and stop at the
 // first error, so one bad statement cannot kill a connection serving a
-// batch.
+// batch. The response leaves in the connection's negotiated encoding:
+// columnar result frames and/or a whole-body deflate wrapper when the
+// hello exchange enabled them.
 func (c *ServerConn) Handle(reqBody []byte) []byte {
+	return c.finish(c.dispatch(reqBody))
+}
+
+func (c *ServerConn) dispatch(reqBody []byte) []byte {
 	if len(reqBody) > 0 {
 		switch reqBody[0] {
 		case TypeBatch:
@@ -56,16 +84,59 @@ func (c *ServerConn) Handle(reqBody []byte) []byte {
 			if err != nil {
 				return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)})
 			}
-			return EncodeResponse(c.execOne(req))
+			return c.encodeResult(c.execOne(req))
 		case TypeValidate:
 			return c.handleValidate(reqBody)
+		case TypeHello:
+			return c.handleHello(reqBody)
 		}
 	}
 	req, err := DecodeRequest(reqBody)
 	if err != nil {
 		return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)})
 	}
-	return EncodeResponse(c.execOne(req))
+	return c.encodeResult(c.execOne(req))
+}
+
+// encodeResult serializes one statement response in the negotiated
+// result encoding.
+func (c *ServerConn) encodeResult(resp *Response) []byte {
+	return EncodeResponseWith(resp, c.caps.Columnar)
+}
+
+// finish applies the connection's post-encoding response stages:
+// deflate (when negotiated and the body clears the adaptive threshold)
+// and the frame-size limit. The size check runs after compression —
+// a body only the compressed form fits under the limit is fine to send.
+func (c *ServerConn) finish(body []byte) []byte {
+	if c.caps.Compress {
+		body = CompressBody(body, c.caps.CompressThreshold)
+	}
+	if limit := c.responseLimit(); len(body) > limit {
+		return EncodeResponse(&Response{
+			Err: (&FrameTooLargeError{Size: len(body), Limit: limit}).Error(),
+		})
+	}
+	return body
+}
+
+// handleHello negotiates connection capabilities: this server supports
+// both columnar results and compression, so it accepts exactly what the
+// client asks for and echoes the accepted set back.
+func (c *ServerConn) handleHello(reqBody []byte) []byte {
+	caps, err := DecodeHello(reqBody)
+	if err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad hello: %v", err)})
+	}
+	if caps.CompressThreshold <= 0 {
+		caps.CompressThreshold = DefaultCompressThreshold
+	} else if caps.CompressThreshold > MaxFrameSize {
+		// Beyond the frame-size limit means "never compress" — keep that
+		// intent rather than silently reverting to the default.
+		caps.CompressThreshold = MaxFrameSize
+	}
+	c.caps = caps
+	return EncodeHelloResp(caps)
 }
 
 // handlePrepare parses the statement once and stores it under a fresh
@@ -122,7 +193,7 @@ func (c *ServerConn) handleBatch(reqBody []byte) []byte {
 			break
 		}
 	}
-	return EncodeBatchResponse(resps)
+	return EncodeBatchResponseWith(resps, c.caps.Columnar)
 }
 
 // execOne runs a single statement — SQL text or a prepared handle — in

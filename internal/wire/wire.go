@@ -28,7 +28,16 @@ const (
 	TypeExecPrepared = 0x08
 	TypeValidate     = 0x09
 	TypeValidateResp = 0x0a
-	MaxFrameSize     = 1 << 30
+	// TypeResultV2 is the columnar result encoding (see columnar.go).
+	TypeResultV2 = 0x0b
+	// TypeHello / TypeHelloResp negotiate connection capabilities —
+	// columnar results and response compression — at session open.
+	TypeHello     = 0x0c
+	TypeHelloResp = 0x0d
+	// TypeCompressed wraps any response frame body in a whole-body
+	// deflate envelope (see compress.go).
+	TypeCompressed = 0x0e
+	MaxFrameSize   = 1 << 30
 )
 
 // FrameTooLargeError reports an attempt to emit a frame exceeding
@@ -37,10 +46,17 @@ const (
 // reach the wire, mirroring the decode-side check in ReadFrame.
 type FrameTooLargeError struct {
 	Size int
+	// Limit is the bound that was exceeded; 0 means MaxFrameSize (the
+	// server's Serve loop can enforce a lower MaxResponseBytes).
+	Limit int
 }
 
 func (e *FrameTooLargeError) Error() string {
-	return fmt.Sprintf("wire: frame of %d bytes exceeds the %d byte limit", e.Size, MaxFrameSize)
+	limit := e.Limit
+	if limit <= 0 {
+		limit = MaxFrameSize
+	}
+	return fmt.Sprintf("wire: frame of %d bytes exceeds the %d byte limit", e.Size, limit)
 }
 
 // CheckFrameSize validates an encoded frame body against MaxFrameSize.
@@ -259,6 +275,8 @@ func DecodeResponse(b []byte) (*Response, error) {
 			return nil, err
 		}
 		return &Response{Err: msg}, nil
+	case TypeResultV2:
+		return decodeResponseV2(b)
 	case TypeResult:
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", b[0])

@@ -27,17 +27,21 @@ func MeteredTransport(inner Transport, meter *Meter) Transport { return wire.Met
 
 // sessionConfig collects the functional options of System.Open.
 type sessionConfig struct {
-	link      Link
-	user      UserContext
-	strategy  Strategy
-	batching  bool
-	prepared  bool
-	transport Transport
-	meter     *Meter
-	rules     *RuleTable
-	cache     *Cache
-	cacheOn   bool
-	cacheSize int
+	link              Link
+	user              UserContext
+	strategy          Strategy
+	batching          bool
+	prepared          bool
+	transport         Transport
+	meter             *Meter
+	rules             *RuleTable
+	cache             *Cache
+	cacheOn           bool
+	cacheSize         int
+	columnar          bool
+	compress          bool
+	compressThreshold int
+	openCtx           context.Context
 }
 
 // Option configures a Session opened with System.Open.
@@ -82,6 +86,53 @@ func WithBatching(on bool) Option {
 // repetition ships a few dozen bytes of handle + parameters.
 func WithPreparedStatements(on bool) Option {
 	return func(c *sessionConfig) error { c.prepared = on; return nil }
+}
+
+// WithColumnarResults negotiates the columnar v2 result encoding at
+// session open: every result-bearing response frame (plain Exec, batch
+// sub-frames, prepared executions, cache-refetch results) encodes each
+// column once — dictionary-encoded repeated strings, varint-delta ids,
+// a null bitmap instead of per-value tags. Decoded trees are identical
+// to the v1 row-major path; only the response volume the meter charges
+// shrinks. Off by default: an un-negotiated session costs exactly what
+// it did before.
+func WithColumnarResults(on bool) Option {
+	return func(c *sessionConfig) error { c.columnar = on; return nil }
+}
+
+// WithCompression negotiates whole-body deflate of response frames at
+// session open. The server applies it adaptively: only bodies above a
+// size threshold are compressed (and only when deflate actually shrinks
+// them), so a LAN session does not pay CPU for tiny frames while a
+// 256 kbit/s WAN session's cold multi-level expand ships a fraction of
+// its row volume. Combine with WithColumnarResults for the full
+// cold-path reduction. Off by default.
+func WithCompression(on bool) Option {
+	return func(c *sessionConfig) error { c.compress = on; return nil }
+}
+
+// WithCompressionThreshold sets the minimum response body size (bytes)
+// the server compresses for this session; n <= 0 keeps the wire
+// default. Implies nothing by itself — compression still needs
+// WithCompression(true).
+func WithCompressionThreshold(n int) Option {
+	return func(c *sessionConfig) error { c.compressThreshold = n; return nil }
+}
+
+// WithOpenContext bounds the wire exchanges Open itself performs (the
+// capability negotiation of WithColumnarResults/WithCompression) by
+// the given context, so opening a session over a stalled real
+// transport can be cancelled or given a deadline. Default:
+// context.Background() — fine for the in-process simulation, which
+// cannot block.
+func WithOpenContext(ctx context.Context) Option {
+	return func(c *sessionConfig) error {
+		if ctx == nil {
+			return fmt.Errorf("pdmtune: WithOpenContext requires a non-nil context")
+		}
+		c.openCtx = ctx
+		return nil
+	}
 }
 
 // WithCache gives the session a private structure cache bounded to
@@ -165,6 +216,18 @@ func WithRules(rt *RuleTable) Option {
 type Session struct {
 	client *Client
 	meter  *Meter
+	caps   WireCaps
+}
+
+// WireCaps are the wire capabilities a session actually negotiated —
+// the server's accepted set, not the requested one. A session opened
+// with WithCompression(true) against a server that predates the hello
+// frame degrades gracefully to v1/uncompressed; this is where that
+// downgrade becomes observable.
+type WireCaps struct {
+	ColumnarResults   bool
+	Compression       bool
+	CompressThreshold int
 }
 
 // Open starts a client session against the system. The zero
@@ -212,7 +275,26 @@ func (s *System) Open(opts ...Option) (*Session, error) {
 	if cfg.cache != nil {
 		client.SetCache(cfg.cache, s.id)
 	}
-	return &Session{client: client, meter: meter}, nil
+	sess := &Session{client: client, meter: meter}
+	if cfg.columnar || cfg.compress {
+		// One negotiation round trip at session open (charged to the
+		// meter like any exchange, bounded by WithOpenContext); the
+		// server answers every later request in the accepted encodings.
+		ctx := cfg.openCtx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		caps, err := client.NegotiateWire(ctx, cfg.columnar, cfg.compress, cfg.compressThreshold)
+		if err != nil {
+			return nil, fmt.Errorf("pdmtune: capability negotiation: %w", err)
+		}
+		sess.caps = WireCaps{
+			ColumnarResults:   caps.Columnar,
+			Compression:       caps.Compress,
+			CompressThreshold: caps.CompressThreshold,
+		}
+	}
+	return sess, nil
 }
 
 // Client exposes the underlying PDM client (advanced use).
@@ -225,6 +307,11 @@ func (s *Session) Meter() *Meter { return s.meter }
 // Cache returns the session's structure cache (nil when the session
 // was opened without WithCache/WithSharedCache).
 func (s *Session) Cache() *Cache { return s.client.Cache() }
+
+// WireCaps reports the wire capabilities the session negotiated at
+// open (the zero value when nothing was requested — or when the server
+// declined and the session silently degraded to the v1 encodings).
+func (s *Session) WireCaps() WireCaps { return s.caps }
 
 // Metrics returns the WAN metrics accumulated so far (zero when the
 // session has no meter).
