@@ -14,11 +14,15 @@
 //	pdmbench -cache           # structure cache: cold vs warm vs post-write MLE
 //	pdmbench -compress        # columnar v2 results + deflate vs the v1 row-major wire
 //	pdmbench -checkout        # Section 6: check-out round-trip comparison
+//	pdmbench -sites 3         # multi-site topology: replica reads at LAN cost vs the
+//	                          # primary's WAN cost, per-site sync volume (combine with
+//	                          # -staleness for bounded-staleness sessions)
 //	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
 //	pdmbench -json            # machine-readable metrics for all scenarios (stdout;
 //	                          # display modes are ignored so the output stays pure
 //	                          # JSON; combine with -compress to add the negotiated
-//	                          # columnar+deflate configurations to the record set)
+//	                          # columnar+deflate configurations, or with -sites N
+//	                          # for the per-site topology records instead)
 //	pdmbench -all             # everything
 package main
 
@@ -29,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pdmtune"
 	"pdmtune/internal/costmodel"
@@ -43,16 +48,22 @@ func main() {
 	cacheCmp := flag.Bool("cache", false, "compare cold vs warm structure-cache runs")
 	compress := flag.Bool("compress", false, "compare columnar+deflate vs v1 row-major results")
 	checkout := flag.Bool("checkout", false, "compare check-out implementations (Section 6)")
+	sites := flag.Int("sites", 0, "simulate N replica sites (reads at LAN cost, sync across the WAN)")
+	staleness := flag.Duration("staleness", -1, "staleness bound of the per-site sessions (-1: read your own site)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
 	jsonOut := flag.Bool("json", false, "emit machine-readable simulation metrics as JSON")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
 	if *jsonOut {
+		if *sites > 0 {
+			runSitesJSON(*sites, *staleness)
+			return
+		}
 		runJSON(*compress)
 		return
 	}
-	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *cacheCmp || *compress || *checkout || *ablate
+	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *cacheCmp || *compress || *checkout || *sites > 0 || *ablate
 	if *all || !any {
 		printTable(2)
 		printTable(3)
@@ -83,6 +94,11 @@ func main() {
 	}
 	if *checkout || *all {
 		runCheckout()
+	}
+	if *sites > 0 {
+		runSitesComparison(*sites, *staleness)
+	} else if *all {
+		runSitesComparison(2, *staleness)
 	}
 	if *ablate || *all {
 		runAblation()
@@ -271,6 +287,9 @@ func runSimulation() {
 				if err != nil {
 					fail(err)
 				}
+				if err := sess.Close(); err != nil {
+					fail(err)
+				}
 				out := simOutcome{
 					roundTrips: res.Metrics.RoundTrips,
 					comms:      res.Metrics.Communications,
@@ -344,6 +363,7 @@ func runMLE(sys *pdmtune.System, root int64, link pdmtune.Link, strat pdmtune.St
 	if err != nil {
 		return nil, err
 	}
+	defer sess.Close()
 	return sess.MultiLevelExpand(context.Background(), root)
 }
 
@@ -491,6 +511,12 @@ func runCacheComparison() {
 		if _, err := writer.CheckInViaProcedure(ctx, prod.RootID); err != nil {
 			fail(err)
 		}
+		if err := writer.Close(); err != nil {
+			fail(err)
+		}
+		if err := sess.Close(); err != nil {
+			fail(err)
+		}
 		model := costmodel.Model{Net: net, Tree: scen}.PredictCached(costmodel.MLE, costmodel.EarlyEval, true)
 		fmt.Printf("  cold:       rt=%-5d vol=%8.0f KiB  T=%8.2fs\n",
 			cold.Metrics.RoundTrips, cold.Metrics.VolumeBytes()/1024, cold.Metrics.TotalSec())
@@ -619,10 +645,166 @@ func runJSON(withCompressed bool) {
 			if err != nil {
 				fail(err)
 			}
+			if err := sess.Close(); err != nil {
+				fail(err)
+			}
 			records = append(records,
 				record(scen, strat, cold, batched, false, true, false, false, false),
 				record(scen, strat, warm, batched, false, true, true, false, false))
 		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fail(err)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Multi-site topology: replica reads vs primary reads
+
+// siteOutcome is one site's measured traffic in a topology run.
+type siteOutcome struct {
+	scen      costmodel.Tree
+	site      string
+	link      string
+	syncStats pdmtune.SyncStats
+	syncM     pdmtune.Metrics // the site meter: replication pulls on the WAN
+	cold      *pdmtune.ActionResult
+	repeat    *pdmtune.ActionResult
+	wan       pdmtune.Metrics // the sessions' write-path traffic
+}
+
+// runSites builds one cluster per paper scenario with n replica sites
+// (WAN links rotating over the paper's network profiles), syncs each
+// site once, and measures a recursive MLE at every site — cold and
+// repeated — plus the per-site sync volume.
+func runSites(n int, staleness time.Duration) []siteOutcome {
+	ctx := context.Background()
+	var out []siteOutcome
+	for scenIdx, scen := range costmodel.PaperScenarios() {
+		nets := costmodel.PaperNetworks()
+		var cfgs []pdmtune.SiteConfig
+		for i := 0; i < n; i++ {
+			cfgs = append(cfgs, pdmtune.SiteConfig{
+				Name: fmt.Sprintf("site%d", i+1),
+				Link: pdmtune.LinkOf(nets[i%len(nets)]),
+			})
+		}
+		cl, err := pdmtune.NewCluster(nil, cfgs...)
+		if err != nil {
+			fail(err)
+		}
+		prod, err := loadScenario(cl.Primary(), scen, int64(scenIdx+1))
+		if err != nil {
+			fail(err)
+		}
+		for _, cfg := range cfgs {
+			stats, err := cl.SyncSite(ctx, cfg.Name)
+			if err != nil {
+				fail(err)
+			}
+			opts := []pdmtune.Option{
+				pdmtune.WithUser(pdmtune.DefaultUser("sim")),
+				pdmtune.WithStrategy(pdmtune.Recursive),
+			}
+			if staleness >= 0 {
+				opts = append(opts, pdmtune.WithMaxStaleness(staleness))
+			}
+			sess, err := cl.OpenAt(ctx, cfg.Name, opts...)
+			if err != nil {
+				fail(err)
+			}
+			cold, err := sess.MultiLevelExpand(ctx, prod.RootID)
+			if err != nil {
+				fail(err)
+			}
+			repeat, err := sess.MultiLevelExpand(ctx, prod.RootID)
+			if err != nil {
+				fail(err)
+			}
+			site, _ := cl.Site(cfg.Name)
+			out = append(out, siteOutcome{
+				scen: scen, site: cfg.Name, link: cfg.Link.Name,
+				syncStats: stats, syncM: site.Metrics(),
+				cold: cold, repeat: repeat, wan: sess.WANMetrics(),
+			})
+			if err := sess.Close(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	return out
+}
+
+func runSitesComparison(n int, staleness time.Duration) {
+	fmt.Printf("Multi-site topology — %d replica sites per scenario, recursive MLE read at\n", n)
+	fmt.Println("each site over the LAN after one sync across the site's WAN link. The read")
+	fmt.Println("costs zero WAN bytes; the sync pays the row volume once per change, not once")
+	fmt.Println("per read. (PredictReplicated steady-state estimate in parentheses.)")
+	fmt.Println()
+	lanNet := costmodel.Network{Name: "LAN", PacketBytes: 4096, LatencySec: 0.0005, RateKbps: 100 * 1024}
+	var last string
+	for _, o := range runSites(n, staleness) {
+		if o.scen.Name != last {
+			fmt.Printf("Scenario %s\n", o.scen.Name)
+			wan := costmodel.Model{Net: costmodel.PaperNetworks()[0], Tree: o.scen}.
+				Predict(costmodel.MLE, costmodel.Recursive)
+			fmt.Printf("  (primary read across the 256 kbit/s WAN: model %.2fs)\n", wan.TotalSec)
+			last = o.scen.Name
+		}
+		model := costmodel.Model{Net: costmodel.PaperNetworks()[0], Tree: o.scen}.
+			PredictReplicated(costmodel.MLE, costmodel.Recursive, lanNet, 0)
+		fmt.Printf("  %-7s sync %8.0f KiB (%6d rows) across %-22s  cold MLE %6.3fs (%6.3fs)  repeat %6.3fs  WAN read bytes: %.0f\n",
+			o.site, o.syncM.VolumeBytes()/1024, o.syncStats.Rows, o.link,
+			o.cold.Metrics.TotalSec(), model.TotalSec, o.repeat.Metrics.TotalSec(),
+			o.wan.VolumeBytes())
+	}
+	fmt.Println()
+}
+
+// sitesJSONRecord is one site's record in the -sites -json output.
+type sitesJSONRecord struct {
+	Scenario        string  `json:"scenario"`
+	Site            string  `json:"site"`
+	Link            string  `json:"link"`
+	SyncRoundTrips  int     `json:"sync_round_trips"`
+	SyncRows        int     `json:"sync_rows"`
+	SyncKeys        int     `json:"sync_keys"`
+	SyncBytes       float64 `json:"sync_bytes"`
+	SyncSec         float64 `json:"sync_sec"`
+	ColdRoundTrips  int     `json:"cold_round_trips"`
+	ColdSec         float64 `json:"cold_sec"`
+	WarmRoundTrips  int     `json:"warm_round_trips"`
+	WarmSec         float64 `json:"warm_sec"`
+	WANReadBytes    float64 `json:"wan_read_bytes"`
+	WANReadTrips    int     `json:"wan_read_round_trips"`
+	Visible         int     `json:"visible"`
+	EndToEndSeconds float64 `json:"end_to_end_sec"`
+}
+
+func runSitesJSON(n int, staleness time.Duration) {
+	var records []sitesJSONRecord
+	for _, o := range runSites(n, staleness) {
+		records = append(records, sitesJSONRecord{
+			Scenario:       o.scen.Name,
+			Site:           o.site,
+			Link:           o.link,
+			SyncRoundTrips: o.syncM.SyncRoundTrips,
+			SyncRows:       o.syncStats.Rows,
+			SyncKeys:       o.syncStats.Keys,
+			SyncBytes:      o.syncM.VolumeBytes(),
+			SyncSec:        o.syncM.TotalSec(),
+			ColdRoundTrips: o.cold.Metrics.RoundTrips,
+			ColdSec:        o.cold.Metrics.TotalSec(),
+			WarmRoundTrips: o.repeat.Metrics.RoundTrips,
+			WarmSec:        o.repeat.Metrics.TotalSec(),
+			WANReadBytes:   o.wan.VolumeBytes(),
+			WANReadTrips:   o.wan.RoundTrips,
+			Visible:        o.cold.Visible,
+			EndToEndSeconds: o.syncM.TotalSec() +
+				o.cold.Metrics.TotalSec() + o.repeat.Metrics.TotalSec(),
+		})
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -675,6 +857,9 @@ func runCheckout() {
 		fmt.Printf("  %-28s granted=%-5v updated=%-5d rt=%-5d T=%8.2fs\n",
 			m.name, res.Granted, res.Updated, res.Metrics.RoundTrips, res.Metrics.TotalSec())
 		if _, err := sess.CheckInViaProcedure(ctx, prod.RootID); err != nil {
+			fail(err)
+		}
+		if err := sess.Close(); err != nil {
 			fail(err)
 		}
 	}
@@ -731,6 +916,9 @@ func runAblation() {
 			}
 			res, err := sess.Run(context.Background(), pdmtune.MLE, prod.RootID)
 			if err != nil {
+				fail(err)
+			}
+			if err := sess.Close(); err != nil {
 				fail(err)
 			}
 			name := "paper-packets"

@@ -72,6 +72,12 @@ func main() {
 		if _, err := sess.CheckInViaProcedure(ctx, prod.RootID); err != nil {
 			log.Fatal(err)
 		}
+		if err := other.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := sess.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Println("\nWhile a subtree is checked out, the ∀rows rule of paper example 2")
 	fmt.Println("denies further check-outs — verified after each attempt above.")

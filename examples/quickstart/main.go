@@ -50,6 +50,9 @@ func main() {
 		m := sess.Metrics()
 		fmt.Printf("  %-11s %4d round trips, %7.0f KiB, %8.2f simulated seconds (%d nodes)\n",
 			strategy.String()+":", m.RoundTrips, m.VolumeBytes()/1024, m.TotalSec(), res.Visible)
+		if err := sess.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// The wire-level levers compose with any strategy: batching ships a
@@ -65,6 +68,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 	res, err := sess.MultiLevelExpand(ctx, prod.RootID)
 	if err != nil {
 		log.Fatal(err)

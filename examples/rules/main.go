@@ -31,6 +31,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer sess.Close()
 		res, err := sess.MultiLevelExpand(ctx, 1)
 		if err != nil {
 			log.Fatal(err)

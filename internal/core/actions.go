@@ -42,6 +42,11 @@ type ActionResult struct {
 func (c *Client) QueryAll(ctx context.Context, prod int64) (*ActionResult, error) {
 	before := c.snapshot()
 	c.fetch.BeginAction()
+	// Query ships its one statement outside the fetcher, so the
+	// replica-staleness bound must be applied explicitly.
+	if err := c.fetch.EnsureFresh(ctx); err != nil {
+		return nil, err
+	}
 	q := BuildQueryAll(prod)
 	if c.strategy != costmodel.LateEval {
 		if err := c.modifier().ModifyNavigational(q, ActionQuery); err != nil {

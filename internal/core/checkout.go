@@ -127,7 +127,7 @@ func (c *Client) setCheckedOut(ctx context.Context, tree *Tree, out bool) (int, 
 		for i, sql := range stmts {
 			reqs[i] = &wire.Request{SQL: sql}
 		}
-		resps, err := c.sql.ExecBatch(ctx, reqs)
+		resps, err := c.writeSQL.ExecBatch(ctx, reqs)
 		for _, resp := range resps {
 			updated += resp.RowsAffected
 		}
@@ -137,7 +137,7 @@ func (c *Client) setCheckedOut(ctx context.Context, tree *Tree, out bool) (int, 
 		return updated, nil
 	}
 	for _, sql := range stmts {
-		resp, err := c.sql.Exec(ctx, sql)
+		resp, err := c.writeSQL.Exec(ctx, sql)
 		if err != nil {
 			return updated, err
 		}
@@ -161,7 +161,7 @@ func (c *Client) setCheckedOutPrepared(ctx context.Context, tree *Tree, out bool
 		if len(ids[table]) == 0 {
 			continue
 		}
-		h, err := c.ensurePrepared(ctx, checkedOutUpdateSQL(table, out))
+		h, err := c.ensurePreparedWrite(ctx, checkedOutUpdateSQL(table, out))
 		if err != nil {
 			return 0, err
 		}
@@ -173,7 +173,7 @@ func (c *Client) setCheckedOutPrepared(ctx context.Context, tree *Tree, out bool
 			reqs = append(reqs, &wire.Request{Prepared: true, Handle: h, Params: params})
 		}
 	}
-	resps, err := c.sql.ExecBatch(ctx, reqs)
+	resps, err := c.writeSQL.ExecBatch(ctx, reqs)
 	updated := 0
 	for _, resp := range resps {
 		updated += resp.RowsAffected
@@ -198,7 +198,7 @@ func (c *Client) callCheckProc(ctx context.Context, proc string, root int64) (*C
 	before := c.snapshot()
 	call := fmt.Sprintf("CALL %s(%d, %s, %s, %d, %d)",
 		proc, root, sqlText(c.user.Name), sqlText(c.user.Options), c.user.EffFrom, c.user.EffTo)
-	resp, err := c.sql.Exec(ctx, call)
+	resp, err := c.writeSQL.Exec(ctx, call)
 	if err != nil {
 		return nil, err
 	}

@@ -3,8 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
+	"unicode"
 
 	"pdmtune/internal/cache"
 	"pdmtune/internal/costmodel"
@@ -30,6 +33,23 @@ type Client struct {
 	rules    *RuleTable
 	user     UserContext
 	strategy costmodel.Strategy
+
+	// writeSQL is the write path: check-out/check-in updates, CALLs and
+	// raw DML. It equals sql for a single-server client; a client at a
+	// replica site points it at the primary (SetPrimary), so reads stay
+	// on the site-local link while writes cross the WAN.
+	writeSQL *wire.Client
+	// writeMeter accounts the write path's traffic when it runs over
+	// its own link (nil when writeSQL == sql and everything is charged
+	// to meter).
+	writeMeter *netsim.Meter
+	// writeHandles caches prepared-statement handles of the write
+	// connection (handles are connection-scoped, so the read and write
+	// paths each keep their own registry).
+	writeHandles map[string]uint32
+	// site triggers replica syncs at read time (nil for single-server
+	// clients); see SetSiteSync and fetch_route.go.
+	site *siteRouting
 
 	// fetch is the unified read path: wireFetcher, or cachedFetcher
 	// wrapping it when a structure cache is configured.
@@ -86,19 +106,38 @@ func NewClient(tr wire.Transport, meter *netsim.Meter, rules *RuleTable, user Us
 		rules = NewRuleTable()
 	}
 	c := &Client{
-		sql:         wire.NewClient(tr),
-		meter:       meter,
-		rules:       rules,
-		user:        user,
-		strategy:    strategy,
-		local:       &exec.Context{Funcs: minisql.BuiltinFuncs()},
-		scratch:     minisql.NewDB(),
-		handles:     map[string]uint32{},
-		preparedSQL: map[string]preparedStmt{},
-		types:       cache.New(typeCacheSize),
+		sql:          wire.NewClient(tr),
+		meter:        meter,
+		rules:        rules,
+		user:         user,
+		strategy:     strategy,
+		local:        &exec.Context{Funcs: minisql.BuiltinFuncs()},
+		scratch:      minisql.NewDB(),
+		handles:      map[string]uint32{},
+		writeHandles: map[string]uint32{},
+		preparedSQL:  map[string]preparedStmt{},
+		types:        cache.New(typeCacheSize),
 	}
-	c.fetch = &wireFetcher{c: c}
+	c.writeSQL = c.sql
+	c.rebuildFetch()
 	return c
+}
+
+// rebuildFetch composes the client's read path from the configured
+// layers: the wire fetcher at the bottom, the structure cache over it
+// when one is set, and the site router on top when the client reads
+// from a replica — the router's staleness sync must run before the
+// cache validates, or a bounded-staleness session could validate a
+// warm tree against a replica that is itself beyond the bound.
+func (c *Client) rebuildFetch() {
+	var f fetcher = &wireFetcher{c: c}
+	if c.structs != nil {
+		f = &cachedFetcher{inner: f, c: c, store: c.structs, profile: c.cacheProfile()}
+	}
+	if c.site != nil {
+		f = &routedFetcher{inner: f, site: c.site}
+	}
+	c.fetch = f
 }
 
 // Strategy reports the client's access strategy.
@@ -155,20 +194,83 @@ func (c *Client) NegotiateWire(ctx context.Context, columnar, compress bool, thr
 // namespaces, or one database's cached structures could answer for
 // another's ids (the facade derives it from the System).
 func (c *Client) SetCache(store *cache.Store, namespace string) {
-	base := &wireFetcher{c: c}
 	c.cacheNS = namespace
-	if store == nil {
-		c.structs = nil
-		c.fetch = base
-		return
-	}
 	c.structs = store
-	c.fetch = &cachedFetcher{inner: base, c: c, store: store, profile: c.cacheProfile()}
+	c.rebuildFetch()
 }
 
 // Cache returns the client's structure cache store (nil when none is
 // configured).
 func (c *Client) Cache() *cache.Store { return c.structs }
+
+// SetPrimary splits the client's write path off to a second transport
+// — the cluster's primary server — while reads keep flowing over the
+// client's own (site-local) transport. meter accounts the primary
+// path's traffic and may be nil. Passing a nil transport reunifies the
+// paths.
+func (c *Client) SetPrimary(tr wire.Transport, meter *netsim.Meter) {
+	if tr == nil {
+		c.writeSQL = c.sql
+		c.writeMeter = nil
+		return
+	}
+	c.writeSQL = wire.NewClient(tr)
+	c.writeMeter = meter
+	c.writeHandles = map[string]uint32{}
+}
+
+// Syncer pulls a replica site forward from its primary. It is
+// implemented by topology.Site; the client only needs the read-time
+// staleness hook.
+type Syncer interface {
+	// SyncIfStale pulls the delta above the replica's last-seen epoch
+	// when the last successful sync is older than bound (always when
+	// bound is 0). Implementations serialize concurrent calls.
+	SyncIfStale(ctx context.Context, bound time.Duration) error
+}
+
+// siteRouting is the client's view of its replica site: the syncer and
+// the session's staleness bound (negative: never sync at read time —
+// the paper-faithful "read your own site" semantics).
+type siteRouting struct {
+	syncer Syncer
+	bound  time.Duration
+}
+
+// SetSiteSync marks the client as reading from a replica site: before
+// the first fetch of every action, the site is synced when its last
+// sync is older than bound (bound 0: before every action; bound < 0:
+// never — reads serve whatever the site last synced). The write path
+// is unaffected; combine with SetPrimary.
+func (c *Client) SetSiteSync(s Syncer, bound time.Duration) {
+	if s == nil {
+		c.site = nil
+	} else {
+		c.site = &siteRouting{syncer: s, bound: bound}
+	}
+	c.rebuildFetch()
+}
+
+// Close releases the client's server-side session state: connections
+// that prepared statements get a teardown round trip clearing their
+// registries (connections that never prepared cost nothing). The
+// client remains usable — later prepared executions re-prepare.
+func (c *Client) Close(ctx context.Context) error {
+	var firstErr error
+	if len(c.handles) > 0 {
+		if err := c.sql.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.handles = map[string]uint32{}
+	}
+	if c.writeSQL != c.sql && len(c.writeHandles) > 0 {
+		if err := c.writeSQL.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		c.writeHandles = map[string]uint32{}
+	}
+	return firstErr
+}
 
 // ruleTableIDs assigns every rule table a process-unique id the first
 // time it keys a cache profile. A pointer formatted with %p would not
@@ -222,27 +324,49 @@ func (c *Client) User() UserContext { return c.user }
 // Rules exposes the client's rule table (e.g. for administration).
 func (c *Client) Rules() *RuleTable { return c.rules }
 
-// Metrics returns the accumulated WAN metrics.
-func (c *Client) Metrics() netsim.Metrics {
-	if c.meter == nil {
-		return netsim.Metrics{}
-	}
-	return c.meter.Metrics
-}
+// Metrics returns the accumulated WAN metrics — the read path's plus,
+// for a split client, the write path's.
+func (c *Client) Metrics() netsim.Metrics { return c.snapshot() }
 
-// ResetMetrics clears the meter (between actions).
+// ResetMetrics clears the meters (between actions).
 func (c *Client) ResetMetrics() {
 	if c.meter != nil {
 		c.meter.Reset()
+	}
+	if c.writeMeter != nil && c.writeMeter != c.meter {
+		c.writeMeter.Reset()
 	}
 }
 
 // Exec ships one raw SQL statement over the WAN (administration, DDL,
 // loading). Rule machinery is not applied, and the structure cache is
 // not invalidated — a raw write is caught by the next validate-on-use
-// exchange instead.
+// exchange instead. At a replica site the statement is routed by kind:
+// queries run against the local replica, everything else (DML, DDL,
+// CALL, transaction control) goes to the primary.
 func (c *Client) Exec(ctx context.Context, sql string, params ...minisql.Value) (*wire.Response, error) {
+	if c.writeSQL != c.sql && !isReadOnlySQL(sql) {
+		return c.writeSQL.Exec(ctx, sql, params...)
+	}
 	return c.sql.Exec(ctx, sql, params...)
+}
+
+// isReadOnlySQL reports whether a raw statement is a pure read — one a
+// replica can answer. Classification is by leading keyword; anything
+// unrecognized is treated as a write, the safe direction.
+func isReadOnlySQL(sql string) bool {
+	s := strings.TrimSpace(sql)
+	for i, r := range s {
+		if !unicode.IsLetter(r) {
+			s = s[:i]
+			break
+		}
+	}
+	switch strings.ToUpper(s) {
+	case "SELECT", "WITH", "EXPLAIN":
+		return true
+	}
+	return false
 }
 
 func (c *Client) modifier() *Modifier { return &Modifier{Rules: c.rules, User: c.user} }
@@ -250,8 +374,9 @@ func (c *Client) modifier() *Modifier { return &Modifier{Rules: c.rules, User: c
 // ---------------------------------------------------------------------------
 // prepared-statement plumbing
 
-// ensurePrepared returns the server-side handle for a statement text,
-// preparing it on first use (one extra round trip per session and text).
+// ensurePrepared returns the read connection's server-side handle for
+// a statement text, preparing it on first use (one extra round trip
+// per session and text).
 func (c *Client) ensurePrepared(ctx context.Context, sql string) (uint32, error) {
 	if h, ok := c.handles[sql]; ok {
 		return h, nil
@@ -261,6 +386,24 @@ func (c *Client) ensurePrepared(ctx context.Context, sql string) (uint32, error)
 		return 0, err
 	}
 	c.handles[sql] = h
+	return h, nil
+}
+
+// ensurePreparedWrite is ensurePrepared for the write connection —
+// handles are connection-scoped, so a statement prepared at a replica
+// is useless at the primary and vice versa.
+func (c *Client) ensurePreparedWrite(ctx context.Context, sql string) (uint32, error) {
+	if c.writeSQL == c.sql {
+		return c.ensurePrepared(ctx, sql)
+	}
+	if h, ok := c.writeHandles[sql]; ok {
+		return h, nil
+	}
+	h, err := c.writeSQL.Prepare(ctx, sql)
+	if err != nil {
+		return 0, err
+	}
+	c.writeHandles[sql] = h
 	return h, nil
 }
 
@@ -274,15 +417,16 @@ func (c *Client) execRequest(ctx context.Context, req *wire.Request) (*wire.Resp
 }
 
 func (c *Client) snapshot() netsim.Metrics {
-	if c.meter == nil {
-		return netsim.Metrics{}
+	var m netsim.Metrics
+	if c.meter != nil {
+		m = c.meter.Metrics
 	}
-	return c.meter.Metrics
+	if c.writeMeter != nil && c.writeMeter != c.meter {
+		m = m.Add(c.writeMeter.Metrics)
+	}
+	return m
 }
 
 func (c *Client) delta(before netsim.Metrics) netsim.Metrics {
-	if c.meter == nil {
-		return netsim.Metrics{}
-	}
-	return c.meter.Metrics.Sub(before)
+	return c.snapshot().Sub(before)
 }

@@ -21,6 +21,13 @@ type fetcher interface {
 	// its validate-on-use exchange to one round trip per action.
 	BeginAction()
 
+	// EnsureFresh applies the session's replica-staleness bound before
+	// the action reads anything. The routed fetcher syncs a
+	// stale-beyond-bound site here; every fetch method calls it
+	// implicitly, so only actions that read outside the fetcher (the
+	// set-oriented Query) need to call it themselves.
+	EnsureFresh(ctx context.Context) error
+
 	// ExpandLevel fetches the visible children of every parent of one
 	// BFS level — the single-level expand queries plus the ∃structure
 	// probes the survivors need. It returns one page per parent (same
@@ -64,6 +71,10 @@ type wireFetcher struct {
 
 // BeginAction is a no-op: the wire fetcher keeps no per-action state.
 func (w *wireFetcher) BeginAction() {}
+
+// EnsureFresh is a no-op: the wire fetcher reads whatever its server
+// holds.
+func (w *wireFetcher) EnsureFresh(ctx context.Context) error { return nil }
 
 // ExpandLevel expands one BFS level: as a single batch round trip per
 // level when batching is enabled, one round trip per parent (the

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"context"
+)
+
+// routedFetcher is the topology-aware read path of a client at a
+// replica site. The routing itself is in the wiring — the client's
+// read transport already points at the site-local replica server and
+// SetPrimary points the write path at the primary — so the only job
+// left at fetch time is freshness: once per action, before the first
+// byte is read (cache validation included, which is why this layer
+// sits outermost), the site is synced when it is stale beyond the
+// session's bound. Sessions without a bound never sync here and read
+// whatever the site last pulled — the paper-faithful "read your own
+// site" semantics.
+type routedFetcher struct {
+	inner fetcher
+	site  *siteRouting
+	// checked marks that this action already ran its freshness check;
+	// reset by BeginAction so each user action checks at most once.
+	checked bool
+}
+
+// BeginAction opens a fresh staleness scope for the next user action.
+func (f *routedFetcher) BeginAction() {
+	f.checked = false
+	f.inner.BeginAction()
+}
+
+// EnsureFresh applies the session's staleness bound: at most one sync
+// check per action, skipped entirely for unbounded (read-your-own-site)
+// sessions.
+func (f *routedFetcher) EnsureFresh(ctx context.Context) error {
+	if f.checked || f.site.bound < 0 {
+		return nil
+	}
+	f.checked = true
+	return f.site.syncer.SyncIfStale(ctx, f.site.bound)
+}
+
+func (f *routedFetcher) ExpandLevel(ctx context.Context, parents []*Node, action string) ([]expandPage, int, error) {
+	if err := f.EnsureFresh(ctx); err != nil {
+		return nil, 0, err
+	}
+	return f.inner.ExpandLevel(ctx, parents, action)
+}
+
+func (f *routedFetcher) LookupType(ctx context.Context, obid int64) (string, error) {
+	if err := f.EnsureFresh(ctx); err != nil {
+		return "", err
+	}
+	return f.inner.LookupType(ctx, obid)
+}
+
+func (f *routedFetcher) FetchRecursive(ctx context.Context, root int64, action string) (*Tree, int, uint64, error) {
+	if err := f.EnsureFresh(ctx); err != nil {
+		return nil, 0, 0, err
+	}
+	return f.inner.FetchRecursive(ctx, root, action)
+}

@@ -400,6 +400,35 @@ func (m Model) PredictCached(a Action, s Strategy, warm bool) Estimate {
 	return est
 }
 
+// PredictReplicated computes the estimate for an action issued at a
+// replica site of a multi-site topology: the read itself runs against
+// the site-local network `local` (typically a LAN — that is the point
+// of placing a replica at the site), while the replication pull that
+// preceded it ships syncBytes of row deltas across the WAN the model
+// was built with (m.Net). syncBytes 0 models a read from an
+// already-synced replica — the steady state in which the WAN
+// contributes nothing to the response time; a full bootstrap passes
+// the product's total row volume and amortizes it over every read
+// until the next change. Writes are not modeled here: a write crosses
+// the WAN exactly as in the single-server Predict.
+func (m Model) PredictReplicated(a Action, s Strategy, local Network, syncBytes float64) Estimate {
+	lm := m
+	lm.Net = local
+	est := lm.Predict(a, s)
+	if syncBytes > 0 {
+		// One sync round trip on the WAN: a one-packet request up, the
+		// delta volume (plus the model's half-filled last packet) down.
+		wan := m.Net
+		vol := wan.PacketBytes + syncBytes + wan.PacketBytes/2
+		est.Communications += 2
+		est.VolumeBytes += vol
+		est.LatencySec += 2 * wan.LatencySec
+		est.TransferSec += vol * 8 / (wan.RateKbps * 1024)
+		est.TotalSec = est.LatencySec + est.TransferSec
+	}
+	return est
+}
+
 // SavingPct returns the percentage saving of opt relative to base.
 func SavingPct(base, opt Estimate) float64 {
 	if base.TotalSec == 0 {

@@ -1,0 +1,56 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// lanNet is the analytic counterpart of netsim.LAN().
+func lanNet() Network {
+	return Network{Name: "LAN", PacketBytes: 4096, LatencySec: 0.0005, RateKbps: 100 * 1024}
+}
+
+// TestPredictReplicatedSteadyState: with nothing to sync, a replica
+// read is exactly the action priced at the local network — the WAN
+// drops out of the estimate entirely.
+func TestPredictReplicatedSteadyState(t *testing.T) {
+	m := Model{Net: PaperNetworks()[0], Tree: PaperScenarios()[2]}
+	for _, s := range Strategies {
+		got := m.PredictReplicated(MLE, s, lanNet(), 0)
+		want := Model{Net: lanNet(), Tree: m.Tree}.Predict(MLE, s)
+		if got != want {
+			t.Errorf("%v: replicated steady-state %+v != local predict %+v", s, got, want)
+		}
+		wan := m.Predict(MLE, s)
+		if got.TotalSec >= wan.TotalSec {
+			t.Errorf("%v: replica read %.2fs not below WAN read %.2fs", s, got.TotalSec, wan.TotalSec)
+		}
+	}
+}
+
+// TestPredictReplicatedSyncCost: a sync adds one WAN round trip whose
+// transfer is the delta volume; the read part is unchanged.
+func TestPredictReplicatedSyncCost(t *testing.T) {
+	m := Model{Net: PaperNetworks()[0], Tree: PaperScenarios()[2]}
+	base := m.PredictReplicated(MLE, Recursive, lanNet(), 0)
+	syncBytes := 1 << 20 // 1 MiB of deltas
+	got := m.PredictReplicated(MLE, Recursive, lanNet(), float64(syncBytes))
+	if got.Communications != base.Communications+2 {
+		t.Errorf("communications = %v, want %v", got.Communications, base.Communications+2)
+	}
+	wantLat := base.LatencySec + 2*m.Net.LatencySec
+	if math.Abs(got.LatencySec-wantLat) > 1e-9 {
+		t.Errorf("latency = %v, want %v", got.LatencySec, wantLat)
+	}
+	wantVol := base.VolumeBytes + m.Net.PacketBytes*1.5 + float64(syncBytes)
+	if math.Abs(got.VolumeBytes-wantVol) > 1e-6 {
+		t.Errorf("volume = %v, want %v", got.VolumeBytes, wantVol)
+	}
+	if got.TotalSec <= base.TotalSec {
+		t.Error("sync volume did not increase the estimate")
+	}
+	// The dominant term: 1 MiB across 256 kbit/s is ~32 s of transfer.
+	if d := got.TotalSec - base.TotalSec; d < 30 || d > 40 {
+		t.Errorf("sync cost %.1fs, want ~32s on the 256 kbit/s WAN", d)
+	}
+}

@@ -106,6 +106,29 @@ func (db *DB) SetVersionKey(table, column string) error {
 // version stamp a fetch performed now would carry.
 func (db *DB) Epoch() uint64 { return db.store.Versions().Epoch() }
 
+// ExtractDelta collects the replication delta above the given epoch:
+// the current rows (full rows, keyed by version key) of every object
+// modified after it, plus the version stamps a replica needs to mirror
+// this database's log. The returned rows alias the live storage —
+// row slices are immutable once stored, so the snapshot stays valid
+// after the lock is released.
+func (db *DB) ExtractDelta(since uint64) *storage.Delta {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store.ExtractDelta(since)
+}
+
+// ApplyDelta applies a replication delta pulled from a primary,
+// transactionally: on error the database is left as it was. The
+// version log is fast-forwarded to the primary's stamps instead of
+// bumping locally, so validate exchanges against this replica answer
+// exactly as the primary would.
+func (db *DB) ApplyDelta(d *storage.Delta) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.store.ApplyDelta(d)
+}
+
 // LastModified returns the epoch of the last mutation of the object
 // with the given version key (0 when never mutated).
 func (db *DB) LastModified(key int64) uint64 { return db.store.Versions().LastModified(key) }

@@ -1,0 +1,287 @@
+package storage
+
+import (
+	"fmt"
+
+	"pdmtune/internal/minisql/types"
+)
+
+// ---------------------------------------------------------------------------
+// Replication deltas
+//
+// A replica site keeps a full copy of the primary's database and pulls
+// it forward by epoch: ExtractDelta collects, for every version key
+// modified after the replica's last-seen epoch, the *current* rows
+// keyed by it — full rows, not diffs, so applying a delta is a
+// delete-then-insert per key and needs no per-row history. Deletions
+// fall out naturally: a deleted row's key is in the modified set with
+// no surviving rows, so the replica's delete has nothing to re-insert.
+//
+// The delta also carries each table's schema and indexes, so a fresh
+// replica (since == 0) bootstraps its catalog from the first sync, and
+// the primary's per-key modification stamps, so the replica's version
+// log becomes a mirror of the primary's — which is what keeps the
+// client cache's validate exchange working unchanged against a
+// replica.
+
+// IndexSpec describes one secondary index for delta transfer.
+type IndexSpec struct {
+	Name   string
+	Column string
+	Unique bool
+}
+
+// TableDelta is the per-table slice of a replication delta.
+type TableDelta struct {
+	// Schema is the table's full catalog entry (used to create the
+	// table on a replica that does not have it yet).
+	Schema *Schema
+	// VersionKey is the table's version-key column ("" when the table
+	// is not version-tracked; such tables are not replicated).
+	VersionKey string
+	// Indexes are the table's secondary indexes (the primary-key index
+	// is implied by the schema).
+	Indexes []IndexSpec
+	// Rows are the current rows whose version key was modified after
+	// the delta's Since epoch.
+	Rows []Row
+}
+
+// Delta is everything a replica needs to advance from epoch Since to
+// epoch Epoch.
+type Delta struct {
+	// Since is the epoch the delta starts above (the replica's
+	// last-seen epoch; 0 for a full bootstrap).
+	Since uint64
+	// Epoch is the primary's epoch at extraction time — the replica's
+	// new last-seen epoch after a successful apply.
+	Epoch uint64
+	// Stamps maps every version key modified after Since to the epoch
+	// of its last mutation. Applying a delta deletes all replica rows
+	// keyed by these and re-inserts the shipped Rows.
+	Stamps map[int64]uint64
+	// Tables are the per-table row sets, in catalog order.
+	Tables []TableDelta
+}
+
+// RowCount reports the total number of rows the delta ships.
+func (d *Delta) RowCount() int {
+	n := 0
+	for _, td := range d.Tables {
+		n += len(td.Rows)
+	}
+	return n
+}
+
+// ModifiedSince returns the keys modified after the given epoch with
+// their last-modified stamps, plus the log's current epoch.
+func (v *VersionLog) ModifiedSince(since uint64) (map[int64]uint64, uint64) {
+	if v == nil {
+		return map[int64]uint64{}, 0
+	}
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	out := make(map[int64]uint64)
+	for k, e := range v.modified {
+		if e > since {
+			out[k] = e
+		}
+	}
+	return out, v.epoch
+}
+
+// SyncTo fast-forwards the log to a primary's state: the epoch is
+// raised to at least epoch and every stamp is copied verbatim. It is
+// the replica-side counterpart of ModifiedSince — after a sync the
+// replica's log answers LastModified exactly as the primary's would
+// (for the synced keys), which keeps client-side cache validation
+// correct against a replica.
+func (v *VersionLog) SyncTo(epoch uint64, stamps map[int64]uint64) {
+	if v == nil {
+		return
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if epoch > v.epoch {
+		v.epoch = epoch
+	}
+	for k, e := range stamps {
+		if e > v.modified[k] {
+			v.modified[k] = e
+		}
+	}
+}
+
+// ExtractDelta collects the replication delta above the given epoch:
+// every version-tracked table contributes its current rows whose
+// version key was modified after since. Call under the engine's read
+// lock (the wire server does).
+func (db *DB) ExtractDelta(since uint64) *Delta {
+	stamps, epoch := db.vlog.ModifiedSince(since)
+	d := &Delta{Since: since, Epoch: epoch, Stamps: stamps}
+	for _, name := range db.TableNames() {
+		t := db.tables[name]
+		if t.verPos < 0 || t.vlog == nil {
+			continue // not version-tracked: not replicated
+		}
+		td := TableDelta{
+			Schema:     t.Schema,
+			VersionKey: t.Schema.Cols[t.verPos].Name,
+		}
+		for _, ix := range t.indexes {
+			if ix.Name == t.Schema.Name+"_pk" {
+				continue
+			}
+			td.Indexes = append(td.Indexes, IndexSpec{Name: ix.Name, Column: ix.Column, Unique: ix.Unique})
+		}
+		if len(stamps) > 0 {
+			t.Scan(func(id int, row Row) bool {
+				if k, ok := rowVersionKey(row, t.verPos); ok {
+					if _, mod := stamps[k]; mod {
+						td.Rows = append(td.Rows, row)
+					}
+				}
+				return true
+			})
+		}
+		d.Tables = append(d.Tables, td)
+	}
+	return d
+}
+
+// rowVersionKey extracts the integer version key of a row (false for
+// NULL or non-integer keys, which the version log never tracks).
+func rowVersionKey(row Row, verPos int) (int64, bool) {
+	if verPos < 0 || verPos >= len(row) {
+		return 0, false
+	}
+	if v := row[verPos]; v.Kind() == types.KindInt {
+		return v.Int(), true
+	}
+	return 0, false
+}
+
+// ApplyDelta applies a replication delta: per table, every row whose
+// version key is in the delta's modified set is deleted and the
+// shipped rows are inserted in their place; missing tables and indexes
+// are created first. The row mutations bypass the replica's own
+// version bumping — instead the primary's stamps are copied in via
+// SyncTo, so the replica's log mirrors the primary's rather than
+// inventing local epochs. The apply is transactional: on any error
+// every mutation made so far is rolled back and the version log is
+// left untouched. Call under the engine's write lock.
+func (db *DB) ApplyDelta(d *Delta) error {
+	if d == nil {
+		return fmt.Errorf("storage: nil delta")
+	}
+	var undo []Undo
+	// catUndo reverses catalog changes (created tables and indexes,
+	// version-key redesignations) that the row undo log cannot.
+	var catUndo []func()
+	rollback := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			_ = undo[i].Apply()
+		}
+		for i := len(catUndo) - 1; i >= 0; i-- {
+			catUndo[i]()
+		}
+	}
+	for i := range d.Tables {
+		td := &d.Tables[i]
+		t, err := db.ensureDeltaTable(td, &catUndo)
+		if err != nil {
+			rollback()
+			return err
+		}
+		// Suspend version bumping for the table while the delta applies
+		// (the undo operations of a failed apply included).
+		vlog := t.vlog
+		t.vlog = nil
+		err = applyTableDelta(t, td, d.Stamps, &undo)
+		t.vlog = vlog
+		if err != nil {
+			// Re-suspend every table's bumping for the cross-table rollback.
+			for j := 0; j <= i; j++ {
+				if tt, ok := db.Table(d.Tables[j].Schema.Name); ok {
+					v := tt.vlog
+					tt.vlog = nil
+					defer func(tt *Table, v *VersionLog) { tt.vlog = v }(tt, v)
+				}
+			}
+			rollback()
+			return err
+		}
+	}
+	db.vlog.SyncTo(d.Epoch, d.Stamps)
+	return nil
+}
+
+// ensureDeltaTable resolves (or creates) the delta's target table,
+// including its version-key designation and secondary indexes. Every
+// catalog change is paired with an undo closure appended to catUndo,
+// so a later failure of the same apply can put the catalog back.
+func (db *DB) ensureDeltaTable(td *TableDelta, catUndo *[]func()) (*Table, error) {
+	if td.Schema == nil || td.Schema.Name == "" {
+		return nil, fmt.Errorf("storage: delta table without a schema")
+	}
+	if _, existed := db.Table(td.Schema.Name); !existed {
+		if err := db.CreateTable(td.Schema, false); err != nil {
+			return nil, err
+		}
+		name := td.Schema.Name
+		*catUndo = append(*catUndo, func() { _ = db.DropTable(name, true) })
+	}
+	t, _ := db.Table(td.Schema.Name)
+	if td.VersionKey != "" {
+		prevPos, prevLog := t.verPos, t.vlog
+		if err := t.SetVersionKey(td.VersionKey, db.vlog); err != nil {
+			return nil, err
+		}
+		if prevPos != t.verPos || prevLog != t.vlog {
+			*catUndo = append(*catUndo, func() { t.verPos, t.vlog = prevPos, prevLog })
+		}
+	}
+	for _, ix := range td.Indexes {
+		if !t.HasIndex(ix.Name) {
+			if err := t.CreateIndex(ix.Name, ix.Column, ix.Unique); err != nil {
+				return nil, err
+			}
+			name := ix.Name
+			*catUndo = append(*catUndo, func() { t.dropIndex(name) })
+		}
+	}
+	return t, nil
+}
+
+// applyTableDelta replaces, in one table, every row keyed by a
+// modified version key with the delta's shipped rows. Mutations are
+// recorded into undo so a failed apply can roll back.
+func applyTableDelta(t *Table, td *TableDelta, stamps map[int64]uint64, undo *[]Undo) error {
+	// Delete phase: collect ids first — Scan must not observe its own
+	// deletions.
+	var stale []int
+	t.Scan(func(id int, row Row) bool {
+		if k, ok := rowVersionKey(row, t.verPos); ok {
+			if _, mod := stamps[k]; mod {
+				stale = append(stale, id)
+			}
+		}
+		return true
+	})
+	for _, id := range stale {
+		if err := t.Delete(id); err != nil {
+			return fmt.Errorf("storage: delta delete in %s: %v", t.Schema.Name, err)
+		}
+		// UndoDelete revives the tombstoned row in place; no Before copy
+		// is needed.
+		*undo = append(*undo, Undo{Kind: UndoDelete, Table: t, RowID: id})
+	}
+	for _, row := range td.Rows {
+		id, err := t.Insert(row)
+		if err != nil {
+			return fmt.Errorf("storage: delta insert into %s: %v", t.Schema.Name, err)
+		}
+		*undo = append(*undo, Undo{Kind: UndoInsert, Table: t, RowID: id})
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package storage
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"pdmtune/internal/minisql/types"
+)
+
+func deltaSchema(name string) *Schema {
+	return &Schema{Name: name, Cols: []Column{
+		{Name: "obid", Type: types.ColumnType{Kind: types.KindInt}, PrimaryKey: true},
+		{Name: "name", Type: types.ColumnType{Kind: types.KindText}},
+	}}
+}
+
+func mustCreate(t *testing.T, db *DB, schema *Schema) *Table {
+	t.Helper()
+	if err := db.CreateTable(schema, false); err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := db.Table(schema.Name)
+	return tbl
+}
+
+func dump(t *testing.T, db *DB, table string) []Row {
+	t.Helper()
+	tbl, ok := db.Table(table)
+	if !ok {
+		return nil
+	}
+	var rows []Row
+	tbl.Scan(func(id int, row Row) bool { rows = append(rows, row); return true })
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].Int() < rows[j][0].Int() })
+	return rows
+}
+
+// TestDeltaRoundTrip: a bootstrap delta (since 0) recreates the table,
+// an incremental delta carries exactly the touched keys, and a
+// deletion at the primary deletes at the replica.
+func TestDeltaRoundTrip(t *testing.T) {
+	primary := NewDB()
+	tbl := mustCreate(t, primary, deltaSchema("obj"))
+	for i := int64(1); i <= 5; i++ {
+		if _, err := tbl.Insert(Row{types.NewInt(i), types.NewText(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replica := NewDB()
+	boot := primary.ExtractDelta(0)
+	if boot.RowCount() != 5 || len(boot.Stamps) != 5 {
+		t.Fatalf("bootstrap delta: %d rows, %d stamps, want 5/5", boot.RowCount(), len(boot.Stamps))
+	}
+	if err := replica.ApplyDelta(boot); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dump(t, replica, "obj"), dump(t, primary, "obj")) {
+		t.Fatal("replica dump differs after bootstrap")
+	}
+	if replica.Versions().Epoch() != primary.Versions().Epoch() {
+		t.Fatalf("replica epoch %d, primary %d", replica.Versions().Epoch(), primary.Versions().Epoch())
+	}
+
+	// Update one row, delete another, insert a new one at the primary.
+	synced := boot.Epoch
+	ids := tbl.IndexOn("obid").Lookup(types.NewInt(2))
+	if err := tbl.Update(ids[0], Row{types.NewInt(2), types.NewText("renamed")}); err != nil {
+		t.Fatal(err)
+	}
+	ids = tbl.IndexOn("obid").Lookup(types.NewInt(3))
+	if err := tbl.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Row{types.NewInt(6), types.NewText("n6")}); err != nil {
+		t.Fatal(err)
+	}
+
+	inc := primary.ExtractDelta(synced)
+	if len(inc.Stamps) != 3 {
+		t.Fatalf("incremental stamps = %d, want 3 (update, delete, insert)", len(inc.Stamps))
+	}
+	if inc.RowCount() != 2 { // keys 2 and 6 ship rows, deleted key 3 ships none
+		t.Fatalf("incremental rows = %d, want 2", inc.RowCount())
+	}
+	if err := replica.ApplyDelta(inc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dump(t, replica, "obj"), dump(t, primary, "obj")) {
+		t.Fatal("replica dump differs after incremental sync")
+	}
+	// The replica's stamps mirror the primary's, so a validate-style
+	// LastModified comparison answers identically.
+	for _, k := range []int64{1, 2, 3, 6} {
+		if got, want := replica.Versions().LastModified(k), primary.Versions().LastModified(k); got != want {
+			t.Errorf("LastModified(%d) = %d at the replica, %d at the primary", k, got, want)
+		}
+	}
+}
+
+// TestDeltaVersionKeyOverride: rows versioned by a non-PK column (link
+// rows keyed by their parent) replicate by that key.
+func TestDeltaVersionKeyOverride(t *testing.T) {
+	schema := &Schema{Name: "lnk", Cols: []Column{
+		{Name: "obid", Type: types.ColumnType{Kind: types.KindInt}, PrimaryKey: true},
+		{Name: "left", Type: types.ColumnType{Kind: types.KindInt}},
+	}}
+	primary := NewDB()
+	if err := primary.SetVersionKey("lnk", "left"); err != nil {
+		t.Fatal(err)
+	}
+	tbl := mustCreate(t, primary, schema)
+	if err := tbl.CreateIndex("lnk_left_idx", "left", false); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 4; i++ {
+		if _, err := tbl.Insert(Row{types.NewInt(100 + i), types.NewInt(i % 2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	replica := NewDB()
+	d := primary.ExtractDelta(0)
+	if got := d.Tables[0].VersionKey; got != "left" {
+		t.Fatalf("delta version key = %q, want left", got)
+	}
+	if len(d.Tables[0].Indexes) != 1 || d.Tables[0].Indexes[0].Name != "lnk_left_idx" {
+		t.Fatalf("delta indexes = %+v, want lnk_left_idx", d.Tables[0].Indexes)
+	}
+	if err := replica.ApplyDelta(d); err != nil {
+		t.Fatal(err)
+	}
+	rt, _ := replica.Table("lnk")
+	if rt.IndexOn("left") == nil {
+		t.Fatal("replica missing the replicated secondary index")
+	}
+	if !reflect.DeepEqual(dump(t, replica, "lnk"), dump(t, primary, "lnk")) {
+		t.Fatal("replica dump differs")
+	}
+
+	// Touching one parent key re-ships only that key's rows.
+	synced := d.Epoch
+	ids := tbl.IndexOn("obid").Lookup(types.NewInt(101))
+	if err := tbl.Delete(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	inc := primary.ExtractDelta(synced)
+	if len(inc.Stamps) != 1 || inc.RowCount() != 1 {
+		// key 1 was touched; its surviving row (obid 103) re-ships.
+		t.Fatalf("stamps=%d rows=%d, want 1/1", len(inc.Stamps), inc.RowCount())
+	}
+	if err := replica.ApplyDelta(inc); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dump(t, replica, "lnk"), dump(t, primary, "lnk")) {
+		t.Fatal("replica dump differs after keyed delete")
+	}
+}
+
+// TestApplyDeltaRollsBack: a delta that fails mid-apply (duplicate
+// primary key) leaves the replica untouched — rows, epoch and stamps.
+func TestApplyDeltaRollsBack(t *testing.T) {
+	replica := NewDB()
+	tbl := mustCreate(t, replica, deltaSchema("obj"))
+	if _, err := tbl.Insert(Row{types.NewInt(1), types.NewText("keep")}); err != nil {
+		t.Fatal(err)
+	}
+	epoch := replica.Versions().Epoch()
+	before := dump(t, replica, "obj")
+
+	bad := &Delta{
+		Since: epoch,
+		Epoch: epoch + 10,
+		// Key 2 is "modified": ship its row twice — the second insert
+		// violates the primary key after the first succeeded.
+		Stamps: map[int64]uint64{2: epoch + 10},
+		Tables: []TableDelta{{
+			Schema:     tbl.Schema,
+			VersionKey: "obid",
+			Rows: []Row{
+				{types.NewInt(2), types.NewText("a")},
+				{types.NewInt(2), types.NewText("b")},
+			},
+		}},
+	}
+	if err := replica.ApplyDelta(bad); err == nil {
+		t.Fatal("conflicting delta applied without error")
+	}
+	if !reflect.DeepEqual(dump(t, replica, "obj"), before) {
+		t.Fatal("failed apply left partial rows behind")
+	}
+	if replica.Versions().Epoch() != epoch {
+		t.Fatalf("failed apply advanced the epoch to %d", replica.Versions().Epoch())
+	}
+	if replica.Versions().LastModified(2) != 0 {
+		t.Fatal("failed apply stamped key 2")
+	}
+}
+
+// TestApplyDeltaRollsBackCatalog: a failed apply also removes the
+// tables and indexes an earlier table delta of the same apply created.
+func TestApplyDeltaRollsBackCatalog(t *testing.T) {
+	replica := NewDB()
+	existing := mustCreate(t, replica, deltaSchema("obj"))
+	epoch := replica.Versions().Epoch()
+
+	fresh := deltaSchema("newtable")
+	bad := &Delta{
+		Epoch:  epoch + 5,
+		Stamps: map[int64]uint64{1: epoch + 5},
+		Tables: []TableDelta{
+			{
+				// Creates a new table and an index on the existing one.
+				Schema:     fresh,
+				VersionKey: "obid",
+				Rows:       []Row{{types.NewInt(1), types.NewText("a")}},
+			},
+			{
+				Schema:     existing.Schema,
+				VersionKey: "obid",
+				Indexes:    []IndexSpec{{Name: "obj_name_idx", Column: "name"}},
+				// Duplicate PK: fails after the catalog changes applied.
+				Rows: []Row{
+					{types.NewInt(1), types.NewText("x")},
+					{types.NewInt(1), types.NewText("y")},
+				},
+			},
+		},
+	}
+	if err := replica.ApplyDelta(bad); err == nil {
+		t.Fatal("conflicting delta applied without error")
+	}
+	if _, ok := replica.Table("newtable"); ok {
+		t.Error("failed apply left the created table behind")
+	}
+	if existing.HasIndex("obj_name_idx") {
+		t.Error("failed apply left the created index behind")
+	}
+	if n := existing.NumRows(); n != 0 {
+		t.Errorf("failed apply left %d rows behind", n)
+	}
+}

@@ -241,6 +241,17 @@ func (t *Table) IndexOn(column string) *Index {
 // Indexes returns all attached indexes.
 func (t *Table) Indexes() []*Index { return t.indexes }
 
+// dropIndex detaches an index by name (the catalog rollback of a
+// failed delta apply; a no-op when the index does not exist).
+func (t *Table) dropIndex(name string) {
+	for i, ix := range t.indexes {
+		if strings.EqualFold(ix.Name, name) {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return
+		}
+	}
+}
+
 func (ix *Index) add(v types.Value, id int) error {
 	k := v.Key()
 	if ix.Unique && !v.IsNull() && len(ix.buckets[k]) > 0 {

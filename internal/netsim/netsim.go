@@ -116,6 +116,12 @@ type Metrics struct {
 	// the one small round trip a warm action pays instead of its
 	// fetches.
 	ValidateRoundTrips int
+	// SyncRoundTrips counts replication pulls (TypeSync exchanges): a
+	// replica site's delta downloads from the primary. Their volume is
+	// charged to Request/ResponseBytes like any exchange; this counter
+	// is what separates replication traffic from user actions in a
+	// site's report.
+	SyncRoundTrips int
 	// SavedRequestBytes is the SQL text volume prepared executions
 	// avoided re-shipping — the payload reduction before packetization,
 	// reported by the transport alongside the charged request bytes.
@@ -156,12 +162,59 @@ func (m Metrics) Sub(b Metrics) Metrics {
 		CacheHits:          m.CacheHits - b.CacheHits,
 		CacheMisses:        m.CacheMisses - b.CacheMisses,
 		ValidateRoundTrips: m.ValidateRoundTrips - b.ValidateRoundTrips,
+		SyncRoundTrips:     m.SyncRoundTrips - b.SyncRoundTrips,
 		SavedRequestBytes:  m.SavedRequestBytes - b.SavedRequestBytes,
 		RequestBytes:       m.RequestBytes - b.RequestBytes,
 		ResponseBytes:      m.ResponseBytes - b.ResponseBytes,
 		LatencySec:         m.LatencySec - b.LatencySec,
 		TransferSec:        m.TransferSec - b.TransferSec,
 	}
+}
+
+// Add returns the field-wise sum m + b — the aggregation of traffic
+// charged to different links (e.g. a session's site-local reads plus
+// its WAN writes, or all sites of a cluster).
+func (m Metrics) Add(b Metrics) Metrics {
+	return Metrics{
+		RoundTrips:         m.RoundTrips + b.RoundTrips,
+		Communications:     m.Communications + b.Communications,
+		Statements:         m.Statements + b.Statements,
+		Batches:            m.Batches + b.Batches,
+		PreparedExecs:      m.PreparedExecs + b.PreparedExecs,
+		SavedRoundTrips:    m.SavedRoundTrips + b.SavedRoundTrips,
+		CompressedFrames:   m.CompressedFrames + b.CompressedFrames,
+		ResponseBytesSaved: m.ResponseBytesSaved + b.ResponseBytesSaved,
+		CacheHits:          m.CacheHits + b.CacheHits,
+		CacheMisses:        m.CacheMisses + b.CacheMisses,
+		ValidateRoundTrips: m.ValidateRoundTrips + b.ValidateRoundTrips,
+		SyncRoundTrips:     m.SyncRoundTrips + b.SyncRoundTrips,
+		SavedRequestBytes:  m.SavedRequestBytes + b.SavedRequestBytes,
+		RequestBytes:       m.RequestBytes + b.RequestBytes,
+		ResponseBytes:      m.ResponseBytes + b.ResponseBytes,
+		LatencySec:         m.LatencySec + b.LatencySec,
+		TransferSec:        m.TransferSec + b.TransferSec,
+	}
+}
+
+// SiteMetrics labels one site's accumulated traffic in a cluster-wide
+// report.
+type SiteMetrics struct {
+	// Site is the site name ("primary" for the primary itself).
+	Site string
+	// Link is the WAN profile the traffic was charged against.
+	Link Link
+	// Metrics is the site's accumulated traffic.
+	Metrics Metrics
+}
+
+// AggregateSites sums the per-site metrics of a cluster into one
+// cluster-wide total.
+func AggregateSites(sites []SiteMetrics) Metrics {
+	var total Metrics
+	for _, s := range sites {
+		total = total.Add(s.Metrics)
+	}
+	return total
 }
 
 func (m Metrics) String() string {
@@ -224,6 +277,20 @@ func (m *Meter) RoundTripValidate(requestPayload, responsePayload int) {
 	m.Metrics.RoundTrips++
 	m.Metrics.Communications += 2
 	m.Metrics.ValidateRoundTrips++
+	m.Metrics.RequestBytes += up
+	m.Metrics.ResponseBytes += down
+	m.Metrics.LatencySec += 2 * m.Link.LatencySec
+	m.Metrics.TransferSec += m.Link.TransferSec(up) + m.Link.TransferSec(down)
+}
+
+// RoundTripSync charges one replication pull: a round trip that
+// carries a delta instead of SQL statements.
+func (m *Meter) RoundTripSync(requestPayload, responsePayload int) {
+	up := m.Link.RequestVolume(requestPayload)
+	down := m.Link.ResponseVolume(responsePayload)
+	m.Metrics.RoundTrips++
+	m.Metrics.Communications += 2
+	m.Metrics.SyncRoundTrips++
 	m.Metrics.RequestBytes += up
 	m.Metrics.ResponseBytes += down
 	m.Metrics.LatencySec += 2 * m.Link.LatencySec

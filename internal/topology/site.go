@@ -1,0 +1,145 @@
+// Package topology implements the multi-site layer of the PDM system:
+// replica sites that hold a full copy of the primary's database and
+// pull it forward over the WAN by VersionLog epoch. A site fronts its
+// replica with its own wire server, so clients at the site read over
+// the LAN while only replication pulls (and the clients' writes, which
+// the core layer routes past the replica) cross the WAN — the paper's
+// worldwide deployment with the 256 kbit/s tax paid once per change
+// instead of once per read.
+package topology
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+)
+
+// Site is one replica site: a named location holding a synchronized
+// copy of the primary's database. All methods are safe for concurrent
+// use; syncs serialize against each other while readers proceed under
+// the replica engine's own locking.
+type Site struct {
+	name   string
+	db     *minisql.DB
+	server *wire.Server
+	// primary pulls deltas from the primary server across the site's
+	// WAN link; its transport charges the site meter.
+	primary *wire.Client
+	meter   *netsim.Meter
+	link    netsim.Link
+
+	mu        sync.Mutex
+	lastEpoch uint64
+	lastSync  time.Time
+	synced    bool
+}
+
+// New creates a site over an (empty, procedure-registered) replica
+// database and a transport to the primary. link is the site's WAN
+// profile and meter the meter that transport charges — both kept for
+// reporting.
+func New(name string, db *minisql.DB, primary wire.Transport, meter *netsim.Meter, link netsim.Link) *Site {
+	return &Site{
+		name:    name,
+		db:      db,
+		server:  wire.NewServer(db),
+		primary: wire.NewClient(primary),
+		meter:   meter,
+		link:    link,
+	}
+}
+
+// Name returns the site's name.
+func (s *Site) Name() string { return s.name }
+
+// DB exposes the site's replica database.
+func (s *Site) DB() *minisql.DB { return s.db }
+
+// Server returns the wire server fronting the replica — the server
+// site-local sessions connect to.
+func (s *Site) Server() *wire.Server { return s.server }
+
+// Link returns the site's WAN profile to the primary.
+func (s *Site) Link() netsim.Link { return s.link }
+
+// Metrics returns the site's accumulated WAN traffic — the replication
+// pulls charged to the site meter (zero value when the site has no
+// meter).
+func (s *Site) Metrics() netsim.Metrics {
+	if s.meter == nil {
+		return netsim.Metrics{}
+	}
+	return s.meter.Metrics
+}
+
+// Epoch returns the primary epoch the site last synced to (0 before
+// the first sync).
+func (s *Site) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEpoch
+}
+
+// Synced reports whether the site has completed at least one sync.
+func (s *Site) Synced() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.synced
+}
+
+// SyncStats reports one replication pull.
+type SyncStats struct {
+	// Since and Epoch bound the pull: the site advanced from Since to
+	// Epoch.
+	Since, Epoch uint64
+	// Keys is the number of modified version keys the delta covered,
+	// Rows the number of full rows re-shipped for them.
+	Keys, Rows int
+}
+
+// Sync pulls the delta above the site's last-seen epoch from the
+// primary and applies it transactionally to the replica. Readers at
+// the site block only for the apply (the replica engine's write lock),
+// not for the WAN transfer. Concurrent syncs serialize; each pulls
+// from the epoch the previous one established.
+func (s *Site) Sync(ctx context.Context) (SyncStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.syncLocked(ctx)
+}
+
+func (s *Site) syncLocked(ctx context.Context) (SyncStats, error) {
+	d, err := s.primary.Sync(ctx, s.lastEpoch)
+	if err != nil {
+		return SyncStats{}, fmt.Errorf("topology: site %s: pull: %w", s.name, err)
+	}
+	if err := s.db.ApplyDelta(d); err != nil {
+		return SyncStats{}, fmt.Errorf("topology: site %s: apply: %w", s.name, err)
+	}
+	stats := SyncStats{Since: d.Since, Epoch: d.Epoch, Keys: len(d.Stamps), Rows: d.RowCount()}
+	s.lastEpoch = d.Epoch
+	s.lastSync = time.Now()
+	s.synced = true
+	return stats, nil
+}
+
+// SyncIfStale syncs when the site's last successful sync is older than
+// bound (and always when the site never synced, or when bound is 0).
+// It is the read-time hook of bounded-staleness sessions: a session
+// opened with a staleness bound calls this before every action's first
+// fetch, so no read is served from a replica more than bound behind
+// the last check.
+func (s *Site) SyncIfStale(ctx context.Context, bound time.Duration) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.synced && bound > 0 && time.Since(s.lastSync) <= bound {
+		return nil
+	}
+	_, err := s.syncLocked(ctx)
+	return err
+}

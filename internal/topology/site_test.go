@@ -1,0 +1,219 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+)
+
+func newPrimary(t *testing.T) (*minisql.DB, *wire.Server) {
+	t.Helper()
+	db := minisql.NewDB()
+	s := db.NewSession()
+	for _, sql := range []string{
+		"CREATE TABLE obj (obid INTEGER PRIMARY KEY, name TEXT, n INTEGER)",
+		"CREATE TABLE lnk (obid INTEGER PRIMARY KEY, left INTEGER NOT NULL, right INTEGER NOT NULL)",
+		"CREATE INDEX lnk_left_idx ON lnk (left)",
+	} {
+		if _, err := s.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.SetVersionKey("lnk", "left"); err != nil {
+		t.Fatal(err)
+	}
+	return db, wire.NewServer(db)
+}
+
+func newSite(t *testing.T, name string, primary *wire.Server) *Site {
+	t.Helper()
+	meter := netsim.NewMeter(netsim.Intercontinental())
+	tr := &wire.MeteredChannel{Conn: primary.NewConn(), Meter: meter}
+	return New(name, minisql.NewDB(), tr, meter, netsim.Intercontinental())
+}
+
+// dumpDB serializes every row of every table, sorted, so two databases
+// with equal dumps hold identical data.
+func dumpDB(t *testing.T, db *minisql.DB) string {
+	t.Helper()
+	var lines []string
+	for _, table := range db.TableNames() {
+		res, err := db.NewSession().Query("SELECT * FROM " + table)
+		if err != nil {
+			t.Fatalf("dump %s: %v", table, err)
+		}
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			lines = append(lines, table+"|"+strings.Join(parts, "|"))
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestReplicationProperty: after any random interleaving of primary
+// writes (inserts, updates, deletes, link churn) and site syncs, the
+// replica's full dump equals the primary's as of the synced epoch.
+func TestReplicationProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			db, server := newPrimary(t)
+			ps := db.NewSession()
+			site := newSite(t, "munich", server)
+			ctx := context.Background()
+
+			var live []int64
+			nextID := int64(1)
+			for step := 0; step < 200; step++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // insert an object (and sometimes a link)
+					id := nextID
+					nextID++
+					mustExec(t, ps, fmt.Sprintf("INSERT INTO obj VALUES (%d, 'n%d', %d)", id, id, rng.Intn(100)))
+					live = append(live, id)
+					if len(live) > 1 && rng.Intn(2) == 0 {
+						parent := live[rng.Intn(len(live)-1)]
+						mustExec(t, ps, fmt.Sprintf("INSERT INTO lnk VALUES (%d, %d, %d)", 100000+id, parent, id))
+					}
+				case op < 6 && len(live) > 0: // update
+					id := live[rng.Intn(len(live))]
+					mustExec(t, ps, fmt.Sprintf("UPDATE obj SET n = %d WHERE obid = %d", rng.Intn(100), id))
+				case op < 8 && len(live) > 0: // delete object and its links
+					i := rng.Intn(len(live))
+					id := live[i]
+					live = append(live[:i], live[i+1:]...)
+					mustExec(t, ps, fmt.Sprintf("DELETE FROM lnk WHERE left = %d", id))
+					mustExec(t, ps, fmt.Sprintf("DELETE FROM lnk WHERE right = %d", id))
+					mustExec(t, ps, fmt.Sprintf("DELETE FROM obj WHERE obid = %d", id))
+				default: // sync and verify: replica == primary right now
+					if _, err := site.Sync(ctx); err != nil {
+						t.Fatal(err)
+					}
+					if p, r := dumpDB(t, db), dumpDB(t, site.DB()); p != r {
+						t.Fatalf("step %d: replica dump differs from primary after sync\nprimary:\n%s\nreplica:\n%s", step, p, r)
+					}
+				}
+			}
+			// Final sync always converges.
+			if _, err := site.Sync(ctx); err != nil {
+				t.Fatal(err)
+			}
+			if p, r := dumpDB(t, db), dumpDB(t, site.DB()); p != r {
+				t.Fatal("final replica dump differs from primary")
+			}
+			if site.Epoch() != db.Epoch() {
+				t.Fatalf("site epoch %d, primary %d", site.Epoch(), db.Epoch())
+			}
+		})
+	}
+}
+
+func mustExec(t *testing.T, s *minisql.Session, sql string) {
+	t.Helper()
+	if _, err := s.Exec(sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+// TestConcurrentReadersDuringSync drives wire-level readers against a
+// site while the primary keeps writing and the site keeps syncing —
+// the -race exercise of the replica's locking.
+func TestConcurrentReadersDuringSync(t *testing.T) {
+	db, server := newPrimary(t)
+	ps := db.NewSession()
+	for i := 1; i <= 50; i++ {
+		mustExec(t, ps, fmt.Sprintf("INSERT INTO obj VALUES (%d, 'n%d', %d)", i, i, i))
+	}
+	site := newSite(t, "tokyo", server)
+	ctx := context.Background()
+	if _, err := site.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Writers at the primary.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ws := db.NewSession()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := ws.Exec(fmt.Sprintf("UPDATE obj SET n = %d WHERE obid = %d", i, i%50+1)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	// Readers at the site, over the wire.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := wire.NewClient(&wire.MeteredChannel{
+				Conn: site.Server().NewConn(), Meter: netsim.NewMeter(netsim.LAN()),
+			})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := client.Exec(ctx, "SELECT obid, n FROM obj"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// Sync loop, both explicit and staleness-bounded.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				_, err = site.Sync(ctx)
+			} else {
+				err = site.SyncIfStale(ctx, time.Millisecond)
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if _, err := site.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if p, r := dumpDB(t, db), dumpDB(t, site.DB()); p != r {
+		t.Fatal("replica diverged under concurrent readers and syncs")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"pdmtune/internal/minisql/storage"
 	"pdmtune/internal/minisql/types"
 	"pdmtune/internal/netsim"
 )
@@ -132,6 +133,42 @@ func (c *Client) Validate(ctx context.Context, checks []StaleCheck) ([]int64, er
 	return DecodeValidateResp(respBody)
 }
 
+// Sync pulls the replication delta above the given epoch: the primary
+// answers with every row modified after it (full rows keyed by version
+// key) plus the version stamps the replica's log needs to mirror the
+// primary's. One round trip regardless of delta size.
+func (c *Client) Sync(ctx context.Context, since uint64) (*storage.Delta, error) {
+	respBody, err := c.roundTrip(ctx, EncodeSync(since))
+	if err != nil {
+		return nil, err
+	}
+	if len(respBody) > 0 && respBody[0] == TypeError {
+		resp, err := DecodeResponse(respBody)
+		if err != nil {
+			return nil, err
+		}
+		return nil, &ServerError{Msg: resp.Err}
+	}
+	return DecodeSyncResp(respBody)
+}
+
+// Close releases the connection's server-side session state (the
+// prepared-statement registry) in one teardown round trip.
+func (c *Client) Close(ctx context.Context) error {
+	respBody, err := c.roundTrip(ctx, EncodeClose())
+	if err != nil {
+		return err
+	}
+	resp, err := DecodeResponse(respBody)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return &ServerError{Msg: resp.Err}
+	}
+	return nil
+}
+
 // ExecBatch ships N statements in one round trip and returns one
 // response per executed statement. Requests may mix SQL text and
 // prepared executions. The server executes in order and stops at the
@@ -202,9 +239,13 @@ func (fa *frameAccountant) account(request, response []byte) {
 			// A validate exchange is a round trip but not a statement:
 			// it is the cache's revalidation cost, accounted apart.
 			fa.meter.RoundTripValidate(len(request)+frameOverhead, len(response)+frameOverhead)
-		case len(request) > 0 && request[0] == TypeHello:
-			// The capability handshake is a round trip carrying zero
-			// statements — the per-session price of negotiation.
+		case len(request) > 0 && request[0] == TypeSync:
+			// A replication pull: one round trip, no statements — the
+			// delta volume is the replication cost the site meter reports.
+			fa.meter.RoundTripSync(len(request)+frameOverhead, len(response)+frameOverhead)
+		case len(request) > 0 && (request[0] == TypeHello || request[0] == TypeClose):
+			// The capability handshake and the session teardown are round
+			// trips carrying zero statements.
 			fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead, 0, 0, 0)
 		default:
 			stats := ScanFrame(request, fa.sqlLen)

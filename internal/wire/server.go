@@ -89,6 +89,10 @@ func (c *ServerConn) dispatch(reqBody []byte) []byte {
 			return c.handleValidate(reqBody)
 		case TypeHello:
 			return c.handleHello(reqBody)
+		case TypeSync:
+			return c.handleSync(reqBody)
+		case TypeClose:
+			return c.handleClose(reqBody)
 		}
 	}
 	req, err := DecodeRequest(reqBody)
@@ -175,6 +179,31 @@ func (c *ServerConn) handleValidate(reqBody []byte) []byte {
 		}
 	}
 	return EncodeValidateResp(stale)
+}
+
+// handleSync answers a replica's delta pull: every row whose version
+// key was modified after the requested epoch, plus the stamps that
+// make the replica's version log a mirror of this database's. The
+// extraction runs under the engine's read lock, so the delta is a
+// consistent snapshot.
+func (c *ServerConn) handleSync(reqBody []byte) []byte {
+	since, err := DecodeSync(reqBody)
+	if err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad sync: %v", err)})
+	}
+	return EncodeSyncResp(c.server.db.ExtractDelta(since))
+}
+
+// handleClose releases the connection's server-side session state —
+// today that is the prepared-statement registry. The connection stays
+// usable (a later Prepare starts a fresh registry); Close is the
+// client's promise that the old handles are dead.
+func (c *ServerConn) handleClose(reqBody []byte) []byte {
+	if err := DecodeClose(reqBody); err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad close: %v", err)})
+	}
+	c.stmts = nil
+	return EncodeResponse(&Response{})
 }
 
 // handleBatch executes a batch frame: per-statement results in order,

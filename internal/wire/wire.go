@@ -37,7 +37,14 @@ const (
 	// TypeCompressed wraps any response frame body in a whole-body
 	// deflate envelope (see compress.go).
 	TypeCompressed = 0x0e
-	MaxFrameSize   = 1 << 30
+	// TypeSync / TypeSyncResp are the replication frames: a replica
+	// pulls the row deltas above its last-seen epoch (see sync.go).
+	TypeSync     = 0x0f
+	TypeSyncResp = 0x10
+	// TypeClose tears a connection's session state down, releasing the
+	// statements it prepared server-side.
+	TypeClose    = 0x11
+	MaxFrameSize = 1 << 30
 )
 
 // FrameTooLargeError reports an attempt to emit a frame exceeding

@@ -28,7 +28,12 @@
 //	fmt.Println(res.Visible, "nodes in", sess.Metrics().TotalSec(), "simulated seconds")
 //
 // One System serves many concurrent Sessions; each Session is one
-// user's configured connection. The wire-level tuning levers compose as
+// user's configured connection. For the paper's worldwide deployment,
+// NewCluster adds named replica sites around the primary System:
+// Cluster.OpenAt opens sessions that read from a site-local replica
+// (kept current by epoch-based delta syncs) and write to the primary,
+// with WithMaxStaleness selecting bounded-staleness reads.
+// The wire-level tuning levers compose as
 // options: WithBatching(true) collapses each BFS level into one round
 // trip, WithPreparedStatements(true) ships the per-node SQL text once
 // and a handle + parameters afterwards, WithCache(size) keeps
@@ -137,7 +142,10 @@ func LinkOf(n costmodel.Network) Link {
 	return Link{Name: n.Name, LatencySec: n.LatencySec, RateKbps: n.RateKbps, PacketBytes: int(n.PacketBytes)}
 }
 
-// System bundles one PDM database server with its rule table.
+// System bundles one PDM database server with its rule table. Since
+// the topology redesign a System is the primary of its Cluster: every
+// System belongs to exactly one cluster (a site-less one when created
+// via NewSystem), and System.Open is Cluster.OpenAt at the primary.
 type System struct {
 	DB     *minisql.DB
 	Server *wire.Server
@@ -146,14 +154,30 @@ type System struct {
 	// shared across systems must never answer one database's object
 	// ids with another's structures.
 	id string
+	// cluster is the topology this system is the primary of.
+	cluster *Cluster
 }
 
 // nextSystemID numbers systems within the process.
 var nextSystemID atomic.Uint64
 
-// NewSystem creates an empty PDM system. rules may be nil for the
-// standard set; the server-side procedures enforce the same rules.
+// NewSystem creates an empty single-server PDM system. rules may be
+// nil for the standard set; the server-side procedures enforce the
+// same rules. It is a thin wrapper over NewCluster with no replica
+// sites — a one-site cluster consisting of just the primary — kept as
+// the convenient entry point for every non-replicated scenario.
 func NewSystem(rules *RuleTable) *System {
+	cl, err := NewCluster(rules)
+	if err != nil {
+		// Unreachable: a cluster without site configs cannot fail.
+		panic(err)
+	}
+	return cl.Primary()
+}
+
+// newPrimarySystem builds the primary's database, server and rule
+// table (the pre-cluster NewSystem body).
+func newPrimarySystem(rules *RuleTable) *System {
 	if rules == nil {
 		rules = StandardRules()
 	}
@@ -166,6 +190,10 @@ func NewSystem(rules *RuleTable) *System {
 		id:     fmt.Sprintf("sys%d", nextSystemID.Add(1)),
 	}
 }
+
+// Cluster returns the cluster this system is the primary of (a
+// site-less cluster for NewSystem-created systems).
+func (s *System) Cluster() *Cluster { return s.cluster }
 
 // LoadProduct generates a product structure into the system's database
 // and returns its ground truth.

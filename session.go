@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"pdmtune/internal/core"
 	"pdmtune/internal/netsim"
+	"pdmtune/internal/topology"
 	"pdmtune/internal/wire"
 )
 
@@ -25,7 +27,11 @@ func StreamTransport(stream io.ReadWriter) Transport { return &wire.StreamChanne
 // Metrics the simulation produces).
 func MeteredTransport(inner Transport, meter *Meter) Transport { return wire.Metered(inner, meter) }
 
-// sessionConfig collects the functional options of System.Open.
+// sessionConfig collects the functional options of System.Open and
+// Cluster.OpenAt. The *Set flags record which options the caller gave
+// explicitly — that is what the up-front conflict validation checks,
+// so an invalid combination fails at Open with an *OptionError instead
+// of one option silently shadowing the other.
 type sessionConfig struct {
 	link              Link
 	user              UserContext
@@ -42,16 +48,109 @@ type sessionConfig struct {
 	compress          bool
 	compressThreshold int
 	openCtx           context.Context
+	site              string
+	maxStaleness      time.Duration
+
+	linkSet         bool
+	transportSet    bool
+	cacheSet        bool
+	sharedCacheSet  bool
+	maxStalenessSet bool
 }
 
-// Option configures a Session opened with System.Open.
+// Option configures a Session opened with System.Open or
+// Cluster.OpenAt.
 type Option func(*sessionConfig) error
 
-// WithLink selects the WAN profile of the simulated transport. It is
-// ignored when WithTransport supplies a custom transport and WithMeter
-// a custom meter. Default: the paper's intercontinental link.
+// OptionError reports an invalid option or option combination passed
+// to System.Open / Cluster.OpenAt. Conflicts are rejected up front —
+// one structured error naming both options — rather than resolved by
+// silently letting one option shadow the other.
+type OptionError struct {
+	// Option is the option that cannot apply.
+	Option string
+	// Conflict is the option it conflicts with ("" when the option is
+	// invalid on its own).
+	Conflict string
+	// Reason explains the rejection.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	if e.Conflict != "" {
+		return fmt.Sprintf("pdmtune: %s conflicts with %s: %s", e.Option, e.Conflict, e.Reason)
+	}
+	return fmt.Sprintf("pdmtune: %s: %s", e.Option, e.Reason)
+}
+
+// validate rejects conflicting option combinations. It runs after all
+// options applied, so the check sees the full configuration regardless
+// of option order.
+func (c *sessionConfig) validate() error {
+	if c.cacheSet && c.sharedCacheSet {
+		return &OptionError{Option: "WithSharedCache", Conflict: "WithCache",
+			Reason: "a session has exactly one structure cache; pass either a private size or a shared store"}
+	}
+	if c.transportSet && c.linkSet {
+		return &OptionError{Option: "WithLink", Conflict: "WithTransport",
+			Reason: "a custom transport carries its own network; meter it with MeteredTransport/WithMeter instead"}
+	}
+	replica := c.site != "" && c.site != PrimarySite
+	if c.maxStalenessSet && !replica {
+		return &OptionError{Option: "WithMaxStaleness",
+			Reason: "a staleness bound applies to replica reads; open the session at a site (Cluster.OpenAt / WithSite)"}
+	}
+	if c.transportSet && replica {
+		return &OptionError{Option: "WithTransport", Conflict: "WithSite",
+			Reason: "a custom transport would bypass the site's replica; sessions at a site use the site's server"}
+	}
+	return nil
+}
+
+// WithLink selects the network profile of the simulated transport:
+// the client↔server link for a primary session (default: the paper's
+// intercontinental WAN), the client↔replica link for a session opened
+// at a site (default: LAN — the whole point of a local replica).
+// Combining it with WithTransport is a conflict: a custom transport
+// carries its own network.
 func WithLink(l Link) Option {
-	return func(c *sessionConfig) error { c.link = l; return nil }
+	return func(c *sessionConfig) error { c.link = l; c.linkSet = true; return nil }
+}
+
+// WithSite opens the session at a named replica site of the system's
+// cluster: reads are served by the site's replica over the local link,
+// writes cross the site's WAN link to the primary. Cluster.OpenAt is
+// the usual spelling; the option exists so site selection composes
+// with everything else. The name PrimarySite selects the primary
+// itself; an empty or unknown name fails Open with an *OptionError —
+// a typo must not silently open a full-WAN primary session.
+func WithSite(name string) Option {
+	return func(c *sessionConfig) error {
+		if name == "" {
+			return &OptionError{Option: "WithSite",
+				Reason: "empty site name; use PrimarySite to address the primary explicitly"}
+		}
+		c.site = name
+		return nil
+	}
+}
+
+// WithMaxStaleness bounds how stale the session's replica reads may
+// be: before an action's first fetch, the site is synced when its last
+// sync is older than d (d = 0: sync before every action). Without this
+// option a site session never syncs at read time — it reads whatever
+// the site last pulled, the paper-faithful "read your own site"
+// semantics — and freshness is driven explicitly via Cluster.SyncSite
+// or SyncAll. Only valid for sessions opened at a replica site.
+func WithMaxStaleness(d time.Duration) Option {
+	return func(c *sessionConfig) error {
+		if d < 0 {
+			return &OptionError{Option: "WithMaxStaleness", Reason: "the bound must be >= 0"}
+		}
+		c.maxStaleness = d
+		c.maxStalenessSet = true
+		return nil
+	}
 }
 
 // WithUser sets the session's user context (name, structure options,
@@ -144,10 +243,16 @@ func WithOpenContext(ctx context.Context) Option {
 // check-in actions invalidate affected entries locally. A size <= 0
 // selects the default bound. The bound counts structure entries only
 // (type lookups live in their own bounded store). WithCache and
-// WithSharedCache are mutually exclusive; as with every functional
-// option, the last one given wins.
+// WithSharedCache are mutually exclusive: passing both fails Open
+// with an *OptionError.
 func WithCache(size int) Option {
-	return func(c *sessionConfig) error { c.cacheOn = true; c.cacheSize = size; c.cache = nil; return nil }
+	return func(c *sessionConfig) error {
+		c.cacheOn = true
+		c.cacheSize = size
+		c.cache = nil
+		c.cacheSet = true
+		return nil
+	}
 }
 
 // WithSharedCache attaches an existing structure cache, so many
@@ -155,7 +260,8 @@ func WithCache(size int) Option {
 // other's write invalidations. Entries are keyed by system, user,
 // rules and strategy in addition to the object, so sessions can never
 // see results their own rules (or another system's database) would
-// not produce. Overrides any earlier WithCache, and vice versa.
+// not produce. Mutually exclusive with WithCache: passing both fails
+// Open with an *OptionError.
 func WithSharedCache(cache *Cache) Option {
 	return func(c *sessionConfig) error {
 		if cache == nil {
@@ -163,6 +269,7 @@ func WithSharedCache(cache *Cache) Option {
 		}
 		c.cache = cache
 		c.cacheOn = false
+		c.sharedCacheSet = true
 		return nil
 	}
 }
@@ -170,13 +277,16 @@ func WithSharedCache(cache *Cache) Option {
 // WithTransport substitutes a custom transport for the in-process
 // metered simulation — e.g. a StreamChannel over loopback TCP. Unless
 // WithMeter supplies one, such a session has no meter: combine with
-// MeteredTransport/WithMeter to keep WAN accounting.
+// MeteredTransport/WithMeter to keep WAN accounting. Conflicts with
+// WithLink (the transport carries its own network) and with sessions
+// opened at a replica site (they must talk to the site's server).
 func WithTransport(t Transport) Option {
 	return func(c *sessionConfig) error {
 		if t == nil {
 			return fmt.Errorf("pdmtune: WithTransport requires a non-nil transport")
 		}
 		c.transport = t
+		c.transportSet = true
 		return nil
 	}
 }
@@ -217,6 +327,11 @@ type Session struct {
 	client *Client
 	meter  *Meter
 	caps   WireCaps
+	// site is the site the session was opened at (PrimarySite for
+	// direct primary sessions); wan is the session's meter on the
+	// site↔primary link (nil for primary sessions).
+	site string
+	wan  *Meter
 }
 
 // WireCaps are the wire capabilities a session actually negotiated —
@@ -243,6 +358,14 @@ type WireCaps struct {
 //	    pdmtune.WithPreparedStatements(true),
 //	)
 func (s *System) Open(opts ...Option) (*Session, error) {
+	return s.open(context.Background(), opts)
+}
+
+// open is the shared implementation of System.Open and Cluster.OpenAt.
+// ctx bounds the wire exchanges opening itself performs (bootstrap
+// sync of a never-synced site, capability negotiation); WithOpenContext
+// overrides it.
+func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 	cfg := sessionConfig{
 		link:     Intercontinental(),
 		user:     DefaultUser("user"),
@@ -257,34 +380,84 @@ func (s *System) Open(opts ...Option) (*Session, error) {
 			return nil, err
 		}
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	openCtx := cfg.openCtx
+	if openCtx == nil {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		openCtx = ctx
+	}
+
+	// Resolve the site. A replica session reads from the site's server
+	// over the local link (LAN unless WithLink overrides it) and routes
+	// writes to the primary over the site's WAN link.
+	var site *topology.Site
+	if cfg.site != "" && cfg.site != PrimarySite {
+		var ok bool
+		if site, ok = s.cluster.sites[cfg.site]; !ok {
+			return nil, &OptionError{Option: "WithSite",
+				Reason: fmt.Sprintf("unknown site %q (have %v)", cfg.site, s.cluster.SiteNames())}
+		}
+		if !cfg.linkSet {
+			cfg.link = LAN()
+		}
+	}
+
 	meter := cfg.meter
 	transport := cfg.transport
 	if transport == nil {
-		// Default transport: the in-process metered simulation.
+		// Default transport: the in-process metered simulation, against
+		// the site's replica server for replica sessions.
 		if meter == nil {
 			meter = netsim.NewMeter(cfg.link)
 		}
-		transport = &wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: meter}
+		server := s.Server
+		if site != nil {
+			server = site.Server()
+		}
+		transport = &wire.MeteredChannel{Conn: server.NewConn(), Meter: meter}
 	}
 	client := core.NewClient(transport, meter, cfg.rules, cfg.user, cfg.strategy)
 	client.SetBatching(cfg.batching)
 	client.SetPrepared(cfg.prepared)
+	sess := &Session{client: client, meter: meter, site: PrimarySite}
+	if site != nil {
+		// Write path: the session's own connection to the primary,
+		// metered on the site's WAN link.
+		wan := netsim.NewMeter(site.Link())
+		client.SetPrimary(&wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: wan}, wan)
+		bound := time.Duration(-1) // read your own site
+		if cfg.maxStalenessSet {
+			bound = cfg.maxStaleness
+		}
+		client.SetSiteSync(site, bound)
+		// A never-synced site has no catalog to read from yet:
+		// bootstrap it once, charged to the site's own meter.
+		if !site.Synced() {
+			if _, err := site.Sync(openCtx); err != nil {
+				return nil, fmt.Errorf("pdmtune: bootstrap sync of site %q: %w", cfg.site, err)
+			}
+		}
+		sess.site = cfg.site
+		sess.wan = wan
+	}
 	if cfg.cache == nil && cfg.cacheOn {
 		cfg.cache = NewCache(cfg.cacheSize)
 	}
 	if cfg.cache != nil {
+		// Replica reads validate against the site's mirrored version
+		// log, so entries are interchangeable across the cluster's
+		// sites — one namespace per system, not per site.
 		client.SetCache(cfg.cache, s.id)
 	}
-	sess := &Session{client: client, meter: meter}
 	if cfg.columnar || cfg.compress {
 		// One negotiation round trip at session open (charged to the
 		// meter like any exchange, bounded by WithOpenContext); the
 		// server answers every later request in the accepted encodings.
-		ctx := cfg.openCtx
-		if ctx == nil {
-			ctx = context.Background()
-		}
-		caps, err := client.NegotiateWire(ctx, cfg.columnar, cfg.compress, cfg.compressThreshold)
+		caps, err := client.NegotiateWire(openCtx, cfg.columnar, cfg.compress, cfg.compressThreshold)
 		if err != nil {
 			return nil, fmt.Errorf("pdmtune: capability negotiation: %w", err)
 		}
@@ -313,21 +486,50 @@ func (s *Session) Cache() *Cache { return s.client.Cache() }
 // declined and the session silently degraded to the v1 encodings).
 func (s *Session) WireCaps() WireCaps { return s.caps }
 
-// Metrics returns the WAN metrics accumulated so far (zero when the
-// session has no meter).
-func (s *Session) Metrics() Metrics {
+// Metrics returns the traffic accumulated so far (zero when the
+// session has no meter): for a primary session its single meter, for a
+// session at a replica site the sum of its site-local reads and its
+// WAN writes (see LocalMetrics / WANMetrics for the split).
+func (s *Session) Metrics() Metrics { return s.client.Metrics() }
+
+// Site returns the name of the site the session was opened at
+// (PrimarySite for sessions opened directly against the primary).
+func (s *Session) Site() string { return s.site }
+
+// LocalMetrics returns the traffic charged to the session's own link —
+// everything for a primary session, the replica reads for a session at
+// a site.
+func (s *Session) LocalMetrics() Metrics {
 	if s.meter == nil {
 		return Metrics{}
 	}
 	return s.meter.Metrics
 }
 
-// ResetMetrics clears the session's meter (between actions).
-func (s *Session) ResetMetrics() {
-	if s.meter != nil {
-		s.meter.Reset()
+// WANMetrics returns the session's traffic across the site↔primary WAN
+// link: the writes (check-out/check-in, CALLs, raw DML) a replica
+// session routed to the primary. Zero for sessions opened at the
+// primary, whose entire traffic is in LocalMetrics. Replication pulls
+// are not here — they are charged to the site's meter (Site.Metrics),
+// shared by every session at the site.
+func (s *Session) WANMetrics() Metrics {
+	if s.wan == nil {
+		return Metrics{}
 	}
+	return s.wan.Metrics
 }
+
+// ResetMetrics clears the session's meters (between actions).
+func (s *Session) ResetMetrics() { s.client.ResetMetrics() }
+
+// Close releases the session's server-side state: every connection
+// that prepared statements gets one teardown round trip clearing its
+// registry (a session that never prepared closes for free). Without
+// Close, the statements a session prepared live on the server for the
+// life of the connection. The session remains usable afterwards —
+// later prepared executions re-prepare — so Close is safe to defer
+// right after Open.
+func (s *Session) Close() error { return s.client.Close(context.Background()) }
 
 // Query performs the set-oriented Query action: all nodes of a product
 // in one statement.
