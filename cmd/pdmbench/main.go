@@ -51,9 +51,21 @@ func main() {
 	sites := flag.Int("sites", 0, "simulate N replica sites (reads at LAN cost, sync across the WAN)")
 	staleness := flag.Duration("staleness", -1, "staleness bound of the per-site sessions (-1: read your own site)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
+	users := flag.Int("users", 0, "run the concurrent-users benchmark with N sessions")
+	poolSize := flag.Int("pool", 32, "connection-pool size for -users sessions")
+	userOps := flag.Int("ops", 20, "operations per user for -users")
+	coarse := flag.Bool("coarse", false, "ablation: run -users on the old single database-wide RWMutex")
+	cores := flag.Int("cores", 8, "server cores for the modeled fine-vs-coarse comparison of -users")
 	jsonOut := flag.Bool("json", false, "emit machine-readable simulation metrics as JSON")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
+
+	// -users is its own mode (other selectors, e.g. -simulate, are
+	// compatible no-ops so CI can pass one flag set everywhere).
+	if *users > 0 {
+		runUsers(*users, *poolSize, *userOps, *coarse, *cores, *jsonOut)
+		return
+	}
 
 	if *jsonOut {
 		if *sites > 0 {

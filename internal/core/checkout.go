@@ -22,6 +22,23 @@ type CheckOutResult struct {
 	Metrics netsim.Metrics
 }
 
+// ConflictError reports a first-wins write race lost: a concurrent
+// check-out grabbed part of the subtree between this client's rule
+// check and its flag updates. The loser's partial updates have been
+// rolled back (procedure path) or compensated (client-driven path) —
+// the subtree is left untouched by the loser, and retrying after the
+// winner checks in is the caller's decision.
+type ConflictError struct {
+	// Action names the losing action ("check-out").
+	Action string
+	// Root is the subtree root the action targeted.
+	Root int64
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("pdm: %s of %d lost a concurrent write race (first wins); retry after the winner checks in", e.Action, e.Root)
+}
+
 // CheckOutRule returns the paper's example 2 as a rule: "permits every
 // user to check-out an entire subtree if all nodes in this subtree are
 // checked-in" (∀n ∈ tree(assembly): n.checkedout ≠ TRUE).
@@ -55,9 +72,47 @@ func (c *Client) CheckOut(ctx context.Context, root int64) (*CheckOutResult, err
 	// The flags just flipped under every cached entry covering this
 	// subtree — retire them locally, without a round trip.
 	c.invalidateTree(res.Tree)
+	// First-wins: the conditional updates flip only still-checked-in
+	// rows, so a shortfall means a concurrent check-out won part of the
+	// subtree between our rule check and our updates. Compensate by
+	// releasing the rows we did grab and report the lost race.
+	if expected := checkableNodes(res.Tree); updated < expected {
+		if _, err := c.setCheckedOut(ctx, res.Tree, false); err != nil {
+			return nil, fmt.Errorf("pdm: compensating lost check-out race: %w", err)
+		}
+		if m := c.conflictMeter(); m != nil {
+			m.CountContention(0, 0, 1)
+		}
+		out.Granted = false
+		out.Updated = 0
+		out.Metrics = c.delta(before)
+		return out, &ConflictError{Action: "check-out", Root: root}
+	}
 	out.Updated = updated
 	out.Metrics = c.delta(before)
 	return out, nil
+}
+
+// checkableNodes counts the tree nodes that live in an object table and
+// therefore carry a checked-out flag.
+func checkableNodes(tree *Tree) int {
+	n := 0
+	tree.Walk(func(node *Node) {
+		if node.Type == "assy" || node.Type == "comp" {
+			n++
+		}
+	})
+	return n
+}
+
+// conflictMeter picks the meter write conflicts are charged to: the
+// write path's WAN meter when the session has one, the session meter
+// otherwise.
+func (c *Client) conflictMeter() *netsim.Meter {
+	if c.writeMeter != nil {
+		return c.writeMeter
+	}
+	return c.meter
 }
 
 // CheckIn releases a previously checked-out subtree owned by the user.
@@ -203,15 +258,25 @@ func (c *Client) callCheckProc(ctx context.Context, proc string, root int64) (*C
 		return nil, err
 	}
 	out := &CheckOutResult{Metrics: c.delta(before)}
-	if len(resp.Rows) == 1 && len(resp.Rows[0]) == 2 {
+	conflict := false
+	if len(resp.Rows) == 1 && len(resp.Rows[0]) >= 2 {
 		out.Granted = types.Truth(resp.Rows[0][0]) == types.True
 		out.Updated = int(resp.Rows[0][1].Int())
+		// Servers since the MVCC redesign add a third column flagging a
+		// lost first-wins race; two-column answers (older servers) never
+		// report conflicts.
+		if len(resp.Rows[0]) >= 3 {
+			conflict = types.Truth(resp.Rows[0][2]) == types.True
+		}
 	}
 	// The procedure modified a subtree the client never fetched: retire
 	// the root's entries locally; deeper cached entries are caught by
 	// the next validate-on-use exchange (the server bumped their nodes).
 	if out.Granted && out.Updated > 0 {
 		c.invalidateCache([]int64{root})
+	}
+	if conflict {
+		return out, &ConflictError{Action: "check-out", Root: root}
 	}
 	return out, nil
 }
@@ -265,11 +330,27 @@ func checkProc(rules *RuleTable, out bool) minisql.Procedure {
 		}
 		granted := tree.Root != nil
 		updated := 0
+		conflict := false
 		if granted {
 			ids := map[string][]string{}
+			expected := 0
 			tree.Walk(func(n *Node) {
-				ids[n.Type] = append(ids[n.Type], fmt.Sprintf("%d", n.ObID))
+				if n.Type == "assy" || n.Type == "comp" {
+					ids[n.Type] = append(ids[n.Type], fmt.Sprintf("%d", n.ObID))
+					expected++
+				}
 			})
+			// The rule check above ran against a lock-free snapshot; the
+			// updates below re-verify row by row (conditional WHERE) while
+			// holding both object tables' write latches, so between two
+			// racing check-outs of overlapping subtrees exactly one sees
+			// all its conditions still true — first wins, the loser rolls
+			// back.
+			release, err := s.LockTables("assy", "comp")
+			if err != nil {
+				return nil, err
+			}
+			defer release()
 			if _, err := s.Exec("BEGIN"); err != nil {
 				return nil, err
 			}
@@ -294,13 +375,24 @@ func checkProc(rules *RuleTable, out bool) minisql.Procedure {
 				}
 				updated += r.RowsAffected
 			}
-			if _, err := s.Exec("COMMIT"); err != nil {
+			if out && updated < expected {
+				// A concurrent check-out committed part of this subtree
+				// after our snapshot: we are the loser. Undo our partial
+				// grab and report the conflict.
+				if _, err := s.Exec("ROLLBACK"); err != nil {
+					return nil, err
+				}
+				s.CountWriteConflict()
+				granted = false
+				updated = 0
+				conflict = true
+			} else if _, err := s.Exec("COMMIT"); err != nil {
 				return nil, err
 			}
 		}
 		return &minisql.Result{
-			Cols: []string{"granted", "updated"},
-			Rows: []minisql.Row{{types.NewBool(granted), types.NewInt(int64(updated))}},
+			Cols: []string{"granted", "updated", "conflict"},
+			Rows: []minisql.Row{{types.NewBool(granted), types.NewInt(int64(updated)), types.NewBool(conflict)}},
 		}, nil
 	}
 }

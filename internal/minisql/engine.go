@@ -13,8 +13,10 @@ package minisql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"pdmtune/internal/minisql/ast"
 	"pdmtune/internal/minisql/exec"
@@ -59,15 +61,37 @@ type Options struct {
 	DisableSubqueryCache bool
 	// MaxRecursion bounds recursive CTE iterations (0 = default 100000).
 	MaxRecursion int
+	// CoarseLocking restores the pre-MVCC concurrency story — every
+	// statement under one database-wide reader/writer lock, the paper's
+	// "more or less simple record manager" — as an ablation knob for
+	// contention benchmarks (pdmbench -coarse). The default is snapshot
+	// isolation: reads run lock-free against a version-log snapshot and
+	// writers serialize per table only.
+	CoarseLocking bool
 }
 
-// DB is an in-memory database instance. It is safe for concurrent use;
-// statements execute under a database-wide reader/writer lock, which is
-// the "more or less simple record manager" concurrency the paper's PDM
-// systems assume.
+// DB is an in-memory database instance, safe for concurrent use by any
+// number of sessions.
+//
+// Concurrency model (the MVCC redesign; see also storage's package
+// comment): a read statement captures the version-log epoch once and
+// evaluates entirely against that snapshot — it takes no locks and is
+// never blocked by writers. A write statement takes only its target
+// table's write latch, stages its mutations as pending row versions,
+// and publishes them atomically under one fresh epoch. The old
+// database-wide RWMutex survives solely behind Options.CoarseLocking
+// as an ablation path.
 type DB struct {
-	mu    sync.RWMutex
 	store *storage.DB
+
+	// coarse is the database-wide reader/writer lock of the ablation
+	// mode (Options.CoarseLocking); unused otherwise.
+	coarse sync.RWMutex
+
+	// regMu guards the registries and options. The function/procedure
+	// maps are copy-on-write so statements can read them lock-free
+	// after grabbing the reference.
+	regMu sync.RWMutex
 	funcs map[string]ScalarFunc
 	procs map[string]Procedure
 	opts  Options
@@ -86,9 +110,16 @@ func NewDB() *DB {
 
 // SetOptions replaces the engine options.
 func (db *DB) SetOptions(o Options) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
 	db.opts = o
+}
+
+// options returns the current engine options.
+func (db *DB) options() Options {
+	db.regMu.RLock()
+	defer db.regMu.RUnlock()
+	return db.opts
 }
 
 // SetVersionKey overrides the version-key column of a table (see
@@ -97,24 +128,26 @@ func (db *DB) SetOptions(o Options) {
 // override is remembered for tables created later, so it can be
 // registered before the schema is loaded.
 func (db *DB) SetVersionKey(table, column string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	return db.store.SetVersionKey(table, column)
 }
 
 // Epoch returns the database's current modification epoch — the
-// version stamp a fetch performed now would carry.
+// version stamp a fetch performed now would carry, and the snapshot a
+// statement started now would read at.
 func (db *DB) Epoch() uint64 { return db.store.Versions().Epoch() }
 
 // ExtractDelta collects the replication delta above the given epoch:
-// the current rows (full rows, keyed by version key) of every object
-// modified after it, plus the version stamps a replica needs to mirror
-// this database's log. The returned rows alias the live storage —
-// row slices are immutable once stored, so the snapshot stays valid
-// after the lock is released.
+// the rows (full rows, keyed by version key) of every object modified
+// after it, plus the version stamps a replica needs to mirror this
+// database's log. The extraction is a consistent snapshot read — the
+// stamp set and capture epoch come from the version log atomically and
+// the rows are resolved at that epoch — so no lock is held and
+// concurrent writers proceed undisturbed.
 func (db *DB) ExtractDelta(since uint64) *storage.Delta {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	if db.options().CoarseLocking {
+		db.coarse.RLock()
+		defer db.coarse.RUnlock()
+	}
 	return db.store.ExtractDelta(since)
 }
 
@@ -122,10 +155,14 @@ func (db *DB) ExtractDelta(since uint64) *storage.Delta {
 // transactionally: on error the database is left as it was. The
 // version log is fast-forwarded to the primary's stamps instead of
 // bumping locally, so validate exchanges against this replica answer
-// exactly as the primary would.
+// exactly as the primary would. The apply latches every affected
+// table; replica readers see the delta atomically when the final epoch
+// fast-forward publishes it.
 func (db *DB) ApplyDelta(d *storage.Delta) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	if db.options().CoarseLocking {
+		db.coarse.Lock()
+		defer db.coarse.Unlock()
+	}
 	return db.store.ApplyDelta(d)
 }
 
@@ -135,23 +172,38 @@ func (db *DB) LastModified(key int64) uint64 { return db.store.Versions().LastMo
 
 // RegisterFunc installs a stored scalar function callable from SQL.
 func (db *DB) RegisterFunc(name string, fn ScalarFunc) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.funcs[strings.ToLower(name)] = fn
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
+	m := make(map[string]ScalarFunc, len(db.funcs)+1)
+	for k, v := range db.funcs {
+		m[k] = v
+	}
+	m[strings.ToLower(name)] = fn
+	db.funcs = m
 }
 
 // RegisterProc installs a stored procedure callable via CALL name(...).
 func (db *DB) RegisterProc(name string, p Procedure) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.procs[strings.ToLower(name)] = p
+	db.regMu.Lock()
+	defer db.regMu.Unlock()
+	m := make(map[string]Procedure, len(db.procs)+1)
+	for k, v := range db.procs {
+		m[k] = v
+	}
+	m[strings.ToLower(name)] = p
+	db.procs = m
+}
+
+// registry returns the current (immutable) function and procedure maps.
+func (db *DB) registry() (map[string]ScalarFunc, map[string]Procedure) {
+	db.regMu.RLock()
+	defer db.regMu.RUnlock()
+	return db.funcs, db.procs
 }
 
 // NumRows reports the live row count of a table (0 if absent); used by
 // tests and diagnostics.
 func (db *DB) NumRows(table string) int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	t, ok := db.store.Table(table)
 	if !ok {
 		return 0
@@ -161,21 +213,176 @@ func (db *DB) NumRows(table string) int {
 
 // TableNames lists the tables in the catalog.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.store.TableNames()
 }
 
+// ContentionStats counts a session's brushes with the engine's
+// concurrency machinery: time spent waiting for write latches (or the
+// coarse lock, or a pooled connection), snapshots opened for read
+// statements, and first-wins write conflicts lost. The wire layer
+// drains them per round trip into the netsim meters, which is how
+// contention becomes observable per session and per site.
+type ContentionStats struct {
+	// LockWaitNanos is the total time spent blocked acquiring write
+	// latches (and, in coarse mode, the database-wide lock).
+	LockWaitNanos int64
+	// SnapshotsStarted counts read statements that opened a snapshot.
+	SnapshotsStarted int64
+	// WriteConflicts counts first-wins races lost (check-out conflicts).
+	WriteConflicts int64
+}
+
+// IsZero reports whether the stats count nothing.
+func (c ContentionStats) IsZero() bool { return c == ContentionStats{} }
+
+// Add accumulates other into c.
+func (c *ContentionStats) Add(o ContentionStats) {
+	c.LockWaitNanos += o.LockWaitNanos
+	c.SnapshotsStarted += o.SnapshotsStarted
+	c.WriteConflicts += o.WriteConflicts
+}
+
 // Session is one client connection to the database. Sessions are not
-// safe for concurrent use; create one per goroutine.
+// safe for concurrent use; create one per goroutine (the wire layer's
+// connection pool multiplexes many client sessions over few engine
+// sessions, serializing statements per session).
 type Session struct {
 	db   *DB
 	inTx bool
 	undo []storage.Undo
+
+	// held tracks latches acquired by an enclosing LockTables, so the
+	// statements of a multi-table procedure do not re-acquire (and
+	// deadlock on) latches the procedure already holds.
+	held *heldLocks
+
+	stats ContentionStats
+}
+
+type heldLocks struct {
+	coarse bool
+	tables map[*storage.Table]bool
 }
 
 // NewSession opens a session.
 func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// TakeContention returns the session's accumulated contention counters
+// and resets them — the per-round-trip drain the wire server uses.
+func (s *Session) TakeContention() ContentionStats {
+	st := s.stats
+	s.stats = ContentionStats{}
+	return st
+}
+
+// CountWriteConflict records a lost first-wins write race (called by
+// stored procedures that detect conflicts, e.g. pdm_check_out).
+func (s *Session) CountWriteConflict() { s.stats.WriteConflicts++ }
+
+// AddLockWait folds externally measured lock-wait time (e.g. the wire
+// pool's connection-acquire wait) into the session's counters.
+func (c *ContentionStats) AddLockWait(d time.Duration) { c.LockWaitNanos += int64(d) }
+
+// lockWrite acquires the write path for one table — the table's latch,
+// or the database-wide lock in coarse mode — measuring the time spent
+// blocked. The returned func releases it. A latch already held by an
+// enclosing LockTables is not re-acquired.
+func (s *Session) lockWrite(t *storage.Table) func() {
+	if s.db.options().CoarseLocking {
+		if s.held != nil && s.held.coarse {
+			return func() {}
+		}
+		start := time.Now()
+		s.db.coarse.Lock()
+		s.stats.LockWaitNanos += time.Since(start).Nanoseconds()
+		return s.db.coarse.Unlock
+	}
+	if t == nil || (s.held != nil && s.held.tables[t]) {
+		return func() {}
+	}
+	if t.TryLock() {
+		return t.Unlock
+	}
+	start := time.Now()
+	t.Lock()
+	s.stats.LockWaitNanos += time.Since(start).Nanoseconds()
+	return t.Unlock
+}
+
+// lockRead acquires the read path: nothing at all under snapshot
+// isolation, the shared side of the database-wide lock in coarse mode.
+func (s *Session) lockRead() func() {
+	if s.db.options().CoarseLocking {
+		if s.held != nil && s.held.coarse {
+			return func() {}
+		}
+		start := time.Now()
+		s.db.coarse.RLock()
+		s.stats.LockWaitNanos += time.Since(start).Nanoseconds()
+		return s.db.coarse.RUnlock
+	}
+	return func() {}
+}
+
+// snapshotEpoch opens a read snapshot: the statement evaluates as of
+// this epoch regardless of concurrent commits.
+func (s *Session) snapshotEpoch() uint64 {
+	s.stats.SnapshotsStarted++
+	return s.db.store.Versions().Epoch()
+}
+
+// LockTables acquires the write latches of the named tables (in sorted
+// name order, the same order every multi-table writer uses, so
+// concurrent acquirers cannot deadlock) and holds them until the
+// returned release func runs. It is the engine's multi-statement write
+// unit: statements the session executes in between skip re-acquiring
+// the held latches, which is what lets a stored procedure make a
+// read-check-update sequence atomic against other writers (first-wins
+// check-out). Missing tables are skipped. In coarse mode the database
+// lock is taken instead.
+func (s *Session) LockTables(names ...string) (func(), error) {
+	if s.held != nil {
+		return nil, fmt.Errorf("minisql: LockTables while table locks are already held")
+	}
+	if s.db.options().CoarseLocking {
+		start := time.Now()
+		s.db.coarse.Lock()
+		s.stats.LockWaitNanos += time.Since(start).Nanoseconds()
+		s.held = &heldLocks{coarse: true}
+		return func() {
+			s.held = nil
+			s.db.coarse.Unlock()
+		}, nil
+	}
+	sorted := make([]string, len(names))
+	for i, n := range names {
+		sorted[i] = strings.ToLower(n)
+	}
+	sort.Strings(sorted)
+	var tabs []*storage.Table
+	seen := map[*storage.Table]bool{}
+	for _, n := range sorted {
+		if t, ok := s.db.store.Table(n); ok && !seen[t] {
+			seen[t] = true
+			tabs = append(tabs, t)
+		}
+	}
+	for _, t := range tabs {
+		if t.TryLock() {
+			continue
+		}
+		start := time.Now()
+		t.Lock()
+		s.stats.LockWaitNanos += time.Since(start).Nanoseconds()
+	}
+	s.held = &heldLocks{tables: seen}
+	return func() {
+		s.held = nil
+		for i := len(tabs) - 1; i >= 0; i-- {
+			tabs[i].Unlock()
+		}
+	}, nil
+}
 
 // Exec parses and executes a single statement with optional positional
 // parameters bound to '?' placeholders.
@@ -219,13 +426,15 @@ func (s *Session) Query(sql string, params ...Value) (*Result, error) {
 	return res, nil
 }
 
-// ExecStmt executes an already-parsed statement.
+// ExecStmt executes an already-parsed statement. Reads run against a
+// snapshot captured here; writes latch their target table for the
+// statement's duration and commit atomically.
 func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error) {
 	switch st := stmt.(type) {
 	case *ast.Select:
-		s.db.mu.RLock()
-		defer s.db.mu.RUnlock()
-		ctx := s.newContext(params)
+		unlock := s.lockRead()
+		defer unlock()
+		ctx := s.newContext(params, s.snapshotEpoch())
 		rel, err := ctx.EvalSelect(st, nil)
 		if err != nil {
 			return nil, err
@@ -233,37 +442,31 @@ func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error)
 		return &Result{Cols: rel.ColNames(), Rows: rel.Rows}, nil
 
 	case *ast.Explain:
-		s.db.mu.RLock()
-		defer s.db.mu.RUnlock()
+		unlock := s.lockRead()
+		defer unlock()
 		return s.explain(st.Stmt, params)
 
 	case *ast.Insert:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.execInsert(st, params)
 
 	case *ast.Update:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.execUpdate(st, params)
 
 	case *ast.Delete:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		return s.execDelete(st, params)
 
 	case *ast.CreateTable:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
+		unlock := s.lockWrite(nil) // catalog ops self-synchronize; coarse mode still serializes
+		defer unlock()
 		return s.execCreateTable(st)
 
 	case *ast.CreateIndex:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
 		t, ok := s.db.store.Table(st.Table)
 		if !ok {
 			return nil, fmt.Errorf("sql: no such table %s", st.Table)
 		}
+		unlock := s.lockWrite(t)
+		defer unlock()
 		if st.IfNotExists && t.HasIndex(st.Name) {
 			return &Result{}, nil
 		}
@@ -273,8 +476,8 @@ func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error)
 		return &Result{}, nil
 
 	case *ast.DropTable:
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
+		unlock := s.lockWrite(nil)
+		defer unlock()
 		if err := s.db.store.DropTable(st.Name, st.IfExists); err != nil {
 			return nil, err
 		}
@@ -300,25 +503,15 @@ func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error)
 		if !s.inTx {
 			return nil, fmt.Errorf("sql: no transaction in progress")
 		}
-		s.db.mu.Lock()
-		defer s.db.mu.Unlock()
-		for i := len(s.undo) - 1; i >= 0; i-- {
-			if err := s.undo[i].Apply(); err != nil {
-				return nil, fmt.Errorf("sql: rollback failed: %v", err)
-			}
-		}
-		s.inTx = false
-		s.undo = s.undo[:0]
-		return &Result{}, nil
+		return s.execRollback()
 
 	case *ast.Call:
-		s.db.mu.RLock()
-		proc, ok := s.db.procs[strings.ToLower(st.Proc)]
-		s.db.mu.RUnlock()
+		_, procs := s.db.registry()
+		proc, ok := procs[strings.ToLower(st.Proc)]
 		if !ok {
 			return nil, fmt.Errorf("sql: no such procedure %s", st.Proc)
 		}
-		ctx := s.newContext(params)
+		ctx := s.newContext(params, 0)
 		args := make([]Value, len(st.Args))
 		for i, a := range st.Args {
 			v, err := ctx.EvalExpr(a, nil)
@@ -332,15 +525,55 @@ func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error)
 	return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
 }
 
-func (s *Session) newContext(params []Value) *exec.Context {
+// execRollback reverses the open transaction's undo log. The latches
+// of every touched table are taken (sorted) so the rollback is atomic
+// against concurrent writers; latches already held by an enclosing
+// LockTables are reused.
+func (s *Session) execRollback() (*Result, error) {
+	tables := map[*storage.Table]bool{}
+	for _, u := range s.undo {
+		tables[u.Table] = true
+	}
+	var order []*storage.Table
+	for t := range tables {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return strings.ToLower(order[a].Schema.Name) < strings.ToLower(order[b].Schema.Name)
+	})
+	var unlocks []func()
+	for _, t := range order {
+		unlocks = append(unlocks, s.lockWrite(t))
+	}
+	defer func() {
+		for i := len(unlocks) - 1; i >= 0; i-- {
+			unlocks[i]()
+		}
+	}()
+	for i := len(s.undo) - 1; i >= 0; i-- {
+		if err := s.undo[i].Apply(); err != nil {
+			return nil, fmt.Errorf("sql: rollback failed: %v", err)
+		}
+	}
+	s.inTx = false
+	s.undo = s.undo[:0]
+	return &Result{}, nil
+}
+
+// newContext builds an evaluation context reading at the given snapshot
+// epoch (0 = latest committed state, the write statements' view).
+func (s *Session) newContext(params []Value, epoch uint64) *exec.Context {
+	funcs, _ := s.db.registry()
+	opts := s.db.options()
 	return &exec.Context{
 		DB:                   s.db.store,
+		Epoch:                epoch,
 		Params:               params,
-		Funcs:                s.db.funcs,
+		Funcs:                funcs,
 		CTEs:                 map[string]*exec.Relation{},
 		SubqueryCache:        map[*ast.Select]*exec.Relation{},
-		DisableSubqueryCache: s.db.opts.DisableSubqueryCache,
-		MaxRecursion:         s.db.opts.MaxRecursion,
+		DisableSubqueryCache: opts.DisableSubqueryCache,
+		MaxRecursion:         opts.MaxRecursion,
 	}
 }
 
@@ -353,7 +586,7 @@ func (s *Session) record(u storage.Undo) {
 
 func (s *Session) execCreateTable(st *ast.CreateTable) (*Result, error) {
 	schema := &storage.Schema{Name: st.Name}
-	ctx := s.newContext(nil)
+	ctx := s.newContext(nil, 0)
 	for _, c := range st.Cols {
 		col := storage.Column{Name: c.Name, Type: c.Type, NotNull: c.NotNull, PrimaryKey: c.PrimaryKey}
 		if c.Default != nil {
@@ -382,7 +615,9 @@ func (s *Session) execInsert(st *ast.Insert, params []Value) (*Result, error) {
 		return nil, fmt.Errorf("sql: no such table %s", st.Table)
 	}
 	schema := table.Schema
-	ctx := s.newContext(params)
+	ctx := s.newContext(params, 0)
+	unlock := s.lockWrite(table)
+	defer unlock()
 
 	// Map the provided column list (or the full schema) to positions.
 	positions := make([]int, 0, len(schema.Cols))
@@ -422,50 +657,61 @@ func (s *Session) execInsert(st *ast.Insert, params []Value) (*Result, error) {
 		return row, nil
 	}
 
+	// The statement's mutations stage as one commit batch: they publish
+	// under a single epoch, and an error aborts the whole statement.
+	c := storage.NewCommit(s.db.store.Versions())
+	var undos []storage.Undo
 	n := 0
 	insert := func(row storage.Row) error {
-		id, err := table.Insert(row)
+		id, err := table.InsertC(c, row)
 		if err != nil {
 			return err
 		}
-		s.record(storage.Undo{Kind: storage.UndoInsert, Table: table, RowID: id})
+		undos = append(undos, storage.Undo{Kind: storage.UndoInsert, Table: table, RowID: id})
 		n++
 		return nil
+	}
+	fail := func(err error) (*Result, error) {
+		c.Abort()
+		return nil, err
 	}
 
 	if st.Select != nil {
 		rel, err := ctx.EvalSelect(st.Select, nil)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		for _, row := range rel.Rows {
 			r, err := buildRow(row)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
 			if err := insert(r); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
-		return &Result{RowsAffected: n}, nil
-	}
-
-	for _, exprRow := range st.Rows {
-		values := make([]Value, len(exprRow))
-		for i, e := range exprRow {
-			v, err := ctx.EvalExpr(e, nil)
+	} else {
+		for _, exprRow := range st.Rows {
+			values := make([]Value, len(exprRow))
+			for i, e := range exprRow {
+				v, err := ctx.EvalExpr(e, nil)
+				if err != nil {
+					return fail(err)
+				}
+				values[i] = v
+			}
+			r, err := buildRow(values)
 			if err != nil {
-				return nil, err
+				return fail(err)
 			}
-			values[i] = v
+			if err := insert(r); err != nil {
+				return fail(err)
+			}
 		}
-		r, err := buildRow(values)
-		if err != nil {
-			return nil, err
-		}
-		if err := insert(r); err != nil {
-			return nil, err
-		}
+	}
+	c.Commit()
+	for _, u := range undos {
+		s.record(u)
 	}
 	return &Result{RowsAffected: n}, nil
 }
@@ -476,7 +722,9 @@ func (s *Session) execUpdate(st *ast.Update, params []Value) (*Result, error) {
 		return nil, fmt.Errorf("sql: no such table %s", st.Table)
 	}
 	schema := table.Schema
-	ctx := s.newContext(params)
+	ctx := s.newContext(params, 0)
+	unlock := s.lockWrite(table)
+	defer unlock()
 
 	setPos := make([]int, len(st.Set))
 	for i, a := range st.Set {
@@ -493,7 +741,7 @@ func (s *Session) execUpdate(st *ast.Update, params []Value) (*Result, error) {
 	}
 
 	// Two-phase: gather matching row ids first, then mutate, so the scan
-	// is not disturbed by index updates.
+	// is not disturbed by the staged versions.
 	var ids []int
 	var evalErr error
 	table.Scan(func(id int, row storage.Row) bool {
@@ -515,6 +763,8 @@ func (s *Session) execUpdate(st *ast.Update, params []Value) (*Result, error) {
 		return nil, evalErr
 	}
 
+	c := storage.NewCommit(s.db.store.Versions())
+	var undos []storage.Undo
 	for _, id := range ids {
 		old, _ := table.Get(id)
 		before := append(storage.Row{}, old...)
@@ -523,14 +773,20 @@ func (s *Session) execUpdate(st *ast.Update, params []Value) (*Result, error) {
 		for i, a := range st.Set {
 			v, err := ctx.EvalExpr(a.Value, env)
 			if err != nil {
+				c.Abort()
 				return nil, err
 			}
 			newRow[setPos[i]] = v
 		}
-		if err := table.Update(id, newRow); err != nil {
+		if err := table.UpdateC(c, id, newRow); err != nil {
+			c.Abort()
 			return nil, err
 		}
-		s.record(storage.Undo{Kind: storage.UndoUpdate, Table: table, RowID: id, Before: before})
+		undos = append(undos, storage.Undo{Kind: storage.UndoUpdate, Table: table, RowID: id, Before: before})
+	}
+	c.Commit()
+	for _, u := range undos {
+		s.record(u)
 	}
 	return &Result{RowsAffected: len(ids)}, nil
 }
@@ -541,7 +797,9 @@ func (s *Session) execDelete(st *ast.Delete, params []Value) (*Result, error) {
 		return nil, fmt.Errorf("sql: no such table %s", st.Table)
 	}
 	schema := table.Schema
-	ctx := s.newContext(params)
+	ctx := s.newContext(params, 0)
+	unlock := s.lockWrite(table)
+	defer unlock()
 	cols := make([]exec.ColMeta, len(schema.Cols))
 	for i := range schema.Cols {
 		cols[i] = exec.ColMeta{Table: strings.ToLower(st.Table), Name: schema.Cols[i].Name}
@@ -566,13 +824,20 @@ func (s *Session) execDelete(st *ast.Delete, params []Value) (*Result, error) {
 	if evalErr != nil {
 		return nil, evalErr
 	}
+	c := storage.NewCommit(s.db.store.Versions())
+	var undos []storage.Undo
 	for _, id := range ids {
 		old, _ := table.Get(id)
 		before := append(storage.Row{}, old...)
-		if err := table.Delete(id); err != nil {
+		if err := table.DeleteC(c, id); err != nil {
+			c.Abort()
 			return nil, err
 		}
-		s.record(storage.Undo{Kind: storage.UndoDelete, Table: table, RowID: id, Before: before})
+		undos = append(undos, storage.Undo{Kind: storage.UndoDelete, Table: table, RowID: id, Before: before})
+	}
+	c.Commit()
+	for _, u := range undos {
+		s.record(u)
 	}
 	return &Result{RowsAffected: len(ids)}, nil
 }

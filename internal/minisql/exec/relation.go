@@ -124,6 +124,14 @@ type Context struct {
 	Params []types.Value
 	Funcs  map[string]ScalarFunc
 
+	// Epoch is the snapshot this evaluation reads at: base-table access
+	// resolves rows as of this VersionLog epoch, so a whole statement
+	// sees one consistent state no matter what commits concurrently.
+	// 0 means "latest committed state" — the view write statements
+	// (which run under their table's write latch) and ad-hoc contexts
+	// use. The engine sets a captured epoch for SELECTs.
+	Epoch uint64
+
 	// CTEs maps lower-cased CTE names to their (current) materialization.
 	CTEs map[string]*Relation
 
@@ -163,6 +171,15 @@ type ExecStats struct {
 // ScalarFunc is a registered scalar function (a "stored function" in the
 // paper's SQL/PSM sense, implemented in Go at the server).
 type ScalarFunc func(args []types.Value) (types.Value, error)
+
+// snap maps the context's Epoch to a storage snapshot epoch (0 reads
+// the latest committed state).
+func (ctx *Context) snap() uint64 {
+	if ctx.Epoch == 0 {
+		return storage.Latest
+	}
+	return ctx.Epoch
+}
 
 // clone returns a context sharing DB/Funcs/Params but with an isolated
 // CTE binding map (used when a CTE must be rebound during recursion).

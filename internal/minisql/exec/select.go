@@ -479,15 +479,17 @@ func (ctx *Context) evalBaseTable(bt *ast.BaseTable, outer *Env, conjs []*conjun
 		return true
 	}
 
-	// Prefer an index lookup for the first indexed equality.
+	// Prefer an index lookup for the first indexed equality. All reads
+	// resolve at the statement's snapshot epoch.
+	snap := ctx.snap()
 	for _, p := range eqs {
 		idx := table.IndexOn(schema.Cols[p.colPos].Name)
 		if idx == nil {
 			continue
 		}
 		ctx.Stats.IndexLookups++
-		for _, id := range idx.Lookup(p.val) {
-			row, ok := table.Get(id)
+		for _, id := range idx.LookupAt(snap, p.val) {
+			row, ok := table.GetAt(snap, id)
 			if !ok {
 				continue
 			}
@@ -498,7 +500,7 @@ func (ctx *Context) evalBaseTable(bt *ast.BaseTable, outer *Env, conjs []*conjun
 		return rel, nil
 	}
 
-	table.Scan(func(_ int, row storage.Row) bool {
+	table.ScanAt(snap, func(_ int, row storage.Row) bool {
 		ctx.Stats.RowsScanned++
 		if match(row) {
 			rel.Rows = append(rel.Rows, row)
@@ -640,13 +642,14 @@ func (ctx *Context) tryIndexJoin(left *Relation, j *ast.Join, outer *Env) (*Rela
 		nullRight[i] = types.Null
 	}
 
+	snap := ctx.snap()
 	for _, lrow := range left.Rows {
 		v := lrow[leftPos]
 		matched := false
 		if !v.IsNull() {
 			ctx.Stats.IndexLookups++
-			for _, id := range idx.Lookup(v) {
-				rrow, ok := table.Get(id)
+			for _, id := range idx.LookupAt(snap, v) {
+				rrow, ok := table.GetAt(snap, id)
 				if !ok {
 					continue
 				}

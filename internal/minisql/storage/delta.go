@@ -2,6 +2,8 @@ package storage
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"pdmtune/internal/minisql/types"
 )
@@ -23,6 +25,16 @@ import (
 // log becomes a mirror of the primary's — which is what keeps the
 // client cache's validate exchange working unchanged against a
 // replica.
+//
+// Concurrency: extraction is a lock-free snapshot read — the stamp set
+// and target epoch are captured atomically from the version log, then
+// rows are read at that snapshot, so concurrent writers on the primary
+// cannot tear a delta. Application pins every inserted or tombstoned
+// version directly at the delta's epoch, which is above the replica's
+// current epoch until the final SyncTo publishes it — so replica
+// readers switch from the old state to the fully applied delta
+// atomically, and a failed apply is invisible by construction (the
+// physical rollback merely reclaims storage).
 
 // IndexSpec describes one secondary index for delta transfer.
 type IndexSpec struct {
@@ -42,8 +54,8 @@ type TableDelta struct {
 	// Indexes are the table's secondary indexes (the primary-key index
 	// is implied by the schema).
 	Indexes []IndexSpec
-	// Rows are the current rows whose version key was modified after
-	// the delta's Since epoch.
+	// Rows are the rows, as of the delta's Epoch, whose version key was
+	// modified after the delta's Since epoch.
 	Rows []Row
 }
 
@@ -74,7 +86,10 @@ func (d *Delta) RowCount() int {
 }
 
 // ModifiedSince returns the keys modified after the given epoch with
-// their last-modified stamps, plus the log's current epoch.
+// their last-modified stamps, plus the log's current epoch. The pair
+// is captured atomically, so every returned stamp is <= the returned
+// epoch and a snapshot read at that epoch sees exactly the stamped
+// state.
 func (v *VersionLog) ModifiedSince(since uint64) (map[int64]uint64, uint64) {
 	if v == nil {
 		return map[int64]uint64{}, 0
@@ -95,7 +110,9 @@ func (v *VersionLog) ModifiedSince(since uint64) (map[int64]uint64, uint64) {
 // the replica-side counterpart of ModifiedSince — after a sync the
 // replica's log answers LastModified exactly as the primary's would
 // (for the synced keys), which keeps client-side cache validation
-// correct against a replica.
+// correct against a replica. Raising the epoch is also what publishes
+// an applied delta's rows to replica readers (their versions are
+// pinned at the delta epoch, invisible to any earlier snapshot).
 func (v *VersionLog) SyncTo(epoch uint64, stamps map[int64]uint64) {
 	if v == nil {
 		return
@@ -113,30 +130,36 @@ func (v *VersionLog) SyncTo(epoch uint64, stamps map[int64]uint64) {
 }
 
 // ExtractDelta collects the replication delta above the given epoch:
-// every version-tracked table contributes its current rows whose
-// version key was modified after since. Call under the engine's read
-// lock (the wire server does).
+// every version-tracked table contributes its rows, as visible at the
+// capture epoch, whose version key was modified after since. No locks
+// are held over the row collection — the snapshot read is consistent
+// by itself, so the wire server can extract deltas while writers
+// proceed.
 func (db *DB) ExtractDelta(since uint64) *Delta {
 	stamps, epoch := db.vlog.ModifiedSince(since)
 	d := &Delta{Since: since, Epoch: epoch, Stamps: stamps}
 	for _, name := range db.TableNames() {
-		t := db.tables[name]
-		if t.verPos < 0 || t.vlog == nil {
+		t, ok := db.Table(name)
+		if !ok {
+			continue
+		}
+		idxs, verPos, vlog := t.meta()
+		if verPos < 0 || vlog == nil {
 			continue // not version-tracked: not replicated
 		}
 		td := TableDelta{
 			Schema:     t.Schema,
-			VersionKey: t.Schema.Cols[t.verPos].Name,
+			VersionKey: t.Schema.Cols[verPos].Name,
 		}
-		for _, ix := range t.indexes {
+		for _, ix := range idxs {
 			if ix.Name == t.Schema.Name+"_pk" {
 				continue
 			}
 			td.Indexes = append(td.Indexes, IndexSpec{Name: ix.Name, Column: ix.Column, Unique: ix.Unique})
 		}
 		if len(stamps) > 0 {
-			t.Scan(func(id int, row Row) bool {
-				if k, ok := rowVersionKey(row, t.verPos); ok {
+			t.ScanAt(epoch, func(id int, row Row) bool {
+				if k, ok := rowVersionKey(row, verPos); ok {
 					if _, mod := stamps[k]; mod {
 						td.Rows = append(td.Rows, row)
 					}
@@ -161,53 +184,119 @@ func rowVersionKey(row Row, verPos int) (int64, bool) {
 	return 0, false
 }
 
+// insertAt stores a row as a version pinned directly at the given
+// epoch (no version-log commit — delta applies copy the primary's
+// stamps instead of minting local ones). Caller holds the write latch.
+// The returned closure physically reverts the insert.
+func (t *Table) insertAt(row Row, epoch uint64) (func(), error) {
+	r, err := t.checkRow(row)
+	if err != nil {
+		return nil, err
+	}
+	idxs, _, _ := t.meta()
+	for _, ix := range idxs {
+		if err := ix.checkUnique(r[ix.colPos], -1); err != nil {
+			return nil, err
+		}
+	}
+	v := &version{row: r}
+	v.begin.Store(epoch)
+	s := &slot{}
+	s.head.Store(v)
+	id := t.appendSlot(s)
+	for _, ix := range idxs {
+		ix.add(r[ix.colPos], id)
+	}
+	t.liveN.Add(1)
+	return func() {
+		s.head.Store(&version{}) // dead to every snapshot
+		t.liveN.Add(-1)
+	}, nil
+}
+
+// deleteAt tombstones the row with the given id at the given epoch
+// (see insertAt). Caller holds the write latch.
+func (t *Table) deleteAt(id int, epoch uint64) (func(), error) {
+	sl := *t.slots.Load()
+	if id < 0 || id >= len(sl) {
+		return nil, fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
+	}
+	s := sl[id]
+	if _, ok := currentOf(s); !ok {
+		return nil, fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
+	}
+	prev := s.head.Load()
+	v := &version{prev: prev}
+	v.begin.Store(epoch)
+	s.head.Store(v)
+	t.liveN.Add(-1)
+	return func() {
+		s.head.Store(prev)
+		t.liveN.Add(1)
+	}, nil
+}
+
 // ApplyDelta applies a replication delta: per table, every row whose
 // version key is in the delta's modified set is deleted and the
 // shipped rows are inserted in their place; missing tables and indexes
-// are created first. The row mutations bypass the replica's own
-// version bumping — instead the primary's stamps are copied in via
-// SyncTo, so the replica's log mirrors the primary's rather than
-// inventing local epochs. The apply is transactional: on any error
+// are created first. Row versions are pinned at the delta's epoch and
+// the primary's stamps are copied in via SyncTo, so the replica's log
+// mirrors the primary's rather than inventing local epochs — and the
+// whole delta becomes visible to replica readers atomically when
+// SyncTo raises the epoch. The apply is transactional: on any error
 // every mutation made so far is rolled back and the version log is
-// left untouched. Call under the engine's write lock.
+// left untouched. The write latches of every affected table are held
+// (in sorted order) for the duration.
 func (db *DB) ApplyDelta(d *Delta) error {
 	if d == nil {
 		return fmt.Errorf("storage: nil delta")
 	}
-	var undo []Undo
+	var undo []func()
 	// catUndo reverses catalog changes (created tables and indexes,
-	// version-key redesignations) that the row undo log cannot.
+	// version-key redesignations) that the row undo closures cannot.
 	var catUndo []func()
 	rollback := func() {
 		for i := len(undo) - 1; i >= 0; i-- {
-			_ = undo[i].Apply()
+			undo[i]()
 		}
 		for i := len(catUndo) - 1; i >= 0; i-- {
 			catUndo[i]()
 		}
 	}
+	// Catalog phase: resolve or create every target table, then latch
+	// them all in sorted name order (the same order every multi-table
+	// writer uses, so applies cannot deadlock against procedures).
+	targets := make([]*Table, len(d.Tables))
 	for i := range d.Tables {
-		td := &d.Tables[i]
-		t, err := db.ensureDeltaTable(td, &catUndo)
+		t, err := db.ensureDeltaTable(&d.Tables[i], &catUndo)
 		if err != nil {
 			rollback()
 			return err
 		}
-		// Suspend version bumping for the table while the delta applies
-		// (the undo operations of a failed apply included).
-		vlog := t.vlog
-		t.vlog = nil
-		err = applyTableDelta(t, td, d.Stamps, &undo)
-		t.vlog = vlog
-		if err != nil {
-			// Re-suspend every table's bumping for the cross-table rollback.
-			for j := 0; j <= i; j++ {
-				if tt, ok := db.Table(d.Tables[j].Schema.Name); ok {
-					v := tt.vlog
-					tt.vlog = nil
-					defer func(tt *Table, v *VersionLog) { tt.vlog = v }(tt, v)
-				}
-			}
+		targets[i] = t
+	}
+	order := make([]int, len(targets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		// Case-insensitive, matching the engine's LockTables order.
+		return strings.ToLower(targets[order[a]].Schema.Name) < strings.ToLower(targets[order[b]].Schema.Name)
+	})
+	locked := make(map[*Table]bool, len(targets))
+	for _, i := range order {
+		if t := targets[i]; !locked[t] {
+			t.Lock()
+			locked[t] = true
+		}
+	}
+	defer func() {
+		for t := range locked {
+			t.Unlock()
+		}
+	}()
+	for i := range d.Tables {
+		if err := applyTableDelta(targets[i], &d.Tables[i], d.Stamps, d.Epoch, &undo); err != nil {
 			rollback()
 			return err
 		}
@@ -233,12 +322,16 @@ func (db *DB) ensureDeltaTable(td *TableDelta, catUndo *[]func()) (*Table, error
 	}
 	t, _ := db.Table(td.Schema.Name)
 	if td.VersionKey != "" {
-		prevPos, prevLog := t.verPos, t.vlog
+		_, prevPos, prevLog := t.meta()
 		if err := t.SetVersionKey(td.VersionKey, db.vlog); err != nil {
 			return nil, err
 		}
-		if prevPos != t.verPos || prevLog != t.vlog {
-			*catUndo = append(*catUndo, func() { t.verPos, t.vlog = prevPos, prevLog })
+		if _, pos, log := t.meta(); prevPos != pos || prevLog != log {
+			*catUndo = append(*catUndo, func() {
+				t.metaMu.Lock()
+				t.verPos, t.vlog = prevPos, prevLog
+				t.metaMu.Unlock()
+			})
 		}
 	}
 	for _, ix := range td.Indexes {
@@ -254,14 +347,16 @@ func (db *DB) ensureDeltaTable(td *TableDelta, catUndo *[]func()) (*Table, error
 }
 
 // applyTableDelta replaces, in one table, every row keyed by a
-// modified version key with the delta's shipped rows. Mutations are
-// recorded into undo so a failed apply can roll back.
-func applyTableDelta(t *Table, td *TableDelta, stamps map[int64]uint64, undo *[]Undo) error {
-	// Delete phase: collect ids first — Scan must not observe its own
-	// deletions.
+// modified version key with the delta's shipped rows, pinning all
+// versions at the delta epoch. Mutations are recorded into undo so a
+// failed apply can roll back. Caller holds the table's write latch.
+func applyTableDelta(t *Table, td *TableDelta, stamps map[int64]uint64, epoch uint64, undo *[]func()) error {
+	_, verPos, _ := t.meta()
+	// Delete phase: collect ids first — the scan must not observe its
+	// own deletions.
 	var stale []int
 	t.Scan(func(id int, row Row) bool {
-		if k, ok := rowVersionKey(row, t.verPos); ok {
+		if k, ok := rowVersionKey(row, verPos); ok {
 			if _, mod := stamps[k]; mod {
 				stale = append(stale, id)
 			}
@@ -269,19 +364,18 @@ func applyTableDelta(t *Table, td *TableDelta, stamps map[int64]uint64, undo *[]
 		return true
 	})
 	for _, id := range stale {
-		if err := t.Delete(id); err != nil {
+		revert, err := t.deleteAt(id, epoch)
+		if err != nil {
 			return fmt.Errorf("storage: delta delete in %s: %v", t.Schema.Name, err)
 		}
-		// UndoDelete revives the tombstoned row in place; no Before copy
-		// is needed.
-		*undo = append(*undo, Undo{Kind: UndoDelete, Table: t, RowID: id})
+		*undo = append(*undo, revert)
 	}
 	for _, row := range td.Rows {
-		id, err := t.Insert(row)
+		revert, err := t.insertAt(row, epoch)
 		if err != nil {
 			return fmt.Errorf("storage: delta insert into %s: %v", t.Schema.Name, err)
 		}
-		*undo = append(*undo, Undo{Kind: UndoInsert, Table: t, RowID: id})
+		*undo = append(*undo, revert)
 	}
 	return nil
 }

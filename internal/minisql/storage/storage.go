@@ -1,7 +1,32 @@
 // Package storage implements the physical layer of the minisql engine:
-// table schemas (catalog), in-memory heap tables with tombstoned row ids,
-// hash indexes maintained under DML, and undo records for transaction
-// rollback. The PDM database server holds one storage.DB per instance.
+// table schemas (catalog), in-memory multi-version tables, hash indexes
+// maintained under DML, and undo records for transaction rollback. The
+// PDM database server holds one storage.DB per instance.
+//
+// Concurrency contract (the MVCC redesign):
+//
+//   - Every row lives in a slot holding an immutable version chain.
+//     A version's begin epoch is the VersionLog epoch of the statement
+//     that committed it; a deletion pushes a tombstone version. Readers
+//     resolve a slot at a snapshot epoch by walking the chain to the
+//     newest version whose begin epoch is <= the snapshot — so reads
+//     take no locks at all and never block writers.
+//   - Writers (Insert/Update/Delete and their *C batch variants) must
+//     hold the table's write latch — Table.Lock/Unlock — for the whole
+//     statement. The latch is exposed rather than taken internally so
+//     the engine can cover a multi-mutation statement (or, via the
+//     engine's LockTables, a multi-statement procedure) with one
+//     acquisition. This replaces the old "mutations already run under
+//     the engine's writer lock" contract: there is no engine-wide
+//     writer lock any more.
+//   - A Commit batch groups all mutations of one statement under one
+//     VersionLog epoch, published atomically: versions are created
+//     pending (invisible to every snapshot) and stamped inside the
+//     log's critical section, so a concurrent snapshot sees either none
+//     or all of a statement's rows.
+//   - Catalog operations (CreateTable/DropTable/Table) synchronize on
+//     the DB's own catalog lock; index attachment and version-key
+//     changes on the table's metaMu.
 package storage
 
 import (
@@ -9,6 +34,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pdmtune/internal/minisql/types"
 )
@@ -26,11 +52,15 @@ import (
 // rows version their *parent* object (link.left): inserting or
 // deleting a child link bumps the parent's version, which is exactly
 // the granularity a cached single-level expansion needs.
+//
+// Since the MVCC redesign the log is also the commit clock: a row
+// version's begin epoch is the epoch its statement committed at, and a
+// snapshot is simply "the state as of epoch E".
 
 // VersionLog records the last-modified epoch of every object key. It
-// has its own lock (mutations already run under the engine's writer
-// lock; reads may come from any goroutine, e.g. the wire server's
-// validate handler).
+// has its own lock; it is read and written from any goroutine (writers
+// commit through it, snapshot readers sample it, the wire server's
+// validate handler queries it).
 type VersionLog struct {
 	mu       sync.RWMutex
 	epoch    uint64
@@ -55,8 +85,39 @@ func (v *VersionLog) Bump(keys ...int64) {
 	v.mu.Unlock()
 }
 
+// commit advances the epoch (when keys were touched), stamps the keys,
+// and runs publish inside the log's critical section. Publishing under
+// the lock is what makes a statement atomic to snapshots: Epoch() can
+// never return an epoch whose row versions are not yet visible, and a
+// snapshot taken before the commit can never observe a partial
+// statement. With no keys the epoch does not advance (preserving the
+// pre-MVCC rule that only version-tracked mutations move the clock) and
+// publish runs at the current epoch.
+func (v *VersionLog) commit(keys []int64, publish func(epoch uint64)) uint64 {
+	if v == nil {
+		if publish != nil {
+			publish(0)
+		}
+		return 0
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	e := v.epoch
+	if len(keys) > 0 {
+		v.epoch++
+		e = v.epoch
+		for _, k := range keys {
+			v.modified[k] = e
+		}
+	}
+	if publish != nil {
+		publish(e)
+	}
+	return e
+}
+
 // Epoch returns the current epoch (the stamp a fetch made now would
-// carry).
+// carry, and the snapshot a statement started now would read at).
 func (v *VersionLog) Epoch() uint64 {
 	if v == nil {
 		return 0
@@ -76,6 +137,9 @@ func (v *VersionLog) LastModified(key int64) uint64 {
 	defer v.mu.RUnlock()
 	return v.modified[key]
 }
+
+// ---------------------------------------------------------------------------
+// Schemas and rows
 
 // Column is one column of a table schema.
 type Column struct {
@@ -113,37 +177,229 @@ func (s *Schema) ColNames() []string {
 	return out
 }
 
-// Row is one tuple; len(Row) == len(Schema.Cols).
+// Row is one tuple; len(Row) == len(Schema.Cols). Rows are immutable
+// once stored: an update creates a new version with a new row slice.
 type Row = []types.Value
 
-// Index is a hash index over a single column.
-type Index struct {
-	Name    string
-	Column  string
-	colPos  int
-	Unique  bool
-	buckets map[string][]int // value key -> live row ids
+// ---------------------------------------------------------------------------
+// Version chains
+
+// Snapshot epochs. Latest reads the newest committed state; pending
+// marks a version created by a statement that has not committed yet
+// (invisible to every snapshot, Latest included).
+const (
+	pendingEpoch = ^uint64(0)
+	// Latest is the snapshot epoch denoting the latest committed state.
+	Latest = ^uint64(0) - 1
+)
+
+// version is one immutable revision of a slot's row. row == nil marks a
+// deletion tombstone. begin is the commit epoch (pendingEpoch until the
+// owning statement's Commit stamps it); prev links to the superseded
+// version, giving snapshot readers the chain to walk.
+type version struct {
+	row   Row
+	begin atomic.Uint64
+	prev  *version
 }
 
-// Table is a heap table with tombstones and attached indexes.
-type Table struct {
-	Schema  *Schema
-	rows    []Row
-	dead    []bool
-	liveN   int
-	indexes []*Index
+// slot is one logical row: a stable id owning a version chain. The head
+// pointer is the only mutable cell; it is published atomically so
+// lock-free readers always see a fully built version.
+type slot struct {
+	head atomic.Pointer[version]
+}
 
-	// vlog receives a version bump for every row mutation; verPos is
-	// the column whose integer value identifies the versioned object
-	// (-1: the table is not version-tracked).
-	vlog   *VersionLog
-	verPos int
+// visibleVersion resolves a chain at a snapshot epoch: the newest
+// version committed at or before it (nil when the slot did not exist).
+func visibleVersion(head *version, epoch uint64) *version {
+	for v := head; v != nil; v = v.prev {
+		if v.begin.Load() <= epoch {
+			return v
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Commit batches
+
+// Commit groups the row mutations of one statement into a single
+// version-log epoch. Mutations performed through InsertC/UpdateC/
+// DeleteC create pending (invisible) versions; Commit stamps them all
+// with one freshly minted epoch inside the log's critical section, so
+// the statement becomes visible to snapshots atomically. Abort unwinds
+// the pending versions instead (the caller must still hold the write
+// latches it mutated under).
+type Commit struct {
+	vlog *VersionLog
+	keys []int64
+	pend []*version
+	undo []func()
+	done bool
+}
+
+// NewCommit starts a commit batch against the given log (nil is
+// allowed: mutations then publish at epoch 0, for standalone tables).
+func NewCommit(vlog *VersionLog) *Commit { return &Commit{vlog: vlog} }
+
+// add records one pending mutation: the version to stamp, the version
+// keys it modified, and the closure that physically reverts it.
+func (c *Commit) add(v *version, keys []int64, revert func()) {
+	c.pend = append(c.pend, v)
+	c.keys = append(c.keys, keys...)
+	c.undo = append(c.undo, revert)
+}
+
+// Commit stamps every pending version with one new epoch and returns
+// it. The batch must not be reused.
+func (c *Commit) Commit() uint64 {
+	if c.done {
+		return 0
+	}
+	c.done = true
+	return c.vlog.commit(c.keys, func(e uint64) {
+		for _, v := range c.pend {
+			v.begin.Store(e)
+		}
+	})
+}
+
+// Abort physically reverts every pending mutation, newest first. The
+// caller must hold the same write latches the mutations ran under.
+func (c *Commit) Abort() {
+	if c.done {
+		return
+	}
+	c.done = true
+	for i := len(c.undo) - 1; i >= 0; i-- {
+		c.undo[i]()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Indexes
+
+// Index is a hash index over a single column. Buckets map a value key
+// to the slot ids that ever carried the value; lookups filter the
+// candidates against the rows visible at the requested snapshot, so
+// superseded versions never leak out and no bucket maintenance is
+// needed when a version dies. The bucket map has its own small lock
+// (mutations run under the table's write latch, but lock-free readers
+// copy buckets concurrently).
+type Index struct {
+	Name   string
+	Column string
+	colPos int
+	Unique bool
+
+	t       *Table
+	mu      sync.RWMutex
+	buckets map[string][]int
+}
+
+// add registers a slot id under the value's key (idempotent: a slot
+// re-acquiring a value it already had keeps one entry).
+func (ix *Index) add(v types.Value, id int) {
+	k := v.Key()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, x := range ix.buckets[k] {
+		if x == id {
+			return
+		}
+	}
+	ix.buckets[k] = append(ix.buckets[k], id)
+}
+
+// candidates returns a copy of the bucket for the value's key.
+func (ix *Index) candidates(v types.Value) []int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	b := ix.buckets[v.Key()]
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]int(nil), b...)
+}
+
+// Lookup returns the ids of rows whose indexed column equals v in the
+// latest committed state.
+func (ix *Index) Lookup(v types.Value) []int { return ix.LookupAt(Latest, v) }
+
+// LookupAt returns the ids of rows whose indexed column equals v in the
+// snapshot at the given epoch. Candidates come from the hash bucket and
+// are verified against the visible row, so entries left behind by old
+// versions are filtered here.
+func (ix *Index) LookupAt(epoch uint64, v types.Value) []int {
+	cand := ix.candidates(v)
+	if len(cand) == 0 {
+		return nil
+	}
+	key := v.Key()
+	out := cand[:0]
+	for _, id := range cand {
+		if row, ok := ix.t.GetAt(epoch, id); ok && row[ix.colPos].Key() == key {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// checkUnique reports a duplicate-key error when a row other than self
+// currently carries the value (pending versions of the running
+// statement included — the statement sees its own effects).
+func (ix *Index) checkUnique(v types.Value, self int) error {
+	if !ix.Unique || v.IsNull() {
+		return nil
+	}
+	key := v.Key()
+	for _, id := range ix.candidates(v) {
+		if id == self {
+			continue
+		}
+		if row, ok := ix.t.currentRow(id); ok && row[ix.colPos].Key() == key {
+			return fmt.Errorf("storage: duplicate key %s for unique index %s", v, ix.Name)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+
+// Table is a multi-version table: an append-only array of slots, each
+// owning a version chain. Snapshot readers (GetAt/ScanAt/LookupAt) are
+// lock-free; writers must hold the table's write latch (Lock/Unlock)
+// for the whole statement.
+type Table struct {
+	Schema *Schema
+
+	// latch is the per-table write latch. It is exported as Lock/
+	// Unlock/TryLock so the engine can hold it across a whole statement
+	// (or across several, for multi-table procedures); the mutation
+	// methods themselves do not take it.
+	latch sync.Mutex
+
+	// slots is the published slot array; appends store a fresh header so
+	// concurrent readers iterate a consistent prefix.
+	slots atomic.Pointer[[]*slot]
+	liveN atomic.Int64
+
+	// metaMu guards the index list and the version-key designation
+	// (mutated by DDL and delta bootstrap, read by every statement).
+	metaMu  sync.RWMutex
+	indexes []*Index
+	vlog    *VersionLog
+	verPos  int
 }
 
 // NewTable creates an empty table for the schema. A unique index is
 // created automatically for a PRIMARY KEY column.
 func NewTable(schema *Schema) (*Table, error) {
 	t := &Table{Schema: schema, verPos: -1}
+	empty := make([]*slot, 0)
+	t.slots.Store(&empty)
 	for i, c := range schema.Cols {
 		if c.PrimaryKey {
 			idx := &Index{
@@ -151,6 +407,7 @@ func NewTable(schema *Schema) (*Table, error) {
 				Column:  c.Name,
 				colPos:  i,
 				Unique:  true,
+				t:       t,
 				buckets: map[string][]int{},
 			}
 			t.indexes = append(t.indexes, idx)
@@ -160,6 +417,17 @@ func NewTable(schema *Schema) (*Table, error) {
 	return t, nil
 }
 
+// Lock acquires the table's write latch. Writers — the engine's DML
+// statements, delta applies, rollbacks — hold it for their whole
+// statement; snapshot readers never take it.
+func (t *Table) Lock() { t.latch.Lock() }
+
+// TryLock acquires the write latch without blocking, reporting success.
+func (t *Table) TryLock() bool { return t.latch.TryLock() }
+
+// Unlock releases the write latch.
+func (t *Table) Unlock() { t.latch.Unlock() }
+
 // SetVersionKey designates the column whose integer value identifies
 // the versioned object of each row (overriding the primary-key
 // default) and attaches the log the table reports bumps to.
@@ -168,59 +436,75 @@ func (t *Table) SetVersionKey(column string, vlog *VersionLog) error {
 	if pos < 0 {
 		return fmt.Errorf("storage: table %s has no column %s", t.Schema.Name, column)
 	}
+	t.metaMu.Lock()
 	t.verPos = pos
 	t.vlog = vlog
+	t.metaMu.Unlock()
 	return nil
 }
 
-// bump reports the mutation of the given rows' version keys to the
-// attached log. Non-integer or NULL keys are skipped.
-func (t *Table) bump(rows ...Row) {
-	if t.vlog == nil || t.verPos < 0 {
-		return
+// meta returns the table's index list and version-key position under
+// the meta lock (the slice is append-only, so holding the returned
+// header without the lock is safe).
+func (t *Table) meta() ([]*Index, int, *VersionLog) {
+	t.metaMu.RLock()
+	defer t.metaMu.RUnlock()
+	return t.indexes, t.verPos, t.vlog
+}
+
+// versionKeys extracts the version keys of the given rows (non-integer
+// or NULL keys are skipped).
+func versionKeys(verPos int, rows ...Row) []int64 {
+	if verPos < 0 {
+		return nil
 	}
 	var keys []int64
 	for _, r := range rows {
-		if t.verPos >= len(r) {
-			continue
-		}
-		if v := r[t.verPos]; v.Kind() == types.KindInt {
-			keys = append(keys, v.Int())
+		if k, ok := rowVersionKey(r, verPos); ok {
+			keys = append(keys, k)
 		}
 	}
-	t.vlog.Bump(keys...)
+	return keys
 }
 
-// NumRows reports the number of live rows.
-func (t *Table) NumRows() int { return t.liveN }
+// NumRows reports the number of live rows (pending mutations of an
+// uncommitted statement included).
+func (t *Table) NumRows() int { return int(t.liveN.Load()) }
 
-// CreateIndex attaches a hash index on the named column and backfills it.
+// CreateIndex attaches a hash index on the named column and backfills
+// it from the current rows. Callers mutating concurrently must hold
+// the write latch (the engine does); snapshot readers only see the
+// index after it is fully built.
 func (t *Table) CreateIndex(name, column string, unique bool) error {
 	pos := t.Schema.ColIndex(column)
 	if pos < 0 {
 		return fmt.Errorf("storage: table %s has no column %s", t.Schema.Name, column)
 	}
-	for _, idx := range t.indexes {
-		if strings.EqualFold(idx.Name, name) {
-			return fmt.Errorf("storage: index %s already exists", name)
-		}
+	if t.HasIndex(name) {
+		return fmt.Errorf("storage: index %s already exists", name)
 	}
-	idx := &Index{Name: name, Column: column, colPos: pos, Unique: unique, buckets: map[string][]int{}}
-	for id, row := range t.rows {
-		if t.dead[id] {
+	idx := &Index{Name: name, Column: column, colPos: pos, Unique: unique, t: t, buckets: map[string][]int{}}
+	sl := *t.slots.Load()
+	for id, s := range sl {
+		row, ok := currentOf(s)
+		if !ok {
 			continue
 		}
-		if err := idx.add(row[pos], id); err != nil {
+		if err := idx.checkUnique(row[pos], id); err != nil {
 			return err
 		}
+		idx.add(row[pos], id)
 	}
+	t.metaMu.Lock()
 	t.indexes = append(t.indexes, idx)
+	t.metaMu.Unlock()
 	return nil
 }
 
 // HasIndex reports whether an index with the given name exists.
 func (t *Table) HasIndex(name string) bool {
-	for _, idx := range t.indexes {
+	idxs, _, _ := t.meta()
+	for _, idx := range idxs {
 		if strings.EqualFold(idx.Name, name) {
 			return true
 		}
@@ -230,7 +514,8 @@ func (t *Table) HasIndex(name string) bool {
 
 // IndexOn returns the index covering the column, or nil.
 func (t *Table) IndexOn(column string) *Index {
-	for _, idx := range t.indexes {
+	idxs, _, _ := t.meta()
+	for _, idx := range idxs {
 		if strings.EqualFold(idx.Column, column) {
 			return idx
 		}
@@ -239,11 +524,16 @@ func (t *Table) IndexOn(column string) *Index {
 }
 
 // Indexes returns all attached indexes.
-func (t *Table) Indexes() []*Index { return t.indexes }
+func (t *Table) Indexes() []*Index {
+	idxs, _, _ := t.meta()
+	return idxs
+}
 
 // dropIndex detaches an index by name (the catalog rollback of a
 // failed delta apply; a no-op when the index does not exist).
 func (t *Table) dropIndex(name string) {
+	t.metaMu.Lock()
+	defer t.metaMu.Unlock()
 	for i, ix := range t.indexes {
 		if strings.EqualFold(ix.Name, name) {
 			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
@@ -251,30 +541,6 @@ func (t *Table) dropIndex(name string) {
 		}
 	}
 }
-
-func (ix *Index) add(v types.Value, id int) error {
-	k := v.Key()
-	if ix.Unique && !v.IsNull() && len(ix.buckets[k]) > 0 {
-		return fmt.Errorf("storage: duplicate key %s for unique index %s", v, ix.Name)
-	}
-	ix.buckets[k] = append(ix.buckets[k], id)
-	return nil
-}
-
-func (ix *Index) remove(v types.Value, id int) {
-	k := v.Key()
-	b := ix.buckets[k]
-	for i, x := range b {
-		if x == id {
-			b[i] = b[len(b)-1]
-			ix.buckets[k] = b[:len(b)-1]
-			return
-		}
-	}
-}
-
-// Lookup returns the live row ids whose indexed column equals v.
-func (ix *Index) Lookup(v types.Value) []int { return ix.buckets[v.Key()] }
 
 // checkRow validates arity, NOT NULL and coerces values to column types.
 func (t *Table) checkRow(row Row) (Row, error) {
@@ -296,43 +562,77 @@ func (t *Table) checkRow(row Row) (Row, error) {
 	return out, nil
 }
 
-// Insert validates and stores a row, returning its row id.
-func (t *Table) Insert(row Row) (int, error) {
+// currentOf resolves a slot's current row — the chain head, pending
+// versions included — which is the state a writer holding the latch
+// operates on.
+func currentOf(s *slot) (Row, bool) {
+	h := s.head.Load()
+	if h == nil || h.row == nil {
+		return nil, false
+	}
+	return h.row, true
+}
+
+// currentRow is currentOf by slot id.
+func (t *Table) currentRow(id int) (Row, bool) {
+	sl := *t.slots.Load()
+	if id < 0 || id >= len(sl) {
+		return nil, false
+	}
+	return currentOf(sl[id])
+}
+
+// appendSlot publishes a new slot and returns its id. Caller holds the
+// write latch; the atomic header store releases the element write to
+// concurrent readers.
+func (t *Table) appendSlot(s *slot) int {
+	old := t.slots.Load()
+	id := len(*old)
+	ns := append(*old, s)
+	t.slots.Store(&ns)
+	return id
+}
+
+// InsertC validates and stores a row as a pending version in the
+// commit batch, returning its slot id. Caller holds the write latch.
+func (t *Table) InsertC(c *Commit, row Row) (int, error) {
 	r, err := t.checkRow(row)
 	if err != nil {
 		return 0, err
 	}
-	id := len(t.rows)
-	for _, ix := range t.indexes {
-		if err := ix.add(r[ix.colPos], id); err != nil {
-			// roll back index entries added so far
-			for _, prev := range t.indexes {
-				if prev == ix {
-					break
-				}
-				prev.remove(r[prev.colPos], id)
-			}
+	idxs, verPos, _ := t.meta()
+	for _, ix := range idxs {
+		if err := ix.checkUnique(r[ix.colPos], -1); err != nil {
 			return 0, err
 		}
 	}
-	t.rows = append(t.rows, r)
-	t.dead = append(t.dead, false)
-	t.liveN++
-	t.bump(r)
+	v := &version{row: r}
+	v.begin.Store(pendingEpoch)
+	s := &slot{}
+	s.head.Store(v)
+	id := t.appendSlot(s)
+	for _, ix := range idxs {
+		ix.add(r[ix.colPos], id)
+	}
+	t.liveN.Add(1)
+	c.add(v, versionKeys(verPos, r), func() {
+		// Kill the slot: a tombstone at epoch 0 is dead to every snapshot.
+		dead := &version{}
+		s.head.Store(dead)
+		t.liveN.Add(-1)
+	})
 	return id, nil
 }
 
-// Get returns the live row with the given id.
-func (t *Table) Get(id int) (Row, bool) {
-	if id < 0 || id >= len(t.rows) || t.dead[id] {
-		return nil, false
+// UpdateC replaces the row with the given id as a pending version in
+// the commit batch. Caller holds the write latch.
+func (t *Table) UpdateC(c *Commit, id int, row Row) error {
+	sl := *t.slots.Load()
+	if id < 0 || id >= len(sl) {
+		return fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
 	}
-	return t.rows[id], true
-}
-
-// Update replaces the row with the given id.
-func (t *Table) Update(id int, row Row) error {
-	old, ok := t.Get(id)
+	s := sl[id]
+	old, ok := currentOf(s)
 	if !ok {
 		return fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
 	}
@@ -340,74 +640,177 @@ func (t *Table) Update(id int, row Row) error {
 	if err != nil {
 		return err
 	}
-	for _, ix := range t.indexes {
+	idxs, verPos, _ := t.meta()
+	for _, ix := range idxs {
 		if old[ix.colPos].Equal(r[ix.colPos]) {
 			continue
 		}
-		ix.remove(old[ix.colPos], id)
-		if err := ix.add(r[ix.colPos], id); err != nil {
-			ix.add(old[ix.colPos], id) // restore
+		if err := ix.checkUnique(r[ix.colPos], id); err != nil {
 			return err
 		}
 	}
-	t.rows[id] = r
-	t.bump(old, r) // both keys, in case the version key itself changed
+	prev := s.head.Load()
+	v := &version{row: r, prev: prev}
+	v.begin.Store(pendingEpoch)
+	s.head.Store(v)
+	for _, ix := range idxs {
+		if !old[ix.colPos].Equal(r[ix.colPos]) {
+			ix.add(r[ix.colPos], id)
+		}
+	}
+	c.add(v, versionKeys(verPos, old, r), func() { s.head.Store(prev) })
 	return nil
 }
 
-// Delete tombstones the row with the given id.
-func (t *Table) Delete(id int) error {
-	row, ok := t.Get(id)
+// DeleteC tombstones the row with the given id as a pending version in
+// the commit batch. Caller holds the write latch.
+func (t *Table) DeleteC(c *Commit, id int) error {
+	sl := *t.slots.Load()
+	if id < 0 || id >= len(sl) {
+		return fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
+	}
+	s := sl[id]
+	old, ok := currentOf(s)
 	if !ok {
 		return fmt.Errorf("storage: row %d of %s does not exist", id, t.Schema.Name)
 	}
-	for _, ix := range t.indexes {
-		ix.remove(row[ix.colPos], id)
-	}
-	t.dead[id] = true
-	t.liveN--
-	t.bump(row)
+	_, verPos, _ := t.meta()
+	prev := s.head.Load()
+	v := &version{prev: prev} // tombstone
+	v.begin.Store(pendingEpoch)
+	s.head.Store(v)
+	t.liveN.Add(-1)
+	c.add(v, versionKeys(verPos, old), func() {
+		s.head.Store(prev)
+		t.liveN.Add(1)
+	})
 	return nil
 }
 
-// undelete revives a tombstoned row during rollback.
+// Insert validates and stores a row, committing it immediately under
+// its own epoch, and returns its slot id. (Single-mutation auto-commit;
+// the engine's statements use InsertC with a shared batch instead.)
+func (t *Table) Insert(row Row) (int, error) {
+	_, _, vlog := t.meta()
+	c := NewCommit(vlog)
+	id, err := t.InsertC(c, row)
+	if err != nil {
+		c.Abort()
+		return 0, err
+	}
+	c.Commit()
+	return id, nil
+}
+
+// Update replaces the row with the given id, committing immediately.
+func (t *Table) Update(id int, row Row) error {
+	_, _, vlog := t.meta()
+	c := NewCommit(vlog)
+	if err := t.UpdateC(c, id, row); err != nil {
+		c.Abort()
+		return err
+	}
+	c.Commit()
+	return nil
+}
+
+// Delete tombstones the row with the given id, committing immediately.
+func (t *Table) Delete(id int) error {
+	_, _, vlog := t.meta()
+	c := NewCommit(vlog)
+	if err := t.DeleteC(c, id); err != nil {
+		c.Abort()
+		return err
+	}
+	c.Commit()
+	return nil
+}
+
+// undelete revives a tombstoned row during rollback: a fresh version
+// carrying the deleted row is pushed onto the chain (the tombstone
+// stays visible to snapshots that saw the delete). Fails when another
+// row has taken a unique key in the meantime.
 func (t *Table) undelete(id int) error {
-	if id < 0 || id >= len(t.rows) || !t.dead[id] {
+	sl := *t.slots.Load()
+	if id < 0 || id >= len(sl) {
 		return fmt.Errorf("storage: row %d of %s is not dead", id, t.Schema.Name)
 	}
-	row := t.rows[id]
-	for _, ix := range t.indexes {
-		if err := ix.add(row[ix.colPos], id); err != nil {
+	s := sl[id]
+	h := s.head.Load()
+	if h == nil || h.row != nil || h.prev == nil || h.prev.row == nil {
+		return fmt.Errorf("storage: row %d of %s is not dead", id, t.Schema.Name)
+	}
+	row := h.prev.row
+	idxs, verPos, vlog := t.meta()
+	for _, ix := range idxs {
+		if err := ix.checkUnique(row[ix.colPos], id); err != nil {
 			return err
 		}
 	}
-	t.dead[id] = false
-	t.liveN++
-	t.bump(row)
+	c := NewCommit(vlog)
+	v := &version{row: row, prev: h}
+	v.begin.Store(pendingEpoch)
+	s.head.Store(v)
+	for _, ix := range idxs {
+		ix.add(row[ix.colPos], id)
+	}
+	t.liveN.Add(1)
+	c.add(v, versionKeys(verPos, row), func() {
+		s.head.Store(h)
+		t.liveN.Add(-1)
+	})
+	c.Commit()
 	return nil
 }
 
-// Scan calls fn for every live row in insertion order until fn returns
-// false. The row must not be mutated by fn.
-func (t *Table) Scan(fn func(id int, row Row) bool) {
-	for id, row := range t.rows {
-		if t.dead[id] {
+// GetAt returns the row with the given id as visible at the snapshot
+// epoch. Lock-free.
+func (t *Table) GetAt(epoch uint64, id int) (Row, bool) {
+	sl := *t.slots.Load()
+	if id < 0 || id >= len(sl) {
+		return nil, false
+	}
+	v := visibleVersion(sl[id].head.Load(), epoch)
+	if v == nil || v.row == nil {
+		return nil, false
+	}
+	return v.row, true
+}
+
+// Get returns the row with the given id in the latest committed state.
+func (t *Table) Get(id int) (Row, bool) { return t.GetAt(Latest, id) }
+
+// ScanAt calls fn for every row visible at the snapshot epoch, in
+// insertion order, until fn returns false. Lock-free; the row must not
+// be mutated by fn.
+func (t *Table) ScanAt(epoch uint64, fn func(id int, row Row) bool) {
+	sl := *t.slots.Load()
+	for id, s := range sl {
+		v := visibleVersion(s.head.Load(), epoch)
+		if v == nil || v.row == nil {
 			continue
 		}
-		if !fn(id, row) {
+		if !fn(id, v.row) {
 			return
 		}
 	}
 }
 
+// Scan calls fn for every live row of the latest committed state in
+// insertion order until fn returns false.
+func (t *Table) Scan(fn func(id int, row Row) bool) { t.ScanAt(Latest, fn) }
+
 // ---------------------------------------------------------------------------
 // Database catalog
 
-// DB is a set of named tables.
+// DB is a set of named tables. The catalog map has its own lock;
+// individual tables carry their own write latches and lock-free read
+// paths (see the package comment for the full concurrency contract).
 type DB struct {
+	mu     sync.RWMutex
 	tables map[string]*Table
 	// vlog is the database-wide object version log every
-	// version-tracked table bumps.
+	// version-tracked table commits through.
 	vlog *VersionLog
 	// versionKeys maps lower-cased table names to version-key column
 	// overrides, applied when the table is (re)created.
@@ -428,8 +831,11 @@ func (db *DB) Versions() *VersionLog { return db.vlog }
 // "left"). The override applies immediately when the table exists and
 // is remembered for tables created later.
 func (db *DB) SetVersionKey(table, column string) error {
+	db.mu.Lock()
 	db.versionKeys[strings.ToLower(table)] = column
-	if t, ok := db.Table(table); ok {
+	t, ok := db.tables[strings.ToLower(table)]
+	db.mu.Unlock()
+	if ok {
 		return t.SetVersionKey(column, db.vlog)
 	}
 	return nil
@@ -437,12 +843,16 @@ func (db *DB) SetVersionKey(table, column string) error {
 
 // Table resolves a table by name (case-insensitive).
 func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, ok := db.tables[strings.ToLower(name)]
 	return t, ok
 }
 
 // TableNames lists tables in sorted order.
 func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)
@@ -454,6 +864,8 @@ func (db *DB) TableNames() []string {
 // CreateTable registers a new table.
 func (db *DB) CreateTable(schema *Schema, ifNotExists bool) error {
 	key := strings.ToLower(schema.Name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, exists := db.tables[key]; exists {
 		if ifNotExists {
 			return nil
@@ -488,6 +900,8 @@ func (db *DB) CreateTable(schema *Schema, ifNotExists bool) error {
 // DropTable removes a table.
 func (db *DB) DropTable(name string, ifExists bool) error {
 	key := strings.ToLower(name)
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[key]; !ok {
 		if ifExists {
 			return nil
@@ -519,7 +933,9 @@ type Undo struct {
 	Before Row
 }
 
-// Apply reverses the recorded mutation.
+// Apply reverses the recorded mutation as a fresh committed mutation
+// (rollback pushes new versions — it never rewrites history a snapshot
+// might be reading). The caller must hold the table's write latch.
 func (u Undo) Apply() error {
 	switch u.Kind {
 	case UndoInsert:

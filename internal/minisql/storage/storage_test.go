@@ -159,7 +159,8 @@ func TestDeleteAndUndelete(t *testing.T) {
 func TestUndoRecords(t *testing.T) {
 	table := newTestTable(t)
 	id, _ := table.Insert(row(1, "a", 0))
-	before := append(Row{}, table.rows[id]...)
+	cur, _ := table.Get(id)
+	before := append(Row{}, cur...)
 	table.Update(id, row(1, "b", 1))
 	undo := Undo{Kind: UndoUpdate, Table: table, RowID: id, Before: before}
 	if err := undo.Apply(); err != nil {

@@ -1,0 +1,177 @@
+package netsim
+
+import "sort"
+
+// This file models server-side lock contention the same way the rest of
+// netsim models the WAN: as a deterministic virtual-clock simulation.
+// The real machine running the benchmark may have any number of cores
+// (CI runners often have one), so the headline fine-vs-coarse locking
+// comparison of pdmbench -users comes from this discrete-event model at
+// a configurable core count, while the real concurrent run proves
+// correctness (race-free execution, dump equality) rather than speed.
+//
+// The model captures the mechanism that makes a single database-wide
+// reader/writer lock collapse under a mixed PDM workload: Go's RWMutex
+// (like most writer-preference RW locks) blocks new readers as soon as
+// a writer is waiting. With frequent small writes — flag updates,
+// check-out/check-in — every write request erects a barrier that
+// convoys the cheap snapshot reads behind it, so reads serialize even
+// though they conflict with nothing. Under MVCC the readers never touch
+// a lock and only writes to the *same table* serialize.
+
+// ContendOp is one operation of one simulated session.
+type ContendOp struct {
+	// Read marks a snapshot read (never locks under MVCC; shared lock
+	// under coarse locking).
+	Read bool
+	// Table is the write's target table (writes to different tables run
+	// concurrently under MVCC; ignored for reads).
+	Table int
+	// ServiceNanos is the operation's CPU service time.
+	ServiceNanos int64
+}
+
+// ContendConfig parameterizes one contention simulation.
+type ContendConfig struct {
+	// Cores is the number of CPU cores (1 if < 1).
+	Cores int
+	// Coarse selects the database-wide reader/writer lock; false models
+	// the MVCC path (lock-free reads, per-table write latches).
+	Coarse bool
+	// ThinkNanos is the per-session pause between operations.
+	ThinkNanos int64
+	// Workloads holds one operation sequence per session.
+	Workloads [][]ContendOp
+}
+
+// ContendResult reports one simulated run.
+type ContendResult struct {
+	// MakespanNanos is the virtual time at which the last op finished.
+	MakespanNanos int64
+	// LockWaitNanos is the total time ops spent blocked on locks
+	// (beyond what core scarcity alone would cost).
+	LockWaitNanos int64
+	// Ops is the number of operations executed.
+	Ops int
+	// P50Nanos / P99Nanos are operation latency percentiles
+	// (request-to-completion, including lock and core queueing).
+	P50Nanos int64
+	P99Nanos int64
+	// ThroughputOpsPerSec is Ops divided by the makespan.
+	ThroughputOpsPerSec float64
+}
+
+// SimulateContention runs the discrete-event model: sessions issue
+// their operations in order, each op needs a core for its service time
+// plus its lock. Operations are admitted in request-time order (FIFO,
+// ties by session index), which is exactly the order a fair scheduler
+// would see, and everything is integer virtual time — the result is
+// bit-for-bit reproducible.
+func SimulateContention(cfg ContendConfig) ContendResult {
+	cores := cfg.Cores
+	if cores < 1 {
+		cores = 1
+	}
+	coreFree := make([]int64, cores)
+
+	// Per-session cursor: next op index and its request time.
+	n := len(cfg.Workloads)
+	next := make([]int, n)
+	ready := make([]int64, n)
+
+	// Coarse RW-lock state: end of the last exclusive hold, and the
+	// latest end among shared holds granted since then. Processing in
+	// request order gives writer preference for free: a read processed
+	// after a write request sees that write's end in writeEnd.
+	var writeEnd, maxReadEnd int64
+	// Fine-mode state: per-table end of the last write latch hold.
+	tableEnd := map[int]int64{}
+
+	var result ContendResult
+	var latencies []int64
+
+	for {
+		// Pick the session with the earliest next request (FIFO admission).
+		user := -1
+		var t int64
+		for i := 0; i < n; i++ {
+			if next[i] >= len(cfg.Workloads[i]) {
+				continue
+			}
+			if user < 0 || ready[i] < t {
+				user = i
+				t = ready[i]
+			}
+		}
+		if user < 0 {
+			break
+		}
+		op := cfg.Workloads[user][next[user]]
+		next[user]++
+
+		// The lock constraint. A blocked session parks (Go goroutines
+		// release their thread), so the lock wait costs no core — the op
+		// competes for a core only once the lock is grantable.
+		var lockReady int64
+		if cfg.Coarse {
+			if op.Read {
+				lockReady = writeEnd // any earlier-requested write barriers us
+			} else {
+				lockReady = maxInt64(writeEnd, maxReadEnd) // exclusive: drain everyone
+			}
+		} else {
+			if !op.Read {
+				lockReady = tableEnd[op.Table] // per-table serialization only
+			}
+		}
+
+		// A core: take the earliest-free one.
+		core := 0
+		for c := 1; c < cores; c++ {
+			if coreFree[c] < coreFree[core] {
+				core = c
+			}
+		}
+		startNoLock := maxInt64(t, coreFree[core])
+		start := maxInt64(maxInt64(t, lockReady), coreFree[core])
+		end := start + op.ServiceNanos
+		coreFree[core] = end
+		result.LockWaitNanos += start - startNoLock
+		result.Ops++
+		latencies = append(latencies, end-t)
+		ready[user] = end + cfg.ThinkNanos
+		if end > result.MakespanNanos {
+			result.MakespanNanos = end
+		}
+
+		if cfg.Coarse {
+			if op.Read {
+				if end > maxReadEnd {
+					maxReadEnd = end
+				}
+			} else {
+				writeEnd = end
+				maxReadEnd = 0
+			}
+		} else if !op.Read {
+			tableEnd[op.Table] = end
+		}
+	}
+
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+		result.P50Nanos = latencies[len(latencies)/2]
+		result.P99Nanos = latencies[min(len(latencies)-1, len(latencies)*99/100)]
+	}
+	if result.MakespanNanos > 0 {
+		result.ThroughputOpsPerSec = float64(result.Ops) / (float64(result.MakespanNanos) / 1e9)
+	}
+	return result
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,71 @@
+package netsim
+
+import "testing"
+
+func contendWorkloads(users, per int) [][]ContendOp {
+	w := make([][]ContendOp, users)
+	for u := range w {
+		ops := make([]ContendOp, per)
+		for i := range ops {
+			// 1 write in 5, spread over 4 tables; the rest snapshot reads.
+			if i%5 == 0 {
+				ops[i] = ContendOp{Table: u % 4, ServiceNanos: 40_000}
+			} else {
+				ops[i] = ContendOp{Read: true, ServiceNanos: 25_000}
+			}
+		}
+		w[u] = ops
+	}
+	return w
+}
+
+// The model is pure virtual time: identical inputs give bit-identical
+// results, run after run.
+func TestSimulateContentionDeterministic(t *testing.T) {
+	cfg := ContendConfig{Cores: 8, ThinkNanos: 10_000, Workloads: contendWorkloads(50, 40)}
+	a := SimulateContention(cfg)
+	b := SimulateContention(cfg)
+	if a != b {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+	if a.Ops != 50*40 {
+		t.Errorf("Ops = %d, want %d", a.Ops, 50*40)
+	}
+	if a.P99Nanos < a.P50Nanos {
+		t.Errorf("p99 %d < p50 %d", a.P99Nanos, a.P50Nanos)
+	}
+}
+
+// The database-wide RW lock can only hurt: for any mixed workload its
+// makespan and lock wait dominate the MVCC model's, and with enough
+// cores the gap is the convoy the paper's tuning fights.
+func TestCoarseNeverBeatsFine(t *testing.T) {
+	for _, cores := range []int{1, 4, 16} {
+		w := contendWorkloads(64, 30)
+		fine := SimulateContention(ContendConfig{Cores: cores, Workloads: w})
+		coarse := SimulateContention(ContendConfig{Cores: cores, Coarse: true, Workloads: w})
+		if coarse.MakespanNanos < fine.MakespanNanos {
+			t.Errorf("cores=%d: coarse makespan %d beat fine %d", cores, coarse.MakespanNanos, fine.MakespanNanos)
+		}
+		if coarse.LockWaitNanos < fine.LockWaitNanos {
+			t.Errorf("cores=%d: coarse lock wait %d below fine %d", cores, coarse.LockWaitNanos, fine.LockWaitNanos)
+		}
+		if cores >= 16 && coarse.MakespanNanos < 2*fine.MakespanNanos {
+			t.Errorf("cores=%d: convoy too mild: coarse %d vs fine %d", cores, coarse.MakespanNanos, fine.MakespanNanos)
+		}
+	}
+}
+
+// Reads never wait under MVCC.
+func TestFineReadsNeverWait(t *testing.T) {
+	w := make([][]ContendOp, 16)
+	for u := range w {
+		for i := 0; i < 20; i++ {
+			w[u] = append(w[u], ContendOp{Read: true, ServiceNanos: 30_000})
+		}
+	}
+	res := SimulateContention(ContendConfig{Cores: 32, Workloads: w})
+	if res.LockWaitNanos != 0 {
+		t.Errorf("read-only MVCC workload waited %dns on locks", res.LockWaitNanos)
+	}
+}

@@ -139,6 +139,18 @@ type Metrics struct {
 	ResponseBytes      float64 // charged volume server→client
 	LatencySec         float64
 	TransferSec        float64
+	// LockWaitNanos is server-side contention observed by this client's
+	// statements: time its sessions spent blocked on write latches (or
+	// the coarse database lock, or waiting for a pooled connection).
+	// Reported by the wire server per round trip and drained into the
+	// meter, so contention is attributable per session and per site.
+	LockWaitNanos int64
+	// SnapshotsStarted counts read statements that opened an MVCC
+	// snapshot on behalf of this client.
+	SnapshotsStarted int64
+	// WriteConflicts counts first-wins write races this client lost
+	// (e.g. a check-out that found rows already checked out).
+	WriteConflicts int64
 }
 
 // TotalSec is the simulated response time accumulated so far.
@@ -168,6 +180,9 @@ func (m Metrics) Sub(b Metrics) Metrics {
 		ResponseBytes:      m.ResponseBytes - b.ResponseBytes,
 		LatencySec:         m.LatencySec - b.LatencySec,
 		TransferSec:        m.TransferSec - b.TransferSec,
+		LockWaitNanos:      m.LockWaitNanos - b.LockWaitNanos,
+		SnapshotsStarted:   m.SnapshotsStarted - b.SnapshotsStarted,
+		WriteConflicts:     m.WriteConflicts - b.WriteConflicts,
 	}
 }
 
@@ -193,6 +208,9 @@ func (m Metrics) Add(b Metrics) Metrics {
 		ResponseBytes:      m.ResponseBytes + b.ResponseBytes,
 		LatencySec:         m.LatencySec + b.LatencySec,
 		TransferSec:        m.TransferSec + b.TransferSec,
+		LockWaitNanos:      m.LockWaitNanos + b.LockWaitNanos,
+		SnapshotsStarted:   m.SnapshotsStarted + b.SnapshotsStarted,
+		WriteConflicts:     m.WriteConflicts + b.WriteConflicts,
 	}
 }
 
@@ -313,6 +331,15 @@ func (m *Meter) CountCache(hits, misses, savedRoundTrips int) {
 	m.Metrics.CacheHits += hits
 	m.Metrics.CacheMisses += misses
 	m.Metrics.SavedRoundTrips += savedRoundTrips
+}
+
+// CountContention folds server-reported contention counters into the
+// meter: lock-wait time, snapshots opened, and write conflicts lost by
+// the sessions this meter's client drove.
+func (m *Meter) CountContention(lockWaitNanos, snapshotsStarted, writeConflicts int64) {
+	m.Metrics.LockWaitNanos += lockWaitNanos
+	m.Metrics.SnapshotsStarted += snapshotsStarted
+	m.Metrics.WriteConflicts += writeConflicts
 }
 
 // Reset clears the accumulated metrics (e.g. between user actions).

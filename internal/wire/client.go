@@ -6,6 +6,7 @@ import (
 	"io"
 	"time"
 
+	"pdmtune/internal/minisql"
 	"pdmtune/internal/minisql/storage"
 	"pdmtune/internal/minisql/types"
 	"pdmtune/internal/netsim"
@@ -272,6 +273,23 @@ func (fa *frameAccountant) account(request, response []byte) {
 	}
 }
 
+// ContentionSource is the optional side interface of transports and
+// connections that can report server-side contention (engine lock
+// waits, snapshots opened, write conflicts). Metered wrappers drain it
+// after every round trip into the meter, which is how contention
+// becomes part of a session's netsim metrics.
+type ContentionSource interface {
+	TakeContention() minisql.ContentionStats
+}
+
+// countContention folds drained contention stats into a meter.
+func countContention(meter *netsim.Meter, st minisql.ContentionStats) {
+	if meter == nil || st.IsZero() {
+		return
+	}
+	meter.CountContention(st.LockWaitNanos, st.SnapshotsStarted, st.WriteConflicts)
+}
+
 // MeteredChannel executes requests against an in-process server
 // connection while charging every round trip to a WAN meter — the
 // deterministic simulation path used by all experiments.
@@ -297,6 +315,7 @@ func (mc *MeteredChannel) RoundTrip(ctx context.Context, request []byte) ([]byte
 	response := mc.Conn.Handle(request)
 	mc.fa.meter = mc.Meter
 	mc.fa.account(request, response)
+	countContention(mc.Meter, mc.Conn.TakeContention())
 	return response, nil
 }
 
@@ -363,5 +382,8 @@ func (m *meteredTransport) RoundTrip(ctx context.Context, request []byte) ([]byt
 		return nil, err
 	}
 	m.fa.account(request, response)
+	if cs, ok := m.inner.(ContentionSource); ok {
+		countContention(m.fa.meter, cs.TakeContention())
+	}
 	return response, nil
 }

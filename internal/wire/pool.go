@@ -1,0 +1,299 @@
+package wire
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/parser"
+)
+
+// Pool multiplexes many client sessions over at most max server
+// connections — the engine-side answer to "thousands of concurrent
+// sessions": clients are cheap, engine sessions are the scarce resource
+// (each one serializes its statements), so N clients share M = max
+// connections the way a production pooler (pgbouncer-style, statement
+// pooling mode) shares real database backends.
+//
+// Pool implements Transport and is safe for any number of concurrent
+// RoundTrip callers. Per call it acquires an idle member connection
+// (creating one while under the cap, blocking otherwise), forwards the
+// request, and releases the connection. Three frame types never reach a
+// member connection:
+//
+//   - Hello: the first hello negotiates the pool-wide capability set on
+//     a member connection; every later hello is answered locally with
+//     that same set, so all members encode responses identically.
+//   - Prepare: the SQL is parsed (surfacing syntax errors at prepare
+//     time) and registered under a pool-level handle. Member
+//     connections prepare lazily, the first time the handle executes on
+//     them; the pool remaps pool handles to per-connection handles on
+//     TypeExecPrepared and TypeBatch frames.
+//   - Close: answered locally — pool-level handles outlive any one
+//     client session, and member registries are shared state.
+//
+// Because statements from one client may execute on different member
+// connections, sessions multiplexed through a pool must not rely on
+// session state across round trips (the PDM workload's transactions are
+// single-round-trip batches, so this is the same contract statement
+// pooling imposes in production).
+type Pool struct {
+	server *Server
+
+	mu      sync.Mutex
+	conns   []*poolConn // all created members
+	created int
+	caps    Caps
+	capsSet bool
+	stmts   map[uint32]string // pool handle → SQL text
+	next    uint32
+	pending minisql.ContentionStats
+
+	idle chan *poolConn
+	max  int
+}
+
+// poolConn is one member connection plus its lazy view of the pool's
+// prepared statements. handles is touched only while the member is
+// checked out, so it needs no lock of its own.
+type poolConn struct {
+	conn    *ServerConn
+	handles map[uint32]uint32 // pool handle → this connection's handle
+}
+
+// NewPool creates a pool of at most max member connections over the
+// server. max < 1 is treated as 1.
+func NewPool(server *Server, max int) *Pool {
+	if max < 1 {
+		max = 1
+	}
+	return &Pool{
+		server: server,
+		stmts:  map[uint32]string{},
+		idle:   make(chan *poolConn, max),
+		max:    max,
+	}
+}
+
+// Max returns the pool's connection cap.
+func (p *Pool) Max() int { return p.max }
+
+// Size returns the number of member connections created so far.
+func (p *Pool) Size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.created
+}
+
+// TakeContention drains the contention the pool observed since the last
+// drain: engine lock waits and snapshot/conflict counts of its member
+// sessions, plus time callers spent waiting for a free connection
+// (reported as lock-wait — the pool cap is a lock like any other).
+// With several clients multiplexed over one pool the attribution to the
+// draining client is approximate, but the totals are conserved.
+func (p *Pool) TakeContention() minisql.ContentionStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.pending
+	p.pending = minisql.ContentionStats{}
+	return st
+}
+
+// acquire checks out an idle member, creating one while under the cap.
+// Waiting time is recorded as contention.
+func (p *Pool) acquire(ctx context.Context) (*poolConn, error) {
+	select {
+	case pc := <-p.idle:
+		return pc, nil
+	default:
+	}
+	p.mu.Lock()
+	if p.created < p.max {
+		p.created++
+		pc := &poolConn{conn: p.server.NewConn(), handles: map[uint32]uint32{}}
+		if p.capsSet {
+			pc.conn.SetCaps(p.caps)
+		}
+		p.conns = append(p.conns, pc)
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	select {
+	case pc := <-p.idle:
+		p.mu.Lock()
+		p.pending.LockWaitNanos += time.Since(start).Nanoseconds()
+		p.mu.Unlock()
+		return pc, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (p *Pool) release(pc *poolConn) {
+	// Drain the member session's contention while we still know which
+	// request caused it.
+	if st := pc.conn.TakeContention(); !st.IsZero() {
+		p.mu.Lock()
+		p.pending.Add(st)
+		p.mu.Unlock()
+	}
+	p.idle <- pc
+}
+
+// RoundTrip implements Transport.
+func (p *Pool) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	if len(request) > 0 {
+		switch request[0] {
+		case TypeHello:
+			return p.handleHello(ctx, request)
+		case TypePrepare:
+			return p.handlePrepare(request), nil
+		case TypeClose:
+			// Session teardown: pool handles are shared, nothing to drop.
+			if err := DecodeClose(request); err != nil {
+				return EncodeResponse(&Response{Err: fmt.Sprintf("bad close: %v", err)}), nil
+			}
+			return EncodeResponse(&Response{}), nil
+		case TypeExecPrepared:
+			req, err := DecodeExecPrepared(request)
+			if err != nil {
+				return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)}), nil
+			}
+			return p.execRemapped(ctx, []*Request{req}, func(pc *poolConn) []byte {
+				return pc.conn.Handle(EncodeExec(req))
+			})
+		case TypeBatch:
+			reqs, err := DecodeBatch(request)
+			if err != nil {
+				return EncodeResponse(&Response{Err: fmt.Sprintf("bad batch: %v", err)}), nil
+			}
+			return p.execRemapped(ctx, reqs, func(pc *poolConn) []byte {
+				return pc.conn.Handle(EncodeBatch(reqs))
+			})
+		}
+	}
+	pc, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(pc)
+	return pc.conn.Handle(request), nil
+}
+
+// handleHello negotiates once and answers every later hello with the
+// pool-wide capability set.
+func (p *Pool) handleHello(ctx context.Context, request []byte) ([]byte, error) {
+	p.mu.Lock()
+	if p.capsSet {
+		caps := p.caps
+		p.mu.Unlock()
+		return EncodeHelloResp(caps), nil
+	}
+	p.mu.Unlock()
+	pc, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(pc)
+	resp := pc.conn.Handle(request)
+	if caps, err := DecodeHelloResp(resp); err == nil {
+		p.mu.Lock()
+		if !p.capsSet {
+			p.caps = caps
+			p.capsSet = true
+			for _, other := range p.conns {
+				if other != pc {
+					other.conn.SetCaps(caps)
+				}
+			}
+		}
+		p.mu.Unlock()
+	}
+	return resp, nil
+}
+
+// handlePrepare registers the SQL under a fresh pool-level handle.
+// Parsing here keeps the contract that syntax errors surface at prepare
+// time even though no member connection has seen the statement yet.
+func (p *Pool) handlePrepare(request []byte) []byte {
+	sql, err := DecodePrepare(request)
+	if err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad prepare: %v", err)})
+	}
+	if _, err := parser.Parse(sql); err != nil {
+		return EncodeResponse(&Response{Err: err.Error()})
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.next++
+	p.stmts[p.next] = sql
+	return EncodePrepareResp(p.next)
+}
+
+// execRemapped checks out a member, makes sure it has prepared every
+// pool handle the requests reference (rewriting them to the member's
+// handles in place), and forwards via send.
+func (p *Pool) execRemapped(ctx context.Context, reqs []*Request, send func(*poolConn) []byte) ([]byte, error) {
+	pc, err := p.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer p.release(pc)
+	for _, req := range reqs {
+		if !req.Prepared {
+			continue
+		}
+		h, err := p.connHandle(pc, req.Handle)
+		if err != nil {
+			return EncodeResponse(&Response{Err: err.Error()}), nil
+		}
+		req.Handle = h
+	}
+	return send(pc), nil
+}
+
+// connHandle resolves a pool handle to the member's own handle,
+// preparing the statement on the member the first time (the lazy,
+// pool-internal prepare costs no client round trip — the pool lives
+// next to the server).
+func (p *Pool) connHandle(pc *poolConn, poolHandle uint32) (uint32, error) {
+	if h, ok := pc.handles[poolHandle]; ok {
+		return h, nil
+	}
+	p.mu.Lock()
+	sql, ok := p.stmts[poolHandle]
+	p.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("no prepared statement with handle %d", poolHandle)
+	}
+	resp := pc.conn.Handle(EncodePrepare(sql))
+	resp, err := MaybeDecompress(resp)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp) > 0 && resp[0] == TypeError {
+		r, err := DecodeResponse(resp)
+		if err != nil {
+			return 0, err
+		}
+		return 0, &ServerError{Msg: r.Err}
+	}
+	h, err := DecodePrepareResp(resp)
+	if err != nil {
+		return 0, err
+	}
+	pc.handles[poolHandle] = h
+	return h, nil
+}

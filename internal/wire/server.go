@@ -3,6 +3,7 @@ package wire
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"pdmtune/internal/minisql"
 	"pdmtune/internal/minisql/ast"
@@ -30,9 +31,17 @@ func (s *Server) NewConn() *ServerConn {
 // ServerConn is the server side of one client connection. Prepared
 // statements live here: a handle is valid only on the connection that
 // prepared it (like the session-scoped statement cache of a real RDBMS).
+//
+// Handle is safe for concurrent callers: requests racing onto one
+// connection serialize on an internal mutex (the engine session it owns
+// is single-threaded by contract). Concurrency across connections is
+// the pool's job — see Pool.
 type ServerConn struct {
 	server  *Server
 	session *minisql.Session
+
+	// mu serializes Handle and guards the per-connection state below.
+	mu sync.Mutex
 
 	stmts      map[uint32]ast.Statement
 	nextHandle uint32
@@ -51,7 +60,30 @@ type ServerConn struct {
 }
 
 // Caps reports the capabilities negotiated on this connection.
-func (c *ServerConn) Caps() Caps { return c.caps }
+func (c *ServerConn) Caps() Caps {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.caps
+}
+
+// SetCaps installs negotiated capabilities directly, bypassing the hello
+// exchange — the pool uses it to stamp freshly created member
+// connections with the capability set its first hello negotiated.
+func (c *ServerConn) SetCaps(caps Caps) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.caps = caps
+}
+
+// TakeContention drains the contention counters of the connection's
+// engine session: lock waits, snapshots, write conflicts since the last
+// drain. The transport layer calls it per round trip to attribute
+// server-side contention to the client that caused it.
+func (c *ServerConn) TakeContention() minisql.ContentionStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.session.TakeContention()
+}
 
 func (c *ServerConn) responseLimit() int {
 	if c.MaxResponseBytes > 0 {
@@ -69,6 +101,8 @@ func (c *ServerConn) responseLimit() int {
 // columnar result frames and/or a whole-body deflate wrapper when the
 // hello exchange enabled them.
 func (c *ServerConn) Handle(reqBody []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.finish(c.dispatch(reqBody))
 }
 
@@ -184,8 +218,9 @@ func (c *ServerConn) handleValidate(reqBody []byte) []byte {
 // handleSync answers a replica's delta pull: every row whose version
 // key was modified after the requested epoch, plus the stamps that
 // make the replica's version log a mirror of this database's. The
-// extraction runs under the engine's read lock, so the delta is a
-// consistent snapshot.
+// extraction is an MVCC snapshot read — stamps and rows are resolved
+// at one captured epoch — so it is consistent without blocking
+// concurrent writers.
 func (c *ServerConn) handleSync(reqBody []byte) []byte {
 	since, err := DecodeSync(reqBody)
 	if err != nil {

@@ -46,6 +46,7 @@ package pdmtune
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"pdmtune/internal/cache"
@@ -75,6 +76,9 @@ type (
 	ActionResult = core.ActionResult
 	// CheckOutResult reports a check-out/check-in.
 	CheckOutResult = core.CheckOutResult
+	// ConflictError reports a check-out that lost a first-wins race
+	// against a concurrent writer (match with errors.As).
+	ConflictError = core.ConflictError
 	// Link describes a WAN profile.
 	Link = netsim.Link
 	// Meter accumulates simulated WAN metrics.
@@ -156,6 +160,28 @@ type System struct {
 	id string
 	// cluster is the topology this system is the primary of.
 	cluster *Cluster
+
+	// pools holds the shared connection pools of WithPool sessions, one
+	// per wire server (the primary and each replica site), created on
+	// first use. The first session's pool size wins.
+	poolMu sync.Mutex
+	pools  map[*wire.Server]*wire.Pool
+}
+
+// pool returns the system's shared connection pool for the given
+// server, creating it (with the given cap) on first use.
+func (s *System) pool(server *wire.Server, max int) *wire.Pool {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if s.pools == nil {
+		s.pools = map[*wire.Server]*wire.Pool{}
+	}
+	p, ok := s.pools[server]
+	if !ok {
+		p = wire.NewPool(server, max)
+		s.pools[server] = p
+	}
+	return p
 }
 
 // nextSystemID numbers systems within the process.

@@ -50,12 +50,14 @@ type sessionConfig struct {
 	openCtx           context.Context
 	site              string
 	maxStaleness      time.Duration
+	poolMax           int
 
 	linkSet         bool
 	transportSet    bool
 	cacheSet        bool
 	sharedCacheSet  bool
 	maxStalenessSet bool
+	poolSet         bool
 }
 
 // Option configures a Session opened with System.Open or
@@ -104,6 +106,10 @@ func (c *sessionConfig) validate() error {
 		return &OptionError{Option: "WithTransport", Conflict: "WithSite",
 			Reason: "a custom transport would bypass the site's replica; sessions at a site use the site's server"}
 	}
+	if c.poolSet && c.transportSet {
+		return &OptionError{Option: "WithPool", Conflict: "WithTransport",
+			Reason: "pooling multiplexes the default in-process transport; a custom transport manages its own connections"}
+	}
 	return nil
 }
 
@@ -149,6 +155,29 @@ func WithMaxStaleness(d time.Duration) Option {
 		}
 		c.maxStaleness = d
 		c.maxStalenessSet = true
+		return nil
+	}
+}
+
+// WithPool routes the session through the server's shared connection
+// pool of at most max member connections (max < 1 means 1) instead of
+// a dedicated connection — the lever for "thousands of concurrent
+// sessions": engine sessions are the scarce resource, so N client
+// sessions multiplex over M = max of them, pgbouncer-style. All pooled
+// sessions of one System (per server — the primary and each replica
+// site have their own pool) share prepared-statement handles and one
+// negotiated capability set; the first WithPool size wins, later sizes
+// are ignored. Time spent waiting for a free connection is reported in
+// the session's Metrics.LockWaitNanos. Pooled sessions must not rely
+// on server session state across round trips (the client's actions do
+// not). Conflicts with WithTransport.
+func WithPool(max int) Option {
+	return func(c *sessionConfig) error {
+		if max < 1 {
+			max = 1
+		}
+		c.poolMax = max
+		c.poolSet = true
 		return nil
 	}
 }
@@ -410,7 +439,9 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 	transport := cfg.transport
 	if transport == nil {
 		// Default transport: the in-process metered simulation, against
-		// the site's replica server for replica sessions.
+		// the site's replica server for replica sessions. With WithPool
+		// the session shares the server's connection pool instead of
+		// owning a connection.
 		if meter == nil {
 			meter = netsim.NewMeter(cfg.link)
 		}
@@ -418,17 +449,26 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 		if site != nil {
 			server = site.Server()
 		}
-		transport = &wire.MeteredChannel{Conn: server.NewConn(), Meter: meter}
+		if cfg.poolSet {
+			transport = wire.Metered(s.pool(server, cfg.poolMax), meter)
+		} else {
+			transport = &wire.MeteredChannel{Conn: server.NewConn(), Meter: meter}
+		}
 	}
 	client := core.NewClient(transport, meter, cfg.rules, cfg.user, cfg.strategy)
 	client.SetBatching(cfg.batching)
 	client.SetPrepared(cfg.prepared)
 	sess := &Session{client: client, meter: meter, site: PrimarySite}
 	if site != nil {
-		// Write path: the session's own connection to the primary,
-		// metered on the site's WAN link.
+		// Write path: a connection to the primary, metered on the
+		// site's WAN link — pooled on the primary's pool when the
+		// session is pooled.
 		wan := netsim.NewMeter(site.Link())
-		client.SetPrimary(&wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: wan}, wan)
+		if cfg.poolSet {
+			client.SetPrimary(wire.Metered(s.pool(s.Server, cfg.poolMax), wan), wan)
+		} else {
+			client.SetPrimary(&wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: wan}, wan)
+		}
 		bound := time.Duration(-1) // read your own site
 		if cfg.maxStalenessSet {
 			bound = cfg.maxStaleness
