@@ -1,0 +1,274 @@
+package pdmtune
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pdmtune/internal/advisor"
+	"pdmtune/internal/cache"
+	"pdmtune/internal/costmodel"
+)
+
+// Re-exported advisor types: the auto-tuning API of the reproduction.
+type (
+	// TuneConfig is the complete runtime-tunable configuration of one
+	// session — what a ChangeSet flips and a rollback restores.
+	TuneConfig = advisor.Config
+	// Observation is one windowed look at a live session or fleet.
+	Observation = advisor.Observation
+	// WorkloadProfile is the classified shape of an observation.
+	WorkloadProfile = advisor.WorkloadProfile
+	// WorkloadShape is the advisor's coarse classification.
+	WorkloadShape = advisor.Shape
+	// Recommendation is one ranked candidate configuration.
+	Recommendation = advisor.Recommendation
+	// ChangeSet is a fingerprinted, rollback-capable reconfiguration.
+	ChangeSet = advisor.ChangeSet
+	// ParamChange is one knob flip inside a ChangeSet.
+	ParamChange = advisor.ParamChange
+	// DiagSnapshot is the advisor's degradable read-only report.
+	DiagSnapshot = advisor.DiagSnapshot
+	// Tunable is anything the advisor can reconfigure; *Session
+	// implements it.
+	Tunable = advisor.Tunable
+)
+
+// Workload-shape constants, re-exported from the advisor.
+const (
+	ShapeColdRead    = advisor.ColdRead
+	ShapeRepeatRead  = advisor.RepeatRead
+	ShapeWriteHeavy  = advisor.WriteHeavy
+	ShapeReplicaRead = advisor.ReplicaRead
+)
+
+// Advisor closes the paper's tuning loop over a live session: observe a
+// windowed metrics delta, classify the workload shape, rank candidate
+// configurations with the analytic cost model, and either report
+// (Diagnose) or act (Plan → ChangeSet.Apply / Rollback). The zero value
+// assumes the paper's δ=7, β=5, σ=0.6 scenario and a single user;
+// populate the fields to match the deployment being tuned.
+type Advisor struct {
+	// Product is the product shape under traversal (the paper's
+	// worldwide scenario when zero).
+	Product ProductConfig
+	// Users is the number of concurrent users sharing the link (1 when
+	// 0) — the contention multiplier of the ranking.
+	Users int
+	// TopK bounds Recommend's answer (3 when 0).
+	TopK int
+	// CacheEntries is the cache bound candidate configurations propose
+	// (256 when 0).
+	CacheEntries int
+}
+
+func (a *Advisor) inner() advisor.Advisor {
+	return advisor.Advisor{TopK: a.TopK, CacheEntries: a.CacheEntries}
+}
+
+func (a *Advisor) tree() costmodel.Tree {
+	p := a.Product
+	if p.Depth == 0 {
+		p = ProductConfig{Depth: 7, Branch: 5, Sigma: 0.6}
+	}
+	return costmodel.Tree{Depth: p.Depth, Branch: p.Branch, Sigma: p.Sigma}
+}
+
+// Observe assembles the advisor's observation of a session from a
+// windowed metrics delta (snapshot the session's Metrics before and
+// after the window and pass window.Delta(prev) — or the full Metrics
+// for an everything-so-far window).
+func (a *Advisor) Observe(s *Session, window Metrics) Observation {
+	obs := Observation{
+		Window: window,
+		Tree:   a.tree(),
+		Users:  a.Users,
+	}
+	if s.site != PrimarySite {
+		obs.Site = s.site
+		if s.wan != nil {
+			obs.Link = s.wan.Link
+		}
+		if s.meter != nil {
+			obs.LocalLink = s.meter.Link
+		}
+		// Estimate the per-pull delta volume from the site's replication
+		// history, when there is one.
+		if site, ok := s.sys.cluster.sites[s.site]; ok {
+			if m := site.Metrics(); m.SyncRoundTrips > 0 {
+				obs.SyncBytes = m.ResponseBytes / float64(m.SyncRoundTrips)
+			}
+		}
+	} else if s.meter != nil {
+		obs.Link = s.meter.Link
+	}
+	return obs
+}
+
+// Recommend ranks candidate configurations for the session under the
+// observed window and returns the top-k with predicted deltas.
+func (a *Advisor) Recommend(s *Session, window Metrics) []Recommendation {
+	return a.inner().Recommend(a.Observe(s, window), s.TuneConfig())
+}
+
+// Diagnose returns the read-only report for the session under the
+// observed window: traffic, classified profile, ranked
+// recommendations. Sections degrade independently — an empty window
+// still reports the configuration.
+func (a *Advisor) Diagnose(s *Session, window Metrics) *DiagSnapshot {
+	return a.inner().Diagnose(a.Observe(s, window), s.TuneConfig())
+}
+
+// Plan builds the change set turning the session's current
+// configuration into the advisor's top pick for the observed window —
+// nil when the session already runs it. The set is fingerprinted
+// against the current configuration; apply it with ChangeSet.Apply and
+// revert with ChangeSet.Rollback.
+func (a *Advisor) Plan(s *Session, window Metrics) *ChangeSet {
+	return a.inner().Plan(a.Observe(s, window), s.TuneConfig())
+}
+
+// Classify exposes the advisor's workload classification.
+func Classify(o Observation) WorkloadProfile { return advisor.Classify(o) }
+
+// Diagnose returns the attached advisor's read-only report over the
+// session's whole metered history so far. Nil without WithAdvisor or
+// WithAutoTune; observe a specific window by calling Advisor.Diagnose
+// with a Metrics delta instead.
+func (s *Session) Diagnose() *DiagSnapshot {
+	if s.advisor == nil {
+		return nil
+	}
+	return s.advisor.Diagnose(s, s.Metrics())
+}
+
+// PlanTune builds the attached advisor's change set for the session's
+// whole metered history so far — nil without WithAdvisor/WithAutoTune,
+// or when the session already runs the advisor's pick. The set is not
+// applied; call ChangeSet.Apply (and, to revert, Rollback).
+func (s *Session) PlanTune() *ChangeSet {
+	if s.advisor == nil {
+		return nil
+	}
+	return s.advisor.Plan(s, s.Metrics())
+}
+
+// ---------------------------------------------------------------------------
+// Session as a Tunable
+
+// TuneConfig returns the session's current runtime-tunable
+// configuration: the knobs a ChangeSet can flip on the live connection.
+// Wire encodings report what the session requested (WireCaps holds what
+// the server accepted).
+func (s *Session) TuneConfig() TuneConfig {
+	return TuneConfig{
+		Strategy:          s.client.Strategy(),
+		Batching:          s.client.Batching(),
+		Prepared:          s.client.Prepared(),
+		CacheEntries:      s.cacheEntries,
+		Columnar:          s.columnar,
+		Compress:          s.compress,
+		CompressThreshold: s.compressThreshold,
+		StalenessSec:      s.stalenessSec,
+	}
+}
+
+// ApplyConfig reconfigures the live session: strategy, batching,
+// prepared statements and the cache flip locally; changed wire
+// encodings cost one renegotiation round trip; the staleness bound
+// applies to replica sessions (it is ignored at the primary — there is
+// no replica to bound). A shared cache cannot be resized or dropped by
+// a per-session change (the session does not own it) — such a change
+// fails before anything is modified.
+func (s *Session) ApplyConfig(ctx context.Context, cfg TuneConfig) error {
+	cur := s.TuneConfig()
+	if cfg.CacheEntries != cur.CacheEntries && (cur.CacheEntries < 0 || cfg.CacheEntries < 0) {
+		return fmt.Errorf("pdmtune: a shared structure cache is not owned by the session; open a new session to change it")
+	}
+	if cfg.Columnar != cur.Columnar || cfg.Compress != cur.Compress || cfg.CompressThreshold != cur.CompressThreshold {
+		caps, err := s.client.RenegotiateWire(ctx, cfg.Columnar, cfg.Compress, cfg.CompressThreshold)
+		if err != nil {
+			return fmt.Errorf("pdmtune: renegotiating wire encodings: %w", err)
+		}
+		s.caps = WireCaps{
+			ColumnarResults:   caps.Columnar,
+			Compression:       caps.Compress,
+			CompressThreshold: caps.CompressThreshold,
+		}
+		s.columnar = cfg.Columnar
+		s.compress = cfg.Compress
+		s.compressThreshold = cfg.CompressThreshold
+	}
+	s.client.SetStrategy(cfg.Strategy)
+	s.client.SetBatching(cfg.Batching)
+	s.client.SetPrepared(cfg.Prepared)
+	if cfg.CacheEntries != cur.CacheEntries {
+		if cfg.CacheEntries == 0 {
+			s.client.SetCache(nil, "")
+		} else {
+			s.client.SetCache(cache.New(cfg.CacheEntries), s.sys.id)
+		}
+		s.cacheEntries = cfg.CacheEntries
+	}
+	if s.site != PrimarySite && cfg.StalenessSec != cur.StalenessSec {
+		bound := time.Duration(-1)
+		if cfg.StalenessSec >= 0 {
+			bound = time.Duration(cfg.StalenessSec * float64(time.Second))
+		}
+		s.client.SetStalenessBound(bound)
+		s.stalenessSec = cfg.StalenessSec
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// The closed loop (WithAutoTune)
+
+// autoTuner is the session's auto-apply state: every `every` completed
+// actions, re-observe the window since the last decision and apply the
+// advisor's plan.
+type autoTuner struct {
+	every int
+	n     int
+	prev  Metrics
+	last  *ChangeSet
+}
+
+// afterAction advances the auto-tuner by one completed user action and
+// fires a plan-and-apply when the window is full. Failed actions do not
+// advance the window (their metrics still accumulate and are observed
+// by the next full window).
+func (s *Session) afterAction(ctx context.Context, actionErr error) {
+	if s.auto == nil || actionErr != nil {
+		return
+	}
+	s.auto.n++
+	if s.auto.n < s.auto.every {
+		return
+	}
+	s.auto.n = 0
+	now := s.Metrics()
+	window := now.Delta(s.auto.prev)
+	s.auto.prev = now
+	cs := s.advisor.Plan(s, window)
+	if cs == nil {
+		return
+	}
+	// Best effort: an auto-tune that cannot apply (e.g. the session
+	// drifted under a concurrent manual tuner) leaves the session as it
+	// is; the next window re-plans from the live configuration.
+	if err := cs.Apply(ctx, s); err == nil {
+		s.auto.last = cs
+	}
+}
+
+// LastAutoTune returns the change set the auto-tuner applied most
+// recently (nil before the first one). Rolling it back restores the
+// pre-apply configuration; the auto-tuner keeps running and may re-plan
+// at the next window.
+func (s *Session) LastAutoTune() *ChangeSet {
+	if s.auto == nil {
+		return nil
+	}
+	return s.auto.last
+}

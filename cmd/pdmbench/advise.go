@@ -1,0 +1,180 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"pdmtune"
+)
+
+// The advisor benchmark: three canonical workload shapes are driven
+// under the untuned baseline (plain late evaluation), the advisor
+// classifies each observed window and picks a configuration, and the
+// pick is measured against the baseline by re-running the same workload
+// under it.
+
+// adviseProduct matches the advisor acceptance tests: deep enough that
+// the knobs matter, small enough to simulate per shape.
+var adviseProduct = pdmtune.ProductConfig{Depth: 4, Branch: 3, Sigma: 1, Seed: 7, PadBytes: 64}
+
+// adviseDriver drives one workload shape against a session. Drivers
+// pair every check-out with a check-in, so consecutive runs see an
+// identical database.
+type adviseDriver func(sess *pdmtune.Session, prod *pdmtune.Product) error
+
+func driveColdScan(sess *pdmtune.Session, prod *pdmtune.Product) error {
+	ctx := context.Background()
+	for _, id := range prod.Nodes[prod.RootID].Children {
+		if _, err := sess.MultiLevelExpand(ctx, id); err != nil {
+			return err
+		}
+	}
+	_, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	return err
+}
+
+func driveWarmRepeat(sess *pdmtune.Session, prod *pdmtune.Product) error {
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := sess.MultiLevelExpand(ctx, prod.RootID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func driveWriteStorm(sess *pdmtune.Session, prod *pdmtune.Product) error {
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		for _, id := range prod.Nodes[prod.RootID].Children {
+			if _, err := sess.CheckOut(ctx, id); err != nil {
+				return err
+			}
+			if _, err := sess.CheckIn(ctx, id); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// adviseRecord is one shape's outcome in the -advise -json output.
+type adviseRecord struct {
+	Shape          string  `json:"shape"`
+	Classified     string  `json:"classified"`
+	WriteFrac      float64 `json:"write_frac"`
+	RepeatFrac     float64 `json:"repeat_frac"`
+	Pick           string  `json:"pick"`
+	PredictedSec   float64 `json:"predicted_sec"`
+	CurrentSec     float64 `json:"current_sec"`
+	PredictedGain  float64 `json:"predicted_gain_pct"`
+	BaselineSimSec float64 `json:"baseline_sim_sec"`
+	PickSimSec     float64 `json:"pick_sim_sec"`
+	SpeedupX       float64 `json:"speedup_x"`
+}
+
+// adviseOne observes one shape, asks the advisor, and measures the pick.
+func adviseOne(sys *pdmtune.System, prod *pdmtune.Product, name string, drive adviseDriver) adviseRecord {
+	// Observation run under the untuned baseline.
+	obs, err := sys.Open(pdmtune.WithStrategy(pdmtune.LateEval))
+	if err != nil {
+		fail(err)
+	}
+	if err := drive(obs, prod); err != nil {
+		fail(err)
+	}
+	window := obs.Metrics()
+	adv := pdmtune.Advisor{Product: prod.Config, Users: 1}
+	profile := pdmtune.Classify(adv.Observe(obs, window))
+	recs := adv.Recommend(obs, window)
+	if err := obs.Close(); err != nil {
+		fail(err)
+	}
+	if len(recs) == 0 {
+		fail(fmt.Errorf("advisor returned no recommendations for shape %s", name))
+	}
+	best := recs[0]
+
+	// Measurement run: a fresh session reconfigured to the pick, meters
+	// reset so only the workload is charged.
+	sess, err := sys.Open(pdmtune.WithStrategy(pdmtune.LateEval))
+	if err != nil {
+		fail(err)
+	}
+	if err := sess.ApplyConfig(context.Background(), best.Config); err != nil {
+		fail(err)
+	}
+	sess.ResetMetrics()
+	if err := drive(sess, prod); err != nil {
+		fail(err)
+	}
+	pickSec := sess.Metrics().TotalSec()
+	if err := sess.Close(); err != nil {
+		fail(err)
+	}
+
+	baselineSec := window.TotalSec()
+	speedup := 0.0
+	if pickSec > 0 {
+		speedup = baselineSec / pickSec
+	}
+	return adviseRecord{
+		Shape:          name,
+		Classified:     profile.Shape.String(),
+		WriteFrac:      profile.WriteFrac,
+		RepeatFrac:     profile.RepeatFrac,
+		Pick:           best.Config.String(),
+		PredictedSec:   best.PredictedSec,
+		CurrentSec:     best.CurrentSec,
+		PredictedGain:  best.DeltaPct,
+		BaselineSimSec: baselineSec,
+		PickSimSec:     pickSec,
+		SpeedupX:       speedup,
+	}
+}
+
+// runAdvise drives the three shapes and reports — as prose, or as one
+// JSON array for benchmark trajectory tracking (BENCH_advisor.json).
+func runAdvise(jsonOut bool) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(adviseProduct)
+	if err != nil {
+		fail(err)
+	}
+	shapes := []struct {
+		name  string
+		drive adviseDriver
+	}{
+		{"cold-scan", driveColdScan},
+		{"warm-repeat", driveWarmRepeat},
+		{"write-storm", driveWriteStorm},
+	}
+	var records []adviseRecord
+	for _, s := range shapes {
+		records = append(records, adviseOne(sys, prod, s.name, s.drive))
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Println("Auto-tuning advisor — three workload shapes observed under the untuned")
+	fmt.Println("baseline (plain late evaluation), classified, and re-run under the advisor's")
+	fmt.Printf("pick (δ=%d, β=%d, σ=%g, 256 kbit/s / 150 ms).\n",
+		adviseProduct.Depth, adviseProduct.Branch, adviseProduct.Sigma)
+	fmt.Println()
+	for _, r := range records {
+		fmt.Printf("  %-12s classified %-12s (writes %4.0f%%, repeats %4.0f%%)\n",
+			r.Shape, r.Classified, r.WriteFrac*100, r.RepeatFrac*100)
+		fmt.Printf("    pick: %s\n", r.Pick)
+		fmt.Printf("    simulated: %8.2fs -> %7.2fs (%.1fx; model predicted %.1f%% gain)\n",
+			r.BaselineSimSec, r.PickSimSec, r.SpeedupX, r.PredictedGain)
+	}
+	fmt.Println()
+}

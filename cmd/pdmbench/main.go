@@ -18,6 +18,9 @@
 //	                          # primary's WAN cost, per-site sync volume (combine with
 //	                          # -staleness for bounded-staleness sessions)
 //	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
+//	pdmbench -advise          # auto-tuning advisor: observe three workload shapes,
+//	                          # classify, pick knobs, and re-measure under the pick
+//	                          # (combine with -json for BENCH_advisor.json records)
 //	pdmbench -json            # machine-readable metrics for all scenarios (stdout;
 //	                          # display modes are ignored so the output stays pure
 //	                          # JSON; combine with -compress to add the negotiated
@@ -51,6 +54,7 @@ func main() {
 	sites := flag.Int("sites", 0, "simulate N replica sites (reads at LAN cost, sync across the WAN)")
 	staleness := flag.Duration("staleness", -1, "staleness bound of the per-site sessions (-1: read your own site)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
+	advise := flag.Bool("advise", false, "run the auto-tuning advisor over three workload shapes")
 	users := flag.Int("users", 0, "run the concurrent-users benchmark with N sessions")
 	poolSize := flag.Int("pool", 32, "connection-pool size for -users sessions")
 	userOps := flag.Int("ops", 20, "operations per user for -users")
@@ -72,10 +76,14 @@ func main() {
 			runSitesJSON(*sites, *staleness)
 			return
 		}
+		if *advise {
+			runAdvise(true)
+			return
+		}
 		runJSON(*compress)
 		return
 	}
-	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *cacheCmp || *compress || *checkout || *sites > 0 || *ablate
+	any := *table != 0 || *figure != 0 || *simulate || *batch || *prepared || *cacheCmp || *compress || *checkout || *sites > 0 || *ablate || *advise
 	if *all || !any {
 		printTable(2)
 		printTable(3)
@@ -114,6 +122,9 @@ func main() {
 	}
 	if *ablate || *all {
 		runAblation()
+	}
+	if *advise || *all {
+		runAdvise(false)
 	}
 }
 

@@ -78,6 +78,32 @@ func main() {
 		}
 	}
 
+	// The advisor reaches the tuned configuration automatically: it
+	// watches the untuned session's own metrics window, classifies the
+	// workload shape, and ranks the whole knob lattice with the cost
+	// model — no hand-picking.
+	adv := pdmtune.Advisor{Product: prod.Config}
+	untuned, err := sys.Open(
+		pdmtune.WithLink(pdmtune.Intercontinental()),
+		pdmtune.WithStrategy(pdmtune.LateEval),
+		pdmtune.WithUser(user),
+		pdmtune.WithAdvisor(&adv),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := untuned.MultiLevelExpand(ctx, prod.RootID); err != nil {
+		log.Fatal(err)
+	}
+	if cs := untuned.PlanTune(); cs != nil {
+		fmt.Printf("\n  advisor's pick after watching the untuned session: %s\n", cs.Target)
+		fmt.Printf("    (model: %.1f s -> %.1f s per MLE; ChangeSet %s applies it live, Rollback reverts)\n",
+			cs.CurrentSec, cs.PredictedSec, cs.ID)
+	}
+	if err := untuned.Close(); err != nil {
+		log.Fatal(err)
+	}
+
 	// The structure cache removes the repeat cost entirely: the second
 	// MLE of the same (unchanged) product revalidates the cached tree
 	// in one small round trip instead of re-shipping ~3,300 nodes.

@@ -1,0 +1,297 @@
+// Package advisor closes the tuning loop the paper leaves to the DBA:
+// it observes the windowed WAN metrics of a live session or fleet,
+// classifies the workload shape, ranks candidate configurations over
+// the client's tuning knobs with the analytic cost model, and emits
+// either a read-only diagnosis (DiagSnapshot) or a fingerprinted,
+// rollback-capable change set (ChangeSet) — tuning as an output of the
+// system instead of an input.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"pdmtune/internal/costmodel"
+	"pdmtune/internal/netsim"
+)
+
+// Shape is the advisor's coarse workload classification. Each shape
+// names the dominant traffic pattern of an observation window and has a
+// known best-knob family the ranking should (and, per the acceptance
+// tests, does) rediscover from the cost model alone.
+type Shape int
+
+const (
+	// ColdRead is a cold structure scan: deep traversals, no repeats,
+	// few writes. Round trips dominate — recursion and batching win.
+	ColdRead Shape = iota
+	// RepeatRead is a warm, repeat-heavy read workload: the same
+	// structures are traversed again and again — a structure cache
+	// collapses repeats to one validate exchange.
+	RepeatRead
+	// WriteHeavy is a check-in/check-out storm: the write path and its
+	// lock waits dominate — batched, prepared modifies and fewer fetch
+	// round trips win.
+	WriteHeavy
+	// ReplicaRead is a read-dominant workload at a replica site: reads
+	// are already local, the tuning question is the staleness bound
+	// that amortizes the WAN pulls.
+	ReplicaRead
+)
+
+func (s Shape) String() string {
+	switch s {
+	case ColdRead:
+		return "cold-read"
+	case RepeatRead:
+		return "repeat-read"
+	case WriteHeavy:
+		return "write-heavy"
+	case ReplicaRead:
+		return "replica-read"
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// Observation is one windowed look at a live session or fleet —
+// everything the advisor may use. Window is a Metrics delta between two
+// Meter.Snapshot calls; the remaining fields describe the environment
+// the window was taken in.
+type Observation struct {
+	// Window is the metered traffic of the observation window.
+	Window netsim.Metrics
+	// Site is the site the observed session reads from ("" or
+	// "primary" for the primary itself).
+	Site string
+	// Link is the WAN profile between the client (or its site) and the
+	// primary.
+	Link netsim.Link
+	// LocalLink is the site-local profile of replica reads (ignored at
+	// the primary).
+	LocalLink netsim.Link
+	// Tree is the product shape under traversal (a paper scenario or a
+	// measured estimate).
+	Tree costmodel.Tree
+	// Users is the number of concurrent users sharing the link.
+	Users int
+	// SyncBytes is the observed row-delta volume of one replication
+	// pull (replica sessions only).
+	SyncBytes float64
+	// Action is the dominant read action. The zero value selects MLE —
+	// the paper's expensive case and the structural default; a workload
+	// truly dominated by the set-oriented Query sets QueryDominant
+	// instead (Query is the cost model's zero Action and would be
+	// indistinguishable from "unset").
+	Action        costmodel.Action
+	QueryDominant bool
+}
+
+func (o Observation) action() costmodel.Action {
+	if o.QueryDominant {
+		return costmodel.Query
+	}
+	if o.Action == costmodel.Query {
+		return costmodel.MLE
+	}
+	return o.Action
+}
+
+func (o Observation) replica() bool { return o.Site != "" && o.Site != "primary" }
+
+// WorkloadProfile is the classified shape of an observation plus the
+// costmodel workload distilled from it — the input the ranking prices
+// every candidate against.
+type WorkloadProfile struct {
+	Shape    Shape
+	Workload costmodel.Workload
+	// WriteFrac/RepeatFrac are the observed fractions the
+	// classification derives from (duplicated out of Workload for
+	// reporting).
+	WriteFrac  float64
+	RepeatFrac float64
+}
+
+// networkOf converts a simulator link into an analytic profile.
+func networkOf(l netsim.Link) costmodel.Network {
+	return costmodel.Network{
+		Name:        l.Name,
+		PacketBytes: float64(l.PacketBytes),
+		LatencySec:  l.LatencySec,
+		RateKbps:    l.RateKbps,
+	}
+}
+
+// Classification thresholds: a window is write-heavy when at least
+// writeHeavyFrac of its actions are writes, and repeat-heavy when at
+// least repeatHeavyFrac of its reads hit an already-traversed target.
+const (
+	writeHeavyFrac  = 0.4
+	repeatHeavyFrac = 0.5
+)
+
+// Classify distills an observation window into a workload profile. It
+// never fails: an empty window classifies as a cold read at the
+// observed site — the advisor's no-information default.
+func Classify(o Observation) WorkloadProfile {
+	m := o.Window
+	actions := m.Actions()
+	var writeFrac, repeatFrac float64
+	if actions > 0 {
+		writeFrac = float64(m.WriteActions) / float64(actions)
+	}
+	if m.ReadActions > 0 {
+		repeatFrac = float64(m.RepeatActions) / float64(m.ReadActions)
+	}
+	var lockWaitSec float64
+	if m.WriteActions > 0 {
+		lockWaitSec = float64(m.LockWaitNanos) / 1e9 / float64(m.WriteActions)
+	}
+	var actionsPerSec float64
+	if sec := m.TotalSec(); sec > 0 {
+		actionsPerSec = float64(actions) / sec
+	}
+
+	shape := ColdRead
+	switch {
+	case writeFrac >= writeHeavyFrac:
+		shape = WriteHeavy
+	case o.replica():
+		shape = ReplicaRead
+	case repeatFrac >= repeatHeavyFrac:
+		shape = RepeatRead
+	}
+
+	action := o.action()
+	w := costmodel.Workload{
+		Net:           networkOf(o.Link),
+		LocalNet:      networkOf(o.LocalLink),
+		Tree:          o.Tree,
+		Action:        action,
+		WriteFrac:     writeFrac,
+		RepeatFrac:    repeatFrac,
+		Users:         o.Users,
+		LockWaitSec:   lockWaitSec,
+		SyncBytes:     o.SyncBytes,
+		ActionsPerSec: actionsPerSec,
+	}
+	return WorkloadProfile{Shape: shape, Workload: w, WriteFrac: writeFrac, RepeatFrac: repeatFrac}
+}
+
+// Recommendation is one ranked candidate configuration.
+type Recommendation struct {
+	Config Config
+	// PredictedSec is the expected simulated seconds of one action
+	// under the candidate.
+	PredictedSec float64
+	// CurrentSec is the same prediction for the configuration the
+	// observation was taken under; DeltaPct is the predicted saving.
+	CurrentSec float64
+	DeltaPct   float64
+}
+
+// Advisor ranks candidate configurations for observed workloads. The
+// zero value is ready to use.
+type Advisor struct {
+	// TopK bounds how many recommendations Recommend returns (3 when
+	// 0).
+	TopK int
+	// CacheEntries is the cache bound candidate configurations propose
+	// (256 when 0).
+	CacheEntries int
+}
+
+func (a Advisor) topK() int {
+	if a.TopK > 0 {
+		return a.TopK
+	}
+	return 3
+}
+
+func (a Advisor) cacheEntries() int {
+	if a.CacheEntries > 0 {
+		return a.CacheEntries
+	}
+	return 256
+}
+
+// candidates enumerates the knob lattice for a profile: every strategy,
+// batching, prepared and cache choice, the negotiated wire encodings,
+// and — at a replica — a spread of staleness bounds. Site and pool are
+// open-time decisions and not enumerated: the advisor tunes what a
+// running session can change.
+func (a Advisor) candidates(p WorkloadProfile, replica bool) []Config {
+	stalenesses := []float64{0}
+	if replica {
+		stalenesses = []float64{0, 5, 30, 300}
+	}
+	var out []Config
+	for _, strat := range costmodel.Strategies {
+		for _, batching := range []bool{false, true} {
+			for _, prepared := range []bool{false, true} {
+				if prepared && !batching {
+					// The prepared win the model knows about is the
+					// shrunken per-statement batch frame; alone it only
+					// adds the prepare round trip.
+					continue
+				}
+				for _, cacheEntries := range []int{0, a.cacheEntries()} {
+					for _, compress := range []bool{false, true} {
+						for _, st := range stalenesses {
+							out = append(out, Config{
+								Strategy:     strat,
+								Batching:     batching,
+								Prepared:     prepared,
+								CacheEntries: cacheEntries,
+								Columnar:     compress,
+								Compress:     compress,
+								StalenessSec: st,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// knobsOf maps a candidate configuration onto the cost model's knob
+// set for a session at the observed location.
+func knobsOf(c Config, replica bool) costmodel.Knobs {
+	return costmodel.Knobs{
+		Strategy:     c.Strategy,
+		Batching:     c.Batching,
+		Prepared:     c.Prepared,
+		CacheEntries: c.CacheEntries,
+		Compress:     c.Compress,
+		Replica:      replica,
+		StalenessSec: c.StalenessSec,
+	}
+}
+
+// Recommend ranks every candidate configuration for the observed
+// workload and returns the top-k, each with its predicted per-action
+// cost and the predicted saving against the current configuration.
+func (a Advisor) Recommend(o Observation, current Config) []Recommendation {
+	p := Classify(o)
+	return a.recommend(p, o.replica(), current)
+}
+
+func (a Advisor) recommend(p WorkloadProfile, replica bool, current Config) []Recommendation {
+	currentSec := costmodel.PredictWorkload(knobsOf(current, replica), p.Workload).PerActionSec
+	cands := a.candidates(p, replica)
+	recs := make([]Recommendation, 0, len(cands))
+	for _, c := range cands {
+		sec := costmodel.PredictWorkload(knobsOf(c, replica), p.Workload).PerActionSec
+		var delta float64
+		if currentSec > 0 {
+			delta = (1 - sec/currentSec) * 100
+		}
+		recs = append(recs, Recommendation{Config: c, PredictedSec: sec, CurrentSec: currentSec, DeltaPct: delta})
+	}
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].PredictedSec < recs[j].PredictedSec })
+	if len(recs) > a.topK() {
+		recs = recs[:a.topK()]
+	}
+	return recs
+}

@@ -1,0 +1,119 @@
+package advisor
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// ParamChange is one knob flip inside a ChangeSet, recorded as strings
+// so reports and logs need no knowledge of the knob's type.
+type ParamChange struct {
+	Param string
+	From  string
+	To    string
+}
+
+func (p ParamChange) String() string { return fmt.Sprintf("%s: %s -> %s", p.Param, p.From, p.To) }
+
+// ChangeSet is the advisor's write product: a complete target
+// configuration, fingerprinted against the configuration it was planned
+// for, applicable to a Tunable session and revertible. Unlike the
+// read-only DiagSnapshot, a ChangeSet is all-or-nothing: it refuses to
+// apply against a session whose configuration drifted since planning,
+// and it remembers the pre-apply state so Rollback restores it exactly.
+type ChangeSet struct {
+	// ID identifies the set (derived from the plan's fingerprints).
+	ID string
+	// Fingerprint is the Config.Fingerprint of the configuration the
+	// set was planned against; Apply verifies it before touching the
+	// session.
+	Fingerprint string
+	// Target is the complete configuration the set applies.
+	Target Config
+	// Changes lists the individual knob flips, for reporting.
+	Changes []ParamChange
+	// PredictedSec/CurrentSec carry the plan's cost prediction.
+	PredictedSec float64
+	CurrentSec   float64
+
+	// pre is the configuration captured at Apply time, for Rollback.
+	pre     *Config
+	applied bool
+}
+
+// Plan builds the change set turning `current` into the advisor's top
+// recommendation for the observation. It returns nil when the best
+// candidate is the current configuration itself — nothing to change.
+func (a Advisor) Plan(o Observation, current Config) *ChangeSet {
+	recs := a.Recommend(o, current)
+	if len(recs) == 0 {
+		return nil
+	}
+	best := recs[0]
+	changes := Diff(current, best.Config)
+	if len(changes) == 0 {
+		return nil
+	}
+	return NewChangeSet(current, best.Config, best.PredictedSec, best.CurrentSec)
+}
+
+// NewChangeSet builds a fingerprinted change set from an explicit
+// current/target pair (Plan is the ranked front end).
+func NewChangeSet(current, target Config, predictedSec, currentSec float64) *ChangeSet {
+	from, to := current.Fingerprint(), target.Fingerprint()
+	sum := sha256.Sum256([]byte(from + ">" + to))
+	return &ChangeSet{
+		ID:           "cs-" + hex.EncodeToString(sum[:6]),
+		Fingerprint:  from,
+		Target:       target,
+		Changes:      Diff(current, target),
+		PredictedSec: predictedSec,
+		CurrentSec:   currentSec,
+	}
+}
+
+// Apply verifies the target session still runs the configuration the
+// set was planned against (by fingerprint), captures it for Rollback,
+// and applies the target configuration. Applying an already-applied set
+// is an error.
+func (cs *ChangeSet) Apply(ctx context.Context, t Tunable) error {
+	if cs.applied {
+		return fmt.Errorf("advisor: change set %s already applied", cs.ID)
+	}
+	cur := t.TuneConfig()
+	if got := cur.Fingerprint(); got != cs.Fingerprint {
+		return fmt.Errorf("advisor: change set %s was planned against configuration %s, session now runs %s — re-plan",
+			cs.ID, cs.Fingerprint, got)
+	}
+	if err := t.ApplyConfig(ctx, cs.Target); err != nil {
+		return fmt.Errorf("advisor: applying change set %s: %w", cs.ID, err)
+	}
+	cs.pre = &cur
+	cs.applied = true
+	return nil
+}
+
+// Applied reports whether the set is currently applied (and not rolled
+// back).
+func (cs *ChangeSet) Applied() bool { return cs.applied }
+
+// Rollback restores the configuration captured at Apply time. It
+// verifies the session still runs the set's target (no second tuner
+// interfered), applies the pre-apply configuration and re-arms the set.
+func (cs *ChangeSet) Rollback(ctx context.Context, t Tunable) error {
+	if !cs.applied || cs.pre == nil {
+		return fmt.Errorf("advisor: change set %s is not applied", cs.ID)
+	}
+	if got := t.TuneConfig().Fingerprint(); got != cs.Target.Fingerprint() {
+		return fmt.Errorf("advisor: session drifted to configuration %s since change set %s was applied — not rolling back",
+			got, cs.ID)
+	}
+	if err := t.ApplyConfig(ctx, *cs.pre); err != nil {
+		return fmt.Errorf("advisor: rolling back change set %s: %w", cs.ID, err)
+	}
+	cs.applied = false
+	cs.pre = nil
+	return nil
+}

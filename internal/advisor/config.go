@@ -1,0 +1,98 @@
+package advisor
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"pdmtune/internal/costmodel"
+)
+
+// Config is the complete runtime-tunable configuration of one session —
+// the knobs a ChangeSet can flip on a live connection. Open-time
+// decisions (site placement, pooling, transport) are deliberately not
+// here: the advisor reports them as advice, it cannot apply them.
+type Config struct {
+	// Strategy is the rule-evaluation strategy (late, early, recursive).
+	Strategy costmodel.Strategy
+	// Batching collapses each BFS level / modify into one round trip.
+	Batching bool
+	// Prepared ships per-node statements as handle + parameters.
+	Prepared bool
+	// CacheEntries sizes the structure cache: 0 none, > 0 a private
+	// bound, -1 a shared store (whose size the session does not own —
+	// apply keeps shared stores untouched).
+	CacheEntries int
+	// Columnar negotiates the v2 columnar result encoding.
+	Columnar bool
+	// Compress negotiates whole-body response compression.
+	Compress bool
+	// CompressThreshold is the minimum body size compressed (wire
+	// default when 0).
+	CompressThreshold int
+	// StalenessSec bounds replica-read staleness (0 syncs before every
+	// action, negative never syncs); ignored at the primary.
+	StalenessSec float64
+}
+
+// canonical is the fingerprint pre-image: every field, fixed order,
+// unambiguous separators.
+func (c Config) canonical() string {
+	return fmt.Sprintf("strategy=%d|batching=%t|prepared=%t|cache=%d|columnar=%t|compress=%t|threshold=%d|staleness=%g",
+		c.Strategy, c.Batching, c.Prepared, c.CacheEntries, c.Columnar, c.Compress, c.CompressThreshold, c.StalenessSec)
+}
+
+// Fingerprint returns a stable content hash of the configuration. A
+// ChangeSet records the fingerprint of the configuration it was planned
+// against and refuses to apply to anything else.
+func (c Config) Fingerprint() string {
+	sum := sha256.Sum256([]byte(c.canonical()))
+	return hex.EncodeToString(sum[:8])
+}
+
+func (c Config) String() string {
+	cache := "off"
+	switch {
+	case c.CacheEntries < 0:
+		cache = "shared"
+	case c.CacheEntries > 0:
+		cache = fmt.Sprintf("%d entries", c.CacheEntries)
+	}
+	return fmt.Sprintf("strategy=%v batching=%t prepared=%t cache=%s columnar=%t compress=%t staleness=%gs",
+		c.Strategy, c.Batching, c.Prepared, cache, c.Columnar, c.Compress, c.StalenessSec)
+}
+
+// Diff lists the parameter changes turning `from` into `to`, in
+// canonical field order. An empty diff means the configurations are
+// identical.
+func Diff(from, to Config) []ParamChange {
+	var out []ParamChange
+	add := func(param string, a, b any) {
+		if a != b {
+			out = append(out, ParamChange{Param: param, From: fmt.Sprint(a), To: fmt.Sprint(b)})
+		}
+	}
+	add("strategy", from.Strategy, to.Strategy)
+	add("batching", from.Batching, to.Batching)
+	add("prepared", from.Prepared, to.Prepared)
+	add("cache_entries", from.CacheEntries, to.CacheEntries)
+	add("columnar", from.Columnar, to.Columnar)
+	add("compress", from.Compress, to.Compress)
+	add("compress_threshold", from.CompressThreshold, to.CompressThreshold)
+	add("staleness_sec", from.StalenessSec, to.StalenessSec)
+	return out
+}
+
+// Tunable is the advisor's handle on a running session: read the live
+// configuration, apply a new one. *pdmtune.Session implements it; the
+// indirection keeps the advisor free of the facade package (which
+// imports it back).
+type Tunable interface {
+	// TuneConfig returns the session's current runtime configuration.
+	TuneConfig() Config
+	// ApplyConfig reconfigures the live session to cfg. Implementations
+	// must be all-or-nothing as far as their knobs allow and must make
+	// a follow-up TuneConfig reflect cfg.
+	ApplyConfig(ctx context.Context, cfg Config) error
+}

@@ -1,0 +1,117 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Section is one degradable part of a DiagSnapshot: either its data or
+// the reason it is missing. A partially failed diagnosis is still a
+// diagnosis — consumers check Available per section instead of losing
+// the whole report.
+type Section struct {
+	Available bool
+	Error     string
+	Data      map[string]string
+}
+
+// DiagSnapshot is the advisor's read product: a point-in-time diagnosis
+// of an observed session. Unlike a ChangeSet it changes nothing, may be
+// incomplete, and needs no fingerprint — every section stands alone.
+type DiagSnapshot struct {
+	Sections map[string]Section
+}
+
+func failed(reason string) Section { return Section{Error: reason} }
+
+func section(data map[string]string) Section { return Section{Available: true, Data: data} }
+
+// Diagnose assembles the full read-only report for an observation:
+// the window's traffic, the classified profile, and the ranked
+// recommendations against the current configuration. Sections degrade
+// independently — an empty window still yields a config section.
+func (a Advisor) Diagnose(o Observation, current Config) *DiagSnapshot {
+	d := &DiagSnapshot{Sections: map[string]Section{}}
+
+	d.Sections["config"] = section(map[string]string{
+		"current":     current.String(),
+		"fingerprint": current.Fingerprint(),
+	})
+
+	m := o.Window
+	if m.Actions() == 0 {
+		d.Sections["window"] = failed("empty observation window: no user actions metered")
+		d.Sections["profile"] = failed("empty observation window")
+		d.Sections["recommendations"] = failed("nothing observed to rank against")
+		return d
+	}
+	d.Sections["window"] = section(map[string]string{
+		"actions":        fmt.Sprint(m.Actions()),
+		"reads":          fmt.Sprint(m.ReadActions),
+		"writes":         fmt.Sprint(m.WriteActions),
+		"repeats":        fmt.Sprint(m.RepeatActions),
+		"round_trips":    fmt.Sprint(m.RoundTrips),
+		"simulated_sec":  fmt.Sprintf("%.3f", m.TotalSec()),
+		"lock_wait_sec":  fmt.Sprintf("%.3f", float64(m.LockWaitNanos)/1e9),
+		"cache_hits":     fmt.Sprint(m.CacheHits),
+		"write_conflict": fmt.Sprint(m.WriteConflicts),
+	})
+
+	p := Classify(o)
+	d.Sections["profile"] = section(map[string]string{
+		"shape":       p.Shape.String(),
+		"write_frac":  fmt.Sprintf("%.2f", p.WriteFrac),
+		"repeat_frac": fmt.Sprintf("%.2f", p.RepeatFrac),
+		"site":        displaySite(o.Site),
+		"users":       fmt.Sprint(p.Workload.Users),
+	})
+
+	recs := a.recommend(p, o.replica(), current)
+	if len(recs) == 0 {
+		d.Sections["recommendations"] = failed("no candidates enumerated")
+		return d
+	}
+	data := map[string]string{}
+	for i, r := range recs {
+		data[fmt.Sprintf("rank%d", i+1)] = fmt.Sprintf("%s (predicted %.3fs/action, %+.0f%%)",
+			r.Config, r.PredictedSec, r.DeltaPct)
+	}
+	d.Sections["recommendations"] = section(data)
+	return d
+}
+
+func displaySite(site string) string {
+	if site == "" {
+		return "primary"
+	}
+	return site
+}
+
+// String renders the snapshot section by section, missing parts
+// included — the degradable contract made visible.
+func (d *DiagSnapshot) String() string {
+	names := make([]string, 0, len(d.Sections))
+	for name := range d.Sections {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		s := d.Sections[name]
+		if !s.Available {
+			fmt.Fprintf(&b, "[%s] unavailable: %s\n", name, s.Error)
+			continue
+		}
+		fmt.Fprintf(&b, "[%s]\n", name)
+		keys := make([]string, 0, len(s.Data))
+		for k := range s.Data {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %s = %s\n", k, s.Data[k])
+		}
+	}
+	return b.String()
+}

@@ -77,6 +77,7 @@ func (c *Client) QueryAll(ctx context.Context, prod int64) (*ActionResult, error
 	}
 	res.Visible = len(res.Objects)
 	res.Metrics = c.delta(before)
+	c.countAction(ActionQuery, prod, false)
 	return res, nil
 }
 
@@ -104,6 +105,7 @@ func (c *Client) Expand(ctx context.Context, parent int64) (*ActionResult, error
 	for _, ch := range children {
 		tree.Index[ch.ObID] = ch
 	}
+	c.countAction(ActionExpand, parent, false)
 	return &ActionResult{
 		Tree:         tree,
 		RowsReceived: received,
@@ -131,6 +133,9 @@ func (c *Client) multiLevelExpand(ctx context.Context, root int64, action string
 		tree, received, _, err := c.fetch.FetchRecursive(ctx, root, action)
 		if err != nil {
 			return nil, err
+		}
+		if action == ActionMLE {
+			c.countAction(action, root, false)
 		}
 		return &ActionResult{
 			Tree:         tree,
@@ -180,6 +185,11 @@ func (c *Client) multiLevelExpand(ctx context.Context, root int64, action string
 	}
 	if !ok {
 		tree = &Tree{Index: map[int64]*Node{}} // all-or-nothing
+	}
+	// The check actions run this expand as their read phase — they count
+	// themselves as writes, so only a user-level MLE counts here.
+	if action == ActionMLE {
+		c.countAction(action, root, false)
 	}
 	return &ActionResult{
 		Tree:         tree,

@@ -55,6 +55,7 @@ func CheckOutRule() Rule {
 // strategy, the flag updates are separate WAN communications.
 func (c *Client) CheckOut(ctx context.Context, root int64) (*CheckOutResult, error) {
 	before := c.snapshot()
+	c.countAction(ActionCheck, root, true)
 	res, err := c.multiLevelExpand(ctx, root, ActionCheck)
 	if err != nil {
 		return nil, err
@@ -118,6 +119,7 @@ func (c *Client) conflictMeter() *netsim.Meter {
 // CheckIn releases a previously checked-out subtree owned by the user.
 func (c *Client) CheckIn(ctx context.Context, root int64) (*CheckOutResult, error) {
 	before := c.snapshot()
+	c.countAction(ActionCheck+"-in", root, true)
 	res, err := c.multiLevelExpand(ctx, root, ActionCheck+"-in")
 	if err != nil {
 		return nil, err
@@ -251,6 +253,7 @@ func (c *Client) CheckInViaProcedure(ctx context.Context, root int64) (*CheckOut
 
 func (c *Client) callCheckProc(ctx context.Context, proc string, root int64) (*CheckOutResult, error) {
 	before := c.snapshot()
+	c.countAction(proc, root, true)
 	call := fmt.Sprintf("CALL %s(%d, %s, %s, %d, %d)",
 		proc, root, sqlText(c.user.Name), sqlText(c.user.Options), c.user.EffFrom, c.user.EffTo)
 	resp, err := c.writeSQL.Exec(ctx, call)

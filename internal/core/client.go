@@ -85,6 +85,11 @@ type Client struct {
 	// preparedSQL caches the parameterized (and rule-modified) statement
 	// texts, keyed by action resp. probe identity.
 	preparedSQL map[string]preparedStmt
+	// seenActions records every (action, target) pair the client has
+	// completed, so countAction can flag repeats — the workload-shape
+	// signal that separates a repeat-heavy session (a structure cache
+	// would pay off) from a cold scan, visible even without a cache.
+	seenActions map[string]bool
 }
 
 // preparedStmt is a parameterized statement text and the number of
@@ -143,6 +148,21 @@ func (c *Client) rebuildFetch() {
 // Strategy reports the client's access strategy.
 func (c *Client) Strategy() costmodel.Strategy { return c.strategy }
 
+// SetStrategy switches the client's access strategy at runtime (the
+// advisor's lever). The cached parameterized statement texts embed the
+// strategy's rule modification, so they are dropped — already-prepared
+// server-side handles stay valid and are simply not reused — and the
+// read path is rebuilt because the structure cache keys its profile by
+// strategy.
+func (c *Client) SetStrategy(s costmodel.Strategy) {
+	if s == c.strategy {
+		return
+	}
+	c.strategy = s
+	c.preparedSQL = map[string]preparedStmt{}
+	c.rebuildFetch()
+}
+
 // SetBatching switches statement batching on or off. Off (the default)
 // reproduces the paper's one-round-trip-per-statement behavior; on, the
 // client ships each BFS level of a structure expand and each
@@ -172,6 +192,19 @@ func (c *Client) NegotiateWire(ctx context.Context, columnar, compress bool, thr
 	if !columnar && !compress {
 		return wire.Caps{}, nil
 	}
+	return c.sql.Negotiate(ctx, wire.Caps{
+		Columnar:          columnar,
+		Compress:          compress,
+		CompressThreshold: threshold,
+	})
+}
+
+// RenegotiateWire re-runs the capability handshake mid-session — the
+// advisor's lever for flipping the negotiated encodings on a live
+// connection. Unlike NegotiateWire it always performs the round trip:
+// an all-false renegotiation is how an applied change set (or its
+// rollback) turns the capabilities off again.
+func (c *Client) RenegotiateWire(ctx context.Context, columnar, compress bool, threshold int) (wire.Caps, error) {
 	return c.sql.Negotiate(ctx, wire.Caps{
 		Columnar:          columnar,
 		Compress:          compress,
@@ -249,6 +282,24 @@ func (c *Client) SetSiteSync(s Syncer, bound time.Duration) {
 		c.site = &siteRouting{syncer: s, bound: bound}
 	}
 	c.rebuildFetch()
+}
+
+// SetStalenessBound changes the replica-read staleness bound of a
+// site-reading client at runtime (no-op for single-server clients —
+// there is no replica to bound).
+func (c *Client) SetStalenessBound(bound time.Duration) {
+	if c.site != nil {
+		c.site.bound = bound
+	}
+}
+
+// StalenessBound reports the client's replica staleness bound and
+// whether the client reads from a replica at all.
+func (c *Client) StalenessBound() (time.Duration, bool) {
+	if c.site == nil {
+		return 0, false
+	}
+	return c.site.bound, true
 }
 
 // Close releases the client's server-side session state: connections
@@ -419,14 +470,33 @@ func (c *Client) execRequest(ctx context.Context, req *wire.Request) (*wire.Resp
 func (c *Client) snapshot() netsim.Metrics {
 	var m netsim.Metrics
 	if c.meter != nil {
-		m = c.meter.Metrics
+		m = c.meter.Snapshot()
 	}
 	if c.writeMeter != nil && c.writeMeter != c.meter {
-		m = m.Add(c.writeMeter.Metrics)
+		m = m.Add(c.writeMeter.Snapshot())
 	}
 	return m
 }
 
 func (c *Client) delta(before netsim.Metrics) netsim.Metrics {
 	return c.snapshot().Sub(before)
+}
+
+// countAction charges one completed user action to the meter that
+// carried it, flagging repeats of the same (action, target) pair —
+// the per-kind counters the advisor classifies workload shape from.
+func (c *Client) countAction(action string, target int64, write bool) {
+	key := fmt.Sprintf("%s\x00%d", action, target)
+	repeat := c.seenActions[key]
+	if c.seenActions == nil {
+		c.seenActions = map[string]bool{}
+	}
+	c.seenActions[key] = true
+	m := c.meter
+	if write && c.writeMeter != nil {
+		m = c.writeMeter
+	}
+	if m != nil {
+		m.CountAction(write, repeat)
+	}
 }

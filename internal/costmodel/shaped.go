@@ -1,0 +1,228 @@
+package costmodel
+
+import "math"
+
+// This file is the advisor's entry point into the model: Predict and
+// its variants price one action under one optimization at a time, while
+// an advisor must price a *configuration* under a *workload* — a mix of
+// reads and writes, repeats and cold traversals, possibly at a replica
+// site, possibly contended. PredictWorkload composes the per-action
+// formulas into one expected-seconds-per-action score that is
+// comparable across arbitrary knob combinations.
+
+// Knobs is one candidate client configuration over the runtime tuning
+// levers — the advisor enumerates these and ranks them by
+// PredictWorkload. The zero value is the paper's unoptimized baseline
+// (late evaluation, text statements, no cache, v1 wire, primary reads).
+type Knobs struct {
+	// Strategy selects late/early evaluation or the recursive query.
+	Strategy Strategy
+	// Batching collapses each BFS level (and each modify) into one
+	// round trip.
+	Batching bool
+	// Prepared ships per-node statements as handle + parameters.
+	Prepared bool
+	// CacheEntries sizes the client structure cache: 0 none, > 0 a
+	// private bound, -1 a shared store (priced like a private one).
+	CacheEntries int
+	// Compress negotiates the columnar v2 encoding plus response
+	// compression.
+	Compress bool
+	// CompressionRatio is the expected response shrink factor
+	// (DefaultCompressionRatio when 0); only read when Compress is set.
+	CompressionRatio float64
+	// Replica reads from a site-local replica (writes keep crossing
+	// the WAN to the primary).
+	Replica bool
+	// StalenessSec bounds how stale replica reads may be: 0 syncs
+	// before every action, larger bounds amortize the sync, negative
+	// never syncs at read time. Only read when Replica is set.
+	StalenessSec float64
+}
+
+// Cached reports whether the candidate runs a structure cache.
+func (k Knobs) Cached() bool { return k.CacheEntries != 0 }
+
+func (k Knobs) ratio() float64 {
+	if k.CompressionRatio > 0 {
+		return k.CompressionRatio
+	}
+	return DefaultCompressionRatio
+}
+
+// Workload is the observed shape of a live session or fleet — what the
+// advisor distills out of a windowed metrics delta. All fields describe
+// the environment, none of them a tuning decision.
+type Workload struct {
+	// Net is the WAN profile between client (or replica site) and the
+	// primary. A zero profile defaults to the paper's slowest WAN.
+	Net Network
+	// LocalNet is the site-local profile replica reads run on
+	// (LANNetwork when zero). Only read for Replica candidates.
+	LocalNet Network
+	// Tree is the product shape the actions traverse.
+	Tree Tree
+	// Action is the dominant read action of the window (typically MLE).
+	Action Action
+	// WriteFrac is the fraction of actions that are writes
+	// (check-out/check-in), in [0, 1].
+	WriteFrac float64
+	// RepeatFrac is the fraction of read actions whose (action, target)
+	// had been executed before — the cache-hit opportunity, in [0, 1].
+	RepeatFrac float64
+	// Users is the number of concurrent users sharing the link (and the
+	// write latches); 0 and 1 both mean a single user.
+	Users int
+	// LockWaitSec is the observed lock wait per write action, the PR 6
+	// contention counter distilled to seconds.
+	LockWaitSec float64
+	// SyncBytes is the observed row-delta volume of one replication
+	// pull; only read for Replica candidates.
+	SyncBytes float64
+	// ActionsPerSec is the observed action rate (simulated time). It
+	// amortizes replica syncs over the actions between two bounds.
+	ActionsPerSec float64
+}
+
+// LANNetwork is the analytic twin of netsim.LAN — the site-local
+// profile replica reads are priced against when the workload does not
+// measure its own.
+func LANNetwork() Network {
+	return Network{Name: "LAN 100 Mbit/s, 0.5 ms", PacketBytes: 4096, LatencySec: 0.0005, RateKbps: 100 * 1024}
+}
+
+// WorkloadEstimate is the priced expectation of one action under a
+// candidate configuration.
+type WorkloadEstimate struct {
+	// ReadSec is the expected seconds of one read action (cold/warm
+	// blended, replication amortized).
+	ReadSec float64
+	// WriteSec is the expected seconds of one write action (fetch
+	// phase + flag updates + contention).
+	WriteSec float64
+	// SyncSec is the amortized replication share already inside
+	// ReadSec (zero for primary reads).
+	SyncSec float64
+	// LockWaitSec is the contention share already inside WriteSec.
+	LockWaitSec float64
+	// PerActionSec is the ranking score: the write-fraction blend of
+	// ReadSec and WriteSec.
+	PerActionSec float64
+}
+
+func (w Workload) net() Network {
+	if w.Net.RateKbps > 0 {
+		return w.Net
+	}
+	return PaperNetworks()[0]
+}
+
+func (w Workload) localNet() Network {
+	if w.LocalNet.RateKbps > 0 {
+		return w.LocalNet
+	}
+	return LANNetwork()
+}
+
+func (w Workload) users() float64 {
+	if w.Users > 1 {
+		return float64(w.Users)
+	}
+	return 1
+}
+
+// coldRead prices one cold read action of the workload under the
+// candidate's wire knobs on the given network.
+func coldRead(net Network, k Knobs, w Workload) Estimate {
+	m := Model{Net: net, Tree: w.Tree}
+	var est Estimate
+	switch {
+	case k.Batching && k.Prepared:
+		est = m.PredictBatchedPrepared(w.Action, k.Strategy)
+	case k.Batching:
+		est = m.PredictBatched(w.Action, k.Strategy)
+	default:
+		est = m.Predict(w.Action, k.Strategy)
+	}
+	if k.Compress && k.ratio() > 1 {
+		// The negotiated encodings shrink the response node records to
+		// 1/ratio of their row-major size, exactly as PredictCompressed
+		// does on top of the batched estimate.
+		nodeVolume := est.TransmittedNodes * m.nodeBytes()
+		est.VolumeBytes -= nodeVolume * (1 - 1/k.ratio())
+		est.TransferSec = est.VolumeBytes * 8 / (net.RateKbps * 1024)
+		est.TotalSec = est.LatencySec + est.TransferSec
+	}
+	return est
+}
+
+// scaled is the users-aware total of an estimate: latency is per
+// connection, but the link's bandwidth is shared by every concurrent
+// user, so the transfer share stretches with the fleet.
+func scaled(est Estimate, users float64) float64 {
+	return est.LatencySec + est.TransferSec*users
+}
+
+// PredictWorkload prices one candidate configuration under an observed
+// workload: the expected simulated seconds of one user action, blended
+// over the workload's read/write and cold/repeat mix, with replica
+// syncs amortized over the staleness bound and the observed lock wait
+// charged to every write. Monotone in the environment: deeper or wider
+// trees, more users, more lock wait and more sync volume never get
+// cheaper; a larger compression ratio and a larger staleness bound
+// never get more expensive.
+func PredictWorkload(k Knobs, w Workload) WorkloadEstimate {
+	users := w.users()
+	wan := w.net()
+	readNet := wan
+	if k.Replica {
+		readNet = w.localNet()
+	}
+
+	// ---- reads: cold/warm blend on the read network
+	cold := scaled(coldRead(readNet, k, w), users)
+	readSec := cold
+	if k.Cached() && w.Action != Query {
+		warm := scaled(Model{Net: readNet, Tree: w.Tree}.PredictCached(w.Action, k.Strategy, true), users)
+		rf := math.Min(math.Max(w.RepeatFrac, 0), 1)
+		readSec = (1-rf)*cold + rf*warm
+	}
+
+	// ---- replication: one WAN pull per staleness window, amortized
+	// over the actions that share it (bound 0: every action pays one).
+	var syncSec float64
+	if k.Replica && k.StalenessSec >= 0 {
+		vol := wan.PacketBytes*1.5 + w.SyncBytes
+		pull := 2*wan.LatencySec + vol*8/(wan.RateKbps*1024)*users
+		actionsPerPull := 1 + k.StalenessSec*math.Max(w.ActionsPerSec, 0)
+		syncSec = pull / actionsPerPull
+		readSec += syncSec
+	}
+
+	// ---- writes: the check actions always cross the WAN to the
+	// primary — a fetch phase (the rule check walks the subtree) plus
+	// the flag updates, plus the observed contention.
+	fetch := scaled(coldRead(wan, k, w), users)
+	nodes := 1 + w.Tree.VisibleNodes()
+	stmtBytes := float64(DefaultStatementBytes)
+	updateRTs := 2.0 // one UPDATE ... WHERE obid IN (...) per object table
+	if k.Batching {
+		updateRTs = 1 // the whole modify ships as one wire batch
+	}
+	if k.Batching && k.Prepared {
+		stmtBytes = DefaultPreparedStatementBytes * nodes // per-node handle + params
+	}
+	updVol := math.Max(1, math.Ceil(stmtBytes/wan.PacketBytes))*wan.PacketBytes + wan.PacketBytes/2
+	update := 2*updateRTs*wan.LatencySec + updVol*8/(wan.RateKbps*1024)*users
+	lockWait := w.LockWaitSec * users
+	writeSec := fetch + update + lockWait
+
+	wf := math.Min(math.Max(w.WriteFrac, 0), 1)
+	return WorkloadEstimate{
+		ReadSec:      readSec,
+		WriteSec:     writeSec,
+		SyncSec:      syncSec,
+		LockWaitSec:  lockWait,
+		PerActionSec: (1-wf)*readSec + wf*writeSec,
+	}
+}

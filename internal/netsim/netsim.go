@@ -151,7 +151,22 @@ type Metrics struct {
 	// WriteConflicts counts first-wins write races this client lost
 	// (e.g. a check-out that found rows already checked out).
 	WriteConflicts int64
+	// ReadActions / WriteActions count completed user actions by kind:
+	// Query/Expand/MLE are reads, check-out/check-in (client-driven or
+	// via procedure) are writes. The advisor classifies workload shape
+	// from these, so they are part of the metered window like any other
+	// counter.
+	ReadActions  int
+	WriteActions int
+	// RepeatActions counts actions whose (action, target) pair the
+	// session had already executed — the signal that separates a
+	// repeat-heavy workload (a structure cache would pay off) from a
+	// cold scan, visible even on sessions without a cache.
+	RepeatActions int
 }
+
+// Actions is the total number of user actions in the window.
+func (m Metrics) Actions() int { return m.ReadActions + m.WriteActions }
 
 // TotalSec is the simulated response time accumulated so far.
 func (m Metrics) TotalSec() float64 { return m.LatencySec + m.TransferSec }
@@ -183,8 +198,20 @@ func (m Metrics) Sub(b Metrics) Metrics {
 		LockWaitNanos:      m.LockWaitNanos - b.LockWaitNanos,
 		SnapshotsStarted:   m.SnapshotsStarted - b.SnapshotsStarted,
 		WriteConflicts:     m.WriteConflicts - b.WriteConflicts,
+		ReadActions:        m.ReadActions - b.ReadActions,
+		WriteActions:       m.WriteActions - b.WriteActions,
+		RepeatActions:      m.RepeatActions - b.RepeatActions,
 	}
 }
+
+// Delta returns the traffic of the observation window that starts at a
+// previous snapshot and ends at m: the field-wise difference m - prev.
+// Pair it with Meter.Snapshot to watch a live meter in windows:
+//
+//	prev := meter.Snapshot()
+//	...                       // the session keeps working
+//	window := meter.Snapshot().Delta(prev)
+func (m Metrics) Delta(prev Metrics) Metrics { return m.Sub(prev) }
 
 // Add returns the field-wise sum m + b — the aggregation of traffic
 // charged to different links (e.g. a session's site-local reads plus
@@ -211,6 +238,9 @@ func (m Metrics) Add(b Metrics) Metrics {
 		LockWaitNanos:      m.LockWaitNanos + b.LockWaitNanos,
 		SnapshotsStarted:   m.SnapshotsStarted + b.SnapshotsStarted,
 		WriteConflicts:     m.WriteConflicts + b.WriteConflicts,
+		ReadActions:        m.ReadActions + b.ReadActions,
+		WriteActions:       m.WriteActions + b.WriteActions,
+		RepeatActions:      m.RepeatActions + b.RepeatActions,
 	}
 }
 
@@ -242,13 +272,28 @@ func (m Metrics) String() string {
 
 // Meter charges request/response pairs against a link and accumulates
 // Metrics. It is the virtual-clock counterpart of a real connection.
+// All charging methods and Snapshot are safe for concurrent use; the
+// exported Metrics field is the single-goroutine view — an observer
+// watching a meter another goroutine is still charging must read it
+// through Snapshot.
 type Meter struct {
-	Link    Link
+	Link Link
+
+	mu      sync.Mutex
 	Metrics Metrics
 }
 
 // NewMeter returns a meter over the link.
 func NewMeter(link Link) *Meter { return &Meter{Link: link} }
+
+// Snapshot returns a consistent copy of the accumulated metrics, taken
+// under the meter's lock — the way to window a live meter from another
+// goroutine (see Metrics.Delta) without racing its round trips.
+func (m *Meter) Snapshot() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.Metrics
+}
 
 // RoundTrip charges one request/response exchange: two latencies (paper
 // formula (2): "every query causes an answer") plus the transfer times
@@ -272,6 +317,8 @@ func (m *Meter) RoundTripStatements(requestPayload, responsePayload, statements 
 func (m *Meter) RoundTripFrames(requestPayload, responsePayload, statements, preparedExecs int, savedRequestBytes float64) {
 	up := m.Link.RequestVolume(requestPayload)
 	down := m.Link.ResponseVolume(responsePayload)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Metrics.RoundTrips++
 	m.Metrics.Communications += 2
 	m.Metrics.Statements += statements
@@ -292,6 +339,8 @@ func (m *Meter) RoundTripFrames(requestPayload, responsePayload, statements, pre
 func (m *Meter) RoundTripValidate(requestPayload, responsePayload int) {
 	up := m.Link.RequestVolume(requestPayload)
 	down := m.Link.ResponseVolume(responsePayload)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Metrics.RoundTrips++
 	m.Metrics.Communications += 2
 	m.Metrics.ValidateRoundTrips++
@@ -306,6 +355,8 @@ func (m *Meter) RoundTripValidate(requestPayload, responsePayload int) {
 func (m *Meter) RoundTripSync(requestPayload, responsePayload int) {
 	up := m.Link.RequestVolume(requestPayload)
 	down := m.Link.ResponseVolume(responsePayload)
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Metrics.RoundTrips++
 	m.Metrics.Communications += 2
 	m.Metrics.SyncRoundTrips++
@@ -320,6 +371,8 @@ func (m *Meter) RoundTripSync(requestPayload, responsePayload int) {
 // charged separately (with its post-compression sizes); this only
 // tracks the saving for reporting.
 func (m *Meter) CountCompression(frames int, savedBytes float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Metrics.CompressedFrames += frames
 	m.Metrics.ResponseBytesSaved += savedBytes
 }
@@ -328,6 +381,8 @@ func (m *Meter) CountCompression(frames int, savedBytes float64) {
 // misses that went to the wire, and the fetch round trips the hits
 // avoided.
 func (m *Meter) CountCache(hits, misses, savedRoundTrips int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Metrics.CacheHits += hits
 	m.Metrics.CacheMisses += misses
 	m.Metrics.SavedRoundTrips += savedRoundTrips
@@ -337,13 +392,35 @@ func (m *Meter) CountCache(hits, misses, savedRoundTrips int) {
 // meter: lock-wait time, snapshots opened, and write conflicts lost by
 // the sessions this meter's client drove.
 func (m *Meter) CountContention(lockWaitNanos, snapshotsStarted, writeConflicts int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.Metrics.LockWaitNanos += lockWaitNanos
 	m.Metrics.SnapshotsStarted += snapshotsStarted
 	m.Metrics.WriteConflicts += writeConflicts
 }
 
+// CountAction records one completed user action: a read (Query, Expand,
+// MLE) or a write (check-out/check-in), and whether the session had run
+// the same action on the same target before (a repeat).
+func (m *Meter) CountAction(write, repeat bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if write {
+		m.Metrics.WriteActions++
+	} else {
+		m.Metrics.ReadActions++
+	}
+	if repeat {
+		m.Metrics.RepeatActions++
+	}
+}
+
 // Reset clears the accumulated metrics (e.g. between user actions).
-func (m *Meter) Reset() { m.Metrics = Metrics{} }
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Metrics = Metrics{}
+}
 
 // ---------------------------------------------------------------------------
 // Real-delay transport (for the interactive client/server demo)

@@ -74,7 +74,7 @@ func (s *Site) Metrics() netsim.Metrics {
 	if s.meter == nil {
 		return netsim.Metrics{}
 	}
-	return s.meter.Metrics
+	return s.meter.Snapshot()
 }
 
 // Epoch returns the primary epoch the site last synced to (0 before

@@ -51,6 +51,8 @@ type sessionConfig struct {
 	site              string
 	maxStaleness      time.Duration
 	poolMax           int
+	advisor           *Advisor
+	autoTuneEvery     int
 
 	linkSet         bool
 	transportSet    bool
@@ -58,6 +60,8 @@ type sessionConfig struct {
 	sharedCacheSet  bool
 	maxStalenessSet bool
 	poolSet         bool
+	advisorSet      bool
+	autoTuneSet     bool
 }
 
 // Option configures a Session opened with System.Open or
@@ -109,6 +113,18 @@ func (c *sessionConfig) validate() error {
 	if c.poolSet && c.transportSet {
 		return &OptionError{Option: "WithPool", Conflict: "WithTransport",
 			Reason: "pooling multiplexes the default in-process transport; a custom transport manages its own connections"}
+	}
+	if c.autoTuneSet && c.transportSet {
+		return &OptionError{Option: "WithAutoTune", Conflict: "WithTransport",
+			Reason: "auto-applied change sets renegotiate the wire encodings mid-session; a custom transport owns its connection and cannot be reconfigured behind the caller's back"}
+	}
+	if c.autoTuneSet && c.poolSet {
+		return &OptionError{Option: "WithAutoTune", Conflict: "WithPool",
+			Reason: "pooled sessions share one first-hello-wins capability set; a per-session renegotiation would flip the encodings for every session of the pool"}
+	}
+	if c.advisorSet && c.transportSet && c.meter == nil {
+		return &OptionError{Option: "WithAdvisor", Conflict: "WithTransport",
+			Reason: "the advisor observes the session's meter and a bare custom transport has none; meter it with MeteredTransport + WithMeter"}
 	}
 	return nil
 }
@@ -334,6 +350,42 @@ func WithMeter(m *Meter) Option {
 	}
 }
 
+// WithAdvisor attaches an auto-tuning advisor to the session, enabling
+// Session.Diagnose and Session.PlanTune (and configuring the advisor
+// WithAutoTune uses). The advisor observes the session's meter, so a
+// custom transport must be metered (MeteredTransport + WithMeter) —
+// WithAdvisor plus an unmetered WithTransport fails Open with an
+// *OptionError.
+func WithAdvisor(a *Advisor) Option {
+	return func(c *sessionConfig) error {
+		if a == nil {
+			return fmt.Errorf("pdmtune: WithAdvisor requires a non-nil advisor")
+		}
+		c.advisor = a
+		c.advisorSet = true
+		return nil
+	}
+}
+
+// WithAutoTune closes the tuning loop: after every `every` completed
+// user actions (every < 1 means 1) the session re-observes its metrics
+// window, asks the advisor (WithAdvisor's, or a default one) for a
+// plan, and applies the resulting change set to itself. The last
+// applied set is available via Session.LastAutoTune and can be rolled
+// back. Conflicts with WithTransport (an auto-applied set renegotiates
+// the wire encodings mid-session) and WithPool (pooled sessions share
+// one capability set).
+func WithAutoTune(every int) Option {
+	return func(c *sessionConfig) error {
+		if every < 1 {
+			every = 1
+		}
+		c.autoTuneEvery = every
+		c.autoTuneSet = true
+		return nil
+	}
+}
+
 // WithRules overrides the rule table the session's client evaluates
 // (default: the system's table). The server-side procedures keep
 // enforcing the system's rules either way.
@@ -361,6 +413,22 @@ type Session struct {
 	// site↔primary link (nil for primary sessions).
 	site string
 	wan  *Meter
+	// sys is the system the session was opened against — the cache
+	// namespace and replica topology ApplyConfig needs.
+	sys *System
+	// Tunable state the advisor reads (TuneConfig) and writes
+	// (ApplyConfig): the requested wire encodings (caps holds what the
+	// server accepted), the cache sizing (-1 shared, 0 none, > 0 a
+	// private bound) and the replica staleness bound in seconds
+	// (negative: never sync at read time).
+	columnar          bool
+	compress          bool
+	compressThreshold int
+	cacheEntries      int
+	stalenessSec      float64
+	// advisor/auto close the tuning loop (WithAdvisor / WithAutoTune).
+	advisor *Advisor
+	auto    *autoTuner
 }
 
 // WireCaps are the wire capabilities a session actually negotiated —
@@ -458,7 +526,7 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 	client := core.NewClient(transport, meter, cfg.rules, cfg.user, cfg.strategy)
 	client.SetBatching(cfg.batching)
 	client.SetPrepared(cfg.prepared)
-	sess := &Session{client: client, meter: meter, site: PrimarySite}
+	sess := &Session{client: client, meter: meter, site: PrimarySite, sys: s}
 	if site != nil {
 		// Write path: a connection to the primary, metered on the
 		// site's WAN link — pooled on the primary's pool when the
@@ -483,6 +551,11 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 		}
 		sess.site = cfg.site
 		sess.wan = wan
+		if cfg.maxStalenessSet {
+			sess.stalenessSec = cfg.maxStaleness.Seconds()
+		} else {
+			sess.stalenessSec = -1
+		}
 	}
 	if cfg.cache == nil && cfg.cacheOn {
 		cfg.cache = NewCache(cfg.cacheSize)
@@ -492,6 +565,11 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 		// log, so entries are interchangeable across the cluster's
 		// sites — one namespace per system, not per site.
 		client.SetCache(cfg.cache, s.id)
+		if cfg.sharedCacheSet {
+			sess.cacheEntries = -1 // a shared store the session does not own
+		} else {
+			sess.cacheEntries = cfg.cache.Cap()
+		}
 	}
 	if cfg.columnar || cfg.compress {
 		// One negotiation round trip at session open (charged to the
@@ -506,6 +584,18 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 			Compression:       caps.Compress,
 			CompressThreshold: caps.CompressThreshold,
 		}
+	}
+	sess.columnar = cfg.columnar
+	sess.compress = cfg.compress
+	sess.compressThreshold = cfg.compressThreshold
+	sess.advisor = cfg.advisor
+	if cfg.autoTuneSet {
+		adv := cfg.advisor
+		if adv == nil {
+			adv = &Advisor{}
+		}
+		sess.advisor = adv
+		sess.auto = &autoTuner{every: cfg.autoTuneEvery, prev: sess.Metrics()}
 	}
 	return sess, nil
 }
@@ -543,7 +633,7 @@ func (s *Session) LocalMetrics() Metrics {
 	if s.meter == nil {
 		return Metrics{}
 	}
-	return s.meter.Metrics
+	return s.meter.Snapshot()
 }
 
 // WANMetrics returns the session's traffic across the site↔primary WAN
@@ -556,7 +646,7 @@ func (s *Session) WANMetrics() Metrics {
 	if s.wan == nil {
 		return Metrics{}
 	}
-	return s.wan.Metrics
+	return s.wan.Snapshot()
 }
 
 // ResetMetrics clears the session's meters (between actions).
@@ -574,38 +664,52 @@ func (s *Session) Close() error { return s.client.Close(context.Background()) }
 // Query performs the set-oriented Query action: all nodes of a product
 // in one statement.
 func (s *Session) Query(ctx context.Context, prod int64) (*ActionResult, error) {
-	return s.client.QueryAll(ctx, prod)
+	res, err := s.client.QueryAll(ctx, prod)
+	s.afterAction(ctx, err)
+	return res, err
 }
 
 // Expand performs a single-level expand of one object.
 func (s *Session) Expand(ctx context.Context, root int64) (*ActionResult, error) {
-	return s.client.Expand(ctx, root)
+	res, err := s.client.Expand(ctx, root)
+	s.afterAction(ctx, err)
+	return res, err
 }
 
 // MultiLevelExpand retrieves the entire structure under root.
 func (s *Session) MultiLevelExpand(ctx context.Context, root int64) (*ActionResult, error) {
-	return s.client.MultiLevelExpand(ctx, root)
+	res, err := s.client.MultiLevelExpand(ctx, root)
+	s.afterAction(ctx, err)
+	return res, err
 }
 
 // CheckOut checks out the subtree under root (expand + flag updates).
 func (s *Session) CheckOut(ctx context.Context, root int64) (*CheckOutResult, error) {
-	return s.client.CheckOut(ctx, root)
+	res, err := s.client.CheckOut(ctx, root)
+	s.afterAction(ctx, err)
+	return res, err
 }
 
 // CheckIn releases a previously checked-out subtree.
 func (s *Session) CheckIn(ctx context.Context, root int64) (*CheckOutResult, error) {
-	return s.client.CheckIn(ctx, root)
+	res, err := s.client.CheckIn(ctx, root)
+	s.afterAction(ctx, err)
+	return res, err
 }
 
 // CheckOutViaProcedure performs the whole check-out in one round trip
 // via the server-side stored procedure (Section 6).
 func (s *Session) CheckOutViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
-	return s.client.CheckOutViaProcedure(ctx, root)
+	res, err := s.client.CheckOutViaProcedure(ctx, root)
+	s.afterAction(ctx, err)
+	return res, err
 }
 
 // CheckInViaProcedure is the single-round-trip check-in.
 func (s *Session) CheckInViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
-	return s.client.CheckInViaProcedure(ctx, root)
+	res, err := s.client.CheckInViaProcedure(ctx, root)
+	s.afterAction(ctx, err)
+	return res, err
 }
 
 // Exec ships one raw SQL statement (administration, DDL, loading).
@@ -620,11 +724,11 @@ func (s *Session) Exec(ctx context.Context, sql string, params ...Value) (*Respo
 func (s *Session) Run(ctx context.Context, action Action, target int64) (*ActionResult, error) {
 	switch action {
 	case Query:
-		return s.client.QueryAll(ctx, target)
+		return s.Query(ctx, target)
 	case Expand:
-		return s.client.Expand(ctx, target)
+		return s.Expand(ctx, target)
 	case MLE:
-		return s.client.MultiLevelExpand(ctx, target)
+		return s.MultiLevelExpand(ctx, target)
 	}
 	return nil, fmt.Errorf("pdmtune: unknown action %v", action)
 }
