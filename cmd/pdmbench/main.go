@@ -21,6 +21,9 @@
 //	pdmbench -advise          # auto-tuning advisor: observe three workload shapes,
 //	                          # classify, pick knobs, and re-measure under the pick
 //	                          # (combine with -json for BENCH_advisor.json records)
+//	pdmbench -parse           # SQL front end: tokenizer/parser MB/s and allocs per
+//	                          # statement, warm and cold (combine with -json for
+//	                          # BENCH_parse.json records)
 //	pdmbench -json            # machine-readable metrics for all scenarios (stdout;
 //	                          # display modes are ignored so the output stays pure
 //	                          # JSON; combine with -compress to add the negotiated
@@ -55,6 +58,7 @@ func main() {
 	staleness := flag.Duration("staleness", -1, "staleness bound of the per-site sessions (-1: read your own site)")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
 	advise := flag.Bool("advise", false, "run the auto-tuning advisor over three workload shapes")
+	parse := flag.Bool("parse", false, "benchmark the SQL tokenizer and parser (throughput and allocs)")
 	users := flag.Int("users", 0, "run the concurrent-users benchmark with N sessions")
 	poolSize := flag.Int("pool", 32, "connection-pool size for -users sessions")
 	userOps := flag.Int("ops", 20, "operations per user for -users")
@@ -64,10 +68,15 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 
-	// -users is its own mode (other selectors, e.g. -simulate, are
-	// compatible no-ops so CI can pass one flag set everywhere).
+	// -users and -parse are their own modes (other selectors, e.g.
+	// -simulate, are compatible no-ops so CI can pass one flag set
+	// everywhere).
 	if *users > 0 {
 		runUsers(*users, *poolSize, *userOps, *coarse, *cores, *jsonOut)
+		return
+	}
+	if *parse {
+		runParse(*jsonOut)
 		return
 	}
 

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"pdmtune/internal/minisql/parser"
+	"pdmtune/internal/minisql/token"
+)
+
+// The -parse mode measures the server's SQL front end in isolation:
+// tokenizer and parser throughput (MB/s) and allocations per statement,
+// on the two statement shapes that dominate the PDM workload. "warm" is
+// the steady-state path (reused token buffer / reused parser arena, what
+// a busy server session pays per statement); "cold" is the one-shot path
+// (fresh buffers, what a plan-cache miss pays).
+
+// parseBenchSelect is the shape of the per-level expand statement the
+// client issues thousands of times per multi-level expand.
+const parseBenchSelect = "SELECT type, obid, name, dec FROM assy JOIN link ON assy.obid = link.left WHERE assy.dec = 'released' AND link.right IN (1, 2, 3)"
+
+// parseBenchRecursiveMLE is the paper's Section 5.2 single-statement
+// recursive multi-level expansion — the largest statement in the workload.
+const parseBenchRecursiveMLE = `WITH RECURSIVE rtbl (type, obid, name, dec) AS
+ (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1
+  UNION
+  SELECT assy.type, assy.obid, assy.name, assy.dec
+    FROM rtbl JOIN link ON rtbl.obid = link.left
+              JOIN assy ON link.right = assy.obid
+  UNION
+  SELECT comp.type, comp.obid, comp.name, ''
+    FROM rtbl JOIN link ON rtbl.obid = link.left
+              JOIN comp ON link.right = comp.obid)
+SELECT type, obid, name, dec AS "DEC",
+       cast (NULL AS integer) AS "LEFT",
+       cast (NULL AS integer) AS "RIGHT",
+       cast (NULL AS integer) AS "EFF_FROM",
+       cast (NULL AS integer) AS "EFF_TO"
+  FROM rtbl
+UNION
+SELECT type, obid, '' AS "NAME", '' AS "DEC", left, right, eff_from, eff_to
+  FROM link
+  WHERE (left IN (SELECT obid FROM rtbl) AND right IN (SELECT obid FROM rtbl))
+ORDER BY 1, 2`
+
+// parseJSONRecord is one measured front-end configuration in the
+// -parse -json output, stable field names for trajectory tracking.
+type parseJSONRecord struct {
+	Stage          string  `json:"stage"` // tokenize | parse
+	Statement      string  `json:"statement"`
+	Mode           string  `json:"mode"` // warm | cold
+	StatementBytes int     `json:"statement_bytes"`
+	NsPerOp        float64 `json:"ns_per_op"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+}
+
+// measureParse runs one front-end benchmark body under the standard
+// benchmark harness and converts the result into a record.
+func measureParse(stage, statement, mode, sql string, body func(b *testing.B)) parseJSONRecord {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(len(sql)))
+		b.ReportAllocs()
+		body(b)
+	})
+	ns := float64(res.T.Nanoseconds()) / float64(res.N)
+	return parseJSONRecord{
+		Stage:          stage,
+		Statement:      statement,
+		Mode:           mode,
+		StatementBytes: len(sql),
+		NsPerOp:        ns,
+		MBPerSec:       float64(len(sql)) / ns * 1e9 / (1 << 20),
+		AllocsPerOp:    res.AllocsPerOp(),
+		BytesPerOp:     res.AllocedBytesPerOp(),
+	}
+}
+
+// runParse measures tokenizer and parser throughput on the expand and
+// recursive-MLE statements, warm and cold, and prints a table (or a JSON
+// array with -json).
+func runParse(jsonOut bool) {
+	stmts := []struct{ name, sql string }{
+		{"expand-select", parseBenchSelect},
+		{"recursive-mle", parseBenchRecursiveMLE},
+	}
+	var records []parseJSONRecord
+	for _, st := range stmts {
+		sql := st.sql
+		records = append(records,
+			measureParse("tokenize", st.name, "warm", sql, func(b *testing.B) {
+				var toks []token.Token
+				var err error
+				for i := 0; i < b.N; i++ {
+					toks, err = token.Tokenize(sql, toks[:0])
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measureParse("tokenize", st.name, "cold", sql, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := token.NewLexer(sql).All(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measureParse("parse", st.name, "warm", sql, func(b *testing.B) {
+				p := parser.New()
+				for i := 0; i < b.N; i++ {
+					if _, err := p.Statement(sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+			measureParse("parse", st.name, "cold", sql, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := parser.Parse(sql); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}),
+		)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Println("SQL front end — tokenizer and parser throughput on the workload's statement")
+	fmt.Println("shapes. warm = reused token buffer / parser arena (the per-statement cost of")
+	fmt.Println("a busy session); cold = fresh buffers (the cost of a plan-cache miss).")
+	fmt.Println()
+	fmt.Printf("%-10s %-15s %-5s %7s %10s %10s %8s %10s\n",
+		"stage", "statement", "mode", "bytes", "ns/op", "MB/s", "allocs", "B/op")
+	for _, r := range records {
+		fmt.Printf("%-10s %-15s %-5s %7d %10.0f %10.1f %8d %10d\n",
+			r.Stage, r.Statement, r.Mode, r.StatementBytes,
+			r.NsPerOp, r.MBPerSec, r.AllocsPerOp, r.BytesPerOp)
+	}
+}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"strconv"
+	"strings"
 
 	"pdmtune/internal/costmodel"
 	"pdmtune/internal/minisql/storage"
@@ -13,16 +15,35 @@ import (
 // the children of one parent (or one whole BFS level) are pulled
 // across the WAN under the client's configured statement mode.
 
+// expandParentSentinel is the parent id the cached expand template is
+// rendered with. Generated object ids are nonnegative and rule text
+// cannot contain this literal, so substituting its decimal form with
+// the real parent id touches exactly the two injected id positions.
+const expandParentSentinel = -(1<<62 + 20010615)
+
+var expandSentinelText = strconv.FormatInt(expandParentSentinel, 10)
+
 // buildExpandSQL returns the (strategy-modified) single-level expand
-// query text for one parent.
+// query text for one parent. A multi-level expand ships this statement
+// once per visited node with only the parent id changing, so the
+// built, rule-modified and rendered text is cached per action as a
+// template (invalidated with the rest of preparedSQL on strategy
+// switches) and each node costs two integer substitutions instead of a
+// parse + modify + render of the whole statement.
 func (c *Client) buildExpandSQL(parent int64, action string) (string, error) {
-	q := BuildExpandQuery(parent)
-	if c.strategy != costmodel.LateEval {
-		if err := c.modifier().ModifyNavigational(q, action); err != nil {
-			return "", err
+	key := "expandsql\x00" + action
+	st, ok := c.preparedSQL[key]
+	if !ok {
+		q := BuildExpandQuery(expandParentSentinel)
+		if c.strategy != costmodel.LateEval {
+			if err := c.modifier().ModifyNavigational(q, action); err != nil {
+				return "", err
+			}
 		}
+		st = preparedStmt{sql: q.String()}
+		c.preparedSQL[key] = st
 	}
-	return q.String(), nil
+	return strings.ReplaceAll(st.sql, expandSentinelText, strconv.FormatInt(parent, 10)), nil
 }
 
 // expandStmtPrepared returns the parameterized expand statement for an

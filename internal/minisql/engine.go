@@ -95,6 +95,10 @@ type DB struct {
 	funcs map[string]ScalarFunc
 	procs map[string]Procedure
 	opts  Options
+
+	// plans caches parsed statements by SQL text so repeated Execs skip
+	// lexing and parsing entirely (see plancache.go). Invalidated by DDL.
+	plans *planCache
 }
 
 // NewDB creates an empty database with the built-in function library.
@@ -103,6 +107,7 @@ func NewDB() *DB {
 		store: storage.NewDB(),
 		funcs: map[string]ScalarFunc{},
 		procs: map[string]Procedure{},
+		plans: newPlanCache(defaultPlanCacheSize),
 	}
 	registerBuiltins(db)
 	return db
@@ -230,6 +235,11 @@ type ContentionStats struct {
 	SnapshotsStarted int64
 	// WriteConflicts counts first-wins races lost (check-out conflicts).
 	WriteConflicts int64
+	// PlanHits / PlanMisses count plan-cache outcomes: hits executed a
+	// cached AST without any lexing or parsing, misses paid a full
+	// parse (and populated the cache when the statement is cacheable).
+	PlanHits   int64
+	PlanMisses int64
 }
 
 // IsZero reports whether the stats count nothing.
@@ -240,6 +250,8 @@ func (c *ContentionStats) Add(o ContentionStats) {
 	c.LockWaitNanos += o.LockWaitNanos
 	c.SnapshotsStarted += o.SnapshotsStarted
 	c.WriteConflicts += o.WriteConflicts
+	c.PlanHits += o.PlanHits
+	c.PlanMisses += o.PlanMisses
 }
 
 // Session is one client connection to the database. Sessions are not
@@ -385,13 +397,35 @@ func (s *Session) LockTables(names ...string) (func(), error) {
 }
 
 // Exec parses and executes a single statement with optional positional
-// parameters bound to '?' placeholders.
+// parameters bound to '?' placeholders. Parsing goes through the DB's
+// plan cache, so repeated statements skip the parser entirely.
 func (s *Session) Exec(sql string, params ...Value) (*Result, error) {
-	stmt, err := parser.Parse(sql)
+	stmt, err := s.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
 	return s.ExecStmt(stmt, params...)
+}
+
+// Parse returns the AST for sql, consulting the DB's shared plan cache.
+// A hit performs no lexing or parsing; a miss parses with a fresh arena
+// (so the AST is safe to share and retain) and populates the cache for
+// cacheable (non-DDL) statements. Hit/miss counts land in the session's
+// contention stats, which the wire layer drains into netsim metrics.
+func (s *Session) Parse(sql string) (ast.Statement, error) {
+	if stmt, ok := s.db.plans.get(sql); ok {
+		s.stats.PlanHits++
+		return stmt, nil
+	}
+	stmt, err := parser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.PlanMisses++
+	if cacheablePlan(stmt) {
+		s.db.plans.put(sql, stmt)
+	}
+	return stmt, nil
 }
 
 // ExecScript executes a semicolon-separated script, returning the result
@@ -458,7 +492,11 @@ func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error)
 	case *ast.CreateTable:
 		unlock := s.lockWrite(nil) // catalog ops self-synchronize; coarse mode still serializes
 		defer unlock()
-		return s.execCreateTable(st)
+		res, err := s.execCreateTable(st)
+		if err == nil {
+			s.db.plans.invalidateAll()
+		}
+		return res, err
 
 	case *ast.CreateIndex:
 		t, ok := s.db.store.Table(st.Table)
@@ -473,6 +511,7 @@ func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error)
 		if err := t.CreateIndex(st.Name, st.Column, st.Unique); err != nil {
 			return nil, err
 		}
+		s.db.plans.invalidateAll()
 		return &Result{}, nil
 
 	case *ast.DropTable:
@@ -481,6 +520,7 @@ func (s *Session) ExecStmt(stmt ast.Statement, params ...Value) (*Result, error)
 		if err := s.db.store.DropTable(st.Name, st.IfExists); err != nil {
 			return nil, err
 		}
+		s.db.plans.invalidateAll()
 		return &Result{}, nil
 
 	case *ast.Begin:

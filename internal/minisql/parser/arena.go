@@ -1,0 +1,138 @@
+package parser
+
+import (
+	"pdmtune/internal/minisql/ast"
+	"pdmtune/internal/minisql/types"
+)
+
+// slab is a chunked bump allocator for one AST node type. get returns a
+// zeroed slot; reset truncates the chunks for reuse without freeing them.
+// Full chunks are never reallocated (a new chunk is appended instead), so
+// pointers handed out remain valid until reset.
+type slab[T any] struct {
+	chunks [][]T
+	cur    int
+}
+
+// chunkSize doubles per chunk up to 256 slots so small statements stay
+// compact while big recursive queries don't thrash the allocator.
+func chunkSize(i int) int { return 8 << min(i, 5) }
+
+func (s *slab[T]) get() *T {
+	for {
+		if s.cur == len(s.chunks) {
+			s.chunks = append(s.chunks, make([]T, 0, chunkSize(s.cur)))
+		}
+		c := &s.chunks[s.cur]
+		if len(*c) == cap(*c) {
+			s.cur++
+			continue
+		}
+		var zero T
+		*c = append(*c, zero)
+		return &(*c)[len(*c)-1]
+	}
+}
+
+func (s *slab[T]) reset() {
+	for i := range s.chunks {
+		s.chunks[i] = s.chunks[i][:0]
+	}
+	s.cur = 0
+}
+
+// nodeArena holds one slab per AST node type the parser allocates. A
+// parser owns one arena; Reset recycles every node at once. ASTs returned
+// by a reusable parser are valid only until its next Reset — the
+// package-level Parse/ParseScript/ParseExpr functions use a fresh arena
+// per call, so their results are immortal.
+type nodeArena struct {
+	sel       slab[ast.Select]
+	with      slab[ast.With]
+	setOp     slab[ast.SetOp]
+	core      slab[ast.SelectCore]
+	baseTable slab[ast.BaseTable]
+	join      slab[ast.Join]
+	crossList slab[ast.CrossList]
+	subqTable slab[ast.SubqueryTable]
+	binary    slab[ast.Binary]
+	unary     slab[ast.Unary]
+	isNull    slab[ast.IsNull]
+	between   slab[ast.Between]
+	like      slab[ast.Like]
+	inList    slab[ast.InList]
+	inSubq    slab[ast.InSubquery]
+	exists    slab[ast.Exists]
+	scalarSub slab[ast.ScalarSubquery]
+	cast      slab[ast.Cast]
+	funcCall  slab[ast.FuncCall]
+	aggregate slab[ast.Aggregate]
+	caseExpr  slab[ast.Case]
+	literal   slab[ast.Literal]
+	param     slab[ast.Param]
+	colRef    slab[ast.ColumnRef]
+	insert    slab[ast.Insert]
+	update    slab[ast.Update]
+	delete    slab[ast.Delete]
+	create    slab[ast.CreateTable]
+	createIdx slab[ast.CreateIndex]
+	dropTable slab[ast.DropTable]
+	call      slab[ast.Call]
+	explain   slab[ast.Explain]
+}
+
+func (a *nodeArena) reset() {
+	a.sel.reset()
+	a.with.reset()
+	a.setOp.reset()
+	a.core.reset()
+	a.baseTable.reset()
+	a.join.reset()
+	a.crossList.reset()
+	a.subqTable.reset()
+	a.binary.reset()
+	a.unary.reset()
+	a.isNull.reset()
+	a.between.reset()
+	a.like.reset()
+	a.inList.reset()
+	a.inSubq.reset()
+	a.exists.reset()
+	a.scalarSub.reset()
+	a.cast.reset()
+	a.funcCall.reset()
+	a.aggregate.reset()
+	a.caseExpr.reset()
+	a.literal.reset()
+	a.param.reset()
+	a.colRef.reset()
+	a.insert.reset()
+	a.update.reset()
+	a.delete.reset()
+	a.create.reset()
+	a.createIdx.reset()
+	a.dropTable.reset()
+	a.call.reset()
+	a.explain.reset()
+}
+
+// Constructor helpers: each takes a zeroed slab slot and fills it, so the
+// parser body reads like the old &ast.X{...} literals.
+
+func (p *Parser) newBinary(op string, l, r ast.Expr) *ast.Binary {
+	n := p.arena.binary.get()
+	*n = ast.Binary{Op: op, Left: l, Right: r}
+	return n
+}
+
+func (p *Parser) newLiteral(v types.Value) *ast.Literal {
+	n := p.arena.literal.get()
+	n.Value = v
+	return n
+}
+
+func (p *Parser) newColumnRef(table, column string) *ast.ColumnRef {
+	n := p.arena.colRef.get()
+	n.Table, n.Column = table, column
+	return n
+}

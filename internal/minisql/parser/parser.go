@@ -3,6 +3,12 @@
 // parsing, covering the SQL:1999 subset used by the PDM workload:
 // WITH RECURSIVE, multi-branch UNION bodies, joins, EXISTS / IN / scalar
 // subqueries, aggregates, CAST, CASE, DDL, DML, transactions and CALL.
+//
+// AST nodes come from a per-parser slab arena (see arena.go). The
+// package-level Parse/ParseScript/ParseExpr functions use a fresh arena
+// per call, so their results never expire. A reusable Parser obtained
+// from New amortizes the arena and token buffer across statements; its
+// ASTs are valid only until the next call on that parser.
 package parser
 
 import (
@@ -15,20 +21,112 @@ import (
 	"pdmtune/internal/minisql/types"
 )
 
-// Parser consumes a token stream.
+// Parser consumes a token stream. The zero value is ready to use.
 type Parser struct {
 	toks   []token.Token
 	pos    int
 	params int // number of ? parameters seen so far
+	depth  int // recursion depth, bounded to keep adversarial input from overflowing the stack
 	src    string
+	arena  nodeArena
 }
 
-// Parse parses a single statement (a trailing semicolon is allowed).
-func Parse(src string) (ast.Statement, error) {
-	p, err := newParser(src)
+// maxDepth bounds recursive-descent depth. Real PDM statements nest a
+// handful of levels; anything deeper is adversarial input that would
+// otherwise overflow the goroutine stack.
+const maxDepth = 500
+
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxDepth {
+		return p.errorf("statement nesting too deep")
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
+
+// New returns a reusable Parser. Each Statement/Script/Expr call resets
+// the arena, invalidating ASTs returned by previous calls on the same
+// parser; use the package-level functions when the AST must outlive the
+// next parse (e.g. to store it in a cache).
+func New() *Parser { return &Parser{} }
+
+// Reset recycles the parser's node arena. Any AST previously returned by
+// this parser must not be used afterwards.
+func (p *Parser) Reset() { p.arena.reset() }
+
+// init tokenizes src into the reused token buffer and rewinds the parser.
+func (p *Parser) init(src string) error {
+	toks, err := token.Tokenize(src, p.toks[:0])
+	p.toks = toks // keep capacity even on error
 	if err != nil {
+		return err
+	}
+	p.pos, p.params, p.depth, p.src = 0, 0, 0, src
+	return nil
+}
+
+// Statement parses a single statement (a trailing semicolon is allowed),
+// reusing the parser's buffers. The result is valid until the next call.
+func (p *Parser) Statement(src string) (ast.Statement, error) {
+	p.Reset()
+	if err := p.init(src); err != nil {
 		return nil, err
 	}
+	return p.finishStatement()
+}
+
+// Script parses a semicolon-separated list of statements, reusing the
+// parser's buffers. The results are valid until the next call.
+func (p *Parser) Script(src string) ([]ast.Statement, error) {
+	p.Reset()
+	if err := p.init(src); err != nil {
+		return nil, err
+	}
+	return p.finishScript()
+}
+
+// Expr parses a standalone expression, reusing the parser's buffers. The
+// result is valid until the next call.
+func (p *Parser) Expr(src string) (ast.Expr, error) {
+	p.Reset()
+	if err := p.init(src); err != nil {
+		return nil, err
+	}
+	return p.finishExpr()
+}
+
+// Parse parses a single statement (a trailing semicolon is allowed). The
+// returned AST owns a fresh arena and never expires.
+func Parse(src string) (ast.Statement, error) {
+	var p Parser
+	if err := p.init(src); err != nil {
+		return nil, err
+	}
+	return p.finishStatement()
+}
+
+// ParseScript parses a semicolon-separated list of statements.
+func ParseScript(src string) ([]ast.Statement, error) {
+	var p Parser
+	if err := p.init(src); err != nil {
+		return nil, err
+	}
+	return p.finishScript()
+}
+
+// ParseExpr parses a standalone expression — used by the rule compiler to
+// validate condition predicates entered by administrators.
+func ParseExpr(src string) (ast.Expr, error) {
+	var p Parser
+	if err := p.init(src); err != nil {
+		return nil, err
+	}
+	return p.finishExpr()
+}
+
+func (p *Parser) finishStatement() (ast.Statement, error) {
 	st, err := p.parseStatement()
 	if err != nil {
 		return nil, err
@@ -40,12 +138,7 @@ func Parse(src string) (ast.Statement, error) {
 	return st, nil
 }
 
-// ParseScript parses a semicolon-separated list of statements.
-func ParseScript(src string) ([]ast.Statement, error) {
-	p, err := newParser(src)
-	if err != nil {
-		return nil, err
-	}
+func (p *Parser) finishScript() ([]ast.Statement, error) {
 	var out []ast.Statement
 	for {
 		for p.accept(token.Semicolon) {
@@ -64,13 +157,7 @@ func ParseScript(src string) ([]ast.Statement, error) {
 	}
 }
 
-// ParseExpr parses a standalone expression — used by the rule compiler to
-// validate condition predicates entered by administrators.
-func ParseExpr(src string) (ast.Expr, error) {
-	p, err := newParser(src)
-	if err != nil {
-		return nil, err
-	}
+func (p *Parser) finishExpr() (ast.Expr, error) {
 	e, err := p.parseExpr()
 	if err != nil {
 		return nil, err
@@ -82,26 +169,22 @@ func ParseExpr(src string) (ast.Expr, error) {
 }
 
 // NumParams reports how many ? parameters a statement's source contains.
+// It streams tokens without materializing them, so it does not allocate.
 func NumParams(src string) (int, error) {
-	toks, err := token.NewLexer(src).All()
-	if err != nil {
-		return 0, err
-	}
+	l := token.NewLexer(src)
 	n := 0
-	for _, t := range toks {
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return 0, err
+		}
+		if t.Type == token.EOF {
+			return n, nil
+		}
 		if t.Type == token.Param {
 			n++
 		}
 	}
-	return n, nil
-}
-
-func newParser(src string) (*Parser, error) {
-	toks, err := token.NewLexer(src).All()
-	if err != nil {
-		return nil, err
-	}
-	return &Parser{toks: toks, src: src}, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -161,23 +244,53 @@ func (p *Parser) expectKeyword(kw string) error {
 	return p.errorf("expected %s, got %s", kw, p.peek())
 }
 
-func (p *Parser) errorf(format string, args ...any) error {
-	pos := p.peek().Pos
+// parseError defers the line/column scan and message assembly to
+// Error(), so constructing an error (and any speculative error paths)
+// costs nothing until the text is actually rendered.
+type parseError struct {
+	src string
+	pos int
+	msg string
+}
+
+func (e *parseError) Error() string {
 	line, col := 1, 1
-	for i := 0; i < pos && i < len(p.src); i++ {
-		if p.src[i] == '\n' {
+	for i := 0; i < e.pos && i < len(e.src); i++ {
+		if e.src[i] == '\n' {
 			line++
 			col = 1
 		} else {
 			col++
 		}
 	}
-	return fmt.Errorf("sql: parse error at line %d column %d: %s", line, col, fmt.Sprintf(format, args...))
+	return "sql: parse error at line " + strconv.Itoa(line) + " column " + strconv.Itoa(col) + ": " + e.msg
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return &parseError{src: p.src, pos: p.peek().Pos, msg: fmt.Sprintf(format, args...)}
 }
 
 // softKeywords may double as identifiers (column names): the paper's
 // schema names a column "left", which is also the LEFT JOIN keyword.
 var softKeywords = map[string]bool{"LEFT": true, "KEY": true, "WORK": true, "DEFAULT": true}
+
+// lowerKeyword maps the canonical spellings accepted as identifiers to
+// their lower-case form without allocating.
+func lowerKeyword(kw string) string {
+	switch kw {
+	case "LEFT":
+		return "left"
+	case "KEY":
+		return "key"
+	case "WORK":
+		return "work"
+	case "DEFAULT":
+		return "default"
+	case "ALL":
+		return "all"
+	}
+	return strings.ToLower(kw)
+}
 
 // identLike accepts an identifier, quoted identifier or soft keyword.
 func (p *Parser) identLike(what string) (string, error) {
@@ -188,7 +301,7 @@ func (p *Parser) identLike(what string) (string, error) {
 	}
 	if t.Type == token.Keyword && softKeywords[t.Text] {
 		p.pos++
-		return strings.ToLower(t.Text), nil
+		return lowerKeyword(t.Text), nil
 	}
 	return "", p.errorf("expected %s, got %s", what, t)
 }
@@ -197,6 +310,10 @@ func (p *Parser) identLike(what string) (string, error) {
 // statements
 
 func (p *Parser) parseStatement() (ast.Statement, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch {
 	case p.atKeyword("SELECT", "WITH"):
 		return p.parseSelect()
@@ -233,7 +350,9 @@ func (p *Parser) parseStatement() (ast.Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Explain{Stmt: inner}, nil
+		n := p.arena.explain.get()
+		n.Stmt = inner
+		return n, nil
 	}
 	return nil, p.errorf("expected a statement, got %s", p.peek())
 }
@@ -263,7 +382,9 @@ func (p *Parser) parseCall() (ast.Statement, error) {
 	if _, err := p.expect(token.RParen, "')'"); err != nil {
 		return nil, err
 	}
-	return &ast.Call{Proc: name, Args: args}, nil
+	n := p.arena.call.get()
+	n.Proc, n.Args = name, args
+	return n, nil
 }
 
 func (p *Parser) parseCreate() (ast.Statement, error) {
@@ -282,7 +403,7 @@ func (p *Parser) parseCreate() (ast.Statement, error) {
 }
 
 func (p *Parser) parseCreateTable() (ast.Statement, error) {
-	st := &ast.CreateTable{}
+	st := p.arena.create.get()
 	if p.atKeyword("IF") {
 		p.next()
 		if err := p.expectKeyword("NOT"); err != nil {
@@ -407,7 +528,9 @@ func (p *Parser) parseCreateIndex(unique bool) (ast.Statement, error) {
 	if _, err := p.expect(token.RParen, "')'"); err != nil {
 		return nil, err
 	}
-	return &ast.CreateIndex{Name: name, Table: table, Column: col, Unique: unique, IfNotExists: ifNotExists}, nil
+	n := p.arena.createIdx.get()
+	*n = ast.CreateIndex{Name: name, Table: table, Column: col, Unique: unique, IfNotExists: ifNotExists}
+	return n, nil
 }
 
 func (p *Parser) parseDrop() (ast.Statement, error) {
@@ -415,7 +538,7 @@ func (p *Parser) parseDrop() (ast.Statement, error) {
 	if !p.acceptKeyword("TABLE") {
 		return nil, p.errorf("expected TABLE after DROP, got %s", p.peek())
 	}
-	st := &ast.DropTable{}
+	st := p.arena.dropTable.get()
 	if p.atKeyword("IF") {
 		p.next()
 		if !p.acceptKeyword("EXISTS") {
@@ -440,7 +563,8 @@ func (p *Parser) parseInsert() (ast.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &ast.Insert{Table: table}
+	st := p.arena.insert.get()
+	st.Table = table
 	if p.accept(token.LParen) {
 		for {
 			col, err := p.identLike("column name")
@@ -502,7 +626,8 @@ func (p *Parser) parseUpdate() (ast.Statement, error) {
 	if err := p.expectKeyword("SET"); err != nil {
 		return nil, err
 	}
-	st := &ast.Update{Table: table}
+	st := p.arena.update.get()
+	st.Table = table
 	for {
 		col, err := p.identLike("column name")
 		if err != nil {
@@ -539,7 +664,8 @@ func (p *Parser) parseDelete() (ast.Statement, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := &ast.Delete{Table: table}
+	st := p.arena.delete.get()
+	st.Table = table
 	if p.acceptKeyword("WHERE") {
 		e, err := p.parseExpr()
 		if err != nil {
@@ -554,7 +680,11 @@ func (p *Parser) parseDelete() (ast.Statement, error) {
 // SELECT
 
 func (p *Parser) parseSelect() (*ast.Select, error) {
-	sel := &ast.Select{}
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	sel := p.arena.sel.get()
 	if p.atKeyword("WITH") {
 		w, err := p.parseWith()
 		if err != nil {
@@ -618,7 +748,8 @@ func (p *Parser) parseSelect() (*ast.Select, error) {
 
 func (p *Parser) parseWith() (*ast.With, error) {
 	p.next() // WITH
-	w := &ast.With{Recursive: p.acceptKeyword("RECURSIVE")}
+	w := p.arena.with.get()
+	w.Recursive = p.acceptKeyword("RECURSIVE")
 	for {
 		name, err := p.identLike("CTE name")
 		if err != nil {
@@ -677,12 +808,18 @@ func (p *Parser) parseSelectBody() (ast.SelectBody, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.SetOp{Op: op, Left: left, Right: right}
+		n := p.arena.setOp.get()
+		*n = ast.SetOp{Op: op, Left: left, Right: right}
+		left = n
 	}
 	return left, nil
 }
 
 func (p *Parser) parseSelectCoreOrParen() (ast.SelectBody, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.at(token.LParen) {
 		// Parenthesized select body (no WITH/ORDER inside for simplicity).
 		p.next()
@@ -702,7 +839,7 @@ func (p *Parser) parseSelectCore() (*ast.SelectCore, error) {
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	core := &ast.SelectCore{}
+	core := p.arena.core.get()
 	if p.acceptKeyword("DISTINCT") {
 		core.Distinct = true
 	} else {
@@ -796,7 +933,8 @@ func (p *Parser) parseFrom() (ast.TableRef, error) {
 	if !p.at(token.Comma) {
 		return first, nil
 	}
-	list := &ast.CrossList{Items: []ast.TableRef{first}}
+	list := p.arena.crossList.get()
+	list.Items = append(list.Items, first)
 	for p.accept(token.Comma) {
 		next, err := p.parseJoinChain()
 		if err != nil {
@@ -845,7 +983,9 @@ func (p *Parser) parseJoinChain() (ast.TableRef, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Join{Type: jt, Left: left, Right: right, On: on}
+		n := p.arena.join.get()
+		*n = ast.Join{Type: jt, Left: left, Right: right, On: on}
+		left = n
 	}
 }
 
@@ -864,13 +1004,16 @@ func (p *Parser) parseTableFactor() (ast.TableRef, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &ast.SubqueryTable{Select: sel, Alias: alias}, nil
+		n := p.arena.subqTable.get()
+		n.Select, n.Alias = sel, alias
+		return n, nil
 	}
 	name, err := p.identLike("table name")
 	if err != nil {
 		return nil, err
 	}
-	t := &ast.BaseTable{Name: name}
+	t := p.arena.baseTable.get()
+	t.Name = name
 	if p.acceptKeyword("AS") {
 		alias, err := p.identLike("table alias")
 		if err != nil {
@@ -886,7 +1029,13 @@ func (p *Parser) parseTableFactor() (ast.TableRef, error) {
 // ---------------------------------------------------------------------------
 // expressions (Pratt)
 
-func (p *Parser) parseExpr() (ast.Expr, error) { return p.parseOr() }
+func (p *Parser) parseExpr() (ast.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *Parser) parseOr() (ast.Expr, error) {
 	left, err := p.parseAnd()
@@ -898,7 +1047,7 @@ func (p *Parser) parseOr() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: "OR", Left: left, Right: right}
+		left = p.newBinary("OR", left, right)
 	}
 	return left, nil
 }
@@ -914,19 +1063,25 @@ func (p *Parser) parseAnd() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: "AND", Left: left, Right: right}
+		left = p.newBinary("AND", left, right)
 	}
 	return left, nil
 }
 
 func (p *Parser) parseNot() (ast.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.atKeyword("NOT") && !p.isNotExists() {
 		p.next()
 		inner, err := p.parseNot()
 		if err != nil {
 			return nil, err
 		}
-		return &ast.Unary{Op: "NOT", Expr: inner}, nil
+		n := p.arena.unary.get()
+		n.Op, n.Expr = "NOT", inner
+		return n, nil
 	}
 	return p.parsePredicate()
 }
@@ -964,14 +1119,16 @@ func (p *Parser) parsePredicate() (ast.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			left = &ast.Binary{Op: op, Left: left, Right: right}
+			left = p.newBinary(op, left, right)
 		case p.atKeyword("IS"):
 			p.next()
 			not := p.acceptKeyword("NOT")
 			if !p.acceptKeyword("NULL") {
 				return nil, p.errorf("expected NULL after IS, got %s", p.peek())
 			}
-			left = &ast.IsNull{Expr: left, Not: not}
+			n := p.arena.isNull.get()
+			n.Expr, n.Not = left, not
+			left = n
 		case p.atKeyword("BETWEEN"):
 			p.next()
 			lo, err := p.parseAdditive()
@@ -985,14 +1142,18 @@ func (p *Parser) parsePredicate() (ast.Expr, error) {
 			if err != nil {
 				return nil, err
 			}
-			left = &ast.Between{Expr: left, Lo: lo, Hi: hi}
+			n := p.arena.between.get()
+			*n = ast.Between{Expr: left, Lo: lo, Hi: hi}
+			left = n
 		case p.atKeyword("LIKE"):
 			p.next()
 			pat, err := p.parseAdditive()
 			if err != nil {
 				return nil, err
 			}
-			left = &ast.Like{Expr: left, Pattern: pat}
+			n := p.arena.like.get()
+			n.Expr, n.Pattern = left, pat
+			left = n
 		case p.atKeyword("IN"):
 			p.next()
 			in, err := p.parseInTail(left, false)
@@ -1017,13 +1178,17 @@ func (p *Parser) parsePredicate() (ast.Expr, error) {
 				if err != nil {
 					return nil, err
 				}
-				left = &ast.Between{Expr: left, Lo: lo, Hi: hi, Not: true}
+				n := p.arena.between.get()
+				*n = ast.Between{Expr: left, Lo: lo, Hi: hi, Not: true}
+				left = n
 			case p.acceptKeyword("LIKE"):
 				pat, err := p.parseAdditive()
 				if err != nil {
 					return nil, err
 				}
-				left = &ast.Like{Expr: left, Pattern: pat, Not: true}
+				n := p.arena.like.get()
+				*n = ast.Like{Expr: left, Pattern: pat, Not: true}
+				left = n
 			case p.acceptKeyword("IN"):
 				in, err := p.parseInTail(left, true)
 				if err != nil {
@@ -1052,7 +1217,9 @@ func (p *Parser) parseExists(not bool) (ast.Expr, error) {
 	if _, err := p.expect(token.RParen, "')'"); err != nil {
 		return nil, err
 	}
-	return &ast.Exists{Select: sel, Not: not}, nil
+	n := p.arena.exists.get()
+	n.Select, n.Not = sel, not
+	return n, nil
 }
 
 func (p *Parser) parseInTail(left ast.Expr, not bool) (ast.Expr, error) {
@@ -1067,7 +1234,9 @@ func (p *Parser) parseInTail(left ast.Expr, not bool) (ast.Expr, error) {
 		if _, err := p.expect(token.RParen, "')'"); err != nil {
 			return nil, err
 		}
-		return &ast.InSubquery{Expr: left, Select: sel, Not: not}, nil
+		n := p.arena.inSubq.get()
+		*n = ast.InSubquery{Expr: left, Select: sel, Not: not}
+		return n, nil
 	}
 	var items []ast.Expr
 	for {
@@ -1083,7 +1252,9 @@ func (p *Parser) parseInTail(left ast.Expr, not bool) (ast.Expr, error) {
 	if _, err := p.expect(token.RParen, "')'"); err != nil {
 		return nil, err
 	}
-	return &ast.InList{Expr: left, Items: items, Not: not}, nil
+	n := p.arena.inList.get()
+	*n = ast.InList{Expr: left, Items: items, Not: not}
+	return n, nil
 }
 
 func (p *Parser) parseAdditive() (ast.Expr, error) {
@@ -1108,7 +1279,7 @@ func (p *Parser) parseAdditive() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: op, Left: left, Right: right}
+		left = p.newBinary(op, left, right)
 	}
 }
 
@@ -1134,11 +1305,15 @@ func (p *Parser) parseMultiplicative() (ast.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		left = &ast.Binary{Op: op, Left: left, Right: right}
+		left = p.newBinary(op, left, right)
 	}
 }
 
 func (p *Parser) parseUnary() (ast.Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.accept(token.Minus) {
 		inner, err := p.parseUnary()
 		if err != nil {
@@ -1147,12 +1322,14 @@ func (p *Parser) parseUnary() (ast.Expr, error) {
 		if lit, ok := inner.(*ast.Literal); ok {
 			switch lit.Value.Kind() {
 			case types.KindInt:
-				return &ast.Literal{Value: types.NewInt(-lit.Value.Int())}, nil
+				return p.newLiteral(types.NewInt(-lit.Value.Int())), nil
 			case types.KindFloat:
-				return &ast.Literal{Value: types.NewFloat(-lit.Value.Float())}, nil
+				return p.newLiteral(types.NewFloat(-lit.Value.Float())), nil
 			}
 		}
-		return &ast.Unary{Op: "-", Expr: inner}, nil
+		n := p.arena.unary.get()
+		n.Op, n.Expr = "-", inner
+		return n, nil
 	}
 	p.accept(token.Plus)
 	return p.parsePrimary()
@@ -1168,7 +1345,7 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 			if err != nil {
 				return nil, p.errorf("bad number %q", t.Text)
 			}
-			return &ast.Literal{Value: types.NewFloat(f)}, nil
+			return p.newLiteral(types.NewFloat(f)), nil
 		}
 		i, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
@@ -1176,15 +1353,16 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 			if ferr != nil {
 				return nil, p.errorf("bad number %q", t.Text)
 			}
-			return &ast.Literal{Value: types.NewFloat(f)}, nil
+			return p.newLiteral(types.NewFloat(f)), nil
 		}
-		return &ast.Literal{Value: types.NewInt(i)}, nil
+		return p.newLiteral(types.NewInt(i)), nil
 	case token.String:
 		p.next()
-		return &ast.Literal{Value: types.NewText(t.Text)}, nil
+		return p.newLiteral(types.NewText(t.Text)), nil
 	case token.Param:
 		p.next()
-		e := &ast.Param{Index: p.params}
+		e := p.arena.param.get()
+		e.Index = p.params
 		p.params++
 		return e, nil
 	case token.LParen:
@@ -1197,7 +1375,9 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 			if _, err := p.expect(token.RParen, "')'"); err != nil {
 				return nil, err
 			}
-			return &ast.ScalarSubquery{Select: sel}, nil
+			n := p.arena.scalarSub.get()
+			n.Select = sel
+			return n, nil
 		}
 		e, err := p.parseExpr()
 		if err != nil {
@@ -1211,13 +1391,13 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 		switch t.Text {
 		case "NULL":
 			p.next()
-			return &ast.Literal{Value: types.Null}, nil
+			return p.newLiteral(types.Null), nil
 		case "TRUE":
 			p.next()
-			return &ast.Literal{Value: types.NewBool(true)}, nil
+			return p.newLiteral(types.NewBool(true)), nil
 		case "FALSE":
 			p.next()
-			return &ast.Literal{Value: types.NewBool(false)}, nil
+			return p.newLiteral(types.NewBool(false)), nil
 		case "CAST":
 			return p.parseCast()
 		case "CASE":
@@ -1225,7 +1405,11 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 		case "COUNT", "SUM", "AVG", "MIN", "MAX":
 			return p.parseAggregate()
 		case "EXISTS", "NOT":
-			return p.parsePredicate()
+			// Route through parseNot so the NOT token is always consumed:
+			// parsePredicate only strips NOT in the NOT EXISTS form, and
+			// entering it with an unconsumed NOT recursed forever (the
+			// seed parser overflowed the stack on e.g. "SELECT 1 + NOT 2").
+			return p.parseNot()
 		case "LEFT": // LEFT is reserved (joins) but also a common column name in the paper's schema.
 			p.next()
 			return p.maybeQualified("left")
@@ -1252,7 +1436,9 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 			if _, err := p.expect(token.RParen, "')'"); err != nil {
 				return nil, err
 			}
-			return &ast.FuncCall{Name: strings.ToLower(t.Text), Args: args}, nil
+			n := p.arena.funcCall.get()
+			n.Name, n.Args = strings.ToLower(t.Text), args
+			return n, nil
 		}
 		return p.maybeQualified(t.Text)
 	}
@@ -1264,18 +1450,18 @@ func (p *Parser) parsePrimary() (ast.Expr, error) {
 // schema, so they are accepted after a dot and as bare refs via callers.
 func (p *Parser) maybeQualified(first string) (ast.Expr, error) {
 	if !p.at(token.Dot) {
-		return &ast.ColumnRef{Column: first}, nil
+		return p.newColumnRef("", first), nil
 	}
 	p.next()
 	t := p.peek()
 	switch {
 	case t.Type == token.Ident || t.Type == token.QuotedIdent:
 		p.next()
-		return &ast.ColumnRef{Table: first, Column: t.Text}, nil
+		return p.newColumnRef(first, t.Text), nil
 	case t.Type == token.Keyword && (t.Text == "LEFT" || t.Text == "DEFAULT" || t.Text == "KEY" || t.Text == "ALL"):
 		// Allow a few keywords as column names when qualified.
 		p.next()
-		return &ast.ColumnRef{Table: first, Column: strings.ToLower(t.Text)}, nil
+		return p.newColumnRef(first, lowerKeyword(t.Text)), nil
 	}
 	return nil, p.errorf("expected column name after '.', got %s", t)
 }
@@ -1314,12 +1500,14 @@ func (p *Parser) parseCast() (ast.Expr, error) {
 	if _, err := p.expect(token.RParen, "')'"); err != nil {
 		return nil, err
 	}
-	return &ast.Cast{Expr: e, Type: ct}, nil
+	n := p.arena.cast.get()
+	n.Expr, n.Type = e, ct
+	return n, nil
 }
 
 func (p *Parser) parseCase() (ast.Expr, error) {
 	p.next() // CASE
-	c := &ast.Case{}
+	c := p.arena.caseExpr.get()
 	if !p.atKeyword("WHEN") {
 		op, err := p.parseExpr()
 		if err != nil {
@@ -1362,7 +1550,8 @@ func (p *Parser) parseAggregate() (ast.Expr, error) {
 	if _, err := p.expect(token.LParen, "'('"); err != nil {
 		return nil, err
 	}
-	agg := &ast.Aggregate{Func: t.Text}
+	agg := p.arena.aggregate.get()
+	agg.Func = t.Text
 	if p.at(token.Star) {
 		if t.Text != "COUNT" {
 			return nil, p.errorf("%s(*) is not valid", t.Text)

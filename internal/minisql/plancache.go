@@ -1,0 +1,95 @@
+package minisql
+
+import (
+	"container/list"
+	"sync"
+
+	"pdmtune/internal/minisql/ast"
+)
+
+// defaultPlanCacheSize bounds the shared plan cache. Navigational PDM
+// access emits one literal-id expand statement per visited node, so a
+// repeated multi-level expand replays the exact same statement texts —
+// the paper's δ=7/β=5 product visits ~3,300 nodes. LRU thrashes when a
+// repeated scan exceeds the capacity (every entry is evicted moments
+// before its reuse), so the default leaves headroom above that working
+// set; parameterized and prepared statements need only one entry per
+// shape.
+const defaultPlanCacheSize = 4096
+
+// planCache is a bounded, concurrency-safe LRU of parsed statements
+// keyed by SQL text. Cached ASTs come from the package-level
+// parser.Parse (fresh arena per call), so they never expire, and the
+// executor treats ASTs as read-only, so one cached statement may run on
+// any number of sessions concurrently. DDL execution invalidates the
+// whole cache.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*list.Element
+	lru *list.List // front = most recently used
+}
+
+type planEntry struct {
+	sql  string
+	stmt ast.Statement
+}
+
+func newPlanCache(capacity int) *planCache {
+	return &planCache{
+		cap: capacity,
+		m:   make(map[string]*list.Element, capacity),
+		lru: list.New(),
+	}
+}
+
+func (c *planCache) get(sql string) (ast.Statement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[sql]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).stmt, true
+}
+
+func (c *planCache) put(sql string, stmt ast.Statement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[sql]; ok {
+		el.Value.(*planEntry).stmt = stmt
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.m[sql] = c.lru.PushFront(&planEntry{sql: sql, stmt: stmt})
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.m, oldest.Value.(*planEntry).sql)
+	}
+}
+
+// invalidateAll empties the cache — called after any DDL statement.
+func (c *planCache) invalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	clear(c.m)
+	c.lru.Init()
+}
+
+func (c *planCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// cacheablePlan excludes DDL from the cache: executing DDL invalidates
+// every entry anyway, and schema statements run once.
+func cacheablePlan(st ast.Statement) bool {
+	switch st.(type) {
+	case *ast.CreateTable, *ast.CreateIndex, *ast.DropTable:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package minisql
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"pdmtune/internal/minisql/types"
+)
+
+func planTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	s := db.NewSession()
+	if _, err := s.ExecScript(`
+		CREATE TABLE obj (id INTEGER PRIMARY KEY, typ TEXT, state TEXT);
+		INSERT INTO obj VALUES (1, 'assy', 'released');
+		INSERT INTO obj VALUES (2, 'part', 'working');
+		INSERT INTO obj VALUES (3, 'part', 'released');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	s.TakeContention() // setup parses are not the test's concern
+	return db
+}
+
+// TestPlanCacheHitDoesNoParserWork asserts — via the hit/miss counters,
+// which Parse bumps strictly around its parser.Parse call — that the
+// second execution of a statement is answered from the cache: one miss
+// on first sight, pure hits afterwards, identical results both times.
+func TestPlanCacheHitDoesNoParserWork(t *testing.T) {
+	db := planTestDB(t)
+	s := db.NewSession()
+	const q = "SELECT id, typ FROM obj WHERE state = 'released' ORDER BY id"
+
+	first, err := s.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.TakeContention(); st.PlanMisses != 1 || st.PlanHits != 0 {
+		t.Fatalf("cold exec: hits=%d misses=%d, want 0/1", st.PlanHits, st.PlanMisses)
+	}
+
+	for i := 0; i < 5; i++ {
+		again, err := s.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(again.Rows, first.Rows) || !reflect.DeepEqual(again.Cols, first.Cols) {
+			t.Fatalf("cached execution diverged: %+v vs %+v", again, first)
+		}
+	}
+	if st := s.TakeContention(); st.PlanHits != 5 || st.PlanMisses != 0 {
+		t.Fatalf("warm execs: hits=%d misses=%d, want 5/0", st.PlanHits, st.PlanMisses)
+	}
+
+	// The cache is DB-wide: a different session hits immediately.
+	other := db.NewSession()
+	if _, err := other.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := other.TakeContention(); st.PlanHits != 1 || st.PlanMisses != 0 {
+		t.Fatalf("cross-session exec: hits=%d misses=%d, want 1/0", st.PlanHits, st.PlanMisses)
+	}
+}
+
+// TestPlanCacheDDLInvalidation checks that every DDL statement empties
+// the cache — a cached plan must never survive a schema change — and
+// that DDL itself is never cached.
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	db := planTestDB(t)
+	s := db.NewSession()
+	const q = "SELECT COUNT(*) FROM obj"
+
+	ddl := []string{
+		"CREATE TABLE aux (id INTEGER)",
+		"CREATE INDEX obj_state ON obj (state)",
+		"DROP TABLE aux",
+	}
+	for _, stmt := range ddl {
+		if _, err := s.Query(q); err != nil {
+			t.Fatal(err)
+		}
+		if db.plans.size() == 0 {
+			t.Fatalf("query %q did not populate the cache", q)
+		}
+		if _, err := s.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+		if n := db.plans.size(); n != 0 {
+			t.Fatalf("%d cached plans survived %q, want 0", n, stmt)
+		}
+	}
+
+	s.TakeContention()
+	if _, err := s.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.TakeContention(); st.PlanMisses != 1 {
+		t.Fatalf("post-DDL exec misses=%d, want 1 (invalidated entry must re-parse)", st.PlanMisses)
+	}
+}
+
+// TestPlanCacheBoundedUnderChurn churns far more distinct statements
+// through the cache than its capacity and checks the LRU bound holds,
+// with the hottest statement surviving the churn.
+func TestPlanCacheBoundedUnderChurn(t *testing.T) {
+	db := planTestDB(t)
+	s := db.NewSession()
+	const hot = "SELECT id FROM obj WHERE id = 1"
+
+	for i := 0; i < 3*defaultPlanCacheSize; i++ {
+		if _, err := s.Query(fmt.Sprintf("SELECT id FROM obj WHERE id = %d", i)); err != nil {
+			t.Fatal(err)
+		}
+		// Re-run the hot statement so the LRU keeps it young.
+		if _, err := s.Query(hot); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := db.plans.size(); n > defaultPlanCacheSize {
+		t.Fatalf("cache grew to %d entries, cap is %d", n, defaultPlanCacheSize)
+	}
+	s.TakeContention()
+	if _, err := s.Query(hot); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.TakeContention(); st.PlanHits != 1 {
+		t.Fatal("hot statement was evicted despite being the most recently used")
+	}
+}
+
+// TestPlanCacheConcurrentExec runs the same statements on many sessions
+// at once (run under -race): all sessions share the cached ASTs, so any
+// execution-time mutation of a shared node is a data race this test
+// makes visible.
+func TestPlanCacheConcurrentExec(t *testing.T) {
+	db := planTestDB(t)
+	queries := []string{
+		"SELECT id, typ FROM obj WHERE state = 'released' ORDER BY id",
+		"SELECT typ, COUNT(*) FROM obj GROUP BY typ ORDER BY typ",
+		"SELECT COUNT(*) FROM obj WHERE id IN (1, 2, 3) AND state LIKE 're%'",
+	}
+	// Warm the cache so every worker runs on shared ASTs.
+	warm := db.NewSession()
+	want := make([]*Result, len(queries))
+	for i, q := range queries {
+		res, err := warm.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := db.NewSession()
+			for i := 0; i < 200; i++ {
+				q := i % len(queries)
+				res, err := s.Query(queries[q])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(res.Rows, want[q].Rows) {
+					t.Errorf("concurrent cached exec of %q diverged", queries[q])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestPlanCacheParameterizedReuse checks that one cached AST serves
+// different parameter bindings — parameters bind at execution, not in
+// the plan.
+func TestPlanCacheParameterizedReuse(t *testing.T) {
+	db := planTestDB(t)
+	s := db.NewSession()
+	const q = "SELECT typ FROM obj WHERE id = ?"
+	for id := int64(1); id <= 3; id++ {
+		res, err := s.Query(q, types.NewInt(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 {
+			t.Fatalf("id %d: got %d rows, want 1", id, len(res.Rows))
+		}
+	}
+	if st := s.TakeContention(); st.PlanMisses != 1 || st.PlanHits != 2 {
+		t.Fatalf("parameterized reuse: hits=%d misses=%d, want 2/1", st.PlanHits, st.PlanMisses)
+	}
+}

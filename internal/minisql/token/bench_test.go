@@ -1,0 +1,52 @@
+package token
+
+import "testing"
+
+// benchMLE is the paper's Section 5.2 recursive multi-level expansion
+// query — the heaviest statement the PDM workload tokenizes.
+const benchMLE = `WITH RECURSIVE rtbl (type, obid, name, dec) AS
+ (SELECT type, obid, name, dec FROM assy WHERE assy.obid = 1
+  UNION
+  SELECT assy.type, assy.obid, assy.name, assy.dec
+    FROM rtbl JOIN link ON rtbl.obid = link.left
+              JOIN assy ON link.right = assy.obid
+  UNION
+  SELECT comp.type, comp.obid, comp.name, ''
+    FROM rtbl JOIN link ON rtbl.obid = link.left
+              JOIN comp ON link.right = comp.obid)
+SELECT type, obid, name, dec AS "DEC",
+       cast (NULL AS integer) AS "LEFT",
+       cast (NULL AS integer) AS "RIGHT",
+       cast (NULL AS integer) AS "EFF_FROM",
+       cast (NULL AS integer) AS "EFF_TO"
+  FROM rtbl
+UNION
+SELECT type, obid, '' AS "NAME", '' AS "DEC", left, right, eff_from, eff_to
+  FROM link
+  WHERE (left IN (SELECT obid FROM rtbl) AND right IN (SELECT obid FROM rtbl))
+ORDER BY 1, 2`
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchMLE)))
+	b.ReportAllocs()
+	var toks []Token
+	var err error
+	for i := 0; i < b.N; i++ {
+		toks, err = Tokenize(benchMLE, toks[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTokenizeCold measures the one-shot path (fresh output slice
+// per statement), i.e. what a cache-missing server pays.
+func BenchmarkTokenizeCold(b *testing.B) {
+	b.SetBytes(int64(len(benchMLE)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewLexer(benchMLE).All(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package token
+
+// This file preserves the original rune/unicode/strings.ToUpper lexer as a
+// test-only reference. golden_test.go asserts the byte-scan lexer in
+// token.go produces token-for-token identical output (and identical
+// error/ok status) on the full corpus.
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type refLexer struct {
+	src string
+	pos int
+}
+
+func newRefLexer(src string) *refLexer { return &refLexer{src: src} }
+
+func refIsKeyword(s string) bool {
+	for _, kw := range keywordList {
+		if kw == strings.ToUpper(s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *refLexer) Next() (Token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return Token{Type: EOF, Pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '\'':
+		return l.lexString()
+	case c == '"':
+		return l.lexQuotedIdent()
+	case refIsDigit(c) || (c == '.' && l.pos+1 < len(l.src) && refIsDigit(l.src[l.pos+1])):
+		return l.lexNumber()
+	case refIsIdentStart(c):
+		return l.lexIdent()
+	}
+	l.pos++
+	mk := func(t Type, text string) (Token, error) {
+		return Token{Type: t, Text: text, Pos: start}, nil
+	}
+	switch c {
+	case '(':
+		return mk(LParen, "(")
+	case ')':
+		return mk(RParen, ")")
+	case ',':
+		return mk(Comma, ",")
+	case ';':
+		return mk(Semicolon, ";")
+	case '.':
+		return mk(Dot, ".")
+	case '*':
+		return mk(Star, "*")
+	case '+':
+		return mk(Plus, "+")
+	case '-':
+		if l.pos < len(l.src) && l.src[l.pos] == '-' { // -- comment
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			return l.Next()
+		}
+		return mk(Minus, "-")
+	case '/':
+		if l.pos < len(l.src) && l.src[l.pos] == '*' { // /* comment */
+			end := strings.Index(l.src[l.pos:], "*/")
+			if end < 0 {
+				return Token{}, fmt.Errorf("sql: unterminated comment at offset %d", start)
+			}
+			l.pos += end + 2
+			return l.Next()
+		}
+		return mk(Slash, "/")
+	case '%':
+		return mk(Percent, "%")
+	case '?':
+		return mk(Param, "?")
+	case '|':
+		if l.pos < len(l.src) && l.src[l.pos] == '|' {
+			l.pos++
+			return mk(Concat, "||")
+		}
+		return Token{}, fmt.Errorf("sql: unexpected '|' at offset %d", start)
+	case '=':
+		return mk(Eq, "=")
+	case '!':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return mk(Neq, "!=")
+		}
+		return Token{}, fmt.Errorf("sql: unexpected '!' at offset %d", start)
+	case '<':
+		if l.pos < len(l.src) {
+			switch l.src[l.pos] {
+			case '>':
+				l.pos++
+				return mk(Neq, "<>")
+			case '=':
+				l.pos++
+				return mk(Le, "<=")
+			}
+		}
+		return mk(Lt, "<")
+	case '>':
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return mk(Ge, ">=")
+		}
+		return mk(Gt, ">")
+	}
+	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+}
+
+func (l *refLexer) All() ([]Token, error) {
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Type == EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *refLexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func (l *refLexer) lexString() (Token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Type: String, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
+}
+
+func (l *refLexer) lexQuotedIdent() (Token, error) {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				sb.WriteByte('"')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return Token{Type: QuotedIdent, Text: sb.String(), Pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
+}
+
+func (l *refLexer) lexNumber() (Token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case refIsDigit(c):
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+				l.pos++
+			}
+		default:
+			return Token{Type: Number, Text: l.src[start:l.pos], Pos: start}, nil
+		}
+		l.pos++
+	}
+	return Token{Type: Number, Text: l.src[start:l.pos], Pos: start}, nil
+}
+
+func (l *refLexer) lexIdent() (Token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && refIsIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	if refIsKeyword(text) {
+		return Token{Type: Keyword, Text: strings.ToUpper(text), Pos: start}, nil
+	}
+	return Token{Type: Ident, Text: text, Pos: start}, nil
+}
+
+func refIsDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func refIsIdentStart(c byte) bool { return c == '_' || refIsLetter(c) }
+func refIsIdentPart(c byte) bool {
+	return c == '_' || c == '$' || refIsLetter(c) || refIsDigit(c)
+}
+func refIsLetter(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }

@@ -2,12 +2,18 @@
 // hand-written lexer producing them. The dialect covers the SQL:1999
 // subset the PDM workload needs: DDL/DML, WITH RECURSIVE, set operations,
 // joins, subqueries, aggregates, CAST and stored routine invocation.
+//
+// The lexer is a byte-scan state machine driven by [256]-entry class
+// tables. Token texts are sub-slices of the source string (or static
+// canonical spellings for keywords and operators), so tokenizing a
+// statement performs no per-token heap work; the only allocations are
+// the output slice and the rare string/quoted-identifier literal that
+// actually contains a doubled-quote escape.
 package token
 
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 // Type classifies a token.
@@ -45,7 +51,8 @@ const (
 
 // Token is one lexical unit. Text holds the normalized spelling: keywords
 // upper-case, identifiers as written (quoted identifiers without quotes),
-// strings unescaped.
+// strings unescaped. Text shares the source string's backing array except
+// for keywords/operators (static strings) and escaped literals.
 type Token struct {
 	Type Type
 	Text string
@@ -57,34 +64,102 @@ func (t Token) String() string {
 	case EOF:
 		return "end of input"
 	case String:
-		return fmt.Sprintf("'%s'", t.Text)
+		return "'" + t.Text + "'"
 	default:
 		return t.Text
 	}
 }
 
-// keywords recognized by the dialect. Any identifier matching one of
-// these (case-insensitively) lexes as a Keyword.
-var keywords = map[string]bool{
-	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
-	"NOT": true, "AS": true, "JOIN": true, "ON": true, "INNER": true,
-	"LEFT": true, "OUTER": true, "UNION": true, "ALL": true, "WITH": true,
-	"RECURSIVE": true, "ORDER": true, "BY": true, "GROUP": true,
-	"HAVING": true, "LIMIT": true, "OFFSET": true, "ASC": true, "DESC": true,
-	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
-	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true,
-	"INDEX": true, "DROP": true, "PRIMARY": true, "KEY": true,
-	"NULL": true, "TRUE": true, "FALSE": true, "IS": true, "IN": true,
-	"EXISTS": true, "BETWEEN": true, "LIKE": true, "CAST": true,
-	"DISTINCT": true, "CASE": true, "WHEN": true, "THEN": true,
-	"ELSE": true, "END": true, "BEGIN": true, "COMMIT": true,
-	"ROLLBACK": true, "CALL": true, "EXPLAIN": true, "UNIQUE": true,
-	"DEFAULT": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
-	"MAX": true, "IF": true, "TRANSACTION": true, "WORK": true,
+// Byte-class bits for the [256] scan table.
+const (
+	clsSpace byte = 1 << iota
+	clsDigit
+	clsIdentStart
+	clsIdentPart
+)
+
+var (
+	charClass  [256]byte
+	upperTable [256]byte // ASCII case folding; identity elsewhere
+)
+
+// keywordList holds the canonical (upper-case) spelling of every reserved
+// word. Lookups match case-insensitively in place against length buckets;
+// a hit returns the canonical string here, so keyword tokens never
+// allocate and the parser can compare Text against these spellings.
+var keywordList = [...]string{
+	"SELECT", "FROM", "WHERE", "AND", "OR",
+	"NOT", "AS", "JOIN", "ON", "INNER",
+	"LEFT", "OUTER", "UNION", "ALL", "WITH",
+	"RECURSIVE", "ORDER", "BY", "GROUP",
+	"HAVING", "LIMIT", "OFFSET", "ASC", "DESC",
+	"INSERT", "INTO", "VALUES", "UPDATE",
+	"SET", "DELETE", "CREATE", "TABLE",
+	"INDEX", "DROP", "PRIMARY", "KEY",
+	"NULL", "TRUE", "FALSE", "IS", "IN",
+	"EXISTS", "BETWEEN", "LIKE", "CAST",
+	"DISTINCT", "CASE", "WHEN", "THEN",
+	"ELSE", "END", "BEGIN", "COMMIT",
+	"ROLLBACK", "CALL", "EXPLAIN", "UNIQUE",
+	"DEFAULT", "COUNT", "SUM", "AVG", "MIN",
+	"MAX", "IF", "TRANSACTION", "WORK",
+}
+
+const maxKeywordLen = len("TRANSACTION")
+
+var keywordBuckets [maxKeywordLen + 1][]string
+
+func init() {
+	for i := range upperTable {
+		upperTable[i] = byte(i)
+	}
+	for c := 'a'; c <= 'z'; c++ {
+		upperTable[c] = byte(c) - 'a' + 'A'
+	}
+	// The seed lexer used unicode.IsSpace(rune(byte)), which also matched
+	// the Latin-1 bytes NEL (0x85) and NBSP (0xA0); keep that behavior.
+	for _, c := range []byte{'\t', '\n', '\v', '\f', '\r', ' ', 0x85, 0xA0} {
+		charClass[c] |= clsSpace
+	}
+	for c := '0'; c <= '9'; c++ {
+		charClass[c] |= clsDigit | clsIdentPart
+	}
+	for c := 'a'; c <= 'z'; c++ {
+		charClass[c] |= clsIdentStart | clsIdentPart
+	}
+	for c := 'A'; c <= 'Z'; c++ {
+		charClass[c] |= clsIdentStart | clsIdentPart
+	}
+	charClass['_'] |= clsIdentStart | clsIdentPart
+	charClass['$'] |= clsIdentPart
+	for _, kw := range keywordList {
+		keywordBuckets[len(kw)] = append(keywordBuckets[len(kw)], kw)
+	}
+}
+
+// canonKeyword matches s case-insensitively against the reserved words
+// without allocating and returns the canonical upper-case spelling.
+func canonKeyword(s string) (string, bool) {
+	if len(s) >= len(keywordBuckets) {
+		return "", false
+	}
+bucket:
+	for _, kw := range keywordBuckets[len(s)] {
+		for i := 0; i < len(s); i++ {
+			if upperTable[s[i]] != kw[i] {
+				continue bucket
+			}
+		}
+		return kw, true
+	}
+	return "", false
 }
 
 // IsKeyword reports whether s (any case) is a reserved word.
-func IsKeyword(s string) bool { return keywords[strings.ToUpper(s)] }
+func IsKeyword(s string) bool {
+	_, ok := canonKeyword(s)
+	return ok
+}
 
 // Lexer splits an SQL string into tokens.
 type Lexer struct {
@@ -97,20 +172,47 @@ func NewLexer(src string) *Lexer { return &Lexer{src: src} }
 
 // Next returns the next token, or an error on malformed input.
 func (l *Lexer) Next() (Token, error) {
-	l.skipSpace()
+	src := l.src
+	// Skip whitespace and comments iteratively.
+	for l.pos < len(src) {
+		c := src[l.pos]
+		if charClass[c]&clsSpace != 0 {
+			l.pos++
+			continue
+		}
+		if c == '-' && l.pos+1 < len(src) && src[l.pos+1] == '-' { // -- comment
+			l.pos += 2
+			for l.pos < len(src) && src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if c == '/' && l.pos+1 < len(src) && src[l.pos+1] == '*' { // /* comment */
+			// Search from the opening '*' itself, matching the seed lexer
+			// (so "/*/" closes as an empty comment).
+			end := strings.Index(src[l.pos+1:], "*/")
+			if end < 0 {
+				return Token{}, fmt.Errorf("sql: unterminated comment at offset %d", l.pos)
+			}
+			l.pos += 1 + end + 2
+			continue
+		}
+		break
+	}
 	start := l.pos
-	if l.pos >= len(l.src) {
+	if start >= len(src) {
 		return Token{Type: EOF, Pos: start}, nil
 	}
-	c := l.src[l.pos]
+	c := src[start]
+	cls := charClass[c]
 	switch {
 	case c == '\'':
 		return l.lexString()
 	case c == '"':
 		return l.lexQuotedIdent()
-	case isDigit(c) || (c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+	case cls&clsDigit != 0 || (c == '.' && start+1 < len(src) && charClass[src[start+1]]&clsDigit != 0):
 		return l.lexNumber()
-	case isIdentStart(c):
+	case cls&clsIdentStart != 0:
 		return l.lexIdent()
 	}
 	l.pos++
@@ -133,29 +235,15 @@ func (l *Lexer) Next() (Token, error) {
 	case '+':
 		return mk(Plus, "+")
 	case '-':
-		if l.pos < len(l.src) && l.src[l.pos] == '-' { // -- comment
-			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
-				l.pos++
-			}
-			return l.Next()
-		}
 		return mk(Minus, "-")
 	case '/':
-		if l.pos < len(l.src) && l.src[l.pos] == '*' { // /* comment */
-			end := strings.Index(l.src[l.pos:], "*/")
-			if end < 0 {
-				return Token{}, fmt.Errorf("sql: unterminated comment at offset %d", start)
-			}
-			l.pos += end + 2
-			return l.Next()
-		}
 		return mk(Slash, "/")
 	case '%':
 		return mk(Percent, "%")
 	case '?':
 		return mk(Param, "?")
 	case '|':
-		if l.pos < len(l.src) && l.src[l.pos] == '|' {
+		if l.pos < len(src) && src[l.pos] == '|' {
 			l.pos++
 			return mk(Concat, "||")
 		}
@@ -163,14 +251,14 @@ func (l *Lexer) Next() (Token, error) {
 	case '=':
 		return mk(Eq, "=")
 	case '!':
-		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+		if l.pos < len(src) && src[l.pos] == '=' {
 			l.pos++
 			return mk(Neq, "!=")
 		}
 		return Token{}, fmt.Errorf("sql: unexpected '!' at offset %d", start)
 	case '<':
-		if l.pos < len(l.src) {
-			switch l.src[l.pos] {
+		if l.pos < len(src) {
+			switch src[l.pos] {
 			case '>':
 				l.pos++
 				return mk(Neq, "<>")
@@ -181,7 +269,7 @@ func (l *Lexer) Next() (Token, error) {
 		}
 		return mk(Lt, "<")
 	case '>':
-		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+		if l.pos < len(src) && src[l.pos] == '=' {
 			l.pos++
 			return mk(Ge, ">=")
 		}
@@ -190,9 +278,29 @@ func (l *Lexer) Next() (Token, error) {
 	return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
 }
 
+// Tokenize appends src's tokens (terminated by the EOF token) to dst and
+// returns the extended slice. Passing a previous result's dst[:0] reuses
+// its capacity, making steady-state tokenization allocation-free.
+func Tokenize(src string, dst []Token) ([]Token, error) {
+	l := Lexer{src: src}
+	if cap(dst) == 0 {
+		dst = make([]Token, 0, len(src)/6+4)
+	}
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, t)
+		if t.Type == EOF {
+			return dst, nil
+		}
+	}
+}
+
 // All tokenizes the whole input.
 func (l *Lexer) All() ([]Token, error) {
-	var out []Token
+	out := make([]Token, 0, (len(l.src)-l.pos)/6+4)
 	for {
 		t, err := l.Next()
 		if err != nil {
@@ -205,89 +313,105 @@ func (l *Lexer) All() ([]Token, error) {
 	}
 }
 
-func (l *Lexer) skipSpace() {
-	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
-		l.pos++
-	}
-}
-
 func (l *Lexer) lexString() (Token, error) {
+	src := l.src
 	start := l.pos
-	l.pos++ // opening quote
-	var sb strings.Builder
-	for l.pos < len(l.src) {
-		c := l.src[l.pos]
-		if c == '\'' {
-			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
-				sb.WriteByte('\'')
-				l.pos += 2
-				continue
-			}
-			l.pos++
-			return Token{Type: String, Text: sb.String(), Pos: start}, nil
+	i := start + 1
+	escaped := false
+	for i < len(src) {
+		if src[i] != '\'' {
+			i++
+			continue
 		}
-		sb.WriteByte(c)
-		l.pos++
+		if i+1 < len(src) && src[i+1] == '\'' { // '' escape
+			escaped = true
+			i += 2
+			continue
+		}
+		l.pos = i + 1
+		raw := src[start+1 : i]
+		if !escaped {
+			return Token{Type: String, Text: raw, Pos: start}, nil
+		}
+		return Token{Type: String, Text: unescape(raw, '\''), Pos: start}, nil
 	}
 	return Token{}, fmt.Errorf("sql: unterminated string at offset %d", start)
 }
 
 func (l *Lexer) lexQuotedIdent() (Token, error) {
+	src := l.src
 	start := l.pos
-	l.pos++
-	var sb strings.Builder
-	for l.pos < len(l.src) {
-		c := l.src[l.pos]
-		if c == '"' {
-			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
-				sb.WriteByte('"')
-				l.pos += 2
-				continue
-			}
-			l.pos++
-			return Token{Type: QuotedIdent, Text: sb.String(), Pos: start}, nil
+	i := start + 1
+	escaped := false
+	for i < len(src) {
+		if src[i] != '"' {
+			i++
+			continue
 		}
-		sb.WriteByte(c)
-		l.pos++
+		if i+1 < len(src) && src[i+1] == '"' { // "" escape
+			escaped = true
+			i += 2
+			continue
+		}
+		l.pos = i + 1
+		raw := src[start+1 : i]
+		if !escaped {
+			return Token{Type: QuotedIdent, Text: raw, Pos: start}, nil
+		}
+		return Token{Type: QuotedIdent, Text: unescape(raw, '"'), Pos: start}, nil
 	}
 	return Token{}, fmt.Errorf("sql: unterminated quoted identifier at offset %d", start)
 }
 
+// unescape collapses doubled quote characters in raw. Only called when at
+// least one escape is present, so the allocation is pay-per-use.
+func unescape(raw string, quote byte) string {
+	var sb strings.Builder
+	sb.Grow(len(raw))
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		sb.WriteByte(c)
+		if c == quote {
+			i++ // skip the second quote of the pair
+		}
+	}
+	return sb.String()
+}
+
 func (l *Lexer) lexNumber() (Token, error) {
+	src := l.src
 	start := l.pos
 	seenDot, seenExp := false, false
-	for l.pos < len(l.src) {
-		c := l.src[l.pos]
+	for l.pos < len(src) {
+		c := src[l.pos]
 		switch {
-		case isDigit(c):
+		case charClass[c]&clsDigit != 0:
 		case c == '.' && !seenDot && !seenExp:
 			seenDot = true
 		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
 			seenExp = true
-			if l.pos+1 < len(l.src) && (l.src[l.pos+1] == '+' || l.src[l.pos+1] == '-') {
+			if l.pos+1 < len(src) && (src[l.pos+1] == '+' || src[l.pos+1] == '-') {
 				l.pos++
 			}
 		default:
-			return Token{Type: Number, Text: l.src[start:l.pos], Pos: start}, nil
+			return Token{Type: Number, Text: src[start:l.pos], Pos: start}, nil
 		}
 		l.pos++
 	}
-	return Token{Type: Number, Text: l.src[start:l.pos], Pos: start}, nil
+	return Token{Type: Number, Text: src[start:l.pos], Pos: start}, nil
 }
 
 func (l *Lexer) lexIdent() (Token, error) {
+	src := l.src
 	start := l.pos
-	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
-		l.pos++
+	i := start + 1
+	for i < len(src) && charClass[src[i]]&clsIdentPart != 0 {
+		i++
 	}
-	text := l.src[start:l.pos]
-	if IsKeyword(text) {
-		return Token{Type: Keyword, Text: strings.ToUpper(text), Pos: start}, nil
+	l.pos = i
+	text := src[start:i]
+	if kw, ok := canonKeyword(text); ok {
+		return Token{Type: Keyword, Text: kw, Pos: start}, nil
 	}
 	return Token{Type: Ident, Text: text, Pos: start}, nil
 }
-
-func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
-func isIdentStart(c byte) bool { return c == '_' || isLetter(c) }
-func isIdentPart(c byte) bool  { return c == '_' || c == '$' || isLetter(c) || isDigit(c) }
-func isLetter(c byte) bool     { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }

@@ -151,6 +151,12 @@ type Metrics struct {
 	// WriteConflicts counts first-wins write races this client lost
 	// (e.g. a check-out that found rows already checked out).
 	WriteConflicts int64
+	// PlanHits / PlanMisses count server plan-cache outcomes for this
+	// client's statements: hits executed a cached AST with zero parser
+	// work, misses paid a full parse. Drained from the engine sessions
+	// per round trip like the contention counters above.
+	PlanHits   int64
+	PlanMisses int64
 	// ReadActions / WriteActions count completed user actions by kind:
 	// Query/Expand/MLE are reads, check-out/check-in (client-driven or
 	// via procedure) are writes. The advisor classifies workload shape
@@ -198,6 +204,8 @@ func (m Metrics) Sub(b Metrics) Metrics {
 		LockWaitNanos:      m.LockWaitNanos - b.LockWaitNanos,
 		SnapshotsStarted:   m.SnapshotsStarted - b.SnapshotsStarted,
 		WriteConflicts:     m.WriteConflicts - b.WriteConflicts,
+		PlanHits:           m.PlanHits - b.PlanHits,
+		PlanMisses:         m.PlanMisses - b.PlanMisses,
 		ReadActions:        m.ReadActions - b.ReadActions,
 		WriteActions:       m.WriteActions - b.WriteActions,
 		RepeatActions:      m.RepeatActions - b.RepeatActions,
@@ -238,6 +246,8 @@ func (m Metrics) Add(b Metrics) Metrics {
 		LockWaitNanos:      m.LockWaitNanos + b.LockWaitNanos,
 		SnapshotsStarted:   m.SnapshotsStarted + b.SnapshotsStarted,
 		WriteConflicts:     m.WriteConflicts + b.WriteConflicts,
+		PlanHits:           m.PlanHits + b.PlanHits,
+		PlanMisses:         m.PlanMisses + b.PlanMisses,
 		ReadActions:        m.ReadActions + b.ReadActions,
 		WriteActions:       m.WriteActions + b.WriteActions,
 		RepeatActions:      m.RepeatActions + b.RepeatActions,
@@ -397,6 +407,16 @@ func (m *Meter) CountContention(lockWaitNanos, snapshotsStarted, writeConflicts 
 	m.Metrics.LockWaitNanos += lockWaitNanos
 	m.Metrics.SnapshotsStarted += snapshotsStarted
 	m.Metrics.WriteConflicts += writeConflicts
+}
+
+// CountPlans folds server-reported plan-cache outcomes into the meter:
+// statements that executed a cached AST (zero parser work) vs. ones
+// that paid a full parse.
+func (m *Meter) CountPlans(hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Metrics.PlanHits += hits
+	m.Metrics.PlanMisses += misses
 }
 
 // CountAction records one completed user action: a read (Query, Expand,

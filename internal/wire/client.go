@@ -55,13 +55,26 @@ func (c *Client) ExecPrepared(ctx context.Context, handle uint32, params ...type
 // so the charged volume is the post-compression one.
 func (c *Client) roundTrip(ctx context.Context, body []byte) ([]byte, error) {
 	if err := CheckFrameSize(body); err != nil {
+		putFrame(body)
 		return nil, err
 	}
 	respBody, err := c.tr.RoundTrip(ctx, body)
+	// The request frame is dead once the round trip returns: every
+	// transport in this package hands it off synchronously (in-process
+	// dispatch copies what it keeps; streams write it out).
+	putFrame(body)
 	if err != nil {
 		return nil, err
 	}
-	return MaybeDecompress(respBody)
+	plain, err := MaybeDecompress(respBody)
+	if err != nil {
+		return nil, err
+	}
+	if !sameBuf(plain, respBody) {
+		// Inflation produced a new body; the compressed envelope recycles.
+		putFrame(respBody)
+	}
+	return plain, nil
 }
 
 // Negotiate performs the session-open capability handshake: the wanted
@@ -74,6 +87,9 @@ func (c *Client) Negotiate(ctx context.Context, want Caps) (Caps, error) {
 	if err != nil {
 		return Caps{}, err
 	}
+	// Decoding copies every string and value it keeps, so the response
+	// body recycles once this call returns.
+	defer putFrame(respBody)
 	if len(respBody) > 0 && respBody[0] == TypeError {
 		return Caps{}, nil
 	}
@@ -85,6 +101,7 @@ func (c *Client) exec(ctx context.Context, req *Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer putFrame(respBody)
 	resp, err := DecodeResponse(respBody)
 	if err != nil {
 		return nil, err
@@ -102,6 +119,7 @@ func (c *Client) Prepare(ctx context.Context, sql string) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer putFrame(respBody)
 	if len(respBody) > 0 && respBody[0] == TypeError {
 		resp, err := DecodeResponse(respBody)
 		if err != nil {
@@ -124,6 +142,7 @@ func (c *Client) Validate(ctx context.Context, checks []StaleCheck) ([]int64, er
 	if err != nil {
 		return nil, err
 	}
+	defer putFrame(respBody)
 	if len(respBody) > 0 && respBody[0] == TypeError {
 		resp, err := DecodeResponse(respBody)
 		if err != nil {
@@ -143,6 +162,7 @@ func (c *Client) Sync(ctx context.Context, since uint64) (*storage.Delta, error)
 	if err != nil {
 		return nil, err
 	}
+	defer putFrame(respBody)
 	if len(respBody) > 0 && respBody[0] == TypeError {
 		resp, err := DecodeResponse(respBody)
 		if err != nil {
@@ -160,6 +180,7 @@ func (c *Client) Close(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	defer putFrame(respBody)
 	resp, err := DecodeResponse(respBody)
 	if err != nil {
 		return err
@@ -184,6 +205,7 @@ func (c *Client) ExecBatch(ctx context.Context, reqs []*Request) ([]*Response, e
 	if err != nil {
 		return nil, err
 	}
+	defer putFrame(respBody)
 	// A server that could not decode the batch at all answers with a
 	// plain error frame; surface its diagnostic instead of a frame-type
 	// mismatch.
@@ -261,6 +283,9 @@ func (fa *frameAccountant) account(request, response []byte) {
 	}
 	if len(request) > 0 && request[0] == TypePrepare {
 		if resp, err := MaybeDecompress(response); err == nil {
+			if !sameBuf(resp, response) {
+				defer putFrame(resp)
+			}
 			if sql, err := DecodePrepare(request); err == nil {
 				if h, err := DecodePrepareResp(resp); err == nil {
 					if fa.sqlLen == nil {
@@ -288,6 +313,9 @@ func countContention(meter *netsim.Meter, st minisql.ContentionStats) {
 		return
 	}
 	meter.CountContention(st.LockWaitNanos, st.SnapshotsStarted, st.WriteConflicts)
+	if st.PlanHits != 0 || st.PlanMisses != 0 {
+		meter.CountPlans(st.PlanHits, st.PlanMisses)
+	}
 }
 
 // MeteredChannel executes requests against an in-process server

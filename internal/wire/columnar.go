@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"pdmtune/internal/minisql/storage"
 	"pdmtune/internal/minisql/types"
@@ -37,6 +38,28 @@ const (
 	colEncFloat = 3 // raw 8-byte IEEE 754 bits
 	colEncBool  = 4 // value bitmap
 )
+
+// colBuilder is the scratch state of one text-column encode: the
+// distinct-string dictionary and its insertion order. Both recycle via
+// colBuilders — a busy columnar server builds one per text column per
+// response, and the map alone is several allocations to rebuild.
+type colBuilder struct {
+	dict  map[string]uint64
+	order []string
+}
+
+var colBuilders = sync.Pool{
+	New: func() any { return &colBuilder{dict: make(map[string]uint64, 16)} },
+}
+
+// release clears the builder (dropping its string references so row
+// text cannot be pinned by the pool) and recycles it.
+func (cb *colBuilder) release() {
+	clear(cb.dict)
+	clear(cb.order)
+	cb.order = cb.order[:0]
+	colBuilders.Put(cb)
+}
 
 // zigzag maps signed deltas to unsigned varint-friendly space.
 func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
@@ -108,8 +131,8 @@ func appendColumn(b []byte, rows []storage.Row, col int) []byte {
 			prev = v
 		}
 	case colEncText:
-		dict := make(map[string]uint64)
-		var order []string
+		cb := colBuilders.Get().(*colBuilder)
+		dict, order := cb.dict, cb.order
 		for _, row := range rows {
 			if row[col].IsNull() {
 				continue
@@ -131,6 +154,8 @@ func appendColumn(b []byte, rows []storage.Row, col int) []byte {
 			}
 			b = binary.AppendUvarint(b, dict[row[col].Text()])
 		}
+		cb.order = order
+		cb.release()
 	case colEncFloat:
 		for _, row := range rows {
 			if row[col].IsNull() {
@@ -178,7 +203,7 @@ func EncodeResponseV2(resp *Response) []byte {
 	if resp.Err != "" || (len(resp.Rows) > 0 && len(resp.Cols) == 0) {
 		return EncodeResponse(resp)
 	}
-	b := []byte{TypeResultV2}
+	b := append(getFrame(), TypeResultV2)
 	b = appendUint64(b, resp.Epoch)
 	b = appendUint32(b, uint32(resp.RowsAffected))
 	b = appendUint32(b, uint32(len(resp.Cols)))
@@ -397,12 +422,13 @@ func EncodeBatchResponseWith(resps []*Response, columnar bool) []byte {
 	if !columnar {
 		return EncodeBatchResponse(resps)
 	}
-	b := []byte{TypeBatchResp}
+	b := append(getFrame(), TypeBatchResp)
 	b = appendUint32(b, uint32(len(resps)))
 	for _, resp := range resps {
 		sub := EncodeResponseV2(resp)
 		b = appendUint32(b, uint32(len(sub)))
 		b = append(b, sub...)
+		putFrame(sub)
 	}
 	return b
 }

@@ -74,7 +74,7 @@ func encodeCaps(tag byte, caps Caps) []byte {
 		// into a tiny threshold that compresses everything.
 		threshold = MaxFrameSize
 	}
-	b := []byte{tag, flags}
+	b := append(getFrame(), tag, flags)
 	return appendUint32(b, uint32(threshold))
 }
 
@@ -120,6 +120,17 @@ var flateWriters = sync.Pool{
 	},
 }
 
+// sliceWriter is an io.Writer appending into a recycled frame buffer —
+// what CompressBody and MaybeDecompress hand the flate codec so their
+// output rides pool-backed memory instead of a fresh bytes.Buffer per
+// frame.
+type sliceWriter struct{ b []byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
 func CompressBody(body []byte, threshold int) []byte {
 	if threshold <= 0 {
 		threshold = DefaultCompressThreshold
@@ -127,21 +138,18 @@ func CompressBody(body []byte, threshold int) []byte {
 	if len(body) < threshold {
 		return body
 	}
-	var buf bytes.Buffer
-	buf.WriteByte(TypeCompressed)
-	buf.Write(binary.AppendUvarint(nil, uint64(len(body))))
+	sw := &sliceWriter{b: append(getFrame(), TypeCompressed)}
+	sw.b = binary.AppendUvarint(sw.b, uint64(len(body)))
 	w := flateWriters.Get().(*flate.Writer)
-	w.Reset(&buf)
+	w.Reset(sw)
 	_, werr := w.Write(body)
 	cerr := w.Close()
 	flateWriters.Put(w)
-	if werr != nil || cerr != nil {
-		return body
+	if werr == nil && cerr == nil && len(sw.b) < len(body) {
+		return sw.b
 	}
-	if buf.Len() >= len(body) {
-		return body
-	}
-	return buf.Bytes()
+	putFrame(sw.b)
+	return body
 }
 
 // CompressedOriginalSize reports the pre-compression body size of a
@@ -177,19 +185,19 @@ func MaybeDecompress(body []byte) ([]byte, error) {
 	rest = rest[n:]
 	r := flate.NewReader(bytes.NewReader(rest))
 	defer r.Close()
-	// The recorded size is attacker-controlled: cap the up-front
-	// allocation and let the buffer grow with the bytes that actually
-	// inflate, so a tiny frame claiming 1 GB cannot OOM the client.
-	capHint := orig
-	if capHint > 1<<16 {
-		capHint = 1 << 16
-	}
-	buf := bytes.NewBuffer(make([]byte, 0, capHint))
-	if _, err := io.Copy(buf, io.LimitReader(r, int64(orig)+1)); err != nil {
+	// The recorded size is attacker-controlled: start from a recycled
+	// buffer and let it grow with the bytes that actually inflate, so a
+	// tiny frame claiming 1 GB cannot OOM the client. The io.Copy bound
+	// is one past the recorded size to detect over-long streams.
+	sw := &sliceWriter{b: getFrame()}
+	if _, err := io.Copy(sw, io.LimitReader(r, int64(orig)+1)); err != nil {
+		putFrame(sw.b)
 		return nil, fmt.Errorf("wire: inflate: %w", err)
 	}
-	if uint64(buf.Len()) != orig {
-		return nil, fmt.Errorf("wire: compressed frame inflates to %d bytes, header says %d", buf.Len(), orig)
+	if uint64(len(sw.b)) != orig {
+		n := len(sw.b)
+		putFrame(sw.b)
+		return nil, fmt.Errorf("wire: compressed frame inflates to %d bytes, header says %d", n, orig)
 	}
-	return buf.Bytes(), nil
+	return sw.b, nil
 }

@@ -172,7 +172,9 @@ func (p *Pool) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
 				return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)}), nil
 			}
 			return p.execRemapped(ctx, []*Request{req}, func(pc *poolConn) []byte {
-				return pc.conn.Handle(EncodeExec(req))
+				body := EncodeExec(req)
+				defer putFrame(body)
+				return pc.conn.Handle(body)
 			})
 		case TypeBatch:
 			reqs, err := DecodeBatch(request)
@@ -180,7 +182,9 @@ func (p *Pool) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
 				return EncodeResponse(&Response{Err: fmt.Sprintf("bad batch: %v", err)}), nil
 			}
 			return p.execRemapped(ctx, reqs, func(pc *poolConn) []byte {
-				return pc.conn.Handle(EncodeBatch(reqs))
+				body := EncodeBatch(reqs)
+				defer putFrame(body)
+				return pc.conn.Handle(body)
 			})
 		}
 	}
@@ -278,11 +282,18 @@ func (p *Pool) connHandle(pc *poolConn, poolHandle uint32) (uint32, error) {
 	if !ok {
 		return 0, fmt.Errorf("no prepared statement with handle %d", poolHandle)
 	}
-	resp := pc.conn.Handle(EncodePrepare(sql))
-	resp, err := MaybeDecompress(resp)
+	prep := EncodePrepare(sql)
+	raw := pc.conn.Handle(prep)
+	putFrame(prep)
+	resp, err := MaybeDecompress(raw)
 	if err != nil {
 		return 0, err
 	}
+	if !sameBuf(resp, raw) {
+		putFrame(raw)
+	}
+	// The decoded handle (or error message) is all this exchange keeps.
+	defer putFrame(resp)
 	if len(resp) > 0 && resp[0] == TypeError {
 		r, err := DecodeResponse(resp)
 		if err != nil {

@@ -7,7 +7,6 @@ import (
 
 	"pdmtune/internal/minisql"
 	"pdmtune/internal/minisql/ast"
-	"pdmtune/internal/minisql/parser"
 )
 
 // Server fronts a minisql database with the wire protocol. One Server
@@ -148,9 +147,15 @@ func (c *ServerConn) encodeResult(resp *Response) []byte {
 // a body only the compressed form fits under the limit is fine to send.
 func (c *ServerConn) finish(body []byte) []byte {
 	if c.caps.Compress {
-		body = CompressBody(body, c.caps.CompressThreshold)
+		if compressed := CompressBody(body, c.caps.CompressThreshold); !sameBuf(compressed, body) {
+			// Compression produced a new frame; the uncompressed body is
+			// dead and its buffer recycles.
+			putFrame(body)
+			body = compressed
+		}
 	}
 	if limit := c.responseLimit(); len(body) > limit {
+		putFrame(body)
 		return EncodeResponse(&Response{
 			Err: (&FrameTooLargeError{Size: len(body), Limit: limit}).Error(),
 		})
@@ -178,13 +183,15 @@ func (c *ServerConn) handleHello(reqBody []byte) []byte {
 }
 
 // handlePrepare parses the statement once and stores it under a fresh
-// handle. Parse errors surface at prepare time, not at execution.
+// handle. Parse errors surface at prepare time, not at execution. The
+// parse goes through the session's plan cache, so many connections
+// preparing the same statement share one AST.
 func (c *ServerConn) handlePrepare(reqBody []byte) []byte {
 	sql, err := DecodePrepare(reqBody)
 	if err != nil {
 		return EncodeResponse(&Response{Err: fmt.Sprintf("bad prepare: %v", err)})
 	}
-	stmt, err := parser.Parse(sql)
+	stmt, err := c.session.Parse(sql)
 	if err != nil {
 		return EncodeResponse(&Response{Err: err.Error()})
 	}
@@ -300,7 +307,14 @@ func (c *ServerConn) Serve(stream io.ReadWriter) error {
 			}
 			return err
 		}
-		if err := WriteFrame(stream, c.Handle(body)); err != nil {
+		resp := c.Handle(body)
+		// Dispatch copied everything it kept from the request, and the
+		// response bytes are on the wire after WriteFrame: both frames
+		// recycle, so a steady-state serve loop allocates no frame memory.
+		putFrame(body)
+		err = WriteFrame(stream, resp)
+		putFrame(resp)
+		if err != nil {
 			return err
 		}
 	}

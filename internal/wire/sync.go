@@ -20,7 +20,7 @@ import (
 // EncodeSync serializes a replica's delta pull: the epoch it last
 // synced to (0 for a full bootstrap).
 func EncodeSync(since uint64) []byte {
-	b := []byte{TypeSync}
+	b := append(getFrame(), TypeSync)
 	return appendUint64(b, since)
 }
 
@@ -42,7 +42,7 @@ const (
 
 // EncodeSyncResp serializes a replication delta.
 func EncodeSyncResp(d *storage.Delta) []byte {
-	b := []byte{TypeSyncResp}
+	b := append(getFrame(), TypeSyncResp)
 	b = appendUint64(b, d.Since)
 	b = appendUint64(b, d.Epoch)
 	b = appendUint32(b, uint32(len(d.Stamps)))
@@ -225,7 +225,7 @@ func DecodeSyncResp(b []byte) (*storage.Delta, error) {
 
 // EncodeClose serializes a connection-teardown frame: the server
 // releases every statement this connection prepared.
-func EncodeClose() []byte { return []byte{TypeClose} }
+func EncodeClose() []byte { return append(getFrame(), TypeClose) }
 
 // DecodeClose validates a close frame body.
 func DecodeClose(b []byte) error {

@@ -213,7 +213,7 @@ func ReadValue(b []byte) (types.Value, []byte, error) {
 // EncodeRequest serializes a request frame body (without the outer
 // length prefix).
 func EncodeRequest(req *Request) []byte {
-	b := []byte{TypeRequest}
+	b := append(getFrame(), TypeRequest)
 	b = appendString(b, req.SQL)
 	b = appendUint32(b, uint32(len(req.Params)))
 	for _, p := range req.Params {
@@ -251,10 +251,10 @@ func DecodeRequest(b []byte) (*Request, error) {
 // EncodeResponse serializes a response frame body.
 func EncodeResponse(resp *Response) []byte {
 	if resp.Err != "" {
-		b := []byte{TypeError}
+		b := append(getFrame(), TypeError)
 		return appendString(b, resp.Err)
 	}
-	b := []byte{TypeResult}
+	b := append(getFrame(), TypeResult)
 	b = appendUint64(b, resp.Epoch)
 	b = appendUint32(b, uint32(resp.RowsAffected))
 	b = appendUint32(b, uint32(len(resp.Cols)))
@@ -337,7 +337,7 @@ func DecodeResponse(b []byte) (*Response, error) {
 // handle — the classic request-volume lever the paper attributes to
 // stored procedures, applied to plain statements.
 func EncodePrepare(sql string) []byte {
-	b := []byte{TypePrepare}
+	b := append(getFrame(), TypePrepare)
 	return appendString(b, sql)
 }
 
@@ -353,7 +353,7 @@ func DecodePrepare(b []byte) (string, error) {
 // EncodePrepareResp serializes the server's answer to a prepare: the
 // statement handle valid for this connection.
 func EncodePrepareResp(handle uint32) []byte {
-	b := []byte{TypePrepareResp}
+	b := append(getFrame(), TypePrepareResp)
 	return appendUint32(b, handle)
 }
 
@@ -369,7 +369,7 @@ func DecodePrepareResp(b []byte) (uint32, error) {
 // EncodeExecPrepared serializes an execution of a prepared statement:
 // handle plus parameter values, no SQL text.
 func EncodeExecPrepared(handle uint32, params []types.Value) []byte {
-	b := []byte{TypeExecPrepared}
+	b := append(getFrame(), TypeExecPrepared)
 	b = appendUint32(b, handle)
 	b = appendUint32(b, uint32(len(params)))
 	for _, p := range params {
@@ -420,7 +420,7 @@ type StaleCheck struct {
 // entry, revalidating a whole cached tree costs a small fraction of
 // re-fetching its node records.
 func EncodeValidate(checks []StaleCheck) []byte {
-	b := []byte{TypeValidate}
+	b := append(getFrame(), TypeValidate)
 	b = appendUint32(b, uint32(len(checks)))
 	for _, c := range checks {
 		b = appendUint64(b, uint64(c.ID))
@@ -457,7 +457,7 @@ func DecodeValidate(b []byte) ([]StaleCheck, error) {
 // EncodeValidateResp serializes the server's answer: the ids whose
 // objects changed after their given epoch (the stale subset).
 func EncodeValidateResp(stale []int64) []byte {
-	b := []byte{TypeValidateResp}
+	b := append(getFrame(), TypeValidateResp)
 	b = appendUint32(b, uint32(len(stale)))
 	for _, id := range stale {
 		b = appendUint64(b, uint64(id))
@@ -514,12 +514,13 @@ func DecodeExec(b []byte) (*Request, error) {
 // stay exact: the WAN meter charges the tag, the count, and 4 bytes of
 // framing per statement — nothing more.
 func EncodeBatch(reqs []*Request) []byte {
-	b := []byte{TypeBatch}
+	b := append(getFrame(), TypeBatch)
 	b = appendUint32(b, uint32(len(reqs)))
 	for _, req := range reqs {
 		sub := EncodeExec(req)
 		b = appendUint32(b, uint32(len(sub)))
 		b = append(b, sub...)
+		putFrame(sub)
 	}
 	return b
 }
@@ -565,12 +566,13 @@ func DecodeBatch(b []byte) ([]*Request, error) {
 // executed statement; a trailing error response marks where execution
 // stopped.
 func EncodeBatchResponse(resps []*Response) []byte {
-	b := []byte{TypeBatchResp}
+	b := append(getFrame(), TypeBatchResp)
 	b = appendUint32(b, uint32(len(resps)))
 	for _, resp := range resps {
 		sub := EncodeResponse(resp)
 		b = appendUint32(b, uint32(len(sub)))
 		b = append(b, sub...)
+		putFrame(sub)
 	}
 	return b
 }
@@ -694,7 +696,7 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrameSize {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	body := make([]byte, n)
+	body := getFrameN(int(n))
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, err
 	}
