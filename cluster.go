@@ -67,6 +67,10 @@ type Cluster struct {
 	sys   *System
 	sites map[string]*topology.Site
 	order []string
+	// ha is the failover control plane: fencing terms, the per-server
+	// fences, the session registry promotions re-route, and the
+	// fault-injection seam. See ha.go.
+	ha haState
 }
 
 // NewCluster creates a PDM cluster: a primary system (rules may be nil
@@ -85,6 +89,9 @@ func NewCluster(rules *RuleTable, sites ...SiteConfig) (*Cluster, error) {
 		if sc.Name == PrimarySite {
 			return nil, fmt.Errorf("pdmtune: site name %q is reserved for the primary", PrimarySite)
 		}
+		if sc.Name == DemotedPrimarySite {
+			return nil, fmt.Errorf("pdmtune: site name %q is reserved for a rejoining deposed primary", DemotedPrimarySite)
+		}
 		if _, dup := cl.sites[sc.Name]; dup {
 			return nil, fmt.Errorf("pdmtune: duplicate site %q", sc.Name)
 		}
@@ -101,6 +108,12 @@ func NewCluster(rules *RuleTable, sites ...SiteConfig) (*Cluster, error) {
 		pull := &wire.MeteredChannel{Conn: sys.Server.NewConn(), Meter: meter}
 		cl.sites[sc.Name] = topology.New(sc.Name, rdb, pull, meter, link)
 		cl.order = append(cl.order, sc.Name)
+	}
+	if len(cl.sites) > 0 {
+		// A cluster with replicas runs fenced: every server gets a fence,
+		// every pull a term stamp and a retry policy. Site-less systems
+		// keep the pre-HA wire format untouched.
+		cl.enableFencing()
 	}
 	return cl, nil
 }

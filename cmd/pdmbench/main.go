@@ -24,6 +24,11 @@
 //	pdmbench -parse           # SQL front end: tokenizer/parser MB/s and allocs per
 //	                          # statement, warm and cold (combine with -json for
 //	                          # BENCH_parse.json records)
+//	pdmbench -failover        # kill the primary under write traffic: time to a
+//	                          # health-checked promotion, writes refused while
+//	                          # primary-less, lost acknowledged writes (none), and
+//	                          # post-rejoin convergence (combine with -json for
+//	                          # BENCH_failover.json records)
 //	pdmbench -json            # machine-readable metrics for all scenarios (stdout;
 //	                          # display modes are ignored so the output stays pure
 //	                          # JSON; combine with -compress to add the negotiated
@@ -38,11 +43,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
 	"pdmtune"
 	"pdmtune/internal/costmodel"
+	"pdmtune/internal/netsim"
 )
 
 func main() {
@@ -59,6 +66,7 @@ func main() {
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
 	advise := flag.Bool("advise", false, "run the auto-tuning advisor over three workload shapes")
 	parse := flag.Bool("parse", false, "benchmark the SQL tokenizer and parser (throughput and allocs)")
+	failover := flag.Bool("failover", false, "kill the primary under write traffic and measure the health-checked failover")
 	users := flag.Int("users", 0, "run the concurrent-users benchmark with N sessions")
 	poolSize := flag.Int("pool", 32, "connection-pool size for -users sessions")
 	userOps := flag.Int("ops", 20, "operations per user for -users")
@@ -77,6 +85,10 @@ func main() {
 	}
 	if *parse {
 		runParse(*jsonOut)
+		return
+	}
+	if *failover {
+		runFailover(*jsonOut)
 		return
 	}
 
@@ -962,4 +974,206 @@ func runAblation() {
 		}
 	}
 	fmt.Println()
+}
+
+// ---------------------------------------------------------------------------
+// Failover (-failover)
+
+// failoverJSONRecord is the BENCH_failover.json record: one measured
+// kill-the-primary run.
+type failoverJSONRecord struct {
+	Scenario         string  `json:"scenario"`
+	Sites            int     `json:"sites"`
+	WritesAcked      int     `json:"writes_acked"`
+	WritesRefused    int     `json:"writes_refused_primaryless"`
+	TimeToRecoverSec float64 `json:"time_to_recover_sec"`
+	LostAckedWrites  int     `json:"lost_acked_writes"`
+	DumpsConverged   bool    `json:"dumps_converged"`
+	FencingTerm      uint64  `json:"fencing_term"`
+	HealthProbes     int     `json:"health_probes"`
+	ProbeFailures    int     `json:"probe_failures"`
+}
+
+// runFailover builds a two-replica cluster, drives check-out/check-in
+// traffic from a replica session, kills the primary's transport, and
+// measures the health-checked failover: how long until a write commits
+// again, how many writes were structurally refused while the cluster
+// was primary-less, and — after the old primary rejoins — that no
+// acknowledged write was lost anywhere.
+func runFailover(jsonOut bool) {
+	cl, err := pdmtune.NewCluster(nil,
+		pdmtune.SiteConfig{Name: "munich"}, pdmtune.SiteConfig{Name: "tokyo"})
+	if err != nil {
+		fail(err)
+	}
+	prod, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 4, Branch: 3, Sigma: 0.7, Seed: 42})
+	if err != nil {
+		fail(err)
+	}
+	ctx := context.Background()
+	if err := cl.SyncAll(ctx); err != nil {
+		fail(err)
+	}
+	plan := &netsim.FaultPlan{}
+	cl.SetTransportWrapper(func(target string, tr pdmtune.Transport) pdmtune.Transport {
+		if target == pdmtune.PrimarySite {
+			return netsim.NewFaultInjector(tr, plan)
+		}
+		return tr
+	})
+	sess, err := cl.OpenAt(ctx, "munich")
+	if err != nil {
+		fail(err)
+	}
+	defer sess.Close()
+	ck := cl.WatchPrimary(pdmtune.HealthConfig{Threshold: 3})
+
+	acked := 0
+	// cycle runs one check-out/check-in pair, counting each granted op
+	// as one acknowledged write. A pair left half-done by an outage is
+	// completed by the next call: the re-checkout is denied (the user
+	// still holds the subtree) and the check-in releases it.
+	cycle := func() error {
+		res, err := sess.CheckOut(ctx, prod.RootID)
+		if err != nil {
+			return err
+		}
+		if res.Granted {
+			acked++
+		}
+		res, err = sess.CheckIn(ctx, prod.RootID)
+		if err != nil {
+			return err
+		}
+		if res.Granted {
+			acked++
+		}
+		return nil
+	}
+	for i := 0; i < 5; i++ {
+		if err := cycle(); err != nil {
+			fail(err)
+		}
+	}
+
+	// Kill the primary's transport and keep writing. Every refusal is a
+	// structured error (never a silent drop); each one drives a health
+	// probe, so after Threshold failed probes the checker auto-promotes
+	// the best replica and the next write lands on the new primary.
+	plan.Kill()
+	killedAt := time.Now()
+	refused := 0
+	recoverSec := float64(0)
+	for {
+		if err := cycle(); err != nil {
+			refused++
+			ck.CheckNow(ctx)
+			if refused > 1000 {
+				fail(fmt.Errorf("no recovery after %d refused writes: %w", refused, err))
+			}
+			continue
+		}
+		recoverSec = time.Since(killedAt).Seconds()
+		break
+	}
+	for i := 0; i < 5; i++ {
+		if err := cycle(); err != nil {
+			fail(err)
+		}
+	}
+
+	// The dead primary comes back and rejoins as a replica; after one
+	// full sync round every database must agree, and every acknowledged
+	// check-in must have survived (no subtree left checked out).
+	plan.Revive()
+	if _, err := cl.Rejoin(ctx); err != nil {
+		fail(err)
+	}
+	if err := cl.SyncAll(ctx); err != nil {
+		fail(err)
+	}
+	dump := func(site string) string {
+		s, err := cl.OpenAt(ctx, site)
+		if err != nil {
+			fail(err)
+		}
+		defer s.Close()
+		var b strings.Builder
+		for _, table := range []string{"assy", "comp", "link"} {
+			resp, err := s.Exec(ctx, "SELECT * FROM "+table)
+			if err != nil {
+				fail(err)
+			}
+			lines := make([]string, 0, len(resp.Rows))
+			for _, row := range resp.Rows {
+				parts := make([]string, len(row))
+				for j, v := range row {
+					parts[j] = v.String()
+				}
+				lines = append(lines, table+"|"+strings.Join(parts, "|"))
+			}
+			sort.Strings(lines)
+			b.WriteString(strings.Join(lines, "\n"))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+	primaryName := cl.PrimaryName()
+	want := dump(primaryName)
+	converged := true
+	for _, site := range cl.SiteNames() {
+		if site != primaryName && dump(site) != want {
+			converged = false
+		}
+	}
+	lost := 0
+	{
+		s, err := cl.OpenAt(ctx, primaryName)
+		if err != nil {
+			fail(err)
+		}
+		defer s.Close()
+		for _, table := range []string{"assy", "comp"} {
+			resp, err := s.Exec(ctx, "SELECT obid FROM "+table+" WHERE checkedout = TRUE")
+			if err != nil {
+				fail(err)
+			}
+			lost += len(resp.Rows)
+		}
+	}
+	hm := cl.HealthMetrics()
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]failoverJSONRecord{{
+			Scenario:         "kill-primary",
+			Sites:            len(cl.SiteNames()),
+			WritesAcked:      acked,
+			WritesRefused:    refused,
+			TimeToRecoverSec: recoverSec,
+			LostAckedWrites:  lost,
+			DumpsConverged:   converged,
+			FencingTerm:      cl.Term(),
+			HealthProbes:     hm.HealthProbes,
+			ProbeFailures:    hm.ProbeFailures,
+		}}); err != nil {
+			fail(err)
+		}
+		if lost != 0 || !converged {
+			fail(fmt.Errorf("failover lost %d acknowledged writes (converged=%v)", lost, converged))
+		}
+		return
+	}
+	fmt.Println("Failover — primary killed under check-out/check-in traffic (δ=4, β=3, 2 sites)")
+	fmt.Printf("  new primary %q at fencing term %d after %d health probes (%d failed)\n",
+		primaryName, cl.Term(), hm.HealthProbes, hm.ProbeFailures)
+	fmt.Printf("  writes acknowledged: %d   refused while primary-less: %d   lost: %d\n",
+		acked, refused, lost)
+	fmt.Printf("  time to recover (kill -> first committed write): %.3fs\n", recoverSec)
+	fmt.Printf("  databases converged after rejoin: %v\n", converged)
+	fmt.Println()
+	if lost != 0 || !converged {
+		fail(fmt.Errorf("failover lost %d acknowledged writes (converged=%v)", lost, converged))
+	}
 }

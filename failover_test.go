@@ -1,0 +1,584 @@
+package pdmtune_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pdmtune"
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+)
+
+// treeBytes serializes an expand result (via the shared flattenTree
+// helper) for byte-identical comparisons across failovers.
+func treeBytes(t *testing.T, res *pdmtune.ActionResult) string {
+	t.Helper()
+	if res == nil || res.Tree == nil {
+		t.Fatal("action returned no tree")
+	}
+	return string(flattenTree(res.Tree))
+}
+
+// killPlanWrapper installs a fault injector on every transport the
+// cluster builds toward the named target, all sharing one plan — so
+// one Kill models the target's process death.
+func killPlanWrapper(cl *pdmtune.Cluster, target string) *netsim.FaultPlan {
+	plan := &netsim.FaultPlan{}
+	cl.SetTransportWrapper(func(tgt string, tr pdmtune.Transport) pdmtune.Transport {
+		if tgt == target {
+			return netsim.NewFaultInjector(tr, plan)
+		}
+		return tr
+	})
+	return plan
+}
+
+// TestTransientFaultsMidMLERecover: connection drops in the middle of
+// a multi-level expand are retried transparently (reads are
+// idempotent) and the tree is byte-identical to an undisturbed run.
+func TestTransientFaultsMidMLERecover(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"})
+	prod, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 4, Branch: 3, Sigma: 0.7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var injectors []*netsim.FaultInjector
+	cl.SetTransportWrapper(func(target string, tr pdmtune.Transport) pdmtune.Transport {
+		if target == pdmtune.PrimarySite {
+			fi := netsim.NewFaultInjector(tr, nil)
+			injectors = append(injectors, fi)
+			return fi
+		}
+		return tr
+	})
+	sess, err := cl.OpenAt(ctx, pdmtune.PrimarySite, pdmtune.WithLink(pdmtune.LAN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	undisturbed, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := treeBytes(t, undisturbed)
+	for _, fi := range injectors {
+		fi.FailNext(2)
+	}
+	disturbed, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatalf("MLE with injected connection drops: %v", err)
+	}
+	if got := treeBytes(t, disturbed); got != want {
+		t.Fatal("tree differs after mid-MLE connection drops")
+	}
+	if m := sess.Metrics(); m.Retries == 0 {
+		t.Fatal("no retries recorded — the faults were not exercised")
+	}
+}
+
+// TestKillPrimaryFailover: the primary dies; the health checker
+// detects it and auto-promotes the best replica; reads keep flowing
+// throughout, the tree after failover is byte-identical, and writes
+// resume against the new primary through the already-open session.
+func TestKillPrimaryFailover(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"}, pdmtune.SiteConfig{Name: "tokyo"})
+	prod, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 4, Branch: 3, Sigma: 0.7, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	plan := killPlanWrapper(cl, pdmtune.PrimarySite)
+
+	sess, err := cl.OpenAt(ctx, "munich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	before, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := treeBytes(t, before)
+
+	// A write before the outage works (and is undone so the tree stays
+	// comparable).
+	if res, err := sess.CheckOut(ctx, prod.RootID); err != nil || !res.Granted {
+		t.Fatalf("pre-outage check-out: %+v, %v", res, err)
+	}
+	if res, err := sess.CheckIn(ctx, prod.RootID); err != nil || !res.Granted {
+		t.Fatalf("pre-outage check-in: %+v, %v", res, err)
+	}
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	plan.Kill()
+
+	// Writes fail structurally while the cluster is primary-less —
+	// never silently, never retried.
+	var cce *pdmtune.ConnClosedError
+	if _, err := sess.CheckOut(ctx, prod.RootID); !errors.As(err, &cce) {
+		t.Fatalf("write into dead primary: %v, want *ConnClosedError", err)
+	}
+	// Reads at the replica keep flowing.
+	if _, err := sess.Expand(ctx, prod.RootID); err != nil {
+		t.Fatalf("replica read during outage: %v", err)
+	}
+
+	// The health checker crosses its threshold; the third failed probe
+	// triggers PromoteBest synchronously, which ends by resetting the
+	// checker onto the (healthy) new primary — so Down() is false again
+	// and a fresh probe succeeds.
+	ck := cl.WatchPrimary(pdmtune.HealthConfig{Threshold: 3})
+	for i := 0; i < 3; i++ {
+		ck.CheckNow(ctx)
+	}
+	if name := cl.PrimaryName(); name != "munich" && name != "tokyo" {
+		t.Fatalf("PrimaryName = %q after auto-failover", name)
+	}
+	ck.CheckNow(ctx)
+	if ck.Down() || ck.Failures() != 0 {
+		t.Fatalf("checker not healthy against the new primary: down=%v failures=%d", ck.Down(), ck.Failures())
+	}
+	if cl.Term() != 2 {
+		t.Fatalf("Term = %d after one promotion, want 2", cl.Term())
+	}
+
+	// The tree after failover is byte-identical to the pre-outage one.
+	after, err := sess.MultiLevelExpand(ctx, prod.RootID)
+	if err != nil {
+		t.Fatalf("MLE after failover: %v", err)
+	}
+	if got := treeBytes(t, after); got != want {
+		t.Fatal("tree differs after failover")
+	}
+
+	// The open session's writes were re-routed transparently.
+	if res, err := sess.CheckOut(ctx, prod.RootID); err != nil || !res.Granted {
+		t.Fatalf("post-failover check-out: %+v, %v", res, err)
+	}
+	if res, err := sess.CheckIn(ctx, prod.RootID); err != nil || !res.Granted {
+		t.Fatalf("post-failover check-in: %+v, %v", res, err)
+	}
+	if hm := cl.HealthMetrics(); hm.HealthProbes < 3 || hm.ProbeFailures < 3 {
+		t.Fatalf("health metrics = %d probes / %d failures, want >= 3/3", hm.HealthProbes, hm.ProbeFailures)
+	}
+}
+
+// TestPromoteUnderConcurrentWriters: a planned failover races real
+// check-out/check-in traffic. Every acknowledged write survives:
+// writers only see structured, retryable errors, and after the dust
+// settles the primary, the replicas and the rejoined old primary hold
+// identical databases with every subtree checked back in.
+func TestPromoteUnderConcurrentWriters(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"}, pdmtune.SiteConfig{Name: "tokyo"})
+	prod, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 3, Branch: 3, Sigma: 0.7, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, iters = 3, 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			site := []string{pdmtune.PrimarySite, "munich", "tokyo"}[w%3]
+			opts := []pdmtune.Option{}
+			if site == pdmtune.PrimarySite {
+				opts = append(opts, pdmtune.WithLink(pdmtune.LAN()))
+			}
+			sess, err := cl.OpenAt(ctx, site, opts...)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer sess.Close()
+			acked := 0
+			spins := 0
+			for i := 0; i < iters; {
+				res, err := sess.CheckOut(ctx, prod.RootID)
+				if err != nil {
+					if retryableWriteErr(err) {
+						if spins++; spins > 20000 {
+							errCh <- fmt.Errorf("writer %d: wedged retrying check-out: %v", w, err)
+							return
+						}
+						continue
+					}
+					errCh <- fmt.Errorf("writer %d: check-out: %w", w, err)
+					return
+				}
+				if !res.Granted {
+					if spins++; spins > 20000 {
+						errCh <- fmt.Errorf("writer %d: wedged on denied check-out (updated=%d)", w, res.Updated)
+						return
+					}
+					continue // another writer holds the subtree
+				}
+				spins = 0
+				acked++
+				for {
+					res, err = sess.CheckIn(ctx, prod.RootID)
+					if err != nil {
+						if retryableWriteErr(err) {
+							continue
+						}
+						errCh <- fmt.Errorf("writer %d: check-in: %w", w, err)
+						return
+					}
+					break
+				}
+				if !res.Granted {
+					errCh <- fmt.Errorf("writer %d: check-in of own check-out denied", w)
+					return
+				}
+				acked++
+				i++
+			}
+			if acked == 0 {
+				errCh <- fmt.Errorf("writer %d: no write ever acknowledged", w)
+			}
+		}(w)
+	}
+
+	// Promote mid-traffic; in-flight candidate writes make the precheck
+	// refuse, so spin until the window opens.
+	var promoteErr error
+	for {
+		promoteErr = cl.Promote(ctx, "tokyo")
+		var pe *pdmtune.PromoteError
+		if errors.As(promoteErr, &pe) && pe.Stage == "inflight" {
+			continue
+		}
+		break
+	}
+	if promoteErr != nil {
+		t.Fatalf("Promote under writers: %v", promoteErr)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	if cl.PrimaryName() != "tokyo" || cl.Term() != 2 {
+		t.Fatalf("after promotion: primary=%q term=%d", cl.PrimaryName(), cl.Term())
+	}
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Rejoin(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	newPrimary, err := cl.OpenAt(ctx, "tokyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newPrimary.Close()
+	want := dumpVia(t, newPrimary)
+	for _, site := range []string{"munich", pdmtune.DemotedPrimarySite} {
+		sess, err := cl.OpenAt(ctx, site)
+		if err != nil {
+			t.Fatalf("open at %s: %v", site, err)
+		}
+		if got := dumpVia(t, sess); got != want {
+			t.Errorf("site %s diverged from the new primary after promotion", site)
+		}
+		sess.Close()
+	}
+	// Every acknowledged check-out was paired with an acknowledged
+	// check-in, so nothing may be left checked out anywhere.
+	resp, err := newPrimary.Exec(ctx, "SELECT obid FROM assy WHERE checkedout = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 0 {
+		t.Fatalf("%d assemblies left checked out — an acknowledged check-in was lost", len(resp.Rows))
+	}
+}
+
+// retryableWriteErr classifies the errors a writer may legally see
+// during a promotion: a fence refusal (the write provably never
+// executed) or a lost write race.
+func retryableWriteErr(err error) bool {
+	var fe *pdmtune.FencedError
+	var ce *pdmtune.ConflictError
+	return errors.As(err, &fe) || errors.As(err, &ce)
+}
+
+// TestSplitBrainRejection: after an unplanned failover the deposed
+// primary refuses stale writes with *FencedError (as does the new
+// primary for stale-term clients), and Rejoin discards its divergent
+// tail and converges it to the new primary's state.
+func TestSplitBrainRejection(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"})
+	prod, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 3, Branch: 2, Sigma: 1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	plan := killPlanWrapper(cl, pdmtune.PrimarySite)
+
+	// An acknowledged write the replica never saw: the unavoidable loss
+	// window of asynchronous replication — Rejoin must erase it, not
+	// resurrect it as a divergent timeline.
+	psess, err := cl.OpenAt(ctx, pdmtune.PrimarySite, pdmtune.WithLink(pdmtune.LAN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psess.Close()
+	if res, err := psess.CheckOut(ctx, prod.RootID); err != nil || !res.Granted {
+		t.Fatalf("divergent check-out: %+v, %v", res, err)
+	}
+
+	plan.Kill()
+	if err := cl.Promote(ctx, "munich"); err != nil {
+		t.Fatalf("Promote with dead primary: %v", err)
+	}
+
+	// Split brain, side one: a client that still believes term 1 writes
+	// to the deposed primary.
+	staleTerm := wire.TermSource(func() (uint64, bool) { return 1, true })
+	atOld := wire.NewClient(&wire.MeteredChannel{Conn: cl.Primary().Server.NewConn()})
+	atOld.SetTermSource(staleTerm)
+	var fe *wire.FencedError
+	if _, err := atOld.Exec(ctx, "UPDATE assy SET checkedout = TRUE"); !errors.As(err, &fe) {
+		t.Fatalf("stale write at deposed primary: %v, want *FencedError", err)
+	} else if !fe.Deposed {
+		t.Fatalf("FencedError = %+v, want Deposed", fe)
+	}
+	// Side two: the same stale client against the new primary.
+	munich, _ := cl.Site("munich")
+	atNew := wire.NewClient(&wire.MeteredChannel{Conn: munich.Server().NewConn()})
+	atNew.SetTermSource(staleTerm)
+	if _, err := atNew.Exec(ctx, "UPDATE assy SET checkedout = TRUE"); !errors.As(err, &fe) {
+		t.Fatalf("stale write at new primary: %v, want *FencedError", err)
+	} else if fe.Deposed || fe.ServerTerm != 2 {
+		t.Fatalf("FencedError = %+v, want stale-term refusal at term 2", fe)
+	}
+
+	// The old primary comes back and rejoins as a replica.
+	plan.Revive()
+	if _, err := cl.Rejoin(ctx); err != nil {
+		t.Fatalf("Rejoin: %v", err)
+	}
+	rejoined, err := cl.OpenAt(ctx, pdmtune.DemotedPrimarySite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rejoined.Close()
+	newPrimary, err := cl.OpenAt(ctx, "munich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer newPrimary.Close()
+	if dumpVia(t, rejoined) != dumpVia(t, newPrimary) {
+		t.Fatal("rejoined old primary did not converge to the new primary")
+	}
+	// The divergent check-out is gone everywhere.
+	resp, err := newPrimary.Exec(ctx, "SELECT obid FROM assy WHERE checkedout = TRUE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 0 {
+		t.Fatal("the divergent timeline's write survived the rejoin")
+	}
+	// A second Rejoin is refused.
+	if _, err := cl.Rejoin(ctx); err == nil {
+		t.Fatal("double Rejoin accepted")
+	}
+	// The rejoined replica keeps up with new-primary writes.
+	if res, err := newPrimary.CheckOut(ctx, prod.RootID); err != nil || !res.Granted {
+		t.Fatalf("write at new primary after rejoin: %+v, %v", res, err)
+	}
+	if _, err := cl.SyncSite(ctx, pdmtune.DemotedPrimarySite); err != nil {
+		t.Fatal(err)
+	}
+	if dumpVia(t, rejoined) != dumpVia(t, newPrimary) {
+		t.Fatal("rejoined replica fell behind after sync")
+	}
+}
+
+// TestNeverSyncedSiteBootstrapsFromNewPrimary: a site that never
+// synced before the failover bootstraps its full state from the new
+// primary.
+func TestNeverSyncedSiteBootstrapsFromNewPrimary(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"}, pdmtune.SiteConfig{Name: "osaka"})
+	if _, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 3, Branch: 3, Sigma: 0.6, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cl.SyncSite(ctx, "munich"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Promote(ctx, "munich"); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	// osaka's first contact with the cluster is after the promotion:
+	// its bootstrap pull must come from the new primary.
+	osaka, err := cl.OpenAt(ctx, "osaka")
+	if err != nil {
+		t.Fatalf("bootstrap open after promotion: %v", err)
+	}
+	defer osaka.Close()
+	munich, err := cl.OpenAt(ctx, "munich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer munich.Close()
+	if dumpVia(t, osaka) != dumpVia(t, munich) {
+		t.Fatal("never-synced site bootstrapped a different state than the new primary")
+	}
+}
+
+// TestConcurrentSyncAndPromote: replication pulls race a promotion
+// (run with -race). Pulls may fail with structured errors during the
+// window, but nothing corrupts: afterwards every site converges.
+func TestConcurrentSyncAndPromote(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"}, pdmtune.SiteConfig{Name: "tokyo"})
+	if _, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 3, Branch: 3, Sigma: 0.6, Seed: 13}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, site := range []string{"munich", "tokyo"} {
+		wg.Add(1)
+		go func(site string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Pulls during the promotion window may be fenced or cut;
+				// both are expected and retried by the next iteration.
+				_, _ = cl.SyncSite(ctx, site)
+			}
+		}(site)
+	}
+	if err := cl.Promote(ctx, "tokyo"); err != nil {
+		t.Fatalf("Promote racing syncs: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatalf("SyncAll after promotion: %v", err)
+	}
+	tokyo, err := cl.OpenAt(ctx, "tokyo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tokyo.Close()
+	munich, err := cl.OpenAt(ctx, "munich")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer munich.Close()
+	if dumpVia(t, munich) != dumpVia(t, tokyo) {
+		t.Fatal("sites diverged after promotion racing syncs")
+	}
+}
+
+// TestPromotePrechecks: the structured refusals of Promote.
+func TestPromotePrechecks(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"}, pdmtune.SiteConfig{Name: "tokyo"})
+	if _, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 2, Branch: 2, Sigma: 1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var pe *pdmtune.PromoteError
+	if err := cl.Promote(ctx, "nowhere"); !errors.As(err, &pe) || pe.Stage != "unknown-site" {
+		t.Fatalf("unknown site: %v", err)
+	}
+	// Candidate unreachable: no quorum can include it.
+	plan := killPlanWrapper(cl, "tokyo")
+	plan.Kill()
+	if err := cl.Promote(ctx, "tokyo"); !errors.As(err, &pe) || pe.Stage != "quorum" {
+		t.Fatalf("unreachable candidate: %v", err)
+	}
+	plan.Revive()
+	if err := cl.Promote(ctx, "tokyo"); err != nil {
+		t.Fatalf("Promote after revive: %v", err)
+	}
+	if err := cl.Promote(ctx, "tokyo"); !errors.As(err, &pe) || pe.Stage != "already-primary" {
+		t.Fatalf("re-promoting the primary: %v", err)
+	}
+	// A deposed-but-alive old primary means no epochs were lost; the
+	// promotion was fenced and caught up, so the replica reads the same
+	// state the old primary held.
+	if cl.Term() != 2 || cl.PrimaryName() != "tokyo" {
+		t.Fatalf("term=%d primary=%q", cl.Term(), cl.PrimaryName())
+	}
+}
+
+// TestPromoteEpochLagBound: with the old primary dead AND stale
+// replicas, the lag bound refuses the promotion (and rolls the fence
+// back) unless the caller raises it.
+func TestPromoteEpochLagBound(t *testing.T) {
+	cl := newTestCluster(t, pdmtune.SiteConfig{Name: "munich"}, pdmtune.SiteConfig{Name: "tokyo"})
+	prod, err := cl.LoadProduct(pdmtune.ProductConfig{Depth: 3, Branch: 2, Sigma: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := cl.SyncAll(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// munich keeps syncing, tokyo falls behind by a few epochs.
+	psess, err := cl.OpenAt(ctx, pdmtune.PrimarySite, pdmtune.WithLink(pdmtune.LAN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer psess.Close()
+	if res, err := psess.CheckOut(ctx, prod.RootID); err != nil || !res.Granted {
+		t.Fatalf("check-out: %+v, %v", res, err)
+	}
+	if _, err := cl.SyncSite(ctx, "munich"); err != nil {
+		t.Fatal(err)
+	}
+	plan := killPlanWrapper(cl, pdmtune.PrimarySite)
+	plan.Kill()
+	// tokyo lags munich; with the default zero bound the promotion of
+	// tokyo must refuse rather than silently discard epochs.
+	var pe *pdmtune.PromoteError
+	if err := cl.Promote(ctx, "tokyo"); !errors.As(err, &pe) || pe.Stage != "epoch-lag" {
+		t.Fatalf("lagging candidate with dead primary: %v, want epoch-lag refusal", err)
+	}
+	// The refusal rolled the fence back: munich (current) still works.
+	if err := cl.Promote(ctx, "munich"); err != nil {
+		t.Fatalf("promoting the caught-up replica: %v", err)
+	}
+	// Raising the bound is the explicit opt-in to losing those epochs.
+	cl.SetPromoteConfig(pdmtune.PromoteConfig{MaxEpochLag: 1 << 30})
+	if err := cl.Promote(ctx, "tokyo"); err != nil {
+		t.Fatalf("Promote with raised lag bound: %v", err)
+	}
+	if cl.PrimaryName() != "tokyo" || cl.Term() != 3 {
+		t.Fatalf("primary=%q term=%d", cl.PrimaryName(), cl.Term())
+	}
+}

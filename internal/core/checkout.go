@@ -110,8 +110,11 @@ func checkableNodes(tree *Tree) int {
 // write path's WAN meter when the session has one, the session meter
 // otherwise.
 func (c *Client) conflictMeter() *netsim.Meter {
-	if c.writeMeter != nil {
-		return c.writeMeter
+	c.writeMu.RLock()
+	wm := c.writeMeter
+	c.writeMu.RUnlock()
+	if wm != nil {
+		return wm
 	}
 	return c.meter
 }
@@ -184,23 +187,28 @@ func (c *Client) setCheckedOut(ctx context.Context, tree *Tree, out bool) (int, 
 		for i, sql := range stmts {
 			reqs[i] = &wire.Request{SQL: sql}
 		}
-		resps, err := c.writeSQL.ExecBatch(ctx, reqs)
-		for _, resp := range resps {
+		err := c.withWrite(func(w *wire.Client, _ map[string]uint32) error {
+			updated = 0
+			resps, err := w.ExecBatch(ctx, reqs)
+			for _, resp := range resps {
+				updated += resp.RowsAffected
+			}
+			return err
+		})
+		return updated, err
+	}
+	err := c.withWrite(func(w *wire.Client, _ map[string]uint32) error {
+		updated = 0
+		for _, sql := range stmts {
+			resp, err := w.Exec(ctx, sql)
+			if err != nil {
+				return err
+			}
 			updated += resp.RowsAffected
 		}
-		if err != nil {
-			return updated, err
-		}
-		return updated, nil
-	}
-	for _, sql := range stmts {
-		resp, err := c.writeSQL.Exec(ctx, sql)
-		if err != nil {
-			return updated, err
-		}
-		updated += resp.RowsAffected
-	}
-	return updated, nil
+		return nil
+	})
+	return updated, err
 }
 
 // setCheckedOutPrepared flips the flag with one batch of per-node
@@ -213,28 +221,34 @@ func (c *Client) setCheckedOutPrepared(ctx context.Context, tree *Tree, out bool
 	tree.Walk(func(n *Node) {
 		ids[n.Type] = append(ids[n.Type], n.ObID)
 	})
-	var reqs []*wire.Request
-	for _, table := range []string{"assy", "comp"} {
-		if len(ids[table]) == 0 {
-			continue
-		}
-		h, err := c.ensurePreparedWrite(ctx, checkedOutUpdateSQL(table, out))
-		if err != nil {
-			return 0, err
-		}
-		for _, obid := range ids[table] {
-			params := []types.Value{types.NewText(c.user.Name), types.NewInt(obid)}
-			if !out {
-				params = []types.Value{types.NewInt(obid), types.NewText(c.user.Name)}
-			}
-			reqs = append(reqs, &wire.Request{Prepared: true, Handle: h, Params: params})
-		}
-	}
-	resps, err := c.writeSQL.ExecBatch(ctx, reqs)
 	updated := 0
-	for _, resp := range resps {
-		updated += resp.RowsAffected
-	}
+	// Prepare and execute against one snapshot of the write path: a
+	// fenced re-issue after failover re-prepares on the new primary.
+	err := c.withWrite(func(w *wire.Client, handles map[string]uint32) error {
+		updated = 0
+		var reqs []*wire.Request
+		for _, table := range []string{"assy", "comp"} {
+			if len(ids[table]) == 0 {
+				continue
+			}
+			h, err := c.ensurePreparedWrite(ctx, w, handles, checkedOutUpdateSQL(table, out))
+			if err != nil {
+				return err
+			}
+			for _, obid := range ids[table] {
+				params := []types.Value{types.NewText(c.user.Name), types.NewInt(obid)}
+				if !out {
+					params = []types.Value{types.NewInt(obid), types.NewText(c.user.Name)}
+				}
+				reqs = append(reqs, &wire.Request{Prepared: true, Handle: h, Params: params})
+			}
+		}
+		resps, err := w.ExecBatch(ctx, reqs)
+		for _, resp := range resps {
+			updated += resp.RowsAffected
+		}
+		return err
+	})
 	return updated, err
 }
 
@@ -256,7 +270,12 @@ func (c *Client) callCheckProc(ctx context.Context, proc string, root int64) (*C
 	c.countAction(proc, root, true)
 	call := fmt.Sprintf("CALL %s(%d, %s, %s, %d, %d)",
 		proc, root, sqlText(c.user.Name), sqlText(c.user.Options), c.user.EffFrom, c.user.EffTo)
-	resp, err := c.writeSQL.Exec(ctx, call)
+	var resp *wire.Response
+	err := c.withWrite(func(w *wire.Client, _ map[string]uint32) error {
+		var err error
+		resp, err = w.Exec(ctx, call)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -34,6 +35,12 @@ type Client struct {
 	user     UserContext
 	strategy costmodel.Strategy
 
+	// writeMu guards the write path's identity: a failover re-points
+	// writeSQL at the new primary from the cluster's goroutine while the
+	// session's own goroutine may be mid-action. Ops snapshot the
+	// (client, handle registry) pair under the read lock, so a handle is
+	// only ever executed on the connection that prepared it.
+	writeMu sync.RWMutex
 	// writeSQL is the write path: check-out/check-in updates, CALLs and
 	// raw DML. It equals sql for a single-server client; a client at a
 	// replica site points it at the primary (SetPrimary), so reads stay
@@ -45,8 +52,12 @@ type Client struct {
 	writeMeter *netsim.Meter
 	// writeHandles caches prepared-statement handles of the write
 	// connection (handles are connection-scoped, so the read and write
-	// paths each keep their own registry).
+	// paths each keep their own registry; SetPrimary swaps the map
+	// wholesale rather than mutating it).
 	writeHandles map[string]uint32
+	// term is the cluster fencing-term source, re-applied to every
+	// write client SetPrimary creates.
+	term wire.TermSource
 	// site triggers replica syncs at read time (nil for single-server
 	// clients); see SetSiteSync and fetch_route.go.
 	site *siteRouting
@@ -80,6 +91,11 @@ type Client struct {
 	// probes, modify) as prepared executions: the SQL text travels once
 	// per session, every repetition is handle + parameters.
 	prepared bool
+	// handleMu guards handles: Reroute clears the cache from the
+	// cluster's goroutine while the session's own goroutine may be
+	// preparing (the cleared entries simply re-prepare at the new
+	// server).
+	handleMu sync.Mutex
 	// handles caches the server-side handle of each prepared SQL text.
 	handles map[string]uint32
 	// preparedSQL caches the parameterized (and rule-modified) statement
@@ -240,16 +256,97 @@ func (c *Client) Cache() *cache.Store { return c.structs }
 // — the cluster's primary server — while reads keep flowing over the
 // client's own (site-local) transport. meter accounts the primary
 // path's traffic and may be nil. Passing a nil transport reunifies the
-// paths.
+// paths. Safe to call from another goroutine (a failover re-points
+// open sessions' writes); in-flight write ops finish against the old
+// path and are transparently re-issued when the old primary fences
+// them (see withWrite).
 func (c *Client) SetPrimary(tr wire.Transport, meter *netsim.Meter) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
 	if tr == nil {
 		c.writeSQL = c.sql
 		c.writeMeter = nil
+		c.writeHandles = map[string]uint32{}
 		return
 	}
-	c.writeSQL = wire.NewClient(tr)
+	w := wire.NewClient(tr)
+	if c.term != nil {
+		w.SetTermSource(c.term)
+	}
+	c.writeSQL = w
 	c.writeMeter = meter
 	c.writeHandles = map[string]uint32{}
+}
+
+// SetTermSource installs the cluster fencing-term source: write frames
+// carry the term, so a deposed primary refuses them instead of
+// accepting a write the cluster has moved past. Applied to both paths
+// and re-applied to every future write client.
+func (c *Client) SetTermSource(ts wire.TermSource) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	c.term = ts
+	c.sql.SetTermSource(ts)
+	if c.writeSQL != c.sql {
+		c.writeSQL.SetTermSource(ts)
+	}
+}
+
+// SetRetry installs the read path's retry policy: idempotent exchanges
+// (fetches, probes, validates) ride out transient connection loss with
+// capped backoff. The write path never retries at the wire layer.
+func (c *Client) SetRetry(p *wire.RetryPolicy) {
+	c.sql.SetRetry(p)
+}
+
+// writePath snapshots the write path under the lock: the client and
+// the handle registry that belongs to it.
+func (c *Client) writePath() (*wire.Client, map[string]uint32) {
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	return c.writeSQL, c.writeHandles
+}
+
+// withWrite runs one write operation against the current write path.
+// When the op comes back fenced — the primary was deposed mid-flight —
+// the fenced frame provably never executed, so if a failover has
+// re-pointed the write path in the meantime (a new write client, or
+// the same client re-routed onto a new transport) the op is re-issued
+// once against the new primary; a fenced error with nowhere new to go
+// is returned to the caller.
+func (c *Client) withWrite(op func(w *wire.Client, handles map[string]uint32) error) error {
+	w, h := c.writePath()
+	gen := w.TransportGen()
+	err := op(w, h)
+	var fe *wire.FencedError
+	if err == nil || !errors.As(err, &fe) {
+		return err
+	}
+	w2, h2 := c.writePath()
+	if w2 == w && w2.TransportGen() == gen {
+		return err
+	}
+	return op(w2, h2)
+}
+
+// Reroute swaps the client's entire path — reads and writes — onto tr.
+// The cluster calls it during a failover for sessions attached to the
+// deposed primary's own server: unlike a replica-site session there is
+// no local database behind such a session, so after the promotion its
+// reads would be frozen at the fencing instant forever. The installed
+// term source and retry policy carry over; prepared handles are
+// connection-scoped, so both handle caches are dropped and statements
+// re-prepare on first use at the new server.
+func (c *Client) Reroute(tr wire.Transport) {
+	c.writeMu.Lock()
+	c.sql.SetTransport(tr)
+	c.writeSQL = c.sql
+	c.writeMeter = nil
+	c.writeHandles = map[string]uint32{}
+	c.writeMu.Unlock()
+	c.handleMu.Lock()
+	c.handles = map[string]uint32{}
+	c.handleMu.Unlock()
 }
 
 // Syncer pulls a replica site forward from its primary. It is
@@ -308,17 +405,27 @@ func (c *Client) StalenessBound() (time.Duration, bool) {
 // client remains usable — later prepared executions re-prepare.
 func (c *Client) Close(ctx context.Context) error {
 	var firstErr error
-	if len(c.handles) > 0 {
+	c.handleMu.Lock()
+	prepared := len(c.handles) > 0
+	if prepared {
+		c.handles = map[string]uint32{}
+	}
+	c.handleMu.Unlock()
+	if prepared {
 		if err := c.sql.Close(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		c.handles = map[string]uint32{}
 	}
-	if c.writeSQL != c.sql && len(c.writeHandles) > 0 {
-		if err := c.writeSQL.Close(ctx); err != nil && firstErr == nil {
+	w, handles := c.writePath()
+	if w != c.sql && len(handles) > 0 {
+		if err := w.Close(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		c.writeHandles = map[string]uint32{}
+		c.writeMu.Lock()
+		if c.writeSQL == w {
+			c.writeHandles = map[string]uint32{}
+		}
+		c.writeMu.Unlock()
 	}
 	return firstErr
 }
@@ -384,8 +491,11 @@ func (c *Client) ResetMetrics() {
 	if c.meter != nil {
 		c.meter.Reset()
 	}
-	if c.writeMeter != nil && c.writeMeter != c.meter {
-		c.writeMeter.Reset()
+	c.writeMu.RLock()
+	wm := c.writeMeter
+	c.writeMu.RUnlock()
+	if wm != nil && wm != c.meter {
+		wm.Reset()
 	}
 }
 
@@ -396,10 +506,16 @@ func (c *Client) ResetMetrics() {
 // queries run against the local replica, everything else (DML, DDL,
 // CALL, transaction control) goes to the primary.
 func (c *Client) Exec(ctx context.Context, sql string, params ...minisql.Value) (*wire.Response, error) {
-	if c.writeSQL != c.sql && !isReadOnlySQL(sql) {
-		return c.writeSQL.Exec(ctx, sql, params...)
+	if isReadOnlySQL(sql) {
+		return c.sql.Exec(ctx, sql, params...)
 	}
-	return c.sql.Exec(ctx, sql, params...)
+	var resp *wire.Response
+	err := c.withWrite(func(w *wire.Client, _ map[string]uint32) error {
+		var err error
+		resp, err = w.Exec(ctx, sql, params...)
+		return err
+	})
+	return resp, err
 }
 
 // isReadOnlySQL reports whether a raw statement is a pure read — one a
@@ -429,32 +545,38 @@ func (c *Client) modifier() *Modifier { return &Modifier{Rules: c.rules, User: c
 // a statement text, preparing it on first use (one extra round trip
 // per session and text).
 func (c *Client) ensurePrepared(ctx context.Context, sql string) (uint32, error) {
-	if h, ok := c.handles[sql]; ok {
+	c.handleMu.Lock()
+	h, ok := c.handles[sql]
+	c.handleMu.Unlock()
+	if ok {
 		return h, nil
 	}
 	h, err := c.sql.Prepare(ctx, sql)
 	if err != nil {
 		return 0, err
 	}
+	c.handleMu.Lock()
 	c.handles[sql] = h
+	c.handleMu.Unlock()
 	return h, nil
 }
 
-// ensurePreparedWrite is ensurePrepared for the write connection —
+// ensurePreparedWrite is ensurePrepared for a snapshotted write path —
 // handles are connection-scoped, so a statement prepared at a replica
-// is useless at the primary and vice versa.
-func (c *Client) ensurePreparedWrite(ctx context.Context, sql string) (uint32, error) {
-	if c.writeSQL == c.sql {
+// is useless at the primary and vice versa, and a handle must only
+// ever execute on the (w, handles) pair it was prepared against.
+func (c *Client) ensurePreparedWrite(ctx context.Context, w *wire.Client, handles map[string]uint32, sql string) (uint32, error) {
+	if w == c.sql {
 		return c.ensurePrepared(ctx, sql)
 	}
-	if h, ok := c.writeHandles[sql]; ok {
+	if h, ok := handles[sql]; ok {
 		return h, nil
 	}
-	h, err := c.writeSQL.Prepare(ctx, sql)
+	h, err := w.Prepare(ctx, sql)
 	if err != nil {
 		return 0, err
 	}
-	c.writeHandles[sql] = h
+	handles[sql] = h
 	return h, nil
 }
 
@@ -472,8 +594,11 @@ func (c *Client) snapshot() netsim.Metrics {
 	if c.meter != nil {
 		m = c.meter.Snapshot()
 	}
-	if c.writeMeter != nil && c.writeMeter != c.meter {
-		m = m.Add(c.writeMeter.Snapshot())
+	c.writeMu.RLock()
+	wm := c.writeMeter
+	c.writeMu.RUnlock()
+	if wm != nil && wm != c.meter {
+		m = m.Add(wm.Snapshot())
 	}
 	return m
 }
@@ -493,8 +618,12 @@ func (c *Client) countAction(action string, target int64, write bool) {
 	}
 	c.seenActions[key] = true
 	m := c.meter
-	if write && c.writeMeter != nil {
-		m = c.writeMeter
+	if write {
+		c.writeMu.RLock()
+		if c.writeMeter != nil {
+			m = c.writeMeter
+		}
+		c.writeMu.RUnlock()
 	}
 	if m != nil {
 		m.CountAction(write, repeat)

@@ -1,0 +1,121 @@
+package failover
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdmtune/internal/netsim"
+	"pdmtune/internal/wire"
+)
+
+// scriptedProber answers probes from a queue of errors (nil = success).
+type scriptedProber struct {
+	errs []error
+	st   wire.Status
+}
+
+func (p *scriptedProber) Status(context.Context) (wire.Status, error) {
+	if len(p.errs) == 0 {
+		return p.st, nil
+	}
+	err := p.errs[0]
+	p.errs = p.errs[1:]
+	if err != nil {
+		return wire.Status{}, err
+	}
+	return p.st, nil
+}
+
+func TestCheckerThreshold(t *testing.T) {
+	down := errors.New("down")
+	prober := &scriptedProber{errs: []error{nil, down, down, down}, st: wire.Status{Term: 7, Epoch: 42}}
+	fired := 0
+	m := netsim.NewMeter(netsim.LAN())
+	ck := New(prober, Config{Threshold: 3}, m, func() { fired++ })
+	ctx := context.Background()
+
+	if ok, isDown := ck.CheckNow(ctx); !ok || isDown {
+		t.Fatalf("healthy probe: ok=%v down=%v", ok, isDown)
+	}
+	if st := ck.LastStatus(); st.Term != 7 || st.Epoch != 42 {
+		t.Fatalf("LastStatus = %+v", st)
+	}
+	// Two failures: below threshold, no transition.
+	for i := 0; i < 2; i++ {
+		if _, isDown := ck.CheckNow(ctx); isDown {
+			t.Fatalf("down after %d failures (threshold 3)", i+1)
+		}
+	}
+	if fired != 0 {
+		t.Fatalf("onDown fired below threshold")
+	}
+	// Third consecutive failure crosses the threshold, firing once.
+	if _, isDown := ck.CheckNow(ctx); !isDown {
+		t.Fatal("not down after 3 consecutive failures")
+	}
+	if fired != 1 || !ck.Down() || ck.Failures() != 3 {
+		t.Fatalf("fired=%d down=%v failures=%d", fired, ck.Down(), ck.Failures())
+	}
+	// Recovery resets the count and the verdict without re-firing.
+	if ok, isDown := ck.CheckNow(ctx); !ok || isDown {
+		t.Fatalf("recovered probe: ok=%v down=%v", ok, isDown)
+	}
+	if fired != 1 || ck.Failures() != 0 {
+		t.Fatalf("after recovery: fired=%d failures=%d", fired, ck.Failures())
+	}
+	got := m.Snapshot()
+	if got.HealthProbes != 5 || got.ProbeFailures != 3 {
+		t.Fatalf("metered probes = %d/%d, want 5/3", got.HealthProbes, got.ProbeFailures)
+	}
+}
+
+func TestCheckerFiresOncePerTransition(t *testing.T) {
+	down := errors.New("down")
+	prober := &scriptedProber{errs: []error{down, down, down, down, down}}
+	fired := 0
+	ck := New(prober, Config{Threshold: 2}, nil, func() { fired++ })
+	for i := 0; i < 5; i++ {
+		ck.CheckNow(context.Background())
+	}
+	if fired != 1 {
+		t.Fatalf("onDown fired %d times for one down transition", fired)
+	}
+}
+
+func TestCheckerReset(t *testing.T) {
+	down := errors.New("down")
+	ck := New(&scriptedProber{errs: []error{down, down, down}}, Config{Threshold: 2}, nil, nil)
+	ctx := context.Background()
+	ck.CheckNow(ctx)
+	ck.CheckNow(ctx)
+	if !ck.Down() {
+		t.Fatal("not down")
+	}
+	// Reset with a healthy prober: the failover re-aimed the checker.
+	ck.Reset(&scriptedProber{st: wire.Status{Term: 2}})
+	if ck.Down() || ck.Failures() != 0 {
+		t.Fatalf("after Reset: down=%v failures=%d", ck.Down(), ck.Failures())
+	}
+	if ok, _ := ck.CheckNow(ctx); !ok {
+		t.Fatal("new prober not in effect after Reset")
+	}
+}
+
+func TestCheckerStartStop(t *testing.T) {
+	prober := &scriptedProber{st: wire.Status{Term: 1}}
+	ck := New(prober, Config{Interval: time.Millisecond, Threshold: 1}, nil, nil)
+	ck.Start()
+	ck.Start() // second Start is a no-op, not a second loop
+	deadline := time.After(2 * time.Second)
+	for ck.LastStatus().Term != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("background loop never probed")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	ck.Stop()
+	ck.Stop() // idempotent
+}

@@ -12,6 +12,7 @@
 package minisql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -164,11 +165,30 @@ func (db *DB) ExtractDelta(since uint64) *storage.Delta {
 // table; replica readers see the delta atomically when the final epoch
 // fast-forward publishes it.
 func (db *DB) ApplyDelta(d *storage.Delta) error {
+	return db.ApplyDeltaCtx(context.Background(), d)
+}
+
+// ApplyDeltaCtx is ApplyDelta with cancellation: the context is checked
+// between tables and a cancelled apply rolls back completely, leaving
+// no partial state (see storage.DB.ApplyDeltaCtx).
+func (db *DB) ApplyDeltaCtx(ctx context.Context, d *storage.Delta) error {
 	if db.options().CoarseLocking {
 		db.coarse.Lock()
 		defer db.coarse.Unlock()
 	}
-	return db.store.ApplyDelta(d)
+	return db.store.ApplyDeltaCtx(ctx, d)
+}
+
+// DiscardSince erases every row modified after the given epoch — the
+// rewind a deposed primary performs before rejoining as a replica. It
+// reports whether anything was discarded (see storage.DB.DiscardSince
+// for why that forces the next pull to be a full one).
+func (db *DB) DiscardSince(since uint64) (bool, error) {
+	if db.options().CoarseLocking {
+		db.coarse.Lock()
+		defer db.coarse.Unlock()
+	}
+	return db.store.DiscardSince(since)
 }
 
 // LastModified returns the epoch of the last mutation of the object

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -248,8 +249,24 @@ func (t *Table) deleteAt(id int, epoch uint64) (func(), error) {
 // left untouched. The write latches of every affected table are held
 // (in sorted order) for the duration.
 func (db *DB) ApplyDelta(d *Delta) error {
+	return db.ApplyDeltaCtx(context.Background(), d)
+}
+
+// ApplyDeltaCtx is ApplyDelta with cancellation: the context is checked
+// before any mutation and again between tables, and a cancelled apply
+// rolls back completely — the replica keeps its pre-apply state, never
+// a partially applied delta. (Within one table the apply is not
+// interruptible; tables are the granularity at which a pull of many
+// tables can be abandoned early.)
+func (db *DB) ApplyDeltaCtx(ctx context.Context, d *Delta) error {
 	if d == nil {
 		return fmt.Errorf("storage: nil delta")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	var undo []func()
 	// catUndo reverses catalog changes (created tables and indexes,
@@ -296,13 +313,55 @@ func (db *DB) ApplyDelta(d *Delta) error {
 		}
 	}()
 	for i := range d.Tables {
+		if err := ctx.Err(); err != nil {
+			rollback()
+			return err
+		}
 		if err := applyTableDelta(targets[i], &d.Tables[i], d.Stamps, d.Epoch, &undo); err != nil {
 			rollback()
 			return err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		rollback()
+		return err
+	}
 	db.vlog.SyncTo(d.Epoch, d.Stamps)
 	return nil
+}
+
+// DiscardSince erases every row whose version key was modified after
+// the given epoch — the divergence-erasing step of a deposed primary's
+// rejoin: writes it accepted after the promotion base epoch were never
+// replicated, so before pulling from the new primary it rewinds to the
+// base and lets the following sync re-ship the authoritative rows. The
+// discard is a self-delta (this database's own stamps, no rows) and so
+// inherits ApplyDelta's atomicity. It reports whether anything was
+// discarded: a caller that erased divergent keys must make its next
+// pull a full one (since 0) — the new primary never modified those
+// keys, so an incremental delta would not re-ship their authoritative
+// rows.
+func (db *DB) DiscardSince(since uint64) (bool, error) {
+	stamps, epoch := db.vlog.ModifiedSince(since)
+	if len(stamps) == 0 {
+		return false, nil
+	}
+	d := &Delta{Since: since, Epoch: epoch, Stamps: stamps}
+	for _, name := range db.TableNames() {
+		t, ok := db.Table(name)
+		if !ok {
+			continue
+		}
+		_, verPos, vlog := t.meta()
+		if verPos < 0 || vlog == nil {
+			continue
+		}
+		d.Tables = append(d.Tables, TableDelta{
+			Schema:     t.Schema,
+			VersionKey: t.Schema.Cols[verPos].Name,
+		})
+	}
+	return true, db.ApplyDelta(d)
 }
 
 // ensureDeltaTable resolves (or creates) the delta's target table,

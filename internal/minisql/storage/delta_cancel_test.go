@@ -1,0 +1,137 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pdmtune/internal/minisql/types"
+)
+
+// gateCtx is a context whose Err() flips to Canceled after the first
+// n calls — it lets a test cancel an ApplyDeltaCtx deterministically at
+// a chosen checkpoint (before any mutation, between tables, before the
+// final publish) without goroutine timing.
+type gateCtx struct {
+	calls atomic.Int64
+	after int64
+}
+
+func (g *gateCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (g *gateCtx) Done() <-chan struct{}       { return nil }
+func (g *gateCtx) Value(any) any               { return nil }
+func (g *gateCtx) Err() error {
+	if g.calls.Add(1) > g.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func twoTableDelta(t *testing.T, primary *DB) *Delta {
+	t.Helper()
+	for _, name := range []string{"alpha", "beta"} {
+		tbl := mustCreate(t, primary, deltaSchema(name))
+		for i := int64(1); i <= 3; i++ {
+			if _, err := tbl.Insert(Row{types.NewInt(i*10 + int64(len(name))), types.NewText(fmt.Sprintf("%s%d", name, i))}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return primary.ExtractDelta(0)
+}
+
+// TestApplyDeltaCtxCancelledUpFront: an already-cancelled context
+// aborts before any mutation.
+func TestApplyDeltaCtxCancelledUpFront(t *testing.T) {
+	d := twoTableDelta(t, NewDB())
+	replica := NewDB()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := replica.ApplyDeltaCtx(ctx, d); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ApplyDeltaCtx = %v, want context.Canceled", err)
+	}
+	if _, ok := replica.Table("alpha"); ok {
+		t.Fatal("cancelled apply created a table")
+	}
+	if replica.Versions().Epoch() != 0 {
+		t.Fatal("cancelled apply advanced the version log")
+	}
+}
+
+// TestApplyDeltaCtxCancelledMidApply: a context cancelled between
+// tables rolls back everything — no partially applied delta is ever
+// observable, and a later retry with a live context succeeds.
+func TestApplyDeltaCtxCancelledMidApply(t *testing.T) {
+	primary := NewDB()
+	d := twoTableDelta(t, primary)
+	// The apply checks the context once up front and once per table;
+	// letting two checks pass cancels between the first and the second
+	// table's row work.
+	for _, after := range []int64{1, 2, 3} {
+		replica := NewDB()
+		err := replica.ApplyDeltaCtx(&gateCtx{after: after}, d)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("after=%d: ApplyDeltaCtx = %v, want context.Canceled", after, err)
+		}
+		// All-or-nothing: whatever checkpoint fired, no rows survive and
+		// the version log is untouched.
+		for _, name := range []string{"alpha", "beta"} {
+			if rows := dump(t, replica, name); len(rows) != 0 {
+				t.Fatalf("after=%d: %d rows of %s survived a cancelled apply", after, len(rows), name)
+			}
+		}
+		if replica.Versions().Epoch() != 0 {
+			t.Fatalf("after=%d: cancelled apply advanced the version log", after)
+		}
+		// The rollback leaves the replica fully usable: the same delta
+		// applies cleanly afterwards.
+		if err := replica.ApplyDeltaCtx(context.Background(), d); err != nil {
+			t.Fatalf("after=%d: retry: %v", after, err)
+		}
+		for _, name := range []string{"alpha", "beta"} {
+			if !reflect.DeepEqual(dump(t, replica, name), dump(t, primary, name)) {
+				t.Fatalf("after=%d: %s differs after retry", after, name)
+			}
+		}
+	}
+}
+
+// TestDiscardSinceReportsDivergence: no tail → (false, nil) and no
+// change; a divergent tail → (true, nil) with exactly the post-base
+// rows erased.
+func TestDiscardSinceReportsDivergence(t *testing.T) {
+	db := NewDB()
+	tbl := mustCreate(t, db, deltaSchema("obj"))
+	for i := int64(1); i <= 3; i++ {
+		if _, err := tbl.Insert(Row{types.NewInt(i), types.NewText(fmt.Sprintf("n%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := db.Versions().Epoch()
+	if discarded, err := db.DiscardSince(base); err != nil || discarded {
+		t.Fatalf("clean DiscardSince = %v, %v, want false, nil", discarded, err)
+	}
+	if got := len(dump(t, db, "obj")); got != 3 {
+		t.Fatalf("clean discard touched rows: %d left, want 3", got)
+	}
+	// Diverge: update key 2, insert key 4 above the base.
+	ids := tbl.IndexOn("obid").Lookup(types.NewInt(2))
+	if err := tbl.Update(ids[0], Row{types.NewInt(2), types.NewText("divergent")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(Row{types.NewInt(4), types.NewText("n4")}); err != nil {
+		t.Fatal(err)
+	}
+	discarded, err := db.DiscardSince(base)
+	if err != nil || !discarded {
+		t.Fatalf("divergent DiscardSince = %v, %v, want true, nil", discarded, err)
+	}
+	rows := dump(t, db, "obj")
+	if len(rows) != 2 || rows[0][0].Int() != 1 || rows[1][0].Int() != 3 {
+		t.Fatalf("post-discard rows = %v, want keys 1 and 3 only", rows)
+	}
+}

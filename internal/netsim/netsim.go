@@ -169,6 +169,15 @@ type Metrics struct {
 	// repeat-heavy workload (a structure cache would pay off) from a
 	// cold scan, visible even on sessions without a cache.
 	RepeatActions int
+	// Retries counts idempotent exchanges re-sent after connection
+	// loss; RetryGiveUps counts exchanges abandoned after the retry
+	// budget was exhausted.
+	Retries      int
+	RetryGiveUps int
+	// HealthProbes counts primary health checks issued by the failover
+	// monitor; ProbeFailures is the subset that timed out or errored.
+	HealthProbes  int
+	ProbeFailures int
 }
 
 // Actions is the total number of user actions in the window.
@@ -209,6 +218,10 @@ func (m Metrics) Sub(b Metrics) Metrics {
 		ReadActions:        m.ReadActions - b.ReadActions,
 		WriteActions:       m.WriteActions - b.WriteActions,
 		RepeatActions:      m.RepeatActions - b.RepeatActions,
+		Retries:            m.Retries - b.Retries,
+		RetryGiveUps:       m.RetryGiveUps - b.RetryGiveUps,
+		HealthProbes:       m.HealthProbes - b.HealthProbes,
+		ProbeFailures:      m.ProbeFailures - b.ProbeFailures,
 	}
 }
 
@@ -251,6 +264,10 @@ func (m Metrics) Add(b Metrics) Metrics {
 		ReadActions:        m.ReadActions + b.ReadActions,
 		WriteActions:       m.WriteActions + b.WriteActions,
 		RepeatActions:      m.RepeatActions + b.RepeatActions,
+		Retries:            m.Retries + b.Retries,
+		RetryGiveUps:       m.RetryGiveUps + b.RetryGiveUps,
+		HealthProbes:       m.HealthProbes + b.HealthProbes,
+		ProbeFailures:      m.ProbeFailures + b.ProbeFailures,
 	}
 }
 
@@ -432,6 +449,32 @@ func (m *Meter) CountAction(write, repeat bool) {
 	}
 	if repeat {
 		m.Metrics.RepeatActions++
+	}
+}
+
+// CountRetry records idempotent exchanges re-sent after connection
+// loss.
+func (m *Meter) CountRetry(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Metrics.Retries += n
+}
+
+// CountRetryGiveUp records exchanges abandoned with their retry budget
+// exhausted.
+func (m *Meter) CountRetryGiveUp(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Metrics.RetryGiveUps += n
+}
+
+// CountProbe records one primary health probe and whether it failed.
+func (m *Meter) CountProbe(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Metrics.HealthProbes++
+	if !ok {
+		m.Metrics.ProbeFailures++
 	}
 }
 

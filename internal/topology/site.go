@@ -29,14 +29,23 @@ type Site struct {
 	server *wire.Server
 	// primary pulls deltas from the primary server across the site's
 	// WAN link; its transport charges the site meter.
-	primary *wire.Client
-	meter   *netsim.Meter
-	link    netsim.Link
+	meter *netsim.Meter
+	link  netsim.Link
 
-	mu        sync.Mutex
+	mu sync.Mutex
+	// primary pulls deltas from the primary server across the site's
+	// WAN link; its transport charges the site meter. Repoint swaps it
+	// after a failover, so it lives under the site lock.
+	primary   *wire.Client
+	term      wire.TermSource
+	retry     *wire.RetryPolicy
 	lastEpoch uint64
 	lastSync  time.Time
 	synced    bool
+	// isPrimary marks a promoted site: its database is the cluster's
+	// write target, so pulls become no-ops (there is nothing upstream to
+	// pull from).
+	isPrimary bool
 }
 
 // New creates a site over an (empty, procedure-registered) replica
@@ -44,10 +53,17 @@ type Site struct {
 // profile and meter the meter that transport charges — both kept for
 // reporting.
 func New(name string, db *minisql.DB, primary wire.Transport, meter *netsim.Meter, link netsim.Link) *Site {
+	return NewWithServer(name, db, wire.NewServer(db), primary, meter, link)
+}
+
+// NewWithServer is New over an already-running wire server — how a
+// deposed primary rejoins the cluster as a replica without dropping
+// the sessions still connected to its server.
+func NewWithServer(name string, db *minisql.DB, server *wire.Server, primary wire.Transport, meter *netsim.Meter, link netsim.Link) *Site {
 	return &Site{
 		name:    name,
 		db:      db,
-		server:  wire.NewServer(db),
+		server:  server,
 		primary: wire.NewClient(primary),
 		meter:   meter,
 		link:    link,
@@ -66,6 +82,10 @@ func (s *Site) Server() *wire.Server { return s.server }
 
 // Link returns the site's WAN profile to the primary.
 func (s *Site) Link() netsim.Link { return s.link }
+
+// Meter returns the site's WAN meter (replication pulls are charged to
+// it); nil for unmetered sites.
+func (s *Site) Meter() *netsim.Meter { return s.meter }
 
 // Metrics returns the site's accumulated WAN traffic — the replication
 // pulls charged to the site meter (zero value when the site has no
@@ -89,7 +109,73 @@ func (s *Site) Epoch() uint64 {
 func (s *Site) Synced() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.synced
+	return s.synced || s.isPrimary
+}
+
+// IsPrimary reports whether the site has been promoted to primary.
+func (s *Site) IsPrimary() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.isPrimary
+}
+
+// Repoint replaces the site's replication source: future pulls go over
+// the given transport (to the new primary after a failover). The term
+// source and retry policy of the old pull client carry over. The site's
+// last-seen epoch is kept — epochs are comparable cluster-wide because
+// every replica mirrors the primary's version log, so the site resumes
+// pulling from where it was.
+func (s *Site) Repoint(primary wire.Transport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := wire.NewClient(primary)
+	if s.term != nil {
+		c.SetTermSource(s.term)
+	}
+	if s.retry != nil {
+		c.SetRetry(s.retry)
+	}
+	s.primary = c
+}
+
+// SetTermSource installs the fencing-term source stamped onto the
+// site's sync pulls (and preserved across Repoint).
+func (s *Site) SetTermSource(ts wire.TermSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.term = ts
+	s.primary.SetTermSource(ts)
+}
+
+// SetRetry installs the retry policy of the site's pull client (and
+// preserves it across Repoint).
+func (s *Site) SetRetry(p *wire.RetryPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retry = p
+	s.primary.SetRetry(p)
+}
+
+// BecomePrimary flips the site into the primary role: syncs become
+// no-ops and Synced is always true. epoch is the promotion-base epoch —
+// recorded as the site's last-seen epoch for reporting.
+func (s *Site) BecomePrimary(epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.isPrimary = true
+	if epoch > s.lastEpoch {
+		s.lastEpoch = epoch
+	}
+}
+
+// BecomeReplica flips a (deposed) primary back into the replica role,
+// pulling from the given epoch onward.
+func (s *Site) BecomeReplica(fromEpoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.isPrimary = false
+	s.lastEpoch = fromEpoch
+	s.synced = false
 }
 
 // SyncStats reports one replication pull.
@@ -114,11 +200,15 @@ func (s *Site) Sync(ctx context.Context) (SyncStats, error) {
 }
 
 func (s *Site) syncLocked(ctx context.Context) (SyncStats, error) {
+	if s.isPrimary {
+		// The promoted site is the source of truth; nothing to pull.
+		return SyncStats{Since: s.lastEpoch, Epoch: s.lastEpoch}, nil
+	}
 	d, err := s.primary.Sync(ctx, s.lastEpoch)
 	if err != nil {
 		return SyncStats{}, fmt.Errorf("topology: site %s: pull: %w", s.name, err)
 	}
-	if err := s.db.ApplyDelta(d); err != nil {
+	if err := s.db.ApplyDeltaCtx(ctx, d); err != nil {
 		return SyncStats{}, fmt.Errorf("topology: site %s: apply: %w", s.name, err)
 	}
 	stats := SyncStats{Since: d.Since, Epoch: d.Epoch, Keys: len(d.Stamps), Rows: d.RowCount()}

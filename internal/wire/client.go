@@ -2,8 +2,10 @@ package wire
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"pdmtune/internal/minisql"
@@ -32,10 +34,69 @@ type Channel = Transport
 // Client issues SQL over a transport.
 type Client struct {
 	tr Transport
+	// trGen counts SetTransport swaps, so a caller that snapshotted the
+	// client before a failover can tell "same client, new destination".
+	trGen uint64
+
+	// term stamps write and sync frames with the cluster fencing term
+	// (nil/ok=false: no envelope — the site-less wire format is
+	// byte-identical to the pre-failover protocol).
+	term TermSource
+	// retry transparently retries idempotent exchanges on connection
+	// loss (nil: no retries).
+	retry *RetryPolicy
+
+	// mu guards the transport pointer and the read-only handle registry
+	// below (a client is normally single-goroutine, but site pull
+	// clients are shared by every session syncing through the site, and
+	// a failover swaps transports from the cluster's goroutine).
+	mu sync.Mutex
+	// readOnlyHandles records, per prepared handle, whether the
+	// statement is a pure read — the client-side classification that
+	// decides fencing envelopes and retry eligibility for prepared
+	// executions.
+	readOnlyHandles map[uint32]bool
 }
 
 // NewClient wraps a transport.
 func NewClient(tr Transport) *Client { return &Client{tr: tr} }
+
+// SetTermSource makes the client stamp its write and sync frames with
+// the cluster fencing term the source reports. Reads stay unwrapped.
+func (c *Client) SetTermSource(ts TermSource) { c.term = ts }
+
+// SetRetry installs a retry policy for idempotent exchanges (nil
+// disables retries). Call before the client is in use.
+func (c *Client) SetRetry(p *RetryPolicy) { c.retry = p }
+
+// SetTransport swaps the transport under the client — a failover
+// re-routes a deposed primary's sessions this way. Safe to call from
+// another goroutine: in-flight round trips finish on the transport
+// they started with; the next exchange uses the new one. Prepared
+// handles are connection-scoped, so callers that swap servers must
+// drop their handle caches and re-prepare.
+func (c *Client) SetTransport(tr Transport) {
+	c.mu.Lock()
+	c.tr = tr
+	c.trGen++
+	c.mu.Unlock()
+}
+
+// TransportGen reports how many times the transport has been swapped.
+// Comparing generations across a write attempt tells a caller whether
+// a fenced frame now has somewhere new to go.
+func (c *Client) TransportGen() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.trGen
+}
+
+// transport snapshots the current transport for one round-trip attempt.
+func (c *Client) transport() Transport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tr
+}
 
 // Exec ships one statement and decodes the server's answer. Server-side
 // SQL errors come back as *ServerError.
@@ -53,12 +114,18 @@ func (c *Client) ExecPrepared(ctx context.Context, handle uint32, params ...type
 // with any negotiated deflate wrapper already removed — decompression
 // happens after the transport (and its meter) saw the compressed size,
 // so the charged volume is the post-compression one.
-func (c *Client) roundTrip(ctx context.Context, body []byte) ([]byte, error) {
+//
+// idempotent marks exchanges that are safe to re-send after a
+// connection loss (reads, validates, syncs, prepares, handshakes);
+// with a retry policy installed those are retried with capped backoff.
+// Transport failures surface as *ConnClosedError, fence refusals as
+// *FencedError.
+func (c *Client) roundTrip(ctx context.Context, body []byte, idempotent bool) ([]byte, error) {
 	if err := CheckFrameSize(body); err != nil {
 		putFrame(body)
 		return nil, err
 	}
-	respBody, err := c.tr.RoundTrip(ctx, body)
+	respBody, err := c.send(ctx, body, idempotent)
 	// The request frame is dead once the round trip returns: every
 	// transport in this package hands it off synchronously (in-process
 	// dispatch copies what it keeps; streams write it out).
@@ -74,7 +141,112 @@ func (c *Client) roundTrip(ctx context.Context, body []byte) ([]byte, error) {
 		// Inflation produced a new body; the compressed envelope recycles.
 		putFrame(respBody)
 	}
+	if len(plain) > 0 && plain[0] == TypeFencedResp {
+		fe, err := DecodeFencedResp(plain)
+		putFrame(plain)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fe
+	}
 	return plain, nil
+}
+
+// send performs the transport round trip, wraps raw transport failures
+// in *ConnClosedError, and — for idempotent exchanges under a retry
+// policy — re-sends on connection loss with capped backoff.
+func (c *Client) send(ctx context.Context, body []byte, idempotent bool) ([]byte, error) {
+	respBody, err := c.transport().RoundTrip(ctx, body)
+	err = wrapTransportErr(ctx, err)
+	if err == nil || !idempotent || c.retry == nil || !isConnClosed(err) {
+		return respBody, err
+	}
+	p := c.retry
+	for attempt := 1; attempt < p.maxAttempts(); attempt++ {
+		p.countRetry()
+		p.sleep(p.backoff(attempt))
+		if ctx != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+		}
+		respBody, err = c.transport().RoundTrip(ctx, body)
+		err = wrapTransportErr(ctx, err)
+		if err == nil || !isConnClosed(err) {
+			return respBody, err
+		}
+	}
+	p.countGiveUp()
+	return nil, err
+}
+
+// wrapTransportErr normalizes a transport failure: context
+// cancellations and structured wire errors pass through, anything else
+// — a dead stream, an injected fault — becomes *ConnClosedError so
+// callers can errors.As on one type.
+func wrapTransportErr(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if ctx != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return ctxErr
+		}
+	}
+	var (
+		cce *ConnClosedError
+		fte *FrameTooLargeError
+	)
+	if errors.As(err, &cce) || errors.As(err, &fte) {
+		return err
+	}
+	return &ConnClosedError{Err: err}
+}
+
+func isConnClosed(err error) bool {
+	var cce *ConnClosedError
+	return errors.As(err, &cce)
+}
+
+// fenceWrite wraps an encoded frame in the fencing-term envelope when
+// the client has a term source and the frame is a write (or sync).
+func (c *Client) fenceWrite(body []byte) []byte {
+	if c.term == nil {
+		return body
+	}
+	term, ok := c.term()
+	if !ok {
+		return body
+	}
+	return EncodeFenced(term, body)
+}
+
+// readOnlyHandle reports the read/write class recorded for a prepared
+// handle (unknown handles classify as writes, the safe direction).
+func (c *Client) readOnlyHandle(h uint32) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readOnlyHandles[h]
+}
+
+func (c *Client) recordHandle(h uint32, readOnly bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.readOnlyHandles == nil {
+		c.readOnlyHandles = map[uint32]bool{}
+	}
+	c.readOnlyHandles[h] = readOnly
+}
+
+// readOnlyRequest classifies one request as a pure read.
+func (c *Client) readOnlyRequest(req *Request) bool {
+	if req.Prepared {
+		return c.readOnlyHandle(req.Handle)
+	}
+	return ReadOnlySQL(req.SQL)
 }
 
 // Negotiate performs the session-open capability handshake: the wanted
@@ -83,7 +255,7 @@ func (c *Client) roundTrip(ctx context.Context, body []byte) ([]byte, error) {
 // that degrades gracefully to the zero capability set (v1 results,
 // no compression) instead of failing the session.
 func (c *Client) Negotiate(ctx context.Context, want Caps) (Caps, error) {
-	respBody, err := c.roundTrip(ctx, EncodeHello(want))
+	respBody, err := c.roundTrip(ctx, EncodeHello(want), true)
 	if err != nil {
 		return Caps{}, err
 	}
@@ -97,7 +269,12 @@ func (c *Client) Negotiate(ctx context.Context, want Caps) (Caps, error) {
 }
 
 func (c *Client) exec(ctx context.Context, req *Request) (*Response, error) {
-	respBody, err := c.roundTrip(ctx, EncodeExec(req))
+	readOnly := c.readOnlyRequest(req)
+	body := EncodeExec(req)
+	if !readOnly {
+		body = c.fenceWrite(body)
+	}
+	respBody, err := c.roundTrip(ctx, body, readOnly)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +292,7 @@ func (c *Client) exec(ctx context.Context, req *Request) (*Response, error) {
 // Prepare ships a statement's SQL text once and returns the server-side
 // handle for later ExecPrepared calls on this connection.
 func (c *Client) Prepare(ctx context.Context, sql string) (uint32, error) {
-	respBody, err := c.roundTrip(ctx, EncodePrepare(sql))
+	respBody, err := c.roundTrip(ctx, EncodePrepare(sql), true)
 	if err != nil {
 		return 0, err
 	}
@@ -127,7 +304,12 @@ func (c *Client) Prepare(ctx context.Context, sql string) (uint32, error) {
 		}
 		return 0, &ServerError{Msg: resp.Err}
 	}
-	return DecodePrepareResp(respBody)
+	h, err := DecodePrepareResp(respBody)
+	if err != nil {
+		return 0, err
+	}
+	c.recordHandle(h, ReadOnlySQL(sql))
+	return h, nil
 }
 
 // Validate ships one stale-check exchange: (id, since-epoch) pairs up,
@@ -138,7 +320,7 @@ func (c *Client) Validate(ctx context.Context, checks []StaleCheck) ([]int64, er
 	if len(checks) == 0 {
 		return nil, nil
 	}
-	respBody, err := c.roundTrip(ctx, EncodeValidate(checks))
+	respBody, err := c.roundTrip(ctx, EncodeValidate(checks), true)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +340,9 @@ func (c *Client) Validate(ctx context.Context, checks []StaleCheck) ([]int64, er
 // key) plus the version stamps the replica's log needs to mirror the
 // primary's. One round trip regardless of delta size.
 func (c *Client) Sync(ctx context.Context, since uint64) (*storage.Delta, error) {
-	respBody, err := c.roundTrip(ctx, EncodeSync(since))
+	// A sync is fenced like a write — only the current primary may
+	// serve it — but re-pulling a delta is idempotent, so it retries.
+	respBody, err := c.roundTrip(ctx, c.fenceWrite(EncodeSync(since)), true)
 	if err != nil {
 		return nil, err
 	}
@@ -176,7 +360,7 @@ func (c *Client) Sync(ctx context.Context, since uint64) (*storage.Delta, error)
 // Close releases the connection's server-side session state (the
 // prepared-statement registry) in one teardown round trip.
 func (c *Client) Close(ctx context.Context) error {
-	respBody, err := c.roundTrip(ctx, EncodeClose())
+	respBody, err := c.roundTrip(ctx, EncodeClose(), true)
 	if err != nil {
 		return err
 	}
@@ -201,7 +385,18 @@ func (c *Client) ExecBatch(ctx context.Context, reqs []*Request) ([]*Response, e
 	if len(reqs) == 0 {
 		return nil, nil
 	}
-	respBody, err := c.roundTrip(ctx, EncodeBatch(reqs))
+	readOnly := true
+	for _, req := range reqs {
+		if !c.readOnlyRequest(req) {
+			readOnly = false
+			break
+		}
+	}
+	body := EncodeBatch(reqs)
+	if !readOnly {
+		body = c.fenceWrite(body)
+	}
+	respBody, err := c.roundTrip(ctx, body, readOnly)
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +419,25 @@ func (c *Client) ExecBatch(ctx context.Context, reqs []*Request) ([]*Response, e
 		return resps[:n-1], &BatchError{Index: n - 1, Msg: resps[n-1].Err}
 	}
 	return resps, nil
+}
+
+// Status performs one health-probe exchange: the server answers with
+// its fencing term, role and database epoch. The probe is idempotent
+// and retried like any read.
+func (c *Client) Status(ctx context.Context) (Status, error) {
+	respBody, err := c.roundTrip(ctx, EncodeStatus(), true)
+	if err != nil {
+		return Status{}, err
+	}
+	defer putFrame(respBody)
+	if len(respBody) > 0 && respBody[0] == TypeError {
+		resp, err := DecodeResponse(respBody)
+		if err != nil {
+			return Status{}, err
+		}
+		return Status{}, &ServerError{Msg: resp.Err}
+	}
+	return DecodeStatusResp(respBody)
 }
 
 // ServerError is an SQL error reported by the server.
@@ -257,21 +471,25 @@ type frameAccountant struct {
 
 func (fa *frameAccountant) account(request, response []byte) {
 	if fa.meter != nil {
+		// Classification looks through the fencing envelope — a fenced
+		// batch is still a batch — while the charged lengths stay the
+		// full on-wire frame, envelope included.
+		inner := FencedInner(request)
 		switch {
-		case len(request) > 0 && request[0] == TypeValidate:
+		case len(inner) > 0 && inner[0] == TypeValidate:
 			// A validate exchange is a round trip but not a statement:
 			// it is the cache's revalidation cost, accounted apart.
 			fa.meter.RoundTripValidate(len(request)+frameOverhead, len(response)+frameOverhead)
-		case len(request) > 0 && request[0] == TypeSync:
+		case len(inner) > 0 && inner[0] == TypeSync:
 			// A replication pull: one round trip, no statements — the
 			// delta volume is the replication cost the site meter reports.
 			fa.meter.RoundTripSync(len(request)+frameOverhead, len(response)+frameOverhead)
-		case len(request) > 0 && (request[0] == TypeHello || request[0] == TypeClose):
-			// The capability handshake and the session teardown are round
-			// trips carrying zero statements.
+		case len(inner) > 0 && (inner[0] == TypeHello || inner[0] == TypeClose || inner[0] == TypeStatus):
+			// The capability handshake, session teardown and health
+			// probes are round trips carrying zero statements.
 			fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead, 0, 0, 0)
 		default:
-			stats := ScanFrame(request, fa.sqlLen)
+			stats := ScanFrame(inner, fa.sqlLen)
 			fa.meter.RoundTripFrames(len(request)+frameOverhead, len(response)+frameOverhead,
 				stats.Statements, stats.PreparedExecs, stats.SavedRequestBytes)
 		}

@@ -1,0 +1,289 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/netsim"
+)
+
+func newFenceDB(t *testing.T) *minisql.DB {
+	t.Helper()
+	db := minisql.NewDB()
+	s := db.NewSession()
+	if _, err := s.ExecScript(`
+CREATE TABLE kv (id INTEGER PRIMARY KEY, val INTEGER NOT NULL);
+INSERT INTO kv VALUES (1, 0);`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func staticTerm(term uint64) TermSource {
+	return func() (uint64, bool) { return term, true }
+}
+
+func TestFencedEnvelopeRoundTrip(t *testing.T) {
+	inner := EncodeSync(9)
+	wrapped := EncodeFenced(17, inner)
+	term, got, err := DecodeFenced(wrapped)
+	if err != nil || term != 17 {
+		t.Fatalf("DecodeFenced: term=%d err=%v", term, err)
+	}
+	if len(got) == 0 || got[0] != TypeSync {
+		t.Fatalf("inner frame type = %#x", got[0])
+	}
+	fe, err := DecodeFencedResp(EncodeFencedResp(3, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fe.ServerTerm != 3 || fe.FrameTerm != 2 || !fe.Deposed {
+		t.Fatalf("FencedError = %+v", fe)
+	}
+}
+
+// A deposed server refuses writes — fenced or legacy-unwrapped — with
+// *FencedError, while reads keep flowing.
+func TestDeposedServerRefusesWrites(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	srv.SetFence(NewFence(1, false))
+	ctx := context.Background()
+
+	fenced := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	fenced.SetTermSource(staticTerm(1))
+	var fe *FencedError
+	if _, err := fenced.Exec(ctx, "UPDATE kv SET val = 1 WHERE id = 1"); !errors.As(err, &fe) {
+		t.Fatalf("write at deposed server: %v, want *FencedError", err)
+	} else if !fe.Deposed {
+		t.Fatalf("FencedError = %+v, want Deposed", fe)
+	}
+
+	legacy := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	if _, err := legacy.Exec(ctx, "UPDATE kv SET val = 2 WHERE id = 1"); !errors.As(err, &fe) {
+		t.Fatalf("unfenced write at deposed server: %v, want *FencedError", err)
+	}
+
+	resp, err := fenced.Exec(ctx, "SELECT val FROM kv WHERE id = 1")
+	if err != nil {
+		t.Fatalf("read at deposed server: %v", err)
+	}
+	if got := resp.Rows[0][0].Int(); got != 0 {
+		t.Fatalf("val = %d: a fenced write executed", got)
+	}
+}
+
+// A primary refuses frames carrying a stale term (a client that missed
+// the promotion) but keeps serving current-term writes.
+func TestPrimaryRefusesStaleTerm(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	srv.SetFence(NewFence(2, true))
+	ctx := context.Background()
+
+	stale := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	stale.SetTermSource(staticTerm(1))
+	var fe *FencedError
+	if _, err := stale.Exec(ctx, "UPDATE kv SET val = 1 WHERE id = 1"); !errors.As(err, &fe) {
+		t.Fatalf("stale-term write: %v, want *FencedError", err)
+	} else if fe.Deposed || fe.ServerTerm != 2 || fe.FrameTerm != 1 {
+		t.Fatalf("FencedError = %+v, want stale-term refusal by term-2 server", fe)
+	}
+
+	current := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	current.SetTermSource(staticTerm(2))
+	if _, err := current.Exec(ctx, "UPDATE kv SET val = 5 WHERE id = 1"); err != nil {
+		t.Fatalf("current-term write: %v", err)
+	}
+}
+
+// A deposed primary still serves same-term sync pulls — the final
+// catch-up of a planned failover — but refuses stale- or future-term
+// ones.
+func TestDeposedServerServesSameTermSync(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	srv.SetFence(NewFence(3, false))
+	ctx := context.Background()
+
+	same := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	same.SetTermSource(staticTerm(3))
+	if _, err := same.Sync(ctx, 0); err != nil {
+		t.Fatalf("same-term sync at deposed primary: %v", err)
+	}
+
+	future := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	future.SetTermSource(staticTerm(4))
+	var fe *FencedError
+	if _, err := future.Sync(ctx, 0); !errors.As(err, &fe) {
+		t.Fatalf("future-term sync at deposed primary: %v, want *FencedError", err)
+	}
+}
+
+// An unfenced server accepts fenced frames (served as their inner
+// frame), so a fenced client degrades gracefully.
+func TestUnfencedServerAcceptsEnvelope(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	client := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	client.SetTermSource(staticTerm(7))
+	if _, err := client.Exec(context.Background(), "UPDATE kv SET val = 9 WHERE id = 1"); err != nil {
+		t.Fatalf("fenced write at unfenced server: %v", err)
+	}
+}
+
+func TestStatusExchange(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	ctx := context.Background()
+	client := NewClient(&MeteredChannel{Conn: srv.NewConn()})
+	st, err := client.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Term != 0 || !st.Primary {
+		t.Fatalf("unfenced status = %+v, want term 0 primary", st)
+	}
+	srv.SetFence(NewFence(5, false))
+	st, err = client.Status(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Term != 5 || st.Primary {
+		t.Fatalf("fenced status = %+v, want term 5 replica", st)
+	}
+}
+
+// flakyTransport fails the first n round trips with a raw error, then
+// delegates.
+type flakyTransport struct {
+	inner Transport
+	fails int
+	calls int
+}
+
+func (f *flakyTransport) RoundTrip(ctx context.Context, req []byte) ([]byte, error) {
+	f.calls++
+	if f.fails > 0 {
+		f.fails--
+		return nil, errors.New("boom: connection reset")
+	}
+	return f.inner.RoundTrip(ctx, req)
+}
+
+// Idempotent reads retry over dead connections; the retries and the
+// backoff schedule surface in the meter and the recorder.
+func TestRetryIdempotentReads(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	tr := &flakyTransport{inner: &MeteredChannel{Conn: srv.NewConn()}, fails: 2}
+	client := NewClient(tr)
+	m := netsim.NewMeter(netsim.LAN())
+	var slept []time.Duration
+	client.SetRetry(&RetryPolicy{
+		MaxAttempts: 4,
+		Meter:       m,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	resp, err := client.Exec(context.Background(), "SELECT val FROM kv WHERE id = 1")
+	if err != nil {
+		t.Fatalf("read with retries: %v", err)
+	}
+	if len(resp.Rows) != 1 {
+		t.Fatalf("rows = %d", len(resp.Rows))
+	}
+	if tr.calls != 3 {
+		t.Fatalf("transport saw %d calls, want 3 (1 + 2 retries)", tr.calls)
+	}
+	if got := m.Snapshot(); got.Retries != 2 || got.RetryGiveUps != 0 {
+		t.Fatalf("metered retries = %d/%d, want 2/0", got.Retries, got.RetryGiveUps)
+	}
+	if len(slept) != 2 || slept[1] < slept[0] {
+		t.Fatalf("backoff schedule %v not increasing", slept)
+	}
+}
+
+// Writes are never retried: one dead connection, one *ConnClosedError.
+func TestWritesNeverRetry(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	tr := &flakyTransport{inner: &MeteredChannel{Conn: srv.NewConn()}, fails: 1}
+	client := NewClient(tr)
+	client.SetRetry(&RetryPolicy{Sleep: func(time.Duration) {}})
+	var cce *ConnClosedError
+	if _, err := client.Exec(context.Background(), "UPDATE kv SET val = 1 WHERE id = 1"); !errors.As(err, &cce) {
+		t.Fatalf("write over dead conn: %v, want *ConnClosedError", err)
+	}
+	if tr.calls != 1 {
+		t.Fatalf("transport saw %d calls, want 1 (no write retries)", tr.calls)
+	}
+}
+
+// Exhausted retries give up with the structured error and count it.
+func TestRetryGiveUp(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	tr := &flakyTransport{inner: &MeteredChannel{Conn: srv.NewConn()}, fails: 100}
+	client := NewClient(tr)
+	m := netsim.NewMeter(netsim.LAN())
+	client.SetRetry(&RetryPolicy{MaxAttempts: 3, Meter: m, Sleep: func(time.Duration) {}})
+	var cce *ConnClosedError
+	if _, err := client.Exec(context.Background(), "SELECT val FROM kv WHERE id = 1"); !errors.As(err, &cce) {
+		t.Fatalf("exhausted retries: %v, want *ConnClosedError", err)
+	}
+	if tr.calls != 3 {
+		t.Fatalf("transport saw %d calls, want MaxAttempts=3", tr.calls)
+	}
+	if got := m.Snapshot(); got.Retries != 2 || got.RetryGiveUps != 1 {
+		t.Fatalf("metered = %d/%d, want 2 retries, 1 give-up", got.Retries, got.RetryGiveUps)
+	}
+}
+
+// The backoff jitter is deterministic for a fixed seed.
+func TestRetryBackoffDeterministic(t *testing.T) {
+	sched := func() []time.Duration {
+		p := &RetryPolicy{Seed: 42}
+		var out []time.Duration
+		for n := 1; n <= 5; n++ {
+			out = append(out, p.backoff(n))
+		}
+		return out
+	}
+	a, b := sched(), sched()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedule diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// A pool member that dies is evicted — not recycled into the free list —
+// and the caller sees *ConnClosedError.
+func TestPoolEvictsDeadConns(t *testing.T) {
+	srv := NewServer(newFenceDB(t))
+	pool := NewPool(srv, 2)
+	plan := &netsim.FaultPlan{}
+	pool.SetMemberWrapper(func(tr Transport) Transport {
+		// The interfaces are structurally identical, so the injector
+		// slots straight in.
+		return netsim.NewFaultInjector(tr, plan)
+	})
+	ctx := context.Background()
+	client := NewClient(pool)
+	if _, err := client.Exec(ctx, "SELECT val FROM kv WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 1 {
+		t.Fatalf("pool size = %d, want 1", pool.Size())
+	}
+	plan.Kill()
+	var cce *ConnClosedError
+	if _, err := client.Exec(ctx, "SELECT val FROM kv WHERE id = 1"); !errors.As(err, &cce) {
+		t.Fatalf("round trip through killed pool: %v, want *ConnClosedError", err)
+	}
+	if pool.Size() != 0 {
+		t.Fatalf("pool kept %d dead conns, want 0 (evicted)", pool.Size())
+	}
+	plan.Revive()
+	if _, err := client.Exec(ctx, "SELECT val FROM kv WHERE id = 1"); err != nil {
+		t.Fatalf("after revive: %v", err)
+	}
+	if pool.Size() != 1 {
+		t.Fatalf("pool size after revive = %d, want 1 fresh member", pool.Size())
+	}
+}

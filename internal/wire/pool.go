@@ -53,6 +53,10 @@ type Pool struct {
 
 	idle chan *poolConn
 	max  int
+
+	// wrapMember decorates every new member's transport (nil: members
+	// dispatch in-process directly).
+	wrapMember func(Transport) Transport
 }
 
 // poolConn is one member connection plus its lazy view of the pool's
@@ -61,6 +65,18 @@ type Pool struct {
 type poolConn struct {
 	conn    *ServerConn
 	handles map[uint32]uint32 // pool handle → this connection's handle
+	// tr, when set, carries the member's round trips instead of the
+	// direct in-process dispatch — the seam SetMemberWrapper installs
+	// (fault injection, future stream-backed members). A member whose
+	// transport fails is evicted, not recycled.
+	tr Transport
+}
+
+// connTransport adapts an in-process ServerConn to Transport.
+type connTransport struct{ conn *ServerConn }
+
+func (t connTransport) RoundTrip(_ context.Context, request []byte) ([]byte, error) {
+	return t.conn.Handle(request), nil
 }
 
 // NewPool creates a pool of at most max member connections over the
@@ -79,6 +95,53 @@ func NewPool(server *Server, max int) *Pool {
 
 // Max returns the pool's connection cap.
 func (p *Pool) Max() int { return p.max }
+
+// SetMemberWrapper installs a decorator applied to every member
+// connection's transport from now on — the fault-injection seam of the
+// failover tests. Call it before the pool is in use.
+func (p *Pool) SetMemberWrapper(wrap func(Transport) Transport) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wrapMember = wrap
+}
+
+// send carries one frame over a member. Members with a wrapped
+// transport can fail; the failure comes back as *ConnClosedError.
+func (p *Pool) send(ctx context.Context, pc *poolConn, body []byte) ([]byte, error) {
+	if pc.tr == nil {
+		return pc.conn.Handle(body), nil
+	}
+	resp, err := pc.tr.RoundTrip(ctx, body)
+	if err != nil {
+		return nil, wrapTransportErr(ctx, err)
+	}
+	return resp, nil
+}
+
+// finish returns a member to the idle set — or, when its connection
+// died, evicts it so the slot re-dials fresh instead of recycling a
+// dead member.
+func (p *Pool) finish(pc *poolConn, err error) {
+	if err != nil && isConnClosed(err) {
+		p.evict(pc)
+		return
+	}
+	p.release(pc)
+}
+
+// evict drops a dead member: the created count frees its slot, so the
+// next acquire creates a fresh connection in its place.
+func (p *Pool) evict(pc *poolConn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.created--
+	for i, other := range p.conns {
+		if other == pc {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			break
+		}
+	}
+}
 
 // Size returns the number of member connections created so far.
 func (p *Pool) Size() int {
@@ -113,6 +176,9 @@ func (p *Pool) acquire(ctx context.Context) (*poolConn, error) {
 	if p.created < p.max {
 		p.created++
 		pc := &poolConn{conn: p.server.NewConn(), handles: map[uint32]uint32{}}
+		if p.wrapMember != nil {
+			pc.tr = p.wrapMember(connTransport{conn: pc.conn})
+		}
 		if p.capsSet {
 			pc.conn.SetCaps(p.caps)
 		}
@@ -171,20 +237,20 @@ func (p *Pool) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
 			if err != nil {
 				return EncodeResponse(&Response{Err: fmt.Sprintf("bad request: %v", err)}), nil
 			}
-			return p.execRemapped(ctx, []*Request{req}, func(pc *poolConn) []byte {
+			return p.execRemapped(ctx, []*Request{req}, func(pc *poolConn) ([]byte, error) {
 				body := EncodeExec(req)
 				defer putFrame(body)
-				return pc.conn.Handle(body)
+				return p.send(ctx, pc, body)
 			})
 		case TypeBatch:
 			reqs, err := DecodeBatch(request)
 			if err != nil {
 				return EncodeResponse(&Response{Err: fmt.Sprintf("bad batch: %v", err)}), nil
 			}
-			return p.execRemapped(ctx, reqs, func(pc *poolConn) []byte {
+			return p.execRemapped(ctx, reqs, func(pc *poolConn) ([]byte, error) {
 				body := EncodeBatch(reqs)
 				defer putFrame(body)
-				return pc.conn.Handle(body)
+				return p.send(ctx, pc, body)
 			})
 		}
 	}
@@ -192,8 +258,9 @@ func (p *Pool) RoundTrip(ctx context.Context, request []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer p.release(pc)
-	return pc.conn.Handle(request), nil
+	resp, err := p.send(ctx, pc, request)
+	p.finish(pc, err)
+	return resp, err
 }
 
 // handleHello negotiates once and answers every later hello with the
@@ -210,8 +277,11 @@ func (p *Pool) handleHello(ctx context.Context, request []byte) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	defer p.release(pc)
-	resp := pc.conn.Handle(request)
+	resp, err := p.send(ctx, pc, request)
+	p.finish(pc, err)
+	if err != nil {
+		return nil, err
+	}
 	if caps, err := DecodeHelloResp(resp); err == nil {
 		p.mu.Lock()
 		if !p.capsSet {
@@ -249,30 +319,37 @@ func (p *Pool) handlePrepare(request []byte) []byte {
 // execRemapped checks out a member, makes sure it has prepared every
 // pool handle the requests reference (rewriting them to the member's
 // handles in place), and forwards via send.
-func (p *Pool) execRemapped(ctx context.Context, reqs []*Request, send func(*poolConn) []byte) ([]byte, error) {
+func (p *Pool) execRemapped(ctx context.Context, reqs []*Request, send func(*poolConn) ([]byte, error)) ([]byte, error) {
 	pc, err := p.acquire(ctx)
 	if err != nil {
 		return nil, err
 	}
-	defer p.release(pc)
 	for _, req := range reqs {
 		if !req.Prepared {
 			continue
 		}
-		h, err := p.connHandle(pc, req.Handle)
+		h, err := p.connHandle(ctx, pc, req.Handle)
 		if err != nil {
+			p.finish(pc, err)
+			if isConnClosed(err) {
+				// The member died mid-prepare: it was evicted; surface
+				// the connection loss instead of a server error frame.
+				return nil, err
+			}
 			return EncodeResponse(&Response{Err: err.Error()}), nil
 		}
 		req.Handle = h
 	}
-	return send(pc), nil
+	resp, err := send(pc)
+	p.finish(pc, err)
+	return resp, err
 }
 
 // connHandle resolves a pool handle to the member's own handle,
 // preparing the statement on the member the first time (the lazy,
 // pool-internal prepare costs no client round trip — the pool lives
 // next to the server).
-func (p *Pool) connHandle(pc *poolConn, poolHandle uint32) (uint32, error) {
+func (p *Pool) connHandle(ctx context.Context, pc *poolConn, poolHandle uint32) (uint32, error) {
 	if h, ok := pc.handles[poolHandle]; ok {
 		return h, nil
 	}
@@ -283,8 +360,11 @@ func (p *Pool) connHandle(pc *poolConn, poolHandle uint32) (uint32, error) {
 		return 0, fmt.Errorf("no prepared statement with handle %d", poolHandle)
 	}
 	prep := EncodePrepare(sql)
-	raw := pc.conn.Handle(prep)
+	raw, err := p.send(ctx, pc, prep)
 	putFrame(prep)
+	if err != nil {
+		return 0, err
+	}
 	resp, err := MaybeDecompress(raw)
 	if err != nil {
 		return 0, err

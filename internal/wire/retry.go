@@ -1,0 +1,101 @@
+package wire
+
+import (
+	"sync"
+	"time"
+
+	"pdmtune/internal/netsim"
+)
+
+// RetryPolicy configures transparent retries of idempotent exchanges
+// on connection loss (*ConnClosedError): pure reads, validates, syncs,
+// prepares and handshakes. Writes are NEVER retried by this layer — a
+// dead connection cannot tell "the write never arrived" from "the ack
+// got lost", and a re-sent check-out could double-apply. Backoff is
+// capped exponential with deterministic jitter, so a simulated test
+// replays the exact same schedule every run.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts including the first (<= 1
+	// disables retries; 0 selects the default of 4).
+	MaxAttempts int
+	// BaseDelay is the first retry's backoff (default 5ms); MaxDelay
+	// caps the exponential growth (default 100ms).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the deterministic jitter sequence.
+	Seed uint64
+	// Sleep replaces time.Sleep (tests inject a no-op or a recorder).
+	Sleep func(time.Duration)
+	// Meter receives the Retries / RetryGiveUps counters (may be nil).
+	Meter *netsim.Meter
+
+	mu  sync.Mutex
+	rng uint64
+}
+
+func (p *RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts == 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// backoff returns the delay before retry number n (1-based): base·2ⁿ⁻¹
+// capped at MaxDelay, plus jitter in [0, delay/2).
+func (p *RetryPolicy) backoff(n int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	maxd := p.MaxDelay
+	if maxd <= 0 {
+		maxd = 100 * time.Millisecond
+	}
+	d := base << uint(n-1)
+	if d <= 0 || d > maxd {
+		d = maxd
+	}
+	if half := d / 2; half > 0 {
+		d += time.Duration(p.next() % uint64(half))
+	}
+	return d
+}
+
+// next steps the policy's xorshift jitter sequence — deterministic for
+// a given Seed, independent of the global math/rand state.
+func (p *RetryPolicy) next() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rng == 0 {
+		p.rng = p.Seed | 0x9e3779b97f4a7c15
+	}
+	x := p.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	p.rng = x
+	return x
+}
+
+func (p *RetryPolicy) countRetry() {
+	if p.Meter != nil {
+		p.Meter.CountRetry(1)
+	}
+}
+
+func (p *RetryPolicy) countGiveUp() {
+	if p.Meter != nil {
+		p.Meter.CountRetryGiveUp(1)
+	}
+}

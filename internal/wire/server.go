@@ -14,6 +14,13 @@ import (
 // thus its own transaction state).
 type Server struct {
 	db *minisql.DB
+
+	// fence is the server's cluster fencing state (nil for a server
+	// outside any fenced cluster — the fence-free fast path behaves
+	// byte for byte as before). The pointer is set once at cluster
+	// creation; the Fence's own lock covers later term flips.
+	fenceMu sync.RWMutex
+	fence   *Fence
 }
 
 // NewServer wraps a database.
@@ -21,6 +28,22 @@ func NewServer(db *minisql.DB) *Server { return &Server{db: db} }
 
 // DB exposes the underlying database (e.g. for registering procedures).
 func (s *Server) DB() *minisql.DB { return s.db }
+
+// SetFence installs (or clears) the server's fencing state. The
+// cluster control plane shares the Fence with the server and flips its
+// contents at promotion time.
+func (s *Server) SetFence(f *Fence) {
+	s.fenceMu.Lock()
+	defer s.fenceMu.Unlock()
+	s.fence = f
+}
+
+// CurrentFence returns the server's fencing state (nil when unfenced).
+func (s *Server) CurrentFence() *Fence {
+	s.fenceMu.RLock()
+	defer s.fenceMu.RUnlock()
+	return s.fence
+}
 
 // NewConn opens a server-side connection with a fresh session.
 func (s *Server) NewConn() *ServerConn {
@@ -42,7 +65,7 @@ type ServerConn struct {
 	// mu serializes Handle and guards the per-connection state below.
 	mu sync.Mutex
 
-	stmts      map[uint32]ast.Statement
+	stmts      map[uint32]serverStmt
 	nextHandle uint32
 
 	// caps are the capabilities negotiated by the connection's hello
@@ -105,7 +128,61 @@ func (c *ServerConn) Handle(reqBody []byte) []byte {
 	return c.finish(c.dispatch(reqBody))
 }
 
+// serverStmt is one prepared statement plus its read/write class —
+// classified once at prepare time so the fence check on later
+// executions is a map lookup, not an AST walk.
+type serverStmt struct {
+	stmt     ast.Statement
+	readOnly bool
+}
+
+// dispatch enforces the server's fence, unwraps fencing envelopes and
+// routes the frame to its handler. With no fence installed the
+// envelope is still accepted (served as its inner frame), so a fenced
+// client degrades gracefully against an unfenced server.
 func (c *ServerConn) dispatch(reqBody []byte) []byte {
+	if f := c.server.CurrentFence(); f != nil {
+		term, primary := f.State()
+		if len(reqBody) > 0 && reqBody[0] == TypeFenced {
+			frameTerm, inner, err := DecodeFenced(reqBody)
+			if err != nil {
+				return EncodeResponse(&Response{Err: fmt.Sprintf("bad fenced frame: %v", err)})
+			}
+			if frameTerm != term {
+				// A frame from another term: refuse. This is what cuts
+				// off a site still pulling from a deposed primary after
+				// the cluster moved on.
+				return EncodeFencedResp(term, frameTerm, !primary)
+			}
+			if !primary && len(inner) > 0 && inner[0] != TypeSync && c.isWriteFrame(inner) {
+				// Same term but this server is not the primary: writes
+				// are refused (split-brain protection). Syncs at the
+				// matching term pass — they only extract, and the final
+				// catch-up pull of a planned failover reads the freshly
+				// deposed primary at exactly this point.
+				return EncodeFencedResp(term, frameTerm, true)
+			}
+			return c.dispatchFrame(inner)
+		}
+		// An unwrapped frame: a non-primary refuses writes and syncs
+		// (split-brain protection for legacy/unfenced writers too);
+		// reads always pass — a replica's job is serving them.
+		if !primary && c.isWriteFrame(reqBody) {
+			return EncodeFencedResp(term, 0, true)
+		}
+		return c.dispatchFrame(reqBody)
+	}
+	if len(reqBody) > 0 && reqBody[0] == TypeFenced {
+		_, inner, err := DecodeFenced(reqBody)
+		if err != nil {
+			return EncodeResponse(&Response{Err: fmt.Sprintf("bad fenced frame: %v", err)})
+		}
+		return c.dispatchFrame(inner)
+	}
+	return c.dispatchFrame(reqBody)
+}
+
+func (c *ServerConn) dispatchFrame(reqBody []byte) []byte {
 	if len(reqBody) > 0 {
 		switch reqBody[0] {
 		case TypeBatch:
@@ -126,6 +203,8 @@ func (c *ServerConn) dispatch(reqBody []byte) []byte {
 			return c.handleSync(reqBody)
 		case TypeClose:
 			return c.handleClose(reqBody)
+		case TypeStatus:
+			return c.handleStatus(reqBody)
 		}
 	}
 	req, err := DecodeRequest(reqBody)
@@ -196,10 +275,11 @@ func (c *ServerConn) handlePrepare(reqBody []byte) []byte {
 		return EncodeResponse(&Response{Err: err.Error()})
 	}
 	if c.stmts == nil {
-		c.stmts = map[uint32]ast.Statement{}
+		c.stmts = map[uint32]serverStmt{}
 	}
+	_, readOnly := stmt.(*ast.Select)
 	c.nextHandle++
-	c.stmts[c.nextHandle] = stmt
+	c.stmts[c.nextHandle] = serverStmt{stmt: stmt, readOnly: readOnly}
 	return EncodePrepareResp(c.nextHandle)
 }
 
@@ -234,6 +314,20 @@ func (c *ServerConn) handleSync(reqBody []byte) []byte {
 		return EncodeResponse(&Response{Err: fmt.Sprintf("bad sync: %v", err)})
 	}
 	return EncodeSyncResp(c.server.db.ExtractDelta(since))
+}
+
+// handleStatus answers a health probe with the server's fencing state
+// and database epoch. An unfenced server reports term 0, primary true
+// — exactly the single-server world before clusters.
+func (c *ServerConn) handleStatus(reqBody []byte) []byte {
+	if err := DecodeStatus(reqBody); err != nil {
+		return EncodeResponse(&Response{Err: fmt.Sprintf("bad status: %v", err)})
+	}
+	st := Status{Primary: true, Epoch: c.server.db.Epoch()}
+	if f := c.server.CurrentFence(); f != nil {
+		st.Term, st.Primary = f.State()
+	}
+	return EncodeStatusResp(st)
 }
 
 // handleClose releases the connection's server-side session state —
@@ -283,11 +377,11 @@ func (c *ServerConn) execOne(req *Request) (resp *Response) {
 	var res *minisql.Result
 	var err error
 	if req.Prepared {
-		stmt, ok := c.stmts[req.Handle]
+		st, ok := c.stmts[req.Handle]
 		if !ok {
 			return &Response{Err: fmt.Sprintf("no prepared statement with handle %d", req.Handle)}
 		}
-		res, err = c.session.ExecStmt(stmt, req.Params...)
+		res, err = c.session.ExecStmt(st.stmt, req.Params...)
 	} else {
 		res, err = c.session.Exec(req.SQL, req.Params...)
 	}

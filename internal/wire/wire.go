@@ -43,8 +43,17 @@ const (
 	TypeSyncResp = 0x10
 	// TypeClose tears a connection's session state down, releasing the
 	// statements it prepared server-side.
-	TypeClose    = 0x11
-	MaxFrameSize = 1 << 30
+	TypeClose = 0x11
+	// TypeFenced wraps a write or sync frame in a fencing-term envelope;
+	// TypeFencedResp is the server's refusal when its fence does not
+	// match (see fence.go).
+	TypeFenced     = 0x12
+	TypeFencedResp = 0x13
+	// TypeStatus / TypeStatusResp are the health-probe exchange: the
+	// server answers with its fencing state and database epoch.
+	TypeStatus     = 0x14
+	TypeStatusResp = 0x15
+	MaxFrameSize   = 1 << 30
 )
 
 // FrameTooLargeError reports an attempt to emit a frame exceeding

@@ -505,37 +505,64 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 
 	meter := cfg.meter
 	transport := cfg.transport
+	// dialedPrimary records which primary the cluster-built transports
+	// point at, so registration can re-route the session if a promotion
+	// slipped in while it was opening.
+	dialedPrimary := ""
 	if transport == nil {
 		// Default transport: the in-process metered simulation, against
-		// the site's replica server for replica sessions. With WithPool
-		// the session shares the server's connection pool instead of
-		// owning a connection.
+		// the site's replica server for replica sessions and the current
+		// primary otherwise. With WithPool the session shares the
+		// server's connection pool instead of owning a connection.
 		if meter == nil {
 			meter = netsim.NewMeter(cfg.link)
 		}
-		server := s.Server
+		server, target := s.cluster.primaryServer()
+		dialedPrimary = target
 		if site != nil {
 			server = site.Server()
+			target = cfg.site
 		}
 		if cfg.poolSet {
 			transport = wire.Metered(s.pool(server, cfg.poolMax), meter)
 		} else {
 			transport = &wire.MeteredChannel{Conn: server.NewConn(), Meter: meter}
 		}
+		// Route through the cluster's transport wrapper (the fault
+		// injection seam) — a no-op unless one is installed.
+		transport = s.cluster.wrapTransport(target, transport)
 	}
 	client := core.NewClient(transport, meter, cfg.rules, cfg.user, cfg.strategy)
 	client.SetBatching(cfg.batching)
 	client.SetPrepared(cfg.prepared)
+	if s.cluster.fencingEnabled() {
+		// Fenced cluster: stamp write/sync frames with the cluster term
+		// so a deposed primary refuses them, and retry idempotent reads
+		// over dead connections.
+		client.SetTermSource(s.cluster.termSource())
+	}
+	if cfg.transport == nil {
+		client.SetRetry(&wire.RetryPolicy{Meter: meter})
+	}
 	sess := &Session{client: client, meter: meter, site: PrimarySite, sys: s}
 	if site != nil {
-		// Write path: a connection to the primary, metered on the
-		// site's WAN link — pooled on the primary's pool when the
-		// session is pooled.
+		// Write path: a connection to the cluster's current primary,
+		// metered on the site's WAN link — pooled on the primary's pool
+		// when the session is pooled. A session at the promoted site
+		// skips this: its default transport already is the primary.
 		wan := netsim.NewMeter(site.Link())
-		if cfg.poolSet {
-			client.SetPrimary(wire.Metered(s.pool(s.Server, cfg.poolMax), wan), wan)
+		if !site.IsPrimary() {
+			pserver, pname := s.cluster.primaryServer()
+			dialedPrimary = pname
+			if cfg.poolSet {
+				client.SetPrimary(s.cluster.wrapTransport(pname, wire.Metered(s.pool(pserver, cfg.poolMax), wan)), wan)
+			} else {
+				client.SetPrimary(s.cluster.wrapTransport(pname, &wire.MeteredChannel{Conn: pserver.NewConn(), Meter: wan}), wan)
+			}
 		} else {
-			client.SetPrimary(&wire.MeteredChannel{Conn: s.Server.NewConn(), Meter: wan}, wan)
+			// The session's own site is the primary: if it gets deposed
+			// while the session is opening, registration must re-route.
+			dialedPrimary = cfg.site
 		}
 		bound := time.Duration(-1) // read your own site
 		if cfg.maxStalenessSet {
@@ -597,6 +624,10 @@ func (s *System) open(ctx context.Context, opts []Option) (*Session, error) {
 		sess.advisor = adv
 		sess.auto = &autoTuner{every: cfg.autoTuneEvery, prev: sess.Metrics()}
 	}
+	// Enroll the session with the failover control plane (a no-op for
+	// unfenced, site-less systems): a promotion re-points its write path
+	// at the new primary transparently.
+	s.cluster.registerSession(sess, dialedPrimary)
 	return sess, nil
 }
 
@@ -659,7 +690,10 @@ func (s *Session) ResetMetrics() { s.client.ResetMetrics() }
 // life of the connection. The session remains usable afterwards —
 // later prepared executions re-prepare — so Close is safe to defer
 // right after Open.
-func (s *Session) Close() error { return s.client.Close(context.Background()) }
+func (s *Session) Close() error {
+	s.sys.cluster.deregisterSession(s)
+	return s.client.Close(context.Background())
+}
 
 // Query performs the set-oriented Query action: all nodes of a product
 // in one statement.
@@ -685,14 +719,18 @@ func (s *Session) MultiLevelExpand(ctx context.Context, root int64) (*ActionResu
 
 // CheckOut checks out the subtree under root (expand + flag updates).
 func (s *Session) CheckOut(ctx context.Context, root int64) (*CheckOutResult, error) {
+	done := s.sys.cluster.beginWrite(s.site)
 	res, err := s.client.CheckOut(ctx, root)
+	done()
 	s.afterAction(ctx, err)
 	return res, err
 }
 
 // CheckIn releases a previously checked-out subtree.
 func (s *Session) CheckIn(ctx context.Context, root int64) (*CheckOutResult, error) {
+	done := s.sys.cluster.beginWrite(s.site)
 	res, err := s.client.CheckIn(ctx, root)
+	done()
 	s.afterAction(ctx, err)
 	return res, err
 }
@@ -700,14 +738,18 @@ func (s *Session) CheckIn(ctx context.Context, root int64) (*CheckOutResult, err
 // CheckOutViaProcedure performs the whole check-out in one round trip
 // via the server-side stored procedure (Section 6).
 func (s *Session) CheckOutViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
+	done := s.sys.cluster.beginWrite(s.site)
 	res, err := s.client.CheckOutViaProcedure(ctx, root)
+	done()
 	s.afterAction(ctx, err)
 	return res, err
 }
 
 // CheckInViaProcedure is the single-round-trip check-in.
 func (s *Session) CheckInViaProcedure(ctx context.Context, root int64) (*CheckOutResult, error) {
+	done := s.sys.cluster.beginWrite(s.site)
 	res, err := s.client.CheckInViaProcedure(ctx, root)
+	done()
 	s.afterAction(ctx, err)
 	return res, err
 }
