@@ -170,6 +170,7 @@ func (s *Session) TuneConfig() TuneConfig {
 		Compress:          s.compress,
 		CompressThreshold: s.compressThreshold,
 		StalenessSec:      s.stalenessSec,
+		Coverage:          s.coverage,
 	}
 }
 
@@ -217,6 +218,13 @@ func (s *Session) ApplyConfig(ctx context.Context, cfg TuneConfig) error {
 		}
 		s.client.SetStalenessBound(bound)
 		s.stalenessSec = cfg.StalenessSec
+	}
+	if s.site != PrimarySite {
+		// Subscription coverage is cluster-level advice (changing it means
+		// Cluster.Subscribe, which a session cannot call); record it so
+		// TuneConfig echoes the applied configuration and change-set
+		// fingerprints round-trip.
+		s.coverage = cfg.Coverage
 	}
 	return nil
 }

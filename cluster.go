@@ -7,6 +7,7 @@ import (
 	"pdmtune/internal/core"
 	"pdmtune/internal/minisql"
 	"pdmtune/internal/netsim"
+	"pdmtune/internal/subscribe"
 	"pdmtune/internal/topology"
 	"pdmtune/internal/wire"
 )
@@ -71,6 +72,10 @@ type Cluster struct {
 	// fences, the session registry promotions re-route, and the
 	// fault-injection seam. See ha.go.
 	ha haState
+	// sub is the partial-replication subscription registry, created
+	// lazily by the first Subscribe and handed over to the new primary
+	// at promotion. Guarded by ha.mu.
+	sub *subscribe.Registry
 }
 
 // NewCluster creates a PDM cluster: a primary system (rules may be nil
@@ -171,6 +176,89 @@ func (c *Cluster) Metrics() []SiteMetrics {
 		out = append(out, SiteMetrics{Site: name, Link: s.Link(), Metrics: s.Metrics()})
 	}
 	return out
+}
+
+// ---------------------------------------------------------------------------
+// partial replication: per-site product subscriptions
+
+// Subscribe registers (or replaces) a site's partial-replication
+// subscription: from the next pull on, the site is shipped only the
+// structure rows in the closure of the given product subtree roots —
+// the version stamps still replicate in full, so cache validation and
+// staleness bounds keep working — and its sessions transparently
+// re-issue reads outside the closure against the primary at WAN cost.
+// Subscribing the primary site is meaningless and rejected.
+func (c *Cluster) Subscribe(site string, roots ...int64) error {
+	if _, ok := c.sites[site]; !ok {
+		return fmt.Errorf("pdmtune: subscribe: unknown site %q", site)
+	}
+	c.ha.mu.Lock()
+	defer c.ha.mu.Unlock()
+	if site == c.primaryNameLocked() || c.sites[site].IsPrimary() {
+		return fmt.Errorf("pdmtune: subscribe: site %q is the primary and holds everything", site)
+	}
+	c.registryLocked().Subscribe(site, roots...)
+	return nil
+}
+
+// Unsubscribe removes a site's subscription: its next pull ships the
+// full delta again and the site resumes full replication.
+func (c *Cluster) Unsubscribe(site string) error {
+	if _, ok := c.sites[site]; !ok {
+		return fmt.Errorf("pdmtune: unsubscribe: unknown site %q", site)
+	}
+	c.ha.mu.Lock()
+	defer c.ha.mu.Unlock()
+	if c.sub != nil {
+		c.sub.Unsubscribe(site)
+	}
+	return nil
+}
+
+// SubscriptionRoots returns a site's subscribed subtree roots (nil when
+// the site replicates in full).
+func (c *Cluster) SubscriptionRoots(site string) []int64 {
+	c.ha.mu.Lock()
+	defer c.ha.mu.Unlock()
+	if c.sub == nil {
+		return nil
+	}
+	return c.sub.Roots(site)
+}
+
+// registryLocked lazily creates the subscription registry against the
+// current primary's database and installs the sync filter on its
+// server. Must be called with ha.mu held.
+func (c *Cluster) registryLocked() *subscribe.Registry {
+	if c.sub == nil {
+		c.sub = subscribe.New(c.primaryDBLocked())
+		c.installSyncFilterLocked()
+	}
+	return c.sub
+}
+
+// primaryDBLocked resolves the current primary's database.
+func (c *Cluster) primaryDBLocked() *minisql.DB {
+	name := c.primaryNameLocked()
+	if name == PrimarySite {
+		return c.sys.DB
+	}
+	return c.sites[name].DB()
+}
+
+// installSyncFilterLocked points the current primary's wire server at
+// the subscription registry: pulls that identify a subscribed site get
+// a filtered delta, everyone else the full one.
+func (c *Cluster) installSyncFilterLocked() {
+	server, _ := c.primaryServerLocked()
+	sub := c.sub
+	server.SetSyncFilter(func(site string) *wire.SyncFilter {
+		keep, holds, ok := sub.FilterFor(site)
+		if !ok {
+			return nil
+		}
+		return &wire.SyncFilter{Keep: keep, Holds: holds}
+	})
 }
 
 // OpenAt opens a session at a site: the same Session as System.Open,

@@ -16,7 +16,13 @@
 //	pdmbench -checkout        # Section 6: check-out round-trip comparison
 //	pdmbench -sites 3         # multi-site topology: replica reads at LAN cost vs the
 //	                          # primary's WAN cost, per-site sync volume (combine with
-//	                          # -staleness for bounded-staleness sessions)
+//	                          # -staleness for bounded-staleness sessions, or with
+//	                          # -subscribe 0.5 for partial replication: each site
+//	                          # subscribes to half the root's subtrees, syncs only the
+//	                          # closure, and out-of-subscription reads fall through)
+//	pdmbench -whereused       # where-used inverse traversal vs the model prediction
+//	pdmbench -eco             # ECO propagation (incl. check-out conflicts) vs the model
+//	pdmbench -report          # bulk reporting scan vs the model prediction
 //	pdmbench -ablate          # packet-size / σ / accounting-mode ablations
 //	pdmbench -advise          # auto-tuning advisor: observe three workload shapes,
 //	                          # classify, pick knobs, and re-measure under the pick
@@ -42,6 +48,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"strings"
@@ -63,6 +70,10 @@ func main() {
 	checkout := flag.Bool("checkout", false, "compare check-out implementations (Section 6)")
 	sites := flag.Int("sites", 0, "simulate N replica sites (reads at LAN cost, sync across the WAN)")
 	staleness := flag.Duration("staleness", -1, "staleness bound of the per-site sessions (-1: read your own site)")
+	subscribe := flag.Float64("subscribe", 0, "with -sites: subscribe each site to this fraction of the root's subtrees (0: full replication)")
+	whereused := flag.Bool("whereused", false, "run the where-used inverse traversal against the model prediction")
+	eco := flag.Bool("eco", false, "run the ECO propagation workload against the model prediction")
+	report := flag.Bool("report", false, "run the bulk reporting scan against the model prediction")
 	ablate := flag.Bool("ablate", false, "run the ablation sweeps")
 	advise := flag.Bool("advise", false, "run the auto-tuning advisor over three workload shapes")
 	parse := flag.Bool("parse", false, "benchmark the SQL tokenizer and parser (throughput and allocs)")
@@ -75,6 +86,32 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable simulation metrics as JSON")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
+
+	// The workload modes own the whole run — two of them in one
+	// invocation would interleave their output (and their JSON arrays),
+	// so an ambiguous combination is a usage error, not a silent pick.
+	var picked []string
+	for _, m := range []struct {
+		name string
+		set  bool
+	}{
+		{"-users", *users > 0}, {"-parse", *parse}, {"-failover", *failover},
+		{"-whereused", *whereused}, {"-eco", *eco}, {"-report", *report},
+	} {
+		if m.set {
+			picked = append(picked, m.name)
+		}
+	}
+	if len(picked) > 1 {
+		fmt.Fprintf(os.Stderr, "pdmbench: %s are mutually exclusive modes; pass exactly one\n", strings.Join(picked, ", "))
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *subscribe < 0 || *subscribe > 1 {
+		fmt.Fprintln(os.Stderr, "pdmbench: -subscribe must be in [0, 1]")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	// -users and -parse are their own modes (other selectors, e.g.
 	// -simulate, are compatible no-ops so CI can pass one flag set
@@ -91,10 +128,22 @@ func main() {
 		runFailover(*jsonOut)
 		return
 	}
+	if *whereused {
+		runWhereUsed(*jsonOut)
+		return
+	}
+	if *eco {
+		runECO(*jsonOut)
+		return
+	}
+	if *report {
+		runReport(*jsonOut)
+		return
+	}
 
 	if *jsonOut {
 		if *sites > 0 {
-			runSitesJSON(*sites, *staleness)
+			runSitesJSON(*sites, *staleness, *subscribe)
 			return
 		}
 		if *advise {
@@ -137,9 +186,9 @@ func main() {
 		runCheckout()
 	}
 	if *sites > 0 {
-		runSitesComparison(*sites, *staleness)
+		runSitesComparison(*sites, *staleness, *subscribe)
 	} else if *all {
-		runSitesComparison(2, *staleness)
+		runSitesComparison(2, *staleness, *subscribe)
 	}
 	if *ablate || *all {
 		runAblation()
@@ -717,13 +766,23 @@ type siteOutcome struct {
 	cold      *pdmtune.ActionResult
 	repeat    *pdmtune.ActionResult
 	wan       pdmtune.Metrics // the sessions' write-path traffic
+	// Partial replication (-subscribe): the effective coverage fraction,
+	// one MLE outside the subscription (which falls through to the
+	// primary) and its charged fall-through round trips.
+	coverage    float64
+	outProbe    *pdmtune.ActionResult
+	fallThrough int
 }
 
 // runSites builds one cluster per paper scenario with n replica sites
 // (WAN links rotating over the paper's network profiles), syncs each
 // site once, and measures a recursive MLE at every site — cold and
-// repeated — plus the per-site sync volume.
-func runSites(n int, staleness time.Duration) []siteOutcome {
+// repeated — plus the per-site sync volume. With subscribe > 0 each
+// site subscribes to ceil(subscribe·β) of the root's subtrees before
+// its first sync: the pull ships only the subscription closure (stamps
+// stay full), the measured MLEs target a subscribed subtree, and one
+// extra MLE targets an unsubscribed subtree to exercise fall-through.
+func runSites(n int, staleness time.Duration, subscribe float64) []siteOutcome {
 	ctx := context.Background()
 	var out []siteOutcome
 	for scenIdx, scen := range costmodel.PaperScenarios() {
@@ -743,6 +802,22 @@ func runSites(n int, staleness time.Duration) []siteOutcome {
 		if err != nil {
 			fail(err)
 		}
+		children := prod.Nodes[prod.RootID].Children
+		subscribed, coverage := 0, 0.0
+		target := prod.RootID
+		if subscribe > 0 && len(children) > 1 {
+			subscribed = int(math.Ceil(subscribe * float64(len(children))))
+			if subscribed >= len(children) {
+				subscribed = len(children) - 1 // keep one subtree out for the probe
+			}
+			coverage = float64(subscribed) / float64(len(children))
+			target = children[0]
+			for _, cfg := range cfgs {
+				if err := cl.Subscribe(cfg.Name, children[:subscribed]...); err != nil {
+					fail(err)
+				}
+			}
+		}
 		for _, cfg := range cfgs {
 			stats, err := cl.SyncSite(ctx, cfg.Name)
 			if err != nil {
@@ -759,20 +834,34 @@ func runSites(n int, staleness time.Duration) []siteOutcome {
 			if err != nil {
 				fail(err)
 			}
-			cold, err := sess.MultiLevelExpand(ctx, prod.RootID)
+			cold, err := sess.MultiLevelExpand(ctx, target)
 			if err != nil {
 				fail(err)
 			}
-			repeat, err := sess.MultiLevelExpand(ctx, prod.RootID)
+			repeat, err := sess.MultiLevelExpand(ctx, target)
 			if err != nil {
 				fail(err)
+			}
+			o := siteOutcome{
+				scen: scen, site: cfg.Name, link: cfg.Link.Name,
+				syncStats: stats,
+				cold:      cold, repeat: repeat,
+				coverage: coverage,
+				// wan is captured before the out-of-subscription probe, so
+				// it shows the in-subscription reads' WAN cost: zero.
+				wan: sess.WANMetrics(),
+			}
+			if subscribed > 0 {
+				probe, err := sess.MultiLevelExpand(ctx, children[len(children)-1])
+				if err != nil {
+					fail(err)
+				}
+				o.outProbe = probe
+				o.fallThrough = sess.WANMetrics().FallThroughRoundTrips
 			}
 			site, _ := cl.Site(cfg.Name)
-			out = append(out, siteOutcome{
-				scen: scen, site: cfg.Name, link: cfg.Link.Name,
-				syncStats: stats, syncM: site.Metrics(),
-				cold: cold, repeat: repeat, wan: sess.WANMetrics(),
-			})
+			o.syncM = site.Metrics()
+			out = append(out, o)
 			if err := sess.Close(); err != nil {
 				fail(err)
 			}
@@ -781,15 +870,20 @@ func runSites(n int, staleness time.Duration) []siteOutcome {
 	return out
 }
 
-func runSitesComparison(n int, staleness time.Duration) {
+func runSitesComparison(n int, staleness time.Duration, subscribe float64) {
 	fmt.Printf("Multi-site topology — %d replica sites per scenario, recursive MLE read at\n", n)
 	fmt.Println("each site over the LAN after one sync across the site's WAN link. The read")
 	fmt.Println("costs zero WAN bytes; the sync pays the row volume once per change, not once")
 	fmt.Println("per read. (PredictReplicated steady-state estimate in parentheses.)")
+	if subscribe > 0 {
+		fmt.Printf("Partial replication: each site subscribes to %.0f%% of the root's subtrees;\n", subscribe*100)
+		fmt.Println("the sync ships only the closure, and the out-of-subscription MLE falls")
+		fmt.Println("through to the primary at WAN cost.")
+	}
 	fmt.Println()
 	lanNet := costmodel.Network{Name: "LAN", PacketBytes: 4096, LatencySec: 0.0005, RateKbps: 100 * 1024}
 	var last string
-	for _, o := range runSites(n, staleness) {
+	for _, o := range runSites(n, staleness, subscribe) {
 		if o.scen.Name != last {
 			fmt.Printf("Scenario %s\n", o.scen.Name)
 			wan := costmodel.Model{Net: costmodel.PaperNetworks()[0], Tree: o.scen}.
@@ -803,6 +897,11 @@ func runSitesComparison(n int, staleness time.Duration) {
 			o.site, o.syncM.VolumeBytes()/1024, o.syncStats.Rows, o.link,
 			o.cold.Metrics.TotalSec(), model.TotalSec, o.repeat.Metrics.TotalSec(),
 			o.wan.VolumeBytes())
+		if o.outProbe != nil {
+			fmt.Printf("          coverage %.2f  shipped %d rows, skipped %d  out-of-sub MLE %6.3fs (%d fall-through rt)\n",
+				o.coverage, o.syncM.SubscribedRows, o.syncM.SkippedRows,
+				o.outProbe.Metrics.TotalSec(), o.fallThrough)
+		}
 	}
 	fmt.Println()
 }
@@ -825,12 +924,18 @@ type sitesJSONRecord struct {
 	WANReadTrips    int     `json:"wan_read_round_trips"`
 	Visible         int     `json:"visible"`
 	EndToEndSeconds float64 `json:"end_to_end_sec"`
+	// Partial replication (-subscribe > 0).
+	Coverage              float64 `json:"coverage"`
+	SubscribedRows        int     `json:"subscribed_rows"`
+	SkippedRows           int     `json:"skipped_rows"`
+	FallThroughRoundTrips int     `json:"fall_through_round_trips"`
+	OutOfSubSec           float64 `json:"out_of_sub_sec"`
 }
 
-func runSitesJSON(n int, staleness time.Duration) {
+func runSitesJSON(n int, staleness time.Duration, subscribe float64) {
 	var records []sitesJSONRecord
-	for _, o := range runSites(n, staleness) {
-		records = append(records, sitesJSONRecord{
+	for _, o := range runSites(n, staleness, subscribe) {
+		r := sitesJSONRecord{
 			Scenario:       o.scen.Name,
 			Site:           o.site,
 			Link:           o.link,
@@ -848,13 +953,213 @@ func runSitesJSON(n int, staleness time.Duration) {
 			Visible:        o.cold.Visible,
 			EndToEndSeconds: o.syncM.TotalSec() +
 				o.cold.Metrics.TotalSec() + o.repeat.Metrics.TotalSec(),
-		})
+			Coverage:              o.coverage,
+			SubscribedRows:        o.syncM.SubscribedRows,
+			SkippedRows:           o.syncM.SkippedRows,
+			FallThroughRoundTrips: o.fallThrough,
+		}
+		if o.outProbe != nil {
+			r.OutOfSubSec = o.outProbe.Metrics.TotalSec()
+		}
+		records = append(records, r)
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(records); err != nil {
 		fail(err)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Engineering-change workloads (-whereused, -eco, -report)
+
+// modeJSONRecord is one measured workload-mode run (BENCH_whereused /
+// BENCH_eco / BENCH_report records): the simulation against the model's
+// prediction, which must land within 25%.
+type modeJSONRecord struct {
+	Mode         string  `json:"mode"`
+	Scenario     string  `json:"scenario"`
+	Chain        int     `json:"chain,omitempty"`
+	Rows         int     `json:"rows,omitempty"`
+	Affected     int     `json:"affected,omitempty"`
+	Updated      int     `json:"updated,omitempty"`
+	Conflicts    int     `json:"conflicts,omitempty"`
+	RoundTrips   int     `json:"round_trips"`
+	MeasuredSec  float64 `json:"measured_sec"`
+	PredictedSec float64 `json:"predicted_sec"`
+	ErrorPct     float64 `json:"error_pct"`
+}
+
+// ecWorkload generates the engineering-change benchmark product (δ=5,
+// β=4 — deterministic visibility so chain lengths are exact) and returns
+// the system, its ground truth and the deepest visible component.
+func ecWorkload() (*pdmtune.System, *pdmtune.Product, int64) {
+	sys := pdmtune.NewSystem(nil)
+	prod, err := sys.LoadProduct(pdmtune.ProductConfig{Depth: 5, Branch: 4, Sigma: 0.75, Seed: 11})
+	if err != nil {
+		fail(err)
+	}
+	part := int64(0)
+	for id, n := range prod.Nodes {
+		if n.Type == "comp" && n.Visible && n.Level == prod.Config.Depth && (part == 0 || id < part) {
+			part = id
+		}
+	}
+	if part == 0 {
+		fail(fmt.Errorf("no visible leaf component in the generated product"))
+	}
+	return sys, prod, part
+}
+
+// checkAccuracy verifies the model prediction is within 25% of the
+// simulation and returns the signed error percentage.
+func checkAccuracy(mode string, measured, predicted float64) float64 {
+	errPct := (measured - predicted) / predicted * 100
+	if errPct > 25 || errPct < -25 {
+		fail(fmt.Errorf("%s: model %.2fs vs simulated %.2fs (%.1f%% off, bar is 25%%)", mode, predicted, measured, errPct))
+	}
+	return errPct
+}
+
+func emitMode(jsonOut bool, rec modeJSONRecord, lines func()) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]modeJSONRecord{rec}); err != nil {
+			fail(err)
+		}
+		return
+	}
+	lines()
+}
+
+func runWhereUsed(jsonOut bool) {
+	net := costmodel.PaperNetworks()[0]
+	sys, prod, part := ecWorkload()
+	sess, err := sys.Open(
+		pdmtune.WithLink(pdmtune.LinkOf(net)),
+		pdmtune.WithUser(pdmtune.DefaultUser("ec")),
+	)
+	if err != nil {
+		fail(err)
+	}
+	defer sess.Close()
+	res, err := sess.WhereUsed(context.Background(), part)
+	if err != nil {
+		fail(err)
+	}
+	chain := prod.Nodes[part].Level // one ancestor per level above the part
+	if res.Visible != chain {
+		fail(fmt.Errorf("where-used found %d ancestors, ground truth has %d", res.Visible, chain))
+	}
+	scen := costmodel.Tree{Depth: prod.Config.Depth, Branch: prod.Config.Branch, Sigma: prod.Config.Sigma}
+	predicted := costmodel.Model{Net: net, Tree: scen}.PredictWhereUsed(chain).TotalSec
+	measured := res.Metrics.TotalSec()
+	errPct := checkAccuracy("where-used", measured, predicted)
+	emitMode(jsonOut, modeJSONRecord{
+		Mode: "where-used", Scenario: scen.Name, Chain: chain,
+		RoundTrips: res.Metrics.RoundTrips, MeasuredSec: measured,
+		PredictedSec: predicted, ErrorPct: errPct,
+	}, func() {
+		fmt.Println("Where-used — inverse traversal from the deepest component (δ=5, β=4,")
+		fmt.Println("256 kbit/s / 150 ms): one upward level query per ancestor level plus one")
+		fmt.Println("set-oriented record fetch; model prediction in parentheses.")
+		fmt.Printf("  chain=%d ancestors  rt=%d  T=%.2fs (%.2fs, %+.1f%%)\n\n",
+			chain, res.Metrics.RoundTrips, measured, predicted, errPct)
+	})
+}
+
+func runECO(jsonOut bool) {
+	net := costmodel.PaperNetworks()[0]
+	sys, prod, part := ecWorkload()
+	ctx := context.Background()
+	sess, err := sys.Open(
+		pdmtune.WithLink(pdmtune.LinkOf(net)),
+		pdmtune.WithUser(pdmtune.DefaultUser("ec")),
+	)
+	if err != nil {
+		fail(err)
+	}
+	defer sess.Close()
+	res, err := sess.ECOPropagate(ctx, part, "revised")
+	if err != nil {
+		fail(err)
+	}
+	chain := prod.Nodes[part].Level
+	if len(res.Affected) != chain || res.Conflicts != 0 || res.Updated != chain+1 {
+		fail(fmt.Errorf("ECO touched %d of %d affected assemblies (%d conflicts), expected a clean %d",
+			res.Updated, len(res.Affected), res.Conflicts, chain+1))
+	}
+	// The conflict interaction: an ancestor checked out by another user
+	// keeps its state, and the ECO reports it instead of updating it.
+	holder, err := sys.Open(pdmtune.WithLink(pdmtune.LinkOf(net)), pdmtune.WithUser(pdmtune.DefaultUser("holder")))
+	if err != nil {
+		fail(err)
+	}
+	defer holder.Close()
+	if _, err := holder.CheckOutViaProcedure(ctx, res.Affected[0]); err != nil {
+		fail(err)
+	}
+	contested, err := sess.ECOPropagate(ctx, part, "frozen")
+	if err != nil {
+		fail(err)
+	}
+	if contested.Conflicts == 0 {
+		fail(fmt.Errorf("ECO against a checked-out ancestor reported no conflicts"))
+	}
+	scen := costmodel.Tree{Depth: prod.Config.Depth, Branch: prod.Config.Branch, Sigma: prod.Config.Sigma}
+	predicted := costmodel.Model{Net: net, Tree: scen}.PredictECO(chain).TotalSec
+	measured := res.Metrics.TotalSec()
+	errPct := checkAccuracy("eco", measured, predicted)
+	emitMode(jsonOut, modeJSONRecord{
+		Mode: "eco", Scenario: scen.Name, Chain: chain,
+		Affected: len(res.Affected), Updated: res.Updated, Conflicts: contested.Conflicts,
+		RoundTrips: res.Metrics.RoundTrips, MeasuredSec: measured,
+		PredictedSec: predicted, ErrorPct: errPct,
+	}, func() {
+		fmt.Println("ECO propagation — touch the deepest component, revalidate its where-used")
+		fmt.Println("closure with check-out-conditional updates (δ=5, β=4, 256 kbit/s / 150 ms);")
+		fmt.Println("model prediction in parentheses.")
+		fmt.Printf("  chain=%d  updated=%d  rt=%d  T=%.2fs (%.2fs, %+.1f%%)\n", chain, res.Updated,
+			res.Metrics.RoundTrips, measured, predicted, errPct)
+		fmt.Printf("  with a checked-out ancestor: %d conflict(s) reported, state kept\n\n", contested.Conflicts)
+	})
+}
+
+func runReport(jsonOut bool) {
+	net := costmodel.PaperNetworks()[0]
+	sys, prod, _ := ecWorkload()
+	sess, err := sys.Open(
+		pdmtune.WithLink(pdmtune.LinkOf(net)),
+		pdmtune.WithUser(pdmtune.DefaultUser("ec")),
+	)
+	if err != nil {
+		fail(err)
+	}
+	defer sess.Close()
+	res, err := sess.Report(context.Background(), prod.Config.ProdID)
+	if err != nil {
+		fail(err)
+	}
+	rows := prod.AllNodes() + 1
+	if res.Assemblies+res.Components != rows {
+		fail(fmt.Errorf("report scanned %d nodes, product has %d", res.Assemblies+res.Components, rows))
+	}
+	scen := costmodel.Tree{Depth: prod.Config.Depth, Branch: prod.Config.Branch, Sigma: prod.Config.Sigma}
+	predicted := costmodel.Model{Net: net, Tree: scen}.PredictReport(rows).TotalSec
+	measured := res.Metrics.TotalSec()
+	errPct := checkAccuracy("report", measured, predicted)
+	emitMode(jsonOut, modeJSONRecord{
+		Mode: "report", Scenario: scen.Name, Rows: rows,
+		RoundTrips: res.Metrics.RoundTrips, MeasuredSec: measured,
+		PredictedSec: predicted, ErrorPct: errPct,
+	}, func() {
+		fmt.Println("Bulk reporting scan — per-product aggregates from two set-oriented scans")
+		fmt.Println("(δ=5, β=4, 256 kbit/s / 150 ms); model prediction in parentheses.")
+		fmt.Printf("  %d nodes (%d assy + %d comp, %d checked out, weight %.1f)  rt=%d  T=%.2fs (%.2fs, %+.1f%%)\n\n",
+			rows, res.Assemblies, res.Components, res.CheckedOut, res.TotalWeight,
+			res.Metrics.RoundTrips, measured, predicted, errPct)
+	})
 }
 
 // ---------------------------------------------------------------------------

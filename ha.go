@@ -56,7 +56,7 @@ type PromoteError struct {
 	// Site is the candidate.
 	Site string
 	// Stage names the failed precheck: "unknown-site", "already-primary",
-	// "quorum", "epoch-lag" or "inflight".
+	// "quorum", "epoch-lag", "inflight" or "subscription-coverage".
 	Stage string
 	// Reason is human-readable detail.
 	Reason string
@@ -368,6 +368,14 @@ func (c *Cluster) Promote(ctx context.Context, name string) error {
 		return &PromoteError{Site: name, Stage: "inflight",
 			Reason: fmt.Sprintf("%d check-out/check-in action(s) in flight at the candidate", n)}
 	}
+	if candidate.Partial() {
+		// A subscription-bounded replica holds only its closure — rows
+		// outside it would vanish from the cluster's history if it became
+		// the source of truth. Unsubscribe and sync to full before
+		// promoting.
+		return &PromoteError{Site: name, Stage: "subscription-coverage",
+			Reason: "candidate is a partial replica (subscription-bounded); unsubscribe and sync it to full coverage first"}
+	}
 
 	// Quorum: replica sites (candidate included) answering a status
 	// probe over their control transports.
@@ -466,6 +474,26 @@ func (c *Cluster) Promote(ctx context.Context, name string) error {
 			Conn: candidate.Server().NewConn(), Meter: site.Meter()}))
 	}
 
+	// Hand the subscription registry over to the new primary: the old
+	// server stops filtering pulls, the registry re-targets the new
+	// primary's database (rebuilding its adjacency from scratch — the
+	// new version log numbers epochs differently), and the new server
+	// starts filtering. Sites keep their subscriptions across the
+	// failover.
+	if c.sub != nil {
+		var oldServer *wire.Server
+		if oldName == PrimarySite {
+			oldServer = c.sys.Server
+		} else if oldSite, ok := c.sites[oldName]; ok {
+			oldServer = oldSite.Server()
+		}
+		if oldServer != nil {
+			oldServer.SetSyncFilter(nil)
+		}
+		c.sub.Retarget(candidate.DB())
+		c.installSyncFilterLocked()
+	}
+
 	// Re-route every open session at the new primary.
 	for sess := range c.ha.sessions {
 		c.rerouteSessionLocked(sess)
@@ -508,6 +536,11 @@ func (c *Cluster) PromoteBest(ctx context.Context) (string, error) {
 	for _, sn := range c.order {
 		site := c.sites[sn]
 		if sn == pname || site.IsPrimary() {
+			continue
+		}
+		if site.Partial() {
+			// A subscription-bounded replica cannot become the source of
+			// truth (Promote would refuse it); prefer full-coverage sites.
 			continue
 		}
 		if _, err := c.probeSiteLocked(ctx, sn); err != nil {

@@ -221,8 +221,14 @@ func (a Advisor) cacheEntries() int {
 // running session can change.
 func (a Advisor) candidates(p WorkloadProfile, replica bool) []Config {
 	stalenesses := []float64{0}
+	coverages := []float64{0}
 	if replica {
 		stalenesses = []float64{0, 5, 30, 300}
+		// Subscription coverage spans its own lattice dimension at a
+		// replica: full replication (0 ⇒ 1) vs a half-tree subscription
+		// that halves the pull volume but makes the other half of the
+		// reads fall through to the primary.
+		coverages = []float64{0, 0.5}
 	}
 	var out []Config
 	for _, strat := range costmodel.Strategies {
@@ -237,15 +243,18 @@ func (a Advisor) candidates(p WorkloadProfile, replica bool) []Config {
 				for _, cacheEntries := range []int{0, a.cacheEntries()} {
 					for _, compress := range []bool{false, true} {
 						for _, st := range stalenesses {
-							out = append(out, Config{
-								Strategy:     strat,
-								Batching:     batching,
-								Prepared:     prepared,
-								CacheEntries: cacheEntries,
-								Columnar:     compress,
-								Compress:     compress,
-								StalenessSec: st,
-							})
+							for _, cov := range coverages {
+								out = append(out, Config{
+									Strategy:     strat,
+									Batching:     batching,
+									Prepared:     prepared,
+									CacheEntries: cacheEntries,
+									Columnar:     compress,
+									Compress:     compress,
+									StalenessSec: st,
+									Coverage:     cov,
+								})
+							}
 						}
 					}
 				}
@@ -266,6 +275,7 @@ func knobsOf(c Config, replica bool) costmodel.Knobs {
 		Compress:     c.Compress,
 		Replica:      replica,
 		StalenessSec: c.StalenessSec,
+		Coverage:     c.Coverage,
 	}
 }
 

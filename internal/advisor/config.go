@@ -34,13 +34,20 @@ type Config struct {
 	// StalenessSec bounds replica-read staleness (0 syncs before every
 	// action, negative never syncs); ignored at the primary.
 	StalenessSec float64
+	// Coverage is the site's subscription coverage in (0, 1] — the
+	// fraction of the product structure the replica subscribes to (0
+	// means full replication). Cluster-level advice: applying it means
+	// calling Cluster.Subscribe for the site, which a single session
+	// cannot do, so ApplyConfig treats it as advisory and leaves the
+	// subscription untouched. Ignored at the primary.
+	Coverage float64
 }
 
 // canonical is the fingerprint pre-image: every field, fixed order,
 // unambiguous separators.
 func (c Config) canonical() string {
-	return fmt.Sprintf("strategy=%d|batching=%t|prepared=%t|cache=%d|columnar=%t|compress=%t|threshold=%d|staleness=%g",
-		c.Strategy, c.Batching, c.Prepared, c.CacheEntries, c.Columnar, c.Compress, c.CompressThreshold, c.StalenessSec)
+	return fmt.Sprintf("strategy=%d|batching=%t|prepared=%t|cache=%d|columnar=%t|compress=%t|threshold=%d|staleness=%g|coverage=%g",
+		c.Strategy, c.Batching, c.Prepared, c.CacheEntries, c.Columnar, c.Compress, c.CompressThreshold, c.StalenessSec, c.Coverage)
 }
 
 // Fingerprint returns a stable content hash of the configuration. A
@@ -59,8 +66,12 @@ func (c Config) String() string {
 	case c.CacheEntries > 0:
 		cache = fmt.Sprintf("%d entries", c.CacheEntries)
 	}
-	return fmt.Sprintf("strategy=%v batching=%t prepared=%t cache=%s columnar=%t compress=%t staleness=%gs",
-		c.Strategy, c.Batching, c.Prepared, cache, c.Columnar, c.Compress, c.StalenessSec)
+	cov := ""
+	if c.Coverage > 0 && c.Coverage < 1 {
+		cov = fmt.Sprintf(" coverage=%g", c.Coverage)
+	}
+	return fmt.Sprintf("strategy=%v batching=%t prepared=%t cache=%s columnar=%t compress=%t staleness=%gs%s",
+		c.Strategy, c.Batching, c.Prepared, cache, c.Columnar, c.Compress, c.StalenessSec, cov)
 }
 
 // Diff lists the parameter changes turning `from` into `to`, in
@@ -81,6 +92,7 @@ func Diff(from, to Config) []ParamChange {
 	add("compress", from.Compress, to.Compress)
 	add("compress_threshold", from.CompressThreshold, to.CompressThreshold)
 	add("staleness_sec", from.StalenessSec, to.StalenessSec)
+	add("coverage", from.Coverage, to.Coverage)
 	return out
 }
 

@@ -156,6 +156,14 @@ func (c *Client) rebuildFetch() {
 		f = &cachedFetcher{inner: f, c: c, store: c.structs, profile: c.cacheProfile()}
 	}
 	if c.site != nil {
+		if c.site.holds != nil {
+			// Partial-replication fall-through: reads outside the site's
+			// subscription re-issue against the primary. Below the router
+			// (the staleness sync also refreshes the holds set) and above
+			// the cache (a fallen-through page must not be validated
+			// against the replica, which does not hold it).
+			f = &fallThroughFetcher{inner: f, c: c, holds: c.site.holds}
+		}
 		f = &routedFetcher{inner: f, site: c.site}
 	}
 	c.fetch = f
@@ -359,12 +367,26 @@ type Syncer interface {
 	SyncIfStale(ctx context.Context, bound time.Duration) error
 }
 
+// HoldsSource reports what a partial replica holds: implemented by
+// topology.Site for subscription-bounded sites. A full replica reports
+// Partial() == false and holds everything.
+type HoldsSource interface {
+	// Partial reports whether the replica is subscription-bounded.
+	Partial() bool
+	// Holds reports whether the replica holds the structure rows of the
+	// given object id.
+	Holds(id int64) bool
+}
+
 // siteRouting is the client's view of its replica site: the syncer and
 // the session's staleness bound (negative: never sync at read time —
-// the paper-faithful "read your own site" semantics).
+// the paper-faithful "read your own site" semantics). holds is non-nil
+// when the site can be subscription-bounded, enabling the fall-through
+// read layer.
 type siteRouting struct {
 	syncer Syncer
 	bound  time.Duration
+	holds  HoldsSource
 }
 
 // SetSiteSync marks the client as reading from a replica site: before
@@ -377,6 +399,9 @@ func (c *Client) SetSiteSync(s Syncer, bound time.Duration) {
 		c.site = nil
 	} else {
 		c.site = &siteRouting{syncer: s, bound: bound}
+		if hs, ok := s.(HoldsSource); ok {
+			c.site.holds = hs
+		}
 	}
 	c.rebuildFetch()
 }

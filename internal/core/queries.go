@@ -141,6 +141,49 @@ ORDER BY 1, 2`, root)
 	return mustParseSelect(sql)
 }
 
+// BuildWhereUsedLevelSQL returns one upward BFS level of a where-used
+// traversal: the parent assemblies of the given objects. The inverse of
+// the expand direction, so it walks link.right → link.left.
+func BuildWhereUsedLevelSQL(ids []int64) string {
+	return "SELECT left FROM link WHERE right IN (" + idList(ids) + ")"
+}
+
+// BuildFetchNodesSQL returns the record-fetch statement of a where-used
+// result: the given objects (assemblies and components) homogenized
+// into the unified result type, without link columns — the ancestors
+// are a set, not a tree.
+func BuildFetchNodesSQL(ids []int64) string {
+	in := idList(ids)
+	return fmt.Sprintf(`
+SELECT assy.type, assy.obid, assy.name, assy.dec, assy.make_or_buy, assy.state,
+       '' AS "material", assy.weight, assy.checkedout, assy.data, assy.path_opt,
+       CAST(NULL AS INTEGER) AS "left", CAST(NULL AS INTEGER) AS "right",
+       CAST(NULL AS INTEGER) AS "eff_from", CAST(NULL AS INTEGER) AS "eff_to",
+       CAST(NULL AS TEXT) AS "strc_opt"
+  FROM assy
+  WHERE assy.obid IN (%s)
+UNION ALL
+SELECT comp.type, comp.obid, comp.name, '' AS "dec", '' AS "make_or_buy", comp.state,
+       comp.material, comp.weight, comp.checkedout, comp.data, comp.path_opt,
+       CAST(NULL AS INTEGER) AS "left", CAST(NULL AS INTEGER) AS "right",
+       CAST(NULL AS INTEGER) AS "eff_from", CAST(NULL AS INTEGER) AS "eff_to",
+       CAST(NULL AS TEXT) AS "strc_opt"
+  FROM comp
+  WHERE comp.obid IN (%s)`, in, in)
+}
+
+// idList renders ids as a comma-separated SQL IN list.
+func idList(ids []int64) string {
+	var b []byte
+	for i, id := range ids {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = fmt.Appendf(b, "%d", id)
+	}
+	return string(b)
+}
+
 // BuildProbeExists turns an ∃structure condition into a standalone probe
 // query for one concrete object — what a navigational client must ship
 // per candidate node because it cannot evaluate the condition locally

@@ -61,10 +61,13 @@ const ActionAccess = "access"
 
 // Standard PDM action names used in rules.
 const (
-	ActionQuery  = "query"
-	ActionExpand = "expand"
-	ActionMLE    = "multi-level-expand"
-	ActionCheck  = "check-out"
+	ActionQuery     = "query"
+	ActionExpand    = "expand"
+	ActionMLE       = "multi-level-expand"
+	ActionCheck     = "check-out"
+	ActionWhereUsed = "where-used"
+	ActionECO       = "eco"
+	ActionReport    = "report"
 )
 
 // Rule is the 4-tuple of Section 3.1: a user is permitted to perform an

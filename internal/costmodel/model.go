@@ -29,6 +29,17 @@ const (
 	MLE
 )
 
+// The engineering-change workloads beyond Table 2: WhereUsed is the
+// inverse traversal (which assemblies use this part), ECO propagates an
+// engineering-change order along that closure, Report is the bulk
+// reporting scan over one product. They extend the action space without
+// entering the paper's table grid (Actions stays in table order).
+const (
+	WhereUsed Action = iota + 3
+	ECO
+	Report
+)
+
 func (a Action) String() string {
 	switch a {
 	case Query:
@@ -37,6 +48,12 @@ func (a Action) String() string {
 		return "Expand"
 	case MLE:
 		return "MLE"
+	case WhereUsed:
+		return "WhereUsed"
+	case ECO:
+		return "ECO"
+	case Report:
+		return "Report"
 	}
 	return fmt.Sprintf("Action(%d)", uint8(a))
 }

@@ -38,6 +38,13 @@ type Knobs struct {
 	// before every action, larger bounds amortize the sync, negative
 	// never syncs at read time. Only read when Replica is set.
 	StalenessSec float64
+	// Coverage is the site's subscription coverage in (0, 1]: the
+	// fraction of the product structure the replica holds. Reads inside
+	// the coverage run site-local; the rest fall through to the primary
+	// at cold WAN cost, while replication pulls shrink proportionally.
+	// 0 means full replication (coverage 1). Only read when Replica is
+	// set.
+	Coverage float64
 }
 
 // Cached reports whether the candidate runs a structure cache.
@@ -48,6 +55,15 @@ func (k Knobs) ratio() float64 {
 		return k.CompressionRatio
 	}
 	return DefaultCompressionRatio
+}
+
+// coverage returns the effective subscription coverage: 1 (everything
+// held locally) unless the candidate is a partial replica.
+func (k Knobs) coverage() float64 {
+	if !k.Replica || k.Coverage <= 0 || k.Coverage > 1 {
+		return 1
+	}
+	return k.Coverage
 }
 
 // Workload is the observed shape of a live session or fleet — what the
@@ -188,11 +204,21 @@ func PredictWorkload(k Knobs, w Workload) WorkloadEstimate {
 		readSec = (1-rf)*cold + rf*warm
 	}
 
+	// ---- partial replication: reads outside the subscription fall
+	// through to the primary at cold WAN cost (never cached — the
+	// replica does not hold them to validate against).
+	cov := k.coverage()
+	if cov < 1 {
+		wanCold := scaled(coldRead(wan, k, w), users)
+		readSec = cov*readSec + (1-cov)*wanCold
+	}
+
 	// ---- replication: one WAN pull per staleness window, amortized
 	// over the actions that share it (bound 0: every action pays one).
+	// A subscription shrinks the pulled row volume to its coverage.
 	var syncSec float64
 	if k.Replica && k.StalenessSec >= 0 {
-		vol := wan.PacketBytes*1.5 + w.SyncBytes
+		vol := wan.PacketBytes*1.5 + w.SyncBytes*cov
 		pull := 2*wan.LatencySec + vol*8/(wan.RateKbps*1024)*users
 		actionsPerPull := 1 + k.StalenessSec*math.Max(w.ActionsPerSec, 0)
 		syncSec = pull / actionsPerPull

@@ -150,11 +150,25 @@ func (db *DB) Epoch() uint64 { return db.store.Versions().Epoch() }
 // the rows are resolved at that epoch — so no lock is held and
 // concurrent writers proceed undisturbed.
 func (db *DB) ExtractDelta(since uint64) *storage.Delta {
+	return db.ExtractDeltaFiltered(since, nil)
+}
+
+// ExtractDeltaFiltered is ExtractDelta with a subscription filter: a
+// non-nil keep decides per (table, version key) whether a modified row
+// ships. Stamps always ship in full (see storage.DB.ExtractDeltaFiltered).
+func (db *DB) ExtractDeltaFiltered(since uint64, keep func(table string, key int64) bool) *storage.Delta {
 	if db.options().CoarseLocking {
 		db.coarse.RLock()
 		defer db.coarse.RUnlock()
 	}
-	return db.store.ExtractDelta(since)
+	return db.store.ExtractDeltaFiltered(since, keep)
+}
+
+// ModifiedSince returns the version keys modified after the given epoch
+// with their stamps, plus the log's current epoch — the incremental
+// feed a subscription registry uses to refresh its link closures.
+func (db *DB) ModifiedSince(since uint64) (map[int64]uint64, uint64) {
+	return db.store.Versions().ModifiedSince(since)
 }
 
 // ApplyDelta applies a replication delta pulled from a primary,

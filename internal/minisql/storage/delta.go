@@ -75,6 +75,19 @@ type Delta struct {
 	Stamps map[int64]uint64
 	// Tables are the per-table row sets, in catalog order.
 	Tables []TableDelta
+
+	// Partial marks a subscription-filtered delta: rows outside the
+	// requesting site's subscription were skipped. Stamps are always
+	// complete — the replica's version log stays a full mirror even when
+	// its row set is not, so cache validation and staleness bounds keep
+	// working on a partial replica.
+	Partial bool
+	// Holds is the closure of version keys the subscription covers, as
+	// resolved by the primary at extraction time (nil for full deltas).
+	// The replica records it to route out-of-subscription reads.
+	Holds []int64
+	// Skipped counts the rows the subscription filter dropped.
+	Skipped int
 }
 
 // RowCount reports the total number of rows the delta ships.
@@ -137,6 +150,15 @@ func (v *VersionLog) SyncTo(epoch uint64, stamps map[int64]uint64) {
 // by itself, so the wire server can extract deltas while writers
 // proceed.
 func (db *DB) ExtractDelta(since uint64) *Delta {
+	return db.ExtractDeltaFiltered(since, nil)
+}
+
+// ExtractDeltaFiltered is ExtractDelta with a row filter: a non-nil
+// keep decides, per table and version key, whether a modified row is
+// shipped. Skipped rows are counted but their stamps still travel —
+// the replica's version log mirrors the primary's either way, only the
+// row set is subscription-bounded. A nil keep ships everything.
+func (db *DB) ExtractDeltaFiltered(since uint64, keep func(table string, key int64) bool) *Delta {
 	stamps, epoch := db.vlog.ModifiedSince(since)
 	d := &Delta{Since: since, Epoch: epoch, Stamps: stamps}
 	for _, name := range db.TableNames() {
@@ -162,6 +184,10 @@ func (db *DB) ExtractDelta(since uint64) *Delta {
 			t.ScanAt(epoch, func(id int, row Row) bool {
 				if k, ok := rowVersionKey(row, verPos); ok {
 					if _, mod := stamps[k]; mod {
+						if keep != nil && !keep(td.Schema.Name, k) {
+							d.Skipped++
+							return true
+						}
 						td.Rows = append(td.Rows, row)
 					}
 				}

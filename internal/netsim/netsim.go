@@ -169,6 +169,16 @@ type Metrics struct {
 	// repeat-heavy workload (a structure cache would pay off) from a
 	// cold scan, visible even on sessions without a cache.
 	RepeatActions int
+	// FallThroughRoundTrips counts reads a partial replica could not
+	// answer from its subscription and transparently re-issued against
+	// the primary at WAN cost.
+	FallThroughRoundTrips int
+	// SubscribedRows / SkippedRows split each replication pull's row
+	// universe at the subscription filter: rows shipped because the
+	// site's subscription covers them vs. rows the primary skipped. A
+	// full replica reports zero for both.
+	SubscribedRows int
+	SkippedRows    int
 	// Retries counts idempotent exchanges re-sent after connection
 	// loss; RetryGiveUps counts exchanges abandoned after the retry
 	// budget was exhausted.
@@ -193,35 +203,38 @@ func (m Metrics) VolumeBytes() float64 { return m.RequestBytes + m.ResponseBytes
 // a shared meter.
 func (m Metrics) Sub(b Metrics) Metrics {
 	return Metrics{
-		RoundTrips:         m.RoundTrips - b.RoundTrips,
-		Communications:     m.Communications - b.Communications,
-		Statements:         m.Statements - b.Statements,
-		Batches:            m.Batches - b.Batches,
-		PreparedExecs:      m.PreparedExecs - b.PreparedExecs,
-		SavedRoundTrips:    m.SavedRoundTrips - b.SavedRoundTrips,
-		CompressedFrames:   m.CompressedFrames - b.CompressedFrames,
-		ResponseBytesSaved: m.ResponseBytesSaved - b.ResponseBytesSaved,
-		CacheHits:          m.CacheHits - b.CacheHits,
-		CacheMisses:        m.CacheMisses - b.CacheMisses,
-		ValidateRoundTrips: m.ValidateRoundTrips - b.ValidateRoundTrips,
-		SyncRoundTrips:     m.SyncRoundTrips - b.SyncRoundTrips,
-		SavedRequestBytes:  m.SavedRequestBytes - b.SavedRequestBytes,
-		RequestBytes:       m.RequestBytes - b.RequestBytes,
-		ResponseBytes:      m.ResponseBytes - b.ResponseBytes,
-		LatencySec:         m.LatencySec - b.LatencySec,
-		TransferSec:        m.TransferSec - b.TransferSec,
-		LockWaitNanos:      m.LockWaitNanos - b.LockWaitNanos,
-		SnapshotsStarted:   m.SnapshotsStarted - b.SnapshotsStarted,
-		WriteConflicts:     m.WriteConflicts - b.WriteConflicts,
-		PlanHits:           m.PlanHits - b.PlanHits,
-		PlanMisses:         m.PlanMisses - b.PlanMisses,
-		ReadActions:        m.ReadActions - b.ReadActions,
-		WriteActions:       m.WriteActions - b.WriteActions,
-		RepeatActions:      m.RepeatActions - b.RepeatActions,
-		Retries:            m.Retries - b.Retries,
-		RetryGiveUps:       m.RetryGiveUps - b.RetryGiveUps,
-		HealthProbes:       m.HealthProbes - b.HealthProbes,
-		ProbeFailures:      m.ProbeFailures - b.ProbeFailures,
+		RoundTrips:            m.RoundTrips - b.RoundTrips,
+		Communications:        m.Communications - b.Communications,
+		Statements:            m.Statements - b.Statements,
+		Batches:               m.Batches - b.Batches,
+		PreparedExecs:         m.PreparedExecs - b.PreparedExecs,
+		SavedRoundTrips:       m.SavedRoundTrips - b.SavedRoundTrips,
+		CompressedFrames:      m.CompressedFrames - b.CompressedFrames,
+		ResponseBytesSaved:    m.ResponseBytesSaved - b.ResponseBytesSaved,
+		CacheHits:             m.CacheHits - b.CacheHits,
+		CacheMisses:           m.CacheMisses - b.CacheMisses,
+		ValidateRoundTrips:    m.ValidateRoundTrips - b.ValidateRoundTrips,
+		SyncRoundTrips:        m.SyncRoundTrips - b.SyncRoundTrips,
+		SavedRequestBytes:     m.SavedRequestBytes - b.SavedRequestBytes,
+		RequestBytes:          m.RequestBytes - b.RequestBytes,
+		ResponseBytes:         m.ResponseBytes - b.ResponseBytes,
+		LatencySec:            m.LatencySec - b.LatencySec,
+		TransferSec:           m.TransferSec - b.TransferSec,
+		LockWaitNanos:         m.LockWaitNanos - b.LockWaitNanos,
+		SnapshotsStarted:      m.SnapshotsStarted - b.SnapshotsStarted,
+		WriteConflicts:        m.WriteConflicts - b.WriteConflicts,
+		PlanHits:              m.PlanHits - b.PlanHits,
+		PlanMisses:            m.PlanMisses - b.PlanMisses,
+		ReadActions:           m.ReadActions - b.ReadActions,
+		WriteActions:          m.WriteActions - b.WriteActions,
+		RepeatActions:         m.RepeatActions - b.RepeatActions,
+		FallThroughRoundTrips: m.FallThroughRoundTrips - b.FallThroughRoundTrips,
+		SubscribedRows:        m.SubscribedRows - b.SubscribedRows,
+		SkippedRows:           m.SkippedRows - b.SkippedRows,
+		Retries:               m.Retries - b.Retries,
+		RetryGiveUps:          m.RetryGiveUps - b.RetryGiveUps,
+		HealthProbes:          m.HealthProbes - b.HealthProbes,
+		ProbeFailures:         m.ProbeFailures - b.ProbeFailures,
 	}
 }
 
@@ -239,35 +252,38 @@ func (m Metrics) Delta(prev Metrics) Metrics { return m.Sub(prev) }
 // its WAN writes, or all sites of a cluster).
 func (m Metrics) Add(b Metrics) Metrics {
 	return Metrics{
-		RoundTrips:         m.RoundTrips + b.RoundTrips,
-		Communications:     m.Communications + b.Communications,
-		Statements:         m.Statements + b.Statements,
-		Batches:            m.Batches + b.Batches,
-		PreparedExecs:      m.PreparedExecs + b.PreparedExecs,
-		SavedRoundTrips:    m.SavedRoundTrips + b.SavedRoundTrips,
-		CompressedFrames:   m.CompressedFrames + b.CompressedFrames,
-		ResponseBytesSaved: m.ResponseBytesSaved + b.ResponseBytesSaved,
-		CacheHits:          m.CacheHits + b.CacheHits,
-		CacheMisses:        m.CacheMisses + b.CacheMisses,
-		ValidateRoundTrips: m.ValidateRoundTrips + b.ValidateRoundTrips,
-		SyncRoundTrips:     m.SyncRoundTrips + b.SyncRoundTrips,
-		SavedRequestBytes:  m.SavedRequestBytes + b.SavedRequestBytes,
-		RequestBytes:       m.RequestBytes + b.RequestBytes,
-		ResponseBytes:      m.ResponseBytes + b.ResponseBytes,
-		LatencySec:         m.LatencySec + b.LatencySec,
-		TransferSec:        m.TransferSec + b.TransferSec,
-		LockWaitNanos:      m.LockWaitNanos + b.LockWaitNanos,
-		SnapshotsStarted:   m.SnapshotsStarted + b.SnapshotsStarted,
-		WriteConflicts:     m.WriteConflicts + b.WriteConflicts,
-		PlanHits:           m.PlanHits + b.PlanHits,
-		PlanMisses:         m.PlanMisses + b.PlanMisses,
-		ReadActions:        m.ReadActions + b.ReadActions,
-		WriteActions:       m.WriteActions + b.WriteActions,
-		RepeatActions:      m.RepeatActions + b.RepeatActions,
-		Retries:            m.Retries + b.Retries,
-		RetryGiveUps:       m.RetryGiveUps + b.RetryGiveUps,
-		HealthProbes:       m.HealthProbes + b.HealthProbes,
-		ProbeFailures:      m.ProbeFailures + b.ProbeFailures,
+		RoundTrips:            m.RoundTrips + b.RoundTrips,
+		Communications:        m.Communications + b.Communications,
+		Statements:            m.Statements + b.Statements,
+		Batches:               m.Batches + b.Batches,
+		PreparedExecs:         m.PreparedExecs + b.PreparedExecs,
+		SavedRoundTrips:       m.SavedRoundTrips + b.SavedRoundTrips,
+		CompressedFrames:      m.CompressedFrames + b.CompressedFrames,
+		ResponseBytesSaved:    m.ResponseBytesSaved + b.ResponseBytesSaved,
+		CacheHits:             m.CacheHits + b.CacheHits,
+		CacheMisses:           m.CacheMisses + b.CacheMisses,
+		ValidateRoundTrips:    m.ValidateRoundTrips + b.ValidateRoundTrips,
+		SyncRoundTrips:        m.SyncRoundTrips + b.SyncRoundTrips,
+		SavedRequestBytes:     m.SavedRequestBytes + b.SavedRequestBytes,
+		RequestBytes:          m.RequestBytes + b.RequestBytes,
+		ResponseBytes:         m.ResponseBytes + b.ResponseBytes,
+		LatencySec:            m.LatencySec + b.LatencySec,
+		TransferSec:           m.TransferSec + b.TransferSec,
+		LockWaitNanos:         m.LockWaitNanos + b.LockWaitNanos,
+		SnapshotsStarted:      m.SnapshotsStarted + b.SnapshotsStarted,
+		WriteConflicts:        m.WriteConflicts + b.WriteConflicts,
+		PlanHits:              m.PlanHits + b.PlanHits,
+		PlanMisses:            m.PlanMisses + b.PlanMisses,
+		ReadActions:           m.ReadActions + b.ReadActions,
+		WriteActions:          m.WriteActions + b.WriteActions,
+		RepeatActions:         m.RepeatActions + b.RepeatActions,
+		FallThroughRoundTrips: m.FallThroughRoundTrips + b.FallThroughRoundTrips,
+		SubscribedRows:        m.SubscribedRows + b.SubscribedRows,
+		SkippedRows:           m.SkippedRows + b.SkippedRows,
+		Retries:               m.Retries + b.Retries,
+		RetryGiveUps:          m.RetryGiveUps + b.RetryGiveUps,
+		HealthProbes:          m.HealthProbes + b.HealthProbes,
+		ProbeFailures:         m.ProbeFailures + b.ProbeFailures,
 	}
 }
 
@@ -450,6 +466,26 @@ func (m *Meter) CountAction(write, repeat bool) {
 	if repeat {
 		m.Metrics.RepeatActions++
 	}
+}
+
+// CountFallThrough records reads that fell through a partial replica
+// to the primary (the round trips themselves are charged to the WAN
+// meter by the transport; this counter is what attributes them to the
+// subscription miss).
+func (m *Meter) CountFallThrough(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Metrics.FallThroughRoundTrips += n
+}
+
+// CountSubscription records one replication pull's subscription split:
+// rows shipped under the site's subscription vs. rows the primary's
+// filter skipped.
+func (m *Meter) CountSubscription(subscribed, skipped int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Metrics.SubscribedRows += subscribed
+	m.Metrics.SkippedRows += skipped
 }
 
 // CountRetry records idempotent exchanges re-sent after connection

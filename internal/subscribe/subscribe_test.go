@@ -1,0 +1,113 @@
+package subscribe_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pdmtune/internal/core"
+	"pdmtune/internal/minisql"
+	"pdmtune/internal/subscribe"
+	"pdmtune/internal/workload"
+)
+
+// TestClosureTracksRandomLinkMutations is the closure maintenance
+// property test: after any sequence of random link insertions and
+// deletions, the incrementally-maintained closure must equal the one a
+// fresh registry computes from scratch over the same database.
+func TestClosureTracksRandomLinkMutations(t *testing.T) {
+	db := minisql.NewDB()
+	core.RegisterProcedures(db, core.StandardRules())
+	sess := db.NewSession()
+	prod, err := workload.Generate(sess, workload.Config{Depth: 4, Branch: 3, Sigma: 1, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := prod.Nodes[prod.RootID].Children[:1]
+	reg := subscribe.New(db)
+	reg.Subscribe("site", roots...)
+	if got := reg.Closure("site"); len(got) == 0 {
+		t.Fatal("empty initial closure")
+	}
+
+	// The mutation pool: every node can become a link endpoint. Random
+	// edges may create diamonds and even cycles — the closure is a graph
+	// reachability, not a tree walk, and must stay correct regardless.
+	var ids []int64
+	for id := range prod.Nodes {
+		ids = append(ids, id)
+	}
+	rng := rand.New(rand.NewSource(99))
+	nextObID := int64(workload.LinkIDBase + 500_000)
+	var inserted []int64
+	for step := 0; step < 60; step++ {
+		if len(inserted) > 0 && rng.Intn(3) == 0 {
+			i := rng.Intn(len(inserted))
+			obid := inserted[i]
+			inserted = append(inserted[:i], inserted[i+1:]...)
+			if _, err := sess.Exec(fmt.Sprintf("DELETE FROM link WHERE obid = %d", obid)); err != nil {
+				t.Fatalf("step %d: delete: %v", step, err)
+			}
+		} else {
+			parent := ids[rng.Intn(len(ids))]
+			child := ids[rng.Intn(len(ids))]
+			nextObID++
+			if _, err := sess.Exec(fmt.Sprintf(
+				"INSERT INTO link (type, obid, left, right, eff_from, eff_to, strc_opt) VALUES ('link', %d, %d, %d, 0, 99999, '%s')",
+				nextObID, parent, child, workload.VisibleOption)); err != nil {
+				t.Fatalf("step %d: insert: %v", step, err)
+			}
+			inserted = append(inserted, nextObID)
+		}
+
+		got := reg.Closure("site")
+		fresh := subscribe.New(db)
+		fresh.Subscribe("site", roots...)
+		want := fresh.Closure("site")
+		if len(got) != len(want) {
+			t.Fatalf("step %d: incremental closure has %d ids, from-scratch %d", step, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("step %d: closures diverge at index %d: incremental %d, from-scratch %d",
+					step, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestFilterKeepsNonStructureTables pins the filter contract: only the
+// five structure tables are bounded by a subscription; any other table
+// replicates in full.
+func TestFilterKeepsNonStructureTables(t *testing.T) {
+	db := minisql.NewDB()
+	core.RegisterProcedures(db, core.StandardRules())
+	prod, err := workload.Generate(db.NewSession(), workload.Config{Depth: 2, Branch: 2, Sigma: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := subscribe.New(db)
+	reg.Subscribe("site", prod.Nodes[prod.RootID].Children[0])
+	keep, holds, ok := reg.FilterFor("site")
+	if !ok {
+		t.Fatal("subscribed site resolved to no filter")
+	}
+	if len(holds) == 0 {
+		t.Fatal("empty closure for a subscribed subtree")
+	}
+	if !keep("some_catalog", 42) {
+		t.Error("non-structure table filtered out")
+	}
+	if keep("assy", prod.RootID) {
+		t.Error("product root is outside the subscribed subtree but kept")
+	}
+	if !keep("assy", holds[0]) {
+		t.Error("closure member not kept")
+	}
+	if reg.Subscribed("other") {
+		t.Error("unsubscribed site reported as subscribed")
+	}
+	if _, _, ok := reg.FilterFor("other"); ok {
+		t.Error("unsubscribed site resolved to a filter")
+	}
+}

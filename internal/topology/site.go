@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"pdmtune/internal/minisql"
+	"pdmtune/internal/minisql/storage"
 	"pdmtune/internal/netsim"
 	"pdmtune/internal/wire"
 )
@@ -46,6 +47,11 @@ type Site struct {
 	// write target, so pulls become no-ops (there is nothing upstream to
 	// pull from).
 	isPrimary bool
+	// partial marks the replica as subscription-bounded: holds is the
+	// closure of object ids the last pull shipped, replaced wholesale on
+	// every pull. A full replica has partial=false and holds=nil.
+	partial bool
+	holds   map[int64]bool
 }
 
 // New creates a site over an (empty, procedure-registered) replica
@@ -178,6 +184,26 @@ func (s *Site) BecomeReplica(fromEpoch uint64) {
 	s.synced = false
 }
 
+// Partial reports whether the replica is subscription-bounded: it
+// holds only the closure of its subscribed subtrees, and reads outside
+// it must fall through to the primary.
+func (s *Site) Partial() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partial
+}
+
+// Holds reports whether the replica holds the structure rows of the
+// given object id. A full replica holds everything.
+func (s *Site) Holds(id int64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.partial {
+		return true
+	}
+	return s.holds[id]
+}
+
 // SyncStats reports one replication pull.
 type SyncStats struct {
 	// Since and Epoch bound the pull: the site advanced from Since to
@@ -204,18 +230,58 @@ func (s *Site) syncLocked(ctx context.Context) (SyncStats, error) {
 		// The promoted site is the source of truth; nothing to pull.
 		return SyncStats{Since: s.lastEpoch, Epoch: s.lastEpoch}, nil
 	}
-	d, err := s.primary.Sync(ctx, s.lastEpoch)
+	d, err := s.primary.SyncFrom(ctx, s.lastEpoch, s.name)
 	if err != nil {
 		return SyncStats{}, fmt.Errorf("topology: site %s: pull: %w", s.name, err)
 	}
+	if s.synced && s.partial && s.needsBackfillLocked(d) {
+		// Rows skipped by earlier filtered pulls are now required here
+		// (the subscription was dropped, or its closure gained keys),
+		// and no incremental delta can contain them — they were not
+		// modified. Recover coverage with one snapshot pull from epoch
+		// zero; the apply below replaces the replica wholesale.
+		d, err = s.primary.SyncFrom(ctx, 0, s.name)
+		if err != nil {
+			return SyncStats{}, fmt.Errorf("topology: site %s: backfill pull: %w", s.name, err)
+		}
+	}
 	if err := s.db.ApplyDeltaCtx(ctx, d); err != nil {
 		return SyncStats{}, fmt.Errorf("topology: site %s: apply: %w", s.name, err)
+	}
+	if d.Partial {
+		s.partial = true
+		s.holds = make(map[int64]bool, len(d.Holds))
+		for _, k := range d.Holds {
+			s.holds[k] = true
+		}
+	} else {
+		s.partial = false
+		s.holds = nil
+	}
+	if s.meter != nil && (d.Partial || d.Skipped > 0) {
+		s.meter.CountSubscription(d.RowCount(), d.Skipped)
 	}
 	stats := SyncStats{Since: d.Since, Epoch: d.Epoch, Keys: len(d.Stamps), Rows: d.RowCount()}
 	s.lastEpoch = d.Epoch
 	s.lastSync = time.Now()
 	s.synced = true
 	return stats, nil
+}
+
+// needsBackfillLocked reports whether an incremental delta cannot
+// restore this formerly-partial replica's required coverage: the
+// subscription was dropped (the delta is full again) or its closure
+// gained keys whose rows were never shipped here.
+func (s *Site) needsBackfillLocked(d *storage.Delta) bool {
+	if !d.Partial {
+		return true
+	}
+	for _, k := range d.Holds {
+		if !s.holds[k] {
+			return true
+		}
+	}
+	return false
 }
 
 // SyncIfStale syncs when the site's last successful sync is older than

@@ -340,9 +340,17 @@ func (c *Client) Validate(ctx context.Context, checks []StaleCheck) ([]int64, er
 // key) plus the version stamps the replica's log needs to mirror the
 // primary's. One round trip regardless of delta size.
 func (c *Client) Sync(ctx context.Context, since uint64) (*storage.Delta, error) {
+	return c.SyncFrom(ctx, since, "")
+}
+
+// SyncFrom is Sync with a site identity: a primary with a subscription
+// filter for the named site answers a partial, subscription-bounded
+// delta (Delta.Partial) instead of the full one. An empty site — or a
+// server without a filter — pulls the full delta exactly as before.
+func (c *Client) SyncFrom(ctx context.Context, since uint64, site string) (*storage.Delta, error) {
 	// A sync is fenced like a write — only the current primary may
 	// serve it — but re-pulling a delta is idempotent, so it retries.
-	respBody, err := c.roundTrip(ctx, c.fenceWrite(EncodeSync(since)), true)
+	respBody, err := c.roundTrip(ctx, c.fenceWrite(EncodeSyncFrom(since, site)), true)
 	if err != nil {
 		return nil, err
 	}

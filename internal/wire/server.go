@@ -21,6 +21,21 @@ type Server struct {
 	// creation; the Fence's own lock covers later term flips.
 	fenceMu sync.RWMutex
 	fence   *Fence
+
+	// syncFilter resolves a pulling site's subscription filter (nil
+	// resolver, or a nil result for a site, means full deltas — the
+	// pre-subscription behavior byte for byte).
+	filterMu   sync.RWMutex
+	syncFilter func(site string) *SyncFilter
+}
+
+// SyncFilter is one site's subscription filter as the sync handler
+// applies it: Keep bounds the shipped rows, Holds is the closure of
+// version keys the subscription covers (echoed to the replica so it
+// knows what it holds).
+type SyncFilter struct {
+	Keep  func(table string, key int64) bool
+	Holds []int64
 }
 
 // NewServer wraps a database.
@@ -43,6 +58,30 @@ func (s *Server) CurrentFence() *Fence {
 	s.fenceMu.RLock()
 	defer s.fenceMu.RUnlock()
 	return s.fence
+}
+
+// SetSyncFilter installs (or clears, with nil) the resolver mapping a
+// pulling site to its subscription filter. The cluster control plane
+// installs it on the current primary and moves it at promotion time.
+func (s *Server) SetSyncFilter(f func(site string) *SyncFilter) {
+	s.filterMu.Lock()
+	defer s.filterMu.Unlock()
+	s.syncFilter = f
+}
+
+// currentSyncFilter resolves the filter for one pulling site (nil for
+// anonymous pulls, unknown sites, or a server without a resolver).
+func (s *Server) currentSyncFilter(site string) *SyncFilter {
+	if site == "" {
+		return nil
+	}
+	s.filterMu.RLock()
+	f := s.syncFilter
+	s.filterMu.RUnlock()
+	if f == nil {
+		return nil
+	}
+	return f(site)
 }
 
 // NewConn opens a server-side connection with a fresh session.
@@ -309,9 +348,15 @@ func (c *ServerConn) handleValidate(reqBody []byte) []byte {
 // at one captured epoch — so it is consistent without blocking
 // concurrent writers.
 func (c *ServerConn) handleSync(reqBody []byte) []byte {
-	since, err := DecodeSync(reqBody)
+	since, site, err := DecodeSyncSite(reqBody)
 	if err != nil {
 		return EncodeResponse(&Response{Err: fmt.Sprintf("bad sync: %v", err)})
+	}
+	if sf := c.server.currentSyncFilter(site); sf != nil {
+		d := c.server.db.ExtractDeltaFiltered(since, sf.Keep)
+		d.Partial = true
+		d.Holds = sf.Holds
+		return EncodeSyncResp(d)
 	}
 	return EncodeSyncResp(c.server.db.ExtractDelta(since))
 }

@@ -33,6 +33,41 @@ func DecodeSync(b []byte) (uint64, error) {
 	return since, err
 }
 
+// EncodeSyncFrom serializes a delta pull that identifies the pulling
+// site, so the primary can apply that site's subscription filter. The
+// site travels as a trailing length-prefixed string; an old server's
+// DecodeSync ignores trailing bytes, so the frame degrades to a full
+// sync against a server that predates subscriptions.
+func EncodeSyncFrom(since uint64, site string) []byte {
+	b := append(getFrame(), TypeSync)
+	b = appendUint64(b, since)
+	if site != "" {
+		b = appendString(b, site)
+	}
+	return b
+}
+
+// DecodeSyncSite parses a sync request frame body including the
+// optional site identity ("" when the frame carries none — an
+// anonymous pull is always served the full delta).
+func DecodeSyncSite(b []byte) (uint64, string, error) {
+	if len(b) < 1 || b[0] != TypeSync {
+		return 0, "", fmt.Errorf("wire: not a sync frame")
+	}
+	since, rest, err := readUint64(b[1:])
+	if err != nil {
+		return 0, "", err
+	}
+	if len(rest) == 0 {
+		return since, "", nil
+	}
+	site, _, err := readString(rest)
+	if err != nil {
+		return 0, "", err
+	}
+	return since, site, nil
+}
+
 // column flag bits in the schema encoding.
 const (
 	colNotNull    = 1 << 0
@@ -90,6 +125,17 @@ func EncodeSyncResp(d *storage.Delta) []byte {
 				b = AppendValue(b, v)
 			}
 		}
+	}
+	if d.Partial {
+		// Partial trailer: the subscription closure the replica now
+		// holds plus the skipped-row count. Old decoders consume exactly
+		// through the tables and ignore trailing bytes, so the trailer is
+		// backward compatible.
+		b = appendUint32(b, uint32(len(d.Holds)))
+		for _, k := range d.Holds {
+			b = appendUint64(b, uint64(k))
+		}
+		b = appendUint32(b, uint32(d.Skipped))
 	}
 	return b
 }
@@ -219,6 +265,30 @@ func DecodeSyncResp(b []byte) (*storage.Delta, error) {
 			td.Rows = append(td.Rows, row)
 		}
 		d.Tables = append(d.Tables, td)
+	}
+	if len(b) > 0 {
+		// Partial trailer (see EncodeSyncResp): holds closure + skipped
+		// count. Absent on full deltas.
+		nholds, rest, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		if nholds > uint32(len(b))/8 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		d.Partial = true
+		d.Holds = make([]int64, 0, nholds)
+		for i := uint32(0); i < nholds; i++ {
+			var k uint64
+			k, b, _ = readUint64(b)
+			d.Holds = append(d.Holds, int64(k))
+		}
+		skipped, _, err := readUint32(b)
+		if err != nil {
+			return nil, err
+		}
+		d.Skipped = int(skipped)
 	}
 	return d, nil
 }

@@ -163,6 +163,7 @@ CREATE TABLE IF NOT EXISTS specified_by (
   right INTEGER NOT NULL
 );
 CREATE INDEX IF NOT EXISTS link_left_idx ON link (left);
+CREATE INDEX IF NOT EXISTS link_right_idx ON link (right);
 CREATE INDEX IF NOT EXISTS specified_by_left_idx ON specified_by (left);
 CREATE INDEX IF NOT EXISTS assy_prod_idx ON assy (prod);
 CREATE INDEX IF NOT EXISTS comp_prod_idx ON comp (prod);

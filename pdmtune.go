@@ -76,6 +76,10 @@ type (
 	ActionResult = core.ActionResult
 	// CheckOutResult reports a check-out/check-in.
 	CheckOutResult = core.CheckOutResult
+	// ECOResult reports an engineering-change-order propagation.
+	ECOResult = core.ECOResult
+	// ReportResult reports a bulk reporting scan's aggregates.
+	ReportResult = core.ReportResult
 	// ConflictError reports a check-out that lost a first-wins race
 	// against a concurrent writer (match with errors.As).
 	ConflictError = core.ConflictError
@@ -112,6 +116,12 @@ const (
 	Query  = costmodel.Query
 	Expand = costmodel.Expand
 	MLE    = costmodel.MLE
+
+	// The partial-replication workloads: inverse traversal, engineering
+	// change order, bulk reporting scan.
+	WhereUsed = costmodel.WhereUsed
+	ECO       = costmodel.ECO
+	Report    = costmodel.Report
 )
 
 // Condition kinds for rules.

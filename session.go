@@ -426,6 +426,11 @@ type Session struct {
 	compressThreshold int
 	cacheEntries      int
 	stalenessSec      float64
+	// coverage records the last subscription-coverage advice applied to
+	// this session (TuneConfig echoes it so ChangeSet fingerprints
+	// round-trip); the subscription itself is cluster state
+	// (Cluster.Subscribe), not a session knob.
+	coverage float64
 	// advisor/auto close the tuning loop (WithAdvisor / WithAutoTune).
 	advisor *Advisor
 	auto    *autoTuner
@@ -771,6 +776,43 @@ func (s *Session) Run(ctx context.Context, action Action, target int64) (*Action
 		return s.Expand(ctx, target)
 	case MLE:
 		return s.MultiLevelExpand(ctx, target)
+	case WhereUsed:
+		return s.WhereUsed(ctx, target)
 	}
 	return nil, fmt.Errorf("pdmtune: unknown action %v", action)
+}
+
+// WhereUsed performs the inverse traversal: every assembly that —
+// directly or transitively — uses the given part, walked upward over
+// the link relation level by level. On a partial replica the upward
+// direction does not respect the subscription closure (a subscribed
+// subtree's parts may be used by unsubscribed assemblies), so the
+// whole traversal falls through to the primary at WAN cost.
+func (s *Session) WhereUsed(ctx context.Context, part int64) (*ActionResult, error) {
+	res, err := s.client.WhereUsed(ctx, part)
+	s.afterAction(ctx, err)
+	return res, err
+}
+
+// ECOPropagate performs an engineering-change-order touch: the part's
+// state is updated and every assembly affected by it (its where-used
+// closure) is revalidated to the same state. Assemblies currently
+// checked out keep their state and are reported as conflicts. Cached
+// structures containing affected objects are invalidated.
+func (s *Session) ECOPropagate(ctx context.Context, part int64, newState string) (*ECOResult, error) {
+	done := s.sys.cluster.beginWrite(s.site)
+	res, err := s.client.ECOPropagate(ctx, part, newState)
+	done()
+	s.afterAction(ctx, err)
+	return res, err
+}
+
+// Report performs the bulk reporting scan: per-product aggregates
+// (assembly/component counts, checked-out count, total weight) computed
+// where the session reads — site-local at a replica. On a partial
+// replica the aggregate covers what the site holds.
+func (s *Session) Report(ctx context.Context, prod int64) (*ReportResult, error) {
+	res, err := s.client.Report(ctx, prod)
+	s.afterAction(ctx, err)
+	return res, err
 }
